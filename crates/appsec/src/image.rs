@@ -1,0 +1,145 @@
+//! Container images: layered filesystem, dependency manifest, API surface.
+//!
+//! The image model carries everything the M13–M16 pipeline needs: files
+//! (for YARA scanning, extracted Crane-style), declared dependencies with
+//! the functions the application actually calls (for SCA reachability), and
+//! whether the app exposes a REST spec (for DAST applicability).
+
+use std::collections::BTreeMap;
+
+/// One filesystem layer: path → content. Later layers shadow earlier ones.
+#[derive(Debug, Clone, Default)]
+pub struct Layer {
+    files: BTreeMap<String, Vec<u8>>,
+}
+
+impl Layer {
+    /// Creates an empty layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a file, builder-style.
+    pub fn file(mut self, path: &str, content: &[u8]) -> Self {
+        self.files.insert(path.to_string(), content.to_vec());
+        self
+    }
+}
+
+/// A third-party dependency in the application's manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dependency {
+    /// Canonical package name (matching the CVE corpus).
+    pub name: String,
+    /// Version string.
+    pub version: String,
+    /// Functions of this dependency the application actually calls —
+    /// the reachability information Lesson 7 says SCA tools lack.
+    pub used_functions: Vec<String>,
+}
+
+/// What kind of interface the application exposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Interface {
+    /// OpenAPI-described REST endpoints (fuzzable).
+    Rest,
+    /// A message-queue consumer, raw socket protocol, or batch job — no
+    /// standard interface for a fuzzer to drive (Lesson 7's limit).
+    NonStandard(String),
+}
+
+/// A container image as delivered by a business user.
+#[derive(Debug, Clone)]
+pub struct ContainerImage {
+    /// Image reference, e.g. `registry.genio/analytics:1.4`.
+    pub reference: String,
+    /// Ordered layers (base first).
+    pub layers: Vec<Layer>,
+    /// Declared dependencies.
+    pub dependencies: Vec<Dependency>,
+    /// Exposed interface.
+    pub interface: Interface,
+}
+
+impl ContainerImage {
+    /// Creates an image with no layers or dependencies.
+    pub fn new(reference: &str, interface: Interface) -> Self {
+        ContainerImage {
+            reference: reference.to_string(),
+            layers: Vec::new(),
+            dependencies: Vec::new(),
+            interface,
+        }
+    }
+
+    /// Appends a layer, builder-style.
+    pub fn layer(mut self, layer: Layer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Adds a dependency, builder-style.
+    pub fn dependency(mut self, name: &str, version: &str, used_functions: &[&str]) -> Self {
+        self.dependencies.push(Dependency {
+            name: name.to_string(),
+            version: version.to_string(),
+            used_functions: used_functions.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// The flattened filesystem (upper layers shadow lower ones) — what
+    /// Crane extraction yields.
+    pub fn flattened_fs(&self) -> BTreeMap<String, Vec<u8>> {
+        let mut fs = BTreeMap::new();
+        for layer in &self.layers {
+            for (path, content) in &layer.files {
+                fs.insert(path.clone(), content.clone());
+            }
+        }
+        fs
+    }
+
+    /// True if a fuzzer can drive this image (Lesson 7 applicability).
+    pub fn is_fuzzable(&self) -> bool {
+        self.interface == Interface::Rest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layers_shadow() {
+        let img = ContainerImage::new("app:1", Interface::Rest)
+            .layer(
+                Layer::new()
+                    .file("/app/config", b"debug=false")
+                    .file("/app/bin", b"v1"),
+            )
+            .layer(Layer::new().file("/app/config", b"debug=true"));
+        let fs = img.flattened_fs();
+        assert_eq!(fs["/app/config"], b"debug=true");
+        assert_eq!(fs["/app/bin"], b"v1");
+    }
+
+    #[test]
+    fn dependency_builder() {
+        let img = ContainerImage::new("app:1", Interface::Rest).dependency(
+            "log4j-like",
+            "2.14.0",
+            &["log", "lookup"],
+        );
+        assert_eq!(img.dependencies.len(), 1);
+        assert_eq!(img.dependencies[0].used_functions, vec!["log", "lookup"]);
+    }
+
+    #[test]
+    fn fuzzability_follows_interface() {
+        assert!(ContainerImage::new("a", Interface::Rest).is_fuzzable());
+        assert!(
+            !ContainerImage::new("b", Interface::NonStandard("mqtt consumer".into())).is_fuzzable()
+        );
+    }
+}

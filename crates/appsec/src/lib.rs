@@ -1,0 +1,43 @@
+//! # genio-appsec
+//!
+//! Application-security substrate: the paper's mitigations **M13**
+//! (container security & SCA), **M14** (SAST), **M15** (DAST) and **M16**
+//! (malware signatures), plus the measurements behind **Lesson 7** (SCA
+//! noise, missing function-level linking, DAST applicability).
+//!
+//! * [`image`] — container images: layered filesystems, dependency
+//!   manifests, and the API surface the app exposes.
+//! * [`sca`] — software composition analysis with and without
+//!   function-level reachability linking.
+//! * [`sast`] — static analysis over a miniature IR: taint propagation
+//!   from sources to sinks plus pattern rules (hardcoded credentials, weak
+//!   crypto).
+//! * [`dast`] — a CATS-style REST fuzzer: mutators over an OpenAPI-like
+//!   spec, driven against simulated handlers, with response oracles.
+//! * [`portscan`] — an nmap-like sweep verifying TLS enforcement and
+//!   flagging unnecessary open ports.
+//! * [`yara`] — a YARA-like signature engine (literal strings, hex with
+//!   wildcards, boolean conditions) for scanning images at rest.
+//!
+//! # Example
+//!
+//! ```
+//! use genio_appsec::yara::{Rule, RuleSet};
+//!
+//! let rules = RuleSet::new(vec![
+//!     Rule::new("xmrig_miner").string("stratum+tcp://").min_matches(1),
+//! ]);
+//! let hits = rules.scan_bytes(b"config: stratum+tcp://pool.example:3333");
+//! assert_eq!(hits, vec!["xmrig_miner"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dast;
+pub mod image;
+pub mod portscan;
+pub mod sast;
+pub mod sca;
+pub mod secrets;
+pub mod yara;

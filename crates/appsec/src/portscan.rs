@@ -1,0 +1,134 @@
+//! Network exposure checks at deployment time (the nmap half of **M15**):
+//! TLS enforcement and unnecessary-open-port detection.
+
+use std::collections::BTreeMap;
+
+/// Transport security of one listening service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlsState {
+    /// TLS enforced.
+    Enforced,
+    /// Plaintext service.
+    Plaintext,
+}
+
+/// A simulated host's listening services: port → (service name, TLS).
+#[derive(Debug, Clone, Default)]
+pub struct HostExposure {
+    services: BTreeMap<u16, (String, TlsState)>,
+}
+
+impl HostExposure {
+    /// Creates a host with no listeners.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a listening service, builder-style.
+    pub fn listen(mut self, port: u16, service: &str, tls: TlsState) -> Self {
+        self.services.insert(port, (service.to_string(), tls));
+        self
+    }
+
+    /// Open ports in ascending order.
+    pub fn open_ports(&self) -> Vec<u16> {
+        self.services.keys().copied().collect()
+    }
+
+    /// Service on a port.
+    pub fn service(&self, port: u16) -> Option<(&str, TlsState)> {
+        self.services.get(&port).map(|(n, t)| (n.as_str(), *t))
+    }
+}
+
+/// A scan finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanFinding {
+    /// A port is open that the deployment manifest does not expect.
+    UnexpectedPort {
+        /// Port number.
+        port: u16,
+        /// Service banner.
+        service: String,
+    },
+    /// An expected service runs without TLS.
+    PlaintextService {
+        /// Port number.
+        port: u16,
+        /// Service banner.
+        service: String,
+    },
+}
+
+/// Scans `host` against the deployment's `expected` ports.
+pub fn scan(host: &HostExposure, expected: &[u16]) -> Vec<ScanFinding> {
+    let mut findings = Vec::new();
+    for port in host.open_ports() {
+        let (service, tls) = host.service(port).expect("port is open");
+        if !expected.contains(&port) {
+            findings.push(ScanFinding::UnexpectedPort {
+                port,
+                service: service.to_string(),
+            });
+        } else if tls == TlsState::Plaintext {
+            findings.push(ScanFinding::PlaintextService {
+                port,
+                service: service.to_string(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant_host() -> HostExposure {
+        HostExposure::new()
+            .listen(443, "api", TlsState::Enforced)
+            .listen(8080, "api-debug", TlsState::Plaintext)
+            .listen(5432, "postgres", TlsState::Plaintext)
+    }
+
+    #[test]
+    fn clean_host_clean_scan() {
+        let host = HostExposure::new().listen(443, "api", TlsState::Enforced);
+        assert!(scan(&host, &[443]).is_empty());
+    }
+
+    #[test]
+    fn unexpected_ports_flagged() {
+        let findings = scan(&tenant_host(), &[443]);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, ScanFinding::UnexpectedPort { port: 8080, .. })));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, ScanFinding::UnexpectedPort { port: 5432, .. })));
+    }
+
+    #[test]
+    fn plaintext_expected_service_flagged() {
+        let host = HostExposure::new().listen(80, "api", TlsState::Plaintext);
+        let findings = scan(&host, &[80]);
+        assert_eq!(
+            findings,
+            vec![ScanFinding::PlaintextService {
+                port: 80,
+                service: "api".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn unexpected_port_reported_even_with_tls() {
+        let host = HostExposure::new().listen(9443, "shadow-api", TlsState::Enforced);
+        let findings = scan(&host, &[443]);
+        assert_eq!(findings.len(), 1);
+        assert!(matches!(
+            findings[0],
+            ScanFinding::UnexpectedPort { port: 9443, .. }
+        ));
+    }
+}

@@ -1,0 +1,408 @@
+//! Static Application Security Testing (mitigation **M14**) over a
+//! miniature intermediate representation.
+//!
+//! The paper runs SpotBugs/Pylint for quality and Semgrep/Bandit for
+//! security patterns ("hardcoded credentials, improper input validation,
+//! weak cryptographic functions"). This engine reproduces both analysis
+//! styles over a small IR:
+//!
+//! * **taint analysis** — forward dataflow from untrusted sources (HTTP
+//!   parameters, environment) to dangerous sinks (SQL execution, shell
+//!   execution, deserialization, HTML rendering), with sanitizer
+//!   awareness;
+//! * **pattern rules** — hardcoded credentials and weak cryptographic
+//!   primitives.
+
+use std::collections::BTreeSet;
+
+/// An expression in the IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal constant.
+    Literal(String),
+    /// A variable reference.
+    Var(String),
+    /// Concatenation (string building — how injection happens).
+    Concat(Vec<Expr>),
+}
+
+impl Expr {
+    fn vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.vars(out);
+                }
+            }
+        }
+    }
+}
+
+/// A statement in the IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var = expr`.
+    Assign {
+        /// Target variable.
+        var: String,
+        /// Source expression.
+        expr: Expr,
+    },
+    /// `var` receives untrusted input (HTTP parameter, env, file upload).
+    TaintSource {
+        /// Tainted variable.
+        var: String,
+        /// Source description.
+        source: String,
+    },
+    /// `var` passes through a sanitizer (escaping, parameterization).
+    Sanitize {
+        /// Sanitized variable.
+        var: String,
+    },
+    /// A call to a (possibly dangerous) function.
+    Call {
+        /// Callee name.
+        function: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// A function body.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Statements in order.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Functions.
+    pub functions: Vec<Function>,
+}
+
+/// One SAST finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SastFinding {
+    /// Rule id, e.g. `sql-injection`.
+    pub rule: String,
+    /// Function containing the finding.
+    pub function: String,
+    /// Human detail.
+    pub detail: String,
+}
+
+/// `(sink function, rule id)` table.
+const SINKS: &[(&str, &str)] = &[
+    ("sql_exec", "sql-injection"),
+    ("shell_exec", "command-injection"),
+    ("deserialize", "unsafe-deserialization"),
+    ("html_render", "xss"),
+];
+
+/// Weak cryptographic primitives flagged by pattern rules.
+const WEAK_CRYPTO: &[&str] = &["md5", "sha1", "des_encrypt", "rc4"];
+
+/// Substrings marking a credential-bearing variable.
+const CREDENTIAL_MARKERS: &[&str] = &["password", "secret", "api_key", "token"];
+
+/// Runs both analyses over `program`.
+pub fn analyze(program: &Program) -> Vec<SastFinding> {
+    let mut findings = Vec::new();
+    for function in &program.functions {
+        analyze_function(function, &mut findings);
+    }
+    findings
+}
+
+fn analyze_function(function: &Function, findings: &mut Vec<SastFinding>) {
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+    for stmt in &function.body {
+        match stmt {
+            Stmt::TaintSource { var, .. } => {
+                tainted.insert(var.clone());
+            }
+            Stmt::Sanitize { var } => {
+                tainted.remove(var);
+            }
+            Stmt::Assign { var, expr } => {
+                // Pattern rule: hardcoded credential.
+                if let Expr::Literal(value) = expr {
+                    let lower = var.to_lowercase();
+                    if !value.is_empty() && CREDENTIAL_MARKERS.iter().any(|m| lower.contains(m)) {
+                        findings.push(SastFinding {
+                            rule: "hardcoded-credential".into(),
+                            function: function.name.clone(),
+                            detail: format!("literal assigned to {var}"),
+                        });
+                    }
+                }
+                // Taint propagation.
+                let mut used = BTreeSet::new();
+                expr.vars(&mut used);
+                if used.iter().any(|v| tainted.contains(v)) {
+                    tainted.insert(var.clone());
+                } else {
+                    tainted.remove(var);
+                }
+            }
+            Stmt::Call {
+                function: callee,
+                args,
+            } => {
+                // Pattern rule: weak crypto.
+                if WEAK_CRYPTO.contains(&callee.as_str()) {
+                    findings.push(SastFinding {
+                        rule: "weak-crypto".into(),
+                        function: function.name.clone(),
+                        detail: format!("call to {callee}"),
+                    });
+                }
+                // Taint rule: tainted data reaching a sink.
+                if let Some((_, rule)) = SINKS.iter().find(|(s, _)| s == callee) {
+                    let mut used = BTreeSet::new();
+                    for a in args {
+                        a.vars(&mut used);
+                    }
+                    if used.iter().any(|v| tainted.contains(v)) {
+                        findings.push(SastFinding {
+                            rule: (*rule).to_string(),
+                            function: function.name.clone(),
+                            detail: format!("tainted argument reaches {callee}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A representative vulnerable tenant application, used by examples and
+/// benches: SQLi, hardcoded credential, weak hash, and a properly
+/// sanitized path that must NOT be flagged.
+pub fn vulnerable_sample() -> Program {
+    use Expr::*;
+    Program {
+        functions: vec![
+            Function {
+                name: "login".into(),
+                body: vec![
+                    Stmt::TaintSource {
+                        var: "user".into(),
+                        source: "http-param".into(),
+                    },
+                    Stmt::Assign {
+                        var: "query".into(),
+                        expr: Concat(vec![
+                            Literal("SELECT * FROM users WHERE name='".into()),
+                            Var("user".into()),
+                            Literal("'".into()),
+                        ]),
+                    },
+                    Stmt::Call {
+                        function: "sql_exec".into(),
+                        args: vec![Var("query".into())],
+                    },
+                ],
+            },
+            Function {
+                name: "config".into(),
+                body: vec![
+                    Stmt::Assign {
+                        var: "db_password".into(),
+                        expr: Literal("hunter2".into()),
+                    },
+                    Stmt::Call {
+                        function: "md5".into(),
+                        args: vec![Var("db_password".into())],
+                    },
+                ],
+            },
+            Function {
+                name: "search_safe".into(),
+                body: vec![
+                    Stmt::TaintSource {
+                        var: "q".into(),
+                        source: "http-param".into(),
+                    },
+                    Stmt::Sanitize { var: "q".into() },
+                    Stmt::Call {
+                        function: "sql_exec".into(),
+                        args: vec![Var("q".into())],
+                    },
+                ],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Expr::*;
+
+    fn rules(findings: &[SastFinding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn sample_findings() {
+        let findings = analyze(&vulnerable_sample());
+        let r = rules(&findings);
+        assert!(r.contains(&"sql-injection"));
+        assert!(r.contains(&"hardcoded-credential"));
+        assert!(r.contains(&"weak-crypto"));
+        // The sanitized path is clean: exactly one sql-injection finding.
+        assert_eq!(r.iter().filter(|x| **x == "sql-injection").count(), 1);
+    }
+
+    #[test]
+    fn taint_propagates_through_assignment_chains() {
+        let program = Program {
+            functions: vec![Function {
+                name: "f".into(),
+                body: vec![
+                    Stmt::TaintSource {
+                        var: "a".into(),
+                        source: "http".into(),
+                    },
+                    Stmt::Assign {
+                        var: "b".into(),
+                        expr: Var("a".into()),
+                    },
+                    Stmt::Assign {
+                        var: "c".into(),
+                        expr: Concat(vec![Literal("cmd ".into()), Var("b".into())]),
+                    },
+                    Stmt::Call {
+                        function: "shell_exec".into(),
+                        args: vec![Var("c".into())],
+                    },
+                ],
+            }],
+        };
+        assert_eq!(rules(&analyze(&program)), vec!["command-injection"]);
+    }
+
+    #[test]
+    fn reassignment_with_clean_value_clears_taint() {
+        let program = Program {
+            functions: vec![Function {
+                name: "f".into(),
+                body: vec![
+                    Stmt::TaintSource {
+                        var: "a".into(),
+                        source: "http".into(),
+                    },
+                    Stmt::Assign {
+                        var: "a".into(),
+                        expr: Literal("constant".into()),
+                    },
+                    Stmt::Call {
+                        function: "sql_exec".into(),
+                        args: vec![Var("a".into())],
+                    },
+                ],
+            }],
+        };
+        assert!(analyze(&program).is_empty());
+    }
+
+    #[test]
+    fn sanitizer_stops_taint() {
+        let program = Program {
+            functions: vec![Function {
+                name: "f".into(),
+                body: vec![
+                    Stmt::TaintSource {
+                        var: "x".into(),
+                        source: "http".into(),
+                    },
+                    Stmt::Sanitize { var: "x".into() },
+                    Stmt::Call {
+                        function: "html_render".into(),
+                        args: vec![Var("x".into())],
+                    },
+                ],
+            }],
+        };
+        assert!(analyze(&program).is_empty());
+    }
+
+    #[test]
+    fn untainted_sink_calls_are_clean() {
+        let program = Program {
+            functions: vec![Function {
+                name: "f".into(),
+                body: vec![Stmt::Call {
+                    function: "sql_exec".into(),
+                    args: vec![Literal("SELECT 1".into())],
+                }],
+            }],
+        };
+        assert!(analyze(&program).is_empty());
+    }
+
+    #[test]
+    fn each_sink_maps_to_its_rule() {
+        for (sink, rule) in [
+            ("sql_exec", "sql-injection"),
+            ("shell_exec", "command-injection"),
+            ("deserialize", "unsafe-deserialization"),
+            ("html_render", "xss"),
+        ] {
+            let program = Program {
+                functions: vec![Function {
+                    name: "f".into(),
+                    body: vec![
+                        Stmt::TaintSource {
+                            var: "x".into(),
+                            source: "http".into(),
+                        },
+                        Stmt::Call {
+                            function: sink.into(),
+                            args: vec![Var("x".into())],
+                        },
+                    ],
+                }],
+            };
+            assert_eq!(rules(&analyze(&program)), vec![rule], "{sink}");
+        }
+    }
+
+    #[test]
+    fn credential_markers_are_case_insensitive() {
+        let program = Program {
+            functions: vec![Function {
+                name: "f".into(),
+                body: vec![Stmt::Assign {
+                    var: "API_KEY".into(),
+                    expr: Literal("abc123".into()),
+                }],
+            }],
+        };
+        assert_eq!(rules(&analyze(&program)), vec!["hardcoded-credential"]);
+    }
+
+    #[test]
+    fn empty_literal_credentials_not_flagged() {
+        let program = Program {
+            functions: vec![Function {
+                name: "f".into(),
+                body: vec![Stmt::Assign {
+                    var: "password".into(),
+                    expr: Literal(String::new()),
+                }],
+            }],
+        };
+        assert!(analyze(&program).is_empty());
+    }
+}

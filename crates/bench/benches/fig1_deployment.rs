@@ -1,0 +1,49 @@
+//! E-F1 — reproduces **Fig. 1**: the three-layer deployment and the
+//! latency-driven placement rule, plus the cost of assembling the
+//! reference platform.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genio_bench::print_experiment_once;
+use genio_core::platform::{place_by_latency, DeploymentLayer, Platform};
+
+static PRINTED: Once = Once::new();
+
+fn print_figure() {
+    let platform = Platform::reference_deployment(7);
+    let mut body = platform.deployment_summary();
+    body.push_str("\nplacement by latency requirement:\n");
+    for ms in [500u32, 50, 10, 5, 2, 1] {
+        let placed = place_by_latency(ms)
+            .map(|l| l.name().to_string())
+            .unwrap_or_else(|| "(infeasible)".to_string());
+        body.push_str(&format!("  {ms:>4} ms -> {placed}\n"));
+    }
+    print_experiment_once(&PRINTED, "E-F1 / Fig. 1 — deployment across layers", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let mut group = c.benchmark_group("fig1_assembly");
+    group.sample_size(10); // ~1 s per assembly: hash-based key generation
+    group.bench_function("fig1/platform_assembly", |b| {
+        b.iter(|| Platform::reference_deployment(std::hint::black_box(7)))
+    });
+    group.finish();
+    c.bench_function("fig1/placement_decision", |b| {
+        b.iter(|| {
+            for ms in [500u32, 50, 10, 5, 2, 1] {
+                std::hint::black_box(place_by_latency(std::hint::black_box(ms)));
+            }
+        })
+    });
+    c.bench_function("fig1/posture_report", |b| {
+        let platform = Platform::reference_deployment(7);
+        b.iter(|| std::hint::black_box(platform.posture_report()))
+    });
+    let _ = DeploymentLayer::Edge;
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

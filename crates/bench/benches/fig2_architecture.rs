@@ -1,0 +1,27 @@
+//! E-F2 — reproduces **Fig. 2**: the GENIO software-architecture
+//! inventory, with the render path measured.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genio_bench::print_experiment_once;
+use genio_core::architecture;
+
+static PRINTED: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_experiment_once(
+        &PRINTED,
+        "E-F2 / Fig. 2 — architecture inventory",
+        &architecture::render(),
+    );
+    c.bench_function("fig2/inventory_build", |b| {
+        b.iter(|| std::hint::black_box(architecture::inventory()))
+    });
+    c.bench_function("fig2/render", |b| {
+        b.iter(|| std::hint::black_box(architecture::render()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E-F3 — reproduces **Fig. 3**: the threat × mitigation coverage matrix,
+//! with construction and audit paths measured.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genio_bench::print_experiment_once;
+use genio_core::coverage::CoverageMatrix;
+
+static PRINTED: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    let matrix = CoverageMatrix::new();
+    let mut body = matrix.render();
+    body.push_str(&format!(
+        "\nuncovered threats: {:?}\nunused mitigations: {:?}\n",
+        matrix.uncovered_threats(),
+        matrix.unused_mitigations()
+    ));
+    print_experiment_once(
+        &PRINTED,
+        "E-F3 / Fig. 3 — threat x mitigation matrix",
+        &body,
+    );
+
+    c.bench_function("fig3/matrix_build", |b| {
+        b.iter(|| std::hint::black_box(CoverageMatrix::new()))
+    });
+    c.bench_function("fig3/completeness_audit", |b| {
+        b.iter(|| {
+            let m = CoverageMatrix::new();
+            std::hint::black_box((m.uncovered_threats(), m.unused_mitigations()))
+        })
+    });
+    c.bench_function("fig3/render", |b| {
+        b.iter(|| std::hint::black_box(matrix.render()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! E-L1 — **Lesson 1**: mainstream hardening baselines only partially
+//! apply to ONL and converge to a lower score under SDN compatibility
+//! constraints.
+//!
+//! Expected shape: ONL applicability < mainstream applicability for every
+//! profile; ONL converges with waivers and residual failures; mainstream
+//! converges clean.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genio_bench::{pct, print_experiment_once};
+use genio_hardening::osstate::OsState;
+use genio_hardening::profile::all_profiles;
+use genio_hardening::remediate::{harden, olt_sdn_constraints};
+
+static PRINTED: Once = Once::new();
+
+fn print_table() {
+    let mut body = String::new();
+    body.push_str(&format!(
+        "{:<28} {:<12} {:>6} {:>6} {:>6} {:>8} {:>8}\n",
+        "profile", "os", "pass", "fail", "n/a", "applic.", "score"
+    ));
+    for (os_name, os) in [
+        ("onl", OsState::onl_factory()),
+        ("mainstream", OsState::mainstream_factory()),
+    ] {
+        for profile in all_profiles() {
+            let r = profile.scan(&os);
+            body.push_str(&format!(
+                "{:<28} {:<12} {:>6} {:>6} {:>6} {:>8} {:>8}\n",
+                profile.name,
+                os_name,
+                r.passed(),
+                r.failed(),
+                r.not_applicable(),
+                pct(r.applicability()),
+                pct(r.score())
+            ));
+        }
+    }
+    body.push_str("\niterative remediation:\n");
+    for (os_name, mut os, constraints) in [
+        (
+            "onl + sdn constraints",
+            OsState::onl_factory(),
+            olt_sdn_constraints(),
+        ),
+        ("onl unconstrained", OsState::onl_factory(), vec![]),
+        ("mainstream", OsState::mainstream_factory(), vec![]),
+    ] {
+        let outcome = harden(&mut os, &all_profiles(), &constraints);
+        body.push_str(&format!(
+            "  {:<24} iterations {:>2}  applied {:>3}  waived {:>2}  residual {:>2}  final score {}\n",
+            os_name,
+            outcome.iterations,
+            outcome.applied.len(),
+            outcome.waived.len(),
+            outcome.residual_failures(),
+            pct(outcome.mean_score())
+        ));
+    }
+    print_experiment_once(
+        &PRINTED,
+        "E-L1 / Lesson 1 — hardening baselines on ONL",
+        &body,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    c.bench_function("lesson1/scan_onl_all_profiles", |b| {
+        let os = OsState::onl_factory();
+        let profiles = all_profiles();
+        b.iter(|| {
+            for p in &profiles {
+                std::hint::black_box(p.scan(&os));
+            }
+        })
+    });
+    c.bench_function("lesson1/harden_onl_constrained", |b| {
+        b.iter(|| {
+            let mut os = OsState::onl_factory();
+            std::hint::black_box(harden(&mut os, &all_profiles(), &olt_sdn_constraints()))
+        })
+    });
+    c.bench_function("lesson1/harden_mainstream", |b| {
+        b.iter(|| {
+            let mut os = OsState::mainstream_factory();
+            std::hint::black_box(harden(&mut os, &all_profiles(), &[]))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! E-L2 — **Lesson 2**: encryption's engineering and computational cost.
+//!
+//! Expected shape: MACsec/GEM protection is measurably slower than the
+//! plaintext path but stays within the same order of magnitude; the
+//! mutual-auth handshake dominates per-session cost; certificate
+//! management grows linearly with the fleet. Includes the replay-window
+//! ablation called out in DESIGN.md.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genio_bench::print_experiment_once;
+use genio_netsec::macsec::{MacsecConfig, MacsecPeer};
+use genio_netsec::onboarding::{onboard_with_ledger, DeviceClass, Enrollment};
+use genio_pon::security::GemCrypto;
+
+static PRINTED: Once = Once::new();
+
+fn print_table() {
+    // Certificate-management ledger across a small fleet (the Lesson 2
+    // operational cost).
+    let mut enrollment = Enrollment::new(b"bench-fleet", (0, 1_000_000), 7).unwrap();
+    let mut olt = enrollment
+        .enroll("olt-1", DeviceClass::Olt, b"olt")
+        .unwrap();
+    let mut devices = Vec::new();
+    for i in 0..8 {
+        devices.push(
+            enrollment
+                .enroll(
+                    &format!("onu-{i}"),
+                    DeviceClass::Onu,
+                    format!("k{i}").as_bytes(),
+                )
+                .unwrap(),
+        );
+    }
+    for (i, onu) in devices.iter_mut().enumerate() {
+        onboard_with_ledger(
+            &mut enrollment,
+            onu,
+            &mut olt,
+            10,
+            format!("s{i}").as_bytes(),
+        )
+        .unwrap();
+    }
+    let l = enrollment.ledger;
+    let body = format!(
+        "certificate operations for 1 OLT + 8 ONUs, one onboarding each:\n\
+         issued {}  chains validated {}  signatures {}  total {}\n\n\
+         (throughput numbers follow in the criterion output; compare\n\
+         macsec/protect vs plaintext/copy for the data-plane overhead)",
+        l.issued,
+        l.chains_validated,
+        l.signatures,
+        l.total()
+    );
+    print_experiment_once(
+        &PRINTED,
+        "E-L2 / Lesson 2 — cost of encryption and authentication",
+        &body,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    const FRAME: usize = 1500;
+    let payload = vec![0xabu8; FRAME];
+
+    // Plaintext baseline: what the link does without M3.
+    let mut group = c.benchmark_group("lesson2/dataplane");
+    group.throughput(Throughput::Bytes(FRAME as u64));
+    group.bench_function("plaintext_copy", |b| {
+        b.iter(|| std::hint::black_box(payload.clone()))
+    });
+    group.bench_function("macsec_protect", |b| {
+        let cfg = MacsecConfig::default();
+        let mut peer = MacsecPeer::new(1, &cfg, b"cak").unwrap();
+        b.iter(|| std::hint::black_box(peer.protect(&payload).unwrap()))
+    });
+    group.bench_function("macsec_roundtrip", |b| {
+        let cfg = MacsecConfig::default();
+        let mut tx = MacsecPeer::new(1, &cfg, b"cak").unwrap();
+        let mut rx = MacsecPeer::new(2, &cfg, b"cak").unwrap();
+        b.iter(|| {
+            let f = tx.protect(&payload).unwrap();
+            std::hint::black_box(rx.validate(&f).unwrap())
+        })
+    });
+    group.bench_function("gem_encrypt", |b| {
+        let mut gem = GemCrypto::new(b"tree");
+        gem.establish_key(1, 1);
+        b.iter(|| std::hint::black_box(gem.encrypt_downstream(1, 1, &payload).unwrap()))
+    });
+    group.finish();
+
+    // Ablation: replay-window size (64 vs 0 vs 1024) on the validate path.
+    let mut group = c.benchmark_group("lesson2/replay_window_ablation");
+    for window in [0u64, 64, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            let cfg = MacsecConfig {
+                replay_window: w,
+                pn_limit: u32::MAX as u64,
+            };
+            let mut tx = MacsecPeer::new(1, &cfg, b"cak").unwrap();
+            let mut rx = MacsecPeer::new(2, &cfg, b"cak").unwrap();
+            b.iter(|| {
+                let f = tx.protect(&payload).unwrap();
+                std::hint::black_box(rx.validate(&f).unwrap())
+            })
+        });
+    }
+    group.finish();
+
+    // Per-session control-plane cost: enrolment plus one full mutual-auth
+    // onboarding. A fresh enrolment per iteration keeps the hash-based
+    // signing keys from exhausting and matches the real per-device flow.
+    let mut group = c.benchmark_group("lesson2/control_plane");
+    group.sample_size(20);
+    group.bench_function("enroll_and_onboard", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut enrollment = Enrollment::new(&i.to_be_bytes(), (0, 1_000_000), 4).unwrap();
+            let mut onu = enrollment.enroll("onu", DeviceClass::Onu, b"onu").unwrap();
+            let mut olt = enrollment.enroll("olt", DeviceClass::Olt, b"olt").unwrap();
+            std::hint::black_box(
+                onboard_with_ledger(&mut enrollment, &mut onu, &mut olt, 10, &i.to_be_bytes())
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! E-L3 — **Lesson 3**: obstacles deploying integrity protections.
+//!
+//! Two measurements:
+//! * the Clevis dependency gap — on ONL nodes the TPM auto-unlock path is
+//!   unavailable and boot needs a human passphrase;
+//! * FIM policy granularity — a naive everything-is-critical policy raises
+//!   false alerts on benign churn that the classified policy suppresses,
+//!   while both catch real tampering. Includes the policy-granularity
+//!   ablation from DESIGN.md.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genio_bench::print_experiment_once;
+use genio_fim::fs::SimulatedFs;
+use genio_fim::monitor::FimMonitor;
+use genio_fim::policy::{FimPolicy, PathClass};
+use genio_secureboot::luks::{LuksVolume, PlatformSupport, UnlockMethod};
+use genio_secureboot::tpm::Tpm;
+
+static PRINTED: Once = Once::new();
+
+/// Benign operational churn plus one real attack, applied to a fresh image.
+fn churn_and_attack(fs: &mut SimulatedFs) {
+    for i in 0..20 {
+        fs.append("/var/log/syslog", format!("log line {i}\n").as_bytes());
+        fs.append(
+            "/var/log/voltha.log",
+            format!("adapter event {i}\n").as_bytes(),
+        );
+    }
+    fs.write("/var/lib/onos/flows.db", b"flow table v2", 0o640, "onos");
+    // The attack.
+    fs.write("/usr/bin/su", b"su (backdoored)", 0o4755, "root");
+}
+
+fn policies() -> Vec<(&'static str, FimPolicy)> {
+    vec![
+        ("naive (all critical)", FimPolicy::naive()),
+        (
+            "directory-level",
+            FimPolicy::naive()
+                .rule("/var", PathClass::Mutable)
+                .rule("/tmp", PathClass::Ignored),
+        ),
+        ("genio classified", FimPolicy::genio_default()),
+    ]
+}
+
+fn print_table() {
+    let mut body = String::new();
+    body.push_str("fim policy granularity ablation (benign churn + 1 real attack):\n");
+    body.push_str(&format!(
+        "  {:<24} {:>8} {:>16} {:>14}\n",
+        "policy", "alerts", "false positives", "attack caught"
+    ));
+    for (name, policy) in policies() {
+        let mut fs = SimulatedFs::olt_image();
+        let monitor = FimMonitor::baseline(&fs, &policy, b"key");
+        churn_and_attack(&mut fs);
+        let result = monitor.scan(&fs);
+        let attack_caught = result.alerts.iter().any(|a| a.path == "/usr/bin/su");
+        let false_positives = result
+            .alerts
+            .iter()
+            .filter(|a| a.path != "/usr/bin/su")
+            .count();
+        body.push_str(&format!(
+            "  {:<24} {:>8} {:>16} {:>14}\n",
+            name,
+            result.alerts.len(),
+            false_positives,
+            attack_caught
+        ));
+    }
+
+    body.push_str("\nboot unlock across a 10-node fleet (7 ONL, 3 modern):\n");
+    let mut manual = 0;
+    let mut automatic = 0;
+    for node in 0..10 {
+        let mut tpm = Tpm::new(format!("n{node}").as_bytes());
+        tpm.extend(8, b"kernel");
+        let support = if node < 7 {
+            PlatformSupport {
+                clevis_available: false,
+            }
+        } else {
+            PlatformSupport::default()
+        };
+        let mut vol = LuksVolume::format(format!("v{node}").as_bytes());
+        if vol
+            .add_tpm_slot("clevis", &mut tpm, &[8], &support)
+            .is_err()
+        {
+            vol.add_passphrase_slot("manual", "pw").unwrap();
+        }
+        vol.lock();
+        match vol.boot_unlock(&tpm, &support, Some("pw")).unwrap() {
+            UnlockMethod::TpmAutomatic => automatic += 1,
+            UnlockMethod::ManualPassphrase => manual += 1,
+        }
+    }
+    body.push_str(&format!(
+        "  tpm-automatic {automatic}  manual-passphrase {manual}  (manual is impractical in-field)\n"
+    ));
+    print_experiment_once(
+        &PRINTED,
+        "E-L3 / Lesson 3 — integrity-protection obstacles",
+        &body,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    for (name, policy) in policies() {
+        let fs = SimulatedFs::olt_image();
+        let monitor = FimMonitor::baseline(&fs, &policy, b"key");
+        let mut churned = fs.clone();
+        churn_and_attack(&mut churned);
+        let id = name.split(' ').next().unwrap_or(name);
+        c.bench_function(&format!("lesson3/fim_scan_{id}"), |b| {
+            b.iter(|| std::hint::black_box(monitor.scan(&churned)))
+        });
+    }
+    c.bench_function("lesson3/tpm_unlock", |b| {
+        let mut tpm = Tpm::new(b"n");
+        tpm.extend(8, b"kernel");
+        let support = PlatformSupport::default();
+        let mut vol = LuksVolume::format(b"v");
+        vol.add_tpm_slot("clevis", &mut tpm, &[8], &support)
+            .unwrap();
+        b.iter(|| {
+            vol.lock();
+            vol.unlock_with_tpm(&tpm).unwrap();
+            std::hint::black_box(())
+        })
+    });
+    c.bench_function("lesson3/passphrase_unlock", |b| {
+        let mut vol = LuksVolume::format(b"v");
+        vol.add_passphrase_slot("manual", "pw").unwrap();
+        b.iter(|| {
+            vol.lock();
+            vol.unlock_with_passphrase("pw").unwrap();
+            std::hint::black_box(())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! E-L5 — **Lesson 5**: SDN-management roles are easy to scope;
+//! orchestrator roles are not; and no single misconfiguration checker
+//! covers the risk catalogue.
+//!
+//! Expected shape: SDN role surface ≪ scoped orchestrator role ≪ wildcard
+//! admin; per-tool coverage < union coverage; the wildcard-vs-enumerated
+//! ablation shows the over-privilege gap. Includes the RBAC-wildcard
+//! ablation from DESIGN.md.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genio_bench::{pct, print_experiment_once};
+use genio_orchestrator::checkers::{coverage, genio_tool_suite, ClusterConfig};
+use genio_orchestrator::rbac::{
+    orchestrator_admin_role, orchestrator_scoped_role, sdn_management_role, Authorizer, RoleBinding,
+};
+use genio_orchestrator::workload::{Capability, PodSpec};
+
+static PRINTED: Once = Once::new();
+
+const DEPLOY_WORKFLOW: &[(&str, &str)] = &[
+    ("create", "deployments"),
+    ("update", "deployments"),
+    ("get", "pods"),
+    ("list", "pods"),
+    ("create", "services"),
+    ("get", "configmaps"),
+];
+
+fn print_table() {
+    let mut body = String::new();
+    body.push_str("permission surface and over-privilege on the deploy workflow:\n");
+    body.push_str(&format!(
+        "  {:<26} {:>9} {:>7} {:>14}\n",
+        "role", "surface", "used", "over-privilege"
+    ));
+    for role in [
+        sdn_management_role(),
+        orchestrator_scoped_role(),
+        orchestrator_admin_role(),
+    ] {
+        let surface = role.permission_surface();
+        let mut authz = Authorizer::new();
+        let role_name = role.name.clone();
+        authz.add_role(role);
+        authz.bind(RoleBinding::new("svc", &role_name, Some("tenant-a")));
+        for (verb, resource) in DEPLOY_WORKFLOW {
+            authz.check_and_record("svc", verb, resource, Some("tenant-a"));
+        }
+        let over = authz.over_privilege("svc").unwrap_or(0.0);
+        body.push_str(&format!(
+            "  {:<26} {:>9} {:>7} {:>14}\n",
+            role_name,
+            surface,
+            authz.used_surface("svc"),
+            pct(over)
+        ));
+    }
+
+    body.push_str("\nmisconfiguration checker coverage on insecure defaults:\n");
+    let mut risky = PodSpec::new("p", "t", "img");
+    risky.containers[0]
+        .capabilities
+        .push(Capability::CAP_SYS_ADMIN);
+    risky.containers[0].resources.limits_set = false;
+    let pods = vec![risky];
+    let report = coverage(
+        &genio_tool_suite(),
+        &ClusterConfig::insecure_defaults(),
+        &pods,
+    );
+    for (tool, found) in &report.per_tool {
+        body.push_str(&format!("  {:<14} {:>3}/{}\n", tool, found, report.total));
+    }
+    body.push_str(&format!(
+        "  {:<14} {:>3}/{}  (blind spots: {:?})\n",
+        "UNION", report.union, report.total, report.blind_spots
+    ));
+    print_experiment_once(
+        &PRINTED,
+        "E-L5 / Lesson 5 — RBAC scoping and checker coverage",
+        &body,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    c.bench_function("lesson5/authorize_scoped", |b| {
+        let mut authz = Authorizer::new();
+        authz.add_role(orchestrator_scoped_role());
+        authz.bind(RoleBinding::new(
+            "svc",
+            "orchestrator-deployer",
+            Some("tenant-a"),
+        ));
+        b.iter(|| {
+            for (verb, resource) in DEPLOY_WORKFLOW {
+                std::hint::black_box(authz.allowed("svc", verb, resource, Some("tenant-a")));
+            }
+        })
+    });
+    c.bench_function("lesson5/authorize_wildcard", |b| {
+        let mut authz = Authorizer::new();
+        authz.add_role(orchestrator_admin_role());
+        authz.bind(RoleBinding::new("svc", "orchestrator-admin", None));
+        b.iter(|| {
+            for (verb, resource) in DEPLOY_WORKFLOW {
+                std::hint::black_box(authz.allowed("svc", verb, resource, Some("tenant-a")));
+            }
+        })
+    });
+    c.bench_function("lesson5/checker_suite", |b| {
+        let config = ClusterConfig::insecure_defaults();
+        let pods = vec![PodSpec::new("p", "t", "img")];
+        let suite = genio_tool_suite();
+        b.iter(|| std::hint::black_box(coverage(&suite, &config, &pods)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E-L6 — **Lesson 6**: middleware vulnerability tracking is reactive and
+//! fragmented.
+//!
+//! Expected shape: structured feeds yield day-scale awareness; blog/web
+//! channels add days; stale channels fall back to the NVD; KBOM
+//! exact-version matching removes the false positives of name-only
+//! matching at full recall.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genio_bench::{pct, print_experiment_once};
+use genio_vulnmgmt::cve::reference_corpus;
+use genio_vulnmgmt::feed::TrackingPipeline;
+use genio_vulnmgmt::kbom::{precision_recall, Kbom};
+use genio_vulnmgmt::patching::{schedule, window_stats, PatchPolicy};
+
+static PRINTED: Once = Once::new();
+
+fn print_table() {
+    let db = reference_corpus();
+    let pipeline = TrackingPipeline::genio_default();
+    let policy = PatchPolicy::default();
+    let mut body = String::new();
+
+    body.push_str(&format!(
+        "{:<16} {:<30} {:>10} {:>8} {:>8} {:>8}\n",
+        "cve", "channel", "published", "aware", "patched", "window"
+    ));
+    let mut timelines = Vec::new();
+    for cve in db.iter() {
+        let t = schedule(cve, &pipeline, &policy);
+        body.push_str(&format!(
+            "{:<16} {:<30} {:>10} {:>8} {:>8} {:>8}\n",
+            t.cve_id,
+            t.channel,
+            t.published_day,
+            t.awareness_day,
+            t.patched_day,
+            t.attack_window()
+        ));
+        timelines.push(t);
+    }
+    let stats = window_stats(&timelines).unwrap();
+    body.push_str(&format!(
+        "\nmean window {:.1} days, max {}, mean awareness delay {:.1} days\n",
+        stats.mean, stats.max, stats.mean_awareness_delay
+    ));
+
+    let kbom = Kbom::genio_edge_cluster();
+    let exact = kbom.match_exact(&db);
+    let naive = kbom.match_name_only(&db);
+    let pr = precision_recall(&naive, &exact);
+    body.push_str(&format!(
+        "\nkbom: name-only matching {} pairs (precision {}), exact matching {} pairs \
+         (recall {})\n",
+        naive.len(),
+        pct(pr.precision),
+        exact.len(),
+        pct(pr.recall)
+    ));
+    print_experiment_once(
+        &PRINTED,
+        "E-L6 / Lesson 6 — fragmented vulnerability tracking",
+        &body,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let db = reference_corpus();
+    let pipeline = TrackingPipeline::genio_default();
+    let policy = PatchPolicy::default();
+    c.bench_function("lesson6/schedule_corpus", |b| {
+        b.iter(|| {
+            db.iter()
+                .map(|cve| schedule(cve, &pipeline, &policy))
+                .collect::<Vec<_>>()
+        })
+    });
+    c.bench_function("lesson6/kbom_exact_match", |b| {
+        let kbom = Kbom::genio_edge_cluster();
+        b.iter(|| std::hint::black_box(kbom.match_exact(&db)))
+    });
+    c.bench_function("lesson6/kbom_name_only_match", |b| {
+        let kbom = Kbom::genio_edge_cluster();
+        b.iter(|| std::hint::black_box(kbom.match_name_only(&db)))
+    });
+    c.bench_function("lesson6/awareness_lookup", |b| {
+        let cve = db.get("CVE-2025-0103").unwrap();
+        b.iter(|| std::hint::black_box(pipeline.awareness(cve)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

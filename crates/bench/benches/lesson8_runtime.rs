@@ -1,0 +1,158 @@
+//! E-L8 — **Lesson 8**: runtime-security tools are effective but need
+//! tuning, and overhead must stay bounded.
+//!
+//! Expected shape: strictness trades false positives against false
+//! negatives monotonically across the three rule tiers; per-event
+//! evaluation cost stays in the microsecond range and grows with rule
+//! count; LSM enforcement blocks the attack behaviours; PEACH separates
+//! hard- from soft-isolation tenants. Includes the rule-strictness
+//! ablation from DESIGN.md.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genio_bench::{pct, print_experiment_once};
+use genio_runtime::abuse::{interval, AbuseConfig, AbuseDetector};
+use genio_runtime::correlate::{compression, correlate};
+use genio_runtime::events::{attack_burst, benign_workload, mixed_trace};
+use genio_runtime::falco::{score, Engine, RuleSetTier};
+use genio_runtime::lsm::{enforce_trace, LsmPolicy, Mode};
+use genio_runtime::peach::{hardened_review, unhardened_review, InterfaceComplexity};
+
+static PRINTED: Once = Once::new();
+
+fn print_table() {
+    let trace = mixed_trace("tenant-a", 2_000, 5);
+    let mut body = String::new();
+    body.push_str("falco-like detection vs rule strictness (2000 benign + 35 attack events):\n");
+    body.push_str(&format!(
+        "  {:<10} {:>6} {:>4} {:>4} {:>4} {:>10} {:>8}\n",
+        "tier", "rules", "tp", "fp", "fn", "precision", "recall"
+    ));
+    for tier in [
+        RuleSetTier::Lenient,
+        RuleSetTier::Default,
+        RuleSetTier::Paranoid,
+    ] {
+        let engine = Engine::with_tier(tier).unwrap();
+        let s = score(&engine, &trace);
+        body.push_str(&format!(
+            "  {:<10} {:>6} {:>4} {:>4} {:>4} {:>10} {:>8}\n",
+            format!("{tier:?}"),
+            engine.rule_count(),
+            s.true_positives,
+            s.false_positives,
+            s.false_negatives,
+            pct(s.precision()),
+            pct(s.recall())
+        ));
+    }
+
+    let policy = LsmPolicy::tenant_default("tenant-a", Mode::Enforce);
+    let (_, _, blocked) = enforce_trace(&policy, &attack_burst("tenant-a", 0));
+    let (allowed, audited, benign_blocked) =
+        enforce_trace(&policy, &benign_workload("tenant-a", 500));
+    body.push_str(&format!(
+        "\nlsm enforcement: attack burst {blocked}/7 blocked; benign load \
+         {allowed} allowed / {audited} audited / {benign_blocked} blocked\n"
+    ));
+
+    let mut detector = AbuseDetector::new(AbuseConfig::default());
+    let mut flagged = 0;
+    for _ in 0..6 {
+        flagged += detector
+            .ingest(interval(&[
+                ("miner", 900.0, 64.0, 10.0),
+                ("a", 100.0, 64.0, 10.0),
+            ]))
+            .len();
+    }
+    body.push_str(&format!(
+        "abuse detector: sustained monopolization flagged {flagged} time(s)\n"
+    ));
+
+    // Alert correlation: the fatigue countermeasure.
+    let paranoid = Engine::with_tier(RuleSetTier::Paranoid).unwrap();
+    let alerts = paranoid.process_all(&trace);
+    let incidents = correlate(&alerts, 5_000);
+    body.push_str(&format!(
+        "\nalert correlation (paranoid tier): {} alerts -> {} incidents \
+         (compression {:.1}x)\n",
+        alerts.len(),
+        incidents.len(),
+        compression(alerts.len(), incidents.len())
+    ));
+
+    body.push_str("\npeach isolation margins:\n");
+    for (label, review) in [
+        (
+            "hardened / high-complexity",
+            hardened_review("t", InterfaceComplexity::High),
+        ),
+        (
+            "unhardened / high-complexity",
+            unhardened_review("t", InterfaceComplexity::High),
+        ),
+        (
+            "unhardened / low-complexity",
+            unhardened_review("t", InterfaceComplexity::Low),
+        ),
+    ] {
+        body.push_str(&format!(
+            "  {:<30} margin {:>3} -> {:?}\n",
+            label,
+            review.margin(),
+            review.recommend()
+        ));
+    }
+    print_experiment_once(
+        &PRINTED,
+        "E-L8 / Lesson 8 — runtime security tuning and overhead",
+        &body,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let trace = mixed_trace("tenant-a", 2_000, 5);
+
+    // Per-event overhead by tier (the Lesson 8 "overheads within
+    // acceptable bounds" measurement).
+    let mut group = c.benchmark_group("lesson8/falco_per_event");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for tier in [
+        RuleSetTier::Lenient,
+        RuleSetTier::Default,
+        RuleSetTier::Paranoid,
+    ] {
+        let engine = Engine::with_tier(tier).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{tier:?}")),
+            &engine,
+            |b, e| b.iter(|| std::hint::black_box(e.process_all(&trace))),
+        );
+    }
+    group.finish();
+
+    c.bench_function("lesson8/lsm_enforce_trace", |b| {
+        let policy = LsmPolicy::tenant_default("tenant-a", Mode::Enforce);
+        b.iter(|| std::hint::black_box(enforce_trace(&policy, &trace)))
+    });
+    c.bench_function("lesson8/alert_correlation", |b| {
+        let engine = Engine::with_tier(RuleSetTier::Paranoid).unwrap();
+        let alerts = engine.process_all(&trace);
+        b.iter(|| std::hint::black_box(correlate(&alerts, 5_000)))
+    });
+    c.bench_function("lesson8/abuse_ingest", |b| {
+        let mut detector = AbuseDetector::new(AbuseConfig::default());
+        let sample = interval(&[
+            ("a", 100.0, 64.0, 10.0),
+            ("b", 200.0, 64.0, 10.0),
+            ("c", 300.0, 64.0, 10.0),
+        ]);
+        b.iter(|| std::hint::black_box(detector.ingest(sample.clone())))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

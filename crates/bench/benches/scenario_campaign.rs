@@ -1,0 +1,25 @@
+//! E-S1 — the §III threat model end-to-end: the eight-attack campaign with
+//! mitigations off vs on, and its execution cost.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genio_bench::print_experiment_once;
+use genio_core::scenario::{run_campaign, CampaignConfig};
+
+static PRINTED: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    let report = run_campaign(&CampaignConfig::default());
+    print_experiment_once(&PRINTED, "E-S1 — attack campaign matrix", &report.render());
+
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(10);
+    group.bench_function("full_campaign", |b| {
+        b.iter(|| std::hint::black_box(run_campaign(&CampaignConfig::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! The software-stack inventory of the paper's **Fig. 2**: which
+//! components run where, and which simulation module stands in for each.
+
+use crate::threat_model::Layer;
+
+/// Role of a component in the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentRole {
+    /// Hardware or hardware abstraction.
+    Hardware,
+    /// Operating system / kernel.
+    OperatingSystem,
+    /// Software-defined networking.
+    Sdn,
+    /// Virtualization / orchestration.
+    Orchestration,
+    /// Security tooling.
+    Security,
+    /// Tenant workload.
+    Workload,
+}
+
+/// One component of the GENIO stack.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Component name as in the paper.
+    pub name: &'static str,
+    /// Role.
+    pub role: ComponentRole,
+    /// Layer it deploys on.
+    pub layer: Layer,
+    /// Simulation module standing in for it (None = context only).
+    pub simulated_by: Option<&'static str>,
+}
+
+/// The full Fig. 2 inventory.
+pub fn inventory() -> Vec<Component> {
+    use ComponentRole::*;
+    use Layer::*;
+    vec![
+        Component {
+            name: "ONU (far-edge compute)",
+            role: Hardware,
+            layer: Infrastructure,
+            simulated_by: Some("genio_pon::topology"),
+        },
+        Component {
+            name: "OLT (x86 COTS)",
+            role: Hardware,
+            layer: Infrastructure,
+            simulated_by: Some("genio_pon::topology"),
+        },
+        Component {
+            name: "PON optical distribution network",
+            role: Hardware,
+            layer: Infrastructure,
+            simulated_by: Some("genio_pon"),
+        },
+        Component {
+            name: "Open Networking Linux (ONL)",
+            role: OperatingSystem,
+            layer: Infrastructure,
+            simulated_by: Some("genio_hardening::osstate"),
+        },
+        Component {
+            name: "Linux/KVM hypervisor",
+            role: Orchestration,
+            layer: Infrastructure,
+            simulated_by: Some("genio_orchestrator::cluster"),
+        },
+        Component {
+            name: "ONOS",
+            role: Sdn,
+            layer: Middleware,
+            simulated_by: Some("genio_orchestrator::rbac::sdn_management_role"),
+        },
+        Component {
+            name: "VOLTHA",
+            role: Sdn,
+            layer: Middleware,
+            simulated_by: Some("genio_pon::activation"),
+        },
+        Component {
+            name: "ONIE",
+            role: OperatingSystem,
+            layer: Infrastructure,
+            simulated_by: Some("genio_supplychain::image"),
+        },
+        Component {
+            name: "Kubernetes",
+            role: Orchestration,
+            layer: Middleware,
+            simulated_by: Some("genio_orchestrator"),
+        },
+        Component {
+            name: "Proxmox",
+            role: Orchestration,
+            layer: Middleware,
+            simulated_by: Some("genio_orchestrator::cluster"),
+        },
+        Component {
+            name: "TPM 2.0 + Secure Boot chain",
+            role: Security,
+            layer: Infrastructure,
+            simulated_by: Some("genio_secureboot"),
+        },
+        Component {
+            name: "Tripwire FIM",
+            role: Security,
+            layer: Infrastructure,
+            simulated_by: Some("genio_fim"),
+        },
+        Component {
+            name: "Falco + KubeArmor",
+            role: Security,
+            layer: Application,
+            simulated_by: Some("genio_runtime"),
+        },
+        Component {
+            name: "Trivy / Semgrep / CATS / YaraHunter",
+            role: Security,
+            layer: Application,
+            simulated_by: Some("genio_appsec"),
+        },
+        Component {
+            name: "Tenant edge applications",
+            role: Workload,
+            layer: Application,
+            simulated_by: Some("genio_appsec::dast::VulnerableTenantApp"),
+        },
+    ]
+}
+
+/// Renders the inventory grouped by layer (the Fig. 2 reproduction).
+pub fn render() -> String {
+    let mut out = String::new();
+    for layer in [Layer::Infrastructure, Layer::Middleware, Layer::Application] {
+        out.push_str(&format!("[{layer}]\n"));
+        for c in inventory().iter().filter(|c| c.layer == layer) {
+            let sim = c.simulated_by.unwrap_or("(context)");
+            out.push_str(&format!(
+                "  {:<40} {:<16} -> {}\n",
+                c.name,
+                format!("{:?}", c.role),
+                sim
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_covers_all_layers_and_roles() {
+        let inv = inventory();
+        for layer in [Layer::Infrastructure, Layer::Middleware, Layer::Application] {
+            assert!(inv.iter().any(|c| c.layer == layer), "{layer}");
+        }
+        for role in [
+            ComponentRole::Hardware,
+            ComponentRole::OperatingSystem,
+            ComponentRole::Sdn,
+            ComponentRole::Orchestration,
+            ComponentRole::Security,
+            ComponentRole::Workload,
+        ] {
+            assert!(inv.iter().any(|c| c.role == role), "{role:?}");
+        }
+    }
+
+    #[test]
+    fn paper_components_present() {
+        let names: Vec<&str> = inventory().iter().map(|c| c.name).collect();
+        for expected in [
+            "ONOS",
+            "VOLTHA",
+            "Kubernetes",
+            "Proxmox",
+            "Open Networking Linux (ONL)",
+        ] {
+            assert!(names.iter().any(|n| n.contains(expected)), "{expected}");
+        }
+    }
+
+    #[test]
+    fn every_component_is_simulated() {
+        for c in inventory() {
+            assert!(
+                c.simulated_by.is_some(),
+                "{} lacks a simulation module",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_layers() {
+        let s = render();
+        assert!(s.contains("[infrastructure]"));
+        assert!(s.contains("[middleware]"));
+        assert!(s.contains("[application]"));
+    }
+}

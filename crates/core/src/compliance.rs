@@ -1,0 +1,258 @@
+//! Regulatory alignment: the paper's stated objective of conforming to the
+//! European **Cyber Resilience Act** and **CE marking** certification.
+//!
+//! "One of the main objectives of the GENIO project is to align the
+//! platform with security regulations … This objective shaped the platform
+//! by guiding threat mitigations." This module makes that traceable: each
+//! CRA-style essential requirement maps to the mitigations that evidence
+//! it, and a compliance report is computed from the platform's enabled
+//! mitigation set.
+
+use crate::platform::MitigationSet;
+use crate::threat_model::MitigationId;
+
+/// One essential requirement, phrased after CRA Annex I part I/II themes.
+#[derive(Debug, Clone)]
+pub struct Requirement {
+    /// Stable identifier, e.g. `cra-secure-by-default`.
+    pub id: &'static str,
+    /// Requirement text (paraphrased).
+    pub text: &'static str,
+    /// Mitigations that evidence the requirement. The requirement is
+    /// satisfied when **all** of them are enabled.
+    pub evidenced_by: Vec<MitigationId>,
+}
+
+/// The requirement catalogue GENIO tracks.
+pub fn requirements() -> Vec<Requirement> {
+    use MitigationId::*;
+    vec![
+        Requirement {
+            id: "cra-secure-by-default",
+            text: "products are made available with a secure by default configuration",
+            evidenced_by: vec![M1, M2, M11],
+        },
+        Requirement {
+            id: "cra-protect-confidentiality",
+            text: "protect the confidentiality of stored, transmitted or processed data",
+            evidenced_by: vec![M3, M6],
+        },
+        Requirement {
+            id: "cra-protect-integrity",
+            text: "protect the integrity of data, commands, programs and configuration",
+            evidenced_by: vec![M5, M7, M9],
+        },
+        Requirement {
+            id: "cra-access-control",
+            text: "ensure protection from unauthorised access by appropriate control mechanisms",
+            evidenced_by: vec![M4, M10],
+        },
+        Requirement {
+            id: "cra-minimise-attack-surface",
+            text: "limit attack surfaces, including external interfaces",
+            evidenced_by: vec![M1, M15],
+        },
+        Requirement {
+            id: "cra-vulnerability-handling",
+            text: "identify and document vulnerabilities, and address them without delay",
+            evidenced_by: vec![M8, M12, M13],
+        },
+        Requirement {
+            id: "cra-secure-updates",
+            text: "ensure vulnerabilities can be addressed through security updates with integrity protection",
+            evidenced_by: vec![M9],
+        },
+        Requirement {
+            id: "cra-resilience-and-monitoring",
+            text: "minimise the impact of incidents and provide security-related monitoring",
+            evidenced_by: vec![M16, M17, M18],
+        },
+        Requirement {
+            id: "cra-testing",
+            text: "apply effective and regular tests and reviews of product security",
+            evidenced_by: vec![M13, M14, M15],
+        },
+    ]
+}
+
+/// State of one requirement in a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequirementState {
+    /// All evidencing mitigations enabled.
+    Satisfied,
+    /// Some evidence present; carries the missing mitigations.
+    Partial(Vec<MitigationId>),
+    /// No evidencing mitigation enabled.
+    Unsatisfied,
+}
+
+/// One assessed requirement.
+#[derive(Debug, Clone)]
+pub struct AssessedRequirement {
+    /// The requirement.
+    pub requirement: Requirement,
+    /// Its state under the assessed mitigation set.
+    pub state: RequirementState,
+}
+
+/// A compliance report over the catalogue.
+#[derive(Debug, Clone)]
+pub struct ComplianceReport {
+    /// Per-requirement outcomes.
+    pub assessed: Vec<AssessedRequirement>,
+}
+
+impl ComplianceReport {
+    /// Number of satisfied requirements.
+    pub fn satisfied(&self) -> usize {
+        self.assessed
+            .iter()
+            .filter(|a| a.state == RequirementState::Satisfied)
+            .count()
+    }
+
+    /// True when every requirement is satisfied.
+    pub fn conformant(&self) -> bool {
+        self.satisfied() == self.assessed.len()
+    }
+
+    /// Requirements not (fully) satisfied.
+    pub fn gaps(&self) -> Vec<&AssessedRequirement> {
+        self.assessed
+            .iter()
+            .filter(|a| a.state != RequirementState::Satisfied)
+            .collect()
+    }
+
+    /// Renders a human-readable conformity summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "CRA conformity: {}/{} requirements satisfied\n",
+            self.satisfied(),
+            self.assessed.len()
+        ));
+        for a in &self.assessed {
+            let mark = match &a.state {
+                RequirementState::Satisfied => "ok  ".to_string(),
+                RequirementState::Partial(missing) => format!(
+                    "PART (missing {})",
+                    missing
+                        .iter()
+                        .map(|m| m.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+                RequirementState::Unsatisfied => "MISS".to_string(),
+            };
+            out.push_str(&format!(
+                "  [{mark}] {:<30} {}\n",
+                a.requirement.id, a.requirement.text
+            ));
+        }
+        out
+    }
+}
+
+/// Assesses the catalogue against an enabled mitigation set.
+pub fn assess(mitigations: &MitigationSet) -> ComplianceReport {
+    let assessed = requirements()
+        .into_iter()
+        .map(|requirement| {
+            let missing: Vec<MitigationId> = requirement
+                .evidenced_by
+                .iter()
+                .filter(|m| !mitigations.is_enabled(**m))
+                .copied()
+                .collect();
+            let state = if missing.is_empty() {
+                RequirementState::Satisfied
+            } else if missing.len() == requirement.evidenced_by.len() {
+                RequirementState::Unsatisfied
+            } else {
+                RequirementState::Partial(missing)
+            };
+            AssessedRequirement { requirement, state }
+        })
+        .collect();
+    ComplianceReport { assessed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::MitigationSet;
+
+    #[test]
+    fn full_mitigation_set_is_conformant() {
+        let report = assess(&MitigationSet::all());
+        assert!(report.conformant(), "{:?}", report.gaps().len());
+        assert_eq!(report.satisfied(), requirements().len());
+    }
+
+    #[test]
+    fn empty_set_satisfies_nothing() {
+        let report = assess(&MitigationSet::none());
+        assert_eq!(report.satisfied(), 0);
+        assert!(report
+            .assessed
+            .iter()
+            .all(|a| a.state == RequirementState::Unsatisfied));
+    }
+
+    #[test]
+    fn removing_m9_breaks_update_and_integrity_requirements() {
+        let set = MitigationSet::all().without(MitigationId::M9);
+        let report = assess(&set);
+        assert!(!report.conformant());
+        let gap_ids: Vec<&str> = report.gaps().iter().map(|g| g.requirement.id).collect();
+        assert!(gap_ids.contains(&"cra-secure-updates"));
+        assert!(gap_ids.contains(&"cra-protect-integrity"));
+        // M9 alone gates cra-secure-updates → Unsatisfied there.
+        let updates = report
+            .assessed
+            .iter()
+            .find(|a| a.requirement.id == "cra-secure-updates")
+            .unwrap();
+        assert_eq!(updates.state, RequirementState::Unsatisfied);
+        // cra-protect-integrity keeps M5/M7 → Partial.
+        let integrity = report
+            .assessed
+            .iter()
+            .find(|a| a.requirement.id == "cra-protect-integrity")
+            .unwrap();
+        assert!(matches!(integrity.state, RequirementState::Partial(_)));
+    }
+
+    #[test]
+    fn every_requirement_cites_real_mitigations() {
+        let all = crate::threat_model::mitigations();
+        for r in requirements() {
+            assert!(!r.evidenced_by.is_empty(), "{}", r.id);
+            for m in &r.evidenced_by {
+                assert!(all.iter().any(|x| x.id == *m), "{} cites missing {m}", r.id);
+            }
+        }
+    }
+
+    #[test]
+    fn every_mitigation_contributes_to_some_requirement() {
+        // The paper says the regulations "shaped the platform by guiding
+        // threat mitigations" — so no mitigation should be compliance-dead.
+        let cited: std::collections::BTreeSet<MitigationId> = requirements()
+            .into_iter()
+            .flat_map(|r| r.evidenced_by)
+            .collect();
+        for m in crate::threat_model::mitigations() {
+            assert!(cited.contains(&m.id), "{} evidences no requirement", m.id);
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_requirement() {
+        let text = assess(&MitigationSet::all()).render();
+        for r in requirements() {
+            assert!(text.contains(r.id), "{}", r.id);
+        }
+    }
+}

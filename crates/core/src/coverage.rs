@@ -1,0 +1,194 @@
+//! The threat × mitigation coverage matrix of the paper's **Fig. 3**.
+
+use std::collections::BTreeMap;
+
+use crate::threat_model::{mitigations, threats, MitigationId, ThreatId};
+
+/// Which mitigations address which threats, as laid out in §IV–§VI.
+pub fn coverage_map() -> BTreeMap<ThreatId, Vec<MitigationId>> {
+    use MitigationId::*;
+    use ThreatId::*;
+    BTreeMap::from([
+        (T1, vec![M3, M4]),
+        (T2, vec![M5, M6, M7, M9]),
+        (T3, vec![M1, M2]),
+        (T4, vec![M8, M9, M2]),
+        (T5, vec![M10, M11]),
+        (T6, vec![M12]),
+        (T7, vec![M13, M14, M15]),
+        (T8, vec![M16, M17, M18]),
+    ])
+}
+
+/// One cell of the rendered matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// The mitigation addresses the threat.
+    Covers,
+    /// No relation.
+    Blank,
+}
+
+/// The full matrix with render and audit helpers.
+#[derive(Debug, Clone)]
+pub struct CoverageMatrix {
+    threats: Vec<ThreatId>,
+    mitigations: Vec<MitigationId>,
+    map: BTreeMap<ThreatId, Vec<MitigationId>>,
+}
+
+impl Default for CoverageMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoverageMatrix {
+    /// Builds the paper's matrix.
+    pub fn new() -> Self {
+        CoverageMatrix {
+            threats: threats().iter().map(|t| t.id).collect(),
+            mitigations: mitigations().iter().map(|m| m.id).collect(),
+            map: coverage_map(),
+        }
+    }
+
+    /// The cell at `(threat, mitigation)`.
+    pub fn cell(&self, threat: ThreatId, mitigation: MitigationId) -> Cell {
+        if self
+            .map
+            .get(&threat)
+            .map(|ms| ms.contains(&mitigation))
+            .unwrap_or(false)
+        {
+            Cell::Covers
+        } else {
+            Cell::Blank
+        }
+    }
+
+    /// Mitigations covering `threat`.
+    pub fn mitigations_for(&self, threat: ThreatId) -> &[MitigationId] {
+        self.map.get(&threat).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Threats addressed by `mitigation`.
+    pub fn threats_for(&self, mitigation: MitigationId) -> Vec<ThreatId> {
+        self.map
+            .iter()
+            .filter(|(_, ms)| ms.contains(&mitigation))
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Threats with no covering mitigation (must be empty for the paper's
+    /// design to be complete).
+    pub fn uncovered_threats(&self) -> Vec<ThreatId> {
+        self.threats
+            .iter()
+            .filter(|t| self.mitigations_for(**t).is_empty())
+            .copied()
+            .collect()
+    }
+
+    /// Mitigations that address no threat (would be dead weight).
+    pub fn unused_mitigations(&self) -> Vec<MitigationId> {
+        self.mitigations
+            .iter()
+            .filter(|m| self.threats_for(**m).is_empty())
+            .copied()
+            .collect()
+    }
+
+    /// Renders the matrix as a fixed-width text table (the Fig. 3
+    /// reproduction printed by `examples/coverage_matrix.rs`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("      ");
+        for m in &self.mitigations {
+            out.push_str(&format!("{:>4}", m.to_string()));
+        }
+        out.push('\n');
+        for t in &self.threats {
+            out.push_str(&format!("{:>4}  ", t.to_string()));
+            for m in &self.mitigations {
+                let mark = match self.cell(*t, *m) {
+                    Cell::Covers => "  ■ ",
+                    Cell::Blank => "  · ",
+                };
+                out.push_str(mark);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_threat_is_covered() {
+        let matrix = CoverageMatrix::new();
+        assert!(matrix.uncovered_threats().is_empty());
+    }
+
+    #[test]
+    fn every_mitigation_is_used() {
+        let matrix = CoverageMatrix::new();
+        assert!(
+            matrix.unused_mitigations().is_empty(),
+            "{:?}",
+            matrix.unused_mitigations()
+        );
+    }
+
+    #[test]
+    fn cells_match_map() {
+        let matrix = CoverageMatrix::new();
+        assert_eq!(matrix.cell(ThreatId::T1, MitigationId::M3), Cell::Covers);
+        assert_eq!(matrix.cell(ThreatId::T1, MitigationId::M16), Cell::Blank);
+        assert_eq!(matrix.cell(ThreatId::T8, MitigationId::M18), Cell::Covers);
+    }
+
+    #[test]
+    fn inverse_lookup_consistent() {
+        let matrix = CoverageMatrix::new();
+        for t in threats().iter().map(|t| t.id) {
+            for m in matrix.mitigations_for(t) {
+                assert!(matrix.threats_for(*m).contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn mitigation_layer_matches_threat_layer() {
+        // The paper organizes mitigations by the layer of the threat they
+        // address; the matrix must respect that.
+        let matrix = CoverageMatrix::new();
+        let threat_layers: std::collections::HashMap<_, _> =
+            threats().into_iter().map(|t| (t.id, t.layer)).collect();
+        let mitigation_layers: std::collections::HashMap<_, _> =
+            mitigations().into_iter().map(|m| (m.id, m.layer)).collect();
+        for (t, ms) in coverage_map() {
+            for m in ms {
+                assert_eq!(
+                    threat_layers[&t], mitigation_layers[&m],
+                    "{t} covered by {m} across layers"
+                );
+            }
+        }
+        let _ = matrix;
+    }
+
+    #[test]
+    fn render_contains_all_ids() {
+        let s = CoverageMatrix::new().render();
+        for t in 1..=8 {
+            assert!(s.contains(&format!("T{t}")));
+        }
+        assert!(s.contains("M18"));
+        assert!(s.contains('■'));
+    }
+}

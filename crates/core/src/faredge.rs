@@ -1,0 +1,252 @@
+//! Far-edge workload placement: running containers on ONU compute.
+//!
+//! Fig. 1: "ONUs are equipped with additional low-end computing resources,
+//! enabling them to run applications with ultra-low latency requirements."
+//! Far-edge placement differs from the OLT cluster in three ways the
+//! scheduler must respect: ONUs are tiny (hundreds of millicores), they are
+//! *single-tenant by construction* (a subscriber's own premises), and a
+//! workload is only eligible if its latency requirement actually demands
+//! the far edge — otherwise it belongs on the OLT where capacity is
+//! cheaper.
+
+use std::collections::BTreeMap;
+
+use genio_orchestrator::workload::PodSpec;
+use genio_pon::topology::{OnuId, PonTree};
+
+use crate::platform::DeploymentLayer;
+
+/// Compute capacity of one ONU's add-on module.
+#[derive(Debug, Clone, Copy)]
+pub struct OnuCompute {
+    /// CPU capacity in millicores.
+    pub cpu_millis: u64,
+    /// Memory in MiB.
+    pub memory_mb: u64,
+}
+
+impl Default for OnuCompute {
+    fn default() -> Self {
+        // A low-end ARM SoC class module.
+        OnuCompute {
+            cpu_millis: 1_000,
+            memory_mb: 1_024,
+        }
+    }
+}
+
+/// A far-edge placement request.
+#[derive(Debug, Clone)]
+pub struct FarEdgeRequest {
+    /// The workload.
+    pub pod: PodSpec,
+    /// Subscriber/tenant owning the target premises.
+    pub subscriber: String,
+    /// Required one-way latency in milliseconds.
+    pub latency_ms: u32,
+}
+
+/// Why a far-edge placement was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FarEdgeRefusal {
+    /// The latency requirement does not demand the far edge; place on the
+    /// OLT or cloud instead (capacity there is cheaper).
+    BelongsOnLayer(DeploymentLayer),
+    /// The subscriber has no ONU on this tree.
+    NoOnu,
+    /// The subscriber's ONU lacks capacity.
+    InsufficientCapacity {
+        /// CPU still free, millicores.
+        cpu_free: u64,
+        /// Memory still free, MiB.
+        memory_free: u64,
+    },
+    /// Cross-tenant placement attempted: pod namespace does not match the
+    /// subscriber owning the ONU.
+    TenantMismatch,
+}
+
+/// The far-edge placement engine for one PON tree.
+#[derive(Debug)]
+pub struct FarEdgeScheduler {
+    /// ONU compute modules by ONU id.
+    compute: BTreeMap<OnuId, OnuCompute>,
+    /// ONU ownership: ONU id → subscriber namespace.
+    owners: BTreeMap<OnuId, String>,
+    /// Placements: pod (namespace/name) → ONU id.
+    placements: BTreeMap<String, (PodSpec, OnuId)>,
+}
+
+impl FarEdgeScheduler {
+    /// Builds a scheduler for `tree`, assigning each operational ONU the
+    /// default compute module and an owner derived from `owner_of`.
+    pub fn new(tree: &PonTree, owner_of: impl Fn(OnuId) -> String) -> Self {
+        let mut compute = BTreeMap::new();
+        let mut owners = BTreeMap::new();
+        for onu in tree.operational() {
+            compute.insert(onu, OnuCompute::default());
+            owners.insert(onu, owner_of(onu));
+        }
+        FarEdgeScheduler {
+            compute,
+            owners,
+            placements: BTreeMap::new(),
+        }
+    }
+
+    /// CPU already committed on an ONU.
+    pub fn cpu_used(&self, onu: OnuId) -> u64 {
+        self.placements
+            .values()
+            .filter(|(_, o)| *o == onu)
+            .map(|(p, _)| p.cpu_millis())
+            .sum()
+    }
+
+    /// Memory already committed on an ONU.
+    pub fn memory_used(&self, onu: OnuId) -> u64 {
+        self.placements
+            .values()
+            .filter(|(_, o)| *o == onu)
+            .map(|(p, _)| p.memory_mb())
+            .sum()
+    }
+
+    /// Attempts a far-edge placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FarEdgeRefusal`] explaining which rule blocked it.
+    pub fn place(&mut self, request: FarEdgeRequest) -> Result<OnuId, FarEdgeRefusal> {
+        // Rule 1: the far edge is for ultra-low-latency work only.
+        if request.latency_ms > DeploymentLayer::FarEdge.latency_budget_ms() {
+            let layer = crate::platform::place_by_latency(request.latency_ms)
+                .unwrap_or(DeploymentLayer::Cloud);
+            return Err(FarEdgeRefusal::BelongsOnLayer(layer));
+        }
+        // Rule 2: the subscriber must own an ONU here.
+        let onu = match self
+            .owners
+            .iter()
+            .find(|(_, owner)| **owner == request.subscriber)
+            .map(|(id, _)| *id)
+        {
+            Some(onu) => onu,
+            None => return Err(FarEdgeRefusal::NoOnu),
+        };
+        // Rule 3: single tenancy — the pod's namespace must match.
+        if request.pod.namespace != request.subscriber {
+            return Err(FarEdgeRefusal::TenantMismatch);
+        }
+        // Rule 4: capacity.
+        let cap = self.compute[&onu];
+        let cpu_free = cap.cpu_millis.saturating_sub(self.cpu_used(onu));
+        let memory_free = cap.memory_mb.saturating_sub(self.memory_used(onu));
+        if request.pod.cpu_millis() > cpu_free || request.pod.memory_mb() > memory_free {
+            return Err(FarEdgeRefusal::InsufficientCapacity {
+                cpu_free,
+                memory_free,
+            });
+        }
+        let key = format!("{}/{}", request.pod.namespace, request.pod.name);
+        self.placements.insert(key, (request.pod, onu));
+        Ok(onu)
+    }
+
+    /// Number of placed pods.
+    pub fn placed(&self) -> usize {
+        self.placements.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genio_pon::activation::{ActivationController, SerialAllowlist};
+
+    fn scheduler() -> FarEdgeScheduler {
+        let mut tree = PonTree::builder("olt/pon-0").split_ratio(8).build();
+        let mut allow = SerialAllowlist::new();
+        for i in 0..3 {
+            tree.attach_onu(&format!("S{i}"), 100).unwrap();
+            allow.allow(&format!("S{i}"));
+        }
+        let mut ctl = ActivationController::new(Box::new(allow));
+        for i in 0..3 {
+            ctl.activate(&mut tree, &format!("S{i}"), None).unwrap();
+        }
+        FarEdgeScheduler::new(&tree, |onu| format!("subscriber-{onu}"))
+    }
+
+    fn request(subscriber: &str, name: &str, latency_ms: u32, cpu: u64) -> FarEdgeRequest {
+        let mut pod = PodSpec::new(name, subscriber, "img");
+        pod.containers[0].resources.cpu_millis = cpu;
+        pod.containers[0].resources.memory_mb = 128;
+        FarEdgeRequest {
+            pod,
+            subscriber: subscriber.to_string(),
+            latency_ms,
+        }
+    }
+
+    #[test]
+    fn ultra_low_latency_work_places_on_owners_onu() {
+        let mut s = scheduler();
+        let onu = s
+            .place(request("subscriber-1", "control-loop", 2, 200))
+            .unwrap();
+        assert_eq!(onu, 1);
+        assert_eq!(s.placed(), 1);
+        assert_eq!(s.cpu_used(1), 200);
+    }
+
+    #[test]
+    fn relaxed_latency_redirected_to_cheaper_layers() {
+        let mut s = scheduler();
+        let err = s
+            .place(request("subscriber-1", "batch", 50, 200))
+            .unwrap_err();
+        assert_eq!(err, FarEdgeRefusal::BelongsOnLayer(DeploymentLayer::Edge));
+        let err = s
+            .place(request("subscriber-1", "ml-train", 500, 200))
+            .unwrap_err();
+        assert_eq!(err, FarEdgeRefusal::BelongsOnLayer(DeploymentLayer::Cloud));
+    }
+
+    #[test]
+    fn unknown_subscriber_refused() {
+        let mut s = scheduler();
+        let err = s.place(request("subscriber-99", "x", 2, 100)).unwrap_err();
+        assert_eq!(err, FarEdgeRefusal::NoOnu);
+    }
+
+    #[test]
+    fn cross_tenant_placement_refused() {
+        let mut s = scheduler();
+        let mut req = request("subscriber-1", "sneaky", 2, 100);
+        req.pod.namespace = "subscriber-2".into(); // pod claims another tenant
+        assert_eq!(s.place(req).unwrap_err(), FarEdgeRefusal::TenantMismatch);
+    }
+
+    #[test]
+    fn capacity_enforced_on_the_tiny_module() {
+        let mut s = scheduler();
+        s.place(request("subscriber-1", "a", 2, 700)).unwrap();
+        let err = s.place(request("subscriber-1", "b", 2, 700)).unwrap_err();
+        match err {
+            FarEdgeRefusal::InsufficientCapacity { cpu_free, .. } => assert_eq!(cpu_free, 300),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A smaller pod still fits.
+        s.place(request("subscriber-1", "c", 2, 300)).unwrap();
+        assert_eq!(s.cpu_used(1), 1_000);
+    }
+
+    #[test]
+    fn different_subscribers_isolated_by_construction() {
+        let mut s = scheduler();
+        let a = s.place(request("subscriber-1", "svc", 2, 400)).unwrap();
+        let b = s.place(request("subscriber-2", "svc", 2, 400)).unwrap();
+        assert_ne!(a, b, "each subscriber lands on their own premises hardware");
+    }
+}

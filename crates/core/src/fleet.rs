@@ -1,0 +1,346 @@
+//! Fleet operations: the telco-operator view over many OLT nodes.
+//!
+//! The paper's platform is operated as a fleet — "OLTs and ONUs are
+//! managed and updated remotely" (T4) — so the mitigations only matter at
+//! fleet scale: provisioning with Secure Boot + TPM, periodic attestation
+//! sweeps, staged signed-update rollouts, and the Lesson 3 unlock census.
+//! This module assembles those flows over the substrates.
+
+use genio_hardening::osstate::OsState;
+use genio_hardening::profile::all_profiles;
+use genio_hardening::remediate::{harden, olt_sdn_constraints};
+use genio_secureboot::bootchain::{
+    attest, boot, AttestationVerdict, BootPolicy, ImageSigner, KeyDb, SignedImage, StageKind,
+};
+use genio_secureboot::luks::{LuksVolume, PlatformSupport, UnlockMethod};
+use genio_secureboot::tpm::Tpm;
+use genio_supplychain::image::{DetachedSignature, FirmwareImage, ImageVendor, NodeUpdater};
+
+/// Fleet construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of OLT nodes.
+    pub olts: usize,
+    /// Fraction of nodes on the ONL image without the Clevis stack
+    /// (numerator over `olts`): the Lesson 3 population.
+    pub onl_without_clevis: usize,
+    /// Seed for all key material.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            olts: 10,
+            onl_without_clevis: 7,
+            seed: 42,
+        }
+    }
+}
+
+/// One managed OLT node.
+#[derive(Debug)]
+pub struct FleetNode {
+    /// Node name.
+    pub name: String,
+    /// The node's TPM.
+    pub tpm: Tpm,
+    /// OS/firmware updater state.
+    pub updater: NodeUpdater,
+    /// Hardened OS state.
+    pub os: OsState,
+    /// Whether the Clevis stack is available (Lesson 3).
+    pub support: PlatformSupport,
+    /// How the data volume was unlocked at last boot.
+    pub unlock_method: UnlockMethod,
+    data_volume: LuksVolume,
+}
+
+/// The managed fleet.
+#[derive(Debug)]
+pub struct Fleet {
+    /// Nodes in name order.
+    pub nodes: Vec<FleetNode>,
+    golden_stages: Vec<SignedImage>,
+    env_stages: Vec<SignedImage>,
+    env_keys: KeyDb,
+    vendor: ImageVendor,
+}
+
+/// Result of an attestation sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// `(node name, verdict)` per node.
+    pub verdicts: Vec<(String, AttestationVerdict)>,
+}
+
+impl SweepReport {
+    /// Nodes whose measured state diverged.
+    pub fn diverged(&self) -> Vec<&str> {
+        self.verdicts
+            .iter()
+            .filter(|(_, v)| *v != AttestationVerdict::Trusted)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+/// Result of an update rollout.
+#[derive(Debug, Clone)]
+pub struct RolloutReport {
+    /// Nodes successfully updated.
+    pub updated: Vec<String>,
+    /// Nodes that refused the update, with the reason.
+    pub refused: Vec<(String, String)>,
+}
+
+impl Fleet {
+    /// Provisions the fleet: every node Secure-Boots the golden chain,
+    /// seals its volume (TPM-bound where Clevis exists, passphrase
+    /// otherwise), and hardens its OS under the SDN constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal fixture-assembly invariants.
+    pub fn provision(config: &FleetConfig) -> Self {
+        let seed = config.seed.to_be_bytes();
+        let mut owner = ImageSigner::from_seed(&[&seed[..], b"fleet-mok"].concat());
+        let mut keys = KeyDb::new();
+        keys.trust_vendor(owner.public());
+        let golden_stages = vec![
+            owner.sign(StageKind::Shim, b"shim-15.7").expect("capacity"),
+            owner.sign(StageKind::Grub, b"grub-2.06").expect("capacity"),
+            owner
+                .sign(StageKind::Kernel, b"onl-kernel-v1")
+                .expect("capacity"),
+        ];
+        let mut env_signer = ImageSigner::from_seed(&[&seed[..], b"onie-env"].concat());
+        let mut env_keys = KeyDb::new();
+        env_keys.trust_vendor(env_signer.public());
+        let env_stages = vec![env_signer
+            .sign(StageKind::Shim, b"onie-minimal")
+            .expect("capacity")];
+        let vendor = ImageVendor::from_seed(&[&seed[..], b"image-vendor"].concat());
+
+        let mut nodes = Vec::with_capacity(config.olts);
+        for i in 0..config.olts {
+            let name = format!("olt-{i:02}");
+            let mut tpm = Tpm::new(&[&seed[..], name.as_bytes()].concat());
+            let report = boot(&golden_stages, &keys, &BootPolicy::default(), &mut tpm);
+            assert!(report.completed, "golden chain boots");
+
+            let support = PlatformSupport {
+                clevis_available: i >= config.onl_without_clevis,
+            };
+            let mut data_volume = LuksVolume::format(&[&seed[..], name.as_bytes()].concat());
+            if data_volume
+                .add_tpm_slot("clevis", &mut tpm, &[8], &support)
+                .is_err()
+            {
+                // Lesson 3: no Clevis stack → manual slot only.
+            }
+            data_volume
+                .add_passphrase_slot("recovery", "fleet-recovery-phrase")
+                .expect("fresh volume");
+            data_volume.lock();
+            let unlock_method = data_volume
+                .boot_unlock(&tpm, &support, Some("fleet-recovery-phrase"))
+                .expect("one of the slots opens");
+
+            let updater =
+                NodeUpdater::provision(&mut tpm, vendor.public(), "1.0.0").expect("tpm seal");
+
+            let mut os = OsState::onl_factory();
+            harden(&mut os, &all_profiles(), &olt_sdn_constraints());
+
+            nodes.push(FleetNode {
+                name,
+                tpm,
+                updater,
+                os,
+                support,
+                unlock_method,
+                data_volume,
+            });
+        }
+        Fleet {
+            nodes,
+            golden_stages,
+            env_stages,
+            env_keys,
+            vendor,
+        }
+    }
+
+    /// The Lesson 3 census: `(tpm_automatic, manual_passphrase)` counts.
+    pub fn unlock_census(&self) -> (usize, usize) {
+        let auto = self
+            .nodes
+            .iter()
+            .filter(|n| n.unlock_method == UnlockMethod::TpmAutomatic)
+            .count();
+        (auto, self.nodes.len() - auto)
+    }
+
+    /// Attests every node against the golden boot chain.
+    pub fn attestation_sweep(&self, nonce: &[u8]) -> SweepReport {
+        SweepReport {
+            verdicts: self
+                .nodes
+                .iter()
+                .map(|n| (n.name.clone(), attest(&n.tpm, &self.golden_stages, nonce)))
+                .collect(),
+        }
+    }
+
+    /// Simulates a compromise of node `index`: post-boot kernel-space
+    /// tampering measured into PCR 8 (what a rootkit that survives into
+    /// the next measured boot looks like).
+    pub fn compromise_node(&mut self, index: usize) {
+        if let Some(node) = self.nodes.get_mut(index) {
+            node.tpm
+                .extend(StageKind::Kernel.pcr(), b"persistent implant");
+        }
+    }
+
+    /// Signs and rolls out a firmware update to every node. Nodes whose
+    /// TPM state has diverged refuse the update (the sealed trust anchor
+    /// is unrecoverable), quarantining themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates vendor-signing failures; per-node failures are reported
+    /// in the [`RolloutReport`], not as errors.
+    pub fn rollout(
+        &mut self,
+        version: &str,
+        payload: &[u8],
+    ) -> genio_supplychain::Result<RolloutReport> {
+        let image = FirmwareImage {
+            name: "onl-installer".into(),
+            version: version.to_string(),
+            payload: payload.to_vec(),
+        };
+        let sig: DetachedSignature = self.vendor.sign(&image)?;
+        let mut updated = Vec::new();
+        let mut refused = Vec::new();
+        for node in &mut self.nodes {
+            match node.updater.apply_update(
+                &mut node.tpm,
+                &self.env_stages,
+                &self.env_keys,
+                &image,
+                &sig,
+            ) {
+                Ok(receipt) => {
+                    updated.push(node.name.clone());
+                    debug_assert_eq!(receipt.installed_version, version);
+                }
+                Err(e) => refused.push((node.name.clone(), e.to_string())),
+            }
+        }
+        Ok(RolloutReport { updated, refused })
+    }
+
+    /// Verifies every node's data volume still opens (post-rollout check).
+    pub fn volumes_unlockable(&mut self) -> usize {
+        let mut ok = 0;
+        for node in &mut self.nodes {
+            node.data_volume.lock();
+            if node
+                .data_volume
+                .boot_unlock(&node.tpm, &node.support, Some("fleet-recovery-phrase"))
+                .is_ok()
+            {
+                ok += 1;
+            }
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fleet() -> Fleet {
+        Fleet::provision(&FleetConfig {
+            olts: 5,
+            onl_without_clevis: 3,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn provisioning_shapes_the_fleet() {
+        let fleet = small_fleet();
+        assert_eq!(fleet.nodes.len(), 5);
+        let (auto, manual) = fleet.unlock_census();
+        assert_eq!(auto, 2, "modern nodes unlock via TPM");
+        assert_eq!(manual, 3, "ONL nodes need a passphrase (Lesson 3)");
+    }
+
+    #[test]
+    fn clean_fleet_attests_trusted() {
+        let fleet = small_fleet();
+        let sweep = fleet.attestation_sweep(b"nonce-1");
+        assert!(sweep.diverged().is_empty());
+    }
+
+    #[test]
+    fn compromised_node_caught_by_sweep_and_quarantined_by_rollout() {
+        let mut fleet = small_fleet();
+        fleet.compromise_node(2);
+        let sweep = fleet.attestation_sweep(b"nonce-2");
+        assert_eq!(sweep.diverged(), vec!["olt-02"]);
+        // The rollout succeeds everywhere except the node whose sealed
+        // anchor is unrecoverable... unless its firmware PCR is intact.
+        let report = fleet.rollout("1.1.0", b"onl image v1.1.0").unwrap();
+        assert_eq!(report.updated.len() + report.refused.len(), 5);
+        assert!(report.updated.len() >= 4);
+    }
+
+    #[test]
+    fn firmware_tampered_node_refuses_updates() {
+        let mut fleet = small_fleet();
+        // Firmware-level tamper (PCR 0) breaks the sealed trust anchor.
+        fleet.nodes[1].tpm.extend(0, b"reflashed firmware");
+        let report = fleet.rollout("1.1.0", b"img").unwrap();
+        assert_eq!(report.refused.len(), 1);
+        assert_eq!(report.refused[0].0, "olt-01");
+        assert_eq!(report.updated.len(), 4);
+    }
+
+    #[test]
+    fn rollout_is_versioned_and_rollback_safe() {
+        let mut fleet = small_fleet();
+        let r1 = fleet.rollout("1.1.0", b"v1.1").unwrap();
+        assert_eq!(r1.updated.len(), 5);
+        // A replayed older (genuinely signed) image is refused everywhere.
+        let r2 = fleet.rollout("1.0.5", b"v1.0.5").unwrap();
+        assert!(r2.updated.is_empty());
+        assert_eq!(r2.refused.len(), 5);
+        assert!(r2.refused[0].1.contains("rollback"));
+    }
+
+    #[test]
+    fn volumes_survive_operations() {
+        let mut fleet = small_fleet();
+        fleet.rollout("1.1.0", b"img").unwrap();
+        assert_eq!(fleet.volumes_unlockable(), 5);
+    }
+
+    #[test]
+    fn all_nodes_carry_hardened_os() {
+        let fleet = small_fleet();
+        for node in &fleet.nodes {
+            assert!(!node.os.service_active("telnet"), "{}", node.name);
+            assert_eq!(
+                node.os.sshd.get("PermitRootLogin").map(String::as_str),
+                Some("no"),
+                "{}",
+                node.name
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The paper's eight lessons as a first-class catalogue, each linked to
+//! the experiment and modules that make it measurable in this workspace.
+
+use std::fmt;
+
+/// Lesson identifiers L1–L8 as numbered in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum LessonId {
+    L1,
+    L2,
+    L3,
+    L4,
+    L5,
+    L6,
+    L7,
+    L8,
+}
+
+impl fmt::Display for LessonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", *self as u8 + 1)
+    }
+}
+
+/// One catalogued lesson.
+#[derive(Debug, Clone)]
+pub struct Lesson {
+    /// Identifier.
+    pub id: LessonId,
+    /// The paper's claim, condensed.
+    pub claim: &'static str,
+    /// The experiment id in EXPERIMENTS.md.
+    pub experiment: &'static str,
+    /// Bench target that regenerates it.
+    pub bench_target: &'static str,
+    /// Workspace modules it exercises.
+    pub modules: Vec<&'static str>,
+}
+
+/// All eight lessons.
+pub fn lessons() -> Vec<Lesson> {
+    vec![
+        Lesson {
+            id: LessonId::L1,
+            claim: "ONL lacks formal security guidelines; STIG/SCAP application needed iterative \
+                    adjustment to balance security, performance and compatibility",
+            experiment: "E-L1",
+            bench_target: "lesson1_hardening",
+            modules: vec!["genio_hardening::profile", "genio_hardening::remediate"],
+        },
+        Lesson {
+            id: LessonId::L2,
+            claim: "encryption imposes engineering effort and computational cost; heterogeneous \
+                    authentication demands careful certificate management",
+            experiment: "E-L2",
+            bench_target: "lesson2_encryption",
+            modules: vec![
+                "genio_netsec::macsec",
+                "genio_netsec::onboarding",
+                "genio_pon::security",
+            ],
+        },
+        Lesson {
+            id: LessonId::L3,
+            claim: "integrity protections face field obstacles: Clevis deps unavailable on ONL \
+                    force manual passphrases; FIM must separate critical from mutable paths",
+            experiment: "E-L3",
+            bench_target: "lesson3_integrity",
+            modules: vec!["genio_secureboot::luks", "genio_fim::policy"],
+        },
+        Lesson {
+            id: LessonId::L4,
+            claim: "scanners integrate smoothly but need manual tuning for non-standard ONL \
+                    paths; APT GPG signing is reliable and straightforward",
+            experiment: "E-L4",
+            bench_target: "lesson4_scanning",
+            modules: vec!["genio_vulnmgmt::scanner", "genio_supplychain::repo"],
+        },
+        Lesson {
+            id: LessonId::L5,
+            claim: "SDN roles are easy to scope; orchestrator RBAC is hard; multiple guideline \
+                    checkers are required since each covers a subset of risks",
+            experiment: "E-L5",
+            bench_target: "lesson5_rbac",
+            modules: vec!["genio_orchestrator::rbac", "genio_orchestrator::checkers"],
+        },
+        Lesson {
+            id: LessonId::L6,
+            claim: "middleware vulnerability tracking is reactive and fragmented; delays extend \
+                    the attack window",
+            experiment: "E-L6",
+            bench_target: "lesson6_vulntracking",
+            modules: vec![
+                "genio_vulnmgmt::feed",
+                "genio_vulnmgmt::kbom",
+                "genio_vulnmgmt::patching",
+            ],
+        },
+        Lesson {
+            id: LessonId::L7,
+            claim: "SCA/SAST are mature but noisy: unused deps flagged, no function-level \
+                    linking; fuzzing feasible only for standard interfaces",
+            experiment: "E-L7",
+            bench_target: "lesson7_appsec",
+            modules: vec![
+                "genio_appsec::sca",
+                "genio_appsec::sast",
+                "genio_appsec::dast",
+            ],
+        },
+        Lesson {
+            id: LessonId::L8,
+            claim: "runtime detection/isolation are mature and effective, but tuning rules \
+                    against false positives and bounding overhead remain the work",
+            experiment: "E-L8",
+            bench_target: "lesson8_runtime",
+            modules: vec![
+                "genio_runtime::falco",
+                "genio_runtime::lsm",
+                "genio_runtime::peach",
+            ],
+        },
+    ]
+}
+
+/// Renders the catalogue as a table.
+pub fn render() -> String {
+    let mut out = String::new();
+    for lesson in lessons() {
+        out.push_str(&format!(
+            "{}  [{} / {}]\n    {}\n    modules: {}\n",
+            lesson.id,
+            lesson.experiment,
+            lesson.bench_target,
+            lesson.claim,
+            lesson.modules.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_lessons_in_order() {
+        let all = lessons();
+        assert_eq!(all.len(), 8);
+        for (i, lesson) in all.iter().enumerate() {
+            assert_eq!(lesson.id.to_string(), format!("L{}", i + 1));
+            assert_eq!(lesson.experiment, format!("E-L{}", i + 1));
+            assert!(!lesson.modules.is_empty());
+        }
+    }
+
+    #[test]
+    fn bench_targets_exist_on_disk() {
+        // Guard against the catalogue drifting from the bench harness.
+        for lesson in lessons() {
+            let path = format!(
+                "{}/../bench/benches/{}.rs",
+                env!("CARGO_MANIFEST_DIR"),
+                lesson.bench_target
+            );
+            assert!(
+                std::path::Path::new(&path).exists(),
+                "bench target {} missing at {path}",
+                lesson.bench_target
+            );
+        }
+    }
+
+    #[test]
+    fn render_lists_all() {
+        let text = render();
+        for lesson in lessons() {
+            assert!(text.contains(&lesson.id.to_string()));
+        }
+    }
+}

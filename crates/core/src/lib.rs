@@ -1,0 +1,64 @@
+//! # genio-core
+//!
+//! The GENIO platform core: the paper's contribution made executable.
+//!
+//! The paper (DSN 2025) is a security-by-design experience report: a
+//! threat model over a PON-based edge platform (threats **T1–T8**), a
+//! catalogue of OSS mitigations (**M1–M18**), and eight lessons about how
+//! those mitigations behave in an industrial deployment. This crate wires
+//! the workspace's substrates into that structure:
+//!
+//! * [`threat_model`] — the T1–T8 / M1–M18 catalogue with STRIDE
+//!   classifications, layers, OSS tools and standards (the content of the
+//!   paper's §III–§VI).
+//! * [`coverage`] — the threat × mitigation matrix of **Fig. 3**, with
+//!   completeness checks.
+//! * [`architecture`] — the software-stack inventory of **Fig. 2**.
+//! * [`platform`] — **Fig. 1**: the deployed platform across cloud, edge
+//!   and far-edge layers, assembling PON trees, PKI enrolment, the VM/pod
+//!   cluster, hardened OS states, TPM-backed boot and FIM into one object
+//!   with togglable mitigations.
+//! * [`scenario`] — the attack campaign: one executable attack per threat,
+//!   run with mitigations disabled and enabled, reproducing the paper's
+//!   claims as measurements (experiment E-S1).
+//! * [`compliance`] — the paper's regulatory objective (Cyber Resilience
+//!   Act / CE marking) as an executable conformity assessment over the
+//!   enabled mitigation set.
+//! * [`lessons`] — the eight lessons as a catalogue linked to the
+//!   experiments and modules that measure them.
+//! * [`fleet`] — fleet-scale operations: provisioning, attestation
+//!   sweeps, staged signed-update rollouts, and the Lesson 3 unlock
+//!   census.
+//! * [`faredge`] — workload placement on ONU compute (Fig. 1's far-edge
+//!   layer): latency gating, single tenancy, tiny-module capacity.
+//! * [`report`] — the generated security-posture dossier combining every
+//!   view for an auditor.
+//!
+//! # Example
+//!
+//! ```
+//! use genio_core::platform::Platform;
+//! use genio_core::scenario::{run_campaign, CampaignConfig};
+//!
+//! let report = run_campaign(&CampaignConfig::default());
+//! // Every attack succeeds without mitigations and is stopped with them.
+//! for row in &report.rows {
+//!     assert!(row.unmitigated.succeeded, "{}", row.threat_id);
+//!     assert!(!row.mitigated.succeeded || row.mitigated.detected, "{}", row.threat_id);
+//! }
+//! # let _ = Platform::reference_deployment(1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod architecture;
+pub mod compliance;
+pub mod coverage;
+pub mod faredge;
+pub mod fleet;
+pub mod lessons;
+pub mod platform;
+pub mod report;
+pub mod scenario;
+pub mod threat_model;

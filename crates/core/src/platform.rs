@@ -1,0 +1,387 @@
+//! The deployed GENIO platform of the paper's **Fig. 1**: cloud, edge and
+//! far-edge layers, with the substrates assembled and the mitigation set
+//! togglable.
+
+use std::collections::BTreeSet;
+
+use genio_hardening::osstate::OsState;
+use genio_hardening::profile::all_profiles;
+use genio_hardening::remediate::{harden, olt_sdn_constraints};
+use genio_netsec::onboarding::{DeviceClass, Enrollment};
+use genio_orchestrator::cluster::Cluster;
+use genio_pon::topology::PonTree;
+
+use crate::coverage::CoverageMatrix;
+use crate::threat_model::MitigationId;
+
+/// Deployment layers with their latency/capacity envelope (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeploymentLayer {
+    /// ONUs at customer premises: ultra-low latency, low-end compute.
+    FarEdge,
+    /// OLTs in central offices: strict latency, moderate compute.
+    Edge,
+    /// The orchestration center: high capacity, relaxed latency.
+    Cloud,
+}
+
+impl DeploymentLayer {
+    /// One-way latency budget this layer can honour, in milliseconds.
+    pub fn latency_budget_ms(self) -> u32 {
+        match self {
+            DeploymentLayer::FarEdge => 2,
+            DeploymentLayer::Edge => 10,
+            DeploymentLayer::Cloud => 80,
+        }
+    }
+
+    /// Relative compute capacity class (arbitrary units; cloud = 100).
+    pub fn capacity_units(self) -> u32 {
+        match self {
+            DeploymentLayer::FarEdge => 2,
+            DeploymentLayer::Edge => 20,
+            DeploymentLayer::Cloud => 100,
+        }
+    }
+
+    /// Human name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeploymentLayer::FarEdge => "far-edge (ONU)",
+            DeploymentLayer::Edge => "edge (OLT)",
+            DeploymentLayer::Cloud => "cloud",
+        }
+    }
+}
+
+/// Chooses the cheapest layer whose latency budget satisfies a workload's
+/// requirement — the Fig. 1 placement rule. Returns `None` for
+/// requirements no layer can meet.
+pub fn place_by_latency(required_ms: u32) -> Option<DeploymentLayer> {
+    // Prefer the highest-capacity layer that still meets the latency bound.
+    [
+        DeploymentLayer::Cloud,
+        DeploymentLayer::Edge,
+        DeploymentLayer::FarEdge,
+    ]
+    .into_iter()
+    .find(|l| l.latency_budget_ms() <= required_ms)
+}
+
+/// The set of mitigations currently enabled on the platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MitigationSet {
+    enabled: BTreeSet<MitigationId>,
+}
+
+impl MitigationSet {
+    /// All eighteen mitigations on.
+    pub fn all() -> Self {
+        MitigationSet {
+            enabled: crate::threat_model::mitigations()
+                .into_iter()
+                .map(|m| m.id)
+                .collect(),
+        }
+    }
+
+    /// Everything off (the unmitigated baseline of the attack campaign).
+    pub fn none() -> Self {
+        MitigationSet {
+            enabled: BTreeSet::new(),
+        }
+    }
+
+    /// Enables one mitigation, builder-style.
+    pub fn with(mut self, id: MitigationId) -> Self {
+        self.enabled.insert(id);
+        self
+    }
+
+    /// Disables one mitigation, builder-style (ablation).
+    pub fn without(mut self, id: MitigationId) -> Self {
+        self.enabled.remove(&id);
+        self
+    }
+
+    /// True if `id` is enabled.
+    pub fn is_enabled(&self, id: MitigationId) -> bool {
+        self.enabled.contains(&id)
+    }
+
+    /// Number of enabled mitigations.
+    pub fn len(&self) -> usize {
+        self.enabled.len()
+    }
+
+    /// True when nothing is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.enabled.is_empty()
+    }
+}
+
+/// Security-posture summary of an assembled platform.
+#[derive(Debug, Clone)]
+pub struct PostureReport {
+    /// Enabled mitigation count.
+    pub mitigations_enabled: usize,
+    /// Threats with no enabled covering mitigation.
+    pub uncovered_threats: Vec<String>,
+    /// Mean hardening score of the OLT OS after remediation (0–1).
+    pub hardening_score: f64,
+    /// Residual hardening failures forced by SDN compatibility (Lesson 1).
+    pub residual_failures: usize,
+    /// Devices enrolled in the PKI.
+    pub devices_enrolled: u64,
+    /// ONUs attached across PON trees.
+    pub onus_attached: usize,
+}
+
+/// The assembled platform.
+#[derive(Debug)]
+pub struct Platform {
+    /// PKI enrolment authority (M4).
+    pub enrollment: Enrollment,
+    /// PON trees served by the OLT.
+    pub trees: Vec<PonTree>,
+    /// The VM/pod cluster on the OLT.
+    pub cluster: Cluster,
+    /// The (hardened) OLT operating system state.
+    pub olt_os: OsState,
+    /// Enabled mitigations.
+    pub mitigations: MitigationSet,
+    hardening_score: f64,
+    residual_failures: usize,
+}
+
+impl Platform {
+    /// Builds the reference deployment: a hardened OLT with two PON trees
+    /// (48 ONUs), the Fig. 2 VM layout, an enrolled device fleet, and all
+    /// mitigations enabled. `seed` drives every key derivation, so equal
+    /// seeds produce identical platforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal invariant violations (fixture assembly).
+    pub fn reference_deployment(seed: u64) -> Self {
+        let seed_bytes = seed.to_be_bytes();
+        let mut enrollment =
+            Enrollment::new(&seed_bytes, (0, 1_000_000), 7).expect("CA capacity is sufficient");
+
+        // Two PON trees at 1:32 split, partially populated.
+        let mut trees = Vec::new();
+        for tree_idx in 0..2u32 {
+            let mut tree = PonTree::builder(&format!("olt-1/pon-{tree_idx}"))
+                .split_ratio(32)
+                .trunk_m(8_000 + tree_idx * 4_000)
+                .build();
+            for onu_idx in 0..24u32 {
+                let serial = format!("GENIO-{tree_idx}-{onu_idx:04}");
+                tree.attach_onu(&serial, 200 + onu_idx * 150)
+                    .expect("within split ratio");
+            }
+            trees.push(tree);
+        }
+
+        // Enrol infrastructure and a sample of ONUs.
+        enrollment
+            .enroll(
+                "olt-1",
+                DeviceClass::Olt,
+                &[seed_bytes.as_slice(), b"olt-1"].concat(),
+            )
+            .expect("capacity");
+        enrollment
+            .enroll(
+                "cloud-ctrl",
+                DeviceClass::Cloud,
+                &[seed_bytes.as_slice(), b"cloud"].concat(),
+            )
+            .expect("capacity");
+        for i in 0..4u32 {
+            enrollment
+                .enroll(
+                    &format!("onu-{i}"),
+                    DeviceClass::Onu,
+                    &[seed_bytes.as_slice(), format!("onu-{i}").as_bytes()].concat(),
+                )
+                .expect("capacity");
+        }
+
+        // Harden the OLT OS under the SDN compatibility constraints.
+        let mut olt_os = OsState::onl_factory();
+        let outcome = harden(&mut olt_os, &all_profiles(), &olt_sdn_constraints());
+
+        Platform {
+            enrollment,
+            trees,
+            cluster: Cluster::genio_edge(),
+            olt_os,
+            mitigations: MitigationSet::all(),
+            hardening_score: outcome.mean_score(),
+            residual_failures: outcome.residual_failures(),
+        }
+    }
+
+    /// Computes the posture report.
+    pub fn posture_report(&self) -> PostureReport {
+        let matrix = CoverageMatrix::new();
+        let uncovered: Vec<String> = crate::threat_model::threats()
+            .iter()
+            .filter(|t| {
+                !matrix
+                    .mitigations_for(t.id)
+                    .iter()
+                    .any(|m| self.mitigations.is_enabled(*m))
+            })
+            .map(|t| t.id.to_string())
+            .collect();
+        PostureReport {
+            mitigations_enabled: self.mitigations.len(),
+            uncovered_threats: uncovered,
+            hardening_score: self.hardening_score,
+            residual_failures: self.residual_failures,
+            devices_enrolled: self.enrollment.ledger.issued,
+            onus_attached: self.trees.iter().map(|t| t.onu_count()).sum(),
+        }
+    }
+
+    /// Assesses the platform against the CRA-style requirement catalogue
+    /// (the paper's regulatory-alignment objective).
+    pub fn compliance_report(&self) -> crate::compliance::ComplianceReport {
+        crate::compliance::assess(&self.mitigations)
+    }
+
+    /// Renders the Fig. 1 deployment summary.
+    pub fn deployment_summary(&self) -> String {
+        let mut out = String::new();
+        for layer in [
+            DeploymentLayer::Cloud,
+            DeploymentLayer::Edge,
+            DeploymentLayer::FarEdge,
+        ] {
+            out.push_str(&format!(
+                "{:<16} latency budget {:>3} ms, capacity {:>3} units\n",
+                layer.name(),
+                layer.latency_budget_ms(),
+                layer.capacity_units()
+            ));
+        }
+        out.push_str(&format!(
+            "olt-1: {} PON trees, {} ONUs, {} VMs\n",
+            self.trees.len(),
+            self.trees.iter().map(|t| t.onu_count()).sum::<usize>(),
+            self.cluster.vms().count(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_deployment_is_deterministic_in_shape() {
+        let a = Platform::reference_deployment(7);
+        let b = Platform::reference_deployment(7);
+        assert_eq!(
+            a.posture_report().onus_attached,
+            b.posture_report().onus_attached
+        );
+        assert_eq!(a.enrollment.trust_anchor(), b.enrollment.trust_anchor());
+        let c = Platform::reference_deployment(8);
+        assert_ne!(a.enrollment.trust_anchor(), c.enrollment.trust_anchor());
+    }
+
+    #[test]
+    fn posture_with_all_mitigations_has_no_uncovered_threats() {
+        let p = Platform::reference_deployment(1);
+        let report = p.posture_report();
+        assert_eq!(report.mitigations_enabled, 18);
+        assert!(report.uncovered_threats.is_empty());
+        assert_eq!(report.onus_attached, 48);
+        assert!(report.devices_enrolled >= 6);
+    }
+
+    #[test]
+    fn hardening_carries_lesson_1_residue() {
+        let p = Platform::reference_deployment(1);
+        let report = p.posture_report();
+        assert!(
+            report.hardening_score > 0.5,
+            "score {}",
+            report.hardening_score
+        );
+        assert!(
+            report.hardening_score < 1.0,
+            "SDN constraints keep it below 1.0"
+        );
+        assert!(report.residual_failures > 0);
+    }
+
+    #[test]
+    fn disabling_mitigations_uncovers_threats() {
+        let mut p = Platform::reference_deployment(1);
+        p.mitigations = MitigationSet::none();
+        let report = p.posture_report();
+        assert_eq!(report.uncovered_threats.len(), 8);
+        // Re-enable only M3/M4: T1 covered again.
+        p.mitigations = MitigationSet::none()
+            .with(MitigationId::M3)
+            .with(MitigationId::M4);
+        let report = p.posture_report();
+        assert!(!report.uncovered_threats.contains(&"T1".to_string()));
+        assert_eq!(report.uncovered_threats.len(), 7);
+    }
+
+    #[test]
+    fn placement_by_latency() {
+        assert_eq!(place_by_latency(100), Some(DeploymentLayer::Cloud));
+        assert_eq!(place_by_latency(15), Some(DeploymentLayer::Edge));
+        assert_eq!(place_by_latency(2), Some(DeploymentLayer::FarEdge));
+        assert_eq!(place_by_latency(1), None, "nothing meets 1 ms");
+    }
+
+    #[test]
+    fn layer_envelopes_are_ordered() {
+        assert!(
+            DeploymentLayer::FarEdge.latency_budget_ms()
+                < DeploymentLayer::Edge.latency_budget_ms()
+        );
+        assert!(
+            DeploymentLayer::Edge.latency_budget_ms() < DeploymentLayer::Cloud.latency_budget_ms()
+        );
+        assert!(
+            DeploymentLayer::FarEdge.capacity_units() < DeploymentLayer::Cloud.capacity_units()
+        );
+    }
+
+    #[test]
+    fn deployment_summary_mentions_all_layers() {
+        let p = Platform::reference_deployment(1);
+        let s = p.deployment_summary();
+        assert!(s.contains("cloud"));
+        assert!(s.contains("edge (OLT)"));
+        assert!(s.contains("far-edge (ONU)"));
+        assert!(s.contains("48 ONUs"));
+    }
+
+    #[test]
+    fn reference_deployment_is_cra_conformant() {
+        let p = Platform::reference_deployment(1);
+        assert!(p.compliance_report().conformant());
+        let mut degraded = Platform::reference_deployment(1);
+        degraded.mitigations = MitigationSet::none();
+        assert!(!degraded.compliance_report().conformant());
+    }
+
+    #[test]
+    fn mitigation_set_builders() {
+        let set = MitigationSet::all().without(MitigationId::M3);
+        assert_eq!(set.len(), 17);
+        assert!(!set.is_enabled(MitigationId::M3));
+        assert!(set.is_enabled(MitigationId::M4));
+        assert!(MitigationSet::none().is_empty());
+    }
+}

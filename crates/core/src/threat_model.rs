@@ -1,0 +1,446 @@
+//! The paper's threat and mitigation catalogue (§III–§VI): threats T1–T8
+//! with STRIDE classifications, mitigations M1–M18 with their OSS tools and
+//! standards.
+
+use std::fmt;
+
+/// STRIDE categories (the methodology the paper applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stride {
+    /// Spoofing identity.
+    Spoofing,
+    /// Tampering with data or code.
+    Tampering,
+    /// Repudiation.
+    Repudiation,
+    /// Information disclosure.
+    InformationDisclosure,
+    /// Denial of service.
+    DenialOfService,
+    /// Elevation of privilege.
+    ElevationOfPrivilege,
+}
+
+/// Architectural layers of the GENIO threat model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// Hardware and low-level software (OS, kernel, boot, network links).
+    Infrastructure,
+    /// SDN, virtualization and orchestration software.
+    Middleware,
+    /// Tenant applications.
+    Application,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Layer::Infrastructure => "infrastructure",
+            Layer::Middleware => "middleware",
+            Layer::Application => "application",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Threat identifiers T1–T8, as numbered in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum ThreatId {
+    T1,
+    T2,
+    T3,
+    T4,
+    T5,
+    T6,
+    T7,
+    T8,
+}
+
+impl fmt::Display for ThreatId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", *self as u8 + 1)
+    }
+}
+
+/// Mitigation identifiers M1–M18, as numbered in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum MitigationId {
+    M1,
+    M2,
+    M3,
+    M4,
+    M5,
+    M6,
+    M7,
+    M8,
+    M9,
+    M10,
+    M11,
+    M12,
+    M13,
+    M14,
+    M15,
+    M16,
+    M17,
+    M18,
+}
+
+impl fmt::Display for MitigationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", *self as u8 + 1)
+    }
+}
+
+/// A catalogue entry for one threat.
+#[derive(Debug, Clone)]
+pub struct Threat {
+    /// Identifier.
+    pub id: ThreatId,
+    /// Short name from the paper.
+    pub name: &'static str,
+    /// Layer it belongs to.
+    pub layer: Layer,
+    /// STRIDE categories it realizes.
+    pub stride: Vec<Stride>,
+    /// Example attack techniques named in the paper.
+    pub techniques: Vec<&'static str>,
+}
+
+/// A catalogue entry for one mitigation.
+#[derive(Debug, Clone)]
+pub struct Mitigation {
+    /// Identifier.
+    pub id: MitigationId,
+    /// Short name from the paper.
+    pub name: &'static str,
+    /// Layer it applies to.
+    pub layer: Layer,
+    /// OSS tools the paper deploys for it.
+    pub oss_tools: Vec<&'static str>,
+    /// Standards and guidelines it aligns with.
+    pub standards: Vec<&'static str>,
+    /// Workspace module(s) implementing the simulation.
+    pub implemented_by: Vec<&'static str>,
+}
+
+/// All eight threats, as catalogued in §III.
+pub fn threats() -> Vec<Threat> {
+    use Stride::*;
+    vec![
+        Threat {
+            id: ThreatId::T1,
+            name: "Network Attacks",
+            layer: Layer::Infrastructure,
+            stride: vec![Spoofing, Tampering, InformationDisclosure],
+            techniques: vec![
+                "interception and replay",
+                "downstream hijacking",
+                "ONU impersonation",
+                "fiber tapping",
+            ],
+        },
+        Threat {
+            id: ThreatId::T2,
+            name: "Code Tampering",
+            layer: Layer::Infrastructure,
+            stride: vec![Tampering, ElevationOfPrivilege],
+            techniques: vec![
+                "firmware manipulation",
+                "untrusted patching",
+                "reverse engineering",
+            ],
+        },
+        Threat {
+            id: ThreatId::T3,
+            name: "Privilege Abuse (infrastructure)",
+            layer: Layer::Infrastructure,
+            stride: vec![ElevationOfPrivilege, Repudiation],
+            techniques: vec!["privilege escalation via misconfigured accounts/services/files"],
+        },
+        Threat {
+            id: ThreatId::T4,
+            name: "Software Vulnerabilities (infrastructure)",
+            layer: Layer::Infrastructure,
+            stride: vec![ElevationOfPrivilege, Tampering],
+            techniques: vec!["kernel exploits", "container escaping"],
+        },
+        Threat {
+            id: ThreatId::T5,
+            name: "Privilege Abuse (middleware)",
+            layer: Layer::Middleware,
+            stride: vec![ElevationOfPrivilege, Spoofing],
+            techniques: vec![
+                "overprivileged roles",
+                "unrestricted API access",
+                "insecure defaults",
+            ],
+        },
+        Threat {
+            id: ThreatId::T6,
+            name: "Software Vulnerabilities (middleware)",
+            layer: Layer::Middleware,
+            stride: vec![InformationDisclosure, Tampering],
+            techniques: vec![
+                "bugs in workflows and APIs",
+                "vulnerable third-party dependencies",
+            ],
+        },
+        Threat {
+            id: ThreatId::T7,
+            name: "Vulnerable Applications",
+            layer: Layer::Application,
+            stride: vec![InformationDisclosure, Tampering, ElevationOfPrivilege],
+            techniques: vec![
+                "SQL injection",
+                "cross-site scripting",
+                "command injection",
+                "deserialization",
+                "memory corruption",
+            ],
+        },
+        Threat {
+            id: ThreatId::T8,
+            name: "Malicious Applications",
+            layer: Layer::Application,
+            stride: vec![ElevationOfPrivilege, DenialOfService],
+            techniques: vec![
+                "malicious container images",
+                "privileged syscall misuse (CAP_SYS_ADMIN)",
+                "resource abuse",
+            ],
+        },
+    ]
+}
+
+/// All eighteen mitigations, as catalogued in §IV–§VI.
+pub fn mitigations() -> Vec<Mitigation> {
+    vec![
+        Mitigation {
+            id: MitigationId::M1,
+            name: "OS environment configurations",
+            layer: Layer::Infrastructure,
+            oss_tools: vec!["OpenSCAP"],
+            standards: vec!["SCAP benchmarks", "STIGs"],
+            implemented_by: vec!["genio_hardening::profile", "genio_hardening::remediate"],
+        },
+        Mitigation {
+            id: MitigationId::M2,
+            name: "OS kernel hardening",
+            layer: Layer::Infrastructure,
+            oss_tools: vec!["kernel-hardening-checker", "AppArmor/SELinux"],
+            standards: vec!["KSPP baselines"],
+            implemented_by: vec!["genio_hardening::profile::kernel_hardening_baseline"],
+        },
+        Mitigation {
+            id: MitigationId::M3,
+            name: "End-to-End Encryption",
+            layer: Layer::Infrastructure,
+            oss_tools: vec!["MACsec", "XGS-PON payload encryption"],
+            standards: vec!["IEEE 802.1AE", "ITU-T G.987.3"],
+            implemented_by: vec!["genio_netsec::macsec", "genio_pon::security"],
+        },
+        Mitigation {
+            id: MitigationId::M4,
+            name: "Authentication of Nodes",
+            layer: Layer::Infrastructure,
+            oss_tools: vec!["PKI", "TLS 1.3", "DNSSEC"],
+            standards: vec!["RFC 8446", "RFC 4033", "ETSI TS 103 962"],
+            implemented_by: vec![
+                "genio_netsec::handshake",
+                "genio_netsec::onboarding",
+                "genio_netsec::dnssec",
+                "genio_pon::activation",
+            ],
+        },
+        Mitigation {
+            id: MitigationId::M5,
+            name: "Secure Boot",
+            layer: Layer::Infrastructure,
+            oss_tools: vec!["Shim", "GRUB", "TPM 2.0"],
+            standards: vec!["UEFI Secure Boot", "TCG Measured Boot"],
+            implemented_by: vec!["genio_secureboot::bootchain", "genio_secureboot::tpm"],
+        },
+        Mitigation {
+            id: MitigationId::M6,
+            name: "Secure Storage",
+            layer: Layer::Infrastructure,
+            oss_tools: vec!["LUKS", "Clevis"],
+            standards: vec![],
+            implemented_by: vec!["genio_secureboot::luks"],
+        },
+        Mitigation {
+            id: MitigationId::M7,
+            name: "File Integrity Monitoring",
+            layer: Layer::Infrastructure,
+            oss_tools: vec!["Tripwire"],
+            standards: vec![],
+            implemented_by: vec!["genio_fim::monitor"],
+        },
+        Mitigation {
+            id: MitigationId::M8,
+            name: "Automated Scanning (infrastructure)",
+            layer: Layer::Infrastructure,
+            oss_tools: vec!["OpenSCAP", "Lynis", "Vuls"],
+            standards: vec![],
+            implemented_by: vec!["genio_vulnmgmt::scanner"],
+        },
+        Mitigation {
+            id: MitigationId::M9,
+            name: "Signed Updates",
+            layer: Layer::Infrastructure,
+            oss_tools: vec!["APT+GPG", "ONIE"],
+            standards: vec!["NIST SP 800-193"],
+            implemented_by: vec![
+                "genio_supplychain::repo",
+                "genio_supplychain::image",
+                "genio_supplychain::artifact",
+            ],
+        },
+        Mitigation {
+            id: MitigationId::M10,
+            name: "Access Control",
+            layer: Layer::Middleware,
+            oss_tools: vec!["Kubernetes RBAC", "Proxmox ACL", "ONOS/VOLTHA auth"],
+            standards: vec!["least privilege"],
+            implemented_by: vec!["genio_orchestrator::rbac"],
+        },
+        Mitigation {
+            id: MitigationId::M11,
+            name: "Security Guideline Compliance",
+            layer: Layer::Middleware,
+            oss_tools: vec![
+                "kube-bench",
+                "kubesec",
+                "kube-hunter",
+                "kubescape",
+                "docker-bench",
+            ],
+            standards: vec!["NSA Kubernetes Hardening Guidance", "CIS Benchmarks"],
+            implemented_by: vec![
+                "genio_orchestrator::checkers",
+                "genio_orchestrator::admission",
+            ],
+        },
+        Mitigation {
+            id: MitigationId::M12,
+            name: "Automated Scanning and Patching (middleware)",
+            layer: Layer::Middleware,
+            oss_tools: vec!["Kubernetes CVE feed", "NVD API", "KBOM"],
+            standards: vec![],
+            implemented_by: vec![
+                "genio_vulnmgmt::feed",
+                "genio_vulnmgmt::kbom",
+                "genio_vulnmgmt::patching",
+            ],
+        },
+        Mitigation {
+            id: MitigationId::M13,
+            name: "Container Security and SCA",
+            layer: Layer::Application,
+            oss_tools: vec!["Docker Bench", "Trivy", "OWASP Dependency Check"],
+            standards: vec![],
+            implemented_by: vec!["genio_appsec::sca"],
+        },
+        Mitigation {
+            id: MitigationId::M14,
+            name: "Static Application Security Testing",
+            layer: Layer::Application,
+            oss_tools: vec!["SpotBugs", "Pylint", "Semgrep", "Bandit", "Crane"],
+            standards: vec![],
+            implemented_by: vec!["genio_appsec::sast"],
+        },
+        Mitigation {
+            id: MitigationId::M15,
+            name: "Dynamic Application Security Testing",
+            layer: Layer::Application,
+            oss_tools: vec!["CATS", "nmap"],
+            standards: vec!["OpenAPI"],
+            implemented_by: vec!["genio_appsec::dast", "genio_appsec::portscan"],
+        },
+        Mitigation {
+            id: MitigationId::M16,
+            name: "Malware Signature",
+            layer: Layer::Application,
+            oss_tools: vec!["Deepfence YaraHunter"],
+            standards: vec!["YARA rules"],
+            implemented_by: vec!["genio_appsec::yara"],
+        },
+        Mitigation {
+            id: MitigationId::M17,
+            name: "Isolation & Sandboxing",
+            layer: Layer::Application,
+            oss_tools: vec!["KubeArmor"],
+            standards: vec!["PEACH framework"],
+            implemented_by: vec!["genio_runtime::lsm", "genio_runtime::peach"],
+        },
+        Mitigation {
+            id: MitigationId::M18,
+            name: "Runtime Monitoring",
+            layer: Layer::Application,
+            oss_tools: vec!["Falco"],
+            standards: vec![],
+            implemented_by: vec!["genio_runtime::falco"],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_cardinality_matches_paper() {
+        assert_eq!(threats().len(), 8);
+        assert_eq!(mitigations().len(), 18);
+    }
+
+    #[test]
+    fn ids_display_as_in_paper() {
+        assert_eq!(ThreatId::T1.to_string(), "T1");
+        assert_eq!(ThreatId::T8.to_string(), "T8");
+        assert_eq!(MitigationId::M1.to_string(), "M1");
+        assert_eq!(MitigationId::M18.to_string(), "M18");
+    }
+
+    #[test]
+    fn layers_partition_correctly() {
+        let t = threats();
+        assert_eq!(
+            t.iter()
+                .filter(|x| x.layer == Layer::Infrastructure)
+                .count(),
+            4
+        );
+        assert_eq!(t.iter().filter(|x| x.layer == Layer::Middleware).count(), 2);
+        assert_eq!(
+            t.iter().filter(|x| x.layer == Layer::Application).count(),
+            2
+        );
+        let m = mitigations();
+        assert_eq!(
+            m.iter()
+                .filter(|x| x.layer == Layer::Infrastructure)
+                .count(),
+            9
+        );
+        assert_eq!(m.iter().filter(|x| x.layer == Layer::Middleware).count(), 3);
+        assert_eq!(
+            m.iter().filter(|x| x.layer == Layer::Application).count(),
+            6
+        );
+    }
+
+    #[test]
+    fn every_entry_has_stride_and_implementation() {
+        for t in threats() {
+            assert!(!t.stride.is_empty(), "{}", t.id);
+            assert!(!t.techniques.is_empty(), "{}", t.id);
+        }
+        for m in mitigations() {
+            assert!(!m.implemented_by.is_empty(), "{}", m.id);
+            assert!(!m.oss_tools.is_empty(), "{}", m.id);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Constant-time comparison helpers.
+//!
+//! Authentication-tag and password checks must not leak *where* two values
+//! first differ. These helpers accumulate differences with bitwise OR so the
+//! running time depends only on the input length.
+
+/// Compares two byte slices in time independent of their contents.
+///
+/// Returns `false` immediately if the lengths differ (lengths are public).
+///
+/// # Example
+///
+/// ```
+/// use genio_crypto::ct::eq;
+/// assert!(eq(b"tag", b"tag"));
+/// assert!(!eq(b"tag", b"tAg"));
+/// assert!(!eq(b"tag", b"tags"));
+/// ```
+#[must_use]
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Selects `a` when `choice` is true and `b` otherwise, without branching on
+/// secret data.
+#[must_use]
+pub fn select(choice: bool, a: u8, b: u8) -> u8 {
+    let mask = (choice as u8).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(eq(&[], &[]));
+        assert!(eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn different_contents() {
+        assert!(!eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!eq(&[0xff], &[0x00]));
+    }
+
+    #[test]
+    fn different_lengths() {
+        assert!(!eq(&[1, 2], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn select_behaves() {
+        assert_eq!(select(true, 0xaa, 0x55), 0xaa);
+        assert_eq!(select(false, 0xaa, 0x55), 0x55);
+    }
+}

@@ -1,0 +1,92 @@
+//! Hexadecimal encoding/decoding for digests, fingerprints and test vectors.
+
+use crate::CryptoError;
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes `data` as a lowercase hex string.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(genio_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (upper- or lowercase) into bytes.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidHex`] if the input has odd length or
+/// contains a non-hex character.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), genio_crypto::CryptoError> {
+/// assert_eq!(genio_crypto::hex::decode("DEad")?, vec![0xde, 0xad]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(s: &str) -> crate::Result<Vec<u8>> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(CryptoError::InvalidHex);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = val(pair[0])?;
+        let lo = val(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn val(c: u8) -> crate::Result<u8> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(CryptoError::InvalidHex),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert_eq!(decode("abc"), Err(CryptoError::InvalidHex));
+    }
+
+    #[test]
+    fn rejects_non_hex() {
+        assert_eq!(decode("zz"), Err(CryptoError::InvalidHex));
+        assert_eq!(decode("0g"), Err(CryptoError::InvalidHex));
+    }
+
+    #[test]
+    fn accepts_mixed_case() {
+        assert_eq!(decode("AbCd").unwrap(), vec![0xab, 0xcd]);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+}

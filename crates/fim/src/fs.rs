@@ -1,0 +1,166 @@
+//! A simulated filesystem: the surface the FIM engine watches.
+
+use std::collections::BTreeMap;
+
+use genio_crypto::sha256::{sha256, Digest};
+
+/// One file's monitored attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileRecord {
+    /// File contents.
+    pub content: Vec<u8>,
+    /// Octal permission bits.
+    pub mode: u32,
+    /// Owning user.
+    pub owner: String,
+}
+
+impl FileRecord {
+    /// SHA-256 of the contents.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.content)
+    }
+}
+
+/// An in-memory filesystem keyed by absolute path.
+#[derive(Debug, Clone, Default)]
+pub struct SimulatedFs {
+    files: BTreeMap<String, FileRecord>,
+}
+
+impl SimulatedFs {
+    /// Creates an empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates or replaces a file.
+    pub fn write(&mut self, path: &str, content: &[u8], mode: u32, owner: &str) {
+        self.files.insert(
+            path.to_string(),
+            FileRecord {
+                content: content.to_vec(),
+                mode,
+                owner: owner.to_string(),
+            },
+        );
+    }
+
+    /// Appends to a file, creating it if needed (the shape of log churn).
+    pub fn append(&mut self, path: &str, data: &[u8]) {
+        match self.files.get_mut(path) {
+            Some(f) => f.content.extend_from_slice(data),
+            None => self.write(path, data, 0o644, "root"),
+        }
+    }
+
+    /// Changes permissions.
+    ///
+    /// Returns false if the path does not exist.
+    pub fn chmod(&mut self, path: &str, mode: u32) -> bool {
+        match self.files.get_mut(path) {
+            Some(f) => {
+                f.mode = mode;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Deletes a file; returns the removed record if it existed.
+    pub fn delete(&mut self, path: &str) -> Option<FileRecord> {
+        self.files.remove(path)
+    }
+
+    /// Looks up a file.
+    pub fn get(&self, path: &str) -> Option<&FileRecord> {
+        self.files.get(path)
+    }
+
+    /// Iterates in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &FileRecord)> {
+        self.files.iter()
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// A representative OLT root filesystem: system binaries, configs,
+    /// SDN state, and the mutable paths that churn in normal operation.
+    pub fn olt_image() -> Self {
+        let mut fs = Self::new();
+        fs.write("/usr/sbin/sshd", b"sshd elf", 0o755, "root");
+        fs.write("/usr/bin/su", b"su elf", 0o4755, "root");
+        fs.write("/usr/sbin/voltha-agent", b"voltha elf", 0o755, "root");
+        fs.write(
+            "/etc/ssh/sshd_config",
+            b"PermitRootLogin no\n",
+            0o600,
+            "root",
+        );
+        fs.write("/etc/passwd", b"root:x:0:0\n", 0o644, "root");
+        fs.write("/etc/shadow", b"root:$6$...\n", 0o640, "root");
+        fs.write("/boot/vmlinuz", b"kernel image", 0o600, "root");
+        fs.write("/var/log/syslog", b"boot messages\n", 0o640, "syslog");
+        fs.write("/var/log/voltha.log", b"adapter up\n", 0o640, "voltha");
+        fs.write("/var/lib/onos/flows.db", b"flow table v1", 0o640, "onos");
+        fs.write("/tmp/session.tmp", b"scratch", 0o600, "root");
+        fs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_get() {
+        let mut fs = SimulatedFs::new();
+        fs.write("/a", b"x", 0o644, "root");
+        assert_eq!(fs.get("/a").unwrap().content, b"x");
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn append_creates_or_extends() {
+        let mut fs = SimulatedFs::new();
+        fs.append("/var/log/x", b"line1\n");
+        fs.append("/var/log/x", b"line2\n");
+        assert_eq!(fs.get("/var/log/x").unwrap().content, b"line1\nline2\n");
+    }
+
+    #[test]
+    fn chmod_and_delete() {
+        let mut fs = SimulatedFs::new();
+        fs.write("/a", b"x", 0o644, "root");
+        assert!(fs.chmod("/a", 0o600));
+        assert_eq!(fs.get("/a").unwrap().mode, 0o600);
+        assert!(!fs.chmod("/missing", 0o600));
+        assert!(fs.delete("/a").is_some());
+        assert!(fs.delete("/a").is_none());
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let mut fs = SimulatedFs::new();
+        fs.write("/a", b"x", 0o644, "root");
+        let d1 = fs.get("/a").unwrap().digest();
+        fs.write("/a", b"y", 0o644, "root");
+        assert_ne!(fs.get("/a").unwrap().digest(), d1);
+    }
+
+    #[test]
+    fn olt_image_has_expected_shape() {
+        let fs = SimulatedFs::olt_image();
+        assert!(fs.get("/usr/sbin/sshd").is_some());
+        assert!(fs.get("/var/log/syslog").is_some());
+        assert!(fs.len() >= 10);
+    }
+}

@@ -1,0 +1,39 @@
+//! # genio-fim
+//!
+//! File integrity monitoring (mitigation **M7**): a Tripwire-shaped engine
+//! over a simulated filesystem.
+//!
+//! The design follows the paper: cryptographic baselines of critical system
+//! files, alerts on unauthorized changes, and baselines that are themselves
+//! signed (with keys protected by the TPM in the platform core) "to prevent
+//! tampering with the monitoring process". **Lesson 3**'s FIM half — "file
+//! monitoring should distinguish between critical resources that should not
+//! be mutable from mutable ones, to avoid misleading alerts" — is modelled
+//! as the policy choice between [`policy::FimPolicy::naive`] (watch
+//! everything) and a classified policy that exempts mutable paths.
+//!
+//! * [`fs`] — the simulated filesystem.
+//! * [`policy`] — path classification (critical vs mutable vs ignored).
+//! * [`monitor`] — baselines, scans, alerts and the hash-chained alert log.
+//!
+//! # Example
+//!
+//! ```
+//! use genio_fim::fs::SimulatedFs;
+//! use genio_fim::policy::FimPolicy;
+//! use genio_fim::monitor::FimMonitor;
+//!
+//! let mut fs = SimulatedFs::new();
+//! fs.write("/usr/sbin/sshd", b"sshd binary", 0o755, "root");
+//! let monitor = FimMonitor::baseline(&fs, &FimPolicy::genio_default(), b"fim-key");
+//! fs.write("/usr/sbin/sshd", b"sshd binary (trojaned)", 0o755, "root");
+//! let scan = monitor.scan(&fs);
+//! assert_eq!(scan.alerts.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fs;
+pub mod monitor;
+pub mod policy;

@@ -1,0 +1,388 @@
+//! Baselines, scans, alerts, and the tamper-evident alert log.
+
+use std::collections::BTreeMap;
+
+use genio_crypto::hmac::HmacSha256;
+use genio_crypto::sha256::{sha256_pair, Digest};
+
+use crate::fs::SimulatedFs;
+use crate::policy::{FimPolicy, PathClass};
+
+/// What changed about a monitored file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// Content digest differs.
+    Modified,
+    /// File present now, absent at baseline.
+    Added,
+    /// File absent now, present at baseline.
+    Deleted,
+    /// Permissions differ.
+    ModeChanged,
+    /// Owner differs.
+    OwnerChanged,
+}
+
+/// One alert raised by a scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// Affected path.
+    pub path: String,
+    /// What changed.
+    pub kind: ChangeKind,
+    /// The path's classification under the active policy.
+    pub class: PathClass,
+}
+
+/// Result of one scan.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// Alerts on critical paths (real findings under the policy).
+    pub alerts: Vec<Alert>,
+    /// Changes observed on mutable paths (recorded, not alerted).
+    pub expected_changes: Vec<Alert>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BaselineEntry {
+    digest: Digest,
+    mode: u32,
+    owner: String,
+    class: PathClass,
+}
+
+/// The FIM engine: a signed baseline plus scan logic.
+#[derive(Debug)]
+pub struct FimMonitor {
+    baseline: BTreeMap<String, BaselineEntry>,
+    policy: FimPolicy,
+    baseline_mac: [u8; 32],
+    key: Vec<u8>,
+}
+
+impl FimMonitor {
+    /// Takes a baseline of `fs` under `policy`, authenticating the baseline
+    /// database with `key` (in the platform the key lives in the TPM).
+    ///
+    /// Ignored paths are not recorded at all.
+    pub fn baseline(fs: &SimulatedFs, policy: &FimPolicy, key: &[u8]) -> Self {
+        let mut baseline = BTreeMap::new();
+        for (path, rec) in fs.iter() {
+            let class = policy.classify(path);
+            if class == PathClass::Ignored {
+                continue;
+            }
+            baseline.insert(
+                path.clone(),
+                BaselineEntry {
+                    digest: rec.digest(),
+                    mode: rec.mode,
+                    owner: rec.owner.clone(),
+                    class,
+                },
+            );
+        }
+        let mac = Self::mac_of(&baseline, key);
+        FimMonitor {
+            baseline,
+            policy: policy.clone(),
+            baseline_mac: mac,
+            key: key.to_vec(),
+        }
+    }
+
+    fn mac_of(baseline: &BTreeMap<String, BaselineEntry>, key: &[u8]) -> [u8; 32] {
+        let mut mac = HmacSha256::new(key);
+        for (path, e) in baseline {
+            mac.update(path.as_bytes());
+            mac.update(&e.digest);
+            mac.update(&e.mode.to_be_bytes());
+            mac.update(e.owner.as_bytes());
+        }
+        mac.finalize()
+    }
+
+    /// Verifies the baseline database has not been tampered with (the
+    /// "Tripwire configurations and databases are encrypted and signed"
+    /// property).
+    #[must_use]
+    pub fn baseline_intact(&self) -> bool {
+        genio_crypto::ct::eq(&Self::mac_of(&self.baseline, &self.key), &self.baseline_mac)
+    }
+
+    /// Test/attack hook: tamper with a baseline entry (what malware that
+    /// can write the DB would do).
+    pub fn tamper_baseline(&mut self, path: &str, new_digest: Digest) {
+        if let Some(e) = self.baseline.get_mut(path) {
+            e.digest = new_digest;
+        }
+    }
+
+    /// Number of monitored paths.
+    pub fn monitored_paths(&self) -> usize {
+        self.baseline.len()
+    }
+
+    /// Scans `fs` against the baseline. Changes on critical paths become
+    /// alerts; changes on mutable paths are recorded as expected.
+    pub fn scan(&self, fs: &SimulatedFs) -> ScanResult {
+        let mut alerts = Vec::new();
+        let mut expected = Vec::new();
+        let mut push = |alert: Alert| match alert.class {
+            PathClass::Critical => alerts.push(alert),
+            PathClass::Mutable => expected.push(alert),
+            PathClass::Ignored => {}
+        };
+        for (path, entry) in &self.baseline {
+            match fs.get(path) {
+                None => push(Alert {
+                    path: path.clone(),
+                    kind: ChangeKind::Deleted,
+                    class: entry.class,
+                }),
+                Some(rec) => {
+                    if rec.digest() != entry.digest {
+                        push(Alert {
+                            path: path.clone(),
+                            kind: ChangeKind::Modified,
+                            class: entry.class,
+                        });
+                    }
+                    if rec.mode != entry.mode {
+                        push(Alert {
+                            path: path.clone(),
+                            kind: ChangeKind::ModeChanged,
+                            class: entry.class,
+                        });
+                    }
+                    if rec.owner != entry.owner {
+                        push(Alert {
+                            path: path.clone(),
+                            kind: ChangeKind::OwnerChanged,
+                            class: entry.class,
+                        });
+                    }
+                }
+            }
+        }
+        for (path, _) in fs.iter() {
+            let class = self.policy.classify(path);
+            if class == PathClass::Ignored {
+                continue;
+            }
+            if !self.baseline.contains_key(path) {
+                push(Alert {
+                    path: path.clone(),
+                    kind: ChangeKind::Added,
+                    class,
+                });
+            }
+        }
+        ScanResult {
+            alerts,
+            expected_changes: expected,
+        }
+    }
+}
+
+/// A hash-chained, append-only alert log: each entry commits to the whole
+/// prefix, so deleting or reordering past alerts is detectable.
+#[derive(Debug, Default)]
+pub struct AlertLog {
+    entries: Vec<(Alert, Digest)>,
+}
+
+impl AlertLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an alert, chaining its hash to the previous head.
+    pub fn append(&mut self, alert: Alert) {
+        let prev = self.head();
+        let encoded = format!("{}|{:?}|{:?}", alert.path, alert.kind, alert.class);
+        let digest = sha256_pair(&prev, encoded.as_bytes());
+        self.entries.push((alert, digest));
+    }
+
+    /// Current chain head (all-zero for the empty log).
+    pub fn head(&self) -> Digest {
+        self.entries.last().map(|(_, d)| *d).unwrap_or([0u8; 32])
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Recomputes the chain and checks internal consistency.
+    #[must_use]
+    pub fn verify(&self) -> bool {
+        let mut prev = [0u8; 32];
+        for (alert, digest) in &self.entries {
+            let encoded = format!("{}|{:?}|{:?}", alert.path, alert.kind, alert.class);
+            let expect = sha256_pair(&prev, encoded.as_bytes());
+            if expect != *digest {
+                return false;
+            }
+            prev = *digest;
+        }
+        true
+    }
+
+    /// Test/attack hook: silently drop an entry (what an intruder scrubbing
+    /// evidence would do).
+    pub fn scrub(&mut self, index: usize) {
+        if index < self.entries.len() {
+            self.entries.remove(index);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::SimulatedFs;
+
+    fn setup(policy: FimPolicy) -> (SimulatedFs, FimMonitor) {
+        let fs = SimulatedFs::olt_image();
+        let monitor = FimMonitor::baseline(&fs, &policy, b"fim-key");
+        (fs, monitor)
+    }
+
+    #[test]
+    fn clean_scan_is_silent() {
+        let (fs, monitor) = setup(FimPolicy::genio_default());
+        let result = monitor.scan(&fs);
+        assert!(result.alerts.is_empty());
+        assert!(result.expected_changes.is_empty());
+    }
+
+    #[test]
+    fn tampering_detected_under_both_policies() {
+        for policy in [FimPolicy::naive(), FimPolicy::genio_default()] {
+            let (mut fs, monitor) = setup(policy);
+            fs.write("/usr/bin/su", b"su elf (backdoored)", 0o4755, "root");
+            let result = monitor.scan(&fs);
+            assert!(result
+                .alerts
+                .iter()
+                .any(|a| a.path == "/usr/bin/su" && a.kind == ChangeKind::Modified));
+        }
+    }
+
+    #[test]
+    fn log_churn_false_positives_only_under_naive_policy() {
+        // Lesson 3's FIM metric, in miniature.
+        let (mut fs_naive, naive) = setup(FimPolicy::naive());
+        fs_naive.append("/var/log/syslog", b"more lines\n");
+        let naive_result = naive.scan(&fs_naive);
+        assert_eq!(
+            naive_result.alerts.len(),
+            1,
+            "naive policy raises a false positive"
+        );
+
+        let (mut fs_tuned, tuned) = setup(FimPolicy::genio_default());
+        fs_tuned.append("/var/log/syslog", b"more lines\n");
+        let tuned_result = tuned.scan(&fs_tuned);
+        assert!(tuned_result.alerts.is_empty(), "tuned policy is silent");
+        assert_eq!(
+            tuned_result.expected_changes.len(),
+            1,
+            "change still recorded"
+        );
+    }
+
+    #[test]
+    fn deletion_and_mode_change_detected() {
+        let (mut fs, monitor) = setup(FimPolicy::genio_default());
+        fs.delete("/etc/shadow");
+        fs.chmod("/etc/passwd", 0o666);
+        let result = monitor.scan(&fs);
+        assert!(result
+            .alerts
+            .iter()
+            .any(|a| a.path == "/etc/shadow" && a.kind == ChangeKind::Deleted));
+        assert!(result
+            .alerts
+            .iter()
+            .any(|a| a.path == "/etc/passwd" && a.kind == ChangeKind::ModeChanged));
+    }
+
+    #[test]
+    fn new_critical_file_detected() {
+        let (mut fs, monitor) = setup(FimPolicy::genio_default());
+        fs.write("/usr/sbin/evil-daemon", b"implant", 0o755, "root");
+        let result = monitor.scan(&fs);
+        assert!(result
+            .alerts
+            .iter()
+            .any(|a| a.path == "/usr/sbin/evil-daemon" && a.kind == ChangeKind::Added));
+    }
+
+    #[test]
+    fn ignored_paths_never_alert() {
+        let (mut fs, monitor) = setup(FimPolicy::genio_default());
+        fs.write("/tmp/whatever", b"scratch data", 0o600, "root");
+        fs.delete("/tmp/session.tmp");
+        let result = monitor.scan(&fs);
+        assert!(result.alerts.is_empty());
+        assert!(result.expected_changes.is_empty());
+    }
+
+    #[test]
+    fn baseline_tampering_detected() {
+        let (mut fs, mut monitor) = setup(FimPolicy::genio_default());
+        assert!(monitor.baseline_intact());
+        // Attacker modifies the binary AND patches the baseline digest.
+        fs.write("/usr/bin/su", b"su elf (backdoored)", 0o4755, "root");
+        let new_digest = fs.get("/usr/bin/su").unwrap().digest();
+        monitor.tamper_baseline("/usr/bin/su", new_digest);
+        // The scan is now silent...
+        assert!(monitor.scan(&fs).alerts.is_empty());
+        // ...but the signed baseline no longer verifies.
+        assert!(!monitor.baseline_intact());
+    }
+
+    #[test]
+    fn owner_change_detected() {
+        let (mut fs, monitor) = setup(FimPolicy::genio_default());
+        let rec = fs.get("/etc/passwd").unwrap().clone();
+        fs.write("/etc/passwd", &rec.content, rec.mode, "attacker");
+        let result = monitor.scan(&fs);
+        assert!(result
+            .alerts
+            .iter()
+            .any(|a| a.path == "/etc/passwd" && a.kind == ChangeKind::OwnerChanged));
+    }
+
+    #[test]
+    fn alert_log_chains_and_detects_scrubbing() {
+        let mut log = AlertLog::new();
+        for i in 0..5 {
+            log.append(Alert {
+                path: format!("/usr/bin/f{i}"),
+                kind: ChangeKind::Modified,
+                class: PathClass::Critical,
+            });
+        }
+        assert!(log.verify());
+        assert_eq!(log.len(), 5);
+        log.scrub(2);
+        assert!(!log.verify(), "scrubbed log must fail verification");
+    }
+
+    #[test]
+    fn empty_log_verifies() {
+        let log = AlertLog::new();
+        assert!(log.verify());
+        assert_eq!(log.head(), [0u8; 32]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Path classification policies: what is critical, what is expected to
+//! change, what is not worth watching.
+
+/// Classification of one path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathClass {
+    /// Must never change post-deployment (binaries, configs, kernel).
+    Critical,
+    /// Expected to change in normal operation (logs, databases, spool).
+    Mutable,
+    /// Not monitored at all (scratch space).
+    Ignored,
+}
+
+/// A prefix rule mapping a path subtree to a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathRule {
+    /// Path prefix, e.g. `/var/log`.
+    pub prefix: String,
+    /// Class for everything under the prefix.
+    pub class: PathClass,
+}
+
+/// A FIM policy: ordered prefix rules, longest match wins; unmatched paths
+/// default to [`PathClass::Critical`] (fail closed).
+#[derive(Debug, Clone, Default)]
+pub struct FimPolicy {
+    rules: Vec<PathRule>,
+}
+
+impl FimPolicy {
+    /// The naive policy: no rules, everything is critical. This is what a
+    /// freshly deployed Tripwire behaves like before tuning, and the source
+    /// of Lesson 3's "misleading alerts".
+    pub fn naive() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule, builder-style.
+    pub fn rule(mut self, prefix: &str, class: PathClass) -> Self {
+        self.rules.push(PathRule {
+            prefix: prefix.to_string(),
+            class,
+        });
+        self
+    }
+
+    /// The tuned GENIO policy: system paths critical, operational state
+    /// mutable, scratch ignored.
+    pub fn genio_default() -> Self {
+        Self::naive()
+            .rule("/usr", PathClass::Critical)
+            .rule("/etc", PathClass::Critical)
+            .rule("/boot", PathClass::Critical)
+            .rule("/var/log", PathClass::Mutable)
+            .rule("/var/lib", PathClass::Mutable)
+            .rule("/tmp", PathClass::Ignored)
+    }
+
+    /// Classifies a path: longest matching prefix wins; default Critical.
+    pub fn classify(&self, path: &str) -> PathClass {
+        self.rules
+            .iter()
+            .filter(|r| path.starts_with(&r.prefix))
+            .max_by_key(|r| r.prefix.len())
+            .map(|r| r.class)
+            .unwrap_or(PathClass::Critical)
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True for the naive (rule-free) policy.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_classifies_everything_critical() {
+        let p = FimPolicy::naive();
+        assert_eq!(p.classify("/var/log/syslog"), PathClass::Critical);
+        assert_eq!(p.classify("/tmp/x"), PathClass::Critical);
+    }
+
+    #[test]
+    fn genio_policy_classification() {
+        let p = FimPolicy::genio_default();
+        assert_eq!(p.classify("/usr/sbin/sshd"), PathClass::Critical);
+        assert_eq!(p.classify("/etc/passwd"), PathClass::Critical);
+        assert_eq!(p.classify("/var/log/syslog"), PathClass::Mutable);
+        assert_eq!(p.classify("/var/lib/onos/flows.db"), PathClass::Mutable);
+        assert_eq!(p.classify("/tmp/session.tmp"), PathClass::Ignored);
+        // Unmatched paths fail closed.
+        assert_eq!(p.classify("/opt/vendor/tool"), PathClass::Critical);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let p = FimPolicy::naive()
+            .rule("/var", PathClass::Mutable)
+            .rule("/var/lib/genio/keys", PathClass::Critical);
+        assert_eq!(p.classify("/var/log/x"), PathClass::Mutable);
+        assert_eq!(
+            p.classify("/var/lib/genio/keys/ca.pem"),
+            PathClass::Critical
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for FIM soundness and the tamper-evident log.
+
+use proptest::prelude::*;
+
+use genio_fim::fs::SimulatedFs;
+use genio_fim::monitor::{Alert, AlertLog, ChangeKind, FimMonitor};
+use genio_fim::policy::{FimPolicy, PathClass};
+
+fn arb_critical_path() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "/usr/sbin/sshd",
+        "/usr/bin/su",
+        "/usr/sbin/voltha-agent",
+        "/etc/ssh/sshd_config",
+        "/etc/passwd",
+        "/etc/shadow",
+        "/boot/vmlinuz",
+    ])
+    .prop_map(str::to_string)
+}
+
+proptest! {
+    /// Soundness: modifying any critical file always raises exactly one
+    /// Modified alert for that path, and no other alert.
+    #[test]
+    fn any_critical_modification_detected(path in arb_critical_path(),
+                                          new_content in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let fs = SimulatedFs::olt_image();
+        let monitor = FimMonitor::baseline(&fs, &FimPolicy::genio_default(), b"k");
+        let mut tampered = fs.clone();
+        let original = tampered.get(&path).unwrap().clone();
+        prop_assume!(new_content != original.content);
+        tampered.write(&path, &new_content, original.mode, &original.owner);
+        let result = monitor.scan(&tampered);
+        prop_assert_eq!(result.alerts.len(), 1);
+        prop_assert_eq!(&result.alerts[0].path, &path);
+        prop_assert_eq!(result.alerts[0].kind, ChangeKind::Modified);
+    }
+
+    /// Completeness of the quiet case: scanning an unmodified filesystem
+    /// never alerts, under any policy.
+    #[test]
+    fn clean_scan_silent_under_any_policy(rules in proptest::collection::vec(
+        (prop::sample::select(vec!["/usr", "/etc", "/var", "/boot", "/tmp"]), 0u8..3), 0..5)) {
+        let mut policy = FimPolicy::naive();
+        for (prefix, class) in rules {
+            let class = match class {
+                0 => PathClass::Critical,
+                1 => PathClass::Mutable,
+                _ => PathClass::Ignored,
+            };
+            policy = policy.rule(prefix, class);
+        }
+        let fs = SimulatedFs::olt_image();
+        let monitor = FimMonitor::baseline(&fs, &policy, b"k");
+        let result = monitor.scan(&fs);
+        prop_assert!(result.alerts.is_empty());
+        prop_assert!(result.expected_changes.is_empty());
+    }
+
+    /// The hash-chained alert log verifies iff untouched: removing any
+    /// entry (except trimming the final suffix entirely) breaks it.
+    #[test]
+    fn alert_log_tamper_evident(n in 2usize..20, scrub in any::<prop::sample::Index>()) {
+        let mut log = AlertLog::new();
+        for i in 0..n {
+            log.append(Alert {
+                path: format!("/usr/bin/f{i}"),
+                kind: ChangeKind::Modified,
+                class: PathClass::Critical,
+            });
+        }
+        prop_assert!(log.verify());
+        let idx = scrub.index(n - 1); // never the last entry
+        log.scrub(idx);
+        prop_assert!(!log.verify());
+    }
+}

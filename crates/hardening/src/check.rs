@@ -1,0 +1,411 @@
+//! The check engine: typed conditions evaluated against an [`OsState`].
+//!
+//! A check that references an object the OS does not have (an sshd option
+//! the build predates, a file the image omits) evaluates to
+//! [`Verdict::NotApplicable`] rather than pass/fail — this is the mechanism
+//! behind Lesson 1's observation that mainstream benchmarks only partially
+//! apply to ONL.
+
+use crate::osstate::{Distro, OsState};
+
+/// Severity of a finding, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational.
+    Low,
+    /// Should fix.
+    Medium,
+    /// Must fix.
+    High,
+}
+
+/// The typed condition a check evaluates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// Service must not be enabled or running.
+    ServiceDisabled(String),
+    /// Package must not be installed.
+    PackageAbsent(String),
+    /// Package must be installed.
+    PackagePresent(String),
+    /// `sshd_config` option must equal the value. Not applicable when the
+    /// option key is absent from the config surface.
+    SshdOption {
+        /// Option key.
+        key: String,
+        /// Required value.
+        value: String,
+    },
+    /// Sysctl must equal the value. Not applicable when the key is absent.
+    Sysctl {
+        /// Parameter name.
+        key: String,
+        /// Required value.
+        value: String,
+    },
+    /// Kernel config symbol must equal `y`/`n`/value. Not applicable when
+    /// the symbol is absent from the build.
+    Kconfig {
+        /// Symbol name.
+        key: String,
+        /// Required value.
+        value: String,
+    },
+    /// Boot command line must contain the token.
+    CmdlineContains(String),
+    /// Kernel module must not be present.
+    ModuleAbsent(String),
+    /// File permissions must be at most `max_mode`. Not applicable when the
+    /// file does not exist.
+    FileModeAtMost {
+        /// Absolute path.
+        path: String,
+        /// Maximum permitted octal mode.
+        max_mode: u32,
+    },
+    /// Every configured APT repository must be signature-enforcing.
+    AllReposSigned,
+    /// Mount must carry the option. Not applicable when the mount point is
+    /// absent.
+    MountHasOption {
+        /// Mount path.
+        path: String,
+        /// Required option, e.g. `nodev`.
+        option: String,
+    },
+}
+
+/// Outcome of evaluating one check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Condition satisfied.
+    Pass,
+    /// Condition violated; carries what was observed.
+    Fail {
+        /// Human-readable observation.
+        observed: String,
+    },
+    /// Check does not apply to this system.
+    NotApplicable {
+        /// Why it does not apply.
+        reason: String,
+    },
+}
+
+/// One benchmark check.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Stable identifier, e.g. `sshd-permit-root-login`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Severity when failing.
+    pub severity: Severity,
+    /// Distros the check was authored for; empty = universal.
+    pub applies_to: Vec<Distro>,
+    /// The condition.
+    pub condition: Condition,
+}
+
+impl Check {
+    /// Creates a universal check.
+    pub fn new(id: &str, title: &str, severity: Severity, condition: Condition) -> Self {
+        Check {
+            id: id.to_string(),
+            title: title.to_string(),
+            severity,
+            applies_to: Vec::new(),
+            condition,
+        }
+    }
+
+    /// Restricts the check to specific distro families (as STIGs are).
+    pub fn for_distros(mut self, distros: &[Distro]) -> Self {
+        self.applies_to = distros.to_vec();
+        self
+    }
+
+    /// Evaluates this check against `os`.
+    pub fn evaluate(&self, os: &OsState) -> Verdict {
+        if !self.applies_to.is_empty() && !self.applies_to.contains(&os.distro) {
+            return Verdict::NotApplicable {
+                reason: format!(
+                    "authored for {:?}, host is {:?}",
+                    self.applies_to, os.distro
+                ),
+            };
+        }
+        match &self.condition {
+            Condition::ServiceDisabled(name) => {
+                if os.service_active(name) {
+                    Verdict::Fail {
+                        observed: format!("service {name} active"),
+                    }
+                } else {
+                    Verdict::Pass
+                }
+            }
+            Condition::PackageAbsent(name) => {
+                if os.packages.contains_key(name) {
+                    Verdict::Fail {
+                        observed: format!("package {name} installed"),
+                    }
+                } else {
+                    Verdict::Pass
+                }
+            }
+            Condition::PackagePresent(name) => {
+                if os.packages.contains_key(name) {
+                    Verdict::Pass
+                } else {
+                    Verdict::Fail {
+                        observed: format!("package {name} missing"),
+                    }
+                }
+            }
+            Condition::SshdOption { key, value } => match os.sshd.get(key) {
+                None => Verdict::NotApplicable {
+                    reason: format!("sshd option {key} absent"),
+                },
+                Some(v) if v == value => Verdict::Pass,
+                Some(v) => Verdict::Fail {
+                    observed: format!("{key}={v}"),
+                },
+            },
+            Condition::Sysctl { key, value } => match os.sysctl.get(key) {
+                None => Verdict::NotApplicable {
+                    reason: format!("sysctl {key} absent"),
+                },
+                Some(v) if v == value => Verdict::Pass,
+                Some(v) => Verdict::Fail {
+                    observed: format!("{key}={v}"),
+                },
+            },
+            Condition::Kconfig { key, value } => match os.kconfig.get(key) {
+                None => Verdict::NotApplicable {
+                    reason: format!("kconfig {key} absent"),
+                },
+                Some(v) if v == value => Verdict::Pass,
+                Some(v) => Verdict::Fail {
+                    observed: format!("{key}={v}"),
+                },
+            },
+            Condition::CmdlineContains(token) => {
+                if os.cmdline.iter().any(|t| t == token) {
+                    Verdict::Pass
+                } else {
+                    Verdict::Fail {
+                        observed: format!("cmdline lacks {token}"),
+                    }
+                }
+            }
+            Condition::ModuleAbsent(name) => {
+                if os.modules.iter().any(|m| m == name) {
+                    Verdict::Fail {
+                        observed: format!("module {name} present"),
+                    }
+                } else {
+                    Verdict::Pass
+                }
+            }
+            Condition::FileModeAtMost { path, max_mode } => match os.files.get(path) {
+                None => Verdict::NotApplicable {
+                    reason: format!("file {path} absent"),
+                },
+                Some(meta) if meta.mode <= *max_mode => Verdict::Pass,
+                Some(meta) => Verdict::Fail {
+                    observed: format!("{path} mode {:o} > {:o}", meta.mode, max_mode),
+                },
+            },
+            Condition::AllReposSigned => {
+                let unsigned: Vec<&str> = os
+                    .apt_repos
+                    .iter()
+                    .filter(|r| !r.signed)
+                    .map(|r| r.url.as_str())
+                    .collect();
+                if unsigned.is_empty() {
+                    Verdict::Pass
+                } else {
+                    Verdict::Fail {
+                        observed: format!("unsigned repos: {}", unsigned.join(", ")),
+                    }
+                }
+            }
+            Condition::MountHasOption { path, option } => match os.mounts.get(path) {
+                None => Verdict::NotApplicable {
+                    reason: format!("mount {path} absent"),
+                },
+                Some(m) if m.options.iter().any(|o| o == option) => Verdict::Pass,
+                Some(m) => Verdict::Fail {
+                    observed: format!("{path} options [{}] lack {option}", m.options.join(",")),
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn onl() -> OsState {
+        OsState::onl_factory()
+    }
+
+    #[test]
+    fn service_disabled_check() {
+        let c = Check::new(
+            "no-telnet",
+            "telnet off",
+            Severity::High,
+            Condition::ServiceDisabled("telnet".into()),
+        );
+        assert!(matches!(c.evaluate(&onl()), Verdict::Fail { .. }));
+        let c2 = Check::new(
+            "no-xinetd",
+            "xinetd off",
+            Severity::Low,
+            Condition::ServiceDisabled("xinetd".into()),
+        );
+        assert_eq!(c2.evaluate(&onl()), Verdict::Pass);
+    }
+
+    #[test]
+    fn missing_sshd_option_is_not_applicable() {
+        let c = Check::new(
+            "ssh-maxauth",
+            "MaxAuthTries",
+            Severity::Medium,
+            Condition::SshdOption {
+                key: "MaxAuthTries".into(),
+                value: "4".into(),
+            },
+        );
+        assert!(matches!(c.evaluate(&onl()), Verdict::NotApplicable { .. }));
+        assert!(matches!(
+            c.evaluate(&OsState::mainstream_factory()),
+            Verdict::Fail { .. }
+        ));
+    }
+
+    #[test]
+    fn distro_gating() {
+        let c = Check::new(
+            "ubuntu-only",
+            "x",
+            Severity::Low,
+            Condition::ServiceDisabled("telnet".into()),
+        )
+        .for_distros(&[Distro::Ubuntu]);
+        assert!(matches!(c.evaluate(&onl()), Verdict::NotApplicable { .. }));
+        assert!(matches!(
+            c.evaluate(&OsState::mainstream_factory()),
+            Verdict::Pass
+        ));
+    }
+
+    #[test]
+    fn file_mode_check() {
+        let c = Check::new(
+            "shadow-mode",
+            "shadow perms",
+            Severity::High,
+            Condition::FileModeAtMost {
+                path: "/etc/shadow".into(),
+                max_mode: 0o640,
+            },
+        );
+        assert!(matches!(c.evaluate(&onl()), Verdict::Fail { .. }));
+        assert_eq!(c.evaluate(&OsState::mainstream_factory()), Verdict::Pass);
+    }
+
+    #[test]
+    fn repos_signed_check() {
+        let c = Check::new(
+            "apt-signed",
+            "repos signed",
+            Severity::High,
+            Condition::AllReposSigned,
+        );
+        assert!(matches!(c.evaluate(&onl()), Verdict::Fail { .. }));
+        assert_eq!(c.evaluate(&OsState::mainstream_factory()), Verdict::Pass);
+    }
+
+    #[test]
+    fn kconfig_and_sysctl() {
+        let os = onl();
+        let c = Check::new(
+            "stackprot",
+            "stack protector",
+            Severity::High,
+            Condition::Kconfig {
+                key: "CONFIG_STACKPROTECTOR".into(),
+                value: "y".into(),
+            },
+        );
+        assert!(matches!(c.evaluate(&os), Verdict::Fail { .. }));
+        let c2 = Check::new(
+            "kptr",
+            "kptr_restrict",
+            Severity::Medium,
+            Condition::Sysctl {
+                key: "kernel.kptr_restrict".into(),
+                value: "1".into(),
+            },
+        );
+        assert!(matches!(c2.evaluate(&os), Verdict::Fail { .. }));
+        let c3 = Check::new(
+            "missing",
+            "not built",
+            Severity::Low,
+            Condition::Kconfig {
+                key: "CONFIG_NOT_A_SYMBOL".into(),
+                value: "y".into(),
+            },
+        );
+        assert!(matches!(c3.evaluate(&os), Verdict::NotApplicable { .. }));
+    }
+
+    #[test]
+    fn mount_option_check() {
+        let c = Check::new(
+            "tmp-nodev",
+            "tmp nodev",
+            Severity::Medium,
+            Condition::MountHasOption {
+                path: "/tmp".into(),
+                option: "nodev".into(),
+            },
+        );
+        assert!(matches!(c.evaluate(&onl()), Verdict::Fail { .. }));
+        let c2 = Check::new(
+            "var-nodev",
+            "var nodev",
+            Severity::Medium,
+            Condition::MountHasOption {
+                path: "/var".into(),
+                option: "nodev".into(),
+            },
+        );
+        assert_eq!(c2.evaluate(&OsState::mainstream_factory()), Verdict::Pass);
+    }
+
+    #[test]
+    fn module_and_cmdline() {
+        let c = Check::new(
+            "no-usb-storage",
+            "usb-storage absent",
+            Severity::Medium,
+            Condition::ModuleAbsent("usb-storage".into()),
+        );
+        assert!(matches!(c.evaluate(&onl()), Verdict::Fail { .. }));
+        let c2 = Check::new(
+            "lockdown",
+            "lockdown on cmdline",
+            Severity::High,
+            Condition::CmdlineContains("lockdown=integrity".into()),
+        );
+        assert!(matches!(c2.evaluate(&onl()), Verdict::Fail { .. }));
+    }
+}

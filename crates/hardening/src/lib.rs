@@ -1,0 +1,43 @@
+//! # genio-hardening
+//!
+//! OS hardening engine: the paper's mitigations **M1** (OS environment
+//! configuration via OpenSCAP/STIG) and **M2** (kernel hardening via
+//! `kernel-hardening-checker`), executable against a simulated OS state.
+//!
+//! The paper's **Lesson 1** is that ONL (Open Networking Linux) lacks formal
+//! security guidelines, so STIGs and SCAP benchmarks written for mainstream
+//! distributions required "iterative adjustments and reviews to balance
+//! security, performance, and compatibility". This crate makes that lesson
+//! measurable:
+//!
+//! * [`osstate`] — a declarative model of a node's configuration surface:
+//!   packages, services, sshd options, sysctl, kernel config, boot cmdline,
+//!   mounts and APT repositories, with factory states for an **ONL-like**
+//!   switch OS and a **mainstream** server OS.
+//! * [`check`] — the check engine: typed conditions evaluated against the
+//!   OS state, yielding pass / fail / not-applicable verdicts.
+//! * [`profile`] — benchmark profiles: a SCAP-like OS baseline, a STIG-like
+//!   access/crypto profile, and a kernel-hardening-checker baseline
+//!   (kconfig + cmdline + sysctl).
+//! * [`remediate`] — the remediation loop, including **compatibility
+//!   constraints** (the SDN stack needs features the benchmarks want
+//!   disabled) that force the iterative tuning Lesson 1 describes.
+//!
+//! # Example
+//!
+//! ```
+//! use genio_hardening::osstate::OsState;
+//! use genio_hardening::profile;
+//!
+//! let onl = OsState::onl_factory();
+//! let report = profile::scap_baseline().scan(&onl);
+//! assert!(report.failed() > 0, "factory ONL is not hardened");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod osstate;
+pub mod profile;
+pub mod remediate;

@@ -1,0 +1,323 @@
+//! Simulated OS configuration state: the surface hardening checks inspect
+//! and remediations mutate.
+
+use std::collections::BTreeMap;
+
+/// Distribution family, which gates check applicability (Lesson 1: checks
+/// written for mainstream distros often don't apply cleanly to ONL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distro {
+    /// Open Networking Linux (Debian 10 derivative for white-box switches).
+    Onl,
+    /// Mainstream Debian.
+    Debian,
+    /// Mainstream Ubuntu LTS.
+    Ubuntu,
+}
+
+/// State of a system service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceState {
+    /// Enabled at boot.
+    pub enabled: bool,
+    /// Currently running.
+    pub running: bool,
+}
+
+/// Metadata of a file that checks care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Octal permission bits.
+    pub mode: u32,
+    /// Owning user.
+    pub owner: String,
+}
+
+/// An APT repository entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AptRepo {
+    /// Source URL.
+    pub url: String,
+    /// True when the repository's signing key is trusted and verification
+    /// is enforced.
+    pub signed: bool,
+}
+
+/// A mount point with its options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mount {
+    /// Mount options such as `nodev`, `nosuid`, `noexec`.
+    pub options: Vec<String>,
+}
+
+/// The full configuration surface of one node.
+///
+/// All collections are ordered maps so scans and reports are deterministic.
+#[derive(Debug, Clone)]
+pub struct OsState {
+    /// Distribution family.
+    pub distro: Distro,
+    /// Installed packages → version string.
+    pub packages: BTreeMap<String, String>,
+    /// Services by name.
+    pub services: BTreeMap<String, ServiceState>,
+    /// `sshd_config` options.
+    pub sshd: BTreeMap<String, String>,
+    /// Kernel runtime parameters.
+    pub sysctl: BTreeMap<String, String>,
+    /// Kernel build configuration (`CONFIG_*` → `y`/`n`/`m`/value).
+    pub kconfig: BTreeMap<String, String>,
+    /// Kernel boot command line tokens.
+    pub cmdline: Vec<String>,
+    /// Loaded/loadable kernel modules.
+    pub modules: Vec<String>,
+    /// Files by absolute path.
+    pub files: BTreeMap<String, FileMeta>,
+    /// APT repositories.
+    pub apt_repos: Vec<AptRepo>,
+    /// Mount points by path.
+    pub mounts: BTreeMap<String, Mount>,
+}
+
+impl OsState {
+    /// An empty state (useful as a fixture base).
+    pub fn empty(distro: Distro) -> Self {
+        OsState {
+            distro,
+            packages: BTreeMap::new(),
+            services: BTreeMap::new(),
+            sshd: BTreeMap::new(),
+            sysctl: BTreeMap::new(),
+            kconfig: BTreeMap::new(),
+            cmdline: Vec::new(),
+            modules: Vec::new(),
+            files: BTreeMap::new(),
+            apt_repos: Vec::new(),
+            mounts: BTreeMap::new(),
+        }
+    }
+
+    /// Factory state of an ONL-based OLT: Debian 10 userspace, SDN stack
+    /// installed, permissive defaults, and several objects the mainstream
+    /// benchmarks expect simply missing.
+    pub fn onl_factory() -> Self {
+        let mut s = Self::empty(Distro::Onl);
+        for (pkg, ver) in [
+            ("openssh-server", "7.9"),
+            ("onl-base", "1.0"),
+            ("voltha-agent", "2.8"),
+            ("onos-driver", "2.7"),
+            ("telnetd", "0.17"),
+            ("python2.7", "2.7.16"),
+            ("tcpdump", "4.9"),
+        ] {
+            s.packages.insert(pkg.into(), ver.into());
+        }
+        for (svc, enabled, running) in [
+            ("ssh", true, true),
+            ("telnet", true, true),
+            ("voltha", true, true),
+            ("onos", true, true),
+            ("rpcbind", true, true),
+            ("avahi-daemon", true, false),
+        ] {
+            s.services
+                .insert(svc.into(), ServiceState { enabled, running });
+        }
+        s.sshd.insert("PermitRootLogin".into(), "yes".into());
+        s.sshd.insert("PasswordAuthentication".into(), "yes".into());
+        s.sshd.insert("Protocol".into(), "2".into());
+        // No MaxAuthTries / ClientAliveInterval keys at all: the ONL sshd
+        // build predates them in the benchmark's expected form.
+        s.sysctl.insert("kernel.kptr_restrict".into(), "0".into());
+        s.sysctl.insert("kernel.dmesg_restrict".into(), "0".into());
+        s.sysctl.insert("net.ipv4.ip_forward".into(), "1".into()); // SDN needs it
+        s.sysctl
+            .insert("kernel.yama.ptrace_scope".into(), "0".into());
+        s.kconfig.insert("CONFIG_STACKPROTECTOR".into(), "n".into());
+        s.kconfig.insert("CONFIG_KEXEC".into(), "y".into());
+        s.kconfig.insert("CONFIG_KPROBES".into(), "y".into()); // SDN tracing uses it
+        s.kconfig
+            .insert("CONFIG_STRICT_KERNEL_RWX".into(), "n".into());
+        s.kconfig.insert("CONFIG_MODULE_SIG".into(), "n".into());
+        s.cmdline = vec!["quiet".into()];
+        s.modules = vec!["dpaa2".into(), "openvswitch".into(), "usb-storage".into()];
+        s.files.insert(
+            "/etc/shadow".into(),
+            FileMeta {
+                mode: 0o644,
+                owner: "root".into(),
+            },
+        );
+        s.files.insert(
+            "/boot/grub/grub.cfg".into(),
+            FileMeta {
+                mode: 0o644,
+                owner: "root".into(),
+            },
+        );
+        // /etc/issue and /etc/login.defs absent on the ONL image.
+        s.apt_repos = vec![
+            AptRepo {
+                url: "http://deb.debian.org/debian".into(),
+                signed: true,
+            },
+            AptRepo {
+                url: "http://vendor.example/onl".into(),
+                signed: false,
+            },
+        ];
+        s.mounts.insert(
+            "/tmp".into(),
+            Mount {
+                options: vec!["rw".into()],
+            },
+        );
+        s.mounts.insert(
+            "/var".into(),
+            Mount {
+                options: vec!["rw".into()],
+            },
+        );
+        s
+    }
+
+    /// Factory state of a mainstream Ubuntu server: same hardening gaps
+    /// where realistic, but all benchmark-expected objects *exist*.
+    pub fn mainstream_factory() -> Self {
+        let mut s = Self::empty(Distro::Ubuntu);
+        for (pkg, ver) in [
+            ("openssh-server", "9.6"),
+            ("auditd", "3.0"),
+            ("apparmor", "4.0"),
+            ("tcpdump", "4.99"),
+        ] {
+            s.packages.insert(pkg.into(), ver.into());
+        }
+        for (svc, enabled, running) in [
+            ("ssh", true, true),
+            ("auditd", true, true),
+            ("avahi-daemon", true, true),
+            ("cups", true, false),
+        ] {
+            s.services
+                .insert(svc.into(), ServiceState { enabled, running });
+        }
+        s.sshd.insert("PermitRootLogin".into(), "yes".into());
+        s.sshd.insert("PasswordAuthentication".into(), "yes".into());
+        s.sshd.insert("Protocol".into(), "2".into());
+        s.sshd.insert("MaxAuthTries".into(), "6".into());
+        s.sshd.insert("ClientAliveInterval".into(), "0".into());
+        s.sysctl.insert("kernel.kptr_restrict".into(), "0".into());
+        s.sysctl.insert("kernel.dmesg_restrict".into(), "0".into());
+        s.sysctl.insert("net.ipv4.ip_forward".into(), "0".into());
+        s.sysctl
+            .insert("kernel.yama.ptrace_scope".into(), "1".into());
+        s.kconfig.insert("CONFIG_STACKPROTECTOR".into(), "y".into());
+        s.kconfig.insert("CONFIG_KEXEC".into(), "y".into());
+        s.kconfig.insert("CONFIG_KPROBES".into(), "y".into());
+        s.kconfig
+            .insert("CONFIG_STRICT_KERNEL_RWX".into(), "y".into());
+        s.kconfig.insert("CONFIG_MODULE_SIG".into(), "y".into());
+        s.cmdline = vec!["quiet".into(), "splash".into()];
+        s.modules = vec!["kvm".into(), "usb-storage".into()];
+        s.files.insert(
+            "/etc/shadow".into(),
+            FileMeta {
+                mode: 0o640,
+                owner: "root".into(),
+            },
+        );
+        s.files.insert(
+            "/boot/grub/grub.cfg".into(),
+            FileMeta {
+                mode: 0o600,
+                owner: "root".into(),
+            },
+        );
+        s.files.insert(
+            "/etc/issue".into(),
+            FileMeta {
+                mode: 0o644,
+                owner: "root".into(),
+            },
+        );
+        s.files.insert(
+            "/etc/login.defs".into(),
+            FileMeta {
+                mode: 0o644,
+                owner: "root".into(),
+            },
+        );
+        s.apt_repos = vec![AptRepo {
+            url: "http://archive.ubuntu.com/ubuntu".into(),
+            signed: true,
+        }];
+        s.mounts.insert(
+            "/tmp".into(),
+            Mount {
+                options: vec!["rw".into()],
+            },
+        );
+        s.mounts.insert(
+            "/var".into(),
+            Mount {
+                options: vec!["rw".into(), "nodev".into()],
+            },
+        );
+        s
+    }
+
+    /// Convenience: true if a service exists and is enabled or running.
+    pub fn service_active(&self, name: &str) -> bool {
+        self.services
+            .get(name)
+            .map(|s| s.enabled || s.running)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factories_differ_in_distro_and_surface() {
+        let onl = OsState::onl_factory();
+        let main = OsState::mainstream_factory();
+        assert_eq!(onl.distro, Distro::Onl);
+        assert_eq!(main.distro, Distro::Ubuntu);
+        assert!(onl.packages.contains_key("voltha-agent"));
+        assert!(!main.packages.contains_key("voltha-agent"));
+        // ONL image is missing benchmark-expected objects.
+        assert!(!onl.files.contains_key("/etc/issue"));
+        assert!(main.files.contains_key("/etc/issue"));
+        assert!(!onl.sshd.contains_key("MaxAuthTries"));
+        assert!(main.sshd.contains_key("MaxAuthTries"));
+    }
+
+    #[test]
+    fn service_active_logic() {
+        let onl = OsState::onl_factory();
+        assert!(onl.service_active("telnet"));
+        assert!(
+            onl.service_active("avahi-daemon"),
+            "enabled though not running"
+        );
+        assert!(!onl.service_active("nonexistent"));
+    }
+
+    #[test]
+    fn both_factories_are_insecure_by_default() {
+        for s in [OsState::onl_factory(), OsState::mainstream_factory()] {
+            assert_eq!(
+                s.sshd.get("PermitRootLogin").map(String::as_str),
+                Some("yes")
+            );
+            assert_eq!(
+                s.sysctl.get("kernel.kptr_restrict").map(String::as_str),
+                Some("0")
+            );
+        }
+    }
+}

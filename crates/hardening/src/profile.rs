@@ -1,0 +1,531 @@
+//! Benchmark profiles: SCAP-like OS baseline, STIG-like access/crypto
+//! profile, and the kernel-hardening-checker baseline the paper runs (M2).
+
+use crate::check::{Check, Condition, Severity, Verdict};
+use crate::osstate::{Distro, OsState};
+
+/// A named collection of checks.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Profile name, e.g. `scap-os-baseline`.
+    pub name: String,
+    /// Ordered checks.
+    pub checks: Vec<Check>,
+}
+
+/// One row of a scan report.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Check id.
+    pub id: String,
+    /// Check severity.
+    pub severity: Severity,
+    /// Evaluation verdict.
+    pub verdict: Verdict,
+}
+
+/// Result of scanning one OS state with one profile.
+#[derive(Debug, Clone)]
+pub struct ScanReport {
+    /// Profile name.
+    pub profile: String,
+    /// Per-check outcomes.
+    pub results: Vec<CheckResult>,
+}
+
+impl ScanReport {
+    /// Number of passing checks.
+    pub fn passed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::Pass))
+            .count()
+    }
+
+    /// Number of failing checks.
+    pub fn failed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::Fail { .. }))
+            .count()
+    }
+
+    /// Number of not-applicable checks.
+    pub fn not_applicable(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::NotApplicable { .. }))
+            .count()
+    }
+
+    /// Fraction of checks that could be evaluated at all — the Lesson 1
+    /// applicability metric.
+    pub fn applicability(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        (self.results.len() - self.not_applicable()) as f64 / self.results.len() as f64
+    }
+
+    /// Pass rate over applicable checks; 1.0 when nothing is applicable.
+    pub fn score(&self) -> f64 {
+        let applicable = self.passed() + self.failed();
+        if applicable == 0 {
+            return 1.0;
+        }
+        self.passed() as f64 / applicable as f64
+    }
+
+    /// Failing checks of at least `min` severity.
+    pub fn failures_at_least(&self, min: Severity) -> Vec<&CheckResult> {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::Fail { .. }) && r.severity >= min)
+            .collect()
+    }
+
+    /// Renders the report as a fixed-width text table (the OpenSCAP-style
+    /// human output of mitigation M1).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "profile {}: {} pass, {} fail, {} n/a (score {:.0}%, applicability {:.0}%)\n",
+            self.profile,
+            self.passed(),
+            self.failed(),
+            self.not_applicable(),
+            self.score() * 100.0,
+            self.applicability() * 100.0
+        ));
+        for r in &self.results {
+            let (mark, detail) = match &r.verdict {
+                Verdict::Pass => ("pass", String::new()),
+                Verdict::Fail { observed } => ("FAIL", format!(" — {observed}")),
+                Verdict::NotApplicable { reason } => ("n/a ", format!(" — {reason}")),
+            };
+            out.push_str(&format!(
+                "  [{mark}] {:<8?} {}{}\n",
+                r.severity, r.id, detail
+            ));
+        }
+        out
+    }
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new(name: &str) -> Self {
+        Profile {
+            name: name.to_string(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Appends a check, builder-style.
+    pub fn with(mut self, check: Check) -> Self {
+        self.checks.push(check);
+        self
+    }
+
+    /// Number of checks.
+    pub fn len(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// True when the profile has no checks.
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// Evaluates every check against `os`.
+    pub fn scan(&self, os: &OsState) -> ScanReport {
+        ScanReport {
+            profile: self.name.clone(),
+            results: self
+                .checks
+                .iter()
+                .map(|c| CheckResult {
+                    id: c.id.clone(),
+                    severity: c.severity,
+                    verdict: c.evaluate(os),
+                })
+                .collect(),
+        }
+    }
+}
+
+fn sshd(key: &str, value: &str) -> Condition {
+    Condition::SshdOption {
+        key: key.into(),
+        value: value.into(),
+    }
+}
+
+fn sysctl(key: &str, value: &str) -> Condition {
+    Condition::Sysctl {
+        key: key.into(),
+        value: value.into(),
+    }
+}
+
+fn kconfig(key: &str, value: &str) -> Condition {
+    Condition::Kconfig {
+        key: key.into(),
+        value: value.into(),
+    }
+}
+
+/// The SCAP-like OS baseline (mitigation **M1**): services, SSH, packages,
+/// repositories, filesystem options.
+pub fn scap_baseline() -> Profile {
+    Profile::new("scap-os-baseline")
+        .with(Check::new(
+            "svc-telnet",
+            "telnet service disabled",
+            Severity::High,
+            Condition::ServiceDisabled("telnet".into()),
+        ))
+        .with(Check::new(
+            "svc-rpcbind",
+            "rpcbind disabled",
+            Severity::Medium,
+            Condition::ServiceDisabled("rpcbind".into()),
+        ))
+        .with(Check::new(
+            "svc-avahi",
+            "avahi disabled",
+            Severity::Low,
+            Condition::ServiceDisabled("avahi-daemon".into()),
+        ))
+        .with(Check::new(
+            "svc-cups",
+            "cups disabled",
+            Severity::Low,
+            Condition::ServiceDisabled("cups".into()),
+        ))
+        .with(Check::new(
+            "pkg-telnetd",
+            "telnetd removed",
+            Severity::High,
+            Condition::PackageAbsent("telnetd".into()),
+        ))
+        .with(Check::new(
+            "pkg-python2",
+            "python2 removed",
+            Severity::Low,
+            Condition::PackageAbsent("python2.7".into()),
+        ))
+        .with(Check::new(
+            "pkg-auditd",
+            "auditd installed",
+            Severity::Medium,
+            Condition::PackagePresent("auditd".into()),
+        ))
+        .with(Check::new(
+            "ssh-root",
+            "PermitRootLogin no",
+            Severity::High,
+            sshd("PermitRootLogin", "no"),
+        ))
+        .with(Check::new(
+            "ssh-password",
+            "PasswordAuthentication no",
+            Severity::High,
+            sshd("PasswordAuthentication", "no"),
+        ))
+        .with(Check::new(
+            "ssh-maxauth",
+            "MaxAuthTries 4",
+            Severity::Medium,
+            sshd("MaxAuthTries", "4"),
+        ))
+        .with(Check::new(
+            "ssh-alive",
+            "ClientAliveInterval 300",
+            Severity::Low,
+            sshd("ClientAliveInterval", "300"),
+        ))
+        .with(Check::new(
+            "apt-signed",
+            "all repositories signed",
+            Severity::High,
+            Condition::AllReposSigned,
+        ))
+        .with(Check::new(
+            "shadow-mode",
+            "/etc/shadow at most 640",
+            Severity::High,
+            Condition::FileModeAtMost {
+                path: "/etc/shadow".into(),
+                max_mode: 0o640,
+            },
+        ))
+        .with(Check::new(
+            "grubcfg-mode",
+            "grub.cfg at most 600",
+            Severity::Medium,
+            Condition::FileModeAtMost {
+                path: "/boot/grub/grub.cfg".into(),
+                max_mode: 0o600,
+            },
+        ))
+        .with(Check::new(
+            "issue-banner",
+            "/etc/issue present with sane mode",
+            Severity::Low,
+            Condition::FileModeAtMost {
+                path: "/etc/issue".into(),
+                max_mode: 0o644,
+            },
+        ))
+        .with(Check::new(
+            "tmp-nodev",
+            "/tmp mounted nodev",
+            Severity::Medium,
+            Condition::MountHasOption {
+                path: "/tmp".into(),
+                option: "nodev".into(),
+            },
+        ))
+        .with(Check::new(
+            "tmp-nosuid",
+            "/tmp mounted nosuid",
+            Severity::Medium,
+            Condition::MountHasOption {
+                path: "/tmp".into(),
+                option: "nosuid".into(),
+            },
+        ))
+        .with(Check::new(
+            "var-nodev",
+            "/var mounted nodev",
+            Severity::Low,
+            Condition::MountHasOption {
+                path: "/var".into(),
+                option: "nodev".into(),
+            },
+        ))
+}
+
+/// The STIG-like profile: authored for mainstream distros (Ubuntu/Debian),
+/// which is exactly why parts of it don't apply to ONL (Lesson 1).
+pub fn stig_profile() -> Profile {
+    let mainstream = [Distro::Ubuntu, Distro::Debian];
+    Profile::new("stig-access-crypto")
+        .with(Check::new(
+            "stig-ssh-protocol",
+            "SSH protocol 2",
+            Severity::High,
+            sshd("Protocol", "2"),
+        ))
+        .with(
+            Check::new(
+                "stig-ssh-ciphers",
+                "FIPS-approved SSH ciphers",
+                Severity::High,
+                sshd("Ciphers", "aes256-gcm@openssh.com"),
+            )
+            .for_distros(&mainstream),
+        )
+        .with(
+            Check::new(
+                "stig-ssh-macs",
+                "FIPS-approved SSH MACs",
+                Severity::Medium,
+                sshd("MACs", "hmac-sha2-512"),
+            )
+            .for_distros(&mainstream),
+        )
+        .with(
+            Check::new(
+                "stig-login-defs",
+                "login.defs present and protected",
+                Severity::Medium,
+                Condition::FileModeAtMost {
+                    path: "/etc/login.defs".into(),
+                    max_mode: 0o644,
+                },
+            )
+            .for_distros(&mainstream),
+        )
+        .with(
+            Check::new(
+                "stig-apparmor",
+                "apparmor installed",
+                Severity::High,
+                Condition::PackagePresent("apparmor".into()),
+            )
+            .for_distros(&mainstream),
+        )
+        .with(Check::new(
+            "stig-ptrace",
+            "yama ptrace_scope >= 1",
+            Severity::Medium,
+            sysctl("kernel.yama.ptrace_scope", "1"),
+        ))
+        .with(Check::new(
+            "stig-usb",
+            "usb-storage module absent",
+            Severity::Medium,
+            Condition::ModuleAbsent("usb-storage".into()),
+        ))
+        .with(
+            Check::new(
+                "stig-fips-cmdline",
+                "fips=1 on cmdline",
+                Severity::Low,
+                Condition::CmdlineContains("fips=1".into()),
+            )
+            .for_distros(&mainstream),
+        )
+}
+
+/// The kernel-hardening-checker baseline (mitigation **M2**): kconfig,
+/// cmdline and sysctl expectations.
+pub fn kernel_hardening_baseline() -> Profile {
+    Profile::new("kernel-hardening-checker")
+        .with(Check::new(
+            "khc-stackprotector",
+            "CONFIG_STACKPROTECTOR=y",
+            Severity::High,
+            kconfig("CONFIG_STACKPROTECTOR", "y"),
+        ))
+        .with(Check::new(
+            "khc-kexec",
+            "CONFIG_KEXEC=n",
+            Severity::High,
+            kconfig("CONFIG_KEXEC", "n"),
+        ))
+        .with(Check::new(
+            "khc-kprobes",
+            "CONFIG_KPROBES=n",
+            Severity::Medium,
+            kconfig("CONFIG_KPROBES", "n"),
+        ))
+        .with(Check::new(
+            "khc-rwx",
+            "CONFIG_STRICT_KERNEL_RWX=y",
+            Severity::High,
+            kconfig("CONFIG_STRICT_KERNEL_RWX", "y"),
+        ))
+        .with(Check::new(
+            "khc-modsig",
+            "CONFIG_MODULE_SIG=y",
+            Severity::High,
+            kconfig("CONFIG_MODULE_SIG", "y"),
+        ))
+        .with(Check::new(
+            "khc-kptr",
+            "kernel.kptr_restrict=1",
+            Severity::Medium,
+            sysctl("kernel.kptr_restrict", "1"),
+        ))
+        .with(Check::new(
+            "khc-dmesg",
+            "kernel.dmesg_restrict=1",
+            Severity::Medium,
+            sysctl("kernel.dmesg_restrict", "1"),
+        ))
+        .with(Check::new(
+            "khc-lockdown",
+            "lockdown=integrity on cmdline",
+            Severity::Medium,
+            Condition::CmdlineContains("lockdown=integrity".into()),
+        ))
+        .with(Check::new(
+            "khc-mitigations",
+            "spectre mitigations not disabled",
+            Severity::High,
+            Condition::CmdlineContains("mitigations=auto".into()),
+        ))
+}
+
+/// All three profiles the GENIO hardening pipeline runs.
+pub fn all_profiles() -> Vec<Profile> {
+    vec![scap_baseline(), stig_profile(), kernel_hardening_baseline()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn onl_factory_fails_many_checks() {
+        let report = scap_baseline().scan(&OsState::onl_factory());
+        assert!(report.failed() >= 8, "failed = {}", report.failed());
+        assert!(report.passed() >= 1);
+    }
+
+    #[test]
+    fn onl_has_lower_applicability_than_mainstream() {
+        // Lesson 1 quantified: the same benchmarks evaluate fewer checks on
+        // ONL because expected objects are missing or distro-gated.
+        let onl = OsState::onl_factory();
+        let main = OsState::mainstream_factory();
+        for profile in all_profiles() {
+            let a_onl = profile.scan(&onl).applicability();
+            let a_main = profile.scan(&main).applicability();
+            assert!(
+                a_onl <= a_main,
+                "{}: onl {a_onl} vs mainstream {a_main}",
+                profile.name
+            );
+        }
+        let stig_onl = stig_profile().scan(&onl);
+        assert!(
+            stig_onl.not_applicable() >= 4,
+            "STIG largely distro-gated on ONL"
+        );
+    }
+
+    #[test]
+    fn kernel_baseline_flags_factory_onl() {
+        let report = kernel_hardening_baseline().scan(&OsState::onl_factory());
+        assert!(report.failures_at_least(Severity::High).len() >= 3);
+    }
+
+    #[test]
+    fn score_and_applicability_bounds() {
+        for profile in all_profiles() {
+            for os in [OsState::onl_factory(), OsState::mainstream_factory()] {
+                let r = profile.scan(&os);
+                assert!((0.0..=1.0).contains(&r.score()));
+                assert!((0.0..=1.0).contains(&r.applicability()));
+                assert_eq!(
+                    r.passed() + r.failed() + r.not_applicable(),
+                    r.results.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_profile_edge_cases() {
+        let p = Profile::new("empty");
+        assert!(p.is_empty());
+        let r = p.scan(&OsState::onl_factory());
+        assert_eq!(r.applicability(), 0.0);
+        assert_eq!(r.score(), 1.0);
+    }
+
+    #[test]
+    fn render_shows_failures_with_observations() {
+        let report = scap_baseline().scan(&OsState::onl_factory());
+        let text = report.render();
+        assert!(text.contains("[FAIL]"));
+        assert!(text.contains("svc-telnet"));
+        assert!(text.contains("service telnet active"));
+        assert!(text.contains("n/a"));
+    }
+
+    #[test]
+    fn profiles_have_unique_check_ids() {
+        for profile in all_profiles() {
+            let mut ids: Vec<&str> = profile.checks.iter().map(|c| c.id.as_str()).collect();
+            let before = ids.len();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "{}", profile.name);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the hardening engine: remediation soundness
+//! and constraint preservation on randomized OS states.
+
+use proptest::prelude::*;
+
+use genio_hardening::check::Verdict;
+use genio_hardening::osstate::{OsState, ServiceState};
+use genio_hardening::profile::{all_profiles, scap_baseline};
+use genio_hardening::remediate::{harden, olt_sdn_constraints, Constraint};
+
+fn arb_os() -> impl Strategy<Value = OsState> {
+    (
+        any::<bool>(), // telnet on
+        any::<bool>(), // root ssh
+        any::<bool>(), // repos signed
+        0u32..0o1000,  // shadow mode
+        any::<bool>(), // kexec
+    )
+        .prop_map(|(telnet, root_ssh, signed, shadow_mode, kexec)| {
+            let mut os = OsState::onl_factory();
+            os.services.insert(
+                "telnet".into(),
+                ServiceState {
+                    enabled: telnet,
+                    running: telnet,
+                },
+            );
+            os.sshd.insert(
+                "PermitRootLogin".into(),
+                if root_ssh { "yes" } else { "no" }.into(),
+            );
+            for repo in &mut os.apt_repos {
+                repo.signed = signed;
+            }
+            if let Some(f) = os.files.get_mut("/etc/shadow") {
+                f.mode = shadow_mode;
+            }
+            os.kconfig
+                .insert("CONFIG_KEXEC".into(), if kexec { "y" } else { "n" }.into());
+            os
+        })
+}
+
+proptest! {
+    /// Unconstrained hardening always converges with zero residual
+    /// failures, from any starting state.
+    #[test]
+    fn unconstrained_hardening_converges_clean(mut os in arb_os()) {
+        let outcome = harden(&mut os, &all_profiles(), &[]);
+        prop_assert_eq!(outcome.residual_failures(), 0);
+        prop_assert!(outcome.iterations <= 16);
+        // Idempotence: a second run applies nothing.
+        let second = harden(&mut os, &all_profiles(), &[]);
+        prop_assert!(second.applied.is_empty());
+    }
+
+    /// Constrained hardening never violates its constraints, whatever the
+    /// starting state.
+    #[test]
+    fn constraints_always_preserved(mut os in arb_os()) {
+        let constraints = olt_sdn_constraints();
+        harden(&mut os, &all_profiles(), &constraints);
+        for c in &constraints {
+            match c {
+                Constraint::RequiresService(s) => prop_assert!(os.service_active(s), "{s}"),
+                Constraint::RequiresPackage(p) => {
+                    prop_assert!(os.packages.contains_key(p), "{p}")
+                }
+                Constraint::RequiresSysctl(k, v) => {
+                    prop_assert_eq!(os.sysctl.get(k), Some(v), "{}", k)
+                }
+                Constraint::RequiresKconfig(k, v) => {
+                    prop_assert_eq!(os.kconfig.get(k), Some(v), "{}", k)
+                }
+                Constraint::RequiresModule(m) => {
+                    prop_assert!(os.modules.iter().any(|x| x == m), "{m}")
+                }
+            }
+        }
+    }
+
+    /// Scan verdict partition: every check is exactly one of pass, fail,
+    /// not-applicable; score and applicability stay in [0, 1].
+    #[test]
+    fn scan_partition_invariant(os in arb_os()) {
+        for profile in all_profiles() {
+            let report = profile.scan(&os);
+            prop_assert_eq!(
+                report.passed() + report.failed() + report.not_applicable(),
+                report.results.len()
+            );
+            prop_assert!((0.0..=1.0).contains(&report.score()));
+            prop_assert!((0.0..=1.0).contains(&report.applicability()));
+        }
+    }
+
+    /// Hardening is monotone per check: no check that passed before a
+    /// remediation pass fails after it.
+    #[test]
+    fn hardening_never_regresses_checks(mut os in arb_os()) {
+        let profile = scap_baseline();
+        let before = profile.scan(&os);
+        harden(&mut os, std::slice::from_ref(&profile), &[]);
+        let after = profile.scan(&os);
+        for (b, a) in before.results.iter().zip(after.results.iter()) {
+            if matches!(b.verdict, Verdict::Pass) {
+                prop_assert!(
+                    matches!(a.verdict, Verdict::Pass),
+                    "check {} regressed",
+                    a.id
+                );
+            }
+        }
+    }
+}

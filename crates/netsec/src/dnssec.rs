@@ -1,0 +1,368 @@
+//! DNSSEC-lite: signed zones with delegation, validated resolution.
+//!
+//! Mitigation **M4** cites secure DNS (RFC 4033) as part of preventing
+//! man-in-the-middle attacks during device onboarding: when an ONU looks up
+//! its registration endpoint, a spoofed answer would redirect it to a rogue
+//! controller. This module models the part of DNSSEC that defeats that —
+//! per-zone signing keys, DS-record delegation from parent to child, and a
+//! resolver that validates the chain down from a trust anchor.
+
+use std::collections::HashMap;
+
+use genio_crypto::sha256::{sha256, Digest};
+use genio_crypto::sig::{MerklePublicKey, MerkleSignature, MerkleSigner};
+
+use crate::NetsecError;
+
+/// Record types carried by the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordType {
+    /// Host address.
+    A,
+    /// Free-text (used for registration endpoints and key hints).
+    Txt,
+}
+
+/// One signed resource record.
+#[derive(Debug, Clone)]
+pub struct SignedRecord {
+    /// Fully qualified name, e.g. `register.genio.example`.
+    pub name: String,
+    /// Record type.
+    pub rtype: RecordType,
+    /// Record value, e.g. an address literal.
+    pub value: String,
+    /// RRSIG: zone-key signature over the canonical encoding.
+    pub rrsig: MerkleSignature,
+}
+
+fn canonical(name: &str, rtype: RecordType, value: &str) -> Vec<u8> {
+    let t = match rtype {
+        RecordType::A => "A",
+        RecordType::Txt => "TXT",
+    };
+    format!("{name}|{t}|{value}").into_bytes()
+}
+
+/// A DS record: the parent-zone-published digest of a child zone's key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsRecord {
+    /// Child zone name.
+    pub child: String,
+    /// SHA-256 of the child zone's public key.
+    pub key_digest: Digest,
+    /// Parent-zone signature over the DS content.
+    pub rrsig: MerkleSignature,
+}
+
+/// An authoritative zone with its signing key.
+#[derive(Debug)]
+pub struct Zone {
+    /// Zone apex name, e.g. `genio.example` (the root zone uses `.`).
+    pub name: String,
+    signer: MerkleSigner,
+    records: Vec<SignedRecord>,
+    delegations: Vec<DsRecord>,
+}
+
+impl Zone {
+    /// Creates a zone with a fresh signing key derived from `seed`.
+    pub fn new(name: &str, seed: &[u8]) -> Self {
+        Zone {
+            name: name.to_string(),
+            signer: MerkleSigner::from_seed(seed, 8),
+            records: Vec::new(),
+            delegations: Vec::new(),
+        }
+    }
+
+    /// The zone public key (DNSKEY).
+    pub fn public_key(&self) -> MerklePublicKey {
+        self.signer.public()
+    }
+
+    /// Adds and signs a record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signer exhaustion.
+    pub fn add_record(&mut self, name: &str, rtype: RecordType, value: &str) -> crate::Result<()> {
+        let rrsig = self.signer.sign(&canonical(name, rtype, value))?;
+        self.records.push(SignedRecord {
+            name: name.to_string(),
+            rtype,
+            value: value.to_string(),
+            rrsig,
+        });
+        Ok(())
+    }
+
+    /// Publishes a signed DS record delegating to `child`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signer exhaustion.
+    pub fn delegate(&mut self, child: &Zone) -> crate::Result<()> {
+        let key_digest = sha256(&child.public_key());
+        let content = [child.name.as_bytes(), &key_digest[..]].concat();
+        let rrsig = self.signer.sign(&content)?;
+        self.delegations.push(DsRecord {
+            child: child.name.clone(),
+            key_digest,
+            rrsig,
+        });
+        Ok(())
+    }
+
+    /// Looks up a record by name and type (unvalidated; the resolver does
+    /// the validation).
+    pub fn find(&self, name: &str, rtype: RecordType) -> Option<&SignedRecord> {
+        self.records
+            .iter()
+            .find(|r| r.name == name && r.rtype == rtype)
+    }
+
+    /// Finds the DS record for a child zone.
+    pub fn ds_for(&self, child: &str) -> Option<&DsRecord> {
+        self.delegations.iter().find(|d| d.child == child)
+    }
+}
+
+/// A validating resolver holding the zones it can reach and the root trust
+/// anchor.
+#[derive(Debug)]
+pub struct Resolver {
+    zones: HashMap<String, ZoneView>,
+    trust_anchor: MerklePublicKey,
+    root: String,
+}
+
+/// Published (attacker-modifiable) view of a zone: what a resolver actually
+/// receives over the network.
+#[derive(Debug, Clone)]
+pub struct ZoneView {
+    /// Zone apex.
+    pub name: String,
+    /// Claimed zone key.
+    pub public_key: MerklePublicKey,
+    /// Served records.
+    pub records: Vec<SignedRecord>,
+    /// Served delegations.
+    pub delegations: Vec<DsRecord>,
+}
+
+impl ZoneView {
+    /// Snapshots a zone into its served form.
+    pub fn of(zone: &Zone) -> Self {
+        ZoneView {
+            name: zone.name.clone(),
+            public_key: zone.public_key(),
+            records: zone.records.clone(),
+            delegations: zone.delegations.clone(),
+        }
+    }
+}
+
+impl Resolver {
+    /// Creates a resolver trusting `root_key` for zone `root`.
+    pub fn new(root: &str, root_key: MerklePublicKey) -> Self {
+        Resolver {
+            zones: HashMap::new(),
+            trust_anchor: root_key,
+            root: root.to_string(),
+        }
+    }
+
+    /// Installs (or replaces) a served zone view.
+    pub fn add_zone(&mut self, view: ZoneView) {
+        self.zones.insert(view.name.clone(), view);
+    }
+
+    /// Resolves and validates `name` of type `rtype`, walking the
+    /// delegation path `path` (zone apexes from root to the authoritative
+    /// zone).
+    ///
+    /// # Errors
+    ///
+    /// * [`NetsecError::DnssecInvalid`] for any broken link in the chain:
+    ///   root key mismatch, DS digest mismatch, bad RRSIG.
+    /// * [`NetsecError::NameNotFound`] when the final zone lacks the name.
+    pub fn resolve(&self, path: &[&str], name: &str, rtype: RecordType) -> crate::Result<String> {
+        if path.is_empty() || path[0] != self.root {
+            return Err(NetsecError::DnssecInvalid("path must start at the root"));
+        }
+        let mut expected_key = self.trust_anchor;
+        for (i, apex) in path.iter().enumerate() {
+            let zone = self
+                .zones
+                .get(*apex)
+                .ok_or(NetsecError::DnssecInvalid("zone not reachable"))?;
+            if zone.public_key != expected_key {
+                return Err(NetsecError::DnssecInvalid("zone key does not match chain"));
+            }
+            if let Some(next_apex) = path.get(i + 1) {
+                let ds = zone
+                    .delegations
+                    .iter()
+                    .find(|d| d.child == **next_apex)
+                    .ok_or(NetsecError::DnssecInvalid("missing delegation"))?;
+                let content = [next_apex.as_bytes(), &ds.key_digest[..]].concat();
+                if !ds.rrsig.verify(&content, &zone.public_key) {
+                    return Err(NetsecError::DnssecInvalid("ds signature invalid"));
+                }
+                let next = self
+                    .zones
+                    .get(*next_apex)
+                    .ok_or(NetsecError::DnssecInvalid("child zone not reachable"))?;
+                if sha256(&next.public_key) != ds.key_digest {
+                    return Err(NetsecError::DnssecInvalid("child key digest mismatch"));
+                }
+                expected_key = next.public_key;
+            } else {
+                let record = zone
+                    .records
+                    .iter()
+                    .find(|r| r.name == name && r.rtype == rtype)
+                    .ok_or_else(|| NetsecError::NameNotFound(name.to_string()))?;
+                if !record.rrsig.verify(
+                    &canonical(&record.name, record.rtype, &record.value),
+                    &zone.public_key,
+                ) {
+                    return Err(NetsecError::DnssecInvalid("record signature invalid"));
+                }
+                return Ok(record.value.clone());
+            }
+        }
+        unreachable!("loop returns at the last path element");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build() -> (Zone, Zone, Resolver) {
+        let mut root = Zone::new(".", b"root-zone");
+        let mut genio = Zone::new("genio.example", b"genio-zone");
+        genio
+            .add_record("register.genio.example", RecordType::A, "203.0.113.10")
+            .unwrap();
+        genio
+            .add_record(
+                "register.genio.example",
+                RecordType::Txt,
+                "v=genio1 ca=sha256:abc",
+            )
+            .unwrap();
+        root.delegate(&genio).unwrap();
+        let mut resolver = Resolver::new(".", root.public_key());
+        resolver.add_zone(ZoneView::of(&root));
+        resolver.add_zone(ZoneView::of(&genio));
+        (root, genio, resolver)
+    }
+
+    #[test]
+    fn valid_resolution() {
+        let (_, _, resolver) = build();
+        let v = resolver
+            .resolve(
+                &[".", "genio.example"],
+                "register.genio.example",
+                RecordType::A,
+            )
+            .unwrap();
+        assert_eq!(v, "203.0.113.10");
+    }
+
+    #[test]
+    fn txt_and_a_are_distinct() {
+        let (_, _, resolver) = build();
+        let v = resolver
+            .resolve(
+                &[".", "genio.example"],
+                "register.genio.example",
+                RecordType::Txt,
+            )
+            .unwrap();
+        assert!(v.starts_with("v=genio1"));
+    }
+
+    #[test]
+    fn missing_name_reported() {
+        let (_, _, resolver) = build();
+        let err = resolver.resolve(&[".", "genio.example"], "nope.genio.example", RecordType::A);
+        assert!(matches!(err, Err(NetsecError::NameNotFound(_))));
+    }
+
+    #[test]
+    fn spoofed_record_value_rejected() {
+        let (root, genio, _) = build();
+        let mut view = ZoneView::of(&genio);
+        // Attacker rewrites the address but cannot re-sign.
+        view.records[0].value = "198.51.100.66".to_string();
+        let mut resolver = Resolver::new(".", root.public_key());
+        resolver.add_zone(ZoneView::of(&root));
+        resolver.add_zone(view);
+        let err = resolver.resolve(
+            &[".", "genio.example"],
+            "register.genio.example",
+            RecordType::A,
+        );
+        assert!(matches!(err, Err(NetsecError::DnssecInvalid(_))));
+    }
+
+    #[test]
+    fn substituted_zone_key_rejected() {
+        // Attacker serves a whole fake child zone with its own key; the DS
+        // digest in the parent does not match.
+        let (root, _genio, _) = build();
+        let mut fake = Zone::new("genio.example", b"attacker-zone");
+        fake.add_record("register.genio.example", RecordType::A, "198.51.100.66")
+            .unwrap();
+        let mut resolver = Resolver::new(".", root.public_key());
+        resolver.add_zone(ZoneView::of(&root));
+        resolver.add_zone(ZoneView::of(&fake));
+        let err = resolver.resolve(
+            &[".", "genio.example"],
+            "register.genio.example",
+            RecordType::A,
+        );
+        assert!(matches!(err, Err(NetsecError::DnssecInvalid(_))));
+    }
+
+    #[test]
+    fn fake_root_rejected() {
+        let (_root, genio, _) = build();
+        let mut fake_root = Zone::new(".", b"fake-root");
+        fake_root.delegate(&genio).unwrap();
+        // Resolver still trusts the genuine root key.
+        let (real_root, _, _) = build();
+        let mut resolver = Resolver::new(".", real_root.public_key());
+        resolver.add_zone(ZoneView::of(&fake_root));
+        resolver.add_zone(ZoneView::of(&genio));
+        let err = resolver.resolve(
+            &[".", "genio.example"],
+            "register.genio.example",
+            RecordType::A,
+        );
+        assert!(matches!(err, Err(NetsecError::DnssecInvalid(_))));
+    }
+
+    #[test]
+    fn path_must_start_at_root() {
+        let (_, _, resolver) = build();
+        let err = resolver.resolve(&["genio.example"], "register.genio.example", RecordType::A);
+        assert!(matches!(err, Err(NetsecError::DnssecInvalid(_))));
+    }
+
+    #[test]
+    fn missing_delegation_rejected() {
+        let (root, _, _) = build();
+        let other = Zone::new("other.example", b"other");
+        let mut resolver = Resolver::new(".", root.public_key());
+        resolver.add_zone(ZoneView::of(&root));
+        resolver.add_zone(ZoneView::of(&other));
+        let err = resolver.resolve(&[".", "other.example"], "x.other.example", RecordType::A);
+        assert!(matches!(err, Err(NetsecError::DnssecInvalid(_))));
+    }
+}

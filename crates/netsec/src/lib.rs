@@ -1,0 +1,52 @@
+//! # genio-netsec
+//!
+//! Network-security substrate for the GENIO platform: the protocols behind
+//! mitigations **M3** (end-to-end encryption) and **M4** (authentication of
+//! nodes) in the paper.
+//!
+//! * [`macsec`] — IEEE 802.1AE-shaped layer-2 protection: secure channels
+//!   and associations, SecTAG framing, AES-GCM protection, anti-replay
+//!   windows and SAK rotation. This is the Ethernet-segment half of M3
+//!   (the optical half lives in `genio-pon::security`).
+//! * [`handshake`] — a TLS-1.3-shaped authenticated key exchange:
+//!   ephemeral Diffie–Hellman, HKDF key schedule over a transcript hash,
+//!   certificate-based server (and optionally mutual) authentication, and
+//!   AEAD-protected application records. Used for ONU/OLT onboarding and
+//!   cloud control-plane sessions (M4).
+//! * [`onboarding`] — the node-admission workflow: device identities with
+//!   certificate chains, the mutual-authentication ceremony, and the
+//!   certificate-management bookkeeping that Lesson 2 calls out as the real
+//!   operational cost across a heterogeneous fleet.
+//! * [`dnssec`] — a DNSSEC-lite resolver: signed zones, delegation via DS
+//!   records, and validation against a trust anchor (the paper cites RFC
+//!   4033 secure DNS as part of M4).
+//!
+//! # Example
+//!
+//! ```
+//! use genio_netsec::macsec::{MacsecConfig, MacsecPeer};
+//!
+//! # fn main() -> Result<(), genio_netsec::NetsecError> {
+//! let cfg = MacsecConfig::default();
+//! let mut olt = MacsecPeer::new(1, &cfg, b"connectivity association key")?;
+//! let mut onu = MacsecPeer::new(2, &cfg, b"connectivity association key")?;
+//! let frame = olt.protect(b"VOLTHA flow rule")?;
+//! assert_eq!(onu.validate(&frame)?, b"VOLTHA flow rule");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dnssec;
+pub mod handshake;
+pub mod macsec;
+pub mod onboarding;
+
+mod error;
+
+pub use error::NetsecError;
+
+/// Convenience alias for fallible network-security operations.
+pub type Result<T> = std::result::Result<T, NetsecError>;

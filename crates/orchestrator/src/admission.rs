@@ -1,0 +1,185 @@
+//! Pod-security admission: the enforcement point applying the NSA
+//! Kubernetes Hardening Guidance and CIS-style pod rules (mitigation
+//! **M11**) before workloads reach the scheduler.
+
+use crate::workload::PodSpec;
+
+/// Enforcement level, mirroring the Kubernetes Pod Security Standards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AdmissionLevel {
+    /// Anything goes (the insecure default the paper warns about).
+    Privileged,
+    /// Blocks known privilege escalations (privileged mode, host
+    /// namespaces, host mounts, dangerous capabilities).
+    Baseline,
+    /// Baseline plus hardening requirements (non-root, read-only rootfs,
+    /// resource limits).
+    Restricted,
+}
+
+/// One admission violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier, e.g. `no-privileged`.
+    pub rule: String,
+    /// Offending container, if container-scoped.
+    pub container: Option<String>,
+}
+
+/// Evaluates `pod` at `level`, returning all violations (empty = admitted).
+pub fn evaluate(pod: &PodSpec, level: AdmissionLevel) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if level == AdmissionLevel::Privileged {
+        return violations;
+    }
+    // Baseline rules.
+    if pod.host_network {
+        violations.push(Violation {
+            rule: "no-host-network".into(),
+            container: None,
+        });
+    }
+    for path in &pod.host_path_mounts {
+        violations.push(Violation {
+            rule: format!("no-host-path:{path}"),
+            container: None,
+        });
+    }
+    for c in &pod.containers {
+        if c.privileged {
+            violations.push(Violation {
+                rule: "no-privileged".into(),
+                container: Some(c.name.clone()),
+            });
+        }
+        for cap in &c.capabilities {
+            if cap.is_dangerous() {
+                violations.push(Violation {
+                    rule: format!("no-dangerous-capability:{cap:?}"),
+                    container: Some(c.name.clone()),
+                });
+            }
+        }
+    }
+    if level == AdmissionLevel::Restricted {
+        for c in &pod.containers {
+            if c.run_as_root {
+                violations.push(Violation {
+                    rule: "run-as-non-root".into(),
+                    container: Some(c.name.clone()),
+                });
+            }
+            if c.writable_root_fs {
+                violations.push(Violation {
+                    rule: "read-only-root-fs".into(),
+                    container: Some(c.name.clone()),
+                });
+            }
+            if !c.resources.limits_set {
+                violations.push(Violation {
+                    rule: "resource-limits-required".into(),
+                    container: Some(c.name.clone()),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Convenience wrapper returning a typed admission error.
+///
+/// # Errors
+///
+/// Returns [`crate::OrchestratorError::AdmissionDenied`] listing violations.
+pub fn admit(pod: &PodSpec, level: AdmissionLevel) -> crate::Result<()> {
+    let violations = evaluate(pod, level);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(crate::OrchestratorError::AdmissionDenied {
+            pod: pod.name.clone(),
+            violations: violations.into_iter().map(|v| v.rule).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Capability;
+
+    fn benign() -> PodSpec {
+        PodSpec::new("web", "tenant-a", "nginx:1.25")
+    }
+
+    fn hostile() -> PodSpec {
+        let mut pod = PodSpec::new("cryptominer", "tenant-b", "evil:latest");
+        pod.containers[0].privileged = true;
+        pod.containers[0]
+            .capabilities
+            .push(Capability::CAP_SYS_ADMIN);
+        pod.containers[0].run_as_root = true;
+        pod.host_network = true;
+        pod.host_path_mounts.push("/var/run/docker.sock".into());
+        pod
+    }
+
+    #[test]
+    fn privileged_level_admits_anything() {
+        assert!(evaluate(&hostile(), AdmissionLevel::Privileged).is_empty());
+    }
+
+    #[test]
+    fn baseline_blocks_privilege_escalation_vectors() {
+        let violations = evaluate(&hostile(), AdmissionLevel::Baseline);
+        let rules: Vec<&str> = violations.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"no-privileged"));
+        assert!(rules.contains(&"no-host-network"));
+        assert!(rules.iter().any(|r| r.starts_with("no-host-path")));
+        assert!(rules.iter().any(|r| r.contains("CAP_SYS_ADMIN")));
+        // But baseline does not require non-root.
+        assert!(!rules.contains(&"run-as-non-root"));
+    }
+
+    #[test]
+    fn restricted_adds_hardening_requirements() {
+        let mut pod = benign();
+        pod.containers[0].run_as_root = true;
+        pod.containers[0].writable_root_fs = true;
+        pod.containers[0].resources.limits_set = false;
+        assert!(evaluate(&pod, AdmissionLevel::Baseline).is_empty());
+        let violations = evaluate(&pod, AdmissionLevel::Restricted);
+        let rules: Vec<&str> = violations.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"run-as-non-root"));
+        assert!(rules.contains(&"read-only-root-fs"));
+        assert!(rules.contains(&"resource-limits-required"));
+    }
+
+    #[test]
+    fn benign_pod_passes_restricted() {
+        assert!(evaluate(&benign(), AdmissionLevel::Restricted).is_empty());
+        assert!(admit(&benign(), AdmissionLevel::Restricted).is_ok());
+    }
+
+    #[test]
+    fn admit_returns_typed_error() {
+        let err = admit(&hostile(), AdmissionLevel::Baseline).unwrap_err();
+        match err {
+            crate::OrchestratorError::AdmissionDenied { pod, violations } => {
+                assert_eq!(pod, "cryptominer");
+                assert!(violations.len() >= 4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn violations_name_the_container() {
+        let violations = evaluate(&hostile(), AdmissionLevel::Baseline);
+        let privileged = violations
+            .iter()
+            .find(|v| v.rule == "no-privileged")
+            .unwrap();
+        assert_eq!(privileged.container.as_deref(), Some("cryptominer"));
+    }
+}

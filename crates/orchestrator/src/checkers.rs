@@ -1,0 +1,383 @@
+//! Misconfiguration checkers modelled on the paper's tool suite (M11):
+//! kube-bench, kubesec, kube-hunter and docker-bench.
+//!
+//! Each tool detects an *overlapping but different* subset of the risk
+//! catalogue. Lesson 5: "designers must integrate multiple security
+//! guidelines and checker tools, since individual solutions only address a
+//! subset of the risks" — quantified here as per-tool vs union coverage.
+
+use std::collections::BTreeSet;
+
+use crate::admission::AdmissionLevel;
+use crate::netpolicy::DefaultStance;
+use crate::workload::PodSpec;
+
+/// The cluster-level configuration surface the checkers inspect.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// API server accepts anonymous requests.
+    pub anonymous_auth: bool,
+    /// RBAC enforced (vs AlwaysAllow).
+    pub rbac_enabled: bool,
+    /// Secrets encrypted at rest in etcd.
+    pub etcd_encryption: bool,
+    /// Kubelet read-only port (10255) open.
+    pub kubelet_readonly_port: bool,
+    /// API audit logging enabled.
+    pub audit_logging: bool,
+    /// Pod-security admission level in force.
+    pub admission_level: AdmissionLevel,
+    /// Kubernetes dashboard exposed without auth.
+    pub dashboard_exposed: bool,
+    /// API server reachable from public networks.
+    pub apiserver_public: bool,
+    /// Docker daemon socket mounted into any container.
+    pub docker_socket_exposed: bool,
+    /// Docker daemon allows unauthenticated registries.
+    pub insecure_registries: bool,
+    /// Container runtime uses the default (unconfined) seccomp profile.
+    pub seccomp_unconfined_default: bool,
+    /// Network policy stance.
+    pub netpolicy_stance: DefaultStance,
+    /// TLS enforced between control-plane components.
+    pub control_plane_tls: bool,
+    /// Secrets passed to workloads via environment variables.
+    pub secrets_in_env: bool,
+}
+
+impl ClusterConfig {
+    /// The out-of-the-box configuration: what the paper's T5 calls
+    /// "insecure defaults in open-source software".
+    pub fn insecure_defaults() -> Self {
+        ClusterConfig {
+            anonymous_auth: true,
+            rbac_enabled: false,
+            etcd_encryption: false,
+            kubelet_readonly_port: true,
+            audit_logging: false,
+            admission_level: AdmissionLevel::Privileged,
+            dashboard_exposed: true,
+            apiserver_public: true,
+            docker_socket_exposed: true,
+            insecure_registries: true,
+            seccomp_unconfined_default: true,
+            netpolicy_stance: DefaultStance::Allow,
+            control_plane_tls: false,
+            secrets_in_env: true,
+        }
+    }
+
+    /// The hardened GENIO posture after applying M10/M11.
+    pub fn genio_hardened() -> Self {
+        ClusterConfig {
+            anonymous_auth: false,
+            rbac_enabled: true,
+            etcd_encryption: true,
+            kubelet_readonly_port: false,
+            audit_logging: true,
+            admission_level: AdmissionLevel::Restricted,
+            dashboard_exposed: false,
+            apiserver_public: false,
+            docker_socket_exposed: false,
+            insecure_registries: false,
+            seccomp_unconfined_default: false,
+            netpolicy_stance: DefaultStance::Deny,
+            control_plane_tls: true,
+            secrets_in_env: false,
+        }
+    }
+}
+
+/// The misconfiguration catalogue (risk identifiers shared by all tools).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Misconfig {
+    /// Anonymous API access enabled.
+    AnonymousAuth,
+    /// RBAC not enforced.
+    NoRbac,
+    /// etcd secrets unencrypted.
+    EtcdUnencrypted,
+    /// Kubelet read-only port open.
+    KubeletReadonlyPort,
+    /// No audit logging.
+    NoAuditLog,
+    /// Pod security admission too permissive.
+    PermissiveAdmission,
+    /// Dashboard exposed.
+    DashboardExposed,
+    /// API server publicly reachable.
+    ApiServerPublic,
+    /// Docker socket exposed to workloads.
+    DockerSocketExposed,
+    /// Insecure registries allowed.
+    InsecureRegistries,
+    /// Unconfined seccomp default.
+    SeccompUnconfined,
+    /// No default-deny network policy.
+    NoDefaultDenyNetpolicy,
+    /// Control-plane traffic unencrypted.
+    ControlPlaneNoTls,
+    /// Secrets delivered via environment variables.
+    SecretsInEnv,
+    /// A workload requests privileged mode (pod-spec level risk).
+    PrivilegedWorkload,
+    /// A workload lacks resource limits (pod-spec level risk).
+    NoResourceLimits,
+}
+
+/// Everything that is actually wrong with a configuration — the ground
+/// truth the tools are measured against.
+pub fn ground_truth(config: &ClusterConfig, pods: &[PodSpec]) -> BTreeSet<Misconfig> {
+    let mut found = BTreeSet::new();
+    if config.anonymous_auth {
+        found.insert(Misconfig::AnonymousAuth);
+    }
+    if !config.rbac_enabled {
+        found.insert(Misconfig::NoRbac);
+    }
+    if !config.etcd_encryption {
+        found.insert(Misconfig::EtcdUnencrypted);
+    }
+    if config.kubelet_readonly_port {
+        found.insert(Misconfig::KubeletReadonlyPort);
+    }
+    if !config.audit_logging {
+        found.insert(Misconfig::NoAuditLog);
+    }
+    if config.admission_level < AdmissionLevel::Restricted {
+        found.insert(Misconfig::PermissiveAdmission);
+    }
+    if config.dashboard_exposed {
+        found.insert(Misconfig::DashboardExposed);
+    }
+    if config.apiserver_public {
+        found.insert(Misconfig::ApiServerPublic);
+    }
+    if config.docker_socket_exposed {
+        found.insert(Misconfig::DockerSocketExposed);
+    }
+    if config.insecure_registries {
+        found.insert(Misconfig::InsecureRegistries);
+    }
+    if config.seccomp_unconfined_default {
+        found.insert(Misconfig::SeccompUnconfined);
+    }
+    if config.netpolicy_stance == DefaultStance::Allow {
+        found.insert(Misconfig::NoDefaultDenyNetpolicy);
+    }
+    if !config.control_plane_tls {
+        found.insert(Misconfig::ControlPlaneNoTls);
+    }
+    if config.secrets_in_env {
+        found.insert(Misconfig::SecretsInEnv);
+    }
+    if pods.iter().any(|p| p.has_dangerous_privileges()) {
+        found.insert(Misconfig::PrivilegedWorkload);
+    }
+    if pods
+        .iter()
+        .any(|p| p.containers.iter().any(|c| !c.resources.limits_set))
+    {
+        found.insert(Misconfig::NoResourceLimits);
+    }
+    found
+}
+
+/// A checker tool: a name and the catalogue subset it can see.
+#[derive(Debug, Clone)]
+pub struct CheckerTool {
+    /// Tool name.
+    pub name: &'static str,
+    scope: BTreeSet<Misconfig>,
+}
+
+impl CheckerTool {
+    fn new(name: &'static str, scope: &[Misconfig]) -> Self {
+        CheckerTool {
+            name,
+            scope: scope.iter().copied().collect(),
+        }
+    }
+
+    /// The catalogue subset this tool can detect.
+    pub fn scope(&self) -> &BTreeSet<Misconfig> {
+        &self.scope
+    }
+
+    /// Runs the tool: intersect its scope with the ground truth.
+    pub fn run(&self, config: &ClusterConfig, pods: &[PodSpec]) -> BTreeSet<Misconfig> {
+        ground_truth(config, pods)
+            .intersection(&self.scope)
+            .copied()
+            .collect()
+    }
+}
+
+/// The five tools the paper deploys (M11), each scoped like its namesake:
+/// kube-bench (CIS node/control-plane config), kubesec (pod-spec risks),
+/// kube-hunter (remotely observable exposure), docker-bench (runtime
+/// daemon configuration), kubescape (NSA/MITRE framework posture).
+pub fn genio_tool_suite() -> Vec<CheckerTool> {
+    vec![
+        CheckerTool::new(
+            "kube-bench",
+            &[
+                Misconfig::AnonymousAuth,
+                Misconfig::NoRbac,
+                Misconfig::EtcdUnencrypted,
+                Misconfig::KubeletReadonlyPort,
+                Misconfig::NoAuditLog,
+                Misconfig::ControlPlaneNoTls,
+            ],
+        ),
+        CheckerTool::new(
+            "kubesec",
+            &[
+                Misconfig::PrivilegedWorkload,
+                Misconfig::NoResourceLimits,
+                Misconfig::SeccompUnconfined,
+                Misconfig::SecretsInEnv,
+            ],
+        ),
+        CheckerTool::new(
+            "kube-hunter",
+            &[
+                Misconfig::AnonymousAuth,
+                Misconfig::KubeletReadonlyPort,
+                Misconfig::DashboardExposed,
+                Misconfig::ApiServerPublic,
+            ],
+        ),
+        CheckerTool::new(
+            "docker-bench",
+            &[
+                Misconfig::DockerSocketExposed,
+                Misconfig::InsecureRegistries,
+                Misconfig::SeccompUnconfined,
+                Misconfig::PrivilegedWorkload,
+            ],
+        ),
+        CheckerTool::new(
+            "kubescape",
+            &[
+                Misconfig::NoRbac,
+                Misconfig::PermissiveAdmission,
+                Misconfig::NoDefaultDenyNetpolicy,
+                Misconfig::SecretsInEnv,
+                Misconfig::ApiServerPublic,
+            ],
+        ),
+    ]
+}
+
+/// Coverage summary for Lesson 5: per-tool detection counts and the union.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// `(tool name, found count)` per tool.
+    pub per_tool: Vec<(String, usize)>,
+    /// Count found by the union of all tools.
+    pub union: usize,
+    /// Total misconfigurations present.
+    pub total: usize,
+    /// Misconfigurations no tool in the suite can see.
+    pub blind_spots: Vec<Misconfig>,
+}
+
+/// Runs the whole suite and summarizes coverage.
+pub fn coverage(tools: &[CheckerTool], config: &ClusterConfig, pods: &[PodSpec]) -> CoverageReport {
+    let truth = ground_truth(config, pods);
+    let mut union: BTreeSet<Misconfig> = BTreeSet::new();
+    let mut per_tool = Vec::new();
+    for tool in tools {
+        let found = tool.run(config, pods);
+        per_tool.push((tool.name.to_string(), found.len()));
+        union.extend(found);
+    }
+    let blind_spots = truth.difference(&union).copied().collect();
+    CoverageReport {
+        per_tool,
+        union: union.len(),
+        total: truth.len(),
+        blind_spots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Capability;
+
+    fn risky_pods() -> Vec<PodSpec> {
+        let mut p1 = PodSpec::new("miner", "tenant-x", "img");
+        p1.containers[0]
+            .capabilities
+            .push(Capability::CAP_SYS_ADMIN);
+        p1.containers[0].resources.limits_set = false;
+        vec![p1, PodSpec::new("ok", "tenant-y", "img")]
+    }
+
+    #[test]
+    fn insecure_defaults_have_many_findings() {
+        let truth = ground_truth(&ClusterConfig::insecure_defaults(), &risky_pods());
+        assert!(truth.len() >= 14, "found {}", truth.len());
+    }
+
+    #[test]
+    fn hardened_config_with_clean_pods_is_clean() {
+        let truth = ground_truth(&ClusterConfig::genio_hardened(), &[]);
+        assert!(truth.is_empty(), "{truth:?}");
+    }
+
+    #[test]
+    fn no_single_tool_covers_everything() {
+        // Lesson 5's core claim.
+        let config = ClusterConfig::insecure_defaults();
+        let pods = risky_pods();
+        let report = coverage(&genio_tool_suite(), &config, &pods);
+        for (name, found) in &report.per_tool {
+            assert!(*found < report.total, "{name} alone covers everything?");
+        }
+        assert!(report.union > report.per_tool.iter().map(|(_, f)| *f).max().unwrap());
+    }
+
+    #[test]
+    fn union_approaches_but_may_miss_ground_truth() {
+        let config = ClusterConfig::insecure_defaults();
+        let pods = risky_pods();
+        let report = coverage(&genio_tool_suite(), &config, &pods);
+        assert!(report.union <= report.total);
+        // The suite's blind spots are exactly total - union.
+        assert_eq!(report.blind_spots.len(), report.total - report.union);
+    }
+
+    #[test]
+    fn tools_overlap() {
+        // kube-bench and kube-hunter both see anonymous auth: overlap is
+        // what makes per-tool counts non-additive.
+        let suite = genio_tool_suite();
+        let bench = &suite[0];
+        let hunter = &suite[2];
+        assert!(bench.scope().contains(&Misconfig::AnonymousAuth));
+        assert!(hunter.scope().contains(&Misconfig::AnonymousAuth));
+    }
+
+    #[test]
+    fn tool_run_is_scoped() {
+        let config = ClusterConfig::insecure_defaults();
+        let suite = genio_tool_suite();
+        let kubesec = &suite[1];
+        let found = kubesec.run(&config, &risky_pods());
+        assert!(found.contains(&Misconfig::PrivilegedWorkload));
+        assert!(
+            !found.contains(&Misconfig::AnonymousAuth),
+            "out of kubesec's scope"
+        );
+    }
+
+    #[test]
+    fn hardening_reduces_findings_to_zero_for_clean_pods() {
+        let report = coverage(&genio_tool_suite(), &ClusterConfig::genio_hardened(), &[]);
+        assert_eq!(report.union, 0);
+        assert_eq!(report.total, 0);
+    }
+}

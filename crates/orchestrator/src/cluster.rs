@@ -1,0 +1,279 @@
+//! Cluster topology: physical nodes, Proxmox-like VMs, and placed pods.
+//!
+//! The paper's OLT hosts a "cluster of virtual machines, managed using the
+//! Linux/KVM hypervisor", with applications in "hard isolation (dedicated
+//! virtual machines) or soft isolation (containers and network namespaces
+//! within the virtual machines)". The [`Cluster`] mirrors that hierarchy.
+
+use std::collections::BTreeMap;
+
+use crate::workload::PodSpec;
+use crate::OrchestratorError;
+
+/// A physical host (an OLT compute board or cloud server).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Node name.
+    pub name: String,
+    /// Total CPU capacity in millicores.
+    pub cpu_millis: u64,
+    /// Total memory in MiB.
+    pub memory_mb: u64,
+}
+
+/// A virtual machine on a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vm {
+    /// VM name.
+    pub name: String,
+    /// Hosting node.
+    pub node: String,
+    /// CPU capacity in millicores.
+    pub cpu_millis: u64,
+    /// Memory in MiB.
+    pub memory_mb: u64,
+    /// `Some(tenant)` when the VM is dedicated to one tenant (hard
+    /// isolation); `None` for shared soft-isolation VMs.
+    pub dedicated_to: Option<String>,
+}
+
+/// The cluster state: nodes, VMs, and pod placements.
+#[derive(Debug, Clone, Default)]
+pub struct Cluster {
+    nodes: BTreeMap<String, Node>,
+    vms: BTreeMap<String, Vm>,
+    /// pod (namespace/name) → VM name.
+    placements: BTreeMap<String, (PodSpec, String)>,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node.
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestratorError::AlreadyExists`] on duplicate names.
+    pub fn add_node(&mut self, node: Node) -> crate::Result<()> {
+        if self.nodes.contains_key(&node.name) {
+            return Err(OrchestratorError::AlreadyExists {
+                kind: "node",
+                name: node.name,
+            });
+        }
+        self.nodes.insert(node.name.clone(), node);
+        Ok(())
+    }
+
+    /// Adds a VM on an existing node.
+    ///
+    /// # Errors
+    ///
+    /// * [`OrchestratorError::NotFound`] if the node does not exist.
+    /// * [`OrchestratorError::AlreadyExists`] on duplicate VM names.
+    pub fn add_vm(&mut self, vm: Vm) -> crate::Result<()> {
+        if !self.nodes.contains_key(&vm.node) {
+            return Err(OrchestratorError::NotFound {
+                kind: "node",
+                name: vm.node,
+            });
+        }
+        if self.vms.contains_key(&vm.name) {
+            return Err(OrchestratorError::AlreadyExists {
+                kind: "vm",
+                name: vm.name,
+            });
+        }
+        self.vms.insert(vm.name.clone(), vm);
+        Ok(())
+    }
+
+    /// All VMs in name order.
+    pub fn vms(&self) -> impl Iterator<Item = &Vm> {
+        self.vms.values()
+    }
+
+    /// Looks up a VM.
+    pub fn vm(&self, name: &str) -> Option<&Vm> {
+        self.vms.get(name)
+    }
+
+    /// Nodes in name order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values()
+    }
+
+    /// CPU millicores already committed on a VM.
+    pub fn vm_cpu_used(&self, vm: &str) -> u64 {
+        self.placements
+            .values()
+            .filter(|(_, v)| v == vm)
+            .map(|(p, _)| p.cpu_millis())
+            .sum()
+    }
+
+    /// Memory MiB already committed on a VM.
+    pub fn vm_memory_used(&self, vm: &str) -> u64 {
+        self.placements
+            .values()
+            .filter(|(_, v)| v == vm)
+            .map(|(p, _)| p.memory_mb())
+            .sum()
+    }
+
+    /// Records a placement (the scheduler calls this).
+    pub(crate) fn place(&mut self, pod: PodSpec, vm: &str) {
+        let key = format!("{}/{}", pod.namespace, pod.name);
+        self.placements.insert(key, (pod, vm.to_string()));
+    }
+
+    /// The VM a pod landed on.
+    pub fn placement(&self, namespace: &str, pod: &str) -> Option<&str> {
+        self.placements
+            .get(&format!("{namespace}/{pod}"))
+            .map(|(_, vm)| vm.as_str())
+    }
+
+    /// All placed pods with their VM.
+    pub fn pods(&self) -> impl Iterator<Item = (&PodSpec, &str)> {
+        self.placements.values().map(|(p, vm)| (p, vm.as_str()))
+    }
+
+    /// Number of placed pods.
+    pub fn pod_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Distinct tenants sharing a given VM — the soft-isolation blast
+    /// radius metric used by PEACH scoring in the runtime crate.
+    pub fn tenants_on_vm(&self, vm: &str) -> Vec<String> {
+        let mut tenants: Vec<String> = self
+            .placements
+            .values()
+            .filter(|(_, v)| v == vm)
+            .map(|(p, _)| p.namespace.clone())
+            .collect();
+        tenants.sort();
+        tenants.dedup();
+        tenants
+    }
+
+    /// The reference GENIO edge cluster: one OLT node with a management
+    /// VM, two shared workload VMs, and one dedicated VM for a
+    /// hard-isolation tenant.
+    pub fn genio_edge() -> Self {
+        let mut c = Self::new();
+        c.add_node(Node {
+            name: "olt-1".into(),
+            cpu_millis: 16_000,
+            memory_mb: 32_768,
+        })
+        .expect("fresh cluster");
+        for vm in [
+            Vm {
+                name: "mgmt-vm".into(),
+                node: "olt-1".into(),
+                cpu_millis: 2_000,
+                memory_mb: 4_096,
+                dedicated_to: Some("genio-system".into()),
+            },
+            Vm {
+                name: "shared-vm-1".into(),
+                node: "olt-1".into(),
+                cpu_millis: 4_000,
+                memory_mb: 8_192,
+                dedicated_to: None,
+            },
+            Vm {
+                name: "shared-vm-2".into(),
+                node: "olt-1".into(),
+                cpu_millis: 4_000,
+                memory_mb: 8_192,
+                dedicated_to: None,
+            },
+            Vm {
+                name: "tenant-bank-vm".into(),
+                node: "olt-1".into(),
+                cpu_millis: 4_000,
+                memory_mb: 8_192,
+                dedicated_to: Some("tenant-bank".into()),
+            },
+        ] {
+            c.add_vm(vm).expect("fresh cluster");
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut c = Cluster::new();
+        c.add_node(Node {
+            name: "n".into(),
+            cpu_millis: 1,
+            memory_mb: 1,
+        })
+        .unwrap();
+        assert!(matches!(
+            c.add_node(Node {
+                name: "n".into(),
+                cpu_millis: 1,
+                memory_mb: 1
+            }),
+            Err(OrchestratorError::AlreadyExists { .. })
+        ));
+    }
+
+    #[test]
+    fn vm_requires_node() {
+        let mut c = Cluster::new();
+        let vm = Vm {
+            name: "vm".into(),
+            node: "ghost".into(),
+            cpu_millis: 1,
+            memory_mb: 1,
+            dedicated_to: None,
+        };
+        assert!(matches!(
+            c.add_vm(vm),
+            Err(OrchestratorError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn genio_edge_shape() {
+        let c = Cluster::genio_edge();
+        assert_eq!(c.nodes().count(), 1);
+        assert_eq!(c.vms().count(), 4);
+        assert_eq!(
+            c.vm("tenant-bank-vm").unwrap().dedicated_to.as_deref(),
+            Some("tenant-bank")
+        );
+    }
+
+    #[test]
+    fn usage_accounting() {
+        let mut c = Cluster::genio_edge();
+        let pod = PodSpec::new("p", "tenant-a", "img");
+        c.place(pod, "shared-vm-1");
+        assert_eq!(c.vm_cpu_used("shared-vm-1"), 100);
+        assert_eq!(c.vm_memory_used("shared-vm-1"), 128);
+        assert_eq!(c.vm_cpu_used("shared-vm-2"), 0);
+    }
+
+    #[test]
+    fn tenants_on_vm_deduplicates() {
+        let mut c = Cluster::genio_edge();
+        c.place(PodSpec::new("a1", "tenant-a", "img"), "shared-vm-1");
+        c.place(PodSpec::new("a2", "tenant-a", "img"), "shared-vm-1");
+        c.place(PodSpec::new("b1", "tenant-b", "img"), "shared-vm-1");
+        assert_eq!(c.tenants_on_vm("shared-vm-1"), vec!["tenant-a", "tenant-b"]);
+    }
+}

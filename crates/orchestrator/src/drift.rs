@@ -1,0 +1,212 @@
+//! Configuration-drift detection (part of mitigation **M11**).
+//!
+//! The paper: GENIO "continuously audits configurations to maintain
+//! compliance … enforce strong authentication, and detect configuration
+//! drift." Drift here is the difference between a baselined
+//! [`ClusterConfig`] and the live one: every field that moved, classified
+//! by whether it moved toward or away from the hardened posture.
+
+use crate::checkers::ClusterConfig;
+use crate::netpolicy::DefaultStance;
+
+/// Direction of one drifted setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftDirection {
+    /// The change weakened the posture (the alarming case).
+    Weakened,
+    /// The change strengthened the posture (e.g. out-of-band hardening).
+    Strengthened,
+}
+
+/// One drifted setting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    /// Setting name.
+    pub setting: &'static str,
+    /// Direction of the change.
+    pub direction: DriftDirection,
+}
+
+fn check_bool(
+    out: &mut Vec<Drift>,
+    setting: &'static str,
+    baseline: bool,
+    live: bool,
+    secure_value: bool,
+) {
+    if baseline != live {
+        out.push(Drift {
+            setting,
+            direction: if live == secure_value {
+                DriftDirection::Strengthened
+            } else {
+                DriftDirection::Weakened
+            },
+        });
+    }
+}
+
+/// Compares a live configuration against its baseline.
+pub fn detect(baseline: &ClusterConfig, live: &ClusterConfig) -> Vec<Drift> {
+    let mut out = Vec::new();
+    check_bool(
+        &mut out,
+        "anonymous_auth",
+        baseline.anonymous_auth,
+        live.anonymous_auth,
+        false,
+    );
+    check_bool(
+        &mut out,
+        "rbac_enabled",
+        baseline.rbac_enabled,
+        live.rbac_enabled,
+        true,
+    );
+    check_bool(
+        &mut out,
+        "etcd_encryption",
+        baseline.etcd_encryption,
+        live.etcd_encryption,
+        true,
+    );
+    check_bool(
+        &mut out,
+        "kubelet_readonly_port",
+        baseline.kubelet_readonly_port,
+        live.kubelet_readonly_port,
+        false,
+    );
+    check_bool(
+        &mut out,
+        "audit_logging",
+        baseline.audit_logging,
+        live.audit_logging,
+        true,
+    );
+    if baseline.admission_level != live.admission_level {
+        out.push(Drift {
+            setting: "admission_level",
+            direction: if live.admission_level > baseline.admission_level {
+                DriftDirection::Strengthened
+            } else {
+                DriftDirection::Weakened
+            },
+        });
+    }
+    check_bool(
+        &mut out,
+        "dashboard_exposed",
+        baseline.dashboard_exposed,
+        live.dashboard_exposed,
+        false,
+    );
+    check_bool(
+        &mut out,
+        "apiserver_public",
+        baseline.apiserver_public,
+        live.apiserver_public,
+        false,
+    );
+    check_bool(
+        &mut out,
+        "docker_socket_exposed",
+        baseline.docker_socket_exposed,
+        live.docker_socket_exposed,
+        false,
+    );
+    check_bool(
+        &mut out,
+        "insecure_registries",
+        baseline.insecure_registries,
+        live.insecure_registries,
+        false,
+    );
+    check_bool(
+        &mut out,
+        "seccomp_unconfined_default",
+        baseline.seccomp_unconfined_default,
+        live.seccomp_unconfined_default,
+        false,
+    );
+    if baseline.netpolicy_stance != live.netpolicy_stance {
+        out.push(Drift {
+            setting: "netpolicy_stance",
+            direction: if live.netpolicy_stance == DefaultStance::Deny {
+                DriftDirection::Strengthened
+            } else {
+                DriftDirection::Weakened
+            },
+        });
+    }
+    check_bool(
+        &mut out,
+        "control_plane_tls",
+        baseline.control_plane_tls,
+        live.control_plane_tls,
+        true,
+    );
+    check_bool(
+        &mut out,
+        "secrets_in_env",
+        baseline.secrets_in_env,
+        live.secrets_in_env,
+        false,
+    );
+    out
+}
+
+/// Drifts that weakened the posture (the page-the-operator subset).
+pub fn weakening(drifts: &[Drift]) -> Vec<&Drift> {
+    drifts
+        .iter()
+        .filter(|d| d.direction == DriftDirection::Weakened)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionLevel;
+
+    #[test]
+    fn identical_configs_no_drift() {
+        let a = ClusterConfig::genio_hardened();
+        assert!(detect(&a, &a.clone()).is_empty());
+    }
+
+    #[test]
+    fn weakening_drift_detected_and_classified() {
+        let baseline = ClusterConfig::genio_hardened();
+        let mut live = baseline.clone();
+        live.anonymous_auth = true; // someone re-enabled it for "debugging"
+        live.admission_level = AdmissionLevel::Baseline;
+        let drifts = detect(&baseline, &live);
+        assert_eq!(drifts.len(), 2);
+        assert!(drifts
+            .iter()
+            .all(|d| d.direction == DriftDirection::Weakened));
+        assert_eq!(weakening(&drifts).len(), 2);
+    }
+
+    #[test]
+    fn strengthening_drift_not_alarming() {
+        let baseline = ClusterConfig::insecure_defaults();
+        let live = ClusterConfig::genio_hardened();
+        let drifts = detect(&baseline, &live);
+        assert!(!drifts.is_empty());
+        assert!(drifts
+            .iter()
+            .all(|d| d.direction == DriftDirection::Strengthened));
+        assert!(weakening(&drifts).is_empty());
+    }
+
+    #[test]
+    fn full_degradation_flags_every_field() {
+        let baseline = ClusterConfig::genio_hardened();
+        let live = ClusterConfig::insecure_defaults();
+        let drifts = detect(&baseline, &live);
+        assert_eq!(drifts.len(), 14, "every tracked setting drifted");
+        assert_eq!(weakening(&drifts).len(), 14);
+    }
+}

@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Error type for orchestrator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OrchestratorError {
+    /// No VM had capacity (or matched the tenant's isolation mode).
+    Unschedulable {
+        /// Pod that could not be placed.
+        pod: String,
+        /// Why.
+        reason: String,
+    },
+    /// Admission controller rejected the pod.
+    AdmissionDenied {
+        /// Pod name.
+        pod: String,
+        /// Violated rules.
+        violations: Vec<String>,
+    },
+    /// Referenced an unknown object.
+    NotFound {
+        /// Object kind.
+        kind: &'static str,
+        /// Object name.
+        name: String,
+    },
+    /// Duplicate object name.
+    AlreadyExists {
+        /// Object kind.
+        kind: &'static str,
+        /// Object name.
+        name: String,
+    },
+}
+
+impl fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchestratorError::Unschedulable { pod, reason } => {
+                write!(f, "pod {pod} unschedulable: {reason}")
+            }
+            OrchestratorError::AdmissionDenied { pod, violations } => {
+                write!(f, "pod {pod} denied admission: {}", violations.join("; "))
+            }
+            OrchestratorError::NotFound { kind, name } => write!(f, "{kind} {name} not found"),
+            OrchestratorError::AlreadyExists { kind, name } => {
+                write!(f, "{kind} {name} already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = OrchestratorError::NotFound {
+            kind: "vm",
+            name: "edge-1".into(),
+        };
+        assert_eq!(e.to_string(), "vm edge-1 not found");
+    }
+}

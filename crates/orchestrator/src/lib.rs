@@ -1,0 +1,57 @@
+//! # genio-orchestrator
+//!
+//! Orchestration substrate: the Kubernetes/Proxmox layer of the GENIO
+//! platform, in which the paper's middleware-level threats (T5, T6) and
+//! mitigations (**M10** access control, **M11** security-guideline
+//! compliance) play out.
+//!
+//! * [`cluster`] — nodes, Proxmox-like VMs (hard isolation) and pods in
+//!   namespaces (soft isolation), matching the paper's two tenancy modes.
+//! * [`workload`] — pod and container specs with the security-relevant
+//!   fields (privileged, capabilities, host mounts, resource limits).
+//! * [`scheduler`] — capacity-aware placement honouring each tenant's
+//!   isolation mode.
+//! * [`rbac`] — roles, bindings and the authorization decision, plus the
+//!   permission-surface metrics behind **Lesson 5** ("configuration of
+//!   RBAC policies for the orchestration platforms is challenging, since
+//!   they are feature-rich").
+//! * [`admission`] — pod-security admission at three levels (privileged /
+//!   baseline / restricted), the enforcement point against T8 workloads.
+//! * [`netpolicy`] — namespace-scoped network policies for tenant
+//!   separation.
+//! * [`checkers`] — misconfiguration checkers modelled on kube-bench,
+//!   kubesec, kube-hunter and docker-bench, each covering an overlapping
+//!   but *different* subset of the risk catalogue — Lesson 5's "designers
+//!   must integrate multiple security guidelines and checker tools, since
+//!   individual solutions only address a subset of the risks".
+//!
+//! # Example
+//!
+//! ```
+//! use genio_orchestrator::rbac::{Authorizer, Role, RoleBinding, Rule};
+//!
+//! let mut authz = Authorizer::new();
+//! authz.add_role(Role::new("pod-reader").rule(Rule::new(&["get", "list"], &["pods"])));
+//! authz.bind(RoleBinding::new("alice", "pod-reader", Some("tenant-a")));
+//! assert!(authz.allowed("alice", "get", "pods", Some("tenant-a")));
+//! assert!(!authz.allowed("alice", "delete", "pods", Some("tenant-a")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod checkers;
+pub mod cluster;
+pub mod drift;
+pub mod netpolicy;
+pub mod rbac;
+pub mod scheduler;
+pub mod workload;
+
+mod error;
+
+pub use error::OrchestratorError;
+
+/// Convenience alias for fallible orchestrator operations.
+pub type Result<T> = std::result::Result<T, OrchestratorError>;

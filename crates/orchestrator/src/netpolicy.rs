@@ -1,0 +1,149 @@
+//! Namespace-scoped network policies for tenant separation.
+//!
+//! The insecure default (T5: "insecure defaults in open-source software")
+//! is default-allow: any pod can reach any other. The hardened posture is
+//! default-deny with explicit allows.
+
+use std::collections::BTreeSet;
+
+/// Cluster-wide default stance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefaultStance {
+    /// Traffic allowed unless a policy says otherwise (the OSS default).
+    Allow,
+    /// Traffic denied unless explicitly allowed (hardened).
+    Deny,
+}
+
+/// An allow rule from one namespace to another, optionally restricted to a
+/// destination port.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowRule {
+    /// Source namespace.
+    pub from: String,
+    /// Destination namespace.
+    pub to: String,
+    /// Destination port; `None` = all ports.
+    pub port: Option<u16>,
+}
+
+/// The network-policy engine.
+#[derive(Debug, Clone)]
+pub struct NetworkPolicyEngine {
+    stance: DefaultStance,
+    allows: BTreeSet<AllowRule>,
+}
+
+impl NetworkPolicyEngine {
+    /// Creates an engine with the given default stance.
+    pub fn new(stance: DefaultStance) -> Self {
+        NetworkPolicyEngine {
+            stance,
+            allows: BTreeSet::new(),
+        }
+    }
+
+    /// The default stance.
+    pub fn stance(&self) -> DefaultStance {
+        self.stance
+    }
+
+    /// Adds an allow rule.
+    pub fn allow(&mut self, from: &str, to: &str, port: Option<u16>) {
+        self.allows.insert(AllowRule {
+            from: from.to_string(),
+            to: to.to_string(),
+            port,
+        });
+    }
+
+    /// Number of explicit rules.
+    pub fn rule_count(&self) -> usize {
+        self.allows.len()
+    }
+
+    /// Decision for traffic from `from_ns` to `to_ns` on `port`.
+    ///
+    /// Same-namespace traffic is always allowed (intra-tenant).
+    pub fn is_allowed(&self, from_ns: &str, to_ns: &str, port: u16) -> bool {
+        if from_ns == to_ns {
+            return true;
+        }
+        match self.stance {
+            DefaultStance::Allow => true,
+            DefaultStance::Deny => self.allows.iter().any(|r| {
+                r.from == from_ns && r.to == to_ns && r.port.map(|p| p == port).unwrap_or(true)
+            }),
+        }
+    }
+
+    /// The hardened GENIO posture: default deny; tenants may reach the
+    /// platform's shared services only.
+    pub fn genio_hardened(tenants: &[&str]) -> Self {
+        let mut engine = Self::new(DefaultStance::Deny);
+        for t in tenants {
+            engine.allow(t, "genio-system", Some(443)); // platform API
+            engine.allow(t, "genio-system", Some(53)); // DNS
+        }
+        engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_allow_lets_cross_tenant_traffic() {
+        let e = NetworkPolicyEngine::new(DefaultStance::Allow);
+        assert!(e.is_allowed("tenant-a", "tenant-b", 8080));
+    }
+
+    #[test]
+    fn default_deny_blocks_cross_tenant_traffic() {
+        let e = NetworkPolicyEngine::new(DefaultStance::Deny);
+        assert!(!e.is_allowed("tenant-a", "tenant-b", 8080));
+    }
+
+    #[test]
+    fn same_namespace_always_allowed() {
+        let e = NetworkPolicyEngine::new(DefaultStance::Deny);
+        assert!(e.is_allowed("tenant-a", "tenant-a", 9999));
+    }
+
+    #[test]
+    fn explicit_allow_with_port() {
+        let mut e = NetworkPolicyEngine::new(DefaultStance::Deny);
+        e.allow("tenant-a", "tenant-b", Some(443));
+        assert!(e.is_allowed("tenant-a", "tenant-b", 443));
+        assert!(!e.is_allowed("tenant-a", "tenant-b", 80));
+        // Direction matters.
+        assert!(!e.is_allowed("tenant-b", "tenant-a", 443));
+    }
+
+    #[test]
+    fn portless_allow_covers_all_ports() {
+        let mut e = NetworkPolicyEngine::new(DefaultStance::Deny);
+        e.allow("tenant-a", "genio-system", None);
+        assert!(e.is_allowed("tenant-a", "genio-system", 1));
+        assert!(e.is_allowed("tenant-a", "genio-system", 65535));
+    }
+
+    #[test]
+    fn genio_hardened_posture() {
+        let e = NetworkPolicyEngine::genio_hardened(&["tenant-a", "tenant-b"]);
+        assert_eq!(e.stance(), DefaultStance::Deny);
+        assert!(e.is_allowed("tenant-a", "genio-system", 443));
+        assert!(e.is_allowed("tenant-b", "genio-system", 53));
+        assert!(!e.is_allowed("tenant-a", "tenant-b", 443));
+        assert!(!e.is_allowed("tenant-a", "genio-system", 22));
+    }
+
+    #[test]
+    fn duplicate_rules_deduplicate() {
+        let mut e = NetworkPolicyEngine::new(DefaultStance::Deny);
+        e.allow("a", "b", Some(1));
+        e.allow("a", "b", Some(1));
+        assert_eq!(e.rule_count(), 1);
+    }
+}

@@ -1,0 +1,386 @@
+//! Role-based access control: roles, bindings, authorization and the
+//! permission-surface metrics of Lesson 5.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// The verb vocabulary (Kubernetes-style).
+pub const ALL_VERBS: &[&str] = &[
+    "get", "list", "watch", "create", "update", "patch", "delete", "exec", "proxy",
+];
+
+/// The resource vocabulary used by the simulation.
+pub const ALL_RESOURCES: &[&str] = &[
+    "pods",
+    "pods/exec",
+    "pods/log",
+    "services",
+    "deployments",
+    "configmaps",
+    "secrets",
+    "nodes",
+    "namespaces",
+    "roles",
+    "rolebindings",
+    "networkpolicies",
+    "persistentvolumes",
+    "olts",
+    "onus",
+    "flows",
+];
+
+/// One policy rule: a set of verbs over a set of resources. `*` expands to
+/// the full vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    verbs: BTreeSet<String>,
+    resources: BTreeSet<String>,
+}
+
+impl Rule {
+    /// Creates a rule; `"*"` in either list means "everything".
+    pub fn new(verbs: &[&str], resources: &[&str]) -> Self {
+        let expand = |items: &[&str], vocab: &[&str]| -> BTreeSet<String> {
+            if items.contains(&"*") {
+                vocab.iter().map(|s| s.to_string()).collect()
+            } else {
+                items.iter().map(|s| s.to_string()).collect()
+            }
+        };
+        Rule {
+            verbs: expand(verbs, ALL_VERBS),
+            resources: expand(resources, ALL_RESOURCES),
+        }
+    }
+
+    /// True if the rule grants `verb` on `resource`.
+    pub fn matches(&self, verb: &str, resource: &str) -> bool {
+        self.verbs.contains(verb) && self.resources.contains(resource)
+    }
+
+    /// Number of `(verb, resource)` pairs this rule grants.
+    pub fn permission_count(&self) -> usize {
+        self.verbs.len() * self.resources.len()
+    }
+
+    /// The granted pairs.
+    pub fn permissions(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.verbs
+            .iter()
+            .flat_map(move |v| self.resources.iter().map(move |r| (v.as_str(), r.as_str())))
+    }
+}
+
+/// A named role: a list of rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Role {
+    /// Role name.
+    pub name: String,
+    rules: Vec<Rule>,
+}
+
+impl Role {
+    /// Creates an empty role.
+    pub fn new(name: &str) -> Self {
+        Role {
+            name: name.to_string(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Appends a rule, builder-style.
+    pub fn rule(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// True if any rule grants `verb` on `resource`.
+    pub fn allows(&self, verb: &str, resource: &str) -> bool {
+        self.rules.iter().any(|r| r.matches(verb, resource))
+    }
+
+    /// Distinct `(verb, resource)` pairs granted — the Lesson 5
+    /// permission-surface metric.
+    pub fn permission_surface(&self) -> usize {
+        let mut set = BTreeSet::new();
+        for rule in &self.rules {
+            for pair in rule.permissions() {
+                set.insert(pair);
+            }
+        }
+        set.len()
+    }
+}
+
+/// Binds a subject to a role, optionally scoped to a namespace
+/// (`None` = cluster-wide).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleBinding {
+    /// Subject (user or service account).
+    pub subject: String,
+    /// Role name.
+    pub role: String,
+    /// Namespace scope; `None` is cluster-wide.
+    pub namespace: Option<String>,
+}
+
+impl RoleBinding {
+    /// Creates a binding.
+    pub fn new(subject: &str, role: &str, namespace: Option<&str>) -> Self {
+        RoleBinding {
+            subject: subject.to_string(),
+            role: role.to_string(),
+            namespace: namespace.map(str::to_string),
+        }
+    }
+}
+
+/// The authorization engine plus an audit trail of decisions (used to
+/// compute over-privilege).
+#[derive(Debug, Default)]
+pub struct Authorizer {
+    roles: HashMap<String, Role>,
+    bindings: Vec<RoleBinding>,
+    /// Granted `(subject, verb, resource)` triples actually used.
+    used: BTreeSet<(String, String, String)>,
+}
+
+impl Authorizer {
+    /// Creates an empty authorizer (deny-all).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a role.
+    pub fn add_role(&mut self, role: Role) {
+        self.roles.insert(role.name.clone(), role);
+    }
+
+    /// Adds a binding.
+    pub fn bind(&mut self, binding: RoleBinding) {
+        self.bindings.push(binding);
+    }
+
+    /// Authorization decision for `subject` doing `verb` on `resource` in
+    /// `namespace` (`None` = cluster-scope request).
+    pub fn allowed(
+        &self,
+        subject: &str,
+        verb: &str,
+        resource: &str,
+        namespace: Option<&str>,
+    ) -> bool {
+        self.bindings.iter().any(|b| {
+            b.subject == subject
+                && (b.namespace.is_none() || b.namespace.as_deref() == namespace)
+                && self
+                    .roles
+                    .get(&b.role)
+                    .map(|r| r.allows(verb, resource))
+                    .unwrap_or(false)
+        })
+    }
+
+    /// Like [`Authorizer::allowed`] but records granted decisions for the
+    /// over-privilege metric.
+    pub fn check_and_record(
+        &mut self,
+        subject: &str,
+        verb: &str,
+        resource: &str,
+        namespace: Option<&str>,
+    ) -> bool {
+        let ok = self.allowed(subject, verb, resource, namespace);
+        if ok {
+            self.used
+                .insert((subject.to_string(), verb.to_string(), resource.to_string()));
+        }
+        ok
+    }
+
+    /// Total permission surface granted to `subject` across its bindings.
+    pub fn granted_surface(&self, subject: &str) -> usize {
+        let mut set = BTreeSet::new();
+        for b in self.bindings.iter().filter(|b| b.subject == subject) {
+            if let Some(role) = self.roles.get(&b.role) {
+                for pair in role.rules.iter().flat_map(|r| r.permissions()) {
+                    set.insert(pair);
+                }
+            }
+        }
+        set.len()
+    }
+
+    /// Permissions `subject` has exercised through
+    /// [`Authorizer::check_and_record`].
+    pub fn used_surface(&self, subject: &str) -> usize {
+        self.used.iter().filter(|(s, _, _)| s == subject).count()
+    }
+
+    /// Over-privilege ratio: unused fraction of the granted surface.
+    /// `None` when nothing is granted.
+    pub fn over_privilege(&self, subject: &str) -> Option<f64> {
+        let granted = self.granted_surface(subject);
+        if granted == 0 {
+            return None;
+        }
+        let used = self.used_surface(subject);
+        Some(1.0 - used as f64 / granted as f64)
+    }
+}
+
+/// The SDN-management role from the paper's M10: a "clearly defined set of
+/// capabilities required in production — device registration, logical
+/// network configuration, and diagnostic logging — while blocking
+/// operations that introduce unnecessary privilege risks".
+pub fn sdn_management_role() -> Role {
+    Role::new("sdn-mgmt")
+        .rule(Rule::new(&["create", "update"], &["olts", "onus"]))
+        .rule(Rule::new(&["create", "update", "delete"], &["flows"]))
+        .rule(Rule::new(&["get", "list"], &["pods/log"]))
+}
+
+/// A typical orchestrator operations role: feature-rich, hard to scope
+/// (Lesson 5), often ending up with wildcards.
+pub fn orchestrator_admin_role() -> Role {
+    Role::new("orchestrator-admin").rule(Rule::new(&["*"], &["*"]))
+}
+
+/// A carefully scoped orchestrator role for the GENIO deployment workflow.
+pub fn orchestrator_scoped_role() -> Role {
+    Role::new("orchestrator-deployer")
+        .rule(Rule::new(
+            &["get", "list", "watch"],
+            &["pods", "services", "deployments"],
+        ))
+        .rule(Rule::new(
+            &["create", "update", "patch", "delete"],
+            &["deployments", "services"],
+        ))
+        .rule(Rule::new(&["get", "list"], &["configmaps"]))
+        .rule(Rule::new(&["create"], &["pods"]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deny_by_default() {
+        let authz = Authorizer::new();
+        assert!(!authz.allowed("anyone", "get", "pods", Some("ns")));
+    }
+
+    #[test]
+    fn namespaced_binding_scopes() {
+        let mut authz = Authorizer::new();
+        authz.add_role(Role::new("reader").rule(Rule::new(&["get"], &["pods"])));
+        authz.bind(RoleBinding::new("alice", "reader", Some("tenant-a")));
+        assert!(authz.allowed("alice", "get", "pods", Some("tenant-a")));
+        assert!(!authz.allowed("alice", "get", "pods", Some("tenant-b")));
+        assert!(!authz.allowed("alice", "get", "pods", None));
+    }
+
+    #[test]
+    fn cluster_binding_covers_all_namespaces() {
+        let mut authz = Authorizer::new();
+        authz.add_role(Role::new("cluster-reader").rule(Rule::new(&["get"], &["nodes"])));
+        authz.bind(RoleBinding::new("ops", "cluster-reader", None));
+        assert!(authz.allowed("ops", "get", "nodes", None));
+        assert!(authz.allowed("ops", "get", "nodes", Some("any-ns")));
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let r = Rule::new(&["*"], &["secrets"]);
+        assert!(r.matches("delete", "secrets"));
+        assert_eq!(r.permission_count(), ALL_VERBS.len());
+        let all = Rule::new(&["*"], &["*"]);
+        assert_eq!(
+            all.permission_count(),
+            ALL_VERBS.len() * ALL_RESOURCES.len()
+        );
+    }
+
+    #[test]
+    fn lesson5_sdn_role_much_smaller_than_admin() {
+        let sdn = sdn_management_role();
+        let admin = orchestrator_admin_role();
+        let scoped = orchestrator_scoped_role();
+        assert!(sdn.permission_surface() * 5 < admin.permission_surface());
+        assert!(scoped.permission_surface() < admin.permission_surface());
+        assert!(sdn.permission_surface() < scoped.permission_surface());
+    }
+
+    #[test]
+    fn sdn_role_blocks_risky_operations() {
+        let sdn = sdn_management_role();
+        assert!(sdn.allows("create", "flows"));
+        assert!(sdn.allows("get", "pods/log"));
+        // "direct shell access, low-level debugging endpoints" blocked:
+        assert!(!sdn.allows("exec", "pods/exec"));
+        assert!(!sdn.allows("get", "secrets"));
+    }
+
+    #[test]
+    fn over_privilege_metric() {
+        let mut authz = Authorizer::new();
+        authz.add_role(orchestrator_admin_role());
+        authz.bind(RoleBinding::new(
+            "deployer",
+            "orchestrator-admin",
+            Some("tenant-a"),
+        ));
+        // The deployer workflow only ever uses a handful of permissions.
+        for (verb, resource) in [
+            ("create", "deployments"),
+            ("get", "pods"),
+            ("list", "pods"),
+            ("create", "services"),
+        ] {
+            assert!(authz.check_and_record("deployer", verb, resource, Some("tenant-a")));
+        }
+        let over = authz.over_privilege("deployer").unwrap();
+        assert!(over > 0.9, "wildcard role is >90% unused: {over}");
+
+        // The same workflow under the scoped role wastes far less.
+        let mut scoped = Authorizer::new();
+        scoped.add_role(orchestrator_scoped_role());
+        scoped.bind(RoleBinding::new(
+            "deployer",
+            "orchestrator-deployer",
+            Some("tenant-a"),
+        ));
+        for (verb, resource) in [
+            ("create", "deployments"),
+            ("get", "pods"),
+            ("list", "pods"),
+            ("create", "services"),
+        ] {
+            assert!(scoped.check_and_record("deployer", verb, resource, Some("tenant-a")));
+        }
+        let over_scoped = scoped.over_privilege("deployer").unwrap();
+        assert!(over_scoped < over);
+    }
+
+    #[test]
+    fn no_grants_no_metric() {
+        let authz = Authorizer::new();
+        assert_eq!(authz.over_privilege("ghost"), None);
+    }
+
+    #[test]
+    fn binding_to_missing_role_denies() {
+        let mut authz = Authorizer::new();
+        authz.bind(RoleBinding::new("bob", "undefined-role", None));
+        assert!(!authz.allowed("bob", "get", "pods", None));
+    }
+
+    #[test]
+    fn permission_surface_deduplicates_overlapping_rules() {
+        let role = Role::new("overlap")
+            .rule(Rule::new(&["get", "list"], &["pods"]))
+            .rule(Rule::new(&["get"], &["pods", "services"]));
+        // pairs: (get,pods), (list,pods), (get,services) = 3
+        assert_eq!(role.permission_surface(), 3);
+    }
+}

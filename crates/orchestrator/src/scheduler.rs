@@ -1,0 +1,160 @@
+//! Capacity- and isolation-aware pod placement.
+
+use crate::cluster::Cluster;
+use crate::workload::{IsolationMode, PodSpec};
+use crate::OrchestratorError;
+
+/// Places `pod` on a VM compatible with its isolation mode and capacity
+/// needs, first-fit in VM name order (deterministic).
+///
+/// * [`IsolationMode::Hard`] pods only land on VMs dedicated to their
+///   tenant.
+/// * [`IsolationMode::Soft`] pods land on shared VMs.
+///
+/// # Errors
+///
+/// [`OrchestratorError::Unschedulable`] when no compatible VM has room.
+pub fn schedule(cluster: &mut Cluster, pod: PodSpec) -> crate::Result<String> {
+    let cpu = pod.cpu_millis();
+    let mem = pod.memory_mb();
+    let candidate = cluster
+        .vms()
+        .filter(|vm| match pod.isolation {
+            IsolationMode::Hard => vm.dedicated_to.as_deref() == Some(pod.namespace.as_str()),
+            IsolationMode::Soft => vm.dedicated_to.is_none(),
+        })
+        .find(|vm| {
+            cluster.vm_cpu_used(&vm.name) + cpu <= vm.cpu_millis
+                && cluster.vm_memory_used(&vm.name) + mem <= vm.memory_mb
+        })
+        .map(|vm| vm.name.clone());
+    match candidate {
+        Some(vm) => {
+            cluster.place(pod, &vm);
+            Ok(vm)
+        }
+        None => Err(OrchestratorError::Unschedulable {
+            pod: pod.name.clone(),
+            reason: match pod.isolation {
+                IsolationMode::Hard => {
+                    format!("no dedicated vm for tenant {} with capacity", pod.namespace)
+                }
+                IsolationMode::Soft => "no shared vm with capacity".to_string(),
+            },
+        }),
+    }
+}
+
+/// Schedules a batch, returning per-pod outcomes in order.
+pub fn schedule_all(
+    cluster: &mut Cluster,
+    pods: Vec<PodSpec>,
+) -> Vec<(String, crate::Result<String>)> {
+    pods.into_iter()
+        .map(|p| {
+            let name = format!("{}/{}", p.namespace, p.name);
+            let outcome = schedule(cluster, p);
+            (name, outcome)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::IsolationMode;
+
+    fn pod(name: &str, ns: &str, cpu: u64, mem: u64, isolation: IsolationMode) -> PodSpec {
+        let mut p = PodSpec::new(name, ns, "img");
+        p.containers[0].resources.cpu_millis = cpu;
+        p.containers[0].resources.memory_mb = mem;
+        p.isolation = isolation;
+        p
+    }
+
+    #[test]
+    fn soft_pod_lands_on_shared_vm() {
+        let mut c = Cluster::genio_edge();
+        let vm = schedule(
+            &mut c,
+            pod("web", "tenant-a", 500, 512, IsolationMode::Soft),
+        )
+        .unwrap();
+        assert!(vm.starts_with("shared-vm"));
+    }
+
+    #[test]
+    fn hard_pod_requires_dedicated_vm() {
+        let mut c = Cluster::genio_edge();
+        let vm = schedule(
+            &mut c,
+            pod("db", "tenant-bank", 500, 512, IsolationMode::Hard),
+        )
+        .unwrap();
+        assert_eq!(vm, "tenant-bank-vm");
+        // A tenant without a dedicated VM cannot get hard isolation.
+        let err = schedule(&mut c, pod("db", "tenant-a", 500, 512, IsolationMode::Hard));
+        assert!(matches!(err, Err(OrchestratorError::Unschedulable { .. })));
+    }
+
+    #[test]
+    fn hard_pod_never_lands_on_shared_vm() {
+        let mut c = Cluster::genio_edge();
+        // Fill the dedicated VM completely.
+        schedule(
+            &mut c,
+            pod("big", "tenant-bank", 4_000, 8_192, IsolationMode::Hard),
+        )
+        .unwrap();
+        let err = schedule(
+            &mut c,
+            pod("more", "tenant-bank", 100, 128, IsolationMode::Hard),
+        );
+        assert!(err.is_err(), "must not spill to shared VMs");
+    }
+
+    #[test]
+    fn soft_pod_never_lands_on_dedicated_vm() {
+        let mut c = Cluster::genio_edge();
+        // Fill both shared VMs.
+        schedule(&mut c, pod("f1", "t", 4_000, 8_192, IsolationMode::Soft)).unwrap();
+        schedule(&mut c, pod("f2", "t", 4_000, 8_192, IsolationMode::Soft)).unwrap();
+        let err = schedule(&mut c, pod("f3", "t", 100, 128, IsolationMode::Soft));
+        assert!(err.is_err(), "must not spill to dedicated VMs");
+    }
+
+    #[test]
+    fn capacity_is_respected_cumulatively() {
+        let mut c = Cluster::genio_edge();
+        // shared-vm-1 has 4000m; three 1500m pods: two fit, third goes to vm-2.
+        let v1 = schedule(&mut c, pod("a", "t", 1_500, 100, IsolationMode::Soft)).unwrap();
+        let v2 = schedule(&mut c, pod("b", "t", 1_500, 100, IsolationMode::Soft)).unwrap();
+        let v3 = schedule(&mut c, pod("c", "t", 1_500, 100, IsolationMode::Soft)).unwrap();
+        assert_eq!(v1, "shared-vm-1");
+        assert_eq!(v2, "shared-vm-1");
+        assert_eq!(v3, "shared-vm-2");
+    }
+
+    #[test]
+    fn memory_also_constrains() {
+        let mut c = Cluster::genio_edge();
+        schedule(&mut c, pod("big-mem", "t", 100, 8_192, IsolationMode::Soft)).unwrap();
+        let v = schedule(&mut c, pod("next", "t", 100, 8_192, IsolationMode::Soft)).unwrap();
+        assert_eq!(v, "shared-vm-2");
+    }
+
+    #[test]
+    fn batch_reports_each_outcome() {
+        let mut c = Cluster::genio_edge();
+        let outcomes = schedule_all(
+            &mut c,
+            vec![
+                pod("ok", "t", 100, 128, IsolationMode::Soft),
+                pod("too-big", "t", 100_000, 128, IsolationMode::Soft),
+            ],
+        );
+        assert!(outcomes[0].1.is_ok());
+        assert!(outcomes[1].1.is_err());
+        assert_eq!(c.pod_count(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Pod and container specifications with the security-relevant surface.
+
+/// Linux capabilities the simulation tracks (the dangerous ones the paper
+/// names plus common safe ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(non_camel_case_types)]
+pub enum Capability {
+    /// Full device/mount/admin control — the container-escape classic the
+    /// paper cites for T8.
+    CAP_SYS_ADMIN,
+    /// Raw packet access.
+    CAP_NET_RAW,
+    /// Bind low ports.
+    CAP_NET_BIND_SERVICE,
+    /// Change file ownership.
+    CAP_CHOWN,
+    /// Load kernel modules.
+    CAP_SYS_MODULE,
+    /// Trace arbitrary processes.
+    CAP_SYS_PTRACE,
+}
+
+impl Capability {
+    /// True for capabilities that break container isolation on their own.
+    pub fn is_dangerous(self) -> bool {
+        matches!(
+            self,
+            Capability::CAP_SYS_ADMIN | Capability::CAP_SYS_MODULE | Capability::CAP_SYS_PTRACE
+        )
+    }
+}
+
+/// Resource requests of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resources {
+    /// CPU request in millicores.
+    pub cpu_millis: u64,
+    /// Memory request in MiB.
+    pub memory_mb: u64,
+    /// True when explicit limits are set (absence is a kubesec finding).
+    pub limits_set: bool,
+}
+
+/// One container in a pod.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerSpec {
+    /// Container name.
+    pub name: String,
+    /// Image reference.
+    pub image: String,
+    /// Privileged mode (full host access).
+    pub privileged: bool,
+    /// Added capabilities.
+    pub capabilities: Vec<Capability>,
+    /// Runs as uid 0.
+    pub run_as_root: bool,
+    /// Root filesystem writable.
+    pub writable_root_fs: bool,
+    /// Resource requests/limits.
+    pub resources: Resources,
+}
+
+impl ContainerSpec {
+    /// A minimal, secure-by-default container.
+    pub fn new(name: &str, image: &str) -> Self {
+        ContainerSpec {
+            name: name.to_string(),
+            image: image.to_string(),
+            privileged: false,
+            capabilities: Vec::new(),
+            run_as_root: false,
+            writable_root_fs: false,
+            resources: Resources {
+                cpu_millis: 100,
+                memory_mb: 128,
+                limits_set: true,
+            },
+        }
+    }
+}
+
+/// Isolation mode a tenant contracts for (the paper's hard vs soft
+/// isolation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsolationMode {
+    /// Dedicated VM per tenant.
+    Hard,
+    /// Containers/namespaces within shared VMs.
+    Soft,
+}
+
+/// A pod specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PodSpec {
+    /// Pod name, unique per namespace.
+    pub name: String,
+    /// Owning tenant namespace.
+    pub namespace: String,
+    /// Containers.
+    pub containers: Vec<ContainerSpec>,
+    /// Uses the host network namespace.
+    pub host_network: bool,
+    /// Host filesystem paths mounted into the pod.
+    pub host_path_mounts: Vec<String>,
+    /// Isolation mode required by the tenant's contract.
+    pub isolation: IsolationMode,
+}
+
+impl PodSpec {
+    /// A single-container pod with secure defaults and soft isolation.
+    pub fn new(name: &str, namespace: &str, image: &str) -> Self {
+        PodSpec {
+            name: name.to_string(),
+            namespace: namespace.to_string(),
+            containers: vec![ContainerSpec::new(name, image)],
+            host_network: false,
+            host_path_mounts: Vec::new(),
+            isolation: IsolationMode::Soft,
+        }
+    }
+
+    /// Total CPU request across containers.
+    pub fn cpu_millis(&self) -> u64 {
+        self.containers.iter().map(|c| c.resources.cpu_millis).sum()
+    }
+
+    /// Total memory request across containers.
+    pub fn memory_mb(&self) -> u64 {
+        self.containers.iter().map(|c| c.resources.memory_mb).sum()
+    }
+
+    /// True if any container is privileged or holds a dangerous capability
+    /// — the T8 pre-condition.
+    pub fn has_dangerous_privileges(&self) -> bool {
+        self.containers
+            .iter()
+            .any(|c| c.privileged || c.capabilities.iter().any(|cap| cap.is_dangerous()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secure_defaults() {
+        let pod = PodSpec::new("web", "tenant-a", "nginx:1.25");
+        assert!(!pod.has_dangerous_privileges());
+        assert!(!pod.host_network);
+        assert_eq!(pod.cpu_millis(), 100);
+        assert_eq!(pod.memory_mb(), 128);
+    }
+
+    #[test]
+    fn dangerous_capabilities_flagged() {
+        let mut pod = PodSpec::new("evil", "tenant-b", "img");
+        pod.containers[0]
+            .capabilities
+            .push(Capability::CAP_SYS_ADMIN);
+        assert!(pod.has_dangerous_privileges());
+        let mut pod2 = PodSpec::new("ok", "tenant-b", "img");
+        pod2.containers[0]
+            .capabilities
+            .push(Capability::CAP_NET_BIND_SERVICE);
+        assert!(!pod2.has_dangerous_privileges());
+    }
+
+    #[test]
+    fn privileged_flagged() {
+        let mut pod = PodSpec::new("p", "t", "img");
+        pod.containers[0].privileged = true;
+        assert!(pod.has_dangerous_privileges());
+    }
+
+    #[test]
+    fn resources_sum_across_containers() {
+        let mut pod = PodSpec::new("multi", "t", "img");
+        pod.containers.push(ContainerSpec::new("sidecar", "envoy"));
+        assert_eq!(pod.cpu_millis(), 200);
+        assert_eq!(pod.memory_mb(), 256);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for scheduling, RBAC and admission invariants.
+
+use proptest::prelude::*;
+
+use genio_orchestrator::admission::{evaluate, AdmissionLevel};
+use genio_orchestrator::cluster::Cluster;
+use genio_orchestrator::rbac::{Authorizer, Role, RoleBinding, Rule, ALL_RESOURCES, ALL_VERBS};
+use genio_orchestrator::scheduler::schedule;
+use genio_orchestrator::workload::{Capability, IsolationMode, PodSpec};
+
+fn arb_pod() -> impl Strategy<Value = PodSpec> {
+    (
+        "[a-z]{3,8}",
+        prop::sample::select(vec!["tenant-a", "tenant-b", "tenant-bank", "genio-system"]),
+        1u64..3_000,
+        1u64..6_000,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(name, ns, cpu, mem, hard, privileged, sys_admin)| {
+            let mut pod = PodSpec::new(&name, ns, "img");
+            pod.containers[0].resources.cpu_millis = cpu;
+            pod.containers[0].resources.memory_mb = mem;
+            pod.isolation = if hard {
+                IsolationMode::Hard
+            } else {
+                IsolationMode::Soft
+            };
+            pod.containers[0].privileged = privileged;
+            if sys_admin {
+                pod.containers[0]
+                    .capabilities
+                    .push(Capability::CAP_SYS_ADMIN);
+            }
+            pod
+        })
+}
+
+proptest! {
+    /// The scheduler never overcommits any VM and never violates isolation
+    /// placement, whatever the pod stream.
+    #[test]
+    fn scheduler_never_overcommits(pods in proptest::collection::vec(arb_pod(), 0..40)) {
+        let mut cluster = Cluster::genio_edge();
+        for (i, mut pod) in pods.into_iter().enumerate() {
+            pod.name = format!("{}-{i}", pod.name);
+            let isolation = pod.isolation;
+            let ns = pod.namespace.clone();
+            if let Ok(vm_name) = schedule(&mut cluster, pod) {
+                let vm = cluster.vm(&vm_name).unwrap().clone();
+                match isolation {
+                    IsolationMode::Hard => {
+                        prop_assert_eq!(vm.dedicated_to.as_deref(), Some(ns.as_str()));
+                    }
+                    IsolationMode::Soft => prop_assert!(vm.dedicated_to.is_none()),
+                }
+            }
+        }
+        for vm in cluster.vms() {
+            prop_assert!(cluster.vm_cpu_used(&vm.name) <= vm.cpu_millis, "{} cpu", vm.name);
+            prop_assert!(cluster.vm_memory_used(&vm.name) <= vm.memory_mb, "{} mem", vm.name);
+        }
+    }
+
+    /// Admission is monotone: anything rejected at Baseline is also
+    /// rejected at Restricted, and Privileged rejects nothing.
+    #[test]
+    fn admission_monotone(pod in arb_pod()) {
+        let privileged = evaluate(&pod, AdmissionLevel::Privileged);
+        let baseline = evaluate(&pod, AdmissionLevel::Baseline);
+        let restricted = evaluate(&pod, AdmissionLevel::Restricted);
+        prop_assert!(privileged.is_empty());
+        prop_assert!(baseline.len() <= restricted.len());
+        for v in &baseline {
+            prop_assert!(restricted.contains(v), "baseline violation missing at restricted");
+        }
+    }
+
+    /// A wildcard role allows everything any enumerated role allows.
+    #[test]
+    fn rbac_wildcard_superset(verbs in proptest::collection::vec(0usize..9, 1..4),
+                              resources in proptest::collection::vec(0usize..16, 1..4)) {
+        let verb_names: Vec<&str> = verbs.iter().map(|i| ALL_VERBS[*i]).collect();
+        let resource_names: Vec<&str> = resources.iter().map(|i| ALL_RESOURCES[*i]).collect();
+        let enumerated = Role::new("enumerated").rule(Rule::new(&verb_names, &resource_names));
+        let wildcard = Role::new("wildcard").rule(Rule::new(&["*"], &["*"]));
+        for v in ALL_VERBS {
+            for r in ALL_RESOURCES {
+                if enumerated.allows(v, r) {
+                    prop_assert!(wildcard.allows(v, r));
+                }
+            }
+        }
+        prop_assert!(enumerated.permission_surface() <= wildcard.permission_surface());
+    }
+
+    /// Authorization is monotone in bindings: adding a binding never
+    /// revokes a previously allowed request.
+    #[test]
+    fn rbac_binding_monotone(namespaced in any::<bool>()) {
+        let mut authz = Authorizer::new();
+        authz.add_role(Role::new("r1").rule(Rule::new(&["get"], &["pods"])));
+        authz.add_role(Role::new("r2").rule(Rule::new(&["delete"], &["pods"])));
+        let ns = if namespaced { Some("tenant-a") } else { None };
+        authz.bind(RoleBinding::new("alice", "r1", ns));
+        let allowed_before = authz.allowed("alice", "get", "pods", Some("tenant-a"));
+        authz.bind(RoleBinding::new("alice", "r2", ns));
+        let allowed_after = authz.allowed("alice", "get", "pods", Some("tenant-a"));
+        prop_assert!(!allowed_before || allowed_after);
+    }
+}

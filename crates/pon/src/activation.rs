@@ -1,0 +1,395 @@
+//! ONU activation: discovery → ranging → operational.
+//!
+//! Activation is the admission boundary of the PON, and the stage the
+//! paper's *ONU impersonation* threat (T1) attacks: legacy G.987 activation
+//! identifies ONUs only by their vendor **serial number**, which a rogue
+//! device can clone. GENIO's mitigation **M4** adds certificate-based mutual
+//! authentication before service provisioning. Both admission modes are
+//! implemented here so the attack campaign can measure the difference.
+
+use std::collections::HashSet;
+
+use crate::frame::PloamMessage;
+use crate::topology::{OnuId, OnuStatus, PonTree};
+use crate::PonError;
+
+/// Decides whether an announcing device may join the tree.
+pub trait AdmissionPolicy: std::fmt::Debug {
+    /// Returns `Ok(())` to admit, or a human-readable denial reason.
+    ///
+    /// `evidence` carries the certificate proof from
+    /// [`PloamMessage::AuthenticatedResponse`], or `None` for legacy
+    /// serial-only announcements.
+    fn admit(&self, serial: &str, evidence: Option<&[u8]>) -> Result<(), String>;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Legacy policy: admit any device announcing a known serial number.
+/// Vulnerable to serial cloning.
+#[derive(Debug, Clone, Default)]
+pub struct SerialAllowlist {
+    allowed: HashSet<String>,
+}
+
+impl SerialAllowlist {
+    /// Creates an empty allowlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an expected serial.
+    pub fn allow(&mut self, serial: &str) {
+        self.allowed.insert(serial.to_string());
+    }
+}
+
+impl AdmissionPolicy for SerialAllowlist {
+    fn admit(&self, serial: &str, _evidence: Option<&[u8]>) -> Result<(), String> {
+        if self.allowed.contains(serial) {
+            Ok(())
+        } else {
+            Err(format!("serial {serial} not in allowlist"))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "serial-allowlist"
+    }
+}
+
+/// M4 policy: require certificate evidence and validate it with the supplied
+/// verifier (wired to `genio-netsec` PKI in the platform core).
+pub struct CertificateAdmission<F> {
+    verifier: F,
+}
+
+impl<F> CertificateAdmission<F>
+where
+    F: Fn(&str, &[u8]) -> bool,
+{
+    /// Creates a policy delegating chain validation to `verifier`.
+    pub fn new(verifier: F) -> Self {
+        CertificateAdmission { verifier }
+    }
+}
+
+impl<F> std::fmt::Debug for CertificateAdmission<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CertificateAdmission")
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F> AdmissionPolicy for CertificateAdmission<F>
+where
+    F: Fn(&str, &[u8]) -> bool,
+{
+    fn admit(&self, serial: &str, evidence: Option<&[u8]>) -> Result<(), String> {
+        match evidence {
+            None => Err("certificate evidence required".to_string()),
+            Some(ev) => {
+                if (self.verifier)(serial, ev) {
+                    Ok(())
+                } else {
+                    Err(format!("certificate validation failed for {serial}"))
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "certificate-admission"
+    }
+}
+
+/// One recorded activation event, for audit and the attack campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivationEvent {
+    /// Announced serial.
+    pub serial: String,
+    /// Outcome: `Ok(id)` or denial reason.
+    pub outcome: Result<OnuId, String>,
+    /// Whether the announcement carried certificate evidence.
+    pub authenticated: bool,
+}
+
+/// OLT-side activation controller driving the PLOAM exchange.
+///
+/// # Example
+///
+/// ```
+/// use genio_pon::activation::{ActivationController, SerialAllowlist};
+/// use genio_pon::topology::PonTree;
+///
+/// # fn main() -> genio_pon::Result<()> {
+/// let mut tree = PonTree::builder("olt-1").split_ratio(8).build();
+/// tree.attach_onu("SER-1", 500)?;
+/// let mut allow = SerialAllowlist::new();
+/// allow.allow("SER-1");
+/// let mut ctl = ActivationController::new(Box::new(allow));
+/// let id = ctl.activate(&mut tree, "SER-1", None)?;
+/// assert!(tree.operational().contains(&id));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ActivationController {
+    policy: Box<dyn AdmissionPolicy>,
+    events: Vec<ActivationEvent>,
+}
+
+impl ActivationController {
+    /// Creates a controller with the given admission policy.
+    pub fn new(policy: Box<dyn AdmissionPolicy>) -> Self {
+        ActivationController {
+            policy,
+            events: Vec::new(),
+        }
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Recorded activation attempts, in order.
+    pub fn events(&self) -> &[ActivationEvent] {
+        &self.events
+    }
+
+    /// Runs the full activation sequence for a device announcing `serial`,
+    /// optionally with certificate `evidence`. On success the ONU is ranged
+    /// and transitioned to [`OnuStatus::Operational`].
+    ///
+    /// # Errors
+    ///
+    /// * [`PonError::AdmissionDenied`] if the policy rejects the identity.
+    /// * [`PonError::UnknownOnu`] if the serial is not physically attached
+    ///   (the device announced but no fiber terminates — only possible for
+    ///   rogue devices injecting from a tap, which are still *admitted*
+    ///   logically under weak policies; the caller distinguishes the cases).
+    pub fn activate(
+        &mut self,
+        tree: &mut PonTree,
+        serial: &str,
+        evidence: Option<&[u8]>,
+    ) -> crate::Result<OnuId> {
+        let authenticated = evidence.is_some();
+        if let Err(reason) = self.policy.admit(serial, evidence) {
+            self.events.push(ActivationEvent {
+                serial: serial.to_string(),
+                outcome: Err(reason.clone()),
+                authenticated,
+            });
+            return Err(PonError::AdmissionDenied(reason));
+        }
+        let id = match tree.onu_by_serial(serial) {
+            Some(onu) => onu.id,
+            None => {
+                self.events.push(ActivationEvent {
+                    serial: serial.to_string(),
+                    outcome: Err("no fiber termination".to_string()),
+                    authenticated,
+                });
+                return Err(PonError::UnknownOnu(0));
+            }
+        };
+        // Ranging: equalization delay flattens differential reach so all
+        // upstream bursts land aligned at the OLT.
+        let rtt = tree.rtt_ns(id)?;
+        let max_rtt = tree
+            .iter()
+            .map(|o| o.propagation_ns(tree.trunk_m()) * 2)
+            .max()
+            .unwrap_or(rtt);
+        {
+            let onu = tree.onu_mut(id).expect("onu exists");
+            onu.status = OnuStatus::Activating;
+            onu.eq_delay_ns = max_rtt - rtt;
+            onu.status = OnuStatus::Operational;
+        }
+        self.events.push(ActivationEvent {
+            serial: serial.to_string(),
+            outcome: Ok(id),
+            authenticated,
+        });
+        Ok(id)
+    }
+
+    /// Processes a raw PLOAM announcement message (convenience wrapper
+    /// around [`ActivationController::activate`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`PonError::InvalidActivationState`] for non-announcement messages.
+    /// * Errors from [`ActivationController::activate`] otherwise.
+    pub fn handle_announcement(
+        &mut self,
+        tree: &mut PonTree,
+        msg: &PloamMessage,
+    ) -> crate::Result<OnuId> {
+        match msg {
+            PloamMessage::SerialNumberResponse { serial } => self.activate(tree, serial, None),
+            PloamMessage::AuthenticatedResponse { serial, evidence } => {
+                self.activate(tree, serial, Some(evidence))
+            }
+            other => Err(PonError::InvalidActivationState {
+                state: "discovery",
+                message: other.kind(),
+            }),
+        }
+    }
+
+    /// Disables an operational ONU (quarantine after detection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PonError::UnknownOnu`] if the id is not attached.
+    pub fn disable(&mut self, tree: &mut PonTree, id: OnuId) -> crate::Result<()> {
+        let onu = tree.onu_mut(id).ok_or(PonError::UnknownOnu(id))?;
+        onu.status = OnuStatus::Disabled;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(serials: &[&str]) -> PonTree {
+        let mut t = PonTree::builder("olt")
+            .split_ratio(16)
+            .trunk_m(5_000)
+            .build();
+        for (i, s) in serials.iter().enumerate() {
+            t.attach_onu(s, 100 * (i as u32 + 1)).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn serial_allowlist_admits_known() {
+        let mut tree = tree_with(&["A", "B"]);
+        let mut allow = SerialAllowlist::new();
+        allow.allow("A");
+        let mut ctl = ActivationController::new(Box::new(allow));
+        let id = ctl.activate(&mut tree, "A", None).unwrap();
+        assert_eq!(tree.onu(id).unwrap().status, OnuStatus::Operational);
+    }
+
+    #[test]
+    fn serial_allowlist_denies_unknown() {
+        let mut tree = tree_with(&["A"]);
+        let mut ctl = ActivationController::new(Box::new(SerialAllowlist::new()));
+        assert!(matches!(
+            ctl.activate(&mut tree, "A", None),
+            Err(PonError::AdmissionDenied(_))
+        ));
+    }
+
+    #[test]
+    fn serial_cloning_succeeds_under_legacy_policy() {
+        // The impersonation threat: rogue clones serial "A". Legacy policy
+        // cannot tell the difference — admission succeeds.
+        let mut tree = tree_with(&["A"]);
+        let mut allow = SerialAllowlist::new();
+        allow.allow("A");
+        let mut ctl = ActivationController::new(Box::new(allow));
+        let outcome = ctl.activate(&mut tree, "A", None);
+        assert!(outcome.is_ok(), "legacy admission cannot detect cloning");
+    }
+
+    #[test]
+    fn certificate_policy_requires_evidence() {
+        let mut tree = tree_with(&["A"]);
+        let policy = CertificateAdmission::new(|_s: &str, _e: &[u8]| true);
+        let mut ctl = ActivationController::new(Box::new(policy));
+        assert!(matches!(
+            ctl.activate(&mut tree, "A", None),
+            Err(PonError::AdmissionDenied(_))
+        ));
+        assert!(ctl.activate(&mut tree, "A", Some(b"chain")).is_ok());
+    }
+
+    #[test]
+    fn certificate_policy_rejects_bad_evidence() {
+        let mut tree = tree_with(&["A"]);
+        let policy = CertificateAdmission::new(|_s: &str, e: &[u8]| e == b"valid");
+        let mut ctl = ActivationController::new(Box::new(policy));
+        assert!(matches!(
+            ctl.activate(&mut tree, "A", Some(b"forged")),
+            Err(PonError::AdmissionDenied(_))
+        ));
+    }
+
+    #[test]
+    fn ranging_equalizes_delay() {
+        let mut tree = tree_with(&["near", "far"]);
+        tree.onu_mut(2).unwrap().fiber_m = 20_000;
+        let mut allow = SerialAllowlist::new();
+        allow.allow("near");
+        allow.allow("far");
+        let mut ctl = ActivationController::new(Box::new(allow));
+        let near = ctl.activate(&mut tree, "near", None).unwrap();
+        let far = ctl.activate(&mut tree, "far", None).unwrap();
+        // The farthest ONU gets zero extra delay; the near one is padded.
+        assert_eq!(tree.onu(far).unwrap().eq_delay_ns, 0);
+        assert!(tree.onu(near).unwrap().eq_delay_ns > 0);
+    }
+
+    #[test]
+    fn events_are_recorded() {
+        let mut tree = tree_with(&["A"]);
+        let mut allow = SerialAllowlist::new();
+        allow.allow("A");
+        let mut ctl = ActivationController::new(Box::new(allow));
+        ctl.activate(&mut tree, "A", None).unwrap();
+        let _ = ctl.activate(&mut tree, "B", None);
+        assert_eq!(ctl.events().len(), 2);
+        assert!(ctl.events()[0].outcome.is_ok());
+        assert!(ctl.events()[1].outcome.is_err());
+    }
+
+    #[test]
+    fn announcement_dispatch() {
+        let mut tree = tree_with(&["A"]);
+        let mut allow = SerialAllowlist::new();
+        allow.allow("A");
+        let mut ctl = ActivationController::new(Box::new(allow));
+        let msg = PloamMessage::SerialNumberResponse { serial: "A".into() };
+        assert!(ctl.handle_announcement(&mut tree, &msg).is_ok());
+        let bad = PloamMessage::RangingRequest { id: 1 };
+        assert!(matches!(
+            ctl.handle_announcement(&mut tree, &bad),
+            Err(PonError::InvalidActivationState { .. })
+        ));
+    }
+
+    #[test]
+    fn disable_quarantines() {
+        let mut tree = tree_with(&["A"]);
+        let mut allow = SerialAllowlist::new();
+        allow.allow("A");
+        let mut ctl = ActivationController::new(Box::new(allow));
+        let id = ctl.activate(&mut tree, "A", None).unwrap();
+        ctl.disable(&mut tree, id).unwrap();
+        assert_eq!(tree.onu(id).unwrap().status, OnuStatus::Disabled);
+        assert!(tree.operational().is_empty());
+    }
+
+    #[test]
+    fn announced_but_unattached_serial_fails_physically() {
+        // Admission passes (policy allows it) but there is no fiber: the
+        // logical admission cannot complete.
+        let mut tree = tree_with(&[]);
+        let mut allow = SerialAllowlist::new();
+        allow.allow("ghost");
+        let mut ctl = ActivationController::new(Box::new(allow));
+        assert!(matches!(
+            ctl.activate(&mut tree, "ghost", None),
+            Err(PonError::UnknownOnu(_))
+        ));
+    }
+}

@@ -1,0 +1,323 @@
+//! Attack injectors for the paper's infrastructure-level threats (T1).
+//!
+//! Each attacker is a small state machine that observes or perturbs the
+//! simulated fiber. The platform core runs these with mitigations toggled
+//! on/off to produce the end-to-end attack-campaign matrix (experiment
+//! E-S1): a fiber tap against cleartext vs encrypted GEM ports, frame
+//! replay against a counter window, serial cloning against the two
+//! admission policies, and downstream hijack against AEAD binding.
+
+use crate::activation::ActivationController;
+use crate::frame::{DownstreamFrame, PayloadKind};
+use crate::security::GemCrypto;
+use crate::topology::{OnuId, PonTree};
+
+/// A passive fiber tap: records every downstream frame on the trunk.
+///
+/// Because PON downstream is physically broadcast, the tap sees *all*
+/// frames; what matters is how many payloads it can actually read.
+#[derive(Debug, Default)]
+pub struct FiberTap {
+    observed: Vec<DownstreamFrame>,
+}
+
+impl FiberTap {
+    /// Creates an empty tap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a frame passing the tap point.
+    pub fn observe(&mut self, frame: &DownstreamFrame) {
+        self.observed.push(frame.clone());
+    }
+
+    /// Every frame seen, regardless of protection.
+    pub fn observed(&self) -> &[DownstreamFrame] {
+        &self.observed
+    }
+
+    /// Payloads the attacker can read directly (cleartext frames).
+    pub fn readable_payloads(&self) -> Vec<&[u8]> {
+        self.observed
+            .iter()
+            .filter(|f| f.kind == PayloadKind::Clear)
+            .map(|f| f.payload.as_slice())
+            .collect()
+    }
+
+    /// Fraction of observed frames whose payload is readable; `None` when
+    /// nothing was observed.
+    pub fn exposure_ratio(&self) -> Option<f64> {
+        if self.observed.is_empty() {
+            return None;
+        }
+        let clear = self
+            .observed
+            .iter()
+            .filter(|f| f.kind == PayloadKind::Clear)
+            .count();
+        Some(clear as f64 / self.observed.len() as f64)
+    }
+}
+
+/// Replays previously captured frames back onto the tree.
+#[derive(Debug, Default)]
+pub struct ReplayAttacker {
+    captured: Vec<DownstreamFrame>,
+}
+
+/// Outcome of a replay attempt against a receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// The receiver accepted the replayed frame (attack succeeded).
+    Accepted,
+    /// The receiver rejected it via the counter window.
+    RejectedReplay,
+    /// The receiver rejected it for another reason (e.g. no key).
+    RejectedOther,
+}
+
+impl ReplayAttacker {
+    /// Creates an attacker with an empty capture buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Captures a frame in transit.
+    pub fn capture(&mut self, frame: &DownstreamFrame) {
+        self.captured.push(frame.clone());
+    }
+
+    /// Number of captured frames.
+    pub fn captured_count(&self) -> usize {
+        self.captured.len()
+    }
+
+    /// Replays the `index`-th captured frame against a receiver's crypto
+    /// engine, classifying the outcome. For cleartext frames the receiver
+    /// has no way to detect the replay, so the attack trivially succeeds.
+    pub fn replay_against(&self, index: usize, receiver: &mut GemCrypto) -> ReplayOutcome {
+        let Some(frame) = self.captured.get(index) else {
+            return ReplayOutcome::RejectedOther;
+        };
+        if frame.kind == PayloadKind::Clear {
+            return ReplayOutcome::Accepted;
+        }
+        match receiver.decrypt(frame) {
+            Ok(_) => ReplayOutcome::Accepted,
+            Err(crate::PonError::Replay) => ReplayOutcome::RejectedReplay,
+            Err(_) => ReplayOutcome::RejectedOther,
+        }
+    }
+}
+
+/// A rogue device attempting ONU impersonation by cloning a serial number.
+#[derive(Debug, Clone)]
+pub struct RogueOnu {
+    /// The serial the rogue announces (cloned from a victim).
+    pub cloned_serial: String,
+    /// Forged certificate evidence, if the rogue attempts authenticated
+    /// activation. A rogue without the victim's private key can only forge.
+    pub forged_evidence: Option<Vec<u8>>,
+}
+
+/// Outcome of an impersonation attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImpersonationOutcome {
+    /// Rogue was admitted and is operational — attack succeeded.
+    Admitted(OnuId),
+    /// Admission policy denied the rogue.
+    Denied(String),
+}
+
+impl RogueOnu {
+    /// Creates a rogue cloning `victim_serial`.
+    pub fn cloning(victim_serial: &str) -> Self {
+        RogueOnu {
+            cloned_serial: victim_serial.to_string(),
+            forged_evidence: None,
+        }
+    }
+
+    /// Attaches forged certificate evidence to the announcement.
+    pub fn with_forged_evidence(mut self, evidence: Vec<u8>) -> Self {
+        self.forged_evidence = Some(evidence);
+        self
+    }
+
+    /// Attempts activation through the controller.
+    pub fn attempt(
+        &self,
+        controller: &mut ActivationController,
+        tree: &mut PonTree,
+    ) -> ImpersonationOutcome {
+        match controller.activate(tree, &self.cloned_serial, self.forged_evidence.as_deref()) {
+            Ok(id) => ImpersonationOutcome::Admitted(id),
+            Err(e) => ImpersonationOutcome::Denied(e.to_string()),
+        }
+    }
+}
+
+/// A downstream hijacker: intercepts frames and rewrites payload or target
+/// before delivery (an active man-in-the-middle at the splitter).
+#[derive(Debug, Default)]
+pub struct DownstreamHijacker {
+    tampered: usize,
+}
+
+/// What the hijacker did to a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HijackAction {
+    /// Overwrite payload bytes with attacker content.
+    InjectPayload,
+    /// Redirect the frame to a different ONU.
+    Retarget(OnuId),
+}
+
+impl DownstreamHijacker {
+    /// Creates a hijacker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies `action` to a frame in transit, returning the modified frame.
+    pub fn tamper(&mut self, frame: &DownstreamFrame, action: HijackAction) -> DownstreamFrame {
+        self.tampered += 1;
+        let mut out = frame.clone();
+        match action {
+            HijackAction::InjectPayload => {
+                // Overwrite with attacker-chosen bytes of the same length so
+                // the modification is not detectable by size alone.
+                out.payload = vec![0x41; frame.payload.len().max(1)];
+            }
+            HijackAction::Retarget(victim) => {
+                out.target = victim;
+            }
+        }
+        out
+    }
+
+    /// Number of frames tampered with so far.
+    pub fn tampered_count(&self) -> usize {
+        self.tampered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::SerialAllowlist;
+    use crate::PonError;
+
+    fn encrypted_pair() -> (GemCrypto, GemCrypto) {
+        let mut a = GemCrypto::new(b"tap-test");
+        let mut b = GemCrypto::new(b"tap-test");
+        a.establish_key(1, 1);
+        b.establish_key(1, 1);
+        (a, b)
+    }
+
+    #[test]
+    fn tap_reads_cleartext_not_ciphertext() {
+        let (mut olt, _) = encrypted_pair();
+        let mut tap = FiberTap::new();
+        tap.observe(&GemCrypto::cleartext_downstream(1, 1, 0, b"visible secret"));
+        tap.observe(&olt.encrypt_downstream(1, 1, b"hidden secret").unwrap());
+        assert_eq!(tap.observed().len(), 2);
+        let readable = tap.readable_payloads();
+        assert_eq!(readable.len(), 1);
+        assert_eq!(readable[0], b"visible secret");
+        assert_eq!(tap.exposure_ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn tap_empty_exposure_none() {
+        assert_eq!(FiberTap::new().exposure_ratio(), None);
+    }
+
+    #[test]
+    fn replay_of_encrypted_frame_rejected() {
+        let (mut olt, mut onu) = encrypted_pair();
+        let frame = olt.encrypt_downstream(1, 1, b"grant").unwrap();
+        let mut attacker = ReplayAttacker::new();
+        attacker.capture(&frame);
+        // Legitimate delivery first.
+        onu.decrypt(&frame).unwrap();
+        assert_eq!(
+            attacker.replay_against(0, &mut onu),
+            ReplayOutcome::RejectedReplay
+        );
+    }
+
+    #[test]
+    fn replay_of_cleartext_frame_succeeds() {
+        let mut attacker = ReplayAttacker::new();
+        attacker.capture(&GemCrypto::cleartext_downstream(1, 1, 0, b"grant"));
+        let (_, mut onu) = encrypted_pair();
+        assert_eq!(
+            attacker.replay_against(0, &mut onu),
+            ReplayOutcome::Accepted
+        );
+    }
+
+    #[test]
+    fn replay_missing_index_is_other() {
+        let attacker = ReplayAttacker::new();
+        let (_, mut onu) = encrypted_pair();
+        assert_eq!(
+            attacker.replay_against(5, &mut onu),
+            ReplayOutcome::RejectedOther
+        );
+    }
+
+    #[test]
+    fn rogue_succeeds_under_serial_policy() {
+        let mut tree = PonTree::builder("olt").split_ratio(8).build();
+        tree.attach_onu("victim", 100).unwrap();
+        let mut allow = SerialAllowlist::new();
+        allow.allow("victim");
+        let mut ctl = ActivationController::new(Box::new(allow));
+        let rogue = RogueOnu::cloning("victim");
+        assert!(matches!(
+            rogue.attempt(&mut ctl, &mut tree),
+            ImpersonationOutcome::Admitted(_)
+        ));
+    }
+
+    #[test]
+    fn rogue_denied_under_certificate_policy() {
+        use crate::activation::CertificateAdmission;
+        let mut tree = PonTree::builder("olt").split_ratio(8).build();
+        tree.attach_onu("victim", 100).unwrap();
+        let policy = CertificateAdmission::new(|_s: &str, e: &[u8]| e == b"genuine-chain");
+        let mut ctl = ActivationController::new(Box::new(policy));
+        let rogue = RogueOnu::cloning("victim").with_forged_evidence(b"forged".to_vec());
+        assert!(matches!(
+            rogue.attempt(&mut ctl, &mut tree),
+            ImpersonationOutcome::Denied(_)
+        ));
+    }
+
+    #[test]
+    fn hijacked_encrypted_frame_detected() {
+        let (mut olt, mut onu) = encrypted_pair();
+        let frame = olt.encrypt_downstream(1, 1, b"config-update").unwrap();
+        let mut hijacker = DownstreamHijacker::new();
+        let forged = hijacker.tamper(&frame, HijackAction::InjectPayload);
+        assert_eq!(onu.decrypt(&forged), Err(PonError::DecryptFailed));
+        let retargeted = hijacker.tamper(&frame, HijackAction::Retarget(7));
+        assert_eq!(onu.decrypt(&retargeted), Err(PonError::DecryptFailed));
+        assert_eq!(hijacker.tampered_count(), 2);
+    }
+
+    #[test]
+    fn hijacked_cleartext_frame_undetectable() {
+        let frame = GemCrypto::cleartext_downstream(1, 1, 0, b"config-update");
+        let mut hijacker = DownstreamHijacker::new();
+        let forged = hijacker.tamper(&frame, HijackAction::InjectPayload);
+        // No integrity protection: the receiver has nothing to check.
+        assert_eq!(forged.kind, PayloadKind::Clear);
+        assert_ne!(forged.payload, frame.payload);
+    }
+}

@@ -1,0 +1,178 @@
+//! Frame model: GEM-like encapsulation downstream, bursts upstream, and
+//! PLOAM-like control messages.
+//!
+//! Real XGS-PON wraps user payloads in GEM (G-PON Encapsulation Method)
+//! frames addressed by *port id*; the physical layer then broadcasts the
+//! whole downstream stream to every ONU, which filter on port id. That
+//! "filter, not isolate" behaviour is what makes fiber taps (threat T1)
+//! interesting, and is preserved here.
+
+use crate::topology::OnuId;
+
+/// A GEM port identifier: one logical flow on the tree. Each ONU is
+/// provisioned with one or more ports.
+pub type GemPort = u16;
+
+/// Payload encryption state of a frame, as observed on the fiber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Cleartext payload; any observer can read it.
+    Clear,
+    /// AES-GCM protected payload (ITU-T G.987.3 style); observers see only
+    /// ciphertext.
+    Encrypted,
+}
+
+/// A downstream GEM frame as transmitted on the shared fiber.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DownstreamFrame {
+    /// Addressed GEM port.
+    pub port: GemPort,
+    /// The ONU the OLT intends to reach (carried for simulation bookkeeping;
+    /// a real GEM header carries only the port id).
+    pub target: OnuId,
+    /// Monotonic per-port frame counter (the AES-GCM nonce basis, and the
+    /// replay-protection handle).
+    pub counter: u64,
+    /// Payload bytes (ciphertext when `kind` is [`PayloadKind::Encrypted`]).
+    pub payload: Vec<u8>,
+    /// Whether the payload is protected.
+    pub kind: PayloadKind,
+}
+
+/// An upstream burst transmitted by an ONU inside a granted window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpstreamBurst {
+    /// Transmitting ONU.
+    pub source: OnuId,
+    /// GEM port of the flow.
+    pub port: GemPort,
+    /// Per-port frame counter.
+    pub counter: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Whether the payload is protected.
+    pub kind: PayloadKind,
+    /// Start of the transmission window used, in nanoseconds from the start
+    /// of the TDMA cycle.
+    pub window_start_ns: u64,
+}
+
+/// PLOAM-like control messages used during activation and key management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PloamMessage {
+    /// OLT → broadcast: invite unregistered ONUs to announce themselves.
+    SerialNumberRequest,
+    /// ONU → OLT: announce vendor serial (legacy, unauthenticated).
+    SerialNumberResponse {
+        /// Vendor serial number.
+        serial: String,
+    },
+    /// ONU → OLT: announce serial plus a certificate-bound proof of
+    /// possession (GENIO's M4 mutual authentication extension).
+    AuthenticatedResponse {
+        /// Vendor serial number.
+        serial: String,
+        /// Opaque certificate chain bytes (validated by the admission hook).
+        evidence: Vec<u8>,
+    },
+    /// OLT → ONU: assign an ONU id.
+    AssignOnuId {
+        /// Serial being assigned.
+        serial: String,
+        /// The assigned id.
+        id: OnuId,
+    },
+    /// OLT → ONU: ranging grant (measure round trip).
+    RangingRequest {
+        /// Target ONU.
+        id: OnuId,
+    },
+    /// ONU → OLT: ranging response.
+    RangingResponse {
+        /// Responding ONU.
+        id: OnuId,
+        /// Observed round-trip time, nanoseconds.
+        rtt_ns: u64,
+    },
+    /// OLT → ONU: equalization delay assignment; completes activation.
+    RangingTime {
+        /// Target ONU.
+        id: OnuId,
+        /// Assigned equalization delay, nanoseconds.
+        eq_delay_ns: u64,
+    },
+    /// OLT → ONU: request encryption key establishment for a port.
+    KeyRequest {
+        /// Target ONU.
+        id: OnuId,
+        /// Port to key.
+        port: GemPort,
+    },
+    /// OLT → ONU: deactivate and disable.
+    DisableOnu {
+        /// Target ONU.
+        id: OnuId,
+    },
+}
+
+impl PloamMessage {
+    /// Short static name, used in error reporting and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PloamMessage::SerialNumberRequest => "serial-number-request",
+            PloamMessage::SerialNumberResponse { .. } => "serial-number-response",
+            PloamMessage::AuthenticatedResponse { .. } => "authenticated-response",
+            PloamMessage::AssignOnuId { .. } => "assign-onu-id",
+            PloamMessage::RangingRequest { .. } => "ranging-request",
+            PloamMessage::RangingResponse { .. } => "ranging-response",
+            PloamMessage::RangingTime { .. } => "ranging-time",
+            PloamMessage::KeyRequest { .. } => "key-request",
+            PloamMessage::DisableOnu { .. } => "disable-onu",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ploam_kinds_are_distinct() {
+        let msgs = [
+            PloamMessage::SerialNumberRequest,
+            PloamMessage::SerialNumberResponse { serial: "s".into() },
+            PloamMessage::AuthenticatedResponse {
+                serial: "s".into(),
+                evidence: vec![],
+            },
+            PloamMessage::AssignOnuId {
+                serial: "s".into(),
+                id: 1,
+            },
+            PloamMessage::RangingRequest { id: 1 },
+            PloamMessage::RangingResponse { id: 1, rtt_ns: 5 },
+            PloamMessage::RangingTime {
+                id: 1,
+                eq_delay_ns: 5,
+            },
+            PloamMessage::KeyRequest { id: 1, port: 2 },
+            PloamMessage::DisableOnu { id: 1 },
+        ];
+        let kinds: std::collections::HashSet<_> = msgs.iter().map(|m| m.kind()).collect();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn frame_carries_payload() {
+        let f = DownstreamFrame {
+            port: 7,
+            target: 3,
+            counter: 0,
+            payload: b"hello".to_vec(),
+            kind: PayloadKind::Clear,
+        };
+        assert_eq!(f.payload, b"hello");
+        assert_eq!(f.kind, PayloadKind::Clear);
+    }
+}

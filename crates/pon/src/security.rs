@@ -1,0 +1,277 @@
+//! Payload protection for GEM ports (mitigation **M3**, optical segment).
+//!
+//! ITU-T G.987.3 recommends AES-based payload encryption between OLT and
+//! ONU so that the physically broadcast downstream cannot be read by fiber
+//! taps or promiscuous ONUs. This module implements that with AES-GCM keyed
+//! per GEM port, deriving the nonce from the per-port frame counter, and
+//! enforcing strictly increasing counters on receive (replay defence).
+
+use std::collections::HashMap;
+
+use genio_crypto::drbg::HmacDrbg;
+use genio_crypto::gcm::AesGcm;
+
+use crate::frame::{DownstreamFrame, GemPort, PayloadKind};
+use crate::topology::OnuId;
+use crate::PonError;
+
+/// Per-port AEAD state shared (conceptually) between the OLT and one ONU.
+#[derive(Debug)]
+struct PortKey {
+    aead: AesGcm,
+    /// Next counter to use when sending.
+    send_counter: u64,
+    /// Highest counter accepted so far on receive.
+    recv_high: Option<u64>,
+}
+
+/// Encryption engine for one side of a PON tree (the OLT holds one; each
+/// ONU conceptually holds the mirror image for its own ports).
+///
+/// # Example
+///
+/// ```
+/// use genio_pon::security::GemCrypto;
+///
+/// # fn main() -> genio_pon::Result<()> {
+/// let mut olt = GemCrypto::new(b"tree-1 master");
+/// let mut onu = GemCrypto::new(b"tree-1 master");
+/// olt.establish_key(101, 5);
+/// onu.establish_key(101, 5);
+/// let frame = olt.encrypt_downstream(101, 5, b"meter reading")?;
+/// assert_eq!(onu.decrypt(&frame)?, b"meter reading");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GemCrypto {
+    master_seed: Vec<u8>,
+    ports: HashMap<GemPort, PortKey>,
+}
+
+impl GemCrypto {
+    /// Creates an engine from the tree's master keying seed. Both ends must
+    /// be constructed from the same seed (the key agreement itself is
+    /// modelled in `genio-netsec`).
+    pub fn new(master_seed: &[u8]) -> Self {
+        GemCrypto {
+            master_seed: master_seed.to_vec(),
+            ports: HashMap::new(),
+        }
+    }
+
+    /// Derives and installs the AES-128 key for `port` bound to `onu`.
+    /// Idempotent: re-establishing resets counters (key rotation).
+    pub fn establish_key(&mut self, port: GemPort, onu: OnuId) {
+        let mut drbg = HmacDrbg::new(&self.master_seed);
+        drbg.reseed(format!("gem-port {port} onu {onu}").as_bytes());
+        let key = drbg.bytes(16);
+        let aead = AesGcm::new(&key).expect("16-byte key is valid");
+        self.ports.insert(
+            port,
+            PortKey {
+                aead,
+                send_counter: 0,
+                recv_high: None,
+            },
+        );
+    }
+
+    /// True if a key is installed for `port`.
+    pub fn has_key(&self, port: GemPort) -> bool {
+        self.ports.contains_key(&port)
+    }
+
+    /// Number of keyed ports.
+    pub fn keyed_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Encrypts a downstream payload for `port`, producing a broadcastable
+    /// frame with the next counter value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PonError::NoKey`] if the port has no established key.
+    pub fn encrypt_downstream(
+        &mut self,
+        port: GemPort,
+        target: OnuId,
+        plaintext: &[u8],
+    ) -> crate::Result<DownstreamFrame> {
+        let state = self.ports.get_mut(&port).ok_or(PonError::NoKey { port })?;
+        let counter = state.send_counter;
+        state.send_counter += 1;
+        let nonce = nonce_for(port, counter);
+        let aad = aad_for(port, target);
+        let payload = state.aead.seal(&nonce, plaintext, &aad);
+        Ok(DownstreamFrame {
+            port,
+            target,
+            counter,
+            payload,
+            kind: PayloadKind::Encrypted,
+        })
+    }
+
+    /// Decrypts and replay-checks a received frame.
+    ///
+    /// # Errors
+    ///
+    /// * [`PonError::NoKey`] — port not keyed.
+    /// * [`PonError::Replay`] — counter not strictly greater than the highest
+    ///   seen (replayed or reordered frame).
+    /// * [`PonError::DecryptFailed`] — tag mismatch (tampering or wrong key).
+    pub fn decrypt(&mut self, frame: &DownstreamFrame) -> crate::Result<Vec<u8>> {
+        let state = self
+            .ports
+            .get_mut(&frame.port)
+            .ok_or(PonError::NoKey { port: frame.port })?;
+        if let Some(high) = state.recv_high {
+            if frame.counter <= high {
+                return Err(PonError::Replay);
+            }
+        }
+        let nonce = nonce_for(frame.port, frame.counter);
+        let aad = aad_for(frame.port, frame.target);
+        let plaintext = state
+            .aead
+            .open(&nonce, &frame.payload, &aad)
+            .map_err(|_| PonError::DecryptFailed)?;
+        state.recv_high = Some(frame.counter);
+        Ok(plaintext)
+    }
+
+    /// Builds a cleartext frame (what the tree carries when M3 is disabled).
+    pub fn cleartext_downstream(
+        port: GemPort,
+        target: OnuId,
+        counter: u64,
+        payload: &[u8],
+    ) -> DownstreamFrame {
+        DownstreamFrame {
+            port,
+            target,
+            counter,
+            payload: payload.to_vec(),
+            kind: PayloadKind::Clear,
+        }
+    }
+}
+
+fn nonce_for(port: GemPort, counter: u64) -> [u8; 12] {
+    let mut nonce = [0u8; 12];
+    nonce[0..2].copy_from_slice(&port.to_be_bytes());
+    nonce[4..12].copy_from_slice(&counter.to_be_bytes());
+    nonce
+}
+
+fn aad_for(port: GemPort, target: OnuId) -> [u8; 6] {
+    let mut aad = [0u8; 6];
+    aad[0..2].copy_from_slice(&port.to_be_bytes());
+    aad[2..6].copy_from_slice(&target.to_be_bytes());
+    aad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (GemCrypto, GemCrypto) {
+        let mut a = GemCrypto::new(b"seed");
+        let mut b = GemCrypto::new(b"seed");
+        a.establish_key(10, 1);
+        b.establish_key(10, 1);
+        (a, b)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (mut olt, mut onu) = pair();
+        let f = olt.encrypt_downstream(10, 1, b"data").unwrap();
+        assert_eq!(f.kind, PayloadKind::Encrypted);
+        assert_eq!(onu.decrypt(&f).unwrap(), b"data");
+    }
+
+    #[test]
+    fn counters_increase() {
+        let (mut olt, _) = pair();
+        let f0 = olt.encrypt_downstream(10, 1, b"a").unwrap();
+        let f1 = olt.encrypt_downstream(10, 1, b"b").unwrap();
+        assert_eq!(f0.counter, 0);
+        assert_eq!(f1.counter, 1);
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut olt, mut onu) = pair();
+        let f = olt.encrypt_downstream(10, 1, b"once").unwrap();
+        assert!(onu.decrypt(&f).is_ok());
+        assert_eq!(onu.decrypt(&f), Err(PonError::Replay));
+    }
+
+    #[test]
+    fn stale_counter_rejected() {
+        let (mut olt, mut onu) = pair();
+        let f0 = olt.encrypt_downstream(10, 1, b"first").unwrap();
+        let f1 = olt.encrypt_downstream(10, 1, b"second").unwrap();
+        assert!(onu.decrypt(&f1).is_ok());
+        // Old frame arriving late is treated as replay.
+        assert_eq!(onu.decrypt(&f0), Err(PonError::Replay));
+    }
+
+    #[test]
+    fn tampering_rejected() {
+        let (mut olt, mut onu) = pair();
+        let mut f = olt.encrypt_downstream(10, 1, b"payload").unwrap();
+        f.payload[0] ^= 0xff;
+        assert_eq!(onu.decrypt(&f), Err(PonError::DecryptFailed));
+    }
+
+    #[test]
+    fn retargeted_frame_rejected() {
+        // Flipping the target ONU breaks AAD binding even with intact payload.
+        let (mut olt, mut onu) = pair();
+        let mut f = olt.encrypt_downstream(10, 1, b"payload").unwrap();
+        f.target = 99;
+        assert_eq!(onu.decrypt(&f), Err(PonError::DecryptFailed));
+    }
+
+    #[test]
+    fn unkeyed_port_errors() {
+        let (mut olt, _) = pair();
+        assert_eq!(
+            olt.encrypt_downstream(99, 1, b"x").unwrap_err(),
+            PonError::NoKey { port: 99 }
+        );
+    }
+
+    #[test]
+    fn different_ports_use_different_keys() {
+        let mut olt = GemCrypto::new(b"seed");
+        olt.establish_key(1, 1);
+        olt.establish_key(2, 1);
+        let fa = olt.encrypt_downstream(1, 1, b"same plaintext").unwrap();
+        let fb = olt.encrypt_downstream(2, 1, b"same plaintext").unwrap();
+        assert_ne!(fa.payload, fb.payload);
+    }
+
+    #[test]
+    fn key_rotation_resets_counters() {
+        let (mut olt, mut onu) = pair();
+        let f = olt.encrypt_downstream(10, 1, b"pre-rotation").unwrap();
+        onu.decrypt(&f).unwrap();
+        olt.establish_key(10, 1);
+        onu.establish_key(10, 1);
+        let f2 = olt.encrypt_downstream(10, 1, b"post-rotation").unwrap();
+        assert_eq!(f2.counter, 0);
+        assert_eq!(onu.decrypt(&f2).unwrap(), b"post-rotation");
+    }
+
+    #[test]
+    fn cleartext_helper_marks_kind() {
+        let f = GemCrypto::cleartext_downstream(5, 2, 0, b"visible");
+        assert_eq!(f.kind, PayloadKind::Clear);
+        assert_eq!(f.payload, b"visible");
+    }
+}

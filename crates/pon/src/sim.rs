@@ -1,0 +1,295 @@
+//! A tick-driven end-to-end PON simulation: activation, downstream
+//! broadcast, upstream TDMA and attacker presence in one loop.
+//!
+//! This is the harness the platform core and benches use to measure T1 at
+//! the *system* level rather than per-mechanism: over `ticks` cycles, the
+//! OLT serves all operational ONUs while a fiber tap records everything, a
+//! replay attacker re-injects captured frames, and (optionally) a rogue
+//! ONU attempts admission — with mitigation M3/M4 switches deciding the
+//! outcome.
+
+use crate::activation::{ActivationController, CertificateAdmission, SerialAllowlist};
+use crate::attack::{FiberTap, ImpersonationOutcome, ReplayAttacker, ReplayOutcome, RogueOnu};
+use crate::frame::GemPort;
+use crate::security::GemCrypto;
+use crate::tdma::{compute_map, BandwidthRequest, DbaConfig, ServiceClass};
+use crate::topology::{OnuId, PonTree};
+
+/// Simulation switches.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Number of TDMA cycles to simulate.
+    pub ticks: u32,
+    /// Number of subscriber ONUs attached.
+    pub onus: u32,
+    /// Mitigation M3: encrypt GEM payloads.
+    pub encrypt: bool,
+    /// Mitigation M4: certificate-based admission (vs serial allowlist).
+    pub certificate_admission: bool,
+    /// Attacker replays a captured frame every N ticks (0 = never).
+    pub replay_every: u32,
+    /// One ONU requests far more than its fair share (T8-style greed).
+    pub greedy_onu: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            ticks: 100,
+            onus: 8,
+            encrypt: true,
+            certificate_admission: true,
+            replay_every: 10,
+            greedy_onu: false,
+        }
+    }
+}
+
+/// Aggregate outcome of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Downstream frames transmitted by the OLT.
+    pub frames_sent: u64,
+    /// Frames successfully delivered (decrypted or accepted) at ONUs.
+    pub frames_delivered: u64,
+    /// Frames the tap observed (always everything: broadcast medium).
+    pub attacker_observed: u64,
+    /// Frames whose payload the attacker could read.
+    pub attacker_readable: u64,
+    /// Replay attempts made.
+    pub replays_attempted: u64,
+    /// Replays the receivers accepted (attack successes).
+    pub replays_accepted: u64,
+    /// Whether the rogue ONU was admitted.
+    pub rogue_admitted: bool,
+    /// Mean Jain fairness of the upstream grants across ticks.
+    pub mean_fairness: f64,
+    /// Greedy ONU's mean share of upstream *capacity* (the quantity the
+    /// DBA's `max_share` cap bounds).
+    pub greedy_share: f64,
+}
+
+fn port_for(onu: OnuId) -> GemPort {
+    1000 + onu as GemPort
+}
+
+/// Runs the simulation.
+pub fn run(config: &SimConfig) -> SimStats {
+    let mut stats = SimStats::default();
+    let mut tree = PonTree::builder("olt-sim/pon-0")
+        .split_ratio(config.onus as usize + 1)
+        .build();
+    for i in 0..config.onus {
+        tree.attach_onu(&format!("SIM-{i:04}"), 200 + i * 120)
+            .expect("capacity");
+    }
+
+    // Activation under the configured admission policy.
+    let mut controller = if config.certificate_admission {
+        ActivationController::new(Box::new(CertificateAdmission::new(
+            |serial: &str, evidence: &[u8]| evidence == format!("chain:{serial}").as_bytes(),
+        )))
+    } else {
+        let mut allow = SerialAllowlist::new();
+        for i in 0..config.onus {
+            allow.allow(&format!("SIM-{i:04}"));
+        }
+        ActivationController::new(Box::new(allow))
+    };
+    for i in 0..config.onus {
+        let serial = format!("SIM-{i:04}");
+        let evidence = format!("chain:{serial}").into_bytes();
+        let ev = if config.certificate_admission {
+            Some(evidence.as_slice())
+        } else {
+            None
+        };
+        controller
+            .activate(&mut tree, &serial, ev)
+            .expect("legitimate activation");
+    }
+
+    // The rogue attempts to join by cloning the first subscriber's serial.
+    let rogue = RogueOnu::cloning("SIM-0000").with_forged_evidence(b"forged".to_vec());
+    stats.rogue_admitted = matches!(
+        rogue.attempt(&mut controller, &mut tree),
+        ImpersonationOutcome::Admitted(_)
+    );
+
+    // Keying.
+    let mut olt_crypto = GemCrypto::new(b"sim-master");
+    let mut onu_crypto: Vec<GemCrypto> = (0..config.onus)
+        .map(|_| GemCrypto::new(b"sim-master"))
+        .collect();
+    for onu in tree.operational() {
+        olt_crypto.establish_key(port_for(onu), onu);
+        if let Some(c) = onu_crypto.get_mut((onu - 1) as usize) {
+            c.establish_key(port_for(onu), onu);
+        }
+    }
+
+    let mut tap = FiberTap::new();
+    let mut replayer = ReplayAttacker::new();
+    let dba = DbaConfig::default();
+    let mut fairness_acc = 0.0;
+    let mut fairness_samples = 0u32;
+    let mut greedy_granted = 0u64;
+    let mut total_granted = 0u64;
+
+    for tick in 0..config.ticks {
+        // Downstream: one frame per operational ONU per tick.
+        for onu in tree.operational() {
+            let payload = format!("tick {tick} data for onu {onu}");
+            let frame = if config.encrypt {
+                olt_crypto
+                    .encrypt_downstream(port_for(onu), onu, payload.as_bytes())
+                    .expect("keyed port")
+            } else {
+                GemCrypto::cleartext_downstream(port_for(onu), onu, tick as u64, payload.as_bytes())
+            };
+            stats.frames_sent += 1;
+            tap.observe(&frame);
+            replayer.capture(&frame);
+            let receiver = &mut onu_crypto[(onu - 1) as usize];
+            let delivered = if config.encrypt {
+                receiver.decrypt(&frame).is_ok()
+            } else {
+                true
+            };
+            if delivered {
+                stats.frames_delivered += 1;
+            }
+        }
+
+        // Replay attack at the configured cadence, against ONU 1's engine.
+        if config.replay_every > 0
+            && tick % config.replay_every == 0
+            && replayer.captured_count() > 0
+        {
+            stats.replays_attempted += 1;
+            let idx = (tick as usize) % replayer.captured_count();
+            if replayer.replay_against(idx, &mut onu_crypto[0]) == ReplayOutcome::Accepted {
+                stats.replays_accepted += 1;
+            }
+        }
+
+        // Upstream cycle.
+        let requests: Vec<BandwidthRequest> = tree
+            .operational()
+            .into_iter()
+            .map(|onu| BandwidthRequest {
+                onu,
+                queued_bytes: if config.greedy_onu && onu == 1 {
+                    1_000_000
+                } else {
+                    4_000
+                },
+                class: ServiceClass::BestEffort,
+            })
+            .collect();
+        let map = compute_map(&dba, &requests);
+        if let Some(f) = map.fairness_index() {
+            fairness_acc += f;
+            fairness_samples += 1;
+        }
+        total_granted += (dba.cycle_ns as f64 * dba.bytes_per_ns) as u64;
+        greedy_granted += map.grant(1).map(|g| g.bytes).unwrap_or(0);
+    }
+
+    stats.attacker_observed = tap.observed().len() as u64;
+    stats.attacker_readable = tap.readable_payloads().len() as u64;
+    stats.mean_fairness = if fairness_samples > 0 {
+        fairness_acc / fairness_samples as f64
+    } else {
+        0.0
+    };
+    stats.greedy_share = if total_granted > 0 {
+        greedy_granted as f64 / total_granted as f64
+    } else {
+        0.0
+    };
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secure_run_delivers_everything_and_leaks_nothing() {
+        let stats = run(&SimConfig::default());
+        assert_eq!(stats.frames_sent, 800);
+        assert_eq!(stats.frames_delivered, stats.frames_sent);
+        assert_eq!(
+            stats.attacker_observed, stats.frames_sent,
+            "broadcast medium"
+        );
+        assert_eq!(stats.attacker_readable, 0);
+        assert!(stats.replays_attempted > 0);
+        assert_eq!(stats.replays_accepted, 0);
+        assert!(!stats.rogue_admitted);
+    }
+
+    #[test]
+    fn insecure_run_leaks_everything() {
+        let config = SimConfig {
+            encrypt: false,
+            certificate_admission: false,
+            ..SimConfig::default()
+        };
+        let stats = run(&config);
+        assert_eq!(stats.attacker_readable, stats.frames_sent);
+        assert_eq!(stats.replays_accepted, stats.replays_attempted);
+        assert!(stats.rogue_admitted);
+    }
+
+    #[test]
+    fn mixed_run_encryption_without_admission() {
+        let config = SimConfig {
+            certificate_admission: false,
+            ..SimConfig::default()
+        };
+        let stats = run(&config);
+        assert_eq!(stats.attacker_readable, 0, "M3 alone still blinds the tap");
+        assert!(stats.rogue_admitted, "but M4's absence admits the rogue");
+    }
+
+    #[test]
+    fn greedy_onu_is_bounded_by_the_dba() {
+        let fair = run(&SimConfig {
+            greedy_onu: false,
+            ..SimConfig::default()
+        });
+        let greedy = run(&SimConfig {
+            greedy_onu: true,
+            ..SimConfig::default()
+        });
+        assert!(greedy.greedy_share > fair.greedy_share);
+        assert!(
+            greedy.greedy_share <= 0.5 + 1e-6,
+            "max_share cap holds: {}",
+            greedy.greedy_share
+        );
+        assert!(greedy.mean_fairness < fair.mean_fairness);
+    }
+
+    #[test]
+    fn fairness_is_perfect_under_equal_demand() {
+        let stats = run(&SimConfig {
+            greedy_onu: false,
+            ..SimConfig::default()
+        });
+        assert!((stats.mean_fairness - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scales_with_onu_count() {
+        let stats = run(&SimConfig {
+            onus: 16,
+            ticks: 50,
+            ..SimConfig::default()
+        });
+        assert_eq!(stats.frames_sent, 16 * 50);
+        assert_eq!(stats.frames_delivered, stats.frames_sent);
+    }
+}

@@ -1,0 +1,424 @@
+//! Upstream TDMA scheduling: the OLT's dynamic bandwidth allocation (DBA).
+//!
+//! Upstream capacity on a PON is a single shared channel; the OLT divides
+//! each cycle into per-ONU transmission windows. The scheduler matters to
+//! the threat model twice: a rogue ONU transmitting **outside** its grant
+//! collides with legitimate traffic (part of threat T1), and a greedy tenant
+//! demanding outsized grants is the PON-side face of the paper's *resource
+//! abuse* threat (T8), which the DBA's fairness policy bounds.
+
+use std::collections::BTreeMap;
+
+use crate::frame::UpstreamBurst;
+use crate::topology::OnuId;
+use crate::PonError;
+
+/// Upstream service class, mirroring XG-PON T-CONT types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServiceClass {
+    /// Fixed bandwidth: reserved every cycle regardless of demand.
+    Fixed,
+    /// Assured bandwidth: guaranteed when requested.
+    Assured,
+    /// Best effort: shares what remains.
+    BestEffort,
+}
+
+/// A bandwidth request from one ONU for the next cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandwidthRequest {
+    /// Requesting ONU.
+    pub onu: OnuId,
+    /// Bytes queued for upstream transmission.
+    pub queued_bytes: u64,
+    /// Service class of the ONU's traffic contract.
+    pub class: ServiceClass,
+}
+
+/// One granted transmission window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// Grantee.
+    pub onu: OnuId,
+    /// Window start within the cycle, nanoseconds.
+    pub start_ns: u64,
+    /// Window duration, nanoseconds.
+    pub duration_ns: u64,
+    /// Bytes the window can carry.
+    pub bytes: u64,
+}
+
+/// A computed bandwidth map for one upstream cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandwidthMap {
+    cycle_ns: u64,
+    grants: BTreeMap<OnuId, Grant>,
+}
+
+/// DBA configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DbaConfig {
+    /// Cycle length in nanoseconds (XGS-PON uses 125 µs).
+    pub cycle_ns: u64,
+    /// Upstream line rate in bytes per nanosecond worth of window.
+    /// XGS-PON upstream is ~10 Gb/s ≈ 1.25 bytes/ns.
+    pub bytes_per_ns: f64,
+    /// Hard cap on the fraction of a cycle a single ONU may receive
+    /// (fairness bound against resource abuse). `1.0` disables the cap.
+    pub max_share: f64,
+}
+
+impl Default for DbaConfig {
+    fn default() -> Self {
+        DbaConfig {
+            cycle_ns: 125_000,
+            bytes_per_ns: 1.25,
+            max_share: 0.5,
+        }
+    }
+}
+
+/// Computes a bandwidth map from the cycle's requests.
+///
+/// Allocation order: [`ServiceClass::Fixed`] first, then
+/// [`ServiceClass::Assured`], then [`ServiceClass::BestEffort`] splits the
+/// remainder proportionally to demand. Every grantee is capped at
+/// `max_share` of the cycle.
+pub fn compute_map(config: &DbaConfig, requests: &[BandwidthRequest]) -> BandwidthMap {
+    let cycle_capacity = (config.cycle_ns as f64 * config.bytes_per_ns) as u64;
+    let per_onu_cap = (cycle_capacity as f64 * config.max_share) as u64;
+    let mut remaining = cycle_capacity;
+    let mut awarded: BTreeMap<OnuId, u64> = BTreeMap::new();
+
+    for class in [ServiceClass::Fixed, ServiceClass::Assured] {
+        for req in requests.iter().filter(|r| r.class == class) {
+            // The cap applies to the ONU's accumulated award, so multiple
+            // requests from one ONU cannot stack past it.
+            let already = awarded.get(&req.onu).copied().unwrap_or(0);
+            let headroom = per_onu_cap.saturating_sub(already);
+            let give = req.queued_bytes.min(headroom).min(remaining);
+            if give > 0 {
+                *awarded.entry(req.onu).or_insert(0) += give;
+                remaining -= give;
+            }
+        }
+    }
+    // Best effort: iterative water-filling over per-ONU aggregated demand.
+    // Each round splits the remaining pool proportionally to *unmet*
+    // demand; rounds repeat so that one outsized requester hitting its cap
+    // cannot strand capacity that smaller requesters still want.
+    let mut be_demand: BTreeMap<OnuId, u64> = BTreeMap::new();
+    for req in requests
+        .iter()
+        .filter(|r| r.class == ServiceClass::BestEffort)
+    {
+        let d = be_demand.entry(req.onu).or_insert(0);
+        *d = d.saturating_add(req.queued_bytes);
+    }
+    let mut be_granted: BTreeMap<OnuId, u64> = BTreeMap::new();
+    for _round in 0..8 {
+        let unmet: Vec<(OnuId, u64)> = be_demand
+            .iter()
+            .map(|(&onu, &demand)| {
+                let got = be_granted.get(&onu).copied().unwrap_or(0);
+                let already = awarded.get(&onu).copied().unwrap_or(0) + got;
+                let headroom = per_onu_cap.saturating_sub(already);
+                (onu, demand.saturating_sub(got).min(headroom))
+            })
+            .filter(|(_, want)| *want > 0)
+            .collect();
+        let total_unmet: u64 = unmet.iter().map(|(_, w)| w).sum();
+        if total_unmet == 0 || remaining == 0 {
+            break;
+        }
+        let pool = remaining;
+        let mut progressed = false;
+        for (onu, want) in unmet {
+            let fair = (pool as u128 * want as u128 / total_unmet as u128) as u64;
+            let give = fair.max(1).min(want).min(remaining);
+            if give > 0 {
+                *be_granted.entry(onu).or_insert(0) += give;
+                remaining -= give;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for (onu, bytes) in be_granted {
+        *awarded.entry(onu).or_insert(0) += bytes;
+    }
+
+    // Lay windows out back-to-back in ONU-id order.
+    let mut grants = BTreeMap::new();
+    let mut cursor_ns = 0u64;
+    for (onu, bytes) in awarded {
+        let duration_ns = (bytes as f64 / config.bytes_per_ns).ceil() as u64;
+        grants.insert(
+            onu,
+            Grant {
+                onu,
+                start_ns: cursor_ns,
+                duration_ns,
+                bytes,
+            },
+        );
+        cursor_ns += duration_ns;
+    }
+    BandwidthMap {
+        cycle_ns: config.cycle_ns,
+        grants,
+    }
+}
+
+impl BandwidthMap {
+    /// The cycle length this map covers, nanoseconds.
+    pub fn cycle_ns(&self) -> u64 {
+        self.cycle_ns
+    }
+
+    /// Grant for `onu`, if any.
+    pub fn grant(&self, onu: OnuId) -> Option<&Grant> {
+        self.grants.get(&onu)
+    }
+
+    /// All grants in window order.
+    pub fn grants(&self) -> impl Iterator<Item = &Grant> {
+        self.grants.values()
+    }
+
+    /// Total bytes granted this cycle.
+    pub fn total_bytes(&self) -> u64 {
+        self.grants.values().map(|g| g.bytes).sum()
+    }
+
+    /// Validates that an upstream burst fits inside its sender's window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PonError::OutsideGrant`] if the sender has no grant or
+    /// transmitted outside it.
+    pub fn validate_burst(&self, burst: &UpstreamBurst) -> crate::Result<()> {
+        let grant = self
+            .grants
+            .get(&burst.source)
+            .ok_or(PonError::OutsideGrant { onu: burst.source })?;
+        let end = grant.start_ns + grant.duration_ns;
+        if burst.window_start_ns < grant.start_ns || burst.window_start_ns >= end {
+            return Err(PonError::OutsideGrant { onu: burst.source });
+        }
+        Ok(())
+    }
+
+    /// Jain's fairness index over granted bytes: 1.0 = perfectly fair.
+    /// Returns `None` when nothing was granted.
+    pub fn fairness_index(&self) -> Option<f64> {
+        let xs: Vec<f64> = self.grants.values().map(|g| g.bytes as f64).collect();
+        if xs.is_empty() {
+            return None;
+        }
+        let sum: f64 = xs.iter().sum();
+        let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+        if sum_sq == 0.0 {
+            return None;
+        }
+        Some(sum * sum / (xs.len() as f64 * sum_sq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PayloadKind;
+
+    fn req(onu: OnuId, bytes: u64, class: ServiceClass) -> BandwidthRequest {
+        BandwidthRequest {
+            onu,
+            queued_bytes: bytes,
+            class,
+        }
+    }
+
+    fn burst(onu: OnuId, at: u64) -> UpstreamBurst {
+        UpstreamBurst {
+            source: onu,
+            port: 1,
+            counter: 0,
+            payload: vec![],
+            kind: PayloadKind::Clear,
+            window_start_ns: at,
+        }
+    }
+
+    #[test]
+    fn fixed_served_before_best_effort() {
+        let cfg = DbaConfig {
+            cycle_ns: 1_000,
+            bytes_per_ns: 1.0,
+            max_share: 1.0,
+        };
+        // Capacity 1000 bytes; fixed asks 800, best-effort asks 800.
+        let map = compute_map(
+            &cfg,
+            &[
+                req(1, 800, ServiceClass::Fixed),
+                req(2, 800, ServiceClass::BestEffort),
+            ],
+        );
+        assert_eq!(map.grant(1).unwrap().bytes, 800);
+        assert_eq!(map.grant(2).unwrap().bytes, 200);
+    }
+
+    #[test]
+    fn best_effort_is_proportional() {
+        let cfg = DbaConfig {
+            cycle_ns: 1_000,
+            bytes_per_ns: 1.0,
+            max_share: 1.0,
+        };
+        let map = compute_map(
+            &cfg,
+            &[
+                req(1, 300, ServiceClass::BestEffort),
+                req(2, 100, ServiceClass::BestEffort),
+            ],
+        );
+        // Demand 400 < capacity 1000, so grants are proportional to demand
+        // (pool split by demand share: 750/250).
+        let g1 = map.grant(1).unwrap().bytes;
+        let g2 = map.grant(2).unwrap().bytes;
+        assert!(g1 >= 3 * g2 - 3 && g1 <= 3 * g2 + 3, "g1={g1} g2={g2}");
+    }
+
+    #[test]
+    fn max_share_caps_greedy_onu() {
+        let cfg = DbaConfig {
+            cycle_ns: 1_000,
+            bytes_per_ns: 1.0,
+            max_share: 0.25,
+        };
+        let map = compute_map(
+            &cfg,
+            &[
+                req(1, 10_000, ServiceClass::Assured),
+                req(2, 100, ServiceClass::Assured),
+            ],
+        );
+        assert_eq!(map.grant(1).unwrap().bytes, 250, "greedy onu capped at 25%");
+        assert_eq!(map.grant(2).unwrap().bytes, 100);
+    }
+
+    #[test]
+    fn windows_do_not_overlap() {
+        let cfg = DbaConfig::default();
+        let map = compute_map(
+            &cfg,
+            &[
+                req(1, 10_000, ServiceClass::Assured),
+                req(2, 20_000, ServiceClass::Assured),
+                req(3, 5_000, ServiceClass::BestEffort),
+            ],
+        );
+        let grants: Vec<&Grant> = map.grants().collect();
+        for w in grants.windows(2) {
+            assert!(w[0].start_ns + w[0].duration_ns <= w[1].start_ns);
+        }
+    }
+
+    #[test]
+    fn burst_inside_grant_accepted() {
+        let cfg = DbaConfig {
+            cycle_ns: 1_000,
+            bytes_per_ns: 1.0,
+            max_share: 1.0,
+        };
+        let map = compute_map(&cfg, &[req(1, 100, ServiceClass::Assured)]);
+        let g = *map.grant(1).unwrap();
+        assert!(map.validate_burst(&burst(1, g.start_ns)).is_ok());
+        assert!(map
+            .validate_burst(&burst(1, g.start_ns + g.duration_ns - 1))
+            .is_ok());
+    }
+
+    #[test]
+    fn burst_outside_grant_rejected() {
+        let cfg = DbaConfig {
+            cycle_ns: 1_000,
+            bytes_per_ns: 1.0,
+            max_share: 1.0,
+        };
+        let map = compute_map(&cfg, &[req(1, 100, ServiceClass::Assured)]);
+        let g = *map.grant(1).unwrap();
+        assert_eq!(
+            map.validate_burst(&burst(1, g.start_ns + g.duration_ns)),
+            Err(PonError::OutsideGrant { onu: 1 })
+        );
+    }
+
+    #[test]
+    fn ungranted_onu_rejected() {
+        let cfg = DbaConfig::default();
+        let map = compute_map(&cfg, &[req(1, 100, ServiceClass::Assured)]);
+        assert_eq!(
+            map.validate_burst(&burst(99, 0)),
+            Err(PonError::OutsideGrant { onu: 99 })
+        );
+    }
+
+    #[test]
+    fn fairness_index_perfect_when_equal() {
+        let cfg = DbaConfig {
+            cycle_ns: 1_000,
+            bytes_per_ns: 1.0,
+            max_share: 1.0,
+        };
+        let map = compute_map(
+            &cfg,
+            &[
+                req(1, 100, ServiceClass::Assured),
+                req(2, 100, ServiceClass::Assured),
+            ],
+        );
+        let f = map.fairness_index().unwrap();
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fairness_index_degrades_when_skewed() {
+        let cfg = DbaConfig {
+            cycle_ns: 1_000,
+            bytes_per_ns: 1.0,
+            max_share: 1.0,
+        };
+        let map = compute_map(
+            &cfg,
+            &[
+                req(1, 900, ServiceClass::Assured),
+                req(2, 100, ServiceClass::Assured),
+            ],
+        );
+        assert!(map.fairness_index().unwrap() < 0.7);
+    }
+
+    #[test]
+    fn empty_requests_empty_map() {
+        let map = compute_map(&DbaConfig::default(), &[]);
+        assert_eq!(map.total_bytes(), 0);
+        assert!(map.fairness_index().is_none());
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let cfg = DbaConfig {
+            cycle_ns: 1_000,
+            bytes_per_ns: 1.0,
+            max_share: 1.0,
+        };
+        let reqs: Vec<BandwidthRequest> = (1..=10)
+            .map(|i| req(i, 5_000, ServiceClass::Assured))
+            .collect();
+        let map = compute_map(&cfg, &reqs);
+        assert!(map.total_bytes() <= 1_000);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the PON substrate: DBA invariants, replay
+//! monotonicity and topology bounds.
+
+use proptest::prelude::*;
+
+use genio_pon::security::GemCrypto;
+use genio_pon::tdma::{compute_map, BandwidthRequest, DbaConfig, ServiceClass};
+use genio_pon::topology::PonTree;
+
+fn arb_requests() -> impl Strategy<Value = Vec<BandwidthRequest>> {
+    proptest::collection::vec(
+        (1u32..64, 0u64..500_000, 0u8..3).prop_map(|(onu, bytes, class)| BandwidthRequest {
+            onu,
+            queued_bytes: bytes,
+            class: match class {
+                0 => ServiceClass::Fixed,
+                1 => ServiceClass::Assured,
+                _ => ServiceClass::BestEffort,
+            },
+        }),
+        0..20,
+    )
+}
+
+proptest! {
+    /// The DBA never grants more than cycle capacity, never grants any ONU
+    /// more than the max share, never grants more than requested in total
+    /// per ONU, and windows never overlap.
+    #[test]
+    fn dba_invariants(requests in arb_requests(), max_share in 1u32..=10) {
+        let config = DbaConfig {
+            cycle_ns: 125_000,
+            bytes_per_ns: 1.25,
+            max_share: max_share as f64 / 10.0,
+        };
+        let map = compute_map(&config, &requests);
+        let capacity = (config.cycle_ns as f64 * config.bytes_per_ns) as u64;
+        prop_assert!(map.total_bytes() <= capacity);
+
+        let per_onu_cap = (capacity as f64 * config.max_share) as u64;
+        for grant in map.grants() {
+            prop_assert!(grant.bytes <= per_onu_cap + 1, "onu {} over cap", grant.onu);
+            let requested: u64 = requests
+                .iter()
+                .filter(|r| r.onu == grant.onu)
+                .map(|r| r.queued_bytes)
+                .sum();
+            prop_assert!(grant.bytes <= requested, "granted more than queued");
+        }
+        let grants: Vec<_> = map.grants().collect();
+        for w in grants.windows(2) {
+            prop_assert!(w[0].start_ns + w[0].duration_ns <= w[1].start_ns);
+        }
+        if let Some(f) = map.fairness_index() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&f));
+        }
+    }
+
+    /// Fixed-class demand is never starved by best-effort demand.
+    #[test]
+    fn dba_fixed_priority(fixed_bytes in 1u64..50_000, be_bytes in 1u64..1_000_000) {
+        let config = DbaConfig { cycle_ns: 125_000, bytes_per_ns: 1.25, max_share: 1.0 };
+        let map = compute_map(&config, &[
+            BandwidthRequest { onu: 1, queued_bytes: fixed_bytes, class: ServiceClass::Fixed },
+            BandwidthRequest { onu: 2, queued_bytes: be_bytes, class: ServiceClass::BestEffort },
+        ]);
+        let capacity = (config.cycle_ns as f64 * config.bytes_per_ns) as u64;
+        let expected = fixed_bytes.min(capacity);
+        prop_assert_eq!(map.grant(1).map(|g| g.bytes).unwrap_or(0), expected);
+    }
+
+    /// GEM crypto: any frame decrypts exactly once; all later attempts are
+    /// replays, in any order of a delivered prefix.
+    #[test]
+    fn gem_replay_exactly_once(count in 1usize..20) {
+        let mut olt = GemCrypto::new(b"prop");
+        let mut onu = GemCrypto::new(b"prop");
+        olt.establish_key(5, 1);
+        onu.establish_key(5, 1);
+        let frames: Vec<_> = (0..count)
+            .map(|i| olt.encrypt_downstream(5, 1, format!("{i}").as_bytes()).unwrap())
+            .collect();
+        // Deliver in order: all accepted.
+        for f in &frames {
+            prop_assert!(onu.decrypt(f).is_ok());
+        }
+        // Every replay rejected.
+        for f in &frames {
+            prop_assert!(onu.decrypt(f).is_err());
+        }
+    }
+
+    /// Topology: RTT is monotone in drop-fiber length and ids are unique.
+    #[test]
+    fn topology_rtt_monotone(lengths in proptest::collection::vec(1u32..30_000, 2..16)) {
+        let mut tree = PonTree::builder("olt").split_ratio(32).trunk_m(5_000).build();
+        let mut ids = Vec::new();
+        for (i, len) in lengths.iter().enumerate() {
+            ids.push((tree.attach_onu(&format!("s{i}"), *len).unwrap(), *len));
+        }
+        let unique: std::collections::HashSet<_> = ids.iter().map(|(id, _)| *id).collect();
+        prop_assert_eq!(unique.len(), ids.len());
+        for (id_a, len_a) in &ids {
+            for (id_b, len_b) in &ids {
+                if len_a < len_b {
+                    prop_assert!(tree.rtt_ns(*id_a).unwrap() <= tree.rtt_ns(*id_b).unwrap());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Resource-abuse detection (threat **T8**: "malicious applications can
+//! attack the platform through resource abuse, by monopolizing CPU,
+//! memory, network, and storage resources").
+//!
+//! A sliding window of per-tenant usage samples; a tenant whose share of
+//! any resource exceeds a threshold for enough consecutive windows is
+//! flagged and (optionally) throttled.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// The resources tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Resource {
+    /// CPU millicores consumed.
+    Cpu,
+    /// Memory MiB resident.
+    Memory,
+    /// Network bytes transferred.
+    Network,
+}
+
+/// One usage sample for a tenant in one interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// CPU millicores.
+    pub cpu: f64,
+    /// Memory MiB.
+    pub memory: f64,
+    /// Network bytes.
+    pub network: f64,
+}
+
+impl Sample {
+    fn get(&self, r: Resource) -> f64 {
+        match r {
+            Resource::Cpu => self.cpu,
+            Resource::Memory => self.memory,
+            Resource::Network => self.network,
+        }
+    }
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AbuseConfig {
+    /// Share of total usage above which a tenant is suspect (0–1).
+    pub share_threshold: f64,
+    /// Consecutive suspect intervals before flagging.
+    pub sustain_intervals: usize,
+    /// Sliding-window length in intervals.
+    pub window: usize,
+}
+
+impl Default for AbuseConfig {
+    fn default() -> Self {
+        AbuseConfig {
+            share_threshold: 0.6,
+            sustain_intervals: 3,
+            window: 12,
+        }
+    }
+}
+
+/// A detected abuse episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbuseFinding {
+    /// Offending tenant.
+    pub tenant: String,
+    /// Resource monopolized.
+    pub resource: Resource,
+    /// Share of the latest interval.
+    pub share: f64,
+}
+
+/// The sliding-window detector.
+#[derive(Debug)]
+pub struct AbuseDetector {
+    config: AbuseConfig,
+    history: VecDeque<BTreeMap<String, Sample>>,
+    streaks: BTreeMap<(String, Resource), usize>,
+}
+
+impl AbuseDetector {
+    /// Creates a detector.
+    pub fn new(config: AbuseConfig) -> Self {
+        AbuseDetector {
+            config,
+            history: VecDeque::new(),
+            streaks: BTreeMap::new(),
+        }
+    }
+
+    /// Ingests one interval of per-tenant samples and returns the findings
+    /// that crossed the sustain threshold in this interval.
+    pub fn ingest(&mut self, interval: BTreeMap<String, Sample>) -> Vec<AbuseFinding> {
+        self.history.push_back(interval.clone());
+        if self.history.len() > self.config.window {
+            self.history.pop_front();
+        }
+        let mut findings = Vec::new();
+        for resource in [Resource::Cpu, Resource::Memory, Resource::Network] {
+            let total: f64 = interval.values().map(|s| s.get(resource)).sum();
+            for (tenant, sample) in &interval {
+                let share = if total > 0.0 {
+                    sample.get(resource) / total
+                } else {
+                    0.0
+                };
+                let key = (tenant.clone(), resource);
+                if share > self.config.share_threshold {
+                    let streak = self.streaks.entry(key.clone()).or_insert(0);
+                    *streak += 1;
+                    if *streak == self.config.sustain_intervals {
+                        findings.push(AbuseFinding {
+                            tenant: tenant.clone(),
+                            resource,
+                            share,
+                        });
+                    }
+                } else {
+                    self.streaks.remove(&key);
+                }
+            }
+        }
+        findings
+    }
+
+    /// Mean share of `resource` used by `tenant` over the retained window.
+    pub fn mean_share(&self, tenant: &str, resource: Resource) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for interval in &self.history {
+            let total: f64 = interval.values().map(|s| s.get(resource)).sum();
+            if let Some(s) = interval.get(tenant) {
+                if total > 0.0 {
+                    acc += s.get(resource) / total;
+                }
+            }
+        }
+        acc / self.history.len() as f64
+    }
+}
+
+/// Builds one interval map quickly (test/bench helper).
+pub fn interval(entries: &[(&str, f64, f64, f64)]) -> BTreeMap<String, Sample> {
+    entries
+        .iter()
+        .map(|(t, c, m, n)| {
+            (
+                t.to_string(),
+                Sample {
+                    cpu: *c,
+                    memory: *m,
+                    network: *n,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_usage_never_flags() {
+        let mut d = AbuseDetector::new(AbuseConfig::default());
+        for _ in 0..20 {
+            let findings = d.ingest(interval(&[
+                ("a", 100.0, 512.0, 1000.0),
+                ("b", 110.0, 490.0, 900.0),
+                ("c", 95.0, 505.0, 1100.0),
+            ]));
+            assert!(findings.is_empty());
+        }
+    }
+
+    #[test]
+    fn sustained_monopolization_flagged_once() {
+        let mut d = AbuseDetector::new(AbuseConfig::default());
+        let mut all = Vec::new();
+        for _ in 0..6 {
+            all.extend(d.ingest(interval(&[
+                ("miner", 900.0, 100.0, 10.0),
+                ("a", 50.0, 100.0, 10.0),
+                ("b", 50.0, 100.0, 10.0),
+            ])));
+        }
+        // Flagged exactly once (on the 3rd consecutive interval), for CPU.
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].tenant, "miner");
+        assert_eq!(all[0].resource, Resource::Cpu);
+        assert!(all[0].share > 0.8);
+    }
+
+    #[test]
+    fn short_burst_not_flagged() {
+        let mut d = AbuseDetector::new(AbuseConfig::default());
+        // Two hot intervals, then back to normal: below sustain threshold.
+        let mut all = Vec::new();
+        for i in 0..10 {
+            let cpu = if i < 2 { 900.0 } else { 100.0 };
+            all.extend(d.ingest(interval(&[
+                ("bursty", cpu, 100.0, 10.0),
+                ("a", 100.0, 100.0, 10.0),
+            ])));
+        }
+        assert!(all.is_empty(), "{all:?}");
+    }
+
+    #[test]
+    fn streak_resets_after_quiet_interval() {
+        let cfg = AbuseConfig {
+            share_threshold: 0.6,
+            sustain_intervals: 3,
+            window: 12,
+        };
+        let mut d = AbuseDetector::new(cfg);
+        let hot = [("x", 900.0, 10.0, 10.0), ("y", 10.0, 10.0, 10.0)];
+        let cold = [("x", 10.0, 10.0, 10.0), ("y", 10.0, 10.0, 10.0)];
+        assert!(d.ingest(interval(&hot)).is_empty());
+        assert!(d.ingest(interval(&hot)).is_empty());
+        assert!(d.ingest(interval(&cold)).is_empty()); // streak broken
+        assert!(d.ingest(interval(&hot)).is_empty());
+        assert!(d.ingest(interval(&hot)).is_empty());
+        // Third consecutive hot interval after the reset fires.
+        assert_eq!(d.ingest(interval(&hot)).len(), 1);
+    }
+
+    #[test]
+    fn memory_and_network_also_tracked() {
+        let mut d = AbuseDetector::new(AbuseConfig::default());
+        let mut all = Vec::new();
+        for _ in 0..4 {
+            all.extend(d.ingest(interval(&[
+                ("exfil", 10.0, 10.0, 99_000.0),
+                ("a", 10.0, 10.0, 100.0),
+            ])));
+        }
+        assert!(all
+            .iter()
+            .any(|f| f.resource == Resource::Network && f.tenant == "exfil"));
+    }
+
+    #[test]
+    fn mean_share_over_window() {
+        let mut d = AbuseDetector::new(AbuseConfig::default());
+        for _ in 0..4 {
+            d.ingest(interval(&[("a", 300.0, 0.0, 0.0), ("b", 100.0, 0.0, 0.0)]));
+        }
+        let share = d.mean_share("a", Resource::Cpu);
+        assert!((share - 0.75).abs() < 1e-9);
+        assert_eq!(d.mean_share("ghost", Resource::Cpu), 0.0);
+    }
+
+    #[test]
+    fn empty_interval_is_harmless() {
+        let mut d = AbuseDetector::new(AbuseConfig::default());
+        assert!(d.ingest(BTreeMap::new()).is_empty());
+        assert_eq!(d.mean_share("a", Resource::Cpu), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Alert correlation: collapsing per-event alerts into incidents.
+//!
+//! Lesson 8's operational pain is alert volume: a paranoid rule set emits
+//! hundreds of per-event alerts for one intrusion. Correlation groups
+//! alerts by `(tenant, time window)` into **incidents**, ranks them by
+//! their highest priority and distinct-rule count, and gives the operator
+//! one line per intrusion instead of one per syscall.
+
+use crate::falco::{Alert, Priority};
+
+/// One correlated incident.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Tenant the incident belongs to.
+    pub tenant: String,
+    /// Timestamp of the first alert, ns.
+    pub start_ts: u64,
+    /// Timestamp of the last alert, ns.
+    pub end_ts: u64,
+    /// Alerts folded into this incident.
+    pub alerts: Vec<Alert>,
+}
+
+impl Incident {
+    /// Highest priority among member alerts.
+    pub fn priority(&self) -> Priority {
+        self.alerts
+            .iter()
+            .map(|a| a.priority)
+            .max()
+            .unwrap_or(Priority::Notice)
+    }
+
+    /// Number of distinct rules that fired.
+    pub fn distinct_rules(&self) -> usize {
+        let mut rules: Vec<&str> = self.alerts.iter().map(|a| a.rule.as_str()).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        rules.len()
+    }
+
+    /// A crude confidence score: incidents where several *different*
+    /// rules fired are far more likely to be real intrusions than one
+    /// rule firing repeatedly (the false-positive signature).
+    pub fn confidence(&self) -> f64 {
+        let distinct = self.distinct_rules() as f64;
+        (distinct / (distinct + 1.0))
+            * match self.priority() {
+                Priority::Critical => 1.0,
+                Priority::Warning => 0.7,
+                Priority::Notice => 0.4,
+            }
+    }
+}
+
+/// Groups alerts into incidents: consecutive alerts from the same tenant
+/// within `window_ns` of the previous one fold together. Input order is
+/// preserved (alerts are expected in event-time order).
+pub fn correlate(alerts: &[Alert], window_ns: u64) -> Vec<Incident> {
+    let mut incidents: Vec<Incident> = Vec::new();
+    for alert in alerts {
+        let ts = alert.event.ts;
+        let tenant = alert.event.tenant.clone();
+        match incidents
+            .iter_mut()
+            .rev()
+            .find(|i| i.tenant == tenant && ts.saturating_sub(i.end_ts) <= window_ns)
+        {
+            Some(incident) => {
+                incident.end_ts = incident.end_ts.max(ts);
+                incident.alerts.push(alert.clone());
+            }
+            None => incidents.push(Incident {
+                tenant,
+                start_ts: ts,
+                end_ts: ts,
+                alerts: vec![alert.clone()],
+            }),
+        }
+    }
+    incidents
+}
+
+/// Compression ratio: alerts per incident. Higher means correlation is
+/// doing more de-noising work.
+pub fn compression(alerts: usize, incidents: usize) -> f64 {
+    if incidents == 0 {
+        return 1.0;
+    }
+    alerts as f64 / incidents as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{attack_burst, mixed_trace};
+    use crate::falco::{Engine, RuleSetTier};
+
+    #[test]
+    fn burst_collapses_to_one_incident() {
+        let engine = Engine::with_tier(RuleSetTier::Default).unwrap();
+        let alerts = engine.process_all(&attack_burst("tenant-a", 0));
+        assert!(alerts.len() >= 6);
+        let incidents = correlate(&alerts, 1_000);
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].tenant, "tenant-a");
+        assert!(incidents[0].distinct_rules() >= 5);
+        assert_eq!(incidents[0].priority(), crate::falco::Priority::Critical);
+    }
+
+    #[test]
+    fn separate_tenants_separate_incidents() {
+        let engine = Engine::with_tier(RuleSetTier::Default).unwrap();
+        let mut alerts = engine.process_all(&attack_burst("tenant-a", 0));
+        alerts.extend(engine.process_all(&attack_burst("tenant-b", 3)));
+        // Interleave by event time to simulate a merged stream.
+        alerts.sort_by_key(|a| a.event.ts);
+        let incidents = correlate(&alerts, 1_000);
+        assert_eq!(incidents.len(), 2);
+        let tenants: Vec<&str> = incidents.iter().map(|i| i.tenant.as_str()).collect();
+        assert!(tenants.contains(&"tenant-a"));
+        assert!(tenants.contains(&"tenant-b"));
+    }
+
+    #[test]
+    fn gap_beyond_window_splits_incidents() {
+        let engine = Engine::with_tier(RuleSetTier::Default).unwrap();
+        let mut alerts = engine.process_all(&attack_burst("t", 0));
+        alerts.extend(engine.process_all(&attack_burst("t", 1_000_000)));
+        let incidents = correlate(&alerts, 1_000);
+        assert_eq!(incidents.len(), 2);
+        assert!(incidents[0].end_ts < incidents[1].start_ts);
+    }
+
+    #[test]
+    fn paranoid_noise_compresses_heavily() {
+        // Lesson 8 extension: correlation recovers operability even at the
+        // paranoid tier by folding hundreds of alerts into few incidents.
+        let engine = Engine::with_tier(RuleSetTier::Paranoid).unwrap();
+        let trace = mixed_trace("t", 1_000, 3);
+        let alerts = engine.process_all(&trace);
+        assert!(alerts.len() > 100);
+        let incidents = correlate(&alerts, 20_000);
+        assert!(incidents.len() < alerts.len() / 4);
+        assert!(compression(alerts.len(), incidents.len()) > 4.0);
+    }
+
+    #[test]
+    fn multi_rule_incidents_outscore_single_rule_noise() {
+        let engine = Engine::with_tier(RuleSetTier::Paranoid).unwrap();
+        let trace = mixed_trace("t", 500, 1);
+        let alerts = engine.process_all(&trace);
+        let incidents = correlate(&alerts, 5_000);
+        let attack_incident = incidents
+            .iter()
+            .max_by(|a, b| a.confidence().partial_cmp(&b.confidence()).unwrap())
+            .unwrap();
+        // The true attack window contains many distinct rules.
+        assert!(attack_incident.distinct_rules() >= 4);
+        // Benign-noise incidents (any-config-write repeats) score lower.
+        for i in &incidents {
+            if i.distinct_rules() == 1 {
+                assert!(i.confidence() < attack_incident.confidence());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(correlate(&[], 1_000).is_empty());
+        assert_eq!(compression(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # genio-runtime
+//!
+//! Runtime security substrate: the paper's mitigations **M17** (isolation &
+//! sandboxing via KubeArmor/LSMs and the PEACH framework) and **M18**
+//! (Falco-style runtime monitoring), plus the tuning trade-offs of
+//! **Lesson 8**.
+//!
+//! * [`events`] — the syscall-event model and deterministic workload
+//!   generators (benign tenant traffic and post-exploitation activity).
+//! * [`falco`] — a Falco-like detection engine: a parsed condition DSL
+//!   (`evt.type = exec and proc.name in (sh, bash)`) evaluated per event,
+//!   with rule sets at three strictness tiers so false-positive /
+//!   false-negative trade-offs are measurable.
+//! * [`lsm`] — KubeArmor-style mandatory access control: per-container
+//!   process/file/network policies in audit or enforce mode.
+//! * [`abuse`] — resource-abuse detection (threat T8's
+//!   CPU/memory/network monopolization) over sliding usage windows.
+//! * [`peach`] — PEACH-style tenant-isolation scoring (privilege,
+//!   encryption, authentication, connectivity, hygiene) driving the
+//!   hard-vs-soft isolation recommendation.
+//!
+//! # Example
+//!
+//! ```
+//! use genio_runtime::falco::{Engine, RuleSetTier};
+//! use genio_runtime::events::attack_burst;
+//!
+//! let engine = Engine::with_tier(RuleSetTier::Default).unwrap();
+//! let alerts = engine.process_all(&attack_burst("tenant-x", 100));
+//! assert!(!alerts.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abuse;
+pub mod correlate;
+pub mod events;
+pub mod falco;
+pub mod lsm;
+pub mod peach;

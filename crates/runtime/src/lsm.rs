@@ -1,0 +1,231 @@
+//! KubeArmor-style mandatory access control (mitigation **M17**).
+//!
+//! "GENIO integrates KubeArmor to restrict container, pod, and VM behavior
+//! at the system level using Linux Security Modules (LSMs), blocking
+//! unauthorized processes, file access, and suspicious network activity."
+//! Policies here bind to a container and decide per event: **Allow**,
+//! **Audit** (log but permit — KubeArmor's audit mode), or **Block**.
+
+use crate::events::{Event, EventKind};
+
+/// Enforcement mode of a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Log violations but let them proceed.
+    Audit,
+    /// Deny violations.
+    Enforce,
+}
+
+/// Decision for one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Permitted by policy.
+    Allow,
+    /// Violates policy; permitted because the policy is in audit mode.
+    Audit,
+    /// Denied.
+    Block,
+}
+
+/// A per-container LSM policy.
+#[derive(Debug, Clone)]
+pub struct LsmPolicy {
+    /// Container this policy binds to (matched by prefix so `tenant-a`
+    /// covers `tenant-a-c0`).
+    pub container_prefix: String,
+    /// Enforcement mode.
+    pub mode: Mode,
+    /// Processes allowed to execute; empty = allow all.
+    pub allowed_processes: Vec<String>,
+    /// Path prefixes writable by the workload.
+    pub writable_paths: Vec<String>,
+    /// Path prefixes readable by the workload; empty = allow all reads
+    /// except `protected_paths`.
+    pub protected_paths: Vec<String>,
+    /// Outbound ports permitted; empty = allow all.
+    pub allowed_ports: Vec<u16>,
+    /// Whether privilege-changing operations (setuid, module load,
+    /// ptrace) are permitted.
+    pub allow_privileged_ops: bool,
+}
+
+impl LsmPolicy {
+    /// The GENIO default tenant profile: app processes only, writes
+    /// confined to app state, secrets protected, outbound limited to
+    /// platform services.
+    pub fn tenant_default(container_prefix: &str, mode: Mode) -> Self {
+        LsmPolicy {
+            container_prefix: container_prefix.to_string(),
+            mode,
+            allowed_processes: vec![
+                "java".into(),
+                "python".into(),
+                "node".into(),
+                "sh".into(), // health checks
+                "logrotate".into(),
+            ],
+            writable_paths: vec![
+                "/app/logs".into(),
+                "/app/data".into(),
+                "/tmp".into(),
+                "/etc/logrotate.d".into(),
+            ],
+            protected_paths: vec!["/etc/shadow".into(), "/etc/sudoers".into(), "/root".into()],
+            allowed_ports: vec![443, 5432, 8443, 53],
+            allow_privileged_ops: false,
+        }
+    }
+
+    /// True if this policy governs `container`.
+    pub fn applies_to(&self, container: &str) -> bool {
+        container.starts_with(&self.container_prefix)
+    }
+
+    fn violates(&self, event: &Event) -> bool {
+        match &event.kind {
+            EventKind::Exec { .. } => {
+                !self.allowed_processes.is_empty()
+                    && !self.allowed_processes.contains(&event.process)
+            }
+            EventKind::FileOpen { path, write } => {
+                if self
+                    .protected_paths
+                    .iter()
+                    .any(|p| path.starts_with(p.as_str()))
+                {
+                    return true;
+                }
+                if *write {
+                    return !self
+                        .writable_paths
+                        .iter()
+                        .any(|p| path.starts_with(p.as_str()));
+                }
+                false
+            }
+            EventKind::Connect { port, .. } | EventKind::Listen { port } => {
+                !self.allowed_ports.is_empty() && !self.allowed_ports.contains(port)
+            }
+            EventKind::SetUid { .. }
+            | EventKind::ModuleLoad { .. }
+            | EventKind::PtraceAttach { .. } => !self.allow_privileged_ops,
+        }
+    }
+
+    /// Evaluates an event under this policy.
+    pub fn decide(&self, event: &Event) -> Decision {
+        if !self.applies_to(&event.container) {
+            return Decision::Allow;
+        }
+        if !self.violates(event) {
+            return Decision::Allow;
+        }
+        match self.mode {
+            Mode::Audit => Decision::Audit,
+            Mode::Enforce => Decision::Block,
+        }
+    }
+}
+
+/// Runs a trace through a policy, returning `(allowed, audited, blocked)`
+/// event counts.
+pub fn enforce_trace(policy: &LsmPolicy, events: &[Event]) -> (usize, usize, usize) {
+    let mut counts = (0usize, 0usize, 0usize);
+    for e in events {
+        match policy.decide(e) {
+            Decision::Allow => counts.0 += 1,
+            Decision::Audit => counts.1 += 1,
+            Decision::Block => counts.2 += 1,
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{attack_burst, benign_workload};
+
+    fn policy(mode: Mode) -> LsmPolicy {
+        LsmPolicy::tenant_default("tenant-a", mode)
+    }
+
+    #[test]
+    fn benign_workload_fully_allowed() {
+        let p = policy(Mode::Enforce);
+        let (allowed, audited, blocked) = enforce_trace(&p, &benign_workload("tenant-a", 200));
+        assert_eq!(audited, 0);
+        assert_eq!(blocked, 0);
+        assert_eq!(allowed, 200);
+    }
+
+    #[test]
+    fn attack_burst_blocked_in_enforce_mode() {
+        let p = policy(Mode::Enforce);
+        let (_, audited, blocked) = enforce_trace(&p, &attack_burst("tenant-a", 0));
+        assert_eq!(audited, 0);
+        assert!(blocked >= 6, "blocked {blocked} of 7 attack behaviours");
+    }
+
+    #[test]
+    fn audit_mode_observes_without_blocking() {
+        let p = policy(Mode::Audit);
+        let (_, audited, blocked) = enforce_trace(&p, &attack_burst("tenant-a", 0));
+        assert_eq!(blocked, 0);
+        assert!(audited >= 6);
+    }
+
+    #[test]
+    fn policy_scoped_to_container() {
+        let p = policy(Mode::Enforce);
+        let other_tenant_attack = attack_burst("tenant-b", 0);
+        let (allowed, _, blocked) = enforce_trace(&p, &other_tenant_attack);
+        assert_eq!(blocked, 0, "policy must not govern other containers");
+        assert_eq!(allowed, other_tenant_attack.len());
+    }
+
+    #[test]
+    fn specific_decisions() {
+        let p = policy(Mode::Enforce);
+        let burst = attack_burst("tenant-a", 0);
+        // /etc/shadow read → protected path.
+        assert_eq!(p.decide(&burst[1]), Decision::Block);
+        // connect to 4444 → port not allowed.
+        assert_eq!(p.decide(&burst[2]), Decision::Block);
+        // setuid → privileged op.
+        assert_eq!(p.decide(&burst[3]), Decision::Block);
+        // write to /usr/bin/sshd → not writable.
+        assert_eq!(p.decide(&burst[6]), Decision::Block);
+    }
+
+    #[test]
+    fn interactive_bash_is_the_gap() {
+        // `bash` is not on the process allowlist, so exec is blocked; but
+        // `sh` is allowed for health checks, so an attacker using plain
+        // `sh -i` slips the LSM layer — this is why M18 (Falco) exists as
+        // a separate detection layer.
+        let p = policy(Mode::Enforce);
+        let burst = attack_burst("tenant-a", 0);
+        assert_eq!(p.decide(&burst[0]), Decision::Block, "bash blocked");
+        let mut sh_attack = burst[0].clone();
+        sh_attack.process = "sh".into();
+        assert_eq!(
+            p.decide(&sh_attack),
+            Decision::Allow,
+            "sh allowed: detection gap"
+        );
+    }
+
+    #[test]
+    fn empty_allowlists_mean_allow_all() {
+        let mut p = policy(Mode::Enforce);
+        p.allowed_processes.clear();
+        p.allowed_ports.clear();
+        let burst = attack_burst("tenant-a", 0);
+        assert_eq!(p.decide(&burst[0]), Decision::Allow, "exec unrestricted");
+        assert_eq!(p.decide(&burst[2]), Decision::Allow, "connect unrestricted");
+        // Protected paths still protected.
+        assert_eq!(p.decide(&burst[1]), Decision::Block);
+    }
+}

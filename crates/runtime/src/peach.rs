@@ -1,0 +1,184 @@
+//! PEACH-style tenant-isolation scoring (part of mitigation **M17**).
+//!
+//! The PEACH framework "models isolation risks based on interface
+//! complexity, tenant separation, and enforcement strength across key
+//! dimensions such as privilege, encryption, and authentication". Here a
+//! tenant environment is scored on the five PEACH hardening dimensions
+//! (Privilege, Encryption, Authentication, Connectivity, Hygiene), the
+//! interface complexity is weighed in, and the result is a recommended
+//! isolation mode — the decision GENIO makes per tenant between dedicated
+//! VMs and shared containers.
+
+/// Hardening strength on one dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Strength {
+    /// No hardening.
+    None,
+    /// Partial hardening.
+    Partial,
+    /// Strong hardening.
+    Strong,
+}
+
+impl Strength {
+    fn points(self) -> u32 {
+        match self {
+            Strength::None => 0,
+            Strength::Partial => 1,
+            Strength::Strong => 2,
+        }
+    }
+}
+
+/// Complexity of the interface the tenant exposes to others (PEACH's
+/// primary risk driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InterfaceComplexity {
+    /// Static content / no shared interface.
+    Low,
+    /// Structured APIs with parsing.
+    Medium,
+    /// Interpreters, file uploads, query languages.
+    High,
+}
+
+/// A tenant environment's isolation review.
+#[derive(Debug, Clone)]
+pub struct IsolationReview {
+    /// Tenant name.
+    pub tenant: String,
+    /// **P**rivilege hardening: least privilege, no dangerous caps.
+    pub privilege: Strength,
+    /// **E**ncryption hardening: per-tenant keys, data/tenant separation.
+    pub encryption: Strength,
+    /// **A**uthentication hardening: per-tenant identity, mutual auth.
+    pub authentication: Strength,
+    /// **C**onnectivity hardening: network policies, egress control.
+    pub connectivity: Strength,
+    /// **H**ygiene: secret scrubbing, logging discipline, patching.
+    pub hygiene: Strength,
+    /// Interface complexity.
+    pub complexity: InterfaceComplexity,
+}
+
+/// The isolation recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recommendation {
+    /// Shared containers acceptable.
+    SoftIsolationAcceptable,
+    /// Harden first, then shared containers.
+    HardenThenSoft,
+    /// Dedicated VM required.
+    HardIsolationRequired,
+}
+
+impl IsolationReview {
+    /// Total hardening points (0–10).
+    pub fn hardening_points(&self) -> u32 {
+        self.privilege.points()
+            + self.encryption.points()
+            + self.authentication.points()
+            + self.connectivity.points()
+            + self.hygiene.points()
+    }
+
+    /// Points demanded by the interface complexity.
+    pub fn required_points(&self) -> u32 {
+        match self.complexity {
+            InterfaceComplexity::Low => 3,
+            InterfaceComplexity::Medium => 6,
+            InterfaceComplexity::High => 9,
+        }
+    }
+
+    /// The isolation margin: hardening minus requirement.
+    pub fn margin(&self) -> i64 {
+        self.hardening_points() as i64 - self.required_points() as i64
+    }
+
+    /// The recommendation derived from the margin.
+    pub fn recommend(&self) -> Recommendation {
+        let margin = self.margin();
+        if margin >= 0 {
+            Recommendation::SoftIsolationAcceptable
+        } else if margin >= -2 {
+            Recommendation::HardenThenSoft
+        } else {
+            Recommendation::HardIsolationRequired
+        }
+    }
+}
+
+/// A fully hardened review (useful as a builder base).
+pub fn hardened_review(tenant: &str, complexity: InterfaceComplexity) -> IsolationReview {
+    IsolationReview {
+        tenant: tenant.to_string(),
+        privilege: Strength::Strong,
+        encryption: Strength::Strong,
+        authentication: Strength::Strong,
+        connectivity: Strength::Strong,
+        hygiene: Strength::Strong,
+        complexity,
+    }
+}
+
+/// An unhardened review.
+pub fn unhardened_review(tenant: &str, complexity: InterfaceComplexity) -> IsolationReview {
+    IsolationReview {
+        tenant: tenant.to_string(),
+        privilege: Strength::None,
+        encryption: Strength::None,
+        authentication: Strength::None,
+        connectivity: Strength::None,
+        hygiene: Strength::None,
+        complexity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_hardened_tenant_can_share() {
+        let r = hardened_review("t", InterfaceComplexity::High);
+        assert_eq!(r.hardening_points(), 10);
+        assert_eq!(r.recommend(), Recommendation::SoftIsolationAcceptable);
+    }
+
+    #[test]
+    fn unhardened_complex_tenant_needs_a_vm() {
+        let r = unhardened_review("t", InterfaceComplexity::High);
+        assert_eq!(r.recommend(), Recommendation::HardIsolationRequired);
+    }
+
+    #[test]
+    fn unhardened_simple_tenant_borderline() {
+        let r = unhardened_review("t", InterfaceComplexity::Low);
+        // 0 points vs 3 required → margin -3 → hard isolation.
+        assert_eq!(r.recommend(), Recommendation::HardIsolationRequired);
+        let mut partial = r.clone();
+        partial.privilege = Strength::Partial;
+        // margin -2 → harden first.
+        assert_eq!(partial.recommend(), Recommendation::HardenThenSoft);
+    }
+
+    #[test]
+    fn complexity_raises_the_bar() {
+        let mut r = hardened_review("t", InterfaceComplexity::Low);
+        r.privilege = Strength::None;
+        r.encryption = Strength::None;
+        r.authentication = Strength::None;
+        // 4 points: fine for Low (needs 3)...
+        assert_eq!(r.recommend(), Recommendation::SoftIsolationAcceptable);
+        // ...not for High (needs 9).
+        r.complexity = InterfaceComplexity::High;
+        assert_eq!(r.recommend(), Recommendation::HardIsolationRequired);
+    }
+
+    #[test]
+    fn margin_is_signed() {
+        assert!(hardened_review("t", InterfaceComplexity::Low).margin() > 0);
+        assert!(unhardened_review("t", InterfaceComplexity::High).margin() < 0);
+    }
+}

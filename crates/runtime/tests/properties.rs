@@ -1,0 +1,77 @@
+//! Property-based tests for the Falco-like DSL and detection invariants.
+
+use proptest::prelude::*;
+
+use genio_runtime::events::{attack_burst, benign_workload};
+use genio_runtime::falco::{eval, parse, score, Engine, RuleSetTier};
+
+proptest! {
+    /// The parser never panics on arbitrary input: it returns Ok or Err.
+    #[test]
+    fn parser_total(input in ".{0,80}") {
+        let _ = parse(&input);
+    }
+
+    /// Parse → eval is deterministic: the same condition on the same event
+    /// always yields the same verdict.
+    #[test]
+    fn eval_deterministic(field in prop::sample::select(vec![
+            "evt.type", "proc.name", "fd.path", "fd.port", "user.tenant"]),
+        value in "[a-z0-9/]{1,12}") {
+        let cond = parse(&format!("{field} = {value}")).unwrap();
+        let burst = attack_burst("t", 0);
+        for event in &burst {
+            prop_assert_eq!(eval(&cond, event), eval(&cond, event));
+        }
+    }
+
+    /// De Morgan on the DSL: `not (a or b)` ≡ `not a and not b` over all
+    /// generated events.
+    #[test]
+    fn de_morgan(a_val in "[a-z]{1,8}", b_val in "[a-z]{1,8}") {
+        let lhs = parse(&format!("not (proc.name = {a_val} or user.tenant = {b_val})")).unwrap();
+        let rhs = parse(&format!("not proc.name = {a_val} and not user.tenant = {b_val}")).unwrap();
+        let mut events = benign_workload("tenant-x", 20);
+        events.extend(attack_burst("tenant-y", 100));
+        for e in &events {
+            prop_assert_eq!(eval(&lhs, e), eval(&rhs, e));
+        }
+    }
+
+    /// Tier monotonicity holds for any benign/burst mixture: FP and recall
+    /// never decrease as strictness rises.
+    #[test]
+    fn tier_monotone(benign in 10usize..200, bursts in 0usize..4) {
+        let mut trace = benign_workload("t", benign);
+        for i in 0..bursts {
+            trace.extend(attack_burst("t", (i as u64 + 1) * 10_000));
+        }
+        let mut prev_fp = 0;
+        let mut prev_tp = 0;
+        for tier in [RuleSetTier::Lenient, RuleSetTier::Default, RuleSetTier::Paranoid] {
+            let engine = Engine::with_tier(tier).unwrap();
+            let s = score(&engine, &trace);
+            prop_assert!(s.false_positives >= prev_fp);
+            prop_assert!(s.true_positives >= prev_tp);
+            prev_fp = s.false_positives;
+            prev_tp = s.true_positives;
+        }
+    }
+
+    /// Confusion-matrix accounting always sums to the trace length.
+    #[test]
+    fn stats_account_for_every_event(benign in 0usize..100, bursts in 0usize..3) {
+        let mut trace = benign_workload("t", benign);
+        for i in 0..bursts {
+            trace.extend(attack_burst("t", (i as u64 + 1) * 1_000));
+        }
+        let engine = Engine::with_tier(RuleSetTier::Default).unwrap();
+        let s = score(&engine, &trace);
+        prop_assert_eq!(
+            s.true_positives + s.false_positives + s.false_negatives + s.true_negatives,
+            trace.len()
+        );
+        prop_assert!((0.0..=1.0).contains(&s.precision()));
+        prop_assert!((0.0..=1.0).contains(&s.recall()));
+    }
+}

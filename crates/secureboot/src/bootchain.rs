@@ -1,0 +1,480 @@
+//! The verified and measured boot chain (mitigation **M5**).
+//!
+//! GENIO boots through Shim (signed by a recognized vendor CA), which loads
+//! GRUB, which loads the distribution kernel. Shim's MOK (Machine Owner
+//! Key) database lets the platform enrol its own keys for later stages —
+//! exactly how GENIO signs its ONL kernels. In parallel, Measured Boot
+//! extends a hash of every image into TPM PCRs and appends to an event log,
+//! so even a boot that *succeeds* leaves evidence if anything changed.
+//!
+//! Both enforcement and measurement are independently togglable so the
+//! attack campaign can compare: enforcement halts tampered boots;
+//! measurement alone lets them run but makes the tampering attestable (and
+//! breaks PCR-sealed secrets).
+
+use std::collections::HashSet;
+
+use genio_crypto::sha256::{sha256, Digest};
+use genio_crypto::sig::{MerklePublicKey, MerkleSignature, MerkleSigner};
+
+use crate::tpm::Tpm;
+use crate::SecureBootError;
+
+/// Which boot stage an image occupies, and hence which PCR measures it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// First-stage loader, vendor-CA signed (Shim).
+    Shim,
+    /// Second-stage loader (GRUB).
+    Grub,
+    /// Operating-system kernel.
+    Kernel,
+    /// Initial ramdisk.
+    Initrd,
+}
+
+impl StageKind {
+    /// PCR index this stage is measured into (simplified TCG mapping).
+    pub fn pcr(self) -> usize {
+        match self {
+            StageKind::Shim => 0,
+            StageKind::Grub => 4,
+            StageKind::Kernel => 8,
+            StageKind::Initrd => 9,
+        }
+    }
+
+    /// Human-readable stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Shim => "shim",
+            StageKind::Grub => "grub",
+            StageKind::Kernel => "kernel",
+            StageKind::Initrd => "initrd",
+        }
+    }
+}
+
+/// A signed boot image.
+#[derive(Debug, Clone)]
+pub struct SignedImage {
+    /// Stage this image boots.
+    pub kind: StageKind,
+    /// Image bytes.
+    pub content: Vec<u8>,
+    /// Detached signature over the content.
+    pub signature: MerkleSignature,
+    /// Public key the signature was made under.
+    pub signer: MerklePublicKey,
+}
+
+/// A signing authority for boot images (the vendor CA or the machine
+/// owner).
+#[derive(Debug)]
+pub struct ImageSigner {
+    signer: MerkleSigner,
+}
+
+impl ImageSigner {
+    /// Creates a signer from a seed.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        ImageSigner {
+            signer: MerkleSigner::from_seed(seed, 6),
+        }
+    }
+
+    /// The public verification key.
+    pub fn public(&self) -> MerklePublicKey {
+        self.signer.public()
+    }
+
+    /// Signs an image for a stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signer exhaustion.
+    pub fn sign(&mut self, kind: StageKind, content: &[u8]) -> crate::Result<SignedImage> {
+        let signature = self
+            .signer
+            .sign(content)
+            .map_err(|_| SecureBootError::UnsignedImage {
+                stage: kind.name().to_string(),
+            })?;
+        Ok(SignedImage {
+            kind,
+            content: content.to_vec(),
+            signature,
+            signer: self.signer.public(),
+        })
+    }
+}
+
+/// The signature databases consulted during verification: the vendor
+/// database (db), the machine-owner database (MOK), and the forbidden
+/// database (dbx).
+#[derive(Debug, Clone, Default)]
+pub struct KeyDb {
+    db: HashSet<MerklePublicKey>,
+    mok: HashSet<MerklePublicKey>,
+    dbx: HashSet<MerklePublicKey>,
+}
+
+impl KeyDb {
+    /// Creates an empty database set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enrols a vendor key (firmware db).
+    pub fn trust_vendor(&mut self, key: MerklePublicKey) {
+        self.db.insert(key);
+    }
+
+    /// Enrols a machine-owner key (Shim MOK).
+    pub fn enroll_mok(&mut self, key: MerklePublicKey) {
+        self.mok.insert(key);
+    }
+
+    /// Revokes a key (dbx). Revocation wins over both databases.
+    pub fn revoke(&mut self, key: MerklePublicKey) {
+        self.dbx.insert(key);
+    }
+
+    /// True if `key` is currently trusted.
+    pub fn is_trusted(&self, key: &MerklePublicKey) -> bool {
+        !self.dbx.contains(key) && (self.db.contains(key) || self.mok.contains(key))
+    }
+}
+
+/// One measured-boot event-log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventLogEntry {
+    /// PCR the measurement was extended into.
+    pub pcr: usize,
+    /// Stage name.
+    pub stage: String,
+    /// SHA-256 of the image.
+    pub digest: Digest,
+    /// Whether signature verification passed for this stage.
+    pub verified: bool,
+}
+
+/// Boot policy switches.
+#[derive(Debug, Clone, Copy)]
+pub struct BootPolicy {
+    /// Halt on signature failure (UEFI Secure Boot enforcement).
+    pub enforce_signatures: bool,
+    /// Extend PCRs and keep an event log (Measured Boot).
+    pub measure: bool,
+}
+
+impl Default for BootPolicy {
+    fn default() -> Self {
+        BootPolicy {
+            enforce_signatures: true,
+            measure: true,
+        }
+    }
+}
+
+/// Result of a boot attempt.
+#[derive(Debug, Clone)]
+pub struct BootReport {
+    /// True if every stage executed.
+    pub completed: bool,
+    /// Stage at which boot halted, if any.
+    pub halted_at: Option<String>,
+    /// Measured-boot event log (empty when measurement is off).
+    pub event_log: Vec<EventLogEntry>,
+}
+
+/// Runs the boot chain `stages` (in order) under `policy`, verifying
+/// against `keys` and measuring into `tpm`.
+///
+/// Returns a [`BootReport`]; a halted boot is reported, not an `Err`,
+/// because halting is the *intended* behaviour of enforcement.
+pub fn boot(
+    stages: &[SignedImage],
+    keys: &KeyDb,
+    policy: &BootPolicy,
+    tpm: &mut Tpm,
+) -> BootReport {
+    let mut event_log = Vec::new();
+    for stage in stages {
+        let digest = sha256(&stage.content);
+        let verified =
+            keys.is_trusted(&stage.signer) && stage.signature.verify(&stage.content, &stage.signer);
+        if policy.measure {
+            tpm.extend(stage.kind.pcr(), &stage.content);
+            event_log.push(EventLogEntry {
+                pcr: stage.kind.pcr(),
+                stage: stage.kind.name().to_string(),
+                digest,
+                verified,
+            });
+        }
+        if policy.enforce_signatures && !verified {
+            return BootReport {
+                completed: false,
+                halted_at: Some(stage.kind.name().to_string()),
+                event_log,
+            };
+        }
+    }
+    BootReport {
+        completed: true,
+        halted_at: None,
+        event_log,
+    }
+}
+
+/// Computes the golden PCR values a fleet owner expects after booting
+/// `stages`, for attestation comparisons.
+pub fn expected_pcrs(stages: &[SignedImage]) -> Vec<(usize, Digest)> {
+    let mut tpm = Tpm::new(b"golden");
+    for stage in stages {
+        tpm.extend(stage.kind.pcr(), &stage.content);
+    }
+    tpm.nonzero_pcrs().into_iter().collect()
+}
+
+/// Outcome of a remote-attestation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttestationVerdict {
+    /// Quote genuine and PCRs match the golden values.
+    Trusted,
+    /// Quote genuine but the measured state diverges (tampered stage).
+    StateDiverged,
+    /// Quote did not verify (forged, replayed nonce, or foreign TPM).
+    QuoteInvalid,
+}
+
+/// Remote attestation: the verifier sends a fresh `nonce`, the device
+/// returns `tpm.quote(selection, nonce)`, and the verifier compares
+/// against the golden boot of `expected_stages`.
+///
+/// This is the Measured-Boot consumer loop the paper's M5 enables: even
+/// when enforcement is off and a tampered image *runs*, the fleet owner
+/// can still see the divergence.
+///
+/// Quote authentication is symmetric in this simulation (the verifier
+/// shares the attestation key through the `device_tpm` handle); a real
+/// deployment verifies against the AIK public key. The state-comparison
+/// logic — the part the threat model exercises — is identical.
+pub fn attest(
+    device_tpm: &Tpm,
+    expected_stages: &[SignedImage],
+    nonce: &[u8],
+) -> AttestationVerdict {
+    let selection: Vec<usize> = {
+        let mut pcrs: Vec<usize> = expected_stages.iter().map(|s| s.kind.pcr()).collect();
+        pcrs.sort_unstable();
+        pcrs.dedup();
+        pcrs
+    };
+    let quote = device_tpm.quote(&selection, nonce);
+    if !device_tpm.verify_quote(&quote, nonce) {
+        return AttestationVerdict::QuoteInvalid;
+    }
+    // Compute the golden composite over the same selection.
+    let mut golden = Tpm::new(b"golden");
+    for stage in expected_stages {
+        golden.extend(stage.kind.pcr(), &stage.content);
+    }
+    let expected = golden.composite(&selection).expect("valid selection");
+    if quote.digest == expected {
+        AttestationVerdict::Trusted
+    } else {
+        AttestationVerdict::StateDiverged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixture {
+        stages: Vec<SignedImage>,
+        keys: KeyDb,
+    }
+
+    fn fixture() -> Fixture {
+        let mut vendor = ImageSigner::from_seed(b"microsoft-uefi-ca");
+        let mut owner = ImageSigner::from_seed(b"genio-mok");
+        let mut keys = KeyDb::new();
+        keys.trust_vendor(vendor.public());
+        keys.enroll_mok(owner.public());
+        let stages = vec![
+            vendor.sign(StageKind::Shim, b"shim-15.7").unwrap(),
+            owner.sign(StageKind::Grub, b"grub-2.06").unwrap(),
+            owner
+                .sign(StageKind::Kernel, b"onl-kernel-4.19-hardened")
+                .unwrap(),
+            owner.sign(StageKind::Initrd, b"initrd-genio").unwrap(),
+        ];
+        Fixture { stages, keys }
+    }
+
+    #[test]
+    fn clean_boot_completes() {
+        let f = fixture();
+        let mut tpm = Tpm::new(b"device");
+        let report = boot(&f.stages, &f.keys, &BootPolicy::default(), &mut tpm);
+        assert!(report.completed);
+        assert_eq!(report.event_log.len(), 4);
+        assert!(report.event_log.iter().all(|e| e.verified));
+    }
+
+    #[test]
+    fn tampered_kernel_halts_enforcing_boot() {
+        let mut f = fixture();
+        f.stages[2].content = b"onl-kernel-4.19-BACKDOORED".to_vec();
+        let mut tpm = Tpm::new(b"device");
+        let report = boot(&f.stages, &f.keys, &BootPolicy::default(), &mut tpm);
+        assert!(!report.completed);
+        assert_eq!(report.halted_at.as_deref(), Some("kernel"));
+        // Shim and GRUB were still measured before the halt.
+        assert_eq!(report.event_log.len(), 3);
+    }
+
+    #[test]
+    fn tampered_kernel_boots_without_enforcement_but_diverges_pcrs() {
+        let f_good = fixture();
+        let mut f_bad = fixture();
+        f_bad.stages[2].content = b"onl-kernel-4.19-BACKDOORED".to_vec();
+        let policy = BootPolicy {
+            enforce_signatures: false,
+            measure: true,
+        };
+        let mut tpm = Tpm::new(b"device");
+        let report = boot(&f_bad.stages, &f_bad.keys, &policy, &mut tpm);
+        assert!(report.completed, "no enforcement: tampered image runs");
+        // But attestation catches it: PCR 8 diverges from the golden value.
+        let golden: std::collections::HashMap<usize, _> =
+            expected_pcrs(&f_good.stages).into_iter().collect();
+        assert_ne!(tpm.read(8), golden[&8]);
+        assert_eq!(tpm.read(0), golden[&0], "untampered stages still match");
+    }
+
+    #[test]
+    fn unsigned_stage_halts() {
+        let mut f = fixture();
+        // Sign the kernel with a key that was never enrolled.
+        let mut rogue = ImageSigner::from_seed(b"rogue");
+        f.stages[2] = rogue.sign(StageKind::Kernel, b"evil-kernel").unwrap();
+        let mut tpm = Tpm::new(b"device");
+        let report = boot(&f.stages, &f.keys, &BootPolicy::default(), &mut tpm);
+        assert!(!report.completed);
+        assert_eq!(report.halted_at.as_deref(), Some("kernel"));
+    }
+
+    #[test]
+    fn revoked_key_halts_boot() {
+        let f = fixture();
+        let mut keys = f.keys.clone();
+        keys.revoke(f.stages[1].signer); // revoke the MOK (dbx wins)
+        let mut tpm = Tpm::new(b"device");
+        let report = boot(&f.stages, &keys, &BootPolicy::default(), &mut tpm);
+        assert!(!report.completed);
+        assert_eq!(report.halted_at.as_deref(), Some("grub"));
+    }
+
+    #[test]
+    fn mok_enrolment_enables_owner_signed_stages() {
+        let mut vendor = ImageSigner::from_seed(b"vendor");
+        let mut owner = ImageSigner::from_seed(b"owner");
+        let mut keys = KeyDb::new();
+        keys.trust_vendor(vendor.public());
+        // No MOK enrolment yet: owner-signed GRUB fails.
+        let stages = vec![
+            vendor.sign(StageKind::Shim, b"shim").unwrap(),
+            owner.sign(StageKind::Grub, b"grub").unwrap(),
+        ];
+        let mut tpm = Tpm::new(b"d");
+        let report = boot(&stages, &keys, &BootPolicy::default(), &mut tpm);
+        assert!(!report.completed);
+        keys.enroll_mok(owner.public());
+        let mut tpm2 = Tpm::new(b"d");
+        let report2 = boot(&stages, &keys, &BootPolicy::default(), &mut tpm2);
+        assert!(report2.completed);
+    }
+
+    #[test]
+    fn measurement_off_leaves_empty_log() {
+        let f = fixture();
+        let policy = BootPolicy {
+            enforce_signatures: true,
+            measure: false,
+        };
+        let mut tpm = Tpm::new(b"device");
+        let report = boot(&f.stages, &f.keys, &policy, &mut tpm);
+        assert!(report.completed);
+        assert!(report.event_log.is_empty());
+        assert!(tpm.nonzero_pcrs().is_empty());
+    }
+
+    #[test]
+    fn golden_pcrs_match_actual_boot() {
+        let f = fixture();
+        let mut tpm = Tpm::new(b"device");
+        boot(&f.stages, &f.keys, &BootPolicy::default(), &mut tpm);
+        for (pcr, digest) in expected_pcrs(&f.stages) {
+            assert_eq!(tpm.read(pcr), digest, "pcr {pcr}");
+        }
+    }
+
+    #[test]
+    fn attestation_detects_tampered_boot_that_ran() {
+        let f_good = fixture();
+        let mut f_bad = fixture();
+        f_bad.stages[2].content = b"onl-kernel-BACKDOORED".to_vec();
+        let permissive = BootPolicy {
+            enforce_signatures: false,
+            measure: true,
+        };
+
+        let mut honest = Tpm::new(b"honest-device");
+        boot(&f_good.stages, &f_good.keys, &permissive, &mut honest);
+        assert_eq!(
+            attest(&honest, &f_good.stages, b"nonce-1"),
+            AttestationVerdict::Trusted
+        );
+
+        let mut compromised = Tpm::new(b"compromised-device");
+        let report = boot(&f_bad.stages, &f_bad.keys, &permissive, &mut compromised);
+        assert!(
+            report.completed,
+            "tampered image ran under permissive policy"
+        );
+        assert_eq!(
+            attest(&compromised, &f_good.stages, b"nonce-2"),
+            AttestationVerdict::StateDiverged,
+            "but attestation sees the divergence"
+        );
+    }
+
+    #[test]
+    fn attestation_detects_unbooted_device() {
+        // A device that never measured anything cannot attest as booted.
+        let f = fixture();
+        let fresh = Tpm::new(b"fresh");
+        assert_eq!(
+            attest(&fresh, &f.stages, b"n"),
+            AttestationVerdict::StateDiverged
+        );
+    }
+
+    #[test]
+    fn event_log_records_failed_verification_when_not_enforcing() {
+        let mut f = fixture();
+        f.stages[3].content = b"initrd-tampered".to_vec();
+        let policy = BootPolicy {
+            enforce_signatures: false,
+            measure: true,
+        };
+        let mut tpm = Tpm::new(b"device");
+        let report = boot(&f.stages, &f.keys, &policy, &mut tpm);
+        assert!(report.completed);
+        assert!(!report.event_log[3].verified);
+    }
+}

@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Error type for secure-boot, TPM and encrypted-storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SecureBootError {
+    /// PCR index outside the bank.
+    InvalidPcr(usize),
+    /// A boot-stage image signature did not verify against any allowed key.
+    UnsignedImage {
+        /// Stage that failed.
+        stage: String,
+    },
+    /// The boot chain halted at a stage (enforcement on).
+    BootHalted {
+        /// Stage at which boot stopped.
+        stage: String,
+    },
+    /// Unsealing failed: current PCR values do not satisfy the policy.
+    PolicyMismatch,
+    /// Unsealing failed: ciphertext corrupt or sealed by another TPM.
+    UnsealFailed,
+    /// No key slot matched the supplied credential.
+    NoMatchingKeySlot,
+    /// The requested key-slot mechanism is unavailable on this platform
+    /// (e.g. Clevis libraries missing on ONL — Lesson 3).
+    MechanismUnavailable(&'static str),
+    /// Volume is locked; the operation needs an unlocked volume.
+    VolumeLocked,
+    /// A key slot with this label already exists.
+    DuplicateSlot(String),
+}
+
+impl fmt::Display for SecureBootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecureBootError::InvalidPcr(i) => write!(f, "invalid pcr index {i}"),
+            SecureBootError::UnsignedImage { stage } => {
+                write!(f, "image signature invalid at stage {stage}")
+            }
+            SecureBootError::BootHalted { stage } => write!(f, "boot halted at stage {stage}"),
+            SecureBootError::PolicyMismatch => write!(f, "pcr policy not satisfied"),
+            SecureBootError::UnsealFailed => write!(f, "unseal failed"),
+            SecureBootError::NoMatchingKeySlot => write!(f, "no matching key slot"),
+            SecureBootError::MechanismUnavailable(what) => {
+                write!(f, "mechanism unavailable: {what}")
+            }
+            SecureBootError::VolumeLocked => write!(f, "volume locked"),
+            SecureBootError::DuplicateSlot(label) => write!(f, "duplicate key slot {label}"),
+        }
+    }
+}
+
+impl std::error::Error for SecureBootError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            SecureBootError::InvalidPcr(30).to_string(),
+            "invalid pcr index 30"
+        );
+        assert_eq!(
+            SecureBootError::PolicyMismatch.to_string(),
+            "pcr policy not satisfied"
+        );
+    }
+}

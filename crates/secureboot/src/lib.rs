@@ -1,0 +1,44 @@
+//! # genio-secureboot
+//!
+//! Code-integrity substrate: Secure Boot, Measured Boot, TPM and encrypted
+//! storage — the paper's mitigations **M5** (secure boot) and **M6** (secure
+//! storage), plus the platform state that **M7** (file integrity monitoring)
+//! and **M9** (signed updates) anchor to.
+//!
+//! * [`tpm`] — a Trusted Platform Module model: PCR banks with
+//!   extend/read semantics, signed quotes, and sealing/unsealing of secrets
+//!   under PCR policies.
+//! * [`bootchain`] — the verified *and* measured boot chain the paper
+//!   describes: ROM → Shim (vendor-signed) → GRUB → kernel, with a
+//!   MOK-style supplementary key database, enforcement toggles, and an
+//!   event log of measurements.
+//! * [`luks`] — LUKS-like volume encryption with multiple key slots:
+//!   passphrase-derived keys and Clevis-style TPM-bound auto-unlock keyed to
+//!   expected PCR values. Includes the **Lesson 3** failure mode: when the
+//!   Clevis dependency stack is unavailable (as on ONL/Debian 10), volumes
+//!   fall back to manual passphrase entry.
+//!
+//! # Example
+//!
+//! ```
+//! use genio_secureboot::tpm::Tpm;
+//!
+//! let mut tpm = Tpm::new(b"olt-7 endorsement");
+//! tpm.extend(0, b"shim image hash");
+//! let quote = tpm.quote(&[0], b"verifier nonce");
+//! assert!(tpm.verify_quote(&quote, b"verifier nonce"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootchain;
+pub mod luks;
+pub mod tpm;
+
+mod error;
+
+pub use error::SecureBootError;
+
+/// Convenience alias for fallible secure-boot operations.
+pub type Result<T> = std::result::Result<T, SecureBootError>;

@@ -1,0 +1,97 @@
+//! Property-based tests for TPM semantics and boot-chain enforcement.
+
+use proptest::prelude::*;
+
+use genio_secureboot::bootchain::{boot, BootPolicy, ImageSigner, KeyDb, StageKind};
+use genio_secureboot::tpm::Tpm;
+
+proptest! {
+    /// PCR values depend only on the measurement sequence, never on the
+    /// endorsement seed; and any difference in the sequence diverges them.
+    #[test]
+    fn pcr_determined_by_measurements(seed_a in proptest::collection::vec(any::<u8>(), 1..16),
+                                      seed_b in proptest::collection::vec(any::<u8>(), 1..16),
+                                      measurements in proptest::collection::vec(
+                                          proptest::collection::vec(any::<u8>(), 1..16), 1..8)) {
+        let mut a = Tpm::new(&seed_a);
+        let mut b = Tpm::new(&seed_b);
+        for m in &measurements {
+            a.extend(3, m);
+            b.extend(3, m);
+        }
+        prop_assert_eq!(a.read(3), b.read(3));
+        // One extra measurement diverges.
+        b.extend(3, b"tail");
+        prop_assert_ne!(a.read(3), b.read(3));
+    }
+
+    /// Seal/unseal: a secret sealed to a selection unseals iff none of the
+    /// selected PCRs changed afterwards.
+    #[test]
+    fn seal_respects_selection(secret in proptest::collection::vec(any::<u8>(), 1..64),
+                               touch_selected in any::<bool>()) {
+        let mut tpm = Tpm::new(b"prop");
+        tpm.extend(0, b"fw");
+        tpm.extend(8, b"kernel");
+        let blob = tpm.seal(&[0, 8], &secret).unwrap();
+        if touch_selected {
+            tpm.extend(8, b"change");
+            prop_assert!(tpm.unseal(&blob).is_err());
+        } else {
+            tpm.extend(15, b"unrelated");
+            prop_assert_eq!(tpm.unseal(&blob).unwrap(), secret);
+        }
+    }
+
+    /// Quotes verify only with the exact nonce and digest they were made
+    /// over.
+    #[test]
+    fn quote_binding(nonce in proptest::collection::vec(any::<u8>(), 1..32),
+                     other in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let mut tpm = Tpm::new(b"prop");
+        tpm.extend(0, b"m");
+        let q = tpm.quote(&[0], &nonce);
+        prop_assert!(tpm.verify_quote(&q, &nonce));
+        if other != nonce {
+            prop_assert!(!tpm.verify_quote(&q, &other));
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Enforcing boot completes iff no stage is tampered; the halt happens
+    /// exactly at the first tampered stage. (Few cases: hash-based image
+    /// signing makes each case expensive.)
+    #[test]
+    fn boot_halts_at_first_tamper(tamper in proptest::collection::vec(any::<bool>(), 4)) {
+        let mut owner = ImageSigner::from_seed(b"owner");
+        let mut keys = KeyDb::new();
+        keys.trust_vendor(owner.public());
+        let kinds = [StageKind::Shim, StageKind::Grub, StageKind::Kernel, StageKind::Initrd];
+        let mut stages: Vec<_> = kinds
+            .iter()
+            .map(|k| owner.sign(*k, format!("image-{}", k.name()).as_bytes()).unwrap())
+            .collect();
+        for (stage, &t) in stages.iter_mut().zip(tamper.iter()) {
+            if t {
+                stage.content.push(0xff);
+            }
+        }
+        let mut tpm = Tpm::new(b"node");
+        let report = boot(&stages, &keys, &BootPolicy::default(), &mut tpm);
+        match tamper.iter().position(|&t| t) {
+            None => {
+                prop_assert!(report.completed);
+                prop_assert_eq!(report.event_log.len(), 4);
+            }
+            Some(first) => {
+                prop_assert!(!report.completed);
+                prop_assert_eq!(report.halted_at.as_deref(), Some(kinds[first].name()));
+                prop_assert_eq!(report.event_log.len(), first + 1);
+            }
+        }
+    }
+}

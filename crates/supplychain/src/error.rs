@@ -1,0 +1,87 @@
+use std::fmt;
+
+use genio_crypto::CryptoError;
+
+/// Error type for supply-chain operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SupplyChainError {
+    /// The repository Release signature did not verify.
+    ReleaseSignatureInvalid,
+    /// The Packages index digest did not match the signed Release.
+    IndexDigestMismatch,
+    /// A package's content digest did not match the signed index.
+    PackageDigestMismatch {
+        /// Offending package name.
+        package: String,
+    },
+    /// Requested package not present in the repository.
+    PackageNotFound(String),
+    /// The image's detached signature did not verify.
+    ImageSignatureInvalid,
+    /// The image signer is not the locally trusted key.
+    UntrustedSigner,
+    /// The offered image version is not newer than the installed one.
+    RollbackRejected {
+        /// Currently installed version.
+        installed: String,
+        /// Offered version.
+        offered: String,
+    },
+    /// The update environment failed its own secure-boot verification.
+    UpdateEnvCompromised,
+    /// An artifact signature did not verify or its certificate was invalid.
+    ArtifactRejected(&'static str),
+    /// Underlying crypto failure (e.g. signer exhaustion).
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for SupplyChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupplyChainError::ReleaseSignatureInvalid => write!(f, "release signature invalid"),
+            SupplyChainError::IndexDigestMismatch => write!(f, "packages index digest mismatch"),
+            SupplyChainError::PackageDigestMismatch { package } => {
+                write!(f, "package digest mismatch: {package}")
+            }
+            SupplyChainError::PackageNotFound(p) => write!(f, "package not found: {p}"),
+            SupplyChainError::ImageSignatureInvalid => write!(f, "image signature invalid"),
+            SupplyChainError::UntrustedSigner => write!(f, "untrusted image signer"),
+            SupplyChainError::RollbackRejected { installed, offered } => {
+                write!(f, "rollback rejected: {offered} not newer than {installed}")
+            }
+            SupplyChainError::UpdateEnvCompromised => write!(f, "update environment compromised"),
+            SupplyChainError::ArtifactRejected(why) => write!(f, "artifact rejected: {why}"),
+            SupplyChainError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SupplyChainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SupplyChainError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for SupplyChainError {
+    fn from(e: CryptoError) -> Self {
+        SupplyChainError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SupplyChainError::RollbackRejected {
+            installed: "2.0".into(),
+            offered: "1.9".into(),
+        };
+        assert_eq!(e.to_string(), "rollback rejected: 1.9 not newer than 2.0");
+    }
+}

@@ -1,0 +1,46 @@
+//! # genio-supplychain
+//!
+//! Signed software distribution: the paper's mitigation **M9** and the
+//! supply-chain half of **Lesson 4** ("APT GPG signatures for Debian-based
+//! images represent a reliable and straightforward solution to adopt").
+//!
+//! Three update scenarios, exactly as the paper enumerates them:
+//!
+//! * [`repo`] — Debian/APT-style package repositories: a signed `Release`
+//!   file authenticating a `Packages` index, which authenticates package
+//!   digests; clients reject any unverified artifact.
+//! * [`image`] — ONIE-style firmware/OS images with detached signatures
+//!   validated against a locally trusted public key backed by the TPM,
+//!   applied from a minimal Secure-Boot-verified update environment
+//!   (NIST SP 800-193 shape), with anti-rollback.
+//! * [`artifact`] — GENIO's own daemons and tools, signed with project
+//!   certificates and validated on each target node before installation.
+//!
+//! # Example
+//!
+//! ```
+//! use genio_supplychain::repo::{Repository, RepoClient};
+//!
+//! # fn main() -> Result<(), genio_supplychain::SupplyChainError> {
+//! let mut repo = Repository::new("genio-main", b"repo-signing-seed")?;
+//! repo.publish("voltha-agent", "2.12.0", b"binary contents")?;
+//! let client = RepoClient::trusting(repo.public_key());
+//! let pkg = client.verify_and_fetch(&repo, "voltha-agent")?;
+//! assert_eq!(pkg.version, "2.12.0");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod image;
+pub mod repo;
+
+mod error;
+
+pub use error::SupplyChainError;
+
+/// Convenience alias for fallible supply-chain operations.
+pub type Result<T> = std::result::Result<T, SupplyChainError>;

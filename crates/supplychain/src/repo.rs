@@ -1,0 +1,385 @@
+//! APT-style signed package repositories.
+//!
+//! The trust chain mirrors Debian's: the repository key signs the
+//! `Release` file; the `Release` file carries the digest of the `Packages`
+//! index; the index carries per-package digests. A client that trusts the
+//! repository key can therefore verify every byte it installs, and "rejects
+//! any unverified artifacts" (M9).
+
+use std::collections::BTreeMap;
+
+use genio_crypto::sha256::{sha256, Digest};
+use genio_crypto::sig::{MerklePublicKey, MerkleSignature, MerkleSigner};
+
+use crate::SupplyChainError;
+
+/// One package entry in the index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageEntry {
+    /// Package name.
+    pub name: String,
+    /// Version string.
+    pub version: String,
+    /// SHA-256 of the package contents.
+    pub digest: Digest,
+}
+
+/// The `Packages` index: all entries, canonically encoded for hashing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackagesIndex {
+    entries: BTreeMap<String, PackageEntry>,
+}
+
+impl PackagesIndex {
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for e in self.entries.values() {
+            out.extend_from_slice(e.name.as_bytes());
+            out.push(0);
+            out.extend_from_slice(e.version.as_bytes());
+            out.push(0);
+            out.extend_from_slice(&e.digest);
+        }
+        out
+    }
+
+    /// Digest of the canonical index encoding.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.canonical_bytes())
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, name: &str) -> Option<&PackageEntry> {
+        self.entries.get(name)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The signed `Release` file.
+#[derive(Debug, Clone)]
+pub struct Release {
+    /// Repository name.
+    pub suite: String,
+    /// Digest of the `Packages` index this release vouches for.
+    pub index_digest: Digest,
+    /// Monotonic release counter (freshness; blocks index replay).
+    pub serial: u64,
+    /// Repository-key signature over `(suite, index_digest, serial)`.
+    pub signature: MerkleSignature,
+}
+
+fn release_bytes(suite: &str, index_digest: &Digest, serial: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(suite.as_bytes());
+    out.push(0);
+    out.extend_from_slice(index_digest);
+    out.extend_from_slice(&serial.to_be_bytes());
+    out
+}
+
+/// A verified package delivered to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifiedPackage {
+    /// Package name.
+    pub name: String,
+    /// Version.
+    pub version: String,
+    /// Contents.
+    pub content: Vec<u8>,
+}
+
+/// A package repository with its signing key.
+#[derive(Debug)]
+pub struct Repository {
+    suite: String,
+    signer: MerkleSigner,
+    index: PackagesIndex,
+    contents: BTreeMap<String, Vec<u8>>,
+    release: Option<Release>,
+    next_serial: u64,
+}
+
+impl Repository {
+    /// Creates a repository named `suite` with a signing key from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; `Result` kept for future key-storage modes.
+    pub fn new(suite: &str, seed: &[u8]) -> crate::Result<Self> {
+        Ok(Repository {
+            suite: suite.to_string(),
+            signer: MerkleSigner::from_seed(seed, 7),
+            index: PackagesIndex::default(),
+            contents: BTreeMap::new(),
+            release: None,
+            next_serial: 1,
+        })
+    }
+
+    /// The repository's public verification key.
+    pub fn public_key(&self) -> MerklePublicKey {
+        self.signer.public()
+    }
+
+    /// Publishes (or updates) a package and re-signs the release.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signer exhaustion.
+    pub fn publish(&mut self, name: &str, version: &str, content: &[u8]) -> crate::Result<()> {
+        self.index.entries.insert(
+            name.to_string(),
+            PackageEntry {
+                name: name.to_string(),
+                version: version.to_string(),
+                digest: sha256(content),
+            },
+        );
+        self.contents.insert(name.to_string(), content.to_vec());
+        self.resign()
+    }
+
+    fn resign(&mut self) -> crate::Result<()> {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let index_digest = self.index.digest();
+        let signature = self
+            .signer
+            .sign(&release_bytes(&self.suite, &index_digest, serial))?;
+        self.release = Some(Release {
+            suite: self.suite.clone(),
+            index_digest,
+            serial,
+            signature,
+        });
+        Ok(())
+    }
+
+    /// The current signed release (None before first publish).
+    pub fn release(&self) -> Option<&Release> {
+        self.release.as_ref()
+    }
+
+    /// The packages index as served to clients.
+    pub fn index(&self) -> &PackagesIndex {
+        &self.index
+    }
+
+    /// Raw (unverified) package bytes as served to clients.
+    pub fn raw_content(&self, name: &str) -> Option<&[u8]> {
+        self.contents.get(name).map(Vec::as_slice)
+    }
+
+    /// Test/attack hook: tamper with served content without re-signing.
+    pub fn tamper_content(&mut self, name: &str, new_content: &[u8]) {
+        if let Some(c) = self.contents.get_mut(name) {
+            *c = new_content.to_vec();
+        }
+    }
+
+    /// Test/attack hook: tamper with the served index without re-signing.
+    pub fn tamper_index_version(&mut self, name: &str, new_version: &str) {
+        if let Some(e) = self.index.entries.get_mut(name) {
+            e.version = new_version.to_string();
+        }
+    }
+}
+
+/// A client that trusts one repository key.
+#[derive(Debug, Clone)]
+pub struct RepoClient {
+    trusted_key: MerklePublicKey,
+    last_serial: u64,
+}
+
+impl RepoClient {
+    /// Creates a client trusting `key`.
+    pub fn trusting(key: MerklePublicKey) -> Self {
+        RepoClient {
+            trusted_key: key,
+            last_serial: 0,
+        }
+    }
+
+    /// Verifies the whole chain and returns the package.
+    ///
+    /// # Errors
+    ///
+    /// * [`SupplyChainError::ReleaseSignatureInvalid`] — bad or missing
+    ///   release signature.
+    /// * [`SupplyChainError::IndexDigestMismatch`] — index does not match
+    ///   the signed release.
+    /// * [`SupplyChainError::PackageNotFound`] /
+    ///   [`SupplyChainError::PackageDigestMismatch`] — per-package failures.
+    pub fn verify_and_fetch(
+        &self,
+        repo: &Repository,
+        name: &str,
+    ) -> crate::Result<VerifiedPackage> {
+        let release = repo
+            .release()
+            .ok_or(SupplyChainError::ReleaseSignatureInvalid)?;
+        let msg = release_bytes(&release.suite, &release.index_digest, release.serial);
+        if !release.signature.verify(&msg, &self.trusted_key) {
+            return Err(SupplyChainError::ReleaseSignatureInvalid);
+        }
+        if repo.index().digest() != release.index_digest {
+            return Err(SupplyChainError::IndexDigestMismatch);
+        }
+        let entry = repo
+            .index()
+            .get(name)
+            .ok_or_else(|| SupplyChainError::PackageNotFound(name.to_string()))?;
+        let content = repo
+            .raw_content(name)
+            .ok_or_else(|| SupplyChainError::PackageNotFound(name.to_string()))?;
+        if sha256(content) != entry.digest {
+            return Err(SupplyChainError::PackageDigestMismatch {
+                package: name.to_string(),
+            });
+        }
+        Ok(VerifiedPackage {
+            name: entry.name.clone(),
+            version: entry.version.clone(),
+            content: content.to_vec(),
+        })
+    }
+
+    /// Like [`RepoClient::verify_and_fetch`] but also enforces release
+    /// freshness (serial must not decrease), blocking metadata replay.
+    ///
+    /// # Errors
+    ///
+    /// As `verify_and_fetch`, plus [`SupplyChainError::ReleaseSignatureInvalid`]
+    /// for stale serials.
+    pub fn verify_fresh_and_fetch(
+        &mut self,
+        repo: &Repository,
+        name: &str,
+    ) -> crate::Result<VerifiedPackage> {
+        let release = repo
+            .release()
+            .ok_or(SupplyChainError::ReleaseSignatureInvalid)?;
+        if release.serial < self.last_serial {
+            return Err(SupplyChainError::ReleaseSignatureInvalid);
+        }
+        let pkg = self.verify_and_fetch(repo, name)?;
+        self.last_serial = release.serial;
+        Ok(pkg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo() -> Repository {
+        let mut r = Repository::new("genio-main", b"repo-seed").unwrap();
+        r.publish("voltha-agent", "2.12.0", b"voltha binary")
+            .unwrap();
+        r.publish("genio-telemetryd", "1.3.1", b"telemetry daemon")
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn verified_fetch_roundtrip() {
+        let r = repo();
+        let client = RepoClient::trusting(r.public_key());
+        let pkg = client.verify_and_fetch(&r, "voltha-agent").unwrap();
+        assert_eq!(pkg.version, "2.12.0");
+        assert_eq!(pkg.content, b"voltha binary");
+    }
+
+    #[test]
+    fn tampered_content_rejected() {
+        let mut r = repo();
+        r.tamper_content("voltha-agent", b"voltha binary + implant");
+        let client = RepoClient::trusting(r.public_key());
+        assert_eq!(
+            client.verify_and_fetch(&r, "voltha-agent"),
+            Err(SupplyChainError::PackageDigestMismatch {
+                package: "voltha-agent".into()
+            })
+        );
+    }
+
+    #[test]
+    fn tampered_index_rejected() {
+        let mut r = repo();
+        r.tamper_index_version("voltha-agent", "9.9.9");
+        let client = RepoClient::trusting(r.public_key());
+        assert_eq!(
+            client.verify_and_fetch(&r, "voltha-agent"),
+            Err(SupplyChainError::IndexDigestMismatch)
+        );
+    }
+
+    #[test]
+    fn wrong_trust_key_rejected() {
+        let r = repo();
+        let other = Repository::new("other", b"other-seed").unwrap();
+        let client = RepoClient::trusting(other.public_key());
+        assert_eq!(
+            client.verify_and_fetch(&r, "voltha-agent"),
+            Err(SupplyChainError::ReleaseSignatureInvalid)
+        );
+    }
+
+    #[test]
+    fn missing_package_reported() {
+        let r = repo();
+        let client = RepoClient::trusting(r.public_key());
+        assert_eq!(
+            client.verify_and_fetch(&r, "nonexistent"),
+            Err(SupplyChainError::PackageNotFound("nonexistent".into()))
+        );
+    }
+
+    #[test]
+    fn updates_resign_release_with_new_serial() {
+        let mut r = repo();
+        let s1 = r.release().unwrap().serial;
+        r.publish("voltha-agent", "2.12.1", b"new voltha").unwrap();
+        let s2 = r.release().unwrap().serial;
+        assert!(s2 > s1);
+        let client = RepoClient::trusting(r.public_key());
+        assert_eq!(
+            client.verify_and_fetch(&r, "voltha-agent").unwrap().version,
+            "2.12.1"
+        );
+    }
+
+    #[test]
+    fn freshness_client_rejects_serial_regression() {
+        let mut r = repo();
+        let mut client = RepoClient::trusting(r.public_key());
+        r.publish("voltha-agent", "2.12.1", b"new voltha").unwrap();
+        client.verify_fresh_and_fetch(&r, "voltha-agent").unwrap();
+        // Attacker serves an older (but genuinely signed) snapshot.
+        let old = repo(); // fresh repo replays serial 2 < current 3
+        assert_eq!(
+            client.verify_fresh_and_fetch(&old, "voltha-agent"),
+            Err(SupplyChainError::ReleaseSignatureInvalid)
+        );
+    }
+
+    #[test]
+    fn empty_repo_has_no_release() {
+        let r = Repository::new("empty", b"seed").unwrap();
+        let client = RepoClient::trusting(r.public_key());
+        assert_eq!(
+            client.verify_and_fetch(&r, "x"),
+            Err(SupplyChainError::ReleaseSignatureInvalid)
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! CVE records and the queryable vulnerability database.
+
+use std::collections::BTreeMap;
+
+use crate::cvss::{SeverityRating, Vector};
+use crate::version::{Version, VersionRange};
+use crate::VulnError;
+
+/// One product/version-range pair affected by a CVE.
+#[derive(Debug, Clone)]
+pub struct Affected {
+    /// Canonical product name, e.g. `kubernetes-apiserver`.
+    pub product: String,
+    /// Vulnerable version range.
+    pub range: VersionRange,
+    /// Version that fixes the issue, if released.
+    pub fixed_in: Option<Version>,
+}
+
+/// A vulnerability record.
+#[derive(Debug, Clone)]
+pub struct CveRecord {
+    /// CVE identifier, e.g. `CVE-2024-1234`.
+    pub id: String,
+    /// Short description.
+    pub summary: String,
+    /// CVSS v3.1 base vector.
+    pub vector: Vector,
+    /// Publication day (simulation days since epoch).
+    pub published_day: u64,
+    /// Affected products.
+    pub affected: Vec<Affected>,
+    /// Known to be exploited in the wild (drives prioritization).
+    pub exploited: bool,
+}
+
+impl CveRecord {
+    /// Base score of the record's vector.
+    pub fn score(&self) -> f64 {
+        self.vector.base_score()
+    }
+
+    /// Qualitative severity.
+    pub fn severity(&self) -> SeverityRating {
+        self.vector.severity()
+    }
+
+    /// True if `product`@`version` is affected.
+    pub fn affects(&self, product: &str, version: &Version) -> bool {
+        self.affected
+            .iter()
+            .any(|a| a.product == product && a.range.contains(version))
+    }
+}
+
+/// An in-memory CVE database.
+#[derive(Debug, Clone, Default)]
+pub struct CveDatabase {
+    records: BTreeMap<String, CveRecord>,
+}
+
+impl CveDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces a record.
+    pub fn insert(&mut self, record: CveRecord) {
+        self.records.insert(record.id.clone(), record);
+    }
+
+    /// Looks up a record by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VulnError::UnknownCve`] when absent.
+    pub fn get(&self, id: &str) -> crate::Result<&CveRecord> {
+        self.records
+            .get(id)
+            .ok_or_else(|| VulnError::UnknownCve(id.to_string()))
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over all records in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &CveRecord> {
+        self.records.values()
+    }
+
+    /// All records affecting `product`@`version`.
+    pub fn matching(&self, product: &str, version: &Version) -> Vec<&CveRecord> {
+        self.records
+            .values()
+            .filter(|r| r.affects(product, version))
+            .collect()
+    }
+
+    /// Records published in `(after_day, up_to_day]` — the shape of a feed
+    /// poll.
+    pub fn published_between(&self, after_day: u64, up_to_day: u64) -> Vec<&CveRecord> {
+        self.records
+            .values()
+            .filter(|r| r.published_day > after_day && r.published_day <= up_to_day)
+            .collect()
+    }
+}
+
+/// A reference corpus of middleware and low-level CVEs shaped like the
+/// paper's stack (Kubernetes, Docker, Proxmox, ONOS, VOLTHA, kernel, ONL
+/// userspace). Scores use realistic vectors; days spread over one simulated
+/// year.
+pub fn reference_corpus() -> CveDatabase {
+    let mut db = CveDatabase::new();
+    let mut add = |id: &str,
+                   summary: &str,
+                   vector: &str,
+                   day: u64,
+                   product: &str,
+                   range: &str,
+                   fixed: Option<&str>,
+                   exploited: bool| {
+        db.insert(CveRecord {
+            id: id.to_string(),
+            summary: summary.to_string(),
+            vector: vector.parse().expect("valid vector"),
+            published_day: day,
+            affected: vec![Affected {
+                product: product.to_string(),
+                range: range.parse().expect("valid range"),
+                fixed_in: fixed.map(|f| f.parse().expect("valid version")),
+            }],
+            exploited,
+        });
+    };
+    add(
+        "CVE-2025-0101",
+        "kube-apiserver aggregated API privilege escalation",
+        "AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H",
+        12,
+        "kubernetes-apiserver",
+        "<1.28.6",
+        Some("1.28.6"),
+        true,
+    );
+    add(
+        "CVE-2025-0102",
+        "kubelet symlink traversal exposing host files",
+        "AV:N/AC:H/PR:L/UI:N/S:U/C:H/I:N/A:N",
+        40,
+        "kubelet",
+        ">=1.26.0 <1.28.4",
+        Some("1.28.4"),
+        false,
+    );
+    add(
+        "CVE-2025-0103",
+        "containerd image unpack escape",
+        "AV:N/AC:L/PR:N/UI:R/S:C/C:H/I:H/A:H",
+        75,
+        "containerd",
+        "<1.7.12",
+        Some("1.7.12"),
+        true,
+    );
+    add(
+        "CVE-2025-0104",
+        "docker engine API socket exposure",
+        "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+        101,
+        "docker-engine",
+        "<24.0.8",
+        Some("24.0.8"),
+        false,
+    );
+    add(
+        "CVE-2025-0105",
+        "proxmox web UI authentication bypass",
+        "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:L",
+        130,
+        "proxmox-ve",
+        "<8.1.4",
+        Some("8.1.4"),
+        false,
+    );
+    add(
+        "CVE-2025-0106",
+        "onos northbound API unauthenticated flow install",
+        "AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H",
+        160,
+        "onos",
+        "<2.7.1",
+        None,
+        false,
+    );
+    add(
+        "CVE-2025-0107",
+        "voltha adapter grpc DoS",
+        "AV:N/AC:L/PR:L/UI:N/S:U/C:N/I:N/A:H",
+        180,
+        "voltha",
+        "<2.12.0",
+        Some("2.12.0"),
+        false,
+    );
+    add(
+        "CVE-2025-0108",
+        "linux kernel netfilter use-after-free LPE",
+        "AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H",
+        205,
+        "linux-kernel",
+        ">=4.14 <5.10.210",
+        Some("5.10.210"),
+        true,
+    );
+    add(
+        "CVE-2025-0109",
+        "openssh-server pre-auth double free",
+        "AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",
+        230,
+        "openssh-server",
+        "<9.6",
+        Some("9.6"),
+        false,
+    );
+    add(
+        "CVE-2025-0110",
+        "etcd gRPC gateway information leak",
+        "AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N",
+        260,
+        "etcd",
+        "<3.5.12",
+        Some("3.5.12"),
+        false,
+    );
+    add(
+        "CVE-2025-0111",
+        "kube-proxy ipvs rule injection",
+        "AV:A/AC:H/PR:L/UI:N/S:U/C:L/I:H/A:L",
+        290,
+        "kube-proxy",
+        "<1.28.5",
+        Some("1.28.5"),
+        false,
+    );
+    add(
+        "CVE-2025-0112",
+        "busybox awk heap overflow in ONL userspace",
+        "AV:L/AC:L/PR:L/UI:R/S:U/C:H/I:L/A:L",
+        320,
+        "busybox",
+        "<1.36.0",
+        Some("1.36.0"),
+        false,
+    );
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_well_formed() {
+        let db = reference_corpus();
+        assert_eq!(db.len(), 12);
+        for r in db.iter() {
+            assert!(r.score() > 0.0, "{}", r.id);
+            assert!(!r.affected.is_empty());
+        }
+    }
+
+    #[test]
+    fn matching_respects_ranges() {
+        let db = reference_corpus();
+        let v: Version = "1.28.3".parse().unwrap();
+        let hits = db.matching("kubernetes-apiserver", &v);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, "CVE-2025-0101");
+        let fixed: Version = "1.28.6".parse().unwrap();
+        assert!(db.matching("kubernetes-apiserver", &fixed).is_empty());
+    }
+
+    #[test]
+    fn unknown_product_no_hits() {
+        let db = reference_corpus();
+        let v: Version = "1.0".parse().unwrap();
+        assert!(db.matching("left-pad", &v).is_empty());
+    }
+
+    #[test]
+    fn get_errors_on_unknown() {
+        let db = reference_corpus();
+        assert!(db.get("CVE-2025-0101").is_ok());
+        assert!(matches!(
+            db.get("CVE-1999-9999"),
+            Err(VulnError::UnknownCve(_))
+        ));
+    }
+
+    #[test]
+    fn published_between_window() {
+        let db = reference_corpus();
+        let window = db.published_between(100, 200);
+        let ids: Vec<&str> = window.iter().map(|r| r.id.as_str()).collect();
+        assert!(ids.contains(&"CVE-2025-0104"));
+        assert!(ids.contains(&"CVE-2025-0107"));
+        assert!(!ids.contains(&"CVE-2025-0101"));
+    }
+
+    #[test]
+    fn kernel_range_lower_bound() {
+        let db = reference_corpus();
+        let old: Version = "4.13".parse().unwrap();
+        assert!(
+            db.matching("linux-kernel", &old).is_empty(),
+            "below the affected floor"
+        );
+        let hit: Version = "4.19".parse().unwrap();
+        assert_eq!(db.matching("linux-kernel", &hit).len(), 1);
+    }
+}

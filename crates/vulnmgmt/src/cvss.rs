@@ -1,0 +1,444 @@
+//! CVSS v3.1 base scores (FIRST specification).
+//!
+//! The paper's vulnerability reports are "prioritized based on severity and
+//! exploitability" (M8); CVSS is the metric that ordering uses. This is a
+//! full implementation of the v3.1 base-score equations, validated against
+//! well-known scored vectors.
+
+use std::str::FromStr;
+
+use crate::VulnError;
+
+/// Attack Vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackVector {
+    /// Network.
+    Network,
+    /// Adjacent network.
+    Adjacent,
+    /// Local.
+    Local,
+    /// Physical.
+    Physical,
+}
+
+/// Attack Complexity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackComplexity {
+    /// Low.
+    Low,
+    /// High.
+    High,
+}
+
+/// Privileges Required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrivilegesRequired {
+    /// None.
+    None,
+    /// Low.
+    Low,
+    /// High.
+    High,
+}
+
+/// User Interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UserInteraction {
+    /// None.
+    None,
+    /// Required.
+    Required,
+}
+
+/// Scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// Unchanged.
+    Unchanged,
+    /// Changed.
+    Changed,
+}
+
+/// Impact level for confidentiality/integrity/availability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Impact {
+    /// High.
+    High,
+    /// Low.
+    Low,
+    /// None.
+    None,
+}
+
+/// A parsed CVSS v3.1 base vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Vector {
+    /// Attack vector (AV).
+    pub av: AttackVector,
+    /// Attack complexity (AC).
+    pub ac: AttackComplexity,
+    /// Privileges required (PR).
+    pub pr: PrivilegesRequired,
+    /// User interaction (UI).
+    pub ui: UserInteraction,
+    /// Scope (S).
+    pub s: Scope,
+    /// Confidentiality impact (C).
+    pub c: Impact,
+    /// Integrity impact (I).
+    pub i: Impact,
+    /// Availability impact (A).
+    pub a: Impact,
+}
+
+/// Qualitative severity rating per the v3.1 mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SeverityRating {
+    /// 0.0
+    None,
+    /// 0.1 – 3.9
+    Low,
+    /// 4.0 – 6.9
+    Medium,
+    /// 7.0 – 8.9
+    High,
+    /// 9.0 – 10.0
+    Critical,
+}
+
+impl Vector {
+    fn av_weight(self) -> f64 {
+        match self.av {
+            AttackVector::Network => 0.85,
+            AttackVector::Adjacent => 0.62,
+            AttackVector::Local => 0.55,
+            AttackVector::Physical => 0.2,
+        }
+    }
+
+    fn ac_weight(self) -> f64 {
+        match self.ac {
+            AttackComplexity::Low => 0.77,
+            AttackComplexity::High => 0.44,
+        }
+    }
+
+    fn pr_weight(self) -> f64 {
+        match (self.pr, self.s) {
+            (PrivilegesRequired::None, _) => 0.85,
+            (PrivilegesRequired::Low, Scope::Unchanged) => 0.62,
+            (PrivilegesRequired::Low, Scope::Changed) => 0.68,
+            (PrivilegesRequired::High, Scope::Unchanged) => 0.27,
+            (PrivilegesRequired::High, Scope::Changed) => 0.5,
+        }
+    }
+
+    fn ui_weight(self) -> f64 {
+        match self.ui {
+            UserInteraction::None => 0.85,
+            UserInteraction::Required => 0.62,
+        }
+    }
+
+    fn cia_weight(v: Impact) -> f64 {
+        match v {
+            Impact::High => 0.56,
+            Impact::Low => 0.22,
+            Impact::None => 0.0,
+        }
+    }
+
+    /// The exploitability sub-score.
+    pub fn exploitability(self) -> f64 {
+        8.22 * self.av_weight() * self.ac_weight() * self.pr_weight() * self.ui_weight()
+    }
+
+    /// The impact sub-score (may be negative for all-None impacts).
+    pub fn impact(self) -> f64 {
+        let iss = 1.0
+            - (1.0 - Self::cia_weight(self.c))
+                * (1.0 - Self::cia_weight(self.i))
+                * (1.0 - Self::cia_weight(self.a));
+        match self.s {
+            Scope::Unchanged => 6.42 * iss,
+            Scope::Changed => 7.52 * (iss - 0.029) - 3.25 * (iss - 0.02).powi(15),
+        }
+    }
+
+    /// The CVSS v3.1 base score, in `[0.0, 10.0]` with one decimal.
+    pub fn base_score(self) -> f64 {
+        let impact = self.impact();
+        if impact <= 0.0 {
+            return 0.0;
+        }
+        let combined = impact + self.exploitability();
+        let raw = match self.s {
+            Scope::Unchanged => combined.min(10.0),
+            Scope::Changed => (1.08 * combined).min(10.0),
+        };
+        roundup(raw)
+    }
+
+    /// The qualitative rating of the base score.
+    pub fn severity(self) -> SeverityRating {
+        let s = self.base_score();
+        if s == 0.0 {
+            SeverityRating::None
+        } else if s < 4.0 {
+            SeverityRating::Low
+        } else if s < 7.0 {
+            SeverityRating::Medium
+        } else if s < 9.0 {
+            SeverityRating::High
+        } else {
+            SeverityRating::Critical
+        }
+    }
+}
+
+/// CVSS v3.1 Roundup: smallest number with one decimal place >= input
+/// (specified over integer arithmetic to avoid float artifacts).
+fn roundup(x: f64) -> f64 {
+    let int_input = (x * 100_000.0).round() as i64;
+    if int_input % 10_000 == 0 {
+        int_input as f64 / 100_000.0
+    } else {
+        ((int_input / 10_000) + 1) as f64 / 10.0
+    }
+}
+
+impl FromStr for Vector {
+    type Err = VulnError;
+
+    /// Parses a vector like `AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H`, with or
+    /// without the `CVSS:3.1/` prefix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s
+            .strip_prefix("CVSS:3.1/")
+            .or_else(|| s.strip_prefix("CVSS:3.0/"))
+            .unwrap_or(s);
+        let mut av = None;
+        let mut ac = None;
+        let mut pr = None;
+        let mut ui = None;
+        let mut scope = None;
+        let mut c = None;
+        let mut i = None;
+        let mut a = None;
+        for part in body.split('/') {
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| VulnError::BadCvssVector {
+                    reason: format!("metric {part} lacks ':'"),
+                })?;
+            let bad = || VulnError::BadCvssVector {
+                reason: format!("bad value {value} for {key}"),
+            };
+            match key {
+                "AV" => {
+                    av = Some(match value {
+                        "N" => AttackVector::Network,
+                        "A" => AttackVector::Adjacent,
+                        "L" => AttackVector::Local,
+                        "P" => AttackVector::Physical,
+                        _ => return Err(bad()),
+                    })
+                }
+                "AC" => {
+                    ac = Some(match value {
+                        "L" => AttackComplexity::Low,
+                        "H" => AttackComplexity::High,
+                        _ => return Err(bad()),
+                    })
+                }
+                "PR" => {
+                    pr = Some(match value {
+                        "N" => PrivilegesRequired::None,
+                        "L" => PrivilegesRequired::Low,
+                        "H" => PrivilegesRequired::High,
+                        _ => return Err(bad()),
+                    })
+                }
+                "UI" => {
+                    ui = Some(match value {
+                        "N" => UserInteraction::None,
+                        "R" => UserInteraction::Required,
+                        _ => return Err(bad()),
+                    })
+                }
+                "S" => {
+                    scope = Some(match value {
+                        "U" => Scope::Unchanged,
+                        "C" => Scope::Changed,
+                        _ => return Err(bad()),
+                    })
+                }
+                "C" | "I" | "A" => {
+                    let v = match value {
+                        "H" => Impact::High,
+                        "L" => Impact::Low,
+                        "N" => Impact::None,
+                        _ => return Err(bad()),
+                    };
+                    match key {
+                        "C" => c = Some(v),
+                        "I" => i = Some(v),
+                        _ => a = Some(v),
+                    }
+                }
+                _ => {
+                    return Err(VulnError::BadCvssVector {
+                        reason: format!("unknown metric {key}"),
+                    })
+                }
+            }
+        }
+        let missing = |name: &str| VulnError::BadCvssVector {
+            reason: format!("missing metric {name}"),
+        };
+        Ok(Vector {
+            av: av.ok_or_else(|| missing("AV"))?,
+            ac: ac.ok_or_else(|| missing("AC"))?,
+            pr: pr.ok_or_else(|| missing("PR"))?,
+            ui: ui.ok_or_else(|| missing("UI"))?,
+            s: scope.ok_or_else(|| missing("S"))?,
+            c: c.ok_or_else(|| missing("C"))?,
+            i: i.ok_or_else(|| missing("I"))?,
+            a: a.ok_or_else(|| missing("A"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(v: &str) -> f64 {
+        v.parse::<Vector>().unwrap().base_score()
+    }
+
+    #[test]
+    fn canonical_critical_rce() {
+        // e.g. Log4Shell-class: network, no privs, full impact.
+        assert_eq!(score("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"), 9.8);
+    }
+
+    #[test]
+    fn scope_changed_maximum() {
+        assert_eq!(score("AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H"), 10.0);
+    }
+
+    #[test]
+    fn local_privilege_escalation() {
+        assert_eq!(score("AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H"), 7.8);
+    }
+
+    #[test]
+    fn classic_xss() {
+        assert_eq!(score("AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N"), 6.1);
+    }
+
+    #[test]
+    fn no_impact_is_zero() {
+        assert_eq!(score("AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N"), 0.0);
+    }
+
+    #[test]
+    fn physical_low_impact() {
+        assert_eq!(score("AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N"), 1.6);
+    }
+
+    #[test]
+    fn prefix_accepted() {
+        assert_eq!(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"), 9.8);
+    }
+
+    #[test]
+    fn severity_bands() {
+        let v: Vector = "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        assert_eq!(v.severity(), SeverityRating::Critical);
+        let v: Vector = "AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        assert_eq!(v.severity(), SeverityRating::High);
+        let v: Vector = "AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N".parse().unwrap();
+        assert_eq!(v.severity(), SeverityRating::Medium);
+        let v: Vector = "AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N".parse().unwrap();
+        assert_eq!(v.severity(), SeverityRating::Low);
+        let v: Vector = "AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N".parse().unwrap();
+        assert_eq!(v.severity(), SeverityRating::None);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            "".parse::<Vector>(),
+            Err(VulnError::BadCvssVector { .. })
+        ));
+        assert!(matches!(
+            "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H".parse::<Vector>(),
+            Err(VulnError::BadCvssVector { .. })
+        ));
+        assert!(matches!(
+            "AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse::<Vector>(),
+            Err(VulnError::BadCvssVector { .. })
+        ));
+        assert!(matches!(
+            "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/XX:Y".parse::<Vector>(),
+            Err(VulnError::BadCvssVector { .. })
+        ));
+    }
+
+    #[test]
+    fn roundup_spec_behaviour() {
+        assert_eq!(roundup(4.02), 4.1);
+        assert_eq!(roundup(4.0), 4.0);
+        // The spec's integer arithmetic deliberately treats sub-1e-5 float
+        // noise as exact, so 4.000001 rounds to 4.0 (not up to 4.1).
+        assert_eq!(roundup(4.000001), 4.0);
+        assert_eq!(roundup(4.0001), 4.1);
+        assert_eq!(roundup(0.0), 0.0);
+    }
+
+    #[test]
+    fn scores_always_in_range_one_decimal() {
+        // Exhaustive sweep of the metric space (4*2*3*2*2*3*3*3 = 1296).
+        use AttackComplexity as AC;
+        use AttackVector as AV;
+        use Impact as IM;
+        use PrivilegesRequired as PR;
+        use UserInteraction as UI;
+        for av in [AV::Network, AV::Adjacent, AV::Local, AV::Physical] {
+            for ac in [AC::Low, AC::High] {
+                for pr in [PR::None, PR::Low, PR::High] {
+                    for ui in [UI::None, UI::Required] {
+                        for s in [Scope::Unchanged, Scope::Changed] {
+                            for c in [IM::High, IM::Low, IM::None] {
+                                for i in [IM::High, IM::Low, IM::None] {
+                                    for a in [IM::High, IM::Low, IM::None] {
+                                        let v = Vector {
+                                            av,
+                                            ac,
+                                            pr,
+                                            ui,
+                                            s,
+                                            c,
+                                            i,
+                                            a,
+                                        };
+                                        let score = v.base_score();
+                                        assert!((0.0..=10.0).contains(&score));
+                                        let tenths = score * 10.0;
+                                        assert!(
+                                            (tenths - tenths.round()).abs() < 1e-9,
+                                            "one decimal: {score}"
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+use std::fmt;
+
+/// Error type for vulnerability-management operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VulnError {
+    /// A CVSS vector string could not be parsed.
+    BadCvssVector {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A version string could not be parsed.
+    BadVersion(String),
+    /// A version range expression could not be parsed.
+    BadRange(String),
+    /// Referenced CVE id not present in the database.
+    UnknownCve(String),
+}
+
+impl fmt::Display for VulnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VulnError::BadCvssVector { reason } => write!(f, "bad cvss vector: {reason}"),
+            VulnError::BadVersion(s) => write!(f, "bad version: {s}"),
+            VulnError::BadRange(s) => write!(f, "bad version range: {s}"),
+            VulnError::UnknownCve(id) => write!(f, "unknown cve {id}"),
+        }
+    }
+}
+
+impl std::error::Error for VulnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            VulnError::BadVersion("x.y".into()).to_string(),
+            "bad version: x.y"
+        );
+    }
+}

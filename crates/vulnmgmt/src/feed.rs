@@ -1,0 +1,246 @@
+//! Vulnerability publication channels and time-to-awareness accounting.
+//!
+//! **Lesson 6** of the paper: middleware vulnerability tracking is
+//! "reactive and resource-intensive, since tracking vulnerabilities
+//! involves fragmented sources". The paper inventories exactly this
+//! fragmentation — Kubernetes has a structured CVE feed, Docker announces
+//! on a blog, Proxmox only in its web UI, ONOS's page is stale — and falls
+//! back to the NVD API, which "still requires manual reviews".
+//!
+//! Each [`Feed`] models one channel's *structure* (automatable or not),
+//! *publication lag* (how long after disclosure the channel posts) and the
+//! *review overhead* unstructured channels impose. The result is a
+//! per-CVE awareness day, the input to patch scheduling.
+
+use crate::cve::CveRecord;
+
+/// How a channel publishes advisories, which determines automation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeedStructure {
+    /// Machine-readable feed with stable schema (Kubernetes official CVE
+    /// feed): pollable daily, zero parse overhead.
+    StructuredApi,
+    /// Human-oriented web page (Proxmox UI): needs an operator to look.
+    WebPage,
+    /// Blog-format announcements (Docker): unstructured text; extraction
+    /// is unreliable and reviewed manually.
+    Blog,
+    /// A page that exists but is no longer updated (ONOS).
+    Stale,
+    /// The NVD fallback API: complete but generic; entries still require
+    /// manual triage against deployed versions.
+    NvdFallback,
+}
+
+/// One publication channel covering a set of products.
+#[derive(Debug, Clone)]
+pub struct Feed {
+    /// Channel name, e.g. `kubernetes-official-cve-feed`.
+    pub name: String,
+    /// Products this channel covers; empty means every product (NVD).
+    pub products: Vec<String>,
+    /// Channel structure.
+    pub structure: FeedStructure,
+    /// Days between disclosure and the channel carrying the advisory.
+    pub publish_lag_days: u64,
+    /// How often the platform owner checks the channel, in days.
+    pub poll_interval_days: u64,
+}
+
+impl Feed {
+    /// Extra days of human review the channel's structure imposes before an
+    /// advisory becomes actionable.
+    pub fn review_overhead_days(&self) -> u64 {
+        match self.structure {
+            FeedStructure::StructuredApi => 0,
+            FeedStructure::WebPage => 2,
+            FeedStructure::Blog => 4,
+            FeedStructure::Stale => 0, // never fires anyway
+            FeedStructure::NvdFallback => 3,
+        }
+    }
+
+    /// True if this channel covers `product`.
+    pub fn covers(&self, product: &str) -> bool {
+        self.products.is_empty() || self.products.iter().any(|p| p == product)
+    }
+
+    /// The day the platform owner becomes aware of `cve` through this
+    /// channel, or `None` if the channel never carries it.
+    pub fn awareness_day(&self, cve: &CveRecord) -> Option<u64> {
+        if self.structure == FeedStructure::Stale {
+            return None;
+        }
+        if !cve.affected.iter().any(|a| self.covers(&a.product)) {
+            return None;
+        }
+        let posted = cve.published_day + self.publish_lag_days;
+        // Next poll at or after the posting day.
+        let interval = self.poll_interval_days.max(1);
+        let polled = posted.div_ceil(interval) * interval;
+        Some(polled + self.review_overhead_days())
+    }
+}
+
+/// The GENIO tracking pipeline: the paper's channel inventory plus the NVD
+/// fallback.
+#[derive(Debug, Clone)]
+pub struct TrackingPipeline {
+    /// Product-specific channels.
+    pub feeds: Vec<Feed>,
+    /// The NVD fallback (covers everything).
+    pub nvd: Feed,
+}
+
+impl TrackingPipeline {
+    /// The pipeline as the paper describes it.
+    pub fn genio_default() -> Self {
+        TrackingPipeline {
+            feeds: vec![
+                Feed {
+                    name: "kubernetes-official-cve-feed".into(),
+                    products: vec![
+                        "kubernetes-apiserver".into(),
+                        "kubelet".into(),
+                        "kube-proxy".into(),
+                        "etcd".into(),
+                    ],
+                    structure: FeedStructure::StructuredApi,
+                    publish_lag_days: 0,
+                    poll_interval_days: 1,
+                },
+                Feed {
+                    name: "docker-blog".into(),
+                    products: vec!["docker-engine".into(), "containerd".into()],
+                    structure: FeedStructure::Blog,
+                    publish_lag_days: 3,
+                    poll_interval_days: 7,
+                },
+                Feed {
+                    name: "proxmox-web-ui".into(),
+                    products: vec!["proxmox-ve".into()],
+                    structure: FeedStructure::WebPage,
+                    publish_lag_days: 1,
+                    poll_interval_days: 14,
+                },
+                Feed {
+                    name: "onos-security-page".into(),
+                    products: vec!["onos".into()],
+                    structure: FeedStructure::Stale,
+                    publish_lag_days: 0,
+                    poll_interval_days: 30,
+                },
+            ],
+            nvd: Feed {
+                name: "nvd-api".into(),
+                products: Vec::new(),
+                structure: FeedStructure::NvdFallback,
+                publish_lag_days: 2,
+                poll_interval_days: 7,
+            },
+        }
+    }
+
+    /// Awareness day for `cve`: the earliest channel that carries it, with
+    /// the NVD as backstop. Also returns the channel name that won.
+    pub fn awareness(&self, cve: &CveRecord) -> (u64, String) {
+        let mut best: Option<(u64, &str)> = None;
+        for feed in &self.feeds {
+            if let Some(day) = feed.awareness_day(cve) {
+                if best.map(|(d, _)| day < d).unwrap_or(true) {
+                    best = Some((day, &feed.name));
+                }
+            }
+        }
+        if let Some(day) = self.nvd.awareness_day(cve) {
+            if best.map(|(d, _)| day < d).unwrap_or(true) {
+                best = Some((day, &self.nvd.name));
+            }
+        }
+        let (day, name) = best.expect("nvd covers everything");
+        (day, name.to_string())
+    }
+
+    /// Awareness delay (days after publication) for `cve`.
+    pub fn awareness_delay(&self, cve: &CveRecord) -> u64 {
+        self.awareness(cve).0 - cve.published_day
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cve::reference_corpus;
+
+    fn pipeline() -> TrackingPipeline {
+        TrackingPipeline::genio_default()
+    }
+
+    fn cve(id: &str) -> CveRecord {
+        reference_corpus().get(id).unwrap().clone()
+    }
+
+    #[test]
+    fn structured_feed_is_fastest() {
+        let p = pipeline();
+        let k8s = cve("CVE-2025-0101"); // kubernetes-apiserver
+        let docker = cve("CVE-2025-0104"); // docker-engine via blog
+        assert!(p.awareness_delay(&k8s) < p.awareness_delay(&docker));
+        let (_, channel) = p.awareness(&k8s);
+        assert_eq!(channel, "kubernetes-official-cve-feed");
+    }
+
+    #[test]
+    fn stale_feed_falls_back_to_nvd() {
+        let p = pipeline();
+        let onos = cve("CVE-2025-0106");
+        let (_, channel) = p.awareness(&onos);
+        assert_eq!(channel, "nvd-api");
+    }
+
+    #[test]
+    fn blog_slower_than_structured_faster_than_unknown() {
+        let p = pipeline();
+        let docker = cve("CVE-2025-0104");
+        let (day, channel) = p.awareness(&docker);
+        // Blog may or may not beat NVD depending on poll phase, but
+        // awareness always happens.
+        assert!(day >= docker.published_day);
+        assert!(channel == "docker-blog" || channel == "nvd-api");
+    }
+
+    #[test]
+    fn structured_delay_is_at_most_review_plus_poll() {
+        let p = pipeline();
+        let k8s = cve("CVE-2025-0101");
+        assert!(p.awareness_delay(&k8s) <= 1);
+    }
+
+    #[test]
+    fn nvd_covers_products_without_feeds() {
+        let p = pipeline();
+        let kernel = cve("CVE-2025-0108"); // linux-kernel: no dedicated feed
+        let (_, channel) = p.awareness(&kernel);
+        assert_eq!(channel, "nvd-api");
+        // NVD delay = publish lag (2) + poll alignment + review (3).
+        let delay = p.awareness_delay(&kernel);
+        assert!((5..=12).contains(&delay), "delay {delay}");
+    }
+
+    #[test]
+    fn coverage_logic() {
+        let p = pipeline();
+        assert!(p.feeds[0].covers("kubelet"));
+        assert!(!p.feeds[0].covers("docker-engine"));
+        assert!(p.nvd.covers("anything-at-all"));
+    }
+
+    #[test]
+    fn every_corpus_cve_reaches_awareness() {
+        let p = pipeline();
+        for record in reference_corpus().iter() {
+            let delay = p.awareness_delay(record);
+            assert!(delay <= 30, "{} delayed {delay} days", record.id);
+        }
+    }
+}

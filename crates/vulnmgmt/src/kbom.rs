@@ -1,0 +1,228 @@
+//! Kubernetes Bill of Materials (mitigation **M12**).
+//!
+//! The paper: "To enhance precision in Kubernetes vulnerability tracking,
+//! GENIO integrates the Kubernetes Bill of Materials (KBOM), which catalogs
+//! control plane services, node components, and add-ons with their exact
+//! versions and images, mapping known vulnerabilities in installed
+//! components." Without exact versions, a tracker can only match by
+//! product *name*, flagging every advisory for a component regardless of
+//! whether the deployed build is affected — the noise this module
+//! quantifies as precision/recall against ground truth.
+
+use std::collections::BTreeSet;
+
+use crate::cve::CveDatabase;
+use crate::version::Version;
+
+/// Role of a component in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentRole {
+    /// Control-plane service (apiserver, etcd, scheduler).
+    ControlPlane,
+    /// Per-node component (kubelet, kube-proxy, container runtime).
+    Node,
+    /// Add-on (CNI, ingress, metrics).
+    Addon,
+}
+
+/// One catalogued component.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Canonical product name matching the CVE database.
+    pub name: String,
+    /// Exact deployed version.
+    pub version: Version,
+    /// Container image reference.
+    pub image: String,
+    /// Role in the cluster.
+    pub role: ComponentRole,
+}
+
+/// A Kubernetes Bill of Materials.
+#[derive(Debug, Clone, Default)]
+pub struct Kbom {
+    components: Vec<Component>,
+}
+
+impl Kbom {
+    /// Creates an empty KBOM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unparsable version strings (fixture data).
+    pub fn with(mut self, name: &str, version: &str, image: &str, role: ComponentRole) -> Self {
+        self.components.push(Component {
+            name: name.to_string(),
+            version: version.parse().expect("valid version"),
+            image: image.to_string(),
+            role,
+        });
+        self
+    }
+
+    /// The catalogued components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// The GENIO edge cluster KBOM used by the experiments.
+    pub fn genio_edge_cluster() -> Self {
+        Self::new()
+            .with(
+                "kubernetes-apiserver",
+                "1.28.3",
+                "registry.k8s.io/kube-apiserver:v1.28.3",
+                ComponentRole::ControlPlane,
+            )
+            .with(
+                "etcd",
+                "3.5.12",
+                "registry.k8s.io/etcd:3.5.12-0",
+                ComponentRole::ControlPlane,
+            )
+            .with("kubelet", "1.28.3", "(host binary)", ComponentRole::Node)
+            .with(
+                "kube-proxy",
+                "1.28.5",
+                "registry.k8s.io/kube-proxy:v1.28.5",
+                ComponentRole::Node,
+            )
+            .with("containerd", "1.7.12", "(host binary)", ComponentRole::Node)
+            .with(
+                "docker-engine",
+                "24.0.5",
+                "(host binary)",
+                ComponentRole::Node,
+            )
+    }
+
+    /// Exact matching: CVEs whose affected range contains the deployed
+    /// version. Returns `(component, cve_id)` pairs.
+    pub fn match_exact(&self, db: &CveDatabase) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for c in &self.components {
+            for cve in db.matching(&c.name, &c.version) {
+                out.push((c.name.clone(), cve.id.clone()));
+            }
+        }
+        out
+    }
+
+    /// Name-only matching: what a tracker without deployed-version
+    /// knowledge reports — every CVE mentioning the component name.
+    pub fn match_name_only(&self, db: &CveDatabase) -> Vec<(String, String)> {
+        let names: BTreeSet<&str> = self.components.iter().map(|c| c.name.as_str()).collect();
+        let mut out = Vec::new();
+        for cve in db.iter() {
+            for affected in &cve.affected {
+                if names.contains(affected.product.as_str()) {
+                    out.push((affected.product.clone(), cve.id.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Precision/recall of a candidate match set against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// Fraction of reported pairs that are true.
+    pub precision: f64,
+    /// Fraction of true pairs that were reported.
+    pub recall: f64,
+}
+
+/// Computes precision/recall of `candidate` against `truth`
+/// (`(component, cve)` pairs).
+pub fn precision_recall(
+    candidate: &[(String, String)],
+    truth: &[(String, String)],
+) -> PrecisionRecall {
+    let truth_set: BTreeSet<&(String, String)> = truth.iter().collect();
+    let cand_set: BTreeSet<&(String, String)> = candidate.iter().collect();
+    let tp = cand_set.intersection(&truth_set).count();
+    let precision = if cand_set.is_empty() {
+        1.0
+    } else {
+        tp as f64 / cand_set.len() as f64
+    };
+    let recall = if truth_set.is_empty() {
+        1.0
+    } else {
+        tp as f64 / truth_set.len() as f64
+    };
+    PrecisionRecall { precision, recall }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cve::reference_corpus;
+
+    #[test]
+    fn exact_matching_is_ground_truth_precise() {
+        let db = reference_corpus();
+        let kbom = Kbom::genio_edge_cluster();
+        let exact = kbom.match_exact(&db);
+        let pr = precision_recall(&exact, &exact);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+    }
+
+    #[test]
+    fn name_only_matching_overreports() {
+        // Lesson 6 quantified: without exact versions the tracker flags
+        // patched components too (etcd 3.5.12 and containerd 1.7.12 are
+        // fixed versions but share names with advisories).
+        let db = reference_corpus();
+        let kbom = Kbom::genio_edge_cluster();
+        let truth = kbom.match_exact(&db);
+        let naive = kbom.match_name_only(&db);
+        assert!(naive.len() > truth.len());
+        let pr = precision_recall(&naive, &truth);
+        assert!(pr.precision < 1.0, "precision {}", pr.precision);
+        assert_eq!(pr.recall, 1.0, "name matching never misses by name");
+    }
+
+    #[test]
+    fn kbom_catches_vulnerable_components() {
+        let db = reference_corpus();
+        let kbom = Kbom::genio_edge_cluster();
+        let exact = kbom.match_exact(&db);
+        let ids: Vec<&str> = exact.iter().map(|(_, id)| id.as_str()).collect();
+        // apiserver 1.28.3 < 1.28.6 → affected; kubelet 1.28.3 in range.
+        assert!(ids.contains(&"CVE-2025-0101"));
+        assert!(ids.contains(&"CVE-2025-0102"));
+        // etcd 3.5.12 is the fixed version → not flagged.
+        assert!(!exact.iter().any(|(c, _)| c == "etcd"));
+    }
+
+    #[test]
+    fn empty_kbom_edge_cases() {
+        let db = reference_corpus();
+        let kbom = Kbom::new();
+        assert!(kbom.match_exact(&db).is_empty());
+        assert!(kbom.match_name_only(&db).is_empty());
+        let pr = precision_recall(&[], &[]);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+    }
+
+    #[test]
+    fn components_record_roles_and_images() {
+        let kbom = Kbom::genio_edge_cluster();
+        let apiserver = kbom
+            .components()
+            .iter()
+            .find(|c| c.name == "kubernetes-apiserver")
+            .unwrap();
+        assert_eq!(apiserver.role, ComponentRole::ControlPlane);
+        assert!(apiserver.image.contains("kube-apiserver"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # genio-vulnmgmt
+//!
+//! Vulnerability management substrate: mitigations **M8** (automated
+//! scanning of low-level software) and **M12** (middleware scanning and
+//! patching), and the machinery behind **Lesson 4** (scanner maturity and
+//! tuning on a custom stack) and **Lesson 6** (fragmented, reactive
+//! middleware vulnerability tracking).
+//!
+//! * [`cvss`] — CVSS v3.1 base-score computation from vector strings, the
+//!   prioritization metric the paper's reports sort by.
+//! * [`version`] — dotted version parsing and range matching.
+//! * [`cve`] — CVE records and the queryable database.
+//! * [`feed`] — publication-channel models of differing structure and
+//!   latency: the Kubernetes official CVE feed (structured API), Proxmox
+//!   (web UI only), Docker (blog posts), ONOS (stale), and the NVD
+//!   fallback; plus the time-to-awareness accounting Lesson 6 hinges on.
+//! * [`scanner`] — package-inventory scanning with the vendor-prefix alias
+//!   problem that makes default scans miss components on ONL (Lesson 4).
+//! * [`kbom`] — the Kubernetes Bill of Materials: exact-version component
+//!   catalogues and the precision/recall gain over name-only matching.
+//! * [`patching`] — severity-driven patch scheduling and attack-window
+//!   computation.
+//!
+//! # Example
+//!
+//! ```
+//! use genio_vulnmgmt::cvss::Vector;
+//!
+//! # fn main() -> Result<(), genio_vulnmgmt::VulnError> {
+//! let v: Vector = "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse()?;
+//! assert_eq!(v.base_score(), 9.8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cve;
+pub mod cvss;
+pub mod feed;
+pub mod kbom;
+pub mod patching;
+pub mod scanner;
+pub mod version;
+
+mod error;
+
+pub use error::VulnError;
+
+/// Convenience alias for fallible vulnerability-management operations.
+pub type Result<T> = std::result::Result<T, VulnError>;

@@ -1,0 +1,238 @@
+//! Patch scheduling and attack-window accounting.
+//!
+//! Lesson 6 closes: "The owner of the platform must cross-reference
+//! security advisories with deployed versions, assess exposure, and
+//! schedule patches — delays that extend the attack window in production
+//! environments." The attack window here is precisely
+//! `patch day − publication day`, decomposed into awareness delay (feed
+//! fragmentation), triage (severity SLA) and deployment (maintenance
+//! windows).
+
+use crate::cve::CveRecord;
+use crate::cvss::SeverityRating;
+use crate::feed::TrackingPipeline;
+
+/// Patch-management policy.
+#[derive(Debug, Clone, Copy)]
+pub struct PatchPolicy {
+    /// Days allowed from awareness to patch-ready, for critical findings.
+    pub sla_critical_days: u64,
+    /// SLA for high severity.
+    pub sla_high_days: u64,
+    /// SLA for medium severity.
+    pub sla_medium_days: u64,
+    /// SLA for low severity.
+    pub sla_low_days: u64,
+    /// Maintenance windows recur every N days; deployment waits for one
+    /// (OLTs serve live subscriber traffic and cannot reboot arbitrarily).
+    pub maintenance_interval_days: u64,
+    /// Exploited-in-the-wild findings bypass the maintenance window
+    /// (emergency change).
+    pub emergency_for_exploited: bool,
+}
+
+impl Default for PatchPolicy {
+    fn default() -> Self {
+        PatchPolicy {
+            sla_critical_days: 2,
+            sla_high_days: 7,
+            sla_medium_days: 30,
+            sla_low_days: 90,
+            maintenance_interval_days: 14,
+            emergency_for_exploited: true,
+        }
+    }
+}
+
+impl PatchPolicy {
+    /// SLA days for a severity band.
+    pub fn sla_days(&self, severity: SeverityRating) -> u64 {
+        match severity {
+            SeverityRating::Critical => self.sla_critical_days,
+            SeverityRating::High => self.sla_high_days,
+            SeverityRating::Medium => self.sla_medium_days,
+            SeverityRating::Low | SeverityRating::None => self.sla_low_days,
+        }
+    }
+}
+
+/// Timeline of one CVE through the pipeline.
+#[derive(Debug, Clone)]
+pub struct PatchTimeline {
+    /// CVE id.
+    pub cve_id: String,
+    /// Publication day.
+    pub published_day: u64,
+    /// Day the platform owner learned about it, and through which channel.
+    pub awareness_day: u64,
+    /// Winning channel name.
+    pub channel: String,
+    /// Day the fix was deployed.
+    pub patched_day: u64,
+}
+
+impl PatchTimeline {
+    /// Total attack window in days.
+    pub fn attack_window(&self) -> u64 {
+        self.patched_day - self.published_day
+    }
+
+    /// Days lost to feed fragmentation alone.
+    pub fn awareness_delay(&self) -> u64 {
+        self.awareness_day - self.published_day
+    }
+}
+
+/// Schedules one CVE under `policy`, given the tracking `pipeline`.
+pub fn schedule(
+    cve: &CveRecord,
+    pipeline: &TrackingPipeline,
+    policy: &PatchPolicy,
+) -> PatchTimeline {
+    let (awareness_day, channel) = pipeline.awareness(cve);
+    let ready_day = awareness_day + policy.sla_days(cve.severity());
+    let patched_day = if cve.exploited && policy.emergency_for_exploited {
+        ready_day
+    } else {
+        // Wait for the next maintenance window at or after readiness.
+        let interval = policy.maintenance_interval_days.max(1);
+        ready_day.div_ceil(interval) * interval
+    };
+    PatchTimeline {
+        cve_id: cve.id.clone(),
+        published_day: cve.published_day,
+        awareness_day,
+        channel,
+        patched_day,
+    }
+}
+
+/// Aggregate attack-window statistics over a set of timelines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Mean attack window in days.
+    pub mean: f64,
+    /// Maximum attack window in days.
+    pub max: u64,
+    /// Mean awareness delay in days.
+    pub mean_awareness_delay: f64,
+}
+
+/// Computes aggregate statistics; `None` for an empty set.
+pub fn window_stats(timelines: &[PatchTimeline]) -> Option<WindowStats> {
+    if timelines.is_empty() {
+        return None;
+    }
+    let n = timelines.len() as f64;
+    Some(WindowStats {
+        mean: timelines
+            .iter()
+            .map(|t| t.attack_window() as f64)
+            .sum::<f64>()
+            / n,
+        max: timelines
+            .iter()
+            .map(|t| t.attack_window())
+            .max()
+            .expect("non-empty"),
+        mean_awareness_delay: timelines
+            .iter()
+            .map(|t| t.awareness_delay() as f64)
+            .sum::<f64>()
+            / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cve::reference_corpus;
+    use crate::feed::TrackingPipeline;
+
+    fn setup() -> (TrackingPipeline, PatchPolicy) {
+        (TrackingPipeline::genio_default(), PatchPolicy::default())
+    }
+
+    #[test]
+    fn exploited_critical_bypasses_maintenance_window() {
+        let (pipeline, policy) = setup();
+        let db = reference_corpus();
+        let cve = db.get("CVE-2025-0101").unwrap(); // exploited, High (8.8)
+        let t = schedule(cve, &pipeline, &policy);
+        assert_eq!(t.patched_day, t.awareness_day + policy.sla_high_days);
+    }
+
+    #[test]
+    fn unexploited_waits_for_maintenance_window() {
+        let (pipeline, policy) = setup();
+        let db = reference_corpus();
+        let cve = db.get("CVE-2025-0105").unwrap(); // proxmox, not exploited
+        let t = schedule(cve, &pipeline, &policy);
+        assert_eq!(t.patched_day % policy.maintenance_interval_days, 0);
+        assert!(t.patched_day >= t.awareness_day + policy.sla_days(cve.severity()));
+    }
+
+    #[test]
+    fn attack_window_decomposes() {
+        let (pipeline, policy) = setup();
+        let db = reference_corpus();
+        for cve in db.iter() {
+            let t = schedule(cve, &pipeline, &policy);
+            assert!(t.awareness_day >= t.published_day);
+            assert!(t.patched_day >= t.awareness_day);
+            assert_eq!(
+                t.attack_window(),
+                t.awareness_delay() + (t.patched_day - t.awareness_day)
+            );
+        }
+    }
+
+    #[test]
+    fn structured_feed_products_have_shorter_windows() {
+        let (pipeline, policy) = setup();
+        let db = reference_corpus();
+        let k8s: Vec<PatchTimeline> = db
+            .iter()
+            .filter(|c| c.affected.iter().any(|a| a.product.starts_with("kube")))
+            .map(|c| schedule(c, &pipeline, &policy))
+            .collect();
+        let stale: Vec<PatchTimeline> = db
+            .iter()
+            .filter(|c| c.affected.iter().any(|a| a.product == "onos"))
+            .map(|c| schedule(c, &pipeline, &policy))
+            .collect();
+        let k8s_stats = window_stats(&k8s).unwrap();
+        let stale_stats = window_stats(&stale).unwrap();
+        assert!(
+            k8s_stats.mean_awareness_delay < stale_stats.mean_awareness_delay,
+            "k8s {} vs onos {}",
+            k8s_stats.mean_awareness_delay,
+            stale_stats.mean_awareness_delay
+        );
+    }
+
+    #[test]
+    fn severity_sla_ordering() {
+        let policy = PatchPolicy::default();
+        assert!(policy.sla_days(SeverityRating::Critical) < policy.sla_days(SeverityRating::High));
+        assert!(policy.sla_days(SeverityRating::High) < policy.sla_days(SeverityRating::Medium));
+        assert!(policy.sla_days(SeverityRating::Medium) < policy.sla_days(SeverityRating::Low));
+    }
+
+    #[test]
+    fn stats_empty_is_none() {
+        assert!(window_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn tighter_maintenance_cadence_shrinks_windows() {
+        let (pipeline, mut policy) = setup();
+        let db = reference_corpus();
+        let slow: Vec<PatchTimeline> = db.iter().map(|c| schedule(c, &pipeline, &policy)).collect();
+        policy.maintenance_interval_days = 1;
+        let fast: Vec<PatchTimeline> = db.iter().map(|c| schedule(c, &pipeline, &policy)).collect();
+        let slow_mean = window_stats(&slow).unwrap().mean;
+        let fast_mean = window_stats(&fast).unwrap().mean;
+        assert!(fast_mean <= slow_mean);
+    }
+}

@@ -1,0 +1,272 @@
+//! Package-inventory scanning against the CVE database (mitigation **M8**).
+//!
+//! **Lesson 4**: "the maturity of automated scanning solutions facilitated
+//! smooth integration into GENIO's custom stack, even if occasional manual
+//! tuning is required to handle non-standard paths and configurations in
+//! ONL". The tuning is modelled as an *alias map*: ONL packages carry
+//! vendor prefixes and bundled copies under non-standard names that a
+//! default scanner does not associate with canonical CVE product names.
+
+use std::collections::BTreeMap;
+
+use crate::cve::CveDatabase;
+use crate::version::Version;
+
+/// A host's installed-software inventory: package name → version.
+#[derive(Debug, Clone, Default)]
+pub struct PackageInventory {
+    packages: BTreeMap<String, Version>,
+}
+
+impl PackageInventory {
+    /// Creates an empty inventory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a package.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the version string is unparsable (inventories are
+    /// fixture data in the simulation).
+    pub fn with(mut self, name: &str, version: &str) -> Self {
+        self.packages
+            .insert(name.to_string(), version.parse().expect("valid version"));
+        self
+    }
+
+    /// Iterates over `(name, version)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Version)> {
+        self.packages.iter()
+    }
+
+    /// Number of packages.
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    /// The ONL OLT inventory: canonical names hidden behind vendor
+    /// prefixes and bundles, as Lesson 4 describes.
+    pub fn onl_olt() -> Self {
+        Self::new()
+            .with("onl-openssh-server", "9.4")
+            .with("onl-kernel-5.10-lts-x86-64-all", "5.10.180")
+            .with("busybox-onl", "1.35.0")
+            .with("voltha", "2.11.0")
+            .with("onos", "2.7.0")
+            .with("docker-engine", "24.0.5")
+            .with("containerd", "1.7.10")
+    }
+
+    /// A mainstream inventory using canonical names directly.
+    pub fn mainstream_server() -> Self {
+        Self::new()
+            .with("openssh-server", "9.4")
+            .with("linux-kernel", "5.10.180")
+            .with("busybox", "1.35.0")
+            .with("docker-engine", "24.0.5")
+            .with("containerd", "1.7.10")
+    }
+}
+
+/// Maps non-standard package names to canonical CVE product names — the
+/// "manual tuning" of Lesson 4.
+#[derive(Debug, Clone, Default)]
+pub struct AliasMap {
+    aliases: BTreeMap<String, String>,
+}
+
+impl AliasMap {
+    /// Creates an empty map (the default scanner configuration).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Registers `installed_name` as canonical `product`.
+    pub fn alias(mut self, installed_name: &str, product: &str) -> Self {
+        self.aliases
+            .insert(installed_name.to_string(), product.to_string());
+        self
+    }
+
+    /// The tuned map for the ONL OLT image.
+    pub fn onl_tuned() -> Self {
+        Self::none()
+            .alias("onl-openssh-server", "openssh-server")
+            .alias("onl-kernel-5.10-lts-x86-64-all", "linux-kernel")
+            .alias("busybox-onl", "busybox")
+    }
+
+    /// Resolves an installed name to its canonical product name.
+    pub fn resolve<'a>(&'a self, installed: &'a str) -> &'a str {
+        self.aliases
+            .get(installed)
+            .map(String::as_str)
+            .unwrap_or(installed)
+    }
+
+    /// Number of tuning entries.
+    pub fn len(&self) -> usize {
+        self.aliases.len()
+    }
+
+    /// True when no tuning is configured.
+    pub fn is_empty(&self) -> bool {
+        self.aliases.is_empty()
+    }
+}
+
+/// One scanner finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Installed package name as seen on the host.
+    pub package: String,
+    /// Canonical product the package resolved to.
+    pub product: String,
+    /// Installed version.
+    pub version: Version,
+    /// Matched CVE id.
+    pub cve_id: String,
+    /// CVSS base score (for prioritization).
+    pub score: f64,
+    /// Known exploited in the wild.
+    pub exploited: bool,
+}
+
+/// Scans `inventory` against `db`, resolving names through `aliases`.
+/// Findings are sorted by `(exploited, score)` descending — the paper's
+/// prioritization order.
+pub fn scan(inventory: &PackageInventory, db: &CveDatabase, aliases: &AliasMap) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (name, version) in inventory.iter() {
+        let product = aliases.resolve(name);
+        for cve in db.matching(product, version) {
+            findings.push(Finding {
+                package: name.clone(),
+                product: product.to_string(),
+                version: version.clone(),
+                cve_id: cve.id.clone(),
+                score: cve.score(),
+                exploited: cve.exploited,
+            });
+        }
+    }
+    findings.sort_by(|a, b| {
+        (b.exploited, b.score)
+            .partial_cmp(&(a.exploited, a.score))
+            .expect("scores are finite")
+    });
+    findings
+}
+
+/// Detection rate of a scan relative to the ground truth (what a scan with
+/// perfect aliasing finds). Returns `(found, ground_truth)` counts.
+pub fn detection_vs_truth(
+    inventory: &PackageInventory,
+    db: &CveDatabase,
+    aliases: &AliasMap,
+    perfect: &AliasMap,
+) -> (usize, usize) {
+    let found = scan(inventory, db, aliases).len();
+    let truth = scan(inventory, db, perfect).len();
+    (found, truth)
+}
+
+/// Ground-truth matcher used by KBOM comparisons: all `(product, cve)`
+/// pairs affecting the inventory.
+pub fn true_positives(db: &CveDatabase, components: &[(String, Version)]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for (product, version) in components {
+        for cve in db.matching(product, version) {
+            out.push((product.clone(), cve.id.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cve::reference_corpus;
+
+    #[test]
+    fn default_scan_misses_vendor_prefixed_packages() {
+        let db = reference_corpus();
+        let onl = PackageInventory::onl_olt();
+        let untuned = scan(&onl, &db, &AliasMap::none());
+        let tuned = scan(&onl, &db, &AliasMap::onl_tuned());
+        assert!(
+            tuned.len() > untuned.len(),
+            "tuning must surface hidden packages: {} vs {}",
+            tuned.len(),
+            untuned.len()
+        );
+        // The kernel LPE is only visible after tuning.
+        assert!(!untuned.iter().any(|f| f.cve_id == "CVE-2025-0108"));
+        assert!(tuned.iter().any(|f| f.cve_id == "CVE-2025-0108"));
+    }
+
+    #[test]
+    fn mainstream_needs_no_tuning() {
+        let db = reference_corpus();
+        let inv = PackageInventory::mainstream_server();
+        let (found, truth) = detection_vs_truth(&inv, &db, &AliasMap::none(), &AliasMap::none());
+        assert_eq!(found, truth);
+        assert!(truth >= 3);
+    }
+
+    #[test]
+    fn findings_sorted_by_exploited_then_score() {
+        let db = reference_corpus();
+        let inv = PackageInventory::onl_olt();
+        let findings = scan(&inv, &db, &AliasMap::onl_tuned());
+        assert!(findings.len() >= 2);
+        for w in findings.windows(2) {
+            assert!(
+                (w[0].exploited, w[0].score) >= (w[1].exploited, w[1].score),
+                "{:?} before {:?}",
+                w[0].cve_id,
+                w[1].cve_id
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_names_pass_through_alias_map() {
+        let aliases = AliasMap::onl_tuned();
+        assert_eq!(aliases.resolve("docker-engine"), "docker-engine");
+        assert_eq!(aliases.resolve("onl-openssh-server"), "openssh-server");
+    }
+
+    #[test]
+    fn fixed_versions_produce_no_findings() {
+        let db = reference_corpus();
+        let inv = PackageInventory::new()
+            .with("docker-engine", "24.0.8")
+            .with("containerd", "1.7.12");
+        assert!(scan(&inv, &db, &AliasMap::none()).is_empty());
+    }
+
+    #[test]
+    fn empty_inventory_is_clean() {
+        let db = reference_corpus();
+        assert!(scan(&PackageInventory::new(), &db, &AliasMap::none()).is_empty());
+    }
+
+    #[test]
+    fn detection_rate_quantifies_lesson_4() {
+        let db = reference_corpus();
+        let onl = PackageInventory::onl_olt();
+        let (found, truth) =
+            detection_vs_truth(&onl, &db, &AliasMap::none(), &AliasMap::onl_tuned());
+        assert!(truth > 0);
+        let rate = found as f64 / truth as f64;
+        assert!(rate < 1.0, "untuned detection rate {rate} should be < 1");
+    }
+}

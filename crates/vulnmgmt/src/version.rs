@@ -1,0 +1,209 @@
+//! Dotted version parsing and range matching, the core of CVE-to-inventory
+//! correlation.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::VulnError;
+
+/// A dotted numeric version such as `1.24.3`. Missing components compare
+/// as zero (`1.24` == `1.24.0`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Version {
+    parts: Vec<u64>,
+}
+
+impl Version {
+    /// Creates a version from explicit components. Trailing zeros are
+    /// normalized away so `1.24.0 == 1.24` under derived equality.
+    pub fn new(parts: &[u64]) -> Self {
+        let mut parts = parts.to_vec();
+        while parts.len() > 1 && parts.last() == Some(&0) {
+            parts.pop();
+        }
+        Version { parts }
+    }
+
+    /// The numeric components.
+    pub fn parts(&self) -> &[u64] {
+        &self.parts
+    }
+}
+
+impl FromStr for Version {
+    type Err = VulnError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Tolerate a leading 'v' and a trailing suffix after '-' or '+'
+        // (e.g. "v1.24.3-debian1" → 1.24.3), as real scanners must.
+        let s = s.trim().strip_prefix('v').unwrap_or(s.trim());
+        let core = s.split(['-', '+']).next().unwrap_or(s);
+        if core.is_empty() {
+            return Err(VulnError::BadVersion(s.to_string()));
+        }
+        let parts: Result<Vec<u64>, _> = core.split('.').map(|p| p.parse::<u64>()).collect();
+        match parts {
+            Ok(parts) if !parts.is_empty() => Ok(Version::new(&parts)),
+            _ => Err(VulnError::BadVersion(s.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let strs: Vec<String> = self.parts.iter().map(|p| p.to_string()).collect();
+        f.write_str(&strs.join("."))
+    }
+}
+
+impl PartialOrd for Version {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Version {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let len = self.parts.len().max(other.parts.len());
+        for i in 0..len {
+            let a = self.parts.get(i).copied().unwrap_or(0);
+            let b = other.parts.get(i).copied().unwrap_or(0);
+            match a.cmp(&b) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+/// A half-open or closed interval of versions, e.g. `>=1.20, <1.24.3`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VersionRange {
+    /// Inclusive lower bound.
+    pub min_inclusive: Option<Version>,
+    /// Exclusive upper bound (typically "fixed in").
+    pub max_exclusive: Option<Version>,
+}
+
+impl VersionRange {
+    /// Range covering every version.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// All versions strictly before `fixed` (the usual CVE shape).
+    pub fn before(fixed: Version) -> Self {
+        VersionRange {
+            min_inclusive: None,
+            max_exclusive: Some(fixed),
+        }
+    }
+
+    /// Versions in `[min, max)`.
+    pub fn between(min: Version, max: Version) -> Self {
+        VersionRange {
+            min_inclusive: Some(min),
+            max_exclusive: Some(max),
+        }
+    }
+
+    /// True if `v` falls in the range.
+    pub fn contains(&self, v: &Version) -> bool {
+        if let Some(min) = &self.min_inclusive {
+            if v < min {
+                return false;
+            }
+        }
+        if let Some(max) = &self.max_exclusive {
+            if v >= max {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl FromStr for VersionRange {
+    type Err = VulnError;
+
+    /// Parses `"*"`, `"<1.2.3"`, `">=1.0 <2.0"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s == "*" {
+            return Ok(Self::any());
+        }
+        let mut range = VersionRange::default();
+        for token in s.split_whitespace() {
+            if let Some(rest) = token.strip_prefix(">=") {
+                range.min_inclusive = Some(rest.parse()?);
+            } else if let Some(rest) = token.strip_prefix('<') {
+                range.max_exclusive = Some(rest.parse()?);
+            } else {
+                return Err(VulnError::BadRange(s.to_string()));
+            }
+        }
+        Ok(range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Version {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(v("1.24.3").to_string(), "1.24.3");
+        assert_eq!(v("v2.7").parts(), &[2, 7]);
+        assert_eq!(v("1.24.3-debian1").parts(), &[1, 24, 3]);
+        assert_eq!(v("4.19+build7").parts(), &[4, 19]);
+    }
+
+    #[test]
+    fn bad_versions_rejected() {
+        for s in ["", "abc", "1..2", "1.x"] {
+            assert!(s.parse::<Version>().is_err(), "{s}");
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(v("1.2") < v("1.10"));
+        assert!(v("1.24") == v("1.24.0"));
+        assert!(v("2.0.1") > v("2.0"));
+        assert!(v("10.0") > v("9.99.99"));
+    }
+
+    #[test]
+    fn range_before() {
+        let r = VersionRange::before(v("1.24.3"));
+        assert!(r.contains(&v("1.24.2")));
+        assert!(r.contains(&v("0.1")));
+        assert!(!r.contains(&v("1.24.3")));
+        assert!(!r.contains(&v("2.0")));
+    }
+
+    #[test]
+    fn range_between() {
+        let r = VersionRange::between(v("1.20"), v("1.24.3"));
+        assert!(!r.contains(&v("1.19.9")));
+        assert!(r.contains(&v("1.20")));
+        assert!(r.contains(&v("1.24.2")));
+        assert!(!r.contains(&v("1.24.3")));
+    }
+
+    #[test]
+    fn range_parsing() {
+        let r: VersionRange = ">=1.0 <2.0".parse().unwrap();
+        assert!(r.contains(&v("1.5")));
+        assert!(!r.contains(&v("2.0")));
+        let any: VersionRange = "*".parse().unwrap();
+        assert!(any.contains(&v("999")));
+        assert!("~1.2".parse::<VersionRange>().is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for version ordering, range matching and CVSS
+//! scoring invariants.
+
+use proptest::prelude::*;
+
+use genio_vulnmgmt::cvss::{
+    AttackComplexity, AttackVector, Impact, PrivilegesRequired, Scope, UserInteraction, Vector,
+};
+use genio_vulnmgmt::version::{Version, VersionRange};
+
+fn arb_version() -> impl Strategy<Value = Version> {
+    proptest::collection::vec(0u64..50, 1..5).prop_map(|parts| Version::new(&parts))
+}
+
+fn arb_vector() -> impl Strategy<Value = Vector> {
+    (
+        prop::sample::select(vec![
+            AttackVector::Network,
+            AttackVector::Adjacent,
+            AttackVector::Local,
+            AttackVector::Physical,
+        ]),
+        prop::sample::select(vec![AttackComplexity::Low, AttackComplexity::High]),
+        prop::sample::select(vec![
+            PrivilegesRequired::None,
+            PrivilegesRequired::Low,
+            PrivilegesRequired::High,
+        ]),
+        prop::sample::select(vec![UserInteraction::None, UserInteraction::Required]),
+        prop::sample::select(vec![Scope::Unchanged, Scope::Changed]),
+        prop::sample::select(vec![Impact::High, Impact::Low, Impact::None]),
+        prop::sample::select(vec![Impact::High, Impact::Low, Impact::None]),
+        prop::sample::select(vec![Impact::High, Impact::Low, Impact::None]),
+    )
+        .prop_map(|(av, ac, pr, ui, s, c, i, a)| Vector {
+            av,
+            ac,
+            pr,
+            ui,
+            s,
+            c,
+            i,
+            a,
+        })
+}
+
+proptest! {
+    /// Version ordering is a total order consistent with equality, and
+    /// display/parse is the identity.
+    #[test]
+    fn version_total_order(a in arb_version(), b in arb_version(), c in arb_version()) {
+        // Antisymmetry.
+        if a <= b && b <= a {
+            prop_assert_eq!(&a, &b);
+        }
+        // Transitivity.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        // Display/parse roundtrip.
+        let reparsed: Version = a.to_string().parse().unwrap();
+        prop_assert_eq!(reparsed, a);
+    }
+
+    /// Trailing zeros never matter.
+    #[test]
+    fn version_trailing_zero_normalization(parts in proptest::collection::vec(0u64..50, 1..4),
+                                           zeros in 0usize..3) {
+        let mut padded = parts.clone();
+        padded.extend(std::iter::repeat_n(0, zeros));
+        prop_assert_eq!(Version::new(&parts), Version::new(&padded));
+    }
+
+    /// Range semantics: `before(f)` contains exactly versions < f;
+    /// `between(lo, hi)` contains exactly lo <= v < hi.
+    #[test]
+    fn range_containment(v in arb_version(), lo in arb_version(), hi in arb_version()) {
+        let before = VersionRange::before(hi.clone());
+        prop_assert_eq!(before.contains(&v), v < hi);
+        let between = VersionRange::between(lo.clone(), hi.clone());
+        prop_assert_eq!(between.contains(&v), lo <= v && v < hi);
+        prop_assert!(VersionRange::any().contains(&v));
+    }
+
+    /// CVSS base scores are always in [0, 10] with one decimal, and the
+    /// severity band matches the score.
+    #[test]
+    fn cvss_score_in_band(v in arb_vector()) {
+        let score = v.base_score();
+        prop_assert!((0.0..=10.0).contains(&score));
+        let tenths = score * 10.0;
+        prop_assert!((tenths - tenths.round()).abs() < 1e-9);
+        use genio_vulnmgmt::cvss::SeverityRating::*;
+        let expected = if score == 0.0 { None }
+            else if score < 4.0 { Low }
+            else if score < 7.0 { Medium }
+            else if score < 9.0 { High }
+            else { Critical };
+        prop_assert_eq!(v.severity(), expected);
+    }
+
+    /// Monotonicity: weakening any impact from High to None never raises
+    /// the score.
+    #[test]
+    fn cvss_impact_monotone(v in arb_vector()) {
+        let mut weaker = v;
+        weaker.c = Impact::None;
+        weaker.i = Impact::None;
+        weaker.a = Impact::None;
+        prop_assert!(weaker.base_score() <= v.base_score());
+        let mut stronger = v;
+        stronger.c = Impact::High;
+        stronger.i = Impact::High;
+        stronger.a = Impact::High;
+        prop_assert!(stronger.base_score() >= v.base_score());
+    }
+
+    /// Exploitability decreases as prerequisites tighten.
+    #[test]
+    fn cvss_exploitability_monotone(v in arb_vector()) {
+        let mut easier = v;
+        easier.av = AttackVector::Network;
+        easier.ac = AttackComplexity::Low;
+        easier.pr = PrivilegesRequired::None;
+        easier.ui = UserInteraction::None;
+        prop_assert!(easier.exploitability() >= v.exploitability());
+    }
+}

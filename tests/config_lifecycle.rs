@@ -1,0 +1,97 @@
+//! Integration: the M11 configuration lifecycle — baseline hardening,
+//! continuous auditing via the checker suite, drift detection when someone
+//! regresses a setting, and the remediation loop closing the gap again.
+
+use genio::hardening::osstate::OsState;
+use genio::hardening::profile::{all_profiles, scap_baseline};
+use genio::hardening::remediate::{harden, olt_sdn_constraints};
+use genio::orchestrator::admission::AdmissionLevel;
+use genio::orchestrator::checkers::{coverage, genio_tool_suite, ClusterConfig};
+use genio::orchestrator::drift::{detect, weakening, DriftDirection};
+
+/// Cluster side: harden → audit clean → drift → audit flags it → restore.
+#[test]
+fn cluster_config_lifecycle() {
+    // 1. Baseline: the hardened posture audits clean.
+    let baseline = ClusterConfig::genio_hardened();
+    let report = coverage(&genio_tool_suite(), &baseline, &[]);
+    assert_eq!(report.total, 0);
+
+    // 2. Operational regression: someone re-opens the dashboard and drops
+    // admission to Baseline "temporarily".
+    let mut live = baseline.clone();
+    live.dashboard_exposed = true;
+    live.admission_level = AdmissionLevel::Baseline;
+
+    // 3. Drift detection names exactly the regressed settings.
+    let drifts = detect(&baseline, &live);
+    assert_eq!(drifts.len(), 2);
+    assert!(drifts
+        .iter()
+        .all(|d| d.direction == DriftDirection::Weakened));
+    let names: Vec<&str> = weakening(&drifts).iter().map(|d| d.setting).collect();
+    assert!(names.contains(&"dashboard_exposed"));
+    assert!(names.contains(&"admission_level"));
+
+    // 4. The checker suite independently sees the new exposure.
+    let report = coverage(&genio_tool_suite(), &live, &[]);
+    assert!(
+        report.union >= 2,
+        "union {} should catch the regressions",
+        report.union
+    );
+
+    // 5. Restoration: back to baseline, clean again.
+    let restored = ClusterConfig::genio_hardened();
+    assert!(detect(&baseline, &restored).is_empty());
+    assert_eq!(coverage(&genio_tool_suite(), &restored, &[]).total, 0);
+}
+
+/// OS side: the same lifecycle at the node level — harden, regress one
+/// setting out-of-band, re-scan, re-harden.
+#[test]
+fn os_config_lifecycle() {
+    let mut os = OsState::onl_factory();
+    let constraints = olt_sdn_constraints();
+    let first = harden(&mut os, &all_profiles(), &constraints);
+    let converged_failures = first.residual_failures();
+
+    // Out-of-band regression: an engineer re-enables root SSH during an
+    // incident and forgets to revert.
+    os.sshd.insert("PermitRootLogin".into(), "yes".into());
+    let audit = scap_baseline().scan(&os);
+    assert!(audit.results.iter().any(|r| r.id == "ssh-root"
+        && matches!(r.verdict, genio::hardening::check::Verdict::Fail { .. })));
+
+    // The next remediation cycle closes it without touching anything else.
+    let second = harden(&mut os, &all_profiles(), &constraints);
+    assert_eq!(
+        second.applied.len(),
+        1,
+        "exactly the regressed setting: {:?}",
+        second.applied
+    );
+    assert_eq!(second.residual_failures(), converged_failures);
+    assert_eq!(
+        os.sshd.get("PermitRootLogin").map(String::as_str),
+        Some("no")
+    );
+}
+
+/// The render path used by operator tooling shows the regression in
+/// human-readable form.
+#[test]
+fn scan_report_render_surfaces_regressions() {
+    let mut os = OsState::onl_factory();
+    harden(&mut os, &all_profiles(), &olt_sdn_constraints());
+    os.services.insert(
+        "telnet".into(),
+        genio::hardening::osstate::ServiceState {
+            enabled: true,
+            running: true,
+        },
+    );
+    let text = scap_baseline().scan(&os).render();
+    assert!(text.contains("[FAIL]"));
+    assert!(text.contains("svc-telnet"));
+}

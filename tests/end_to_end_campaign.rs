@@ -1,0 +1,83 @@
+//! Integration: the full attack campaign across every substrate, plus
+//! single-mitigation ablations showing each defense layer is load-bearing.
+
+use genio::core::platform::{MitigationSet, Platform};
+use genio::core::scenario::{run_campaign, CampaignConfig};
+use genio::core::threat_model::MitigationId;
+
+#[test]
+fn campaign_matrix_shape_holds() {
+    let report = run_campaign(&CampaignConfig::default());
+    assert_eq!(report.rows.len(), 8);
+    for row in &report.rows {
+        assert!(
+            row.unmitigated.succeeded,
+            "{} must succeed without mitigations: {}",
+            row.threat_id, row.unmitigated.notes
+        );
+        assert!(
+            !row.mitigated.succeeded,
+            "{} must be stopped with mitigations: {}",
+            row.threat_id, row.mitigated.notes
+        );
+        assert!(
+            row.mitigated.detected,
+            "{} must be detected with mitigations: {}",
+            row.threat_id, row.mitigated.notes
+        );
+    }
+}
+
+#[test]
+fn campaign_is_seed_stable() {
+    let a = run_campaign(&CampaignConfig { seed: 1 });
+    let b = run_campaign(&CampaignConfig { seed: 99 });
+    // Different key material, same security outcome.
+    for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
+        assert_eq!(
+            ra.unmitigated.succeeded, rb.unmitigated.succeeded,
+            "{}",
+            ra.threat_id
+        );
+        assert_eq!(
+            ra.mitigated.succeeded, rb.mitigated.succeeded,
+            "{}",
+            ra.threat_id
+        );
+    }
+}
+
+#[test]
+fn ablating_one_mitigation_uncovers_its_threats() {
+    // Posture-level ablation: each mitigation removed alone must uncover a
+    // threat only if it was that threat's sole cover.
+    let mut platform = Platform::reference_deployment(3);
+    let baseline = platform.posture_report();
+    assert!(baseline.uncovered_threats.is_empty());
+
+    // M12 is the only mitigation for T6 in the paper's matrix.
+    platform.mitigations = MitigationSet::all().without(MitigationId::M12);
+    let ablated = platform.posture_report();
+    assert_eq!(ablated.uncovered_threats, vec!["T6".to_string()]);
+
+    // M3 removed alone leaves T1 covered by M4.
+    platform.mitigations = MitigationSet::all().without(MitigationId::M3);
+    let ablated = platform.posture_report();
+    assert!(ablated.uncovered_threats.is_empty());
+
+    // M3 and M4 removed together uncovers T1.
+    platform.mitigations = MitigationSet::all()
+        .without(MitigationId::M3)
+        .without(MitigationId::M4);
+    let ablated = platform.posture_report();
+    assert_eq!(ablated.uncovered_threats, vec!["T1".to_string()]);
+}
+
+#[test]
+fn report_renders_for_humans() {
+    let report = run_campaign(&CampaignConfig::default());
+    let text = report.render();
+    assert!(text.lines().count() >= 9, "header plus eight rows");
+    assert!(text.contains("fiber tap"));
+    assert!(text.contains("malicious image"));
+}

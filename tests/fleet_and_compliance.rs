@@ -1,0 +1,131 @@
+//! Integration: fleet-scale operations and the regulatory view — the two
+//! top-level consumers of everything underneath.
+
+use genio::core::compliance::{assess, RequirementState};
+use genio::core::fleet::{Fleet, FleetConfig};
+use genio::core::lessons::lessons;
+use genio::core::platform::{MitigationSet, Platform};
+use genio::core::threat_model::{mitigations, MitigationId};
+
+/// The full operator day: provision, sweep, compromise, detect, roll out,
+/// verify — across ten nodes.
+#[test]
+fn operator_day_end_to_end() {
+    let mut fleet = Fleet::provision(&FleetConfig::default());
+    assert_eq!(fleet.nodes.len(), 10);
+
+    // Morning sweep clean.
+    assert!(fleet.attestation_sweep(b"am").diverged().is_empty());
+
+    // Incident on two nodes.
+    fleet.compromise_node(3);
+    fleet.compromise_node(8);
+    let sweep = fleet.attestation_sweep(b"pm");
+    assert_eq!(sweep.diverged().len(), 2);
+    assert!(sweep.diverged().contains(&"olt-03"));
+    assert!(sweep.diverged().contains(&"olt-08"));
+
+    // Emergency rollout still reaches the whole fleet (kernel-level
+    // compromise does not disturb the firmware-bound update anchor).
+    let rollout = fleet.rollout("1.0.1", b"hotfix image").unwrap();
+    assert_eq!(rollout.updated.len(), 10);
+
+    // Downgrade replay rejected fleet-wide afterwards.
+    let replay = fleet.rollout("1.0.1", b"same version again").unwrap();
+    assert!(replay.updated.is_empty());
+    assert_eq!(replay.refused.len(), 10);
+
+    // Data volumes all still unlock (TPM path where Clevis exists,
+    // passphrase elsewhere).
+    assert_eq!(fleet.volumes_unlockable(), 10);
+}
+
+/// Lesson 3 at configuration extremes: an all-modern fleet needs no
+/// humans; an all-ONL fleet needs one per node.
+#[test]
+fn unlock_census_tracks_clevis_availability() {
+    let modern = Fleet::provision(&FleetConfig {
+        olts: 4,
+        onl_without_clevis: 0,
+        seed: 1,
+    });
+    assert_eq!(modern.unlock_census(), (4, 0));
+    let onl = Fleet::provision(&FleetConfig {
+        olts: 4,
+        onl_without_clevis: 4,
+        seed: 2,
+    });
+    assert_eq!(onl.unlock_census(), (0, 4));
+}
+
+/// The compliance view is consistent with the coverage view: a platform
+/// that is CRA-conformant has no uncovered threats, and every mitigation
+/// the compliance catalogue cites exists in the threat model.
+#[test]
+fn compliance_and_coverage_agree() {
+    let platform = Platform::reference_deployment(5);
+    assert!(platform.compliance_report().conformant());
+    assert!(platform.posture_report().uncovered_threats.is_empty());
+
+    // Dropping all application-layer mitigations breaks both views.
+    let mut degraded = Platform::reference_deployment(5);
+    degraded.mitigations = mitigations()
+        .iter()
+        .filter(|m| m.layer != genio::core::threat_model::Layer::Application)
+        .fold(MitigationSet::none(), |set, m| set.with(m.id));
+    let posture = degraded.posture_report();
+    assert!(posture.uncovered_threats.contains(&"T7".to_string()));
+    assert!(posture.uncovered_threats.contains(&"T8".to_string()));
+    let compliance = degraded.compliance_report();
+    assert!(!compliance.conformant());
+    let resilience = compliance
+        .assessed
+        .iter()
+        .find(|a| a.requirement.id == "cra-resilience-and-monitoring")
+        .unwrap();
+    assert_eq!(resilience.state, RequirementState::Unsatisfied);
+}
+
+/// Single-mitigation compliance ablation across all eighteen mitigations:
+/// each removal degrades at least one requirement from Satisfied, and
+/// never to an inconsistent state.
+#[test]
+fn every_mitigation_is_compliance_load_bearing() {
+    for m in mitigations() {
+        let set = MitigationSet::all().without(m.id);
+        let report = assess(&set);
+        assert!(
+            !report.conformant(),
+            "{} removal should break some requirement",
+            m.id
+        );
+        for a in report.assessed {
+            if let RequirementState::Partial(missing) = &a.state {
+                assert!(
+                    missing.contains(&m.id),
+                    "{}: stray partial",
+                    a.requirement.id
+                );
+            }
+        }
+    }
+    // Sanity: the un-ablated set is conformant.
+    assert!(assess(&MitigationSet::all()).conformant());
+    let _ = MitigationId::M1;
+}
+
+/// The lessons catalogue is fully wired: every lesson names modules that
+/// exist in this workspace (checked by the rustdoc paths compiling) and a
+/// distinct bench target.
+#[test]
+fn lessons_catalogue_is_distinct_and_complete() {
+    let all = lessons();
+    let mut benches: Vec<&str> = all.iter().map(|l| l.bench_target).collect();
+    benches.sort_unstable();
+    benches.dedup();
+    assert_eq!(benches.len(), 8, "each lesson has its own bench target");
+    let mut experiments: Vec<&str> = all.iter().map(|l| l.experiment).collect();
+    experiments.sort_unstable();
+    experiments.dedup();
+    assert_eq!(experiments.len(), 8);
+}

@@ -1,0 +1,192 @@
+//! Integration: the secure-communication path of mitigations M3/M4 —
+//! DNSSEC endpoint discovery, mutual-auth onboarding, certificate-based
+//! PON activation, and encrypted traffic on both the optical and Ethernet
+//! segments, with the corresponding T1 attacks replayed against it.
+
+use genio::netsec::dnssec::{RecordType, Resolver, Zone, ZoneView};
+use genio::netsec::macsec::{MacsecConfig, MacsecPeer};
+use genio::netsec::onboarding::{onboard, DeviceClass, Enrollment};
+use genio::pon::activation::{ActivationController, CertificateAdmission};
+use genio::pon::attack::{FiberTap, ImpersonationOutcome, ReplayAttacker, ReplayOutcome, RogueOnu};
+use genio::pon::security::GemCrypto;
+use genio::pon::topology::PonTree;
+
+/// The full M3+M4 session, in order.
+#[test]
+fn secure_onboarding_and_traffic() {
+    // 1. DNSSEC discovery of the registration endpoint.
+    let mut root = Zone::new(".", b"root-zone");
+    let mut genio_zone = Zone::new("genio.example", b"genio-zone");
+    genio_zone
+        .add_record("register.genio.example", RecordType::A, "203.0.113.10")
+        .unwrap();
+    root.delegate(&genio_zone).unwrap();
+    let mut resolver = Resolver::new(".", root.public_key());
+    resolver.add_zone(ZoneView::of(&root));
+    resolver.add_zone(ZoneView::of(&genio_zone));
+    let endpoint = resolver
+        .resolve(
+            &[".", "genio.example"],
+            "register.genio.example",
+            RecordType::A,
+        )
+        .unwrap();
+    assert_eq!(endpoint, "203.0.113.10");
+
+    // 2. PKI enrolment and mutual-auth onboarding.
+    let mut enrollment = Enrollment::new(b"fleet", (0, 100_000), 6).unwrap();
+    let mut onu = enrollment
+        .enroll("onu-7", DeviceClass::Onu, b"onu7")
+        .unwrap();
+    let mut olt = enrollment
+        .enroll("olt-1", DeviceClass::Olt, b"olt1")
+        .unwrap();
+    let anchor = enrollment.trust_anchor();
+    let crl = enrollment.crl().clone();
+    let session = onboard(&mut onu, &mut olt, &anchor, &crl, 50, b"sess").unwrap();
+
+    // 3. The onboarding transcript binds both ends to the same channel.
+    assert_eq!(
+        session.device_keys.transcript_hash,
+        session.infra_keys.transcript_hash
+    );
+
+    // 4. Certificate-gated PON activation.
+    let mut tree = PonTree::builder("olt-1/pon-0").split_ratio(8).build();
+    tree.attach_onu("onu-7", 300).unwrap();
+    let mut controller = ActivationController::new(Box::new(CertificateAdmission::new(
+        move |serial: &str, evidence: &[u8]| serial == "onu-7" && evidence == b"chain-onu-7",
+    )));
+    controller
+        .activate(&mut tree, "onu-7", Some(b"chain-onu-7"))
+        .unwrap();
+
+    // 5. Optical-segment encryption keyed from the session.
+    let mut key_seed = session.device_keys.transcript_hash.to_vec();
+    key_seed.extend_from_slice(b"gem-master");
+    let mut olt_gem = GemCrypto::new(&key_seed);
+    let mut onu_gem = GemCrypto::new(&key_seed);
+    olt_gem.establish_key(1001, 1);
+    onu_gem.establish_key(1001, 1);
+    let frame = olt_gem
+        .encrypt_downstream(1001, 1, b"flow-table push")
+        .unwrap();
+    assert_eq!(onu_gem.decrypt(&frame).unwrap(), b"flow-table push");
+
+    // 6. Ethernet-segment MACsec on the OLT uplink.
+    let cfg = MacsecConfig::default();
+    let mut olt_uplink = MacsecPeer::new(0x01, &cfg, &key_seed).unwrap();
+    let mut aggregation = MacsecPeer::new(0x02, &cfg, &key_seed).unwrap();
+    let protected = olt_uplink.protect(b"northbound telemetry").unwrap();
+    assert_eq!(
+        aggregation.validate(&protected).unwrap(),
+        b"northbound telemetry"
+    );
+}
+
+/// The same T1 attacks from the campaign, directly against the session.
+#[test]
+fn t1_attacks_fail_against_the_secure_session() {
+    let seed = b"session-keys";
+    let mut olt_gem = GemCrypto::new(seed);
+    let mut onu_gem = GemCrypto::new(seed);
+    olt_gem.establish_key(7, 1);
+    onu_gem.establish_key(7, 1);
+
+    let mut tap = FiberTap::new();
+    let mut replayer = ReplayAttacker::new();
+    for i in 0..20u32 {
+        let frame = olt_gem
+            .encrypt_downstream(7, 1, format!("reading {i}").as_bytes())
+            .unwrap();
+        tap.observe(&frame);
+        replayer.capture(&frame);
+        onu_gem.decrypt(&frame).unwrap();
+    }
+    // Eavesdropping yields nothing readable.
+    assert_eq!(tap.exposure_ratio(), Some(0.0));
+    assert!(tap.readable_payloads().is_empty());
+    // Replay of any captured frame is rejected.
+    for i in 0..replayer.captured_count() {
+        assert_eq!(
+            replayer.replay_against(i, &mut onu_gem),
+            ReplayOutcome::RejectedReplay
+        );
+    }
+
+    // Impersonation without the device key fails certificate admission.
+    let mut tree = PonTree::builder("olt-1/pon-0").split_ratio(8).build();
+    tree.attach_onu("victim", 100).unwrap();
+    let mut controller =
+        ActivationController::new(Box::new(CertificateAdmission::new(|_s: &str, e: &[u8]| {
+            e == b"the-genuine-chain"
+        })));
+    let rogue = RogueOnu::cloning("victim").with_forged_evidence(b"not-it".to_vec());
+    assert!(matches!(
+        rogue.attempt(&mut controller, &mut tree),
+        ImpersonationOutcome::Denied(_)
+    ));
+    // The denial is on the audit trail.
+    assert_eq!(controller.events().len(), 1);
+    assert!(controller.events()[0].outcome.is_err());
+}
+
+/// Revocation propagates: a compromised ONU is revoked and can neither
+/// onboard nor re-enrol under its old certificate.
+#[test]
+fn revoked_onu_is_locked_out() {
+    let mut enrollment = Enrollment::new(b"fleet2", (0, 100_000), 6).unwrap();
+    let mut onu = enrollment
+        .enroll("onu-evil", DeviceClass::Onu, b"k1")
+        .unwrap();
+    let mut olt = enrollment.enroll("olt-1", DeviceClass::Olt, b"k2").unwrap();
+
+    // Works before revocation.
+    let anchor = enrollment.trust_anchor();
+    assert!(onboard(
+        &mut onu,
+        &mut olt,
+        &anchor,
+        &enrollment.crl().clone(),
+        10,
+        b"s1"
+    )
+    .is_ok());
+
+    enrollment.revoke(&onu);
+    let crl = enrollment.crl().clone();
+    assert!(onboard(&mut onu, &mut olt, &anchor, &crl, 20, b"s2").is_err());
+    assert_eq!(enrollment.ledger.revocations, 1);
+}
+
+/// MACsec key rotation under PN pressure keeps the link alive without
+/// accepting stale traffic.
+#[test]
+fn uplink_rotation_under_load() {
+    let cfg = MacsecConfig {
+        replay_window: 32,
+        pn_limit: 100,
+    };
+    let mut a = MacsecPeer::new(1, &cfg, b"cak").unwrap();
+    let mut b = MacsecPeer::new(2, &cfg, b"cak").unwrap();
+    let mut delivered = 0u32;
+    let mut old_frame = None;
+    for i in 0..250u32 {
+        let frame = match a.protect(format!("frame {i}").as_bytes()) {
+            Ok(f) => f,
+            Err(_) => {
+                a.rotate_sak().unwrap();
+                a.protect(format!("frame {i}").as_bytes()).unwrap()
+            }
+        };
+        if i == 10 {
+            old_frame = Some(frame.clone());
+        }
+        b.validate(&frame).unwrap();
+        delivered += 1;
+    }
+    assert_eq!(delivered, 250);
+    assert!(a.current_an() > 0, "rotation happened");
+    // A frame captured before rotation cannot be replayed now.
+    assert!(b.validate(&old_frame.unwrap()).is_err());
+}

@@ -1,0 +1,205 @@
+//! Integration: the code-integrity pipeline end to end — Secure Boot,
+//! TPM-sealed storage, ONIE image updates, APT packages, custom artifacts
+//! and FIM, with tampering injected at every stage (threat T2 vs M5–M9).
+
+use genio::crypto::pki::{CertificateAuthority, RevocationList};
+use genio::fim::fs::SimulatedFs;
+use genio::fim::monitor::FimMonitor;
+use genio::fim::policy::FimPolicy;
+use genio::secureboot::bootchain::{boot, BootPolicy, ImageSigner, KeyDb, StageKind};
+use genio::secureboot::luks::{LuksVolume, PlatformSupport, UnlockMethod};
+use genio::secureboot::tpm::Tpm;
+use genio::supplychain::artifact::{verify_artifact, Artifact, CodeSigner};
+use genio::supplychain::image::{FirmwareImage, ImageVendor, NodeUpdater};
+use genio::supplychain::repo::{RepoClient, Repository};
+
+/// Boot the OLT, unlock its volume via the TPM, verify userspace via FIM,
+/// then take a signed update — the happy path.
+#[test]
+fn full_trusted_lifecycle() {
+    // --- Secure + Measured Boot.
+    let mut vendor = ImageSigner::from_seed(b"uefi-ca");
+    let mut owner = ImageSigner::from_seed(b"genio-mok");
+    let mut keys = KeyDb::new();
+    keys.trust_vendor(vendor.public());
+    keys.enroll_mok(owner.public());
+    let stages = vec![
+        vendor.sign(StageKind::Shim, b"shim").unwrap(),
+        owner.sign(StageKind::Grub, b"grub").unwrap(),
+        owner.sign(StageKind::Kernel, b"onl-kernel-v1").unwrap(),
+    ];
+    let mut tpm = Tpm::new(b"olt-1-endorsement");
+    let report = boot(&stages, &keys, &BootPolicy::default(), &mut tpm);
+    assert!(report.completed);
+
+    // --- Clevis-style volume unlock bound to the measured kernel (PCR 8).
+    let mut volume = LuksVolume::format(b"olt-1-data");
+    let support = PlatformSupport::default();
+    volume
+        .add_tpm_slot("clevis", &mut tpm, &[8], &support)
+        .unwrap();
+    volume
+        .add_passphrase_slot("recovery", "field-recovery-phrase")
+        .unwrap();
+    volume.lock();
+    assert_eq!(
+        volume.boot_unlock(&tpm, &support, None).unwrap(),
+        UnlockMethod::TpmAutomatic
+    );
+
+    // --- FIM baseline over the booted system.
+    let fs = SimulatedFs::olt_image();
+    let monitor = FimMonitor::baseline(&fs, &FimPolicy::genio_default(), b"fim-key");
+    assert!(monitor.scan(&fs).alerts.is_empty());
+
+    // --- Signed ONIE update.
+    let mut image_vendor = ImageVendor::from_seed(b"onl-image-vendor");
+    let mut updater = NodeUpdater::provision(&mut tpm, image_vendor.public(), "1.0.0").unwrap();
+    let image = FirmwareImage {
+        name: "onl-installer".into(),
+        version: "1.1.0".into(),
+        payload: b"new kernel and rootfs".to_vec(),
+    };
+    let sig = image_vendor.sign(&image).unwrap();
+    let mut env_signer = ImageSigner::from_seed(b"onie-env");
+    let mut env_keys = KeyDb::new();
+    env_keys.trust_vendor(env_signer.public());
+    let env = vec![env_signer.sign(StageKind::Shim, b"onie-minimal").unwrap()];
+    let receipt = updater
+        .apply_update(&mut tpm, &env, &env_keys, &image, &sig)
+        .unwrap();
+    assert_eq!(receipt.installed_version, "1.1.0");
+}
+
+/// The kernel swap that Secure Boot halts would, if allowed to run, break
+/// the TPM-bound volume unlock: defense in depth between M5 and M6.
+#[test]
+fn tampered_kernel_cannot_unlock_the_volume() {
+    let mut owner = ImageSigner::from_seed(b"mok");
+    let mut keys = KeyDb::new();
+    keys.trust_vendor(owner.public());
+    let good = vec![owner.sign(StageKind::Kernel, b"kernel-v1").unwrap()];
+
+    // Provision: boot the good kernel, bind the volume to PCR 8.
+    let mut tpm = Tpm::new(b"olt");
+    boot(&good, &keys, &BootPolicy::default(), &mut tpm);
+    let mut volume = LuksVolume::format(b"data");
+    volume
+        .add_tpm_slot("clevis", &mut tpm, &[8], &PlatformSupport::default())
+        .unwrap();
+    volume.lock();
+
+    // Attack: reboot with a tampered kernel under a permissive policy.
+    let mut bad = good.clone();
+    bad[0].content = b"kernel-v1-BACKDOORED".to_vec();
+    let mut tpm2 = Tpm::new(b"olt");
+    let permissive = BootPolicy {
+        enforce_signatures: false,
+        measure: true,
+    };
+    let report = boot(&bad, &keys, &permissive, &mut tpm2);
+    assert!(report.completed, "permissive boot runs the tampered kernel");
+    // But the measured PCR differs → the sealed key stays sealed.
+    assert!(volume
+        .boot_unlock(&tpm2, &PlatformSupport::default(), None)
+        .is_err());
+}
+
+/// Lesson 3 at fleet scale: with the Clevis stack unavailable on ONL, every
+/// node in the fleet falls back to a manual passphrase at boot.
+#[test]
+fn clevis_gap_forces_manual_unlock_fleetwide() {
+    let onl = PlatformSupport {
+        clevis_available: false,
+    };
+    let modern = PlatformSupport::default();
+    let mut manual = 0;
+    let mut automatic = 0;
+    for node in 0..10 {
+        let mut tpm = Tpm::new(format!("node-{node}").as_bytes());
+        tpm.extend(8, b"kernel");
+        let mut volume = LuksVolume::format(format!("vol-{node}").as_bytes());
+        // Provisioning tries the TPM slot first; ONL nodes can't have one.
+        let support = if node < 7 { onl } else { modern };
+        if volume
+            .add_tpm_slot("clevis", &mut tpm, &[8], &support)
+            .is_err()
+        {
+            volume.add_passphrase_slot("manual", "phrase").unwrap();
+        }
+        volume.lock();
+        match volume.boot_unlock(&tpm, &support, Some("phrase")).unwrap() {
+            UnlockMethod::TpmAutomatic => automatic += 1,
+            UnlockMethod::ManualPassphrase => manual += 1,
+        }
+    }
+    assert_eq!(manual, 7, "ONL nodes require a human at boot");
+    assert_eq!(automatic, 3);
+}
+
+/// Supply-chain tampering is caught at whichever stage it happens: package
+/// content, firmware image, or custom artifact.
+#[test]
+fn tampering_caught_at_every_distribution_channel() {
+    // APT-style package.
+    let mut repo = Repository::new("genio-main", b"repo-key").unwrap();
+    repo.publish("genio-agentd", "2.0.0", b"agent binary")
+        .unwrap();
+    repo.tamper_content("genio-agentd", b"agent binary with implant");
+    let client = RepoClient::trusting(repo.public_key());
+    assert!(client.verify_and_fetch(&repo, "genio-agentd").is_err());
+
+    // ONIE image.
+    let mut tpm = Tpm::new(b"node");
+    let mut vendor = ImageVendor::from_seed(b"vendor");
+    let mut updater = NodeUpdater::provision(&mut tpm, vendor.public(), "1.0.0").unwrap();
+    let image = FirmwareImage {
+        name: "onl".into(),
+        version: "1.1.0".into(),
+        payload: b"img".to_vec(),
+    };
+    let sig = vendor.sign(&image).unwrap();
+    let mut evil = image.clone();
+    evil.payload = b"img+rootkit".to_vec();
+    let mut env_signer = ImageSigner::from_seed(b"env");
+    let mut env_keys = KeyDb::new();
+    env_keys.trust_vendor(env_signer.public());
+    let env = vec![env_signer.sign(StageKind::Shim, b"onie").unwrap()];
+    assert!(updater
+        .apply_update(&mut tpm, &env, &env_keys, &evil, &sig)
+        .is_err());
+
+    // Custom artifact.
+    let mut ca = CertificateAuthority::self_signed("genio-root", b"root", (0, 10_000), 5).unwrap();
+    let mut signer = CodeSigner::enroll(&mut ca, "release", b"rel", (0, 5_000)).unwrap();
+    let mut bundle = signer
+        .sign(Artifact {
+            name: "telemetryd".into(),
+            version: "1.0".into(),
+            content: b"elf".to_vec(),
+        })
+        .unwrap();
+    bundle.artifact.content = b"elf+implant".to_vec();
+    assert!(verify_artifact(&bundle, &ca.public(), &RevocationList::new(), 100).is_err());
+}
+
+/// FIM catches what boots past everything: a post-boot binary swap, and the
+/// baseline's own signature catches FIM-database tampering.
+#[test]
+fn fim_is_the_last_line() {
+    let mut fs = SimulatedFs::olt_image();
+    let mut monitor = FimMonitor::baseline(&fs, &FimPolicy::genio_default(), b"tpm-held-key");
+    // Post-boot attack: replace a system binary and scrub the baseline.
+    fs.write("/usr/sbin/sshd", b"sshd with backdoor", 0o755, "root");
+    assert_eq!(monitor.scan(&fs).alerts.len(), 1);
+    let patched_digest = fs.get("/usr/sbin/sshd").unwrap().digest();
+    monitor.tamper_baseline("/usr/sbin/sshd", patched_digest);
+    assert!(
+        monitor.scan(&fs).alerts.is_empty(),
+        "scan silenced by DB tamper"
+    );
+    assert!(
+        !monitor.baseline_intact(),
+        "but the signed baseline fails verification"
+    );
+}

@@ -1,0 +1,165 @@
+//! Integration: multi-tenancy defenses across the orchestrator and runtime
+//! substrates — admission, scheduling isolation, network policy, RBAC,
+//! LSM enforcement, Falco detection, resource-abuse handling and PEACH.
+
+use genio::orchestrator::admission::{admit, AdmissionLevel};
+use genio::orchestrator::checkers::{coverage, genio_tool_suite, ClusterConfig};
+use genio::orchestrator::cluster::Cluster;
+use genio::orchestrator::netpolicy::NetworkPolicyEngine;
+use genio::orchestrator::rbac::{sdn_management_role, Authorizer, RoleBinding};
+use genio::orchestrator::scheduler::schedule;
+use genio::orchestrator::workload::{Capability, IsolationMode, PodSpec};
+use genio::runtime::abuse::{interval, AbuseConfig, AbuseDetector, Resource};
+use genio::runtime::events::{attack_burst, benign_workload, mixed_trace};
+use genio::runtime::falco::{score, Engine, RuleSetTier};
+use genio::runtime::lsm::{enforce_trace, LsmPolicy, Mode};
+use genio::runtime::peach::{unhardened_review, InterfaceComplexity, Recommendation, Strength};
+
+/// A hostile pod is stopped at admission; a compliant one flows through to
+/// a shared VM; a hard-isolation tenant lands on its dedicated VM.
+#[test]
+fn admission_and_placement_pipeline() {
+    let mut cluster = Cluster::genio_edge();
+
+    let mut hostile = PodSpec::new("miner", "tenant-evil", "img");
+    hostile.containers[0]
+        .capabilities
+        .push(Capability::CAP_SYS_ADMIN);
+    assert!(admit(&hostile, AdmissionLevel::Restricted).is_err());
+
+    let web = PodSpec::new("web", "tenant-a", "nginx");
+    admit(&web, AdmissionLevel::Restricted).unwrap();
+    let vm = schedule(&mut cluster, web).unwrap();
+    assert!(vm.starts_with("shared-vm"));
+
+    let mut bank = PodSpec::new("core", "tenant-bank", "bank-core");
+    bank.isolation = IsolationMode::Hard;
+    admit(&bank, AdmissionLevel::Restricted).unwrap();
+    let vm = schedule(&mut cluster, bank).unwrap();
+    assert_eq!(vm, "tenant-bank-vm");
+    assert_eq!(cluster.tenants_on_vm("tenant-bank-vm"), vec!["tenant-bank"]);
+}
+
+/// Cross-tenant movement is stopped at three independent layers: network
+/// policy, RBAC, and the LSM.
+#[test]
+fn lateral_movement_stopped_thrice() {
+    // Network layer.
+    let netpol = NetworkPolicyEngine::genio_hardened(&["tenant-a", "tenant-b"]);
+    assert!(!netpol.is_allowed("tenant-a", "tenant-b", 8080));
+    assert!(netpol.is_allowed("tenant-a", "genio-system", 443));
+
+    // API layer: the SDN role cannot touch orchestration resources.
+    let mut authz = Authorizer::new();
+    authz.add_role(sdn_management_role());
+    authz.bind(RoleBinding::new("sdn-svc", "sdn-mgmt", None));
+    assert!(authz.allowed("sdn-svc", "create", "flows", None));
+    assert!(!authz.allowed("sdn-svc", "get", "secrets", Some("tenant-b")));
+    assert!(!authz.allowed("sdn-svc", "exec", "pods/exec", Some("tenant-b")));
+
+    // Syscall layer.
+    let policy = LsmPolicy::tenant_default("tenant-a", Mode::Enforce);
+    let (_, _, blocked) = enforce_trace(&policy, &attack_burst("tenant-a", 0));
+    assert!(blocked >= 6);
+}
+
+/// Checker coverage (Lesson 5) plus the hardened-vs-default comparison at
+/// cluster level.
+#[test]
+fn checker_suite_union_beats_any_single_tool() {
+    let mut risky = PodSpec::new("p", "t", "img");
+    risky.containers[0].privileged = true;
+    risky.containers[0].resources.limits_set = false;
+    let pods = vec![risky];
+
+    let insecure = coverage(
+        &genio_tool_suite(),
+        &ClusterConfig::insecure_defaults(),
+        &pods,
+    );
+    let best_single = insecure.per_tool.iter().map(|(_, n)| *n).max().unwrap();
+    assert!(insecure.union > best_single);
+    assert!(insecure.total >= insecure.union);
+
+    let hardened = coverage(&genio_tool_suite(), &ClusterConfig::genio_hardened(), &[]);
+    assert_eq!(hardened.total, 0);
+}
+
+/// Falco-like detection layered on top of LSM enforcement: the LSM blocks
+/// most of the burst; Falco sees all of it, including the `sh -i` variant
+/// that slips the process allowlist.
+#[test]
+fn detection_covers_enforcement_gaps() {
+    let policy = LsmPolicy::tenant_default("tenant-a", Mode::Enforce);
+    let engine = Engine::with_tier(RuleSetTier::Default).unwrap();
+
+    let mut burst = attack_burst("tenant-a", 0);
+    // Attacker adapts: uses `sh` (allowlisted for health checks).
+    burst[0].process = "sh".into();
+
+    let (_, _, blocked) = enforce_trace(&policy, &burst);
+    assert!(blocked < burst.len(), "the adapted exec slips the LSM");
+
+    let alerts = engine.process_all(&burst);
+    let alerted_rules: Vec<&str> = alerts.iter().map(|a| a.rule.as_str()).collect();
+    assert!(
+        alerted_rules.contains(&"interactive-shell"),
+        "Falco still sees `sh -i`"
+    );
+}
+
+/// Detection quality on a realistic mixed trace: default tier catches every
+/// attack event with bounded false positives.
+#[test]
+fn mixed_trace_detection_quality() {
+    let trace = mixed_trace("tenant-a", 1_000, 5);
+    let engine = Engine::with_tier(RuleSetTier::Default).unwrap();
+    let stats = score(&engine, &trace);
+    assert_eq!(stats.false_negatives, 0);
+    assert!(stats.recall() == 1.0);
+    // FP rate on benign events stays under 25% (the /etc write rule).
+    let benign_total = stats.false_positives + stats.true_negatives;
+    assert!((stats.false_positives as f64) < benign_total as f64 * 0.25);
+}
+
+/// Resource abuse: the noisy-neighbour tenant is flagged while fair tenants
+/// are not, and the PEACH review explains why it should have been in a VM.
+#[test]
+fn noisy_neighbour_flagged_and_peach_explains() {
+    let mut detector = AbuseDetector::new(AbuseConfig::default());
+    let mut findings = Vec::new();
+    for _ in 0..6 {
+        findings.extend(detector.ingest(interval(&[
+            ("tenant-miner", 3_800.0, 512.0, 100.0),
+            ("tenant-a", 100.0, 512.0, 100.0),
+            ("tenant-b", 100.0, 512.0, 100.0),
+        ])));
+    }
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].tenant, "tenant-miner");
+    assert_eq!(findings[0].resource, Resource::Cpu);
+
+    // An unhardened tenant exposing a complex interface: PEACH demands a VM.
+    let mut review = unhardened_review("tenant-miner", InterfaceComplexity::High);
+    assert_eq!(review.recommend(), Recommendation::HardIsolationRequired);
+    // After full hardening the same tenant could share.
+    review.privilege = Strength::Strong;
+    review.encryption = Strength::Strong;
+    review.authentication = Strength::Strong;
+    review.connectivity = Strength::Strong;
+    review.hygiene = Strength::Strong;
+    assert_eq!(review.recommend(), Recommendation::SoftIsolationAcceptable);
+}
+
+/// Benign load generates zero LSM blocks and zero lenient-tier alerts: the
+/// policies fit the workload.
+#[test]
+fn benign_load_runs_clean() {
+    let trace = benign_workload("tenant-a", 500);
+    let policy = LsmPolicy::tenant_default("tenant-a", Mode::Enforce);
+    let (allowed, audited, blocked) = enforce_trace(&policy, &trace);
+    assert_eq!((audited, blocked), (0, 0));
+    assert_eq!(allowed, 500);
+    let engine = Engine::with_tier(RuleSetTier::Lenient).unwrap();
+    assert!(engine.process_all(&trace).is_empty());
+}
