@@ -1,60 +1,63 @@
 //! Property-based tests for the YARA-like engine and the DAST oracles.
 
-use proptest::prelude::*;
+use genio_testkit::prelude::*;
 
 use genio_appsec::dast::{fuzz, Handler, Request, Response, VulnerableTenantApp};
 use genio_appsec::yara::{hex_pattern, Pattern, Rule, RuleSet};
 
-proptest! {
+property! {
     /// Literal pattern matching agrees with a naive substring search.
-    #[test]
-    fn literal_matches_naive_search(needle in proptest::collection::vec(any::<u8>(), 1..8),
-                                    hay in proptest::collection::vec(any::<u8>(), 0..128)) {
+    fn literal_matches_naive_search(needle in bytes(1..8),
+                                    hay in bytes(0..128)) {
         let p = Pattern::Literal(needle.clone());
         let naive = hay.windows(needle.len()).any(|w| w == needle.as_slice());
         prop_assert_eq!(p.matches(&hay), naive);
     }
+}
 
+property! {
     /// A hex pattern with no wildcards behaves exactly like the literal.
-    #[test]
-    fn hex_without_wildcards_is_literal(bytes in proptest::collection::vec(any::<u8>(), 1..8),
-                                        hay in proptest::collection::vec(any::<u8>(), 0..128)) {
-        let hex_str: Vec<String> = bytes.iter().map(|b| format!("{b:02x}")).collect();
+    fn hex_without_wildcards_is_literal(raw in bytes(1..8),
+                                        hay in bytes(0..128)) {
+        let hex_str: Vec<String> = raw.iter().map(|b| format!("{b:02x}")).collect();
         let hex = hex_pattern(&hex_str.join(" "));
-        let literal = Pattern::Literal(bytes);
+        let literal = Pattern::Literal(raw);
         prop_assert_eq!(hex.matches(&hay), literal.matches(&hay));
     }
+}
 
+property! {
     /// Wildcards only widen a pattern: replacing any byte with ?? never
     /// loses a match.
-    #[test]
-    fn wildcard_widens(bytes in proptest::collection::vec(any::<u8>(), 2..8),
-                       wild in any::<prop::sample::Index>(),
-                       hay in proptest::collection::vec(any::<u8>(), 0..128)) {
-        let strict: Vec<Option<u8>> = bytes.iter().copied().map(Some).collect();
+    fn wildcard_widens(raw in bytes(2..8),
+                       wild in index(),
+                       hay in bytes(0..128)) {
+        let strict: Vec<Option<u8>> = raw.iter().copied().map(Some).collect();
         let mut relaxed = strict.clone();
-        relaxed[wild.index(bytes.len())] = None;
+        relaxed[wild.index(raw.len())] = None;
         let strict_p = Pattern::Hex(strict);
         let relaxed_p = Pattern::Hex(relaxed);
         if strict_p.matches(&hay) {
             prop_assert!(relaxed_p.matches(&hay));
         }
     }
+}
 
+property! {
     /// A planted pattern is always found, wherever it is embedded.
-    #[test]
-    fn planted_needle_always_found(prefix in proptest::collection::vec(any::<u8>(), 0..64),
-                                   suffix in proptest::collection::vec(any::<u8>(), 0..64)) {
+    fn planted_needle_always_found(prefix in bytes(0..64),
+                                   suffix in bytes(0..64)) {
         let rules = RuleSet::new(vec![Rule::new("probe").string("PLANTED-IOC").min_matches(1)]);
         let mut hay = prefix;
         hay.extend_from_slice(b"PLANTED-IOC");
         hay.extend_from_slice(&suffix);
         prop_assert_eq!(rules.scan_bytes(&hay), vec!["probe"]);
     }
+}
 
+property! {
     /// Raising min_matches never produces more rule hits.
-    #[test]
-    fn min_matches_monotone(hay in proptest::collection::vec(any::<u8>(), 0..128),
+    fn min_matches_monotone(hay in bytes(0..128),
                             threshold in 1usize..4) {
         let build = |n: usize| {
             Rule::new("r").string("aa").string("bb").string("cc").min_matches(n)
@@ -83,13 +86,12 @@ impl Handler for ArbitraryApp {
     }
 }
 
-proptest! {
+property! {
     /// For any app behaviour, the fuzz report is structurally sound:
     /// findings are deduplicated per (endpoint, kind) and request count is
     /// stable for a fixed spec.
-    #[test]
-    fn fuzz_report_invariants(status in prop::sample::select(vec![200u16, 204, 400, 401, 404, 500, 503]),
-                              body in "[ -~]{0,40}") {
+    fn fuzz_report_invariants(status in select(vec![200u16, 204, 400, 401, 404, 500, 503]),
+                              body in printable_string(0..41)) {
         let spec = VulnerableTenantApp::spec();
         let app = ArbitraryApp { status, body };
         let report = fuzz(&spec, &app);

@@ -4,7 +4,7 @@
 
 use std::sync::Once;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use genio_testkit::bench::Criterion;
 use genio_bench::print_experiment_once;
 use genio_core::platform::{place_by_latency, DeploymentLayer, Platform};
 
@@ -24,6 +24,7 @@ fn print_figure() {
 }
 
 fn bench(c: &mut Criterion) {
+    c.experiment_id("E-F1");
     print_figure();
     let mut group = c.benchmark_group("fig1_assembly");
     group.sample_size(10); // ~1 s per assembly: hash-based key generation
@@ -45,5 +46,4 @@ fn bench(c: &mut Criterion) {
     let _ = DeploymentLayer::Edge;
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+genio_testkit::bench_main!(bench);

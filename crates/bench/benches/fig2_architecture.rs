@@ -3,13 +3,14 @@
 
 use std::sync::Once;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use genio_testkit::bench::Criterion;
 use genio_bench::print_experiment_once;
 use genio_core::architecture;
 
 static PRINTED: Once = Once::new();
 
 fn bench(c: &mut Criterion) {
+    c.experiment_id("E-F2");
     print_experiment_once(
         &PRINTED,
         "E-F2 / Fig. 2 — architecture inventory",
@@ -23,5 +24,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+genio_testkit::bench_main!(bench);

@@ -8,7 +8,7 @@
 
 use std::sync::Once;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use genio_testkit::bench::Criterion;
 use genio_bench::{pct, print_experiment_once};
 use genio_hardening::osstate::OsState;
 use genio_hardening::profile::all_profiles;
@@ -69,6 +69,7 @@ fn print_table() {
 }
 
 fn bench(c: &mut Criterion) {
+    c.experiment_id("E-L1");
     print_table();
     c.bench_function("lesson1/scan_onl_all_profiles", |b| {
         let os = OsState::onl_factory();
@@ -93,5 +94,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+genio_testkit::bench_main!(bench);

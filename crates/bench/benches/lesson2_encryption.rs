@@ -8,7 +8,7 @@
 
 use std::sync::Once;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genio_testkit::bench::{BenchmarkId, Criterion, Throughput};
 use genio_bench::print_experiment_once;
 use genio_netsec::macsec::{MacsecConfig, MacsecPeer};
 use genio_netsec::onboarding::{onboard_with_ledger, DeviceClass, Enrollment};
@@ -49,7 +49,7 @@ fn print_table() {
     let body = format!(
         "certificate operations for 1 OLT + 8 ONUs, one onboarding each:\n\
          issued {}  chains validated {}  signatures {}  total {}\n\n\
-         (throughput numbers follow in the criterion output; compare\n\
+         (throughput numbers follow in the bench-runner output; compare\n\
          macsec/protect vs plaintext/copy for the data-plane overhead)",
         l.issued,
         l.chains_validated,
@@ -64,6 +64,7 @@ fn print_table() {
 }
 
 fn bench(c: &mut Criterion) {
+    c.experiment_id("E-L2");
     print_table();
     const FRAME: usize = 1500;
     let payload = vec![0xabu8; FRAME];
@@ -134,5 +135,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+genio_testkit::bench_main!(bench);

@@ -10,7 +10,7 @@
 
 use std::sync::Once;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use genio_testkit::bench::Criterion;
 use genio_bench::print_experiment_once;
 use genio_fim::fs::SimulatedFs;
 use genio_fim::monitor::FimMonitor;
@@ -111,6 +111,7 @@ fn print_table() {
 }
 
 fn bench(c: &mut Criterion) {
+    c.experiment_id("E-L3");
     print_table();
     for (name, policy) in policies() {
         let fs = SimulatedFs::olt_image();
@@ -146,5 +147,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+genio_testkit::bench_main!(bench);

@@ -9,7 +9,7 @@
 
 use std::sync::Once;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use genio_testkit::bench::Criterion;
 use genio_bench::{pct, print_experiment_once};
 use genio_supplychain::repo::{RepoClient, Repository};
 use genio_vulnmgmt::cve::reference_corpus;
@@ -81,6 +81,7 @@ fn print_table() {
 }
 
 fn bench(c: &mut Criterion) {
+    c.experiment_id("E-L4");
     print_table();
     let db = reference_corpus();
     let inv = PackageInventory::onl_olt();
@@ -112,5 +113,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+genio_testkit::bench_main!(bench);

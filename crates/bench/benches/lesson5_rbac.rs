@@ -9,7 +9,7 @@
 
 use std::sync::Once;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use genio_testkit::bench::Criterion;
 use genio_bench::{pct, print_experiment_once};
 use genio_orchestrator::checkers::{coverage, genio_tool_suite, ClusterConfig};
 use genio_orchestrator::rbac::{
@@ -85,6 +85,7 @@ fn print_table() {
 }
 
 fn bench(c: &mut Criterion) {
+    c.experiment_id("E-L5");
     print_table();
     c.bench_function("lesson5/authorize_scoped", |b| {
         let mut authz = Authorizer::new();
@@ -118,5 +119,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+genio_testkit::bench_main!(bench);

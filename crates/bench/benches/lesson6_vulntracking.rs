@@ -8,7 +8,7 @@
 
 use std::sync::Once;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use genio_testkit::bench::Criterion;
 use genio_bench::{pct, print_experiment_once};
 use genio_vulnmgmt::cve::reference_corpus;
 use genio_vulnmgmt::feed::TrackingPipeline;
@@ -67,6 +67,7 @@ fn print_table() {
 }
 
 fn bench(c: &mut Criterion) {
+    c.experiment_id("E-L6");
     print_table();
     let db = reference_corpus();
     let pipeline = TrackingPipeline::genio_default();
@@ -92,5 +93,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+genio_testkit::bench_main!(bench);

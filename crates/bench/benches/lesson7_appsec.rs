@@ -8,7 +8,7 @@
 
 use std::sync::Once;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use genio_testkit::bench::Criterion;
 use genio_appsec::dast::{fuzz, HardenedTenantApp, VulnerableTenantApp};
 use genio_appsec::image::Layer;
 use genio_appsec::image::{ContainerImage, Interface};
@@ -101,6 +101,7 @@ fn print_table() {
 }
 
 fn bench(c: &mut Criterion) {
+    c.experiment_id("E-L7");
     print_table();
     let image = reference_tenant_image();
     let corpus = app_cve_corpus();
@@ -120,5 +121,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+genio_testkit::bench_main!(bench);

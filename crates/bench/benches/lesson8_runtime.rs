@@ -10,7 +10,7 @@
 
 use std::sync::Once;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genio_testkit::bench::{BenchmarkId, Criterion, Throughput};
 use genio_bench::{pct, print_experiment_once};
 use genio_runtime::abuse::{interval, AbuseConfig, AbuseDetector};
 use genio_runtime::correlate::{compression, correlate};
@@ -113,6 +113,7 @@ fn print_table() {
 }
 
 fn bench(c: &mut Criterion) {
+    c.experiment_id("E-L8");
     print_table();
     let trace = mixed_trace("tenant-a", 2_000, 5);
 
@@ -154,5 +155,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+genio_testkit::bench_main!(bench);

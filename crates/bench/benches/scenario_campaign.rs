@@ -3,13 +3,14 @@
 
 use std::sync::Once;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use genio_testkit::bench::Criterion;
 use genio_bench::print_experiment_once;
 use genio_core::scenario::{run_campaign, CampaignConfig};
 
 static PRINTED: Once = Once::new();
 
 fn bench(c: &mut Criterion) {
+    c.experiment_id("E-S1");
     let report = run_campaign(&CampaignConfig::default());
     print_experiment_once(&PRINTED, "E-S1 — attack campaign matrix", &report.render());
 
@@ -21,5 +22,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+genio_testkit::bench_main!(bench);

@@ -1,7 +1,7 @@
 //! Property-based tests over the cryptographic primitives: the invariants
 //! every higher layer of the workspace silently relies on.
 
-use proptest::prelude::*;
+use genio_testkit::prelude::*;
 
 use genio_crypto::drbg::HmacDrbg;
 use genio_crypto::gcm::AesGcm;
@@ -12,11 +12,10 @@ use genio_crypto::sha256::{sha256, Sha256};
 use genio_crypto::sig::{MerkleSignature, MerkleSigner};
 use genio_crypto::{ct, dh};
 
-proptest! {
+property! {
     /// Incremental hashing over arbitrary chunkings equals one-shot.
-    #[test]
-    fn sha256_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..512),
-                                 splits in proptest::collection::vec(0usize..512, 0..6)) {
+    fn sha256_chunking_invariant(data in bytes(0..512),
+                                 splits in vec(0usize..512, 0..6)) {
         let oneshot = sha256(&data);
         let mut h = Sha256::new();
         let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % (data.len() + 1)).collect();
@@ -29,19 +28,21 @@ proptest! {
         h.update(&data[prev..]);
         prop_assert_eq!(h.finalize(), oneshot);
     }
+}
 
+property! {
     /// Hex encode/decode is a bijection on byte strings.
-    #[test]
-    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+    fn hex_roundtrip(data in bytes(0..256)) {
         let encoded = hex::encode(&data);
         prop_assert_eq!(hex::decode(&encoded).unwrap(), data);
     }
+}
 
+property! {
     /// HMAC verification accepts the genuine tag and rejects any single
     /// bit flip in it.
-    #[test]
-    fn hmac_bitflip_rejected(key in proptest::collection::vec(any::<u8>(), 1..64),
-                             data in proptest::collection::vec(any::<u8>(), 0..128),
+    fn hmac_bitflip_rejected(key in bytes(1..64),
+                             data in bytes(0..128),
                              byte in 0usize..32, bit in 0u8..8) {
         let tag = HmacSha256::mac(&key, &data);
         prop_assert!(HmacSha256::verify(&key, &data, &tag));
@@ -49,36 +50,39 @@ proptest! {
         bad[byte] ^= 1 << bit;
         prop_assert!(!HmacSha256::verify(&key, &data, &bad));
     }
+}
 
+property! {
     /// HKDF expansion of different lengths agrees on the shared prefix.
-    #[test]
-    fn hkdf_prefix_consistency(ikm in proptest::collection::vec(any::<u8>(), 1..64),
-                               info in proptest::collection::vec(any::<u8>(), 0..32),
+    fn hkdf_prefix_consistency(ikm in bytes(1..64),
+                               info in bytes(0..32),
                                short in 1usize..64, extra in 1usize..64) {
         let a = hkdf::derive(b"salt", &ikm, &info, short);
         let b = hkdf::derive(b"salt", &ikm, &info, short + extra);
         prop_assert_eq!(&a[..], &b[..short]);
     }
+}
 
+property! {
     /// GCM seal/open roundtrips for any key size, payload and AAD.
-    #[test]
     fn gcm_roundtrip(key_sel in 0u8..3,
-                     key in proptest::collection::vec(any::<u8>(), 32),
-                     nonce in proptest::collection::vec(any::<u8>(), 12),
-                     pt in proptest::collection::vec(any::<u8>(), 0..256),
-                     aad in proptest::collection::vec(any::<u8>(), 0..64)) {
+                     key in bytes(32),
+                     nonce in bytes(12),
+                     pt in bytes(0..256),
+                     aad in bytes(0..64)) {
         let len = [16, 24, 32][key_sel as usize];
         let aead = AesGcm::new(&key[..len]).unwrap();
         let n: [u8; 12] = nonce.try_into().unwrap();
         let sealed = aead.seal(&n, &pt, &aad);
         prop_assert_eq!(aead.open(&n, &sealed, &aad).unwrap(), pt);
     }
+}
 
+property! {
     /// Any single bit flip anywhere in the sealed blob breaks the tag.
-    #[test]
-    fn gcm_bitflip_rejected(key in proptest::collection::vec(any::<u8>(), 16),
-                            pt in proptest::collection::vec(any::<u8>(), 1..128),
-                            pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+    fn gcm_bitflip_rejected(key in bytes(16),
+                            pt in bytes(1..128),
+                            pos in index(), bit in 0u8..8) {
         let aead = AesGcm::new(&key).unwrap();
         let nonce = [9u8; 12];
         let mut sealed = aead.seal(&nonce, &pt, b"aad");
@@ -86,17 +90,19 @@ proptest! {
         sealed[idx] ^= 1 << bit;
         prop_assert!(aead.open(&nonce, &sealed, b"aad").is_err());
     }
+}
 
+property! {
     /// Constant-time equality agrees with ==.
-    #[test]
-    fn ct_eq_matches_eq(a in proptest::collection::vec(any::<u8>(), 0..64),
-                        b in proptest::collection::vec(any::<u8>(), 0..64)) {
+    fn ct_eq_matches_eq(a in bytes(0..64),
+                        b in bytes(0..64)) {
         prop_assert_eq!(ct::eq(&a, &b), a == b);
     }
+}
 
+property! {
     /// Field algebra mod 2^127-1: commutativity, associativity,
     /// distributivity, and Fermat inverses for nonzero elements.
-    #[test]
     fn dh_field_axioms(a in 0u128..dh::P, b in 0u128..dh::P, c in 0u128..dh::P) {
         prop_assert_eq!(dh::mul(a, b), dh::mul(b, a));
         prop_assert_eq!(dh::mul(dh::mul(a, b), c), dh::mul(a, dh::mul(b, c)));
@@ -106,11 +112,12 @@ proptest! {
             prop_assert_eq!(dh::mul(a, inv), 1);
         }
     }
+}
 
+property! {
     /// DH key agreement is symmetric for arbitrary seeds.
-    #[test]
-    fn dh_agreement_symmetric(seed_a in proptest::collection::vec(any::<u8>(), 1..32),
-                              seed_b in proptest::collection::vec(any::<u8>(), 1..32)) {
+    fn dh_agreement_symmetric(seed_a in bytes(1..32),
+                              seed_b in bytes(1..32)) {
         let mut rng_a = HmacDrbg::new(&seed_a);
         let mut rng_b = HmacDrbg::new(&seed_b);
         let ka = dh::KeyPair::generate(&mut rng_a);
@@ -120,11 +127,12 @@ proptest! {
             kb.shared_secret(ka.public()).unwrap()
         );
     }
+}
 
+property! {
     /// DRBG determinism: same seed, same stream; the stream has no trivial
     /// repetition across consecutive blocks.
-    #[test]
-    fn drbg_deterministic(seed in proptest::collection::vec(any::<u8>(), 1..64)) {
+    fn drbg_deterministic(seed in bytes(1..64)) {
         let mut x = HmacDrbg::new(&seed);
         let mut y = HmacDrbg::new(&seed);
         let bx = x.bytes(64);
@@ -133,14 +141,11 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
+property! {
     /// Merkle signatures survive serialization and verify only the signed
-    /// message (expensive: few cases).
-    #[test]
-    fn merkle_signature_serialization(seed in proptest::collection::vec(any::<u8>(), 1..16),
-                                      msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+    /// message (expensive under proptest, full 64 cases here).
+    fn merkle_signature_serialization(seed in bytes(1..16),
+                                      msg in bytes(0..64)) {
         let mut signer = MerkleSigner::from_seed(&seed, 1);
         let public = signer.public();
         let sig = signer.sign(&msg).unwrap();

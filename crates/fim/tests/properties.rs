@@ -1,13 +1,13 @@
 //! Property-based tests for FIM soundness and the tamper-evident log.
 
-use proptest::prelude::*;
+use genio_testkit::prelude::*;
 
 use genio_fim::fs::SimulatedFs;
 use genio_fim::monitor::{Alert, AlertLog, ChangeKind, FimMonitor};
 use genio_fim::policy::{FimPolicy, PathClass};
 
 fn arb_critical_path() -> impl Strategy<Value = String> {
-    prop::sample::select(vec![
+    select(vec![
         "/usr/sbin/sshd",
         "/usr/bin/su",
         "/usr/sbin/voltha-agent",
@@ -19,12 +19,11 @@ fn arb_critical_path() -> impl Strategy<Value = String> {
     .prop_map(str::to_string)
 }
 
-proptest! {
+property! {
     /// Soundness: modifying any critical file always raises exactly one
     /// Modified alert for that path, and no other alert.
-    #[test]
     fn any_critical_modification_detected(path in arb_critical_path(),
-                                          new_content in proptest::collection::vec(any::<u8>(), 1..64)) {
+                                          new_content in bytes(1..64)) {
         let fs = SimulatedFs::olt_image();
         let monitor = FimMonitor::baseline(&fs, &FimPolicy::genio_default(), b"k");
         let mut tampered = fs.clone();
@@ -36,12 +35,13 @@ proptest! {
         prop_assert_eq!(&result.alerts[0].path, &path);
         prop_assert_eq!(result.alerts[0].kind, ChangeKind::Modified);
     }
+}
 
+property! {
     /// Completeness of the quiet case: scanning an unmodified filesystem
     /// never alerts, under any policy.
-    #[test]
-    fn clean_scan_silent_under_any_policy(rules in proptest::collection::vec(
-        (prop::sample::select(vec!["/usr", "/etc", "/var", "/boot", "/tmp"]), 0u8..3), 0..5)) {
+    fn clean_scan_silent_under_any_policy(rules in vec(
+        (select(vec!["/usr", "/etc", "/var", "/boot", "/tmp"]), 0u8..3), 0..5)) {
         let mut policy = FimPolicy::naive();
         for (prefix, class) in rules {
             let class = match class {
@@ -57,11 +57,12 @@ proptest! {
         prop_assert!(result.alerts.is_empty());
         prop_assert!(result.expected_changes.is_empty());
     }
+}
 
+property! {
     /// The hash-chained alert log verifies iff untouched: removing any
     /// entry (except trimming the final suffix entirely) breaks it.
-    #[test]
-    fn alert_log_tamper_evident(n in 2usize..20, scrub in any::<prop::sample::Index>()) {
+    fn alert_log_tamper_evident(n in 2usize..20, scrub in index()) {
         let mut log = AlertLog::new();
         for i in 0..n {
             log.append(Alert {

@@ -1,7 +1,7 @@
 //! Property-based tests for the hardening engine: remediation soundness
 //! and constraint preservation on randomized OS states.
 
-use proptest::prelude::*;
+use genio_testkit::prelude::*;
 
 use genio_hardening::check::Verdict;
 use genio_hardening::osstate::{OsState, ServiceState};
@@ -10,11 +10,11 @@ use genio_hardening::remediate::{harden, olt_sdn_constraints, Constraint};
 
 fn arb_os() -> impl Strategy<Value = OsState> {
     (
-        any::<bool>(), // telnet on
-        any::<bool>(), // root ssh
-        any::<bool>(), // repos signed
-        0u32..0o1000,  // shadow mode
-        any::<bool>(), // kexec
+        any_bool(),   // telnet on
+        any_bool(),   // root ssh
+        any_bool(),   // repos signed
+        0u32..0o1000, // shadow mode
+        any_bool(),   // kexec
     )
         .prop_map(|(telnet, root_ssh, signed, shadow_mode, kexec)| {
             let mut os = OsState::onl_factory();
@@ -41,10 +41,9 @@ fn arb_os() -> impl Strategy<Value = OsState> {
         })
 }
 
-proptest! {
+property! {
     /// Unconstrained hardening always converges with zero residual
     /// failures, from any starting state.
-    #[test]
     fn unconstrained_hardening_converges_clean(mut os in arb_os()) {
         let outcome = harden(&mut os, &all_profiles(), &[]);
         prop_assert_eq!(outcome.residual_failures(), 0);
@@ -53,10 +52,11 @@ proptest! {
         let second = harden(&mut os, &all_profiles(), &[]);
         prop_assert!(second.applied.is_empty());
     }
+}
 
+property! {
     /// Constrained hardening never violates its constraints, whatever the
     /// starting state.
-    #[test]
     fn constraints_always_preserved(mut os in arb_os()) {
         let constraints = olt_sdn_constraints();
         harden(&mut os, &all_profiles(), &constraints);
@@ -78,10 +78,11 @@ proptest! {
             }
         }
     }
+}
 
+property! {
     /// Scan verdict partition: every check is exactly one of pass, fail,
     /// not-applicable; score and applicability stay in [0, 1].
-    #[test]
     fn scan_partition_invariant(os in arb_os()) {
         for profile in all_profiles() {
             let report = profile.scan(&os);
@@ -93,10 +94,11 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&report.applicability()));
         }
     }
+}
 
+property! {
     /// Hardening is monotone per check: no check that passed before a
     /// remediation pass fails after it.
-    #[test]
     fn hardening_never_regresses_checks(mut os in arb_os()) {
         let profile = scap_baseline();
         let before = profile.scan(&os);

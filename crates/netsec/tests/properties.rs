@@ -1,15 +1,14 @@
 //! Property-based tests for the MACsec anti-replay window and record
 //! protection.
 
-use proptest::prelude::*;
+use genio_testkit::prelude::*;
 
 use genio_netsec::macsec::{MacsecConfig, MacsecFrame, MacsecPeer};
 
-proptest! {
+property! {
     /// In-order delivery of any number of frames is always accepted, and a
     /// second delivery of any one of them is always rejected.
-    #[test]
-    fn macsec_in_order_then_replay(count in 1usize..64, replay_at in any::<prop::sample::Index>()) {
+    fn macsec_in_order_then_replay(count in 1usize..64, replay_at in index()) {
         let cfg = MacsecConfig::default();
         let mut tx = MacsecPeer::new(1, &cfg, b"cak").unwrap();
         let mut rx = MacsecPeer::new(2, &cfg, b"cak").unwrap();
@@ -21,19 +20,18 @@ proptest! {
         let victim = &frames[replay_at.index(count)];
         prop_assert!(rx.validate(victim).is_err());
     }
+}
 
+property! {
     /// Any permutation of a window-sized batch is fully accepted: each
     /// frame exactly once, regardless of arrival order.
-    #[test]
-    fn macsec_window_permutation(order in Just(()).prop_flat_map(|_| {
-        proptest::collection::vec(0usize..32, 32).prop_map(|mut v| {
-            // Build a permutation of 0..32 deterministically from v.
-            let mut perm: Vec<usize> = (0..32).collect();
-            for (i, x) in v.drain(..).enumerate() {
-                perm.swap(i, x % 32);
-            }
-            perm
-        })
+    fn macsec_window_permutation(order in vec(0usize..32, 32).prop_map(|mut v| {
+        // Build a permutation of 0..32 deterministically from v.
+        let mut perm: Vec<usize> = (0..32).collect();
+        for (i, x) in v.drain(..).enumerate() {
+            perm.swap(i, x % 32);
+        }
+        perm
     })) {
         let cfg = MacsecConfig { replay_window: 64, pn_limit: u32::MAX as u64 };
         let mut tx = MacsecPeer::new(1, &cfg, b"cak").unwrap();
@@ -52,11 +50,12 @@ proptest! {
             prop_assert!(rx.validate(f).is_err());
         }
     }
+}
 
+property! {
     /// Tampering any byte of the secure data always fails validation.
-    #[test]
-    fn macsec_tamper_always_detected(payload in proptest::collection::vec(any::<u8>(), 1..256),
-                                     pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+    fn macsec_tamper_always_detected(payload in bytes(1..256),
+                                     pos in index(), bit in 0u8..8) {
         let cfg = MacsecConfig::default();
         let mut tx = MacsecPeer::new(1, &cfg, b"cak").unwrap();
         let mut rx = MacsecPeer::new(2, &cfg, b"cak").unwrap();
@@ -65,10 +64,11 @@ proptest! {
         frame.secure_data[idx] ^= 1 << bit;
         prop_assert!(rx.validate(&frame).is_err());
     }
+}
 
+property! {
     /// Roundtrip with arbitrary payloads under every supported window size.
-    #[test]
-    fn macsec_roundtrip_any_window(payload in proptest::collection::vec(any::<u8>(), 0..512),
+    fn macsec_roundtrip_any_window(payload in bytes(0..512),
                                    window in 0u64..128) {
         let cfg = MacsecConfig { replay_window: window, pn_limit: u32::MAX as u64 };
         let mut tx = MacsecPeer::new(1, &cfg, b"cak").unwrap();

@@ -1,6 +1,6 @@
 //! Property-based tests for scheduling, RBAC and admission invariants.
 
-use proptest::prelude::*;
+use genio_testkit::prelude::*;
 
 use genio_orchestrator::admission::{evaluate, AdmissionLevel};
 use genio_orchestrator::cluster::Cluster;
@@ -10,13 +10,13 @@ use genio_orchestrator::workload::{Capability, IsolationMode, PodSpec};
 
 fn arb_pod() -> impl Strategy<Value = PodSpec> {
     (
-        "[a-z]{3,8}",
-        prop::sample::select(vec!["tenant-a", "tenant-b", "tenant-bank", "genio-system"]),
+        lowercase_string(3..9),
+        select(vec!["tenant-a", "tenant-b", "tenant-bank", "genio-system"]),
         1u64..3_000,
         1u64..6_000,
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
+        any_bool(),
+        any_bool(),
+        any_bool(),
     )
         .prop_map(|(name, ns, cpu, mem, hard, privileged, sys_admin)| {
             let mut pod = PodSpec::new(&name, ns, "img");
@@ -37,11 +37,10 @@ fn arb_pod() -> impl Strategy<Value = PodSpec> {
         })
 }
 
-proptest! {
+property! {
     /// The scheduler never overcommits any VM and never violates isolation
     /// placement, whatever the pod stream.
-    #[test]
-    fn scheduler_never_overcommits(pods in proptest::collection::vec(arb_pod(), 0..40)) {
+    fn scheduler_never_overcommits(pods in vec(arb_pod(), 0..40)) {
         let mut cluster = Cluster::genio_edge();
         for (i, mut pod) in pods.into_iter().enumerate() {
             pod.name = format!("{}-{i}", pod.name);
@@ -62,10 +61,11 @@ proptest! {
             prop_assert!(cluster.vm_memory_used(&vm.name) <= vm.memory_mb, "{} mem", vm.name);
         }
     }
+}
 
+property! {
     /// Admission is monotone: anything rejected at Baseline is also
     /// rejected at Restricted, and Privileged rejects nothing.
-    #[test]
     fn admission_monotone(pod in arb_pod()) {
         let privileged = evaluate(&pod, AdmissionLevel::Privileged);
         let baseline = evaluate(&pod, AdmissionLevel::Baseline);
@@ -76,11 +76,12 @@ proptest! {
             prop_assert!(restricted.contains(v), "baseline violation missing at restricted");
         }
     }
+}
 
+property! {
     /// A wildcard role allows everything any enumerated role allows.
-    #[test]
-    fn rbac_wildcard_superset(verbs in proptest::collection::vec(0usize..9, 1..4),
-                              resources in proptest::collection::vec(0usize..16, 1..4)) {
+    fn rbac_wildcard_superset(verbs in vec(0usize..9, 1..4),
+                              resources in vec(0usize..16, 1..4)) {
         let verb_names: Vec<&str> = verbs.iter().map(|i| ALL_VERBS[*i]).collect();
         let resource_names: Vec<&str> = resources.iter().map(|i| ALL_RESOURCES[*i]).collect();
         let enumerated = Role::new("enumerated").rule(Rule::new(&verb_names, &resource_names));
@@ -94,11 +95,12 @@ proptest! {
         }
         prop_assert!(enumerated.permission_surface() <= wildcard.permission_surface());
     }
+}
 
+property! {
     /// Authorization is monotone in bindings: adding a binding never
     /// revokes a previously allowed request.
-    #[test]
-    fn rbac_binding_monotone(namespaced in any::<bool>()) {
+    fn rbac_binding_monotone(namespaced in any_bool()) {
         let mut authz = Authorizer::new();
         authz.add_role(Role::new("r1").rule(Rule::new(&["get"], &["pods"])));
         authz.add_role(Role::new("r2").rule(Rule::new(&["delete"], &["pods"])));

@@ -1,14 +1,14 @@
 //! Property-based tests for the PON substrate: DBA invariants, replay
 //! monotonicity and topology bounds.
 
-use proptest::prelude::*;
+use genio_testkit::prelude::*;
 
 use genio_pon::security::GemCrypto;
 use genio_pon::tdma::{compute_map, BandwidthRequest, DbaConfig, ServiceClass};
 use genio_pon::topology::PonTree;
 
 fn arb_requests() -> impl Strategy<Value = Vec<BandwidthRequest>> {
-    proptest::collection::vec(
+    vec(
         (1u32..64, 0u64..500_000, 0u8..3).prop_map(|(onu, bytes, class)| BandwidthRequest {
             onu,
             queued_bytes: bytes,
@@ -22,11 +22,10 @@ fn arb_requests() -> impl Strategy<Value = Vec<BandwidthRequest>> {
     )
 }
 
-proptest! {
+property! {
     /// The DBA never grants more than cycle capacity, never grants any ONU
     /// more than the max share, never grants more than requested in total
     /// per ONU, and windows never overlap.
-    #[test]
     fn dba_invariants(requests in arb_requests(), max_share in 1u32..=10) {
         let config = DbaConfig {
             cycle_ns: 125_000,
@@ -55,9 +54,10 @@ proptest! {
             prop_assert!((0.0..=1.0 + 1e-9).contains(&f));
         }
     }
+}
 
+property! {
     /// Fixed-class demand is never starved by best-effort demand.
-    #[test]
     fn dba_fixed_priority(fixed_bytes in 1u64..50_000, be_bytes in 1u64..1_000_000) {
         let config = DbaConfig { cycle_ns: 125_000, bytes_per_ns: 1.25, max_share: 1.0 };
         let map = compute_map(&config, &[
@@ -68,10 +68,11 @@ proptest! {
         let expected = fixed_bytes.min(capacity);
         prop_assert_eq!(map.grant(1).map(|g| g.bytes).unwrap_or(0), expected);
     }
+}
 
+property! {
     /// GEM crypto: any frame decrypts exactly once; all later attempts are
     /// replays, in any order of a delivered prefix.
-    #[test]
     fn gem_replay_exactly_once(count in 1usize..20) {
         let mut olt = GemCrypto::new(b"prop");
         let mut onu = GemCrypto::new(b"prop");
@@ -89,10 +90,11 @@ proptest! {
             prop_assert!(onu.decrypt(f).is_err());
         }
     }
+}
 
+property! {
     /// Topology: RTT is monotone in drop-fiber length and ids are unique.
-    #[test]
-    fn topology_rtt_monotone(lengths in proptest::collection::vec(1u32..30_000, 2..16)) {
+    fn topology_rtt_monotone(lengths in vec(1u32..30_000, 2..16)) {
         let mut tree = PonTree::builder("olt").split_ratio(32).trunk_m(5_000).build();
         let mut ids = Vec::new();
         for (i, len) in lengths.iter().enumerate() {

@@ -1,34 +1,35 @@
 //! Property-based tests for the Falco-like DSL and detection invariants.
 
-use proptest::prelude::*;
+use genio_testkit::prelude::*;
 
 use genio_runtime::events::{attack_burst, benign_workload};
 use genio_runtime::falco::{eval, parse, score, Engine, RuleSetTier};
 
-proptest! {
+property! {
     /// The parser never panics on arbitrary input: it returns Ok or Err.
-    #[test]
-    fn parser_total(input in ".{0,80}") {
+    fn parser_total(input in printable_string(0..81)) {
         let _ = parse(&input);
     }
+}
 
+property! {
     /// Parse → eval is deterministic: the same condition on the same event
     /// always yields the same verdict.
-    #[test]
-    fn eval_deterministic(field in prop::sample::select(vec![
+    fn eval_deterministic(field in select(vec![
             "evt.type", "proc.name", "fd.path", "fd.port", "user.tenant"]),
-        value in "[a-z0-9/]{1,12}") {
+        value in string_of("abcdefghijklmnopqrstuvwxyz0123456789/", 1..13)) {
         let cond = parse(&format!("{field} = {value}")).unwrap();
         let burst = attack_burst("t", 0);
         for event in &burst {
             prop_assert_eq!(eval(&cond, event), eval(&cond, event));
         }
     }
+}
 
+property! {
     /// De Morgan on the DSL: `not (a or b)` ≡ `not a and not b` over all
     /// generated events.
-    #[test]
-    fn de_morgan(a_val in "[a-z]{1,8}", b_val in "[a-z]{1,8}") {
+    fn de_morgan(a_val in lowercase_string(1..9), b_val in lowercase_string(1..9)) {
         let lhs = parse(&format!("not (proc.name = {a_val} or user.tenant = {b_val})")).unwrap();
         let rhs = parse(&format!("not proc.name = {a_val} and not user.tenant = {b_val}")).unwrap();
         let mut events = benign_workload("tenant-x", 20);
@@ -37,10 +38,11 @@ proptest! {
             prop_assert_eq!(eval(&lhs, e), eval(&rhs, e));
         }
     }
+}
 
+property! {
     /// Tier monotonicity holds for any benign/burst mixture: FP and recall
     /// never decrease as strictness rises.
-    #[test]
     fn tier_monotone(benign in 10usize..200, bursts in 0usize..4) {
         let mut trace = benign_workload("t", benign);
         for i in 0..bursts {
@@ -57,9 +59,10 @@ proptest! {
             prev_tp = s.true_positives;
         }
     }
+}
 
+property! {
     /// Confusion-matrix accounting always sums to the trace length.
-    #[test]
     fn stats_account_for_every_event(benign in 0usize..100, bursts in 0usize..3) {
         let mut trace = benign_workload("t", benign);
         for i in 0..bursts {

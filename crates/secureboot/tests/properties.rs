@@ -1,18 +1,16 @@
 //! Property-based tests for TPM semantics and boot-chain enforcement.
 
-use proptest::prelude::*;
+use genio_testkit::prelude::*;
 
 use genio_secureboot::bootchain::{boot, BootPolicy, ImageSigner, KeyDb, StageKind};
 use genio_secureboot::tpm::Tpm;
 
-proptest! {
+property! {
     /// PCR values depend only on the measurement sequence, never on the
     /// endorsement seed; and any difference in the sequence diverges them.
-    #[test]
-    fn pcr_determined_by_measurements(seed_a in proptest::collection::vec(any::<u8>(), 1..16),
-                                      seed_b in proptest::collection::vec(any::<u8>(), 1..16),
-                                      measurements in proptest::collection::vec(
-                                          proptest::collection::vec(any::<u8>(), 1..16), 1..8)) {
+    fn pcr_determined_by_measurements(seed_a in bytes(1..16),
+                                      seed_b in bytes(1..16),
+                                      measurements in vec(bytes(1..16), 1..8)) {
         let mut a = Tpm::new(&seed_a);
         let mut b = Tpm::new(&seed_b);
         for m in &measurements {
@@ -24,12 +22,13 @@ proptest! {
         b.extend(3, b"tail");
         prop_assert_ne!(a.read(3), b.read(3));
     }
+}
 
+property! {
     /// Seal/unseal: a secret sealed to a selection unseals iff none of the
     /// selected PCRs changed afterwards.
-    #[test]
-    fn seal_respects_selection(secret in proptest::collection::vec(any::<u8>(), 1..64),
-                               touch_selected in any::<bool>()) {
+    fn seal_respects_selection(secret in bytes(1..64),
+                               touch_selected in any_bool()) {
         let mut tpm = Tpm::new(b"prop");
         tpm.extend(0, b"fw");
         tpm.extend(8, b"kernel");
@@ -42,12 +41,13 @@ proptest! {
             prop_assert_eq!(tpm.unseal(&blob).unwrap(), secret);
         }
     }
+}
 
+property! {
     /// Quotes verify only with the exact nonce and digest they were made
     /// over.
-    #[test]
-    fn quote_binding(nonce in proptest::collection::vec(any::<u8>(), 1..32),
-                     other in proptest::collection::vec(any::<u8>(), 1..32)) {
+    fn quote_binding(nonce in bytes(1..32),
+                     other in bytes(1..32)) {
         let mut tpm = Tpm::new(b"prop");
         tpm.extend(0, b"m");
         let q = tpm.quote(&[0], &nonce);
@@ -56,17 +56,13 @@ proptest! {
             prop_assert!(!tpm.verify_quote(&q, &other));
         }
     }
-
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
+property! {
     /// Enforcing boot completes iff no stage is tampered; the halt happens
-    /// exactly at the first tampered stage. (Few cases: hash-based image
-    /// signing makes each case expensive.)
-    #[test]
-    fn boot_halts_at_first_tamper(tamper in proptest::collection::vec(any::<bool>(), 4)) {
+    /// exactly at the first tampered stage. (Expensive under proptest,
+    /// full 64 cases here.)
+    fn boot_halts_at_first_tamper(tamper in vec(any_bool(), 4)) {
         let mut owner = ImageSigner::from_seed(b"owner");
         let mut keys = KeyDb::new();
         keys.trust_vendor(owner.public());

@@ -1,21 +1,17 @@
 //! Property-based tests for the supply-chain verification chains.
 
-use proptest::prelude::*;
+use genio_testkit::prelude::*;
 
 use genio_supplychain::repo::{RepoClient, Repository};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
+property! {
     /// Whatever gets published, a trusting client fetches exactly the
     /// published bytes; tampering any single published package is always
-    /// caught, and only that package is affected. (Few cases: hash-based
-    /// repository signing makes each case expensive.)
-    #[test]
-    fn repo_end_to_end_integrity(contents in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..64), 1..6),
-        victim in any::<prop::sample::Index>(),
-        flip in any::<u8>()) {
+    /// caught, and only that package is affected. (Expensive under
+    /// proptest, full 64 cases here.)
+    fn repo_end_to_end_integrity(contents in vec(bytes(0..64), 1..6),
+                                 victim in index(),
+                                 flip in any_u8()) {
         let mut repo = Repository::new("prop", b"repo-key").unwrap();
         for (i, c) in contents.iter().enumerate() {
             repo.publish(&format!("pkg-{i}"), "1.0.0", c).unwrap();
@@ -39,10 +35,11 @@ proptest! {
             }
         }
     }
+}
 
+property! {
     /// Freshness: a client that saw serial N never accepts a replayed
     /// snapshot with serial < N, for any publish history length.
-    #[test]
     fn release_freshness_monotone(updates in 1usize..6) {
         let mut repo = Repository::new("prop", b"fresh-key").unwrap();
         repo.publish("pkg", "1.0.0", b"v0").unwrap();

@@ -1,0 +1,561 @@
+//! Composable value generators ("strategies") with greedy shrinking.
+//!
+//! A [`Strategy`] knows how to generate a value from an [`Rng`] and how to
+//! propose strictly simpler candidate values for an observed failure.
+//! Shrinking is greedy and bounded by the runner: scalars bisect toward
+//! their lower bound, collections halve and drop elements, and mapped
+//! strategies do not shrink (the pre-image is not retained).
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use crate::rng::Rng;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + fmt::Debug;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, simplest first. An empty
+    /// vector means the value is already minimal (or unshrinkable).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Applies `f` to every generated value (proptest's `prop_map`).
+    /// Mapped values do not shrink.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Clone + fmt::Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Clone + fmt::Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer ranges: `0usize..512`, `1u32..=10`, … are strategies directly.
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $draw:ident / $width:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as $width).wrapping_sub(self.start as $width);
+                self.start.wrapping_add(rng.$draw(width) as $t)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start, *value)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as $width).wrapping_sub(lo as $width);
+                if span == <$width>::MAX {
+                    // Full-width range: every draw is valid as-is.
+                    return rng.$draw(<$width>::MAX) as $t;
+                }
+                lo.wrapping_add(rng.$draw(span + 1) as $t)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start(), *value)
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(
+    u8 => below / u64,
+    u16 => below / u64,
+    u32 => below / u64,
+    u64 => below / u64,
+    usize => below / u64,
+    u128 => below_u128 / u128,
+);
+
+/// Greedy scalar shrink: lower bound first, then bisection, then
+/// decrement — the "bisect scalars" rule.
+fn shrink_toward<T>(lo: T, v: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + PartialEq + Midpoint,
+{
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mid = T::midpoint(lo, v);
+    if mid != lo && mid != v {
+        out.push(mid);
+    }
+    let dec = v.decrement();
+    if dec != lo && !out.contains(&dec) {
+        out.push(dec);
+    }
+    out
+}
+
+/// Midpoint/decrement helper for scalar shrinking.
+pub trait Midpoint {
+    fn midpoint(lo: Self, hi: Self) -> Self;
+    fn decrement(self) -> Self;
+}
+
+macro_rules! impl_midpoint {
+    ($($t:ty),+) => {$(
+        impl Midpoint for $t {
+            fn midpoint(lo: Self, hi: Self) -> Self {
+                lo + (hi - lo) / 2
+            }
+            fn decrement(self) -> Self {
+                self - 1
+            }
+        }
+    )+};
+}
+
+impl_midpoint!(u8, u16, u32, u64, u128, usize);
+
+// ---------------------------------------------------------------------------
+// Primitive helpers.
+// ---------------------------------------------------------------------------
+
+/// Any byte (`0..=255`); shrinks toward zero.
+#[derive(Clone, Debug)]
+pub struct AnyU8;
+
+/// Full-range `u8`.
+pub fn any_u8() -> AnyU8 {
+    AnyU8
+}
+
+impl Strategy for AnyU8 {
+    type Value = u8;
+
+    fn generate(&self, rng: &mut Rng) -> u8 {
+        rng.byte()
+    }
+
+    fn shrink(&self, value: &u8) -> Vec<u8> {
+        shrink_toward(0u8, *value)
+    }
+}
+
+/// Uniform boolean.
+#[derive(Clone, Debug)]
+pub struct AnyBool;
+
+/// Any boolean; `false` is the simpler value.
+pub fn any_bool() -> AnyBool {
+    AnyBool
+}
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.bool()
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Any `u64`; shrinks toward zero.
+#[derive(Clone, Debug)]
+pub struct AnyU64;
+
+/// Full-range `u64`.
+pub fn any_u64() -> AnyU64 {
+    AnyU64
+}
+
+impl Strategy for AnyU64 {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut Rng) -> u64 {
+        rng.next_u64()
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        shrink_toward(0u64, *value)
+    }
+}
+
+/// `Just`: always the same value; never shrinks.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+/// A strategy producing exactly `value` every time.
+pub fn just<T: Clone + fmt::Debug>(value: T) -> Just<T> {
+    Just(value)
+}
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections.
+// ---------------------------------------------------------------------------
+
+/// Length specification for [`vec`]: an exact length or a range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    pub min: usize,
+    /// Exclusive upper bound.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        SizeRange { min: r.start, max: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() + 1 }
+    }
+}
+
+/// See [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: SizeRange,
+}
+
+/// A vector of `elem`-generated values with length drawn from `len`.
+///
+/// Shrinks by the "halve lengths" rule: truncate to the minimum, halve,
+/// drop single elements, then shrink individual elements in place.
+pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { elem, len: len.into() }
+}
+
+/// `Vec<u8>` of the given length spec — the most common generator.
+pub fn bytes(len: impl Into<SizeRange>) -> VecStrategy<AnyU8> {
+    vec(AnyU8, len)
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let span = (self.len.max - self.len.min) as u64;
+        let len = self.len.min + if span == 0 { 0 } else { rng.below(span) as usize };
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+        // Length reductions first: minimal, halved, one shorter.
+        if len > self.len.min {
+            out.push(value[..self.len.min].to_vec());
+            let half = self.len.min.max(len / 2);
+            if half != self.len.min && half != len {
+                out.push(value[..half].to_vec());
+            }
+            if len - 1 != self.len.min && len - 1 != len / 2 {
+                out.push(value[..len - 1].to_vec());
+            }
+            // Dropping interior elements reaches minima that pure
+            // truncation cannot (e.g. a failing element at the front).
+            for i in 0..len {
+                let mut shorter = value.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // Element-wise shrinks.
+        for i in 0..len {
+            for cand in self.elem.shrink(&value[i]) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Choice.
+// ---------------------------------------------------------------------------
+
+/// See [`select`].
+#[derive(Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+/// Picks uniformly from a fixed list of items (proptest's
+/// `sample::select`). Does not shrink.
+pub fn select<T: Clone + fmt::Debug>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select over empty list");
+    Select { items }
+}
+
+impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Index (proptest's `sample::Index`).
+// ---------------------------------------------------------------------------
+
+/// A length-agnostic position: resolved against a concrete collection
+/// length at use time via [`Index::index`].
+#[derive(Clone, Copy, Debug)]
+pub struct Index(pub u64);
+
+impl Index {
+    /// Resolves to a position in `[0, len)`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+/// See [`Index`].
+#[derive(Clone, Debug)]
+pub struct IndexStrategy;
+
+/// Strategy producing an [`Index`]; shrinks its raw value toward zero
+/// (i.e. toward the front of whatever collection it indexes).
+pub fn index() -> IndexStrategy {
+    IndexStrategy
+}
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+
+    fn generate(&self, rng: &mut Rng) -> Index {
+        Index(rng.next_u64())
+    }
+
+    fn shrink(&self, value: &Index) -> Vec<Index> {
+        shrink_toward(0u64, value.0).into_iter().map(Index).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strings.
+// ---------------------------------------------------------------------------
+
+/// See [`string_of`].
+#[derive(Clone)]
+pub struct StringStrategy {
+    charset: Vec<char>,
+    len: SizeRange,
+}
+
+/// A string whose characters are drawn uniformly from `charset` and whose
+/// length is drawn from `len`. Shrinks by truncation.
+pub fn string_of(charset: &str, len: impl Into<SizeRange>) -> StringStrategy {
+    let charset: Vec<char> = charset.chars().collect();
+    assert!(!charset.is_empty(), "string_of with empty charset");
+    StringStrategy { charset, len: len.into() }
+}
+
+/// Printable-ASCII string (the port of `"[ -~]{a,b}"` / `".{a,b}"`
+/// proptest regexes).
+pub fn printable_string(len: impl Into<SizeRange>) -> StringStrategy {
+    let charset: String = (b' '..=b'~').map(char::from).collect();
+    string_of(&charset, len)
+}
+
+/// Lowercase-ASCII string (`"[a-z]{a,b}"`).
+pub fn lowercase_string(len: impl Into<SizeRange>) -> StringStrategy {
+    string_of("abcdefghijklmnopqrstuvwxyz", len)
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Rng) -> String {
+        let span = (self.len.max - self.len.min) as u64;
+        let len = self.len.min + if span == 0 { 0 } else { rng.below(span) as usize };
+        (0..len)
+            .map(|_| self.charset[rng.below(self.charset.len() as u64) as usize])
+            .collect()
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let len = value.chars().count();
+        let mut out = Vec::new();
+        if len > self.len.min {
+            let take = |n: usize| value.chars().take(n).collect::<String>();
+            out.push(take(self.len.min));
+            let half = self.len.min.max(len / 2);
+            if half != self.len.min && half != len {
+                out.push(take(half));
+            }
+            if len - 1 != self.len.min && len - 1 != len / 2 {
+                out.push(take(len - 1));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples.
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_generation_stays_in_bounds() {
+        let mut rng = Rng::from_seed(3);
+        for _ in 0..500 {
+            let v = (10usize..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (1u32..=10).generate(&mut rng);
+            assert!((1..=10).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_length_in_bounds() {
+        let mut rng = Rng::from_seed(4);
+        let strat = bytes(3..7);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        let exact = bytes(12);
+        assert_eq!(exact.generate(&mut rng).len(), 12);
+    }
+
+    #[test]
+    fn scalar_shrink_bisects_toward_lower_bound() {
+        let cands = (5u64..100).shrink(&80);
+        assert!(cands.contains(&5));
+        assert!(cands.contains(&42)); // 5 + (80-5)/2
+        assert!(cands.contains(&79));
+        assert!((5u64..100).shrink(&5).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_halves_and_drops() {
+        let strat = vec(0u8..10, 0..8);
+        let v = vec![1u8, 2, 3, 4];
+        let cands = strat.shrink(&v);
+        assert!(cands.contains(&vec![]));
+        assert!(cands.contains(&vec![1, 2]));
+        assert!(cands.contains(&vec![2, 3, 4])); // dropped index 0
+    }
+
+    #[test]
+    fn string_charset_respected() {
+        let mut rng = Rng::from_seed(9);
+        let strat = lowercase_string(3..9);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!((3..9).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = Rng::from_seed(11);
+        let strat = (1u32..5).prop_map(|n| n * 100);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!([100, 200, 300, 400].contains(&v));
+        }
+    }
+}

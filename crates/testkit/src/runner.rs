@@ -1,0 +1,374 @@
+//! Deterministic property-test runner with greedy shrinking.
+//!
+//! Every property runs a fixed number of cases (default
+//! [`DEFAULT_CASES`]) from a deterministic seed schedule. The default
+//! global seed is [`DEFAULT_SEED`]; set `GENIO_TEST_SEED` (decimal or
+//! `0x`-hex) to override it. On failure the runner greedily shrinks the
+//! counterexample and panics with the exact per-case seed — rerunning
+//! with `GENIO_TEST_SEED=<that seed>` reproduces the failure as case 0.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::gen::Strategy;
+use crate::rng::{splitmix64, Rng};
+
+/// Cases per property unless overridden with `cases = N;`.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Default global seed ("GENIO" in ASCII).
+pub const DEFAULT_SEED: u64 = 0x47_45_4E_49_4F;
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum PropError {
+    /// An assertion failed; the message explains which.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the runner regenerates.
+    Reject,
+}
+
+impl PropError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        PropError::Fail(msg.into())
+    }
+}
+
+/// Result type each property body produces.
+pub type PropResult = Result<(), PropError>;
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Upper bound on accepted shrink steps.
+    pub max_shrink_steps: u32,
+    /// Upper bound on `prop_assume!` rejections per case slot.
+    pub max_rejects: u32,
+    /// Explicit global seed; `None` reads `GENIO_TEST_SEED` / default.
+    pub seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: DEFAULT_CASES,
+            max_shrink_steps: 1024,
+            max_rejects: 4096,
+            seed: None,
+        }
+    }
+}
+
+/// A reproducible counterexample.
+#[derive(Clone, Debug)]
+pub struct Failure<V> {
+    /// Case index (0-based) at which the failure was found.
+    pub case: u32,
+    /// Seed that regenerates the original (pre-shrink) counterexample.
+    pub seed: u64,
+    /// The minimal counterexample after greedy shrinking.
+    pub minimal: V,
+    /// Number of successful shrink steps applied.
+    pub shrink_steps: u32,
+    /// Failure message of the minimal counterexample.
+    pub message: String,
+}
+
+/// Global seed resolution order: explicit config, `GENIO_TEST_SEED`,
+/// [`DEFAULT_SEED`].
+pub fn resolve_seed(cfg: &Config) -> u64 {
+    if let Some(s) = cfg.seed {
+        return s;
+    }
+    match std::env::var("GENIO_TEST_SEED") {
+        Ok(raw) => parse_seed(&raw)
+            .unwrap_or_else(|| panic!("GENIO_TEST_SEED={raw:?} is not a valid u64")),
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// Parses a decimal or `0x`-prefixed hex seed.
+pub fn parse_seed(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+/// Seed for case `i`: case 0 uses the global seed verbatim so a printed
+/// failure seed reproduces the failing generation directly.
+fn case_seed(global: u64, name_hash: u64, case: u32) -> u64 {
+    if case == 0 {
+        global
+    } else {
+        let mut s = global ^ name_hash.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (case as u64) << 1;
+        splitmix64(&mut s)
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `prop` on one value, converting panics into failures.
+fn run_one<V, F>(prop: &F, value: V) -> PropResult
+where
+    V: Clone + fmt::Debug,
+    F: Fn(V) -> PropResult,
+{
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic (non-string payload)".to_string()
+            };
+            Err(PropError::Fail(format!("panicked: {msg}")))
+        }
+    }
+}
+
+/// Core loop. Returns `None` if all cases pass; `Some(failure)` with the
+/// shrunk counterexample otherwise. [`run`] wraps this and panics, which
+/// is what the `property!` macro uses; tests of the harness itself call
+/// this directly.
+pub fn run_collect<S, F>(name: &str, cfg: &Config, strat: &S, prop: F) -> Option<Failure<S::Value>>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> PropResult,
+{
+    let global = resolve_seed(cfg);
+    let name_hash = fnv1a(name);
+    for case in 0..cfg.cases {
+        let seed = case_seed(global, name_hash, case);
+        let mut rng = Rng::from_seed(seed);
+        let mut rejects = 0u32;
+        let value = loop {
+            let v = strat.generate(&mut rng);
+            match run_one(&prop, v.clone()) {
+                Ok(()) => break None,
+                Err(PropError::Reject) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= cfg.max_rejects,
+                        "property '{name}': {rejects} consecutive prop_assume! rejections \
+                         (seed 0x{seed:x}); generator and assumption are incompatible"
+                    );
+                    continue;
+                }
+                Err(PropError::Fail(msg)) => break Some((v, msg)),
+            }
+        };
+        if let Some((found, message)) = value {
+            let (minimal, message, shrink_steps) =
+                shrink_greedy(strat, &prop, found, message, cfg.max_shrink_steps);
+            return Some(Failure { case, seed, minimal, shrink_steps, message });
+        }
+    }
+    None
+}
+
+/// Greedy shrink: repeatedly take the first candidate that still fails.
+fn shrink_greedy<S, F>(
+    strat: &S,
+    prop: &F,
+    mut current: S::Value,
+    mut message: String,
+    max_steps: u32,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> PropResult,
+{
+    let mut steps = 0u32;
+    'outer: while steps < max_steps {
+        for cand in strat.shrink(&current) {
+            match run_one(prop, cand.clone()) {
+                Err(PropError::Fail(msg)) => {
+                    current = cand;
+                    message = msg;
+                    steps += 1;
+                    continue 'outer;
+                }
+                _ => continue,
+            }
+        }
+        break;
+    }
+    (current, message, steps)
+}
+
+/// Panicking entry point used by the `property!` macro.
+pub fn run<S, F>(name: &str, cfg: Config, strat: &S, prop: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> PropResult,
+{
+    if let Some(f) = run_collect(name, &cfg, strat, prop) {
+        panic!(
+            "\n[genio-testkit] property '{name}' FAILED\n\
+             \x20 case {case} of {cases}, seed 0x{seed:x}\n\
+             \x20 reproduce: GENIO_TEST_SEED=0x{seed:x} cargo test {name}\n\
+             \x20 minimal counterexample (after {steps} shrink steps):\n\
+             \x20   {min:?}\n\
+             \x20 failure: {msg}\n",
+            case = f.case,
+            cases = cfg.cases,
+            seed = f.seed,
+            steps = f.shrink_steps,
+            min = f.minimal,
+            msg = f.message,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Defines one deterministic property test.
+///
+/// ```ignore
+/// property! {
+///     /// Doubling is even.
+///     fn doubling_even(n in 0u64..1000) {
+///         prop_assert_eq!((n * 2) % 2, 0);
+///     }
+/// }
+///
+/// property! {
+///     cases = 128;
+///     fn with_more_cases(data in bytes(0..64)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! property {
+    (cases = $cases:expr; $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __genio_strategy = ($($strat,)+);
+            let __genio_cfg = $crate::runner::Config {
+                cases: $cases,
+                ..Default::default()
+            };
+            $crate::runner::run(
+                stringify!($name),
+                __genio_cfg,
+                &__genio_strategy,
+                |__genio_value| {
+                    let ($($arg,)+) = __genio_value;
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+    };
+    ($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block) => {
+        $crate::property! {
+            cases = $crate::runner::DEFAULT_CASES;
+            $(#[$meta])* fn $name($($arg in $strat),+) $body
+        }
+    };
+}
+
+/// Asserts a condition inside a `property!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::runner::PropError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::runner::PropError::fail(format!(
+                "assertion failed: {} ({})", stringify!($cond), format_args!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a `property!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::runner::PropError::fail(format!(
+                        "assertion failed: {} == {}\n    left: {:?}\n   right: {:?}",
+                        stringify!($left), stringify!($right), l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($msg:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::runner::PropError::fail(format!(
+                        "assertion failed: {} == {} ({})\n    left: {:?}\n   right: {:?}",
+                        stringify!($left), stringify!($right), format!($($msg)+), l, r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a `property!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return Err($crate::runner::PropError::fail(format!(
+                        "assertion failed: {} != {}\n    both: {:?}",
+                        stringify!($left), stringify!($right), l
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($msg:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return Err($crate::runner::PropError::fail(format!(
+                        "assertion failed: {} != {} ({})\n    both: {:?}",
+                        stringify!($left), stringify!($right), format!($($msg)+), l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case (regenerating) when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::runner::PropError::Reject);
+        }
+    };
+}

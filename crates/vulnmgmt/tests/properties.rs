@@ -1,7 +1,7 @@
 //! Property-based tests for version ordering, range matching and CVSS
 //! scoring invariants.
 
-use proptest::prelude::*;
+use genio_testkit::prelude::*;
 
 use genio_vulnmgmt::cvss::{
     AttackComplexity, AttackVector, Impact, PrivilegesRequired, Scope, UserInteraction, Vector,
@@ -9,28 +9,28 @@ use genio_vulnmgmt::cvss::{
 use genio_vulnmgmt::version::{Version, VersionRange};
 
 fn arb_version() -> impl Strategy<Value = Version> {
-    proptest::collection::vec(0u64..50, 1..5).prop_map(|parts| Version::new(&parts))
+    vec(0u64..50, 1..5).prop_map(|parts| Version::new(&parts))
 }
 
 fn arb_vector() -> impl Strategy<Value = Vector> {
     (
-        prop::sample::select(vec![
+        select(vec![
             AttackVector::Network,
             AttackVector::Adjacent,
             AttackVector::Local,
             AttackVector::Physical,
         ]),
-        prop::sample::select(vec![AttackComplexity::Low, AttackComplexity::High]),
-        prop::sample::select(vec![
+        select(vec![AttackComplexity::Low, AttackComplexity::High]),
+        select(vec![
             PrivilegesRequired::None,
             PrivilegesRequired::Low,
             PrivilegesRequired::High,
         ]),
-        prop::sample::select(vec![UserInteraction::None, UserInteraction::Required]),
-        prop::sample::select(vec![Scope::Unchanged, Scope::Changed]),
-        prop::sample::select(vec![Impact::High, Impact::Low, Impact::None]),
-        prop::sample::select(vec![Impact::High, Impact::Low, Impact::None]),
-        prop::sample::select(vec![Impact::High, Impact::Low, Impact::None]),
+        select(vec![UserInteraction::None, UserInteraction::Required]),
+        select(vec![Scope::Unchanged, Scope::Changed]),
+        select(vec![Impact::High, Impact::Low, Impact::None]),
+        select(vec![Impact::High, Impact::Low, Impact::None]),
+        select(vec![Impact::High, Impact::Low, Impact::None]),
     )
         .prop_map(|(av, ac, pr, ui, s, c, i, a)| Vector {
             av,
@@ -44,10 +44,9 @@ fn arb_vector() -> impl Strategy<Value = Vector> {
         })
 }
 
-proptest! {
+property! {
     /// Version ordering is a total order consistent with equality, and
     /// display/parse is the identity.
-    #[test]
     fn version_total_order(a in arb_version(), b in arb_version(), c in arb_version()) {
         // Antisymmetry.
         if a <= b && b <= a {
@@ -61,19 +60,21 @@ proptest! {
         let reparsed: Version = a.to_string().parse().unwrap();
         prop_assert_eq!(reparsed, a);
     }
+}
 
+property! {
     /// Trailing zeros never matter.
-    #[test]
-    fn version_trailing_zero_normalization(parts in proptest::collection::vec(0u64..50, 1..4),
+    fn version_trailing_zero_normalization(parts in vec(0u64..50, 1..4),
                                            zeros in 0usize..3) {
         let mut padded = parts.clone();
         padded.extend(std::iter::repeat_n(0, zeros));
         prop_assert_eq!(Version::new(&parts), Version::new(&padded));
     }
+}
 
+property! {
     /// Range semantics: `before(f)` contains exactly versions < f;
     /// `between(lo, hi)` contains exactly lo <= v < hi.
-    #[test]
     fn range_containment(v in arb_version(), lo in arb_version(), hi in arb_version()) {
         let before = VersionRange::before(hi.clone());
         prop_assert_eq!(before.contains(&v), v < hi);
@@ -81,10 +82,11 @@ proptest! {
         prop_assert_eq!(between.contains(&v), lo <= v && v < hi);
         prop_assert!(VersionRange::any().contains(&v));
     }
+}
 
+property! {
     /// CVSS base scores are always in [0, 10] with one decimal, and the
     /// severity band matches the score.
-    #[test]
     fn cvss_score_in_band(v in arb_vector()) {
         let score = v.base_score();
         prop_assert!((0.0..=10.0).contains(&score));
@@ -98,10 +100,11 @@ proptest! {
             else { Critical };
         prop_assert_eq!(v.severity(), expected);
     }
+}
 
+property! {
     /// Monotonicity: weakening any impact from High to None never raises
     /// the score.
-    #[test]
     fn cvss_impact_monotone(v in arb_vector()) {
         let mut weaker = v;
         weaker.c = Impact::None;
@@ -114,9 +117,10 @@ proptest! {
         stronger.a = Impact::High;
         prop_assert!(stronger.base_score() >= v.base_score());
     }
+}
 
+property! {
     /// Exploitability decreases as prerequisites tighten.
-    #[test]
     fn cvss_exploitability_monotone(v in arb_vector()) {
         let mut easier = v;
         easier.av = AttackVector::Network;

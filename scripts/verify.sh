@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Hermetic verification gate for the GENIO workspace. No network, no
+# external tools beyond cargo and a POSIX shell.
+#
+#   scripts/verify.sh           build + tests + examples smoke
+#   scripts/verify.sh --quick   the above, then a quick bench pass that
+#                               merges all 12 experiment reports into
+#                               BENCH_genio.json at the repo root
+#
+# A reproducing seed for any property failure is printed by the harness;
+# re-run with GENIO_TEST_SEED=0x... to replay it.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "usage: scripts/verify.sh [--quick]" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q  (builds examples; includes the examples smoke test)"
+cargo test --workspace -q
+
+if [ "$QUICK" -eq 1 ]; then
+    echo "==> cargo bench (quick profile)"
+    rm -rf target/genio-bench
+    cargo bench -p genio-bench --benches -- --quick
+
+    echo "==> merging reports into BENCH_genio.json"
+    reports=(target/genio-bench/*.json)
+    count="${#reports[@]}"
+    if [ "$count" -ne 12 ]; then
+        echo "expected 12 experiment reports, found $count: ${reports[*]}" >&2
+        exit 1
+    fi
+    {
+        printf '{"schema":"genio-bench/v1","experiments":['
+        sep=""
+        for r in "${reports[@]}"; do
+            printf '%s' "$sep"
+            cat "$r"
+            sep=","
+        done
+        printf ']}\n'
+    } > BENCH_genio.json
+    echo "wrote BENCH_genio.json ($count experiments)"
+fi
+
+echo "==> verify OK"

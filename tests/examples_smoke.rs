@@ -1,0 +1,77 @@
+//! Smoke test: every example in `examples/` runs to completion with
+//! exit status 0. Cargo builds the example binaries alongside the test
+//! binaries, so they sit in `<profile>/examples/` next to our own
+//! `<profile>/deps/` directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "architecture_inventory",
+    "attack_campaign",
+    "compliance_report",
+    "coverage_matrix",
+    "deployment_report",
+    "fleet_operations",
+    "fleet_patch_cycle",
+    "posture_dossier",
+    "quickstart",
+    "tenant_onboarding",
+];
+
+fn examples_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test binary path");
+    // <target>/<profile>/deps/examples_smoke-<hash> → <target>/<profile>/examples
+    exe.parent()
+        .and_then(|deps| deps.parent())
+        .map(|profile| profile.join("examples"))
+        .expect("profile dir above deps/")
+}
+
+#[test]
+fn every_example_exits_zero() {
+    let dir = examples_dir();
+    let mut missing = Vec::new();
+    let mut failed = Vec::new();
+    for name in EXAMPLES {
+        let mut path = dir.join(name);
+        if !path.exists() {
+            path.set_extension("exe");
+        }
+        if !path.exists() {
+            missing.push(*name);
+            continue;
+        }
+        match Command::new(&path).output() {
+            Ok(out) if out.status.success() => {}
+            Ok(out) => {
+                let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+                failed.push(format!("{name}: {} — {stderr}", out.status));
+            }
+            Err(e) => failed.push(format!("{name}: spawn failed: {e}")),
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "example binaries not built (run via `cargo test`, which builds them): {missing:?}"
+    );
+    assert!(failed.is_empty(), "examples exited non-zero:\n{}", failed.join("\n"));
+}
+
+/// The list above goes stale silently if an example is added or removed;
+/// fail loudly instead.
+#[test]
+fn example_list_matches_directory() {
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut on_disk: Vec<String> = std::fs::read_dir(manifest_dir.join("examples"))
+        .expect("examples/ directory")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "rs").then(|| p.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(listed, on_disk, "keep EXAMPLES in sync with examples/*.rs");
+}
