@@ -1,0 +1,165 @@
+//! Reachability bridge: lowers lexically flagged parser functions into
+//! the `genio_appsec::sast` mini-IR and lets its taint engine confirm
+//! (or reject) each finding.
+//!
+//! The paper's Lesson 7 names the exact gap this closes: OSS SAST
+//! output is noisy because findings are not linked to reachability.
+//! Here the lexical scanner (R4 narrowing casts, R5 unguarded slice
+//! indexing) proposes candidate defects, and each enclosing function is
+//! lowered into the taint IR under the parser threat model — *frame and
+//! feed bytes are attacker-controlled* — so a second, independent
+//! engine decides whether untrusted input actually reaches the flagged
+//! operation:
+//!
+//! * the function's input becomes a [`Stmt::TaintSource`] (`frame-bytes`),
+//! * the flagged variable is an assignment fed by that input,
+//! * a lexically detected bounds guard lowers to a [`Stmt::Sanitize`],
+//! * the flagged operation becomes a call to the `deserialize` sink.
+//!
+//! Running [`analyze`] then yields `unsafe-deserialization` findings
+//! exactly for functions where tainted input reaches the operation
+//! unsanitized. The rule engine only keeps R4/R5 findings the bridge
+//! confirms; guarded accesses lower with a sanitizer and come back
+//! clean, which the fixture corpus asserts in both directions.
+
+use genio_appsec::sast::{analyze, Expr, Function, Program, Stmt};
+use std::collections::BTreeSet;
+
+use crate::rules::{Access, Finding, Rule};
+
+/// Lowers one flagged function's accesses into a taint-IR function.
+fn lower_function(name: &str, accesses: &[&Access]) -> Function {
+    let mut body = vec![Stmt::TaintSource {
+        var: "input".to_string(),
+        source: "frame-bytes".to_string(),
+    }];
+    for (k, access) in accesses.iter().enumerate() {
+        let var = format!("{}_{k}", access.var);
+        body.push(Stmt::Assign {
+            var: var.clone(),
+            expr: Expr::Concat(vec![
+                Expr::Literal(match access.rule {
+                    Rule::R4NarrowingCast => "narrowed:".to_string(),
+                    _ => "indexed:".to_string(),
+                }),
+                Expr::Var("input".to_string()),
+            ]),
+        });
+        if access.guarded {
+            body.push(Stmt::Sanitize { var: var.clone() });
+        }
+        body.push(Stmt::Call {
+            function: "deserialize".to_string(),
+            args: vec![Expr::Var(var)],
+        });
+    }
+    Function { name: name.to_string(), body }
+}
+
+/// Lowers every function with recorded accesses into one IR program.
+pub fn lower(accesses: &[Access]) -> Program {
+    let functions: BTreeSet<&str> =
+        accesses.iter().map(|a| a.function.as_str()).collect();
+    Program {
+        functions: functions
+            .into_iter()
+            .map(|f| {
+                let of_fn: Vec<&Access> =
+                    accesses.iter().filter(|a| a.function == f).collect();
+                lower_function(f, &of_fn)
+            })
+            .collect(),
+    }
+}
+
+/// Runs the taint engine over the lowered program and stamps each R4/R5
+/// finding with the confirmation verdict. Findings the taint engine
+/// cannot reach (sanitized paths) are dropped — that is the
+/// reachability filter.
+pub fn confirm(findings: Vec<Finding>, accesses: &[Access]) -> Vec<Finding> {
+    if accesses.is_empty() {
+        return findings;
+    }
+    let program = lower(accesses);
+    let tainted_fns: BTreeSet<String> = analyze(&program)
+        .into_iter()
+        .filter(|f| f.rule == "unsafe-deserialization")
+        .map(|f| f.function)
+        .collect();
+    findings
+        .into_iter()
+        .filter_map(|mut f| {
+            if !matches!(f.rule, Rule::R4NarrowingCast | Rule::R5UnguardedIndex) {
+                return Some(f);
+            }
+            let reachable = tainted_fns.contains(&f.function);
+            f.confirmed = Some(reachable);
+            reachable.then_some(f)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(function: &str, var: &str, guarded: bool) -> Access {
+        Access {
+            function: function.to_string(),
+            var: var.to_string(),
+            guarded,
+            rule: Rule::R5UnguardedIndex,
+        }
+    }
+
+    fn finding(function: &str) -> Finding {
+        Finding {
+            rule: Rule::R5UnguardedIndex,
+            file: "crates/pon/src/frame.rs".to_string(),
+            line: 1,
+            function: function.to_string(),
+            detail: "dynamic index".to_string(),
+            confirmed: None,
+        }
+    }
+
+    #[test]
+    fn unguarded_access_is_confirmed_by_taint() {
+        let accesses = vec![access("parse", "buf", false)];
+        let out = confirm(vec![finding("parse")], &accesses);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].confirmed, Some(true));
+    }
+
+    #[test]
+    fn guarded_access_lowers_to_sanitized_path() {
+        // A guarded access produces no lexical finding; but even if one
+        // slipped through, the sanitizer in the lowering kills it.
+        let accesses = vec![access("parse", "buf", true)];
+        let out = confirm(vec![finding("parse")], &accesses);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mixed_accesses_confirm_per_function() {
+        let accesses = vec![
+            access("parse_hot", "buf", false),
+            access("parse_safe", "buf", true),
+        ];
+        let out = confirm(
+            vec![finding("parse_hot"), finding("parse_safe")],
+            &accesses,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].function, "parse_hot");
+    }
+
+    #[test]
+    fn non_bridge_rules_pass_through() {
+        let mut f = finding("anything");
+        f.rule = Rule::R1PanicPath;
+        let out = confirm(vec![f], &[access("other", "x", false)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].confirmed, None);
+    }
+}

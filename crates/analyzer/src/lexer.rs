@@ -1,0 +1,413 @@
+//! Lightweight Rust token scanner.
+//!
+//! The rule engine does not need a full parser: every rule in
+//! [`crate::rules`] is expressible over a token stream that correctly
+//! skips comments and string/char literals (the two places naive text
+//! matching goes wrong — `// .unwrap()` in a doc comment must not count
+//! as a call, and `"panic!"` inside a string is data, not code).
+//!
+//! The scanner handles the lexical subset the workspace actually uses:
+//! line and (nested) block comments, cooked and raw strings, byte
+//! strings, char literals vs lifetimes, raw identifiers, numeric
+//! literals with suffixes, and a small set of multi-character operators
+//! (`==`, `!=`, `::`, `..`, `->`, …) that the rules match on.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `as`, …).
+    Ident,
+    /// Lifetime such as `'a` (disambiguated from char literals).
+    Lifetime,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal, suffix included (`42`, `0x1f`, `1.5e3`, `7u64`).
+    Num,
+    /// Punctuation / operator. Multi-character operators in
+    /// [`MULTI_OPS`] arrive as one token; everything else is one char.
+    Punct,
+    /// Line or block comment, content included (kept for the debt rule).
+    Comment,
+}
+
+/// One scanned token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw text as it appears in the source.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// Multi-character operators recognised as single tokens, longest first.
+const MULTI_OPS: &[&str] = &[
+    "..=", "==", "!=", "<=", ">=", "&&", "||", "::", "..", "->", "=>",
+];
+
+/// Tokenizes `src`. Never fails: unterminated literals are consumed to
+/// end-of-input, unknown bytes become single-char punctuation.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.cooked_string(),
+                b'r' if self.raw_string_ahead(1) => self.raw_string(1),
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 1;
+                    self.cooked_string();
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_literal();
+                }
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(2) => {
+                    self.raw_string(2)
+                }
+                b'r' if self.peek(1) == Some(b'#')
+                    && self.peek(2).is_some_and(is_ident_start) =>
+                {
+                    // Raw identifier r#type: skip the prefix, lex the ident.
+                    self.pos += 2;
+                    self.ident();
+                }
+                b'\'' => self.char_or_lifetime(),
+                b if is_ident_start(b) => self.ident(),
+                b if b.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokenKind::Comment, start, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.pos += 2;
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(b'\n'), _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => break,
+            }
+        }
+        self.push(TokenKind::Comment, start, line);
+    }
+
+    fn cooked_string(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.pos += 1; // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// Is `r#*"` (any number of hashes, possibly zero) at `pos + offset`?
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut i = offset;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    /// Lexes `r"…"`, `r#"…"#`, `br##"…"##`; `prefix_len` covers `r`/`br`.
+    fn raw_string(&mut self, prefix_len: usize) {
+        let (start, line) = (self.pos, self.line);
+        self.pos += prefix_len;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        'outer: while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                self.line += 1;
+            }
+            if b == b'"' {
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some(b'#') {
+                        self.pos += 1;
+                        continue 'outer;
+                    }
+                }
+                self.pos += 1 + hashes;
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// At a `'`: either a char literal (`'x'`, `'\n'`) or a lifetime
+    /// (`'a`, `'static`). A quote is a char literal iff an escape follows
+    /// or the single scalar after it is closed by another quote.
+    fn char_or_lifetime(&mut self) {
+        if self.peek(1) == Some(b'\\') {
+            return self.char_literal();
+        }
+        // 'X' for any single byte X (covers '.', '(', 'a') — char literal.
+        if self.peek(2) == Some(b'\'') && self.peek(1) != Some(b'\'') {
+            return self.char_literal();
+        }
+        // Find the end of the ident-ish run after the quote.
+        let mut i = 1;
+        while self.peek(i).is_some_and(is_ident_continue) {
+            i += 1;
+        }
+        if i >= 2 && self.peek(i) == Some(b'\'') && i <= 4 {
+            // Multi-byte scalar like 'é' — a char literal.
+            self.char_literal()
+        } else if i > 1 {
+            let (start, line) = (self.pos, self.line);
+            self.pos += i;
+            self.push(TokenKind::Lifetime, start, line);
+        } else {
+            // Bare quote (e.g. inside a macro pattern): punctuation.
+            self.punct();
+        }
+    }
+
+    fn char_literal(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.pos += 1; // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Char, start, line);
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while let Some(b) = self.peek(0) {
+            // Stop before `..` so ranges like `0..8` stay three tokens.
+            if b == b'.' && self.peek(1) == Some(b'.') {
+                break;
+            }
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+                self.pos += 1;
+            } else if (b == b'+' || b == b'-')
+                && matches!(self.bytes.get(self.pos - 1), Some(b'e') | Some(b'E'))
+            {
+                // Exponent sign in 1.5e-3.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, start, line);
+    }
+
+    fn punct(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        for op in MULTI_OPS {
+            if self.bytes[self.pos..].starts_with(op.as_bytes()) {
+                self.pos += op.len();
+                self.push(TokenKind::Punct, start, line);
+                return;
+            }
+        }
+        // Any single byte (multi-byte UTF-8 only occurs inside literals
+        // and comments in real Rust source, but stay lossless anyway).
+        let mut len = 1;
+        while self.pos + len < self.bytes.len()
+            && (self.bytes[self.pos + len] & 0b1100_0000) == 0b1000_0000
+        {
+            len += 1;
+        }
+        self.pos += len;
+        self.push(TokenKind::Punct, start, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        let toks = kinds("// x.unwrap()\nlet y; /* panic! */");
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert_eq!(toks[1], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks.last().unwrap().0, TokenKind::Comment);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("/* a /* b */ c */ fin");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokenKind::Ident, "fin".into()));
+    }
+
+    #[test]
+    fn strings_swallow_their_content() {
+        let toks = kinds(r#"let s = "panic!(\"x\")";"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("panic")));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "panic"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r###"let a = r#"un"wrap"#; let b = b"bytes"; let c = br"raw";"###);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char() {
+        let toks = kinds("&'static str");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = kinds("a == b != c .. d ..= e :: f -> g");
+        let ops: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "..", "..=", "::", "->"]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("bytes[0..8] 0x1f 1.5e-3 7u64");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "8"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "0x1f"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "1.5e-3"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "7u64"));
+    }
+
+    #[test]
+    fn byte_char_is_a_char() {
+        let toks = kinds("self.expect(b'\"')?");
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Char));
+        // The argument is a Char token, not a Str — rule R1 relies on this.
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_literals() {
+        let toks = tokenize("let a = \"x\ny\";\nlet b = 1;");
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "type"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # genio-analyzer
+//!
+//! Self-hosted static security analysis for the GENIO workspace — the
+//! correctness-tooling layer Lesson 7 of the paper says OSS SAST lacks
+//! on custom stacks (noisy findings, no reachability linking), applied
+//! to the platform itself as Cesarano et al.'s fog-hardening work
+//! argues it must be.
+//!
+//! Pipeline, every stage std-only:
+//!
+//! 1. [`lexer`] — a lightweight Rust token scanner (comments, strings,
+//!    lifetimes and raw literals handled; no full parser);
+//! 2. [`rules`] — six security/correctness rules (R1 abort paths, R2
+//!    non-constant-time secret comparisons, R3 missing
+//!    `#![forbid(unsafe_code)]`, R4 narrowing parser casts, R5
+//!    unguarded hot-path indexing, R6 debt markers);
+//! 3. [`bridge`] — lowers R4/R5 candidates into the
+//!    `genio_appsec::sast` taint IR so an independent engine confirms
+//!    reachability before a finding is kept;
+//! 4. [`baseline`] — `genio-analyzer/v1` JSON reports and the ratchet:
+//!    committed findings are grandfathered, new ones fail
+//!    `scripts/verify.sh`, and the baseline only ever shrinks;
+//! 5. [`workspace`] — walks every crate's `src/` tree and assembles the
+//!    report the CLI, the verify gate, and bench `lesson7_selfscan`
+//!    (experiment E-A1) consume.
+//!
+//! ```
+//! use genio_analyzer::{rules, lexer};
+//!
+//! let tokens = lexer::tokenize("fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+//! let ann = rules::annotate(tokens);
+//! let ctx = rules::FileContext { crate_name: "demo", rel_path: "demo.rs", file_name: "demo.rs" };
+//! let (findings, _) = rules::scan_tokens(&ctx, &ann);
+//! assert_eq!(findings[0].rule.id(), "R1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod bridge;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;

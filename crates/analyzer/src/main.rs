@@ -1,0 +1,191 @@
+//! `genio-analyzer` CLI: self-scan the workspace, diff against the
+//! committed ratchet baseline, fail on new findings.
+//!
+//! ```text
+//! genio-analyzer [--root DIR] [--baseline FILE] [--json FILE]
+//!                [--write-baseline] [--findings]
+//! ```
+//!
+//! Exit codes: `0` clean (or baseline written), `1` new findings vs the
+//! baseline, `2` usage or I/O error. `scripts/verify.sh` runs this
+//! before the benches; `--write-baseline` is how the committed
+//! `analyzer-baseline.json` shrinks after fixing sites.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use genio_analyzer::baseline::{diff, Report};
+use genio_analyzer::workspace;
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: Option<PathBuf>,
+    write_baseline: bool,
+    list_findings: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: genio-analyzer [--root DIR] [--baseline FILE] [--json FILE] \
+         [--write-baseline] [--findings]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        root: None,
+        baseline: None,
+        json: None,
+        write_baseline: false,
+        list_findings: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => opts.root = args.next().map(PathBuf::from),
+            "--baseline" => opts.baseline = args.next().map(PathBuf::from),
+            "--json" => opts.json = args.next().map(PathBuf::from),
+            "--write-baseline" => opts.write_baseline = true,
+            "--findings" => opts.list_findings = true,
+            _ => return Err(usage()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    let root = match opts.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| workspace::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("genio-analyzer: no workspace root found (use --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match workspace::scan(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("genio-analyzer: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "genio-analyzer: scanned {} files / {} lines under {}",
+        report.files,
+        report.lines,
+        root.display()
+    );
+    for (rule, count) in report.rule_counts() {
+        println!("  {}  {:<55} {:>4}", rule.id(), rule.title(), count);
+    }
+    println!("  total findings: {}", report.findings.len());
+
+    if opts.list_findings {
+        for f in &report.findings {
+            println!(
+                "  [{}] {}:{} ({}) {}",
+                f.rule.id(),
+                f.file,
+                f.line,
+                f.function,
+                f.detail
+            );
+        }
+    }
+
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, report.to_json().to_string()) {
+            eprintln!("genio-analyzer: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote report to {}", path.display());
+    }
+
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| root.join("analyzer-baseline.json"));
+
+    if opts.write_baseline {
+        return match std::fs::write(&baseline_path, report.to_json().to_string()) {
+            Ok(()) => {
+                println!(
+                    "wrote baseline ({} findings) to {}",
+                    report.findings.len(),
+                    baseline_path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!(
+                    "genio-analyzer: cannot write {}: {e}",
+                    baseline_path.display()
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "genio-analyzer: no baseline at {} ({e}); run with --write-baseline first",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match Report::from_json_text(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "genio-analyzer: malformed baseline {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let d = diff(&report.findings, &baseline.findings);
+    if !d.fixed.is_empty() {
+        let gone: usize = d.fixed.iter().map(|(_, n)| n).sum();
+        println!(
+            "ratchet: {gone} baseline finding(s) fixed — run --write-baseline to shrink the baseline"
+        );
+    }
+    if d.passes() {
+        println!(
+            "ratchet OK: no findings beyond the {}-finding baseline",
+            baseline.findings.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ratchet FAILED: {} new finding(s) vs baseline:", d.new.len());
+        for f in &d.new {
+            eprintln!(
+                "  [{}] {}:{} ({}) {}",
+                f.rule.id(),
+                f.file,
+                f.line,
+                f.function,
+                f.detail
+            );
+        }
+        eprintln!("fix the sites or, for accepted debt, refresh with --write-baseline");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,767 @@
+//! Security/correctness rules over the token stream.
+//!
+//! Six rules, mirroring the failure classes Lesson 7 calls out for
+//! immature SAST on custom stacks — each is a *lexical* check (fast, no
+//! type information) whose parser-facing classes (R4, R5) are then
+//! confirmed through the `genio_appsec::sast` taint engine by
+//! [`crate::bridge`]:
+//!
+//! * **R1** `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in
+//!   non-test library code — abort paths a production service must not
+//!   keep.
+//! * **R2** `==`/`!=` on secret material (tags, MACs, digests, keys) in
+//!   `crates/crypto` and `crates/netsec` — must go through
+//!   `genio_crypto::ct::eq`.
+//! * **R3** crate roots missing `#![forbid(unsafe_code)]`.
+//! * **R4** narrowing `as` casts (to ≤32-bit integers) inside the
+//!   frame/feed parser crates (`pon`, `netsec`, `vulnmgmt`).
+//! * **R5** dynamic slice indexing with no preceding bounds guard
+//!   (`x.len()` / `x.get(..)` seen earlier in the same function) in the
+//!   AEAD/frame hot paths.
+//! * **R6** debt markers (to-do / fix-me style) left in comments.
+//!
+//! Rules only ever *add* findings; what is acceptable today is recorded
+//! in the committed baseline and ratcheted down by
+//! [`crate::baseline::diff`].
+
+use crate::lexer::{Token, TokenKind};
+
+/// Rule identifiers, stable across releases (they key the baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Abort path in library code.
+    R1PanicPath,
+    /// Non-constant-time comparison of secret material.
+    R2NonCtCompare,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    R3MissingForbid,
+    /// Narrowing integer cast in a parser crate.
+    R4NarrowingCast,
+    /// Unguarded dynamic slice index in an AEAD/frame hot path.
+    R5UnguardedIndex,
+    /// Debt marker in a comment.
+    R6DebtMarker,
+}
+
+impl Rule {
+    /// Short stable id used in reports and baselines.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::R1PanicPath => "R1",
+            Rule::R2NonCtCompare => "R2",
+            Rule::R3MissingForbid => "R3",
+            Rule::R4NarrowingCast => "R4",
+            Rule::R5UnguardedIndex => "R5",
+            Rule::R6DebtMarker => "R6",
+        }
+    }
+
+    /// Parses the short id back (baseline loading).
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Some(match id {
+            "R1" => Rule::R1PanicPath,
+            "R2" => Rule::R2NonCtCompare,
+            "R3" => Rule::R3MissingForbid,
+            "R4" => Rule::R4NarrowingCast,
+            "R5" => Rule::R5UnguardedIndex,
+            "R6" => Rule::R6DebtMarker,
+            _ => return None,
+        })
+    }
+
+    /// All rules, report order.
+    pub const ALL: [Rule; 6] = [
+        Rule::R1PanicPath,
+        Rule::R2NonCtCompare,
+        Rule::R3MissingForbid,
+        Rule::R4NarrowingCast,
+        Rule::R5UnguardedIndex,
+        Rule::R6DebtMarker,
+    ];
+
+    /// One-line description for the report table.
+    pub fn title(self) -> &'static str {
+        match self {
+            Rule::R1PanicPath => "abort path (unwrap/expect/panic!) in library code",
+            Rule::R2NonCtCompare => "secret material compared with ==/!= instead of ct::eq",
+            Rule::R3MissingForbid => "crate root missing #![forbid(unsafe_code)]",
+            Rule::R4NarrowingCast => "narrowing `as` cast in frame/feed parser",
+            Rule::R5UnguardedIndex => "slice index without preceding bounds guard in hot path",
+            Rule::R6DebtMarker => "TODO/FIXME debt marker",
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Violated rule.
+    pub rule: Rule,
+    /// Repo-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line (human navigation only; not part of the ratchet key).
+    pub line: u32,
+    /// Enclosing function, `-` at item level.
+    pub function: String,
+    /// Stable, line-free description (part of the ratchet key).
+    pub detail: String,
+    /// For R4/R5: did the sast taint bridge confirm reachability?
+    pub confirmed: Option<bool>,
+}
+
+/// A (possibly guarded) parser-input access that [`crate::bridge`]
+/// lowers into the `genio_appsec::sast` IR.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// Enclosing function.
+    pub function: String,
+    /// Variable the access reads (`buf` in `buf[i]`, cast subject for R4).
+    pub var: String,
+    /// Whether a bounds guard dominates the access lexically.
+    pub guarded: bool,
+    /// Which rule produced the access.
+    pub rule: Rule,
+}
+
+/// What the scanner knows about the file being checked.
+#[derive(Debug, Clone)]
+pub struct FileContext<'a> {
+    /// Crate directory name (`crypto`, `pon`, …; `genio` for the root
+    /// facade).
+    pub crate_name: &'a str,
+    /// Repo-relative path, forward slashes.
+    pub rel_path: &'a str,
+    /// Base file name (`gcm.rs`).
+    pub file_name: &'a str,
+}
+
+/// Crates whose secret comparisons must be constant-time (R2).
+const R2_CRATES: &[&str] = &["crypto", "netsec"];
+
+/// Frame/feed parser crates narrowed casts are flagged in (R4).
+const R4_CRATES: &[&str] = &["pon", "netsec", "vulnmgmt"];
+
+/// AEAD/frame hot-path files checked for unguarded indexing (R5).
+const R5_FILES: &[(&str, &str)] = &[
+    ("crypto", "gcm.rs"),
+    ("crypto", "aes.rs"),
+    ("pon", "frame.rs"),
+    ("pon", "security.rs"),
+    ("netsec", "macsec.rs"),
+];
+
+/// Identifier segments that mark secret material for R2.
+const SECRET_SEGMENTS: &[&str] = &[
+    "tag", "icv", "mac", "digest", "key", "secret", "password", "finished",
+];
+
+/// Narrowing cast targets for R4 (≤32-bit; widening to u64/usize is not
+/// flagged — the scanner has no type info, so this errs on silence).
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// R1-flagged macro names (when followed by `!`).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can precede `[` without being an indexed variable.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn",
+    "else", "enum", "fn", "for", "if", "impl", "in", "let", "loop", "match",
+    "mod", "move", "mut", "pub", "ref", "return", "static", "struct", "super",
+    "trait", "type", "unsafe", "use", "where", "while",
+];
+
+/// Token stream annotated with test-exclusion ranges, enclosing-function
+/// attribution and bounds-guard sites.
+pub struct Annotated {
+    /// Non-comment tokens, source order.
+    pub code: Vec<Token>,
+    /// Comment tokens, source order.
+    pub comments: Vec<Token>,
+    /// Per `code` index: inside a `#[cfg(test)]` / `#[test]` item?
+    pub excluded: Vec<bool>,
+    /// Per `code` index: index into `fn_names`.
+    pub fn_of: Vec<usize>,
+    /// Function-name table; entry 0 is `-` (item level).
+    pub fn_names: Vec<String>,
+    /// `(code index, variable)` sites where a bounds guard was seen
+    /// (`var.len()`, `var.get(..)`, `var.iter()`).
+    pub guards: Vec<(usize, String)>,
+    /// Loop variables bound by a *literal* range (`for r in 1..4`), as
+    /// `(var, first code index, last code index)` of the loop body —
+    /// indexing through them is statically in-bounds for fixed-size
+    /// state arrays, so R5 treats them like literal indices.
+    pub bounded: Vec<(String, usize, usize)>,
+}
+
+/// Builds the annotation in a single forward walk.
+pub fn annotate(tokens: Vec<Token>) -> Annotated {
+    let (code, comments): (Vec<Token>, Vec<Token>) = tokens
+        .into_iter()
+        .partition(|t| t.kind != TokenKind::Comment);
+
+    let n = code.len();
+    let mut excluded = vec![false; n];
+    let mut fn_of = vec![0usize; n];
+    let mut fn_names = vec!["-".to_string()];
+    let mut guards = Vec::new();
+
+    let mut depth = 0usize;
+    let mut exclude_depth: Option<usize> = None;
+    let mut pending_test = false;
+    let mut pending_fn: Option<String> = None;
+    let mut fn_stack: Vec<(usize, usize)> = Vec::new(); // (name idx, depth)
+
+    let mut i = 0;
+    while i < n {
+        let t = &code[i];
+        let text = t.text.as_str();
+
+        // Outer attribute: `#[ ... ]` — detect test gating.
+        if text == "#" && i + 1 < n && code[i + 1].text == "[" {
+            let mut j = i + 2;
+            let mut brackets = 1usize;
+            let mut attr = String::new();
+            while j < n && brackets > 0 {
+                match code[j].text.as_str() {
+                    "[" => brackets += 1,
+                    "]" => brackets -= 1,
+                    s if brackets > 0 => attr.push_str(s),
+                    _ => {}
+                }
+                j += 1;
+            }
+            if attr == "test" || attr.starts_with("cfg(test") || attr.starts_with("cfg(all(test")
+            {
+                pending_test = true;
+            }
+            for k in i..j {
+                fn_of[k] = fn_stack.last().map(|&(idx, _)| idx).unwrap_or(0);
+                excluded[k] = exclude_depth.is_some();
+            }
+            i = j;
+            continue;
+        }
+
+        match text {
+            "{" => {
+                depth += 1;
+                // A `#[test]` inside an already-excluded `#[cfg(test)]`
+                // module must still be consumed here, or it would leak
+                // onto the next item after the module closes.
+                if pending_test {
+                    if exclude_depth.is_none() {
+                        exclude_depth = Some(depth);
+                    }
+                    pending_test = false;
+                }
+                if let Some(name) = pending_fn.take() {
+                    fn_names.push(name);
+                    fn_stack.push((fn_names.len() - 1, depth));
+                }
+            }
+            "}" => {
+                if let Some(&(_, d)) = fn_stack.last() {
+                    if d == depth {
+                        fn_stack.pop();
+                    }
+                }
+                excluded[i] = exclude_depth.is_some();
+                if exclude_depth == Some(depth) {
+                    exclude_depth = None;
+                }
+                fn_of[i] = fn_stack.last().map(|&(idx, _)| idx).unwrap_or(0);
+                depth = depth.saturating_sub(1);
+                i += 1;
+                continue;
+            }
+            ";" => {
+                // Attribute applied to a non-braced item (`use`, decl).
+                if exclude_depth.is_none() {
+                    pending_test = false;
+                }
+                pending_fn = None;
+            }
+            "fn" => {
+                if i + 1 < n && code[i + 1].kind == TokenKind::Ident {
+                    pending_fn = Some(code[i + 1].text.clone());
+                }
+            }
+            _ => {}
+        }
+
+        // Bounds-guard site: `var.len` / `var.get` / `var.iter`.
+        if t.kind == TokenKind::Ident
+            && i + 2 < n
+            && code[i + 1].text == "."
+            && matches!(code[i + 2].text.as_str(), "len" | "get" | "iter" | "is_empty")
+        {
+            guards.push((i, text.to_string()));
+        }
+
+        excluded[i] = exclude_depth.is_some();
+        fn_of[i] = fn_stack.last().map(|&(idx, _)| idx).unwrap_or(0);
+        i += 1;
+    }
+
+    // Second, cheap pass: literal-range `for` loops. `for r in 1..4 {`
+    // binds `r` to a compile-time range, so indexing fixed-size state
+    // through it cannot go out of bounds.
+    let mut bounded = Vec::new();
+    i = 0;
+    while i < n {
+        if code[i].text == "for"
+            && code.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+            && code.get(i + 2).map(|t| t.text.as_str()) == Some("in")
+        {
+            let var = code[i + 1].text.clone();
+            let mut j = i + 3;
+            let mut saw_range = false;
+            let mut literal_only = true;
+            while j < n && code[j].text != "{" {
+                match code[j].text.as_str() {
+                    ".." | "..=" => saw_range = true,
+                    "(" | ")" => {}
+                    _ if code[j].kind == TokenKind::Num => {}
+                    _ => {
+                        literal_only = false;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if saw_range && literal_only && j < n {
+                let start = j + 1;
+                let mut body_depth = 1usize;
+                let mut k = start;
+                while k < n && body_depth > 0 {
+                    match code[k].text.as_str() {
+                        "{" => body_depth += 1,
+                        "}" => body_depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                bounded.push((var, start, k.saturating_sub(1)));
+            }
+        }
+        i += 1;
+    }
+
+    Annotated { code, comments, excluded, fn_of, fn_names, guards, bounded }
+}
+
+impl Annotated {
+    fn fn_name(&self, i: usize) -> &str {
+        &self.fn_names[self.fn_of[i]]
+    }
+
+    /// Is a guard on `var` recorded before code index `i`, inside the
+    /// same function?
+    fn guarded_before(&self, i: usize, var: &str) -> bool {
+        let f = self.fn_of[i];
+        self.guards
+            .iter()
+            .any(|&(gi, ref v)| gi < i && v == var && self.fn_of[gi] == f)
+    }
+
+    /// Is `name` a literal-range loop variable at code index `i`?
+    fn is_literal_bounded(&self, i: usize, name: &str) -> bool {
+        self.bounded
+            .iter()
+            .any(|&(ref v, s, e)| v == name && s <= i && i <= e)
+    }
+}
+
+/// Does the (crate-root) token stream carry `#![forbid(unsafe_code)]`?
+pub fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    tokens.windows(4).any(|w| {
+        w[0].text == "forbid"
+            && w[1].text == "("
+            && w[2].text == "unsafe_code"
+            && w[3].text == ")"
+    })
+}
+
+/// Runs every per-file rule. Returns the findings plus the R4/R5 access
+/// records for the sast bridge (R3 is a per-crate rule and lives in
+/// [`crate::workspace`]).
+pub fn scan_tokens(ctx: &FileContext<'_>, ann: &Annotated) -> (Vec<Finding>, Vec<Access>) {
+    let mut findings = Vec::new();
+    let mut accesses = Vec::new();
+
+    rule_r1(ctx, ann, &mut findings);
+    if R2_CRATES.contains(&ctx.crate_name) {
+        rule_r2(ctx, ann, &mut findings);
+    }
+    if R4_CRATES.contains(&ctx.crate_name) {
+        rule_r4(ctx, ann, &mut findings, &mut accesses);
+    }
+    if R5_FILES
+        .iter()
+        .any(|&(c, f)| c == ctx.crate_name && f == ctx.file_name)
+    {
+        rule_r5(ctx, ann, &mut findings, &mut accesses);
+    }
+    rule_r6(ctx, ann, &mut findings);
+
+    (findings, accesses)
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    ctx: &FileContext<'_>,
+    rule: Rule,
+    line: u32,
+    function: &str,
+    detail: String,
+) {
+    findings.push(Finding {
+        rule,
+        file: ctx.rel_path.to_string(),
+        line,
+        function: function.to_string(),
+        detail,
+        confirmed: None,
+    });
+}
+
+fn rule_r1(ctx: &FileContext<'_>, ann: &Annotated, findings: &mut Vec<Finding>) {
+    let code = &ann.code;
+    for i in 0..code.len() {
+        if ann.excluded[i] || code[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let text = code[i].text.as_str();
+        let prev = i.checked_sub(1).map(|p| code[p].text.as_str());
+        let next = code.get(i + 1).map(|t| t.text.as_str());
+        let detail = if text == "unwrap" && prev == Some(".") && next == Some("(") {
+            "call to .unwrap()".to_string()
+        } else if text == "expect"
+            && prev == Some(".")
+            && next == Some("(")
+            && code.get(i + 2).is_some_and(|t| t.kind == TokenKind::Str)
+        {
+            "call to .expect(..)".to_string()
+        } else if PANIC_MACROS.contains(&text) && next == Some("!") && prev != Some("::") {
+            format!("{text}! macro")
+        } else {
+            continue;
+        };
+        push(findings, ctx, Rule::R1PanicPath, code[i].line, ann.fn_name(i), detail);
+    }
+}
+
+/// Does `ident` contain a secret-material segment as a whole `_`-separated
+/// word (`public_key` yes, `macsec` no)?
+fn has_secret_segment(ident: &str) -> bool {
+    ident
+        .split('_')
+        .any(|seg| SECRET_SEGMENTS.contains(&seg.to_ascii_lowercase().as_str()))
+}
+
+fn rule_r2(ctx: &FileContext<'_>, ann: &Annotated, findings: &mut Vec<Finding>) {
+    let code = &ann.code;
+    for i in 0..code.len() {
+        if ann.excluded[i] || !matches!(code[i].text.as_str(), "==" | "!=") {
+            continue;
+        }
+        // Collect operand identifiers in a small window around the
+        // operator, bounded by statement/block punctuation.
+        let mut involved: Option<String> = None;
+        for dir in [-1i64, 1] {
+            for step in 1..=8i64 {
+                let j = i as i64 + dir * step;
+                if j < 0 || j as usize >= code.len() {
+                    break;
+                }
+                let t = &code[j as usize];
+                if matches!(t.text.as_str(), ";" | "{" | "}") {
+                    break;
+                }
+                if t.kind == TokenKind::Ident && has_secret_segment(&t.text) {
+                    // A `.len()`-style projection compares public sizes.
+                    let after = code.get(j as usize + 2).map(|t| t.text.as_str());
+                    let is_len = code.get(j as usize + 1).map(|t| t.text.as_str())
+                        == Some(".")
+                        && matches!(after, Some("len" | "is_empty" | "capacity"));
+                    if !is_len {
+                        involved = Some(t.text.clone());
+                        break;
+                    }
+                }
+            }
+            if involved.is_some() {
+                break;
+            }
+        }
+        if let Some(ident) = involved {
+            push(
+                findings,
+                ctx,
+                Rule::R2NonCtCompare,
+                code[i].line,
+                ann.fn_name(i),
+                format!("`{}` compared on `{ident}` (use ct::eq)", code[i].text),
+            );
+        }
+    }
+}
+
+fn rule_r4(
+    ctx: &FileContext<'_>,
+    ann: &Annotated,
+    findings: &mut Vec<Finding>,
+    accesses: &mut Vec<Access>,
+) {
+    let code = &ann.code;
+    for i in 0..code.len() {
+        if ann.excluded[i] || code[i].text != "as" || code[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(target) = code.get(i + 1) else { continue };
+        if !NARROW_TARGETS.contains(&target.text.as_str()) {
+            continue;
+        }
+        // Cast subject: nearest identifier to the left (for the bridge).
+        let var = i
+            .checked_sub(1)
+            .and_then(|p| {
+                code[..=p]
+                    .iter()
+                    .rev()
+                    .take(4)
+                    .find(|t| t.kind == TokenKind::Ident)
+            })
+            .map(|t| t.text.clone())
+            .unwrap_or_else(|| "expr".to_string());
+        // Casting a literal narrows nothing worth flagging.
+        if i >= 1 && code[i - 1].kind == TokenKind::Num {
+            continue;
+        }
+        let function = ann.fn_name(i).to_string();
+        push(
+            findings,
+            ctx,
+            Rule::R4NarrowingCast,
+            code[i].line,
+            &function,
+            format!("narrowing cast `as {}` of `{var}`", target.text),
+        );
+        accesses.push(Access { function, var, guarded: false, rule: Rule::R4NarrowingCast });
+    }
+}
+
+fn rule_r5(
+    ctx: &FileContext<'_>,
+    ann: &Annotated,
+    findings: &mut Vec<Finding>,
+    accesses: &mut Vec<Access>,
+) {
+    let code = &ann.code;
+    for i in 0..code.len() {
+        if ann.excluded[i]
+            || code[i].kind != TokenKind::Ident
+            || KEYWORDS.contains(&code[i].text.as_str())
+            || code.get(i + 1).map(|t| t.text.as_str()) != Some("[")
+        {
+            continue;
+        }
+        // Walk the bracket; a purely literal index/range is static.
+        let mut j = i + 2;
+        let mut brackets = 1usize;
+        let mut dynamic = false;
+        while j < code.len() && brackets > 0 {
+            match code[j].text.as_str() {
+                "[" => brackets += 1,
+                "]" => brackets -= 1,
+                // A cast suffix never adds dynamism, and literal-range
+                // loop variables are as static as the literals bounding
+                // them.
+                "as" | "usize" => {}
+                _ => {
+                    if code[j].kind == TokenKind::Ident
+                        && !ann.is_literal_bounded(j, &code[j].text)
+                    {
+                        dynamic = true;
+                    }
+                }
+            }
+            j += 1;
+        }
+        if !dynamic {
+            continue;
+        }
+        let var = code[i].text.clone();
+        let function = ann.fn_name(i).to_string();
+        let guarded = ann.guarded_before(i, &var);
+        accesses.push(Access {
+            function: function.clone(),
+            var: var.clone(),
+            guarded,
+            rule: Rule::R5UnguardedIndex,
+        });
+        if !guarded {
+            push(
+                findings,
+                ctx,
+                Rule::R5UnguardedIndex,
+                code[i].line,
+                &function,
+                format!("dynamic index into `{var}` with no preceding bounds guard"),
+            );
+        }
+    }
+}
+
+fn rule_r6(ctx: &FileContext<'_>, ann: &Annotated, findings: &mut Vec<Finding>) {
+    for c in &ann.comments {
+        for marker in ["TODO", "FIXME", "XXX", "HACK"] {
+            if c.text.contains(marker) {
+                push(
+                    findings,
+                    ctx,
+                    Rule::R6DebtMarker,
+                    c.line,
+                    "-",
+                    format!("{marker} comment"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn ctx<'a>(krate: &'a str, file: &'a str) -> FileContext<'a> {
+        FileContext { crate_name: krate, rel_path: file, file_name: file }
+    }
+
+    fn scan(krate: &str, file: &str, src: &str) -> Vec<Finding> {
+        scan_tokens(&ctx(krate, file), &annotate(tokenize(src))).0
+    }
+
+    #[test]
+    fn r1_flags_library_unwrap_but_not_test_code() {
+        let src = r#"
+            pub fn lib_path(x: Option<u8>) -> u8 { x.unwrap() }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); panic!("fine in tests"); }
+            }
+            pub fn after_tests(y: Option<u8>) -> u8 { y.unwrap() }
+        "#;
+        let f = scan("demo", "demo.rs", src);
+        let r1: Vec<_> = f.iter().filter(|f| f.rule == Rule::R1PanicPath).collect();
+        // Library code before AND after the test module is flagged; the
+        // `#[test]` inside the excluded module must not leak exclusion
+        // onto `after_tests`.
+        assert_eq!(r1.len(), 2);
+        assert_eq!(r1[0].function, "lib_path");
+        assert_eq!(r1[1].function, "after_tests");
+    }
+
+    #[test]
+    fn r1_expect_needs_a_string_argument() {
+        // A parser method named `expect` taking a byte is not Option::expect.
+        let src = "fn f(&mut self) { self.expect(b':')?; }";
+        assert!(scan("demo", "d.rs", src).iter().all(|f| f.rule != Rule::R1PanicPath));
+        let src2 = "fn f(x: Option<u8>) -> u8 { x.expect(\"boom\") }";
+        assert_eq!(scan("demo", "d.rs", src2).len(), 1);
+    }
+
+    #[test]
+    fn r1_flags_panic_macros_but_not_paths() {
+        let src = "fn f() { std::panic::catch_unwind(|| 1).ok(); }";
+        assert!(scan("demo", "d.rs", src).is_empty());
+        let src2 = "fn f() { unreachable!(\"no\"); }";
+        assert_eq!(scan("demo", "d.rs", src2).len(), 1);
+    }
+
+    #[test]
+    fn r2_flags_secret_compare_only_in_scope() {
+        let src = "fn v(tag: &[u8], other: &[u8]) -> bool { tag == other }";
+        assert_eq!(scan("crypto", "x.rs", src).len(), 1);
+        // Same code outside crypto/netsec: not in scope.
+        assert!(scan("pon", "x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_ignores_public_lengths_and_neutral_idents() {
+        let src = "fn v(key: &[u8]) -> bool { key.len() == 32 }";
+        assert!(scan("crypto", "x.rs", src).is_empty());
+        let src2 = "fn v(a: u8, b: u8) -> bool { a == b }";
+        assert!(scan("crypto", "x.rs", src2).is_empty());
+        // `macsec` does not segment to `mac`.
+        let src3 = "fn v(macsec_mode: u8) -> bool { macsec_mode == 3 }";
+        assert!(scan("netsec", "x.rs", src3).is_empty());
+    }
+
+    #[test]
+    fn r4_flags_narrowing_not_widening() {
+        let src = "fn f(sci: u64) -> u32 { sci as u32 }";
+        let f = scan("netsec", "x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("as u32"));
+        let src2 = "fn f(x: u32) -> u64 { x as u64 }";
+        assert!(scan("netsec", "x.rs", src2).is_empty());
+        // Literal bounds are not narrowing hazards.
+        let src3 = "fn f() -> u64 { u32::MAX as u64 }";
+        assert!(scan("netsec", "x.rs", src3).is_empty());
+    }
+
+    #[test]
+    fn r5_flags_unguarded_dynamic_index_only() {
+        let unguarded = "fn f(buf: &[u8], i: usize) -> u8 { buf[i] }";
+        let f = scan("pon", "frame.rs", unguarded);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R5UnguardedIndex);
+
+        let guarded = "fn f(buf: &[u8], i: usize) -> u8 { if i < buf.len() { buf[i] } else { 0 } }";
+        assert!(scan("pon", "frame.rs", guarded).is_empty());
+
+        let constant = "fn f(buf: &[u8]) -> u8 { buf[0] }";
+        assert!(scan("pon", "frame.rs", constant).is_empty());
+
+        // Out-of-scope file: no R5.
+        assert!(scan("pon", "topology.rs", unguarded).is_empty());
+    }
+
+    #[test]
+    fn r5_literal_bounded_loop_vars_are_static() {
+        // `for r in 1..4` pins `r` at compile time — AES-style state
+        // shuffles through it are not dynamic indexing.
+        let src = "fn f(b: &mut [u8]) { for r in 1..4 { b[r] = b[r + 4]; } }";
+        assert!(scan("crypto", "aes.rs", src).is_empty());
+        // A variable-bounded loop stays flagged.
+        let src2 = "fn f(w: &mut [u32], nk: usize, m: usize) { for i in nk..m { w[i] = 0; } }";
+        assert_eq!(scan("crypto", "aes.rs", src2).len(), 1);
+        // Outside its loop body the name is dynamic again.
+        let src3 = "fn f(b: &[u8], r: usize) -> u8 { for r in 0..2 { let _ = r; } b[r] }";
+        assert_eq!(scan("crypto", "aes.rs", src3).len(), 1);
+    }
+
+    #[test]
+    fn r6_counts_debt_markers_in_comments_only() {
+        let src = "// TODO: tighten\nfn f() { let todo_list = 1; }";
+        let f = scan("demo", "x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R6DebtMarker);
+    }
+
+    #[test]
+    fn forbid_attr_detection() {
+        assert!(has_forbid_unsafe(&tokenize("#![forbid(unsafe_code)]\npub fn x() {}")));
+        assert!(!has_forbid_unsafe(&tokenize("#![deny(missing_docs)]")));
+    }
+
+    #[test]
+    fn fn_attribution_handles_nesting() {
+        let src = "fn outer() { fn inner(x: Option<u8>) { x.unwrap(); } }";
+        let f = scan("demo", "x.rs", src);
+        assert_eq!(f[0].function, "inner");
+    }
+}

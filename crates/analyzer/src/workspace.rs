@@ -1,0 +1,156 @@
+//! Workspace discovery and the full self-scan.
+//!
+//! The unit of scanning is a *workspace tree*: a directory with a
+//! `crates/<name>/src/` layout (plus an optional root `src/` for the
+//! facade package). The real repository and the fixture corpora under
+//! `tests/` share this shape, so every test drives the exact code path
+//! the verify gate runs.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::{sort_findings, Report};
+use crate::bridge;
+use crate::lexer::tokenize;
+use crate::rules::{annotate, has_forbid_unsafe, scan_tokens, FileContext, Finding, Rule};
+
+/// Locates the enclosing workspace root by walking up from `start`
+/// until a directory containing both `Cargo.toml` and `crates/` is
+/// found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// The `(crate name, src dir)` pairs of a workspace tree, sorted by
+/// name. The root facade package scans as crate `genio`.
+fn crate_src_dirs(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let path = entry?.path();
+            let src = path.join("src");
+            if src.is_dir() {
+                if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                    out.push((name.to_string(), src));
+                }
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        out.push(("genio".to_string(), root_src));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively lists `.rs` files under `dir`, sorted.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Scans every crate `src/` tree under `root` and returns the full
+/// report: lexical rules per file, R3 per crate root, and the sast
+/// bridge confirmation over R4/R5 findings.
+pub fn scan(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for (crate_name, src_dir) in crate_src_dirs(root)? {
+        let mut files = Vec::new();
+        rust_files(&src_dir, &mut files)?;
+        let mut saw_forbid = false;
+        let mut lib_rel = rel_path(root, &src_dir.join("lib.rs"));
+        for path in &files {
+            let src = fs::read_to_string(path)?;
+            let rel = rel_path(root, path);
+            let file_name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let tokens = tokenize(&src);
+            let is_crate_root = file_name == "lib.rs" || file_name == "main.rs";
+            if is_crate_root && has_forbid_unsafe(&tokens) {
+                saw_forbid = true;
+            }
+            if file_name == "lib.rs" {
+                lib_rel = rel.clone();
+            }
+            let ann = annotate(tokens);
+            let ctx = FileContext {
+                crate_name: &crate_name,
+                rel_path: &rel,
+                file_name: &file_name,
+            };
+            let (findings, accesses) = scan_tokens(&ctx, &ann);
+            report.findings.extend(bridge::confirm(findings, &accesses));
+            report.files += 1;
+            report.lines += src.lines().count() as u64;
+        }
+        if !files.is_empty() && !saw_forbid {
+            report.findings.push(Finding {
+                rule: Rule::R3MissingForbid,
+                file: lib_rel,
+                line: 1,
+                function: "-".to_string(),
+                detail: "crate root missing #![forbid(unsafe_code)]".to_string(),
+                confirmed: None,
+            });
+        }
+    }
+    sort_findings(&mut report.findings);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_walks_upward() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root above crates/analyzer");
+        assert!(root.join("crates").join("analyzer").is_dir());
+    }
+
+    #[test]
+    fn self_scan_covers_every_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root");
+        let report = scan(&root).expect("scan succeeds");
+        // 14 seed crates + analyzer + the root facade, each with files.
+        let dirs = crate_src_dirs(&root).expect("layout readable");
+        assert!(dirs.len() >= 15, "expected >=15 src trees, got {}", dirs.len());
+        assert!(report.files > 100, "scanned only {} files", report.files);
+        assert!(report.lines > 10_000);
+    }
+}

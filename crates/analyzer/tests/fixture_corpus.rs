@@ -1,0 +1,99 @@
+//! Integration tests: drive `workspace::scan` over the committed fixture
+//! corpus (`tests/fixtures/miniws`), a miniature workspace tree with one
+//! known-positive and at least one known-negative snippet per rule.
+
+use std::path::{Path, PathBuf};
+
+use genio_analyzer::rules::Rule;
+use genio_analyzer::workspace;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/miniws")
+}
+
+#[test]
+fn fixture_tree_is_a_workspace_root() {
+    let root = fixture_root();
+    assert_eq!(
+        workspace::find_root(&root.join("crates/demo/src")),
+        Some(root)
+    );
+}
+
+#[test]
+fn per_rule_counts_match_the_corpus() {
+    let report = workspace::scan(&fixture_root()).expect("fixture scan");
+    let counts: Vec<(Rule, usize)> = report.rule_counts();
+    let count = |r: Rule| counts.iter().find(|&&(cr, _)| cr == r).map_or(0, |&(_, n)| n);
+
+    assert_eq!(count(Rule::R1PanicPath), 3, "unwrap + expect + panic!");
+    assert_eq!(count(Rule::R2NonCtCompare), 1, "tag == expected_tag");
+    assert_eq!(count(Rule::R3MissingForbid), 1, "netsec crate root");
+    assert_eq!(count(Rule::R4NarrowingCast), 1, "sci as u16");
+    assert_eq!(count(Rule::R5UnguardedIndex), 2, "gcm.rs + frame.rs");
+    assert_eq!(count(Rule::R6DebtMarker), 1, "one to-do comment");
+    assert_eq!(report.findings.len(), 9);
+}
+
+#[test]
+fn positives_name_their_functions() {
+    let report = workspace::scan(&fixture_root()).expect("fixture scan");
+    let has = |rule: Rule, function: &str| {
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == rule && f.function == function)
+    };
+    assert!(has(Rule::R1PanicPath, "lib_unwrap"));
+    assert!(has(Rule::R1PanicPath, "lib_expect"));
+    assert!(has(Rule::R1PanicPath, "lib_panic"));
+    assert!(has(Rule::R2NonCtCompare, "bad_tag_check"));
+    assert!(has(Rule::R4NarrowingCast, "narrow_sci"));
+    assert!(has(Rule::R5UnguardedIndex, "unguarded_block"));
+    assert!(has(Rule::R5UnguardedIndex, "read_field"));
+}
+
+#[test]
+fn negatives_stay_silent() {
+    let report = workspace::scan(&fixture_root()).expect("fixture scan");
+    for quiet in [
+        "parse",          // look-alike `self.expect(b':')`
+        "catches",        // std::panic:: path segment
+        "key_length_ok",  // public length comparison
+        "counters_match", // no secret segment
+        "widen",          // widening cast
+        "literal_cast",   // literal cast subject
+        "guarded_block",  // guard dominates
+        "read_checked",   // .get() access
+        "rotate_state",   // literal-range loop variable
+    ] {
+        assert!(
+            !report.findings.iter().any(|f| f.function == quiet),
+            "negative fixture {quiet:?} was flagged"
+        );
+    }
+    // The #[cfg(test)] module in demo contributes nothing.
+    assert!(!report
+        .findings
+        .iter()
+        .any(|f| f.function == "unwrap_is_fine_in_tests"));
+}
+
+#[test]
+fn r4_r5_findings_carry_bridge_confirmation() {
+    let report = workspace::scan(&fixture_root()).expect("fixture scan");
+    for f in &report.findings {
+        match f.rule {
+            Rule::R4NarrowingCast | Rule::R5UnguardedIndex => {
+                assert_eq!(
+                    f.confirmed,
+                    Some(true),
+                    "taint bridge should confirm {}:{}",
+                    f.file,
+                    f.line
+                );
+            }
+            _ => assert_eq!(f.confirmed, None),
+        }
+    }
+}

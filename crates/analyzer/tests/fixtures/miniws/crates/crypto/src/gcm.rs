@@ -1,0 +1,25 @@
+//! R5 fixture hot path (`crypto/gcm.rs` is in the R5 scope table).
+//!
+//! Expected findings: one R5 (in `unguarded_block`). The guarded and
+//! literal-bounded accesses must stay silent.
+
+/// R5 positive: dynamic index with no preceding bounds guard.
+pub fn unguarded_block(buf: &[u8], i: usize) -> u8 {
+    buf[i]
+}
+
+/// R5 negative: a `len()` guard dominates the access.
+pub fn guarded_block(buf: &[u8], i: usize) -> u8 {
+    if i < buf.len() {
+        buf[i]
+    } else {
+        0
+    }
+}
+
+/// R5 negative: literal-range loop variables are statically bounded.
+pub fn rotate_state(state: &mut [u8; 16]) {
+    for r in 1..4 {
+        state[r] = state[r + 4];
+    }
+}

@@ -64,7 +64,9 @@ pub enum ScanFinding {
 pub fn scan(host: &HostExposure, expected: &[u16]) -> Vec<ScanFinding> {
     let mut findings = Vec::new();
     for port in host.open_ports() {
-        let (service, tls) = host.service(port).expect("port is open");
+        let Some((service, tls)) = host.service(port) else {
+            continue;
+        };
         if !expected.contains(&port) {
             findings.push(ScanFinding::UnexpectedPort {
                 port,

@@ -150,7 +150,7 @@ pub fn scan(image: &ContainerImage, corpus: &[AppCve], mode: ScaMode) -> Vec<Sca
             }
         }
     }
-    findings.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    findings.sort_by(|a, b| b.score.total_cmp(&a.score));
     findings
 }
 

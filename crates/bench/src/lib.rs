@@ -15,6 +15,8 @@
 //! | `lesson1_hardening` … `lesson8_runtime` | Lessons 1–8 |
 //! | `scenario_campaign` | the §III threat model end-to-end (E-S1) |
 
+#![forbid(unsafe_code)]
+
 use std::sync::Once;
 
 /// Prints a labelled experiment block exactly once per process, so the

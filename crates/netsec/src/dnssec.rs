@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use genio_crypto::ct;
 use genio_crypto::sha256::{sha256, Digest};
 use genio_crypto::sig::{MerklePublicKey, MerkleSignature, MerkleSigner};
 
@@ -197,7 +198,7 @@ impl Resolver {
                 .zones
                 .get(*apex)
                 .ok_or(NetsecError::DnssecInvalid("zone not reachable"))?;
-            if zone.public_key != expected_key {
+            if !ct::eq(&zone.public_key, &expected_key) {
                 return Err(NetsecError::DnssecInvalid("zone key does not match chain"));
             }
             if let Some(next_apex) = path.get(i + 1) {
@@ -214,7 +215,7 @@ impl Resolver {
                     .zones
                     .get(*next_apex)
                     .ok_or(NetsecError::DnssecInvalid("child zone not reachable"))?;
-                if sha256(&next.public_key) != ds.key_digest {
+                if !ct::eq(&sha256(&next.public_key), &ds.key_digest) {
                     return Err(NetsecError::DnssecInvalid("child key digest mismatch"));
                 }
                 expected_key = next.public_key;
@@ -233,7 +234,9 @@ impl Resolver {
                 return Ok(record.value.clone());
             }
         }
-        unreachable!("loop returns at the last path element");
+        // The loop returns at the last path element; an empty tail means
+        // the caller handed us an inconsistent delegation path.
+        Err(NetsecError::DnssecInvalid("delegation path exhausted"))
     }
 }
 

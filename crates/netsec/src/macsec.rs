@@ -17,6 +17,7 @@
 //! from a pre-shared Connectivity Association Key (CAK) with HKDF, the same
 //! trust bootstrap 802.1X-2010 uses.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use genio_crypto::gcm::AesGcm;
@@ -228,21 +229,20 @@ impl MacsecPeer {
     /// * [`NetsecError::IntegrityFailure`] — tag mismatch.
     pub fn validate(&mut self, frame: &MacsecFrame) -> crate::Result<Vec<u8>> {
         let key = (frame.sci, frame.an);
-        if !self.rx.contains_key(&key) {
-            let sak = derive_sak(&self.cak, frame.sci, frame.an);
-            let aead = AesGcm::new(&sak)?;
-            self.rx.insert(
-                key,
-                RxAssociation {
+        let window = self.config.replay_window;
+        let assoc = match self.rx.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                let sak = derive_sak(&self.cak, frame.sci, frame.an);
+                let aead = AesGcm::new(&sak)?;
+                e.insert(RxAssociation {
                     aead,
                     high: 0,
                     window: 0,
                     seen_any: false,
-                },
-            );
-        }
-        let window = self.config.replay_window;
-        let assoc = self.rx.get_mut(&key).expect("just inserted");
+                })
+            }
+        };
         if let Err(e) = assoc.check_and_mark(frame.pn, window) {
             self.rejected_replay += 1;
             return Err(e);

@@ -205,7 +205,7 @@ impl ActivationController {
             .max()
             .unwrap_or(rtt);
         {
-            let onu = tree.onu_mut(id).expect("onu exists");
+            let onu = tree.onu_mut(id).ok_or(PonError::UnknownOnu(id))?;
             onu.status = OnuStatus::Activating;
             onu.eq_delay_ns = max_rtt - rtt;
             onu.status = OnuStatus::Operational;

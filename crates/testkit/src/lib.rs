@@ -36,6 +36,8 @@
 //! identically on every machine; `GENIO_TEST_SEED=0x…` replays the seed
 //! a failure message printed.
 
+#![forbid(unsafe_code)]
+
 pub mod bench;
 pub mod gen;
 pub mod json;

@@ -158,9 +158,9 @@ pub fn scan(inventory: &PackageInventory, db: &CveDatabase, aliases: &AliasMap) 
         }
     }
     findings.sort_by(|a, b| {
-        (b.exploited, b.score)
-            .partial_cmp(&(a.exploited, a.score))
-            .expect("scores are finite")
+        b.exploited
+            .cmp(&a.exploited)
+            .then(b.score.total_cmp(&a.score))
     });
     findings
 }

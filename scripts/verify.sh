@@ -2,9 +2,12 @@
 # Hermetic verification gate for the GENIO workspace. No network, no
 # external tools beyond cargo and a POSIX shell.
 #
-#   scripts/verify.sh           build + tests + examples smoke
+#   scripts/verify.sh           build + tests + examples smoke + the
+#                               genio-analyzer ratchet gate (new static-
+#                               analysis findings vs analyzer-baseline.json
+#                               fail the build)
 #   scripts/verify.sh --quick   the above, then a quick bench pass that
-#                               merges all 12 experiment reports into
+#                               merges all 13 experiment reports into
 #                               BENCH_genio.json at the repo root
 #
 # A reproducing seed for any property failure is printed by the harness;
@@ -27,6 +30,9 @@ cargo build --release
 echo "==> cargo test --workspace -q  (builds examples; includes the examples smoke test)"
 cargo test --workspace -q
 
+echo "==> genio-analyzer ratchet gate (self-scan vs analyzer-baseline.json)"
+cargo run --release -q -p genio-analyzer
+
 if [ "$QUICK" -eq 1 ]; then
     echo "==> cargo bench (quick profile)"
     rm -rf target/genio-bench
@@ -35,8 +41,8 @@ if [ "$QUICK" -eq 1 ]; then
     echo "==> merging reports into BENCH_genio.json"
     reports=(target/genio-bench/*.json)
     count="${#reports[@]}"
-    if [ "$count" -ne 12 ]; then
-        echo "expected 12 experiment reports, found $count: ${reports[*]}" >&2
+    if [ "$count" -ne 13 ]; then
+        echo "expected 13 experiment reports, found $count: ${reports[*]}" >&2
         exit 1
     fi
     {

@@ -15,6 +15,9 @@
 //! assert!(report.mitigations_enabled > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use genio_analyzer as analyzer;
 pub use genio_appsec as appsec;
 pub use genio_core as core;
 pub use genio_crypto as crypto;
