@@ -1,6 +1,6 @@
 //! Security/correctness rules over the token stream.
 //!
-//! Six rules, mirroring the failure classes Lesson 7 calls out for
+//! Seven rules, mirroring the failure classes Lesson 7 calls out for
 //! immature SAST on custom stacks — each is a *lexical* check (fast, no
 //! type information) whose parser-facing classes (R4, R5) are then
 //! confirmed through the `genio_appsec::sast` taint engine by
@@ -19,6 +19,9 @@
 //!   (`x.len()` / `x.get(..)` seen earlier in the same function) in the
 //!   AEAD/frame hot paths.
 //! * **R6** debt markers (to-do / fix-me style) left in comments.
+//! * **R7** raw `Instant::now()` / `SystemTime::now()` outside the
+//!   telemetry clock abstraction — timing must route through
+//!   `genio_telemetry::Clock` so tests stay deterministic.
 //!
 //! Rules only ever *add* findings; what is acceptable today is recorded
 //! in the committed baseline and ratcheted down by
@@ -41,6 +44,8 @@ pub enum Rule {
     R5UnguardedIndex,
     /// Debt marker in a comment.
     R6DebtMarker,
+    /// Raw OS timing call outside the telemetry clock abstraction.
+    R7RawTiming,
 }
 
 impl Rule {
@@ -53,6 +58,7 @@ impl Rule {
             Rule::R4NarrowingCast => "R4",
             Rule::R5UnguardedIndex => "R5",
             Rule::R6DebtMarker => "R6",
+            Rule::R7RawTiming => "R7",
         }
     }
 
@@ -65,18 +71,20 @@ impl Rule {
             "R4" => Rule::R4NarrowingCast,
             "R5" => Rule::R5UnguardedIndex,
             "R6" => Rule::R6DebtMarker,
+            "R7" => Rule::R7RawTiming,
             _ => return None,
         })
     }
 
     /// All rules, report order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::R1PanicPath,
         Rule::R2NonCtCompare,
         Rule::R3MissingForbid,
         Rule::R4NarrowingCast,
         Rule::R5UnguardedIndex,
         Rule::R6DebtMarker,
+        Rule::R7RawTiming,
     ];
 
     /// One-line description for the report table.
@@ -88,6 +96,7 @@ impl Rule {
             Rule::R4NarrowingCast => "narrowing `as` cast in frame/feed parser",
             Rule::R5UnguardedIndex => "slice index without preceding bounds guard in hot path",
             Rule::R6DebtMarker => "TODO/FIXME debt marker",
+            Rule::R7RawTiming => "raw Instant/SystemTime timing outside the telemetry clock",
         }
     }
 }
@@ -149,6 +158,11 @@ const R5_FILES: &[(&str, &str)] = &[
     ("pon", "security.rs"),
     ("netsec", "macsec.rs"),
 ];
+
+/// Files allowed to read the OS clock directly (R7): the telemetry
+/// clock abstraction itself, and the testkit bench harness that measures
+/// wall time by design.
+const R7_ALLOWED: &[(&str, &str)] = &[("telemetry", "clock.rs"), ("testkit", "bench.rs")];
 
 /// Identifier segments that mark secret material for R2.
 const SECRET_SEGMENTS: &[&str] = &[
@@ -281,10 +295,8 @@ pub fn annotate(tokens: Vec<Token>) -> Annotated {
                 }
                 pending_fn = None;
             }
-            "fn" => {
-                if i + 1 < n && code[i + 1].kind == TokenKind::Ident {
-                    pending_fn = Some(code[i + 1].text.clone());
-                }
+            "fn" if i + 1 < n && code[i + 1].kind == TokenKind::Ident => {
+                pending_fn = Some(code[i + 1].text.clone());
             }
             _ => {}
         }
@@ -403,6 +415,12 @@ pub fn scan_tokens(ctx: &FileContext<'_>, ann: &Annotated) -> (Vec<Finding>, Vec
         rule_r5(ctx, ann, &mut findings, &mut accesses);
     }
     rule_r6(ctx, ann, &mut findings);
+    if !R7_ALLOWED
+        .iter()
+        .any(|&(c, f)| c == ctx.crate_name && f == ctx.file_name)
+    {
+        rule_r7(ctx, ann, &mut findings);
+    }
 
     (findings, accesses)
 }
@@ -613,6 +631,30 @@ fn rule_r5(
     }
 }
 
+fn rule_r7(ctx: &FileContext<'_>, ann: &Annotated, findings: &mut Vec<Finding>) {
+    let code = &ann.code;
+    for i in 0..code.len() {
+        if ann.excluded[i]
+            || code[i].kind != TokenKind::Ident
+            || !matches!(code[i].text.as_str(), "Instant" | "SystemTime")
+        {
+            continue;
+        }
+        if code.get(i + 1).map(|t| t.text.as_str()) == Some("::")
+            && code.get(i + 2).map(|t| t.text.as_str()) == Some("now")
+        {
+            push(
+                findings,
+                ctx,
+                Rule::R7RawTiming,
+                code[i].line,
+                ann.fn_name(i),
+                format!("raw {}::now() (route timing through the telemetry Clock)", code[i].text),
+            );
+        }
+    }
+}
+
 fn rule_r6(ctx: &FileContext<'_>, ann: &Annotated, findings: &mut Vec<Finding>) {
     for c in &ann.comments {
         for marker in ["TODO", "FIXME", "XXX", "HACK"] {
@@ -750,6 +792,36 @@ mod tests {
         let f = scan("demo", "x.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, Rule::R6DebtMarker);
+    }
+
+    #[test]
+    fn r7_flags_raw_timing_outside_the_clock() {
+        let src = "fn f() -> std::time::Instant { Instant::now() }";
+        let f = scan("pon", "sim.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R7RawTiming);
+        assert!(f[0].detail.contains("Instant::now()"));
+        // SystemTime is flagged the same way.
+        let src2 = "fn f() { let _ = SystemTime::now(); }";
+        assert_eq!(scan("core", "x.rs", src2).len(), 1);
+    }
+
+    #[test]
+    fn r7_allows_the_clock_abstraction_and_bench_harness() {
+        let src = "fn f() -> std::time::Instant { Instant::now() }";
+        assert!(scan("telemetry", "clock.rs", src).is_empty());
+        assert!(scan("testkit", "bench.rs", src).is_empty());
+        // Same names, elsewhere in those crates: still flagged.
+        assert_eq!(scan("telemetry", "span.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn r7_ignores_test_code_and_non_call_mentions() {
+        let src = "#[cfg(test)]\nmod tests { #[test]\nfn t() { let _ = Instant::now(); } }";
+        assert!(scan("pon", "sim.rs", src).is_empty());
+        // `Instant` without `::now` (e.g. a type position) is fine.
+        let src2 = "fn f(epoch: Instant) -> Instant { epoch }";
+        assert!(scan("pon", "sim.rs", src2).is_empty());
     }
 
     #[test]

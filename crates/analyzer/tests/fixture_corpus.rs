@@ -32,7 +32,8 @@ fn per_rule_counts_match_the_corpus() {
     assert_eq!(count(Rule::R4NarrowingCast), 1, "sci as u16");
     assert_eq!(count(Rule::R5UnguardedIndex), 2, "gcm.rs + frame.rs");
     assert_eq!(count(Rule::R6DebtMarker), 1, "one to-do comment");
-    assert_eq!(report.findings.len(), 9);
+    assert_eq!(count(Rule::R7RawTiming), 1, "raw Instant::now in demo");
+    assert_eq!(report.findings.len(), 10);
 }
 
 #[test]
@@ -51,6 +52,7 @@ fn positives_name_their_functions() {
     assert!(has(Rule::R4NarrowingCast, "narrow_sci"));
     assert!(has(Rule::R5UnguardedIndex, "unguarded_block"));
     assert!(has(Rule::R5UnguardedIndex, "read_field"));
+    assert!(has(Rule::R7RawTiming, "raw_timing"));
 }
 
 #[test]
@@ -66,6 +68,9 @@ fn negatives_stay_silent() {
         "guarded_block",  // guard dominates
         "read_checked",   // .get() access
         "rotate_state",   // literal-range loop variable
+        "instant_passthrough", // Instant in type position, no ::now call
+        "manual_clock",   // Instant::now inside the allowlisted clock.rs
+        "through_the_clock", // timing routed through the abstraction
     ] {
         assert!(
             !report.findings.iter().any(|f| f.function == quiet),

@@ -49,6 +49,17 @@ pub fn catches() -> bool {
     std::panic::catch_unwind(|| 1).is_ok()
 }
 
+/// R7 positive: raw OS timing in library code outside the telemetry
+/// clock abstraction.
+pub fn raw_timing() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+/// R7 negative: `Instant` in type position without a `::now` call.
+pub fn instant_passthrough(epoch: std::time::Instant) -> std::time::Instant {
+    epoch
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +68,10 @@ mod tests {
     fn unwrap_is_fine_in_tests() {
         assert_eq!(lib_unwrap(Some(3)), 3);
         assert_eq!(Some(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn timing_is_fine_in_tests() {
+        let _ = std::time::Instant::now();
     }
 }

@@ -1,0 +1,159 @@
+//! E-O1 — **observability overhead**: the telemetry spine must stay
+//! within a bounded overhead envelope on the hot paths it instruments.
+//!
+//! Expected shape: disabled-mode primitives cost a branch (sub-ns to a
+//! few ns), enabled-mode primitives stay in the tens of ns, and the two
+//! end-to-end workloads (PON downstream simulation, runtime detection
+//! pipeline) run within `MAX_RATIO` of their uninstrumented baselines.
+//! The ratio is asserted here so a regression fails `cargo bench`.
+
+use std::sync::Once;
+
+use genio_bench::print_experiment_once;
+use genio_pon::sim::{run_instrumented, SimConfig};
+use genio_runtime::events::mixed_trace;
+use genio_runtime::falco::{Engine, RuleSetTier};
+use genio_telemetry::Telemetry;
+use genio_testkit::bench::{BenchmarkId, Criterion, Throughput};
+
+static PRINTED: Once = Once::new();
+
+/// Acceptance bound: enabled/disabled throughput ratio per workload.
+const MAX_RATIO: f64 = 1.15;
+
+fn sim_config() -> SimConfig {
+    SimConfig {
+        ticks: 40,
+        onus: 8,
+        encrypt: true,
+        certificate_admission: true,
+        replay_every: 10,
+        greedy_onu: false,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    c.experiment_id("E-O1");
+
+    // --- Primitive costs: one branch when disabled, atomics when on. ---
+    let off = Telemetry::disabled();
+    let on = Telemetry::enabled();
+    let mut group = c.benchmark_group("telemetry/primitives");
+    group.throughput(Throughput::Elements(1));
+    for (label, t) in [("disabled", &off), ("enabled", &on)] {
+        let counter = t.counter("bench.counter");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("counter_incr/{label}")),
+            &counter,
+            |b, ctr| b.iter(|| std::hint::black_box(ctr).incr(1)),
+        );
+        let histogram = t.histogram("bench.histogram");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("histogram_observe/{label}")),
+            &histogram,
+            |b, h| b.iter(|| std::hint::black_box(h).observe(1_234)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("span_guard/{label}")),
+            t,
+            |b, t| b.iter(|| std::hint::black_box(t.span("bench.span"))),
+        );
+    }
+    group.finish();
+
+    // --- Workload 1: PON downstream simulation (E-T1..T8 hot loop). ---
+    let cfg = sim_config();
+    let frames = u64::from(cfg.ticks) * u64::from(cfg.onus);
+    let mut group = c.benchmark_group("telemetry_overhead/pon_sim");
+    group.throughput(Throughput::Elements(frames));
+    group.bench_with_input(BenchmarkId::from_parameter("disabled"), &cfg, |b, cfg| {
+        let t = Telemetry::disabled();
+        b.iter(|| std::hint::black_box(run_instrumented(cfg, &t)))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("enabled"), &cfg, |b, cfg| {
+        let t = Telemetry::enabled();
+        b.iter(|| std::hint::black_box(run_instrumented(cfg, &t)))
+    });
+    group.finish();
+
+    // --- Workload 2: runtime detection pipeline over a mixed trace. ---
+    let trace = mixed_trace("tenant-a", 1_000, 5);
+    let mut group = c.benchmark_group("telemetry_overhead/runtime_pipeline");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("disabled"),
+        &trace,
+        |b, trace| {
+            let engine = Engine::with_tier(RuleSetTier::Default).unwrap();
+            b.iter(|| std::hint::black_box(engine.process_all(trace)))
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("enabled"),
+        &trace,
+        |b, trace| {
+            let engine = Engine::with_tier(RuleSetTier::Default)
+                .unwrap()
+                .instrument(&Telemetry::enabled());
+            b.iter(|| std::hint::black_box(engine.process_all(trace)))
+        },
+    );
+    group.finish();
+
+    // --- E-O1 verdict: per-event overhead and throughput ratio. ---
+    let median = |name: &str| {
+        c.records()
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+    };
+    let mut body = String::new();
+    body.push_str(&format!(
+        "bounded-overhead proof (enabled/disabled ratio must stay < {MAX_RATIO:.2}x):\n"
+    ));
+    body.push_str(&format!(
+        "  {:<18} {:>10} {:>14} {:>14} {:>14} {:>7}\n",
+        "workload", "events", "disabled", "enabled", "per-event", "ratio"
+    ));
+    let mut checked = 0usize;
+    for (workload, events) in [
+        ("pon_sim", frames),
+        ("runtime_pipeline", trace.len() as u64),
+    ] {
+        let (off_ns, on_ns) = match (
+            median(&format!("telemetry_overhead/{workload}/disabled")),
+            median(&format!("telemetry_overhead/{workload}/enabled")),
+        ) {
+            (Some(a), Some(b)) => (a, b),
+            // A `--filter` run can skip either side; no verdict then.
+            _ => continue,
+        };
+        let ratio = on_ns / off_ns;
+        let per_event = (on_ns - off_ns) / events as f64;
+        body.push_str(&format!(
+            "  {:<18} {:>10} {:>11.1} us {:>11.1} us {:>11.1} ns {:>6.3}x\n",
+            workload,
+            events,
+            off_ns / 1_000.0,
+            on_ns / 1_000.0,
+            per_event,
+            ratio
+        ));
+        assert!(
+            ratio < MAX_RATIO,
+            "E-O1 bound violated: {workload} enabled/disabled ratio {ratio:.3} >= {MAX_RATIO}"
+        );
+        checked += 1;
+    }
+    body.push_str(&format!(
+        "\n{checked}/2 workloads checked against the {MAX_RATIO:.2}x bound \
+         (per-event = (enabled - disabled) / events)\n"
+    ));
+    print_experiment_once(
+        &PRINTED,
+        "E-O1 / Observability — telemetry spine bounded-overhead proof",
+        &body,
+    );
+}
+
+genio_testkit::bench_main!(bench);

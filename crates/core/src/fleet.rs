@@ -15,6 +15,7 @@ use genio_secureboot::bootchain::{
 use genio_secureboot::luks::{LuksVolume, PlatformSupport, UnlockMethod};
 use genio_secureboot::tpm::Tpm;
 use genio_supplychain::image::{DetachedSignature, FirmwareImage, ImageVendor, NodeUpdater};
+use genio_telemetry::Telemetry;
 
 /// Fleet construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -103,6 +104,18 @@ impl Fleet {
     ///
     /// Panics only on internal fixture-assembly invariants.
     pub fn provision(config: &FleetConfig) -> Self {
+        Self::provision_instrumented(config, &Telemetry::disabled())
+    }
+
+    /// [`Fleet::provision`] under a `core.fleet.provision` span, counting
+    /// each node brought up via `core.fleet.nodes_provisioned`.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal fixture-assembly invariants.
+    pub fn provision_instrumented(config: &FleetConfig, telemetry: &Telemetry) -> Self {
+        let _span = telemetry.span("core.fleet.provision");
+        let nodes_provisioned = telemetry.counter("core.fleet.nodes_provisioned");
         let seed = config.seed.to_be_bytes();
         let mut owner = ImageSigner::from_seed(&[&seed[..], b"fleet-mok"].concat());
         let mut keys = KeyDb::new();
@@ -162,6 +175,7 @@ impl Fleet {
                 unlock_method,
                 data_volume,
             });
+            nodes_provisioned.incr(1);
         }
         Fleet {
             nodes,

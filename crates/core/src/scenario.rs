@@ -28,6 +28,7 @@ use genio_secureboot::tpm::Tpm;
 use genio_vulnmgmt::cve::reference_corpus;
 use genio_vulnmgmt::feed::TrackingPipeline;
 use genio_vulnmgmt::patching::{schedule, PatchPolicy};
+use genio_telemetry::Telemetry;
 use genio_vulnmgmt::scanner::{scan as vuln_scan, AliasMap, PackageInventory};
 
 /// Outcome of one attack execution.
@@ -104,18 +105,60 @@ impl CampaignReport {
 
 /// Runs the whole campaign.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
-    CampaignReport {
-        rows: vec![
-            t1_network_attacks(config),
-            t2_code_tampering(config),
-            t3_privilege_abuse_infra(),
-            t4_software_vulns_infra(),
-            t5_privilege_abuse_middleware(),
-            t6_software_vulns_middleware(),
-            t7_vulnerable_application(),
-            t8_malicious_application(),
-        ],
+    run_campaign_instrumented(config, &Telemetry::disabled())
+}
+
+/// [`run_campaign`] with a `core.scenario.campaign` span over the whole
+/// matrix, a `core.scenario.threat` span per threat row, and counters for
+/// attacks executed and mitigated-blocked outcomes.
+pub fn run_campaign_instrumented(config: &CampaignConfig, telemetry: &Telemetry) -> CampaignReport {
+    let _campaign = telemetry.span("core.scenario.campaign");
+    // Each row is block-scoped under its own span so every threat's
+    // runtime lands as a distinct trace event.
+    let rows = vec![
+        {
+            let _s = telemetry.span("core.scenario.threat");
+            t1_network_attacks(config)
+        },
+        {
+            let _s = telemetry.span("core.scenario.threat");
+            t2_code_tampering(config)
+        },
+        {
+            let _s = telemetry.span("core.scenario.threat");
+            t3_privilege_abuse_infra()
+        },
+        {
+            let _s = telemetry.span("core.scenario.threat");
+            t4_software_vulns_infra()
+        },
+        {
+            let _s = telemetry.span("core.scenario.threat");
+            t5_privilege_abuse_middleware()
+        },
+        {
+            let _s = telemetry.span("core.scenario.threat");
+            t6_software_vulns_middleware()
+        },
+        {
+            let _s = telemetry.span("core.scenario.threat");
+            t7_vulnerable_application()
+        },
+        {
+            let _s = telemetry.span("core.scenario.threat");
+            t8_malicious_application()
+        },
+    ];
+    let attacks = telemetry.counter("core.scenario.attacks_executed");
+    let blocked = telemetry.counter("core.scenario.mitigated_blocked");
+    for row in &rows {
+        // Each row runs the attack twice: mitigations off, then on.
+        attacks.incr(2);
+        if !row.mitigated.succeeded {
+            blocked.incr(1);
+        }
     }
+    CampaignReport { rows }
 }
 
 /// T1: fiber tap eavesdropping + frame replay + rogue-ONU impersonation,

@@ -11,6 +11,7 @@
 
 use crate::aes::{increment_counter, Aes, Block};
 use crate::{ct, CryptoError};
+use genio_telemetry::{Counter, Histogram, Telemetry};
 
 /// Required nonce length in bytes (the 96-bit fast path of SP 800-38D).
 pub const NONCE_LEN: usize = 12;
@@ -40,7 +41,9 @@ fn gf128_mul(x: u128, y: u128) -> u128 {
 
 fn block_to_u128(b: &[u8]) -> u128 {
     let mut buf = [0u8; 16];
-    buf[..b.len()].copy_from_slice(b);
+    for (slot, byte) in buf.iter_mut().zip(b.iter()) {
+        *slot = *byte;
+    }
     u128::from_be_bytes(buf)
 }
 
@@ -89,8 +92,8 @@ impl GhashKey {
     fn mul(&self, x: u128) -> u128 {
         let bytes = x.to_be_bytes();
         let mut z = 0u128;
-        for (pos, b) in bytes.iter().enumerate() {
-            z ^= self.table[pos][*b as usize];
+        for (row, b) in self.table.iter().zip(bytes.iter()) {
+            z ^= row.get(usize::from(*b)).copied().unwrap_or(0);
         }
         z
     }
@@ -128,6 +131,10 @@ fn ghash(h: &GhashKey, aad: &[u8], ct: &[u8]) -> u128 {
 pub struct AesGcm {
     aes: Aes,
     h: GhashKey,
+    seal_time: Histogram,
+    open_time: Histogram,
+    sealed_bytes: Counter,
+    opened_bytes: Counter,
 }
 
 impl AesGcm {
@@ -139,12 +146,33 @@ impl AesGcm {
     pub fn new(key: &[u8]) -> crate::Result<Self> {
         let aes = Aes::new(key)?;
         let h = GhashKey::new(u128::from_be_bytes(aes.encrypt_block([0u8; 16])));
-        Ok(AesGcm { aes, h })
+        Ok(AesGcm {
+            aes,
+            h,
+            seal_time: Histogram::disabled(),
+            open_time: Histogram::disabled(),
+            sealed_bytes: Counter::disabled(),
+            opened_bytes: Counter::disabled(),
+        })
+    }
+
+    /// Attaches telemetry: per-call seal/open latency histograms
+    /// (`crypto.gcm.seal_ns` / `crypto.gcm.open_ns`) and byte counters.
+    /// Handles are resolved here, once; per-call cost is two clock reads
+    /// and a few relaxed atomics.
+    pub fn instrument(mut self, telemetry: &Telemetry) -> Self {
+        self.seal_time = telemetry.histogram("crypto.gcm.seal_ns");
+        self.open_time = telemetry.histogram("crypto.gcm.open_ns");
+        self.sealed_bytes = telemetry.counter("crypto.gcm.sealed_bytes");
+        self.opened_bytes = telemetry.counter("crypto.gcm.opened_bytes");
+        self
     }
 
     fn j0(nonce: &[u8; NONCE_LEN]) -> Block {
         let mut j0 = [0u8; 16];
-        j0[..NONCE_LEN].copy_from_slice(nonce);
+        for (slot, byte) in j0.iter_mut().zip(nonce.iter()) {
+            *slot = *byte;
+        }
         j0[15] = 1;
         j0
     }
@@ -154,6 +182,8 @@ impl AesGcm {
     /// Never reuse a `(key, nonce)` pair — GCM's guarantees collapse if the
     /// counter stream repeats.
     pub fn seal(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let _timer = self.seal_time.start();
+        self.sealed_bytes.incr(plaintext.len() as u64);
         let j0 = Self::j0(nonce);
         let mut counter = j0;
         increment_counter(&mut counter);
@@ -178,6 +208,7 @@ impl AesGcm {
         sealed: &[u8],
         aad: &[u8],
     ) -> crate::Result<Vec<u8>> {
+        let _timer = self.open_time.start();
         if sealed.len() < TAG_LEN {
             return Err(CryptoError::CiphertextTooShort);
         }
@@ -191,6 +222,7 @@ impl AesGcm {
         increment_counter(&mut counter);
         let mut pt = ct.to_vec();
         self.aes.ctr_xor(counter, &mut pt);
+        self.opened_bytes.incr(pt.len() as u64);
         Ok(pt)
     }
 

@@ -22,6 +22,7 @@ use std::collections::HashMap;
 
 use genio_crypto::gcm::AesGcm;
 use genio_crypto::hkdf;
+use genio_telemetry::{Counter, Histogram, Telemetry};
 
 use crate::NetsecError;
 
@@ -138,6 +139,12 @@ pub struct MacsecPeer {
     pub rejected_replay: u64,
     /// Count of integrity failures observed on receive.
     pub rejected_integrity: u64,
+    protect_time: Histogram,
+    validate_time: Histogram,
+    tx_frames: Counter,
+    rx_accepted: Counter,
+    rx_replay: Counter,
+    rx_integrity: Counter,
 }
 
 fn derive_sak(cak: &[u8], sci: Sci, an: An) -> Vec<u8> {
@@ -167,7 +174,26 @@ impl MacsecPeer {
             rx: HashMap::new(),
             rejected_replay: 0,
             rejected_integrity: 0,
+            protect_time: Histogram::disabled(),
+            validate_time: Histogram::disabled(),
+            tx_frames: Counter::disabled(),
+            rx_accepted: Counter::disabled(),
+            rx_replay: Counter::disabled(),
+            rx_integrity: Counter::disabled(),
         })
+    }
+
+    /// Attaches telemetry: TX/RX latency histograms
+    /// (`netsec.macsec.protect_ns` / `netsec.macsec.validate_ns`) and
+    /// frame-outcome counters. Handles are resolved once, here.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.protect_time = telemetry.histogram("netsec.macsec.protect_ns");
+        self.validate_time = telemetry.histogram("netsec.macsec.validate_ns");
+        self.tx_frames = telemetry.counter("netsec.macsec.tx_frames");
+        self.rx_accepted = telemetry.counter("netsec.macsec.rx_accepted");
+        self.rx_replay = telemetry.counter("netsec.macsec.rx_replay");
+        self.rx_integrity = telemetry.counter("netsec.macsec.rx_integrity");
+        self
     }
 
     /// This peer's secure channel identifier.
@@ -204,9 +230,11 @@ impl MacsecPeer {
     /// Returns [`NetsecError::PnExhausted`] when the PN reaches the
     /// configured limit; callers must [`MacsecPeer::rotate_sak`].
     pub fn protect(&mut self, payload: &[u8]) -> crate::Result<MacsecFrame> {
+        let _timer = self.protect_time.start();
         if self.tx.next_pn >= self.config.pn_limit {
             return Err(NetsecError::PnExhausted);
         }
+        self.tx_frames.incr(1);
         let pn = self.tx.next_pn;
         self.tx.next_pn += 1;
         let nonce = nonce_for(self.sci, pn);
@@ -228,6 +256,7 @@ impl MacsecPeer {
     ///   window.
     /// * [`NetsecError::IntegrityFailure`] — tag mismatch.
     pub fn validate(&mut self, frame: &MacsecFrame) -> crate::Result<Vec<u8>> {
+        let _timer = self.validate_time.start();
         let key = (frame.sci, frame.an);
         let window = self.config.replay_window;
         let assoc = match self.rx.entry(key) {
@@ -245,6 +274,7 @@ impl MacsecPeer {
         };
         if let Err(e) = assoc.check_and_mark(frame.pn, window) {
             self.rejected_replay += 1;
+            self.rx_replay.incr(1);
             return Err(e);
         }
         let nonce = nonce_for(frame.sci, frame.pn);
@@ -252,10 +282,12 @@ impl MacsecPeer {
         match assoc.aead.open(&nonce, &frame.secure_data, &aad) {
             Ok(pt) => {
                 assoc.mark(frame.pn);
+                self.rx_accepted.incr(1);
                 Ok(pt)
             }
             Err(_) => {
                 self.rejected_integrity += 1;
+                self.rx_integrity.incr(1);
                 Err(NetsecError::IntegrityFailure)
             }
         }
@@ -264,7 +296,9 @@ impl MacsecPeer {
 
 fn nonce_for(sci: Sci, pn: u64) -> [u8; 12] {
     let mut nonce = [0u8; 12];
-    nonce[0..4].copy_from_slice(&(sci as u32).to_be_bytes());
+    // Low 32 bits of the SCI, taken byte-wise to avoid a lossy cast.
+    let sci_be = sci.to_be_bytes();
+    nonce[0..4].copy_from_slice(&sci_be[4..8]);
     nonce[4..12].copy_from_slice(&pn.to_be_bytes());
     nonce
 }

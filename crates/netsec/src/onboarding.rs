@@ -13,6 +13,8 @@ use genio_crypto::pki::{
 };
 use genio_crypto::sig::{MerklePublicKey, MerkleSigner};
 
+use genio_telemetry::Telemetry;
+
 use crate::handshake::{ClientSession, HandshakeConfig, ServerSession, SessionKeys};
 
 /// Device classes in the GENIO deployment (Fig. 1 of the paper).
@@ -208,15 +210,47 @@ pub fn onboard(
     now: u64,
     seed: &[u8],
 ) -> crate::Result<OnboardingResult> {
+    onboard_instrumented(device, infra, trust_anchor, crl, now, seed, &Telemetry::disabled())
+}
+
+/// [`onboard`] with per-phase handshake spans
+/// (`netsec.handshake.client_hello` / `server_flight` / `client_finish` /
+/// `server_finish`) and a `netsec.handshake.completed` counter.
+///
+/// # Errors
+///
+/// Same failure modes as [`onboard`].
+#[allow(clippy::too_many_arguments)]
+pub fn onboard_instrumented(
+    device: &mut NodeIdentity,
+    infra: &mut NodeIdentity,
+    trust_anchor: &MerklePublicKey,
+    crl: &RevocationList,
+    now: u64,
+    seed: &[u8],
+    telemetry: &Telemetry,
+) -> crate::Result<OnboardingResult> {
     let config = HandshakeConfig {
         require_client_auth: true,
         now,
     };
-    let (hello, client) = ClientSession::start(&config, seed)?;
-    let (flight, server) = ServerSession::respond(&config, &hello, infra, seed)?;
-    let (client_flight, device_keys) =
-        client.finish(&config, &flight, Some(device), &[*trust_anchor], crl)?;
-    let infra_keys = server.finish(&config, &client_flight, &[*trust_anchor], crl)?;
+    let (hello, client) = {
+        let _span = telemetry.span("netsec.handshake.client_hello");
+        ClientSession::start(&config, seed)?
+    };
+    let (flight, server) = {
+        let _span = telemetry.span("netsec.handshake.server_flight");
+        ServerSession::respond(&config, &hello, infra, seed)?
+    };
+    let (client_flight, device_keys) = {
+        let _span = telemetry.span("netsec.handshake.client_finish");
+        client.finish(&config, &flight, Some(device), &[*trust_anchor], crl)?
+    };
+    let infra_keys = {
+        let _span = telemetry.span("netsec.handshake.server_finish");
+        server.finish(&config, &client_flight, &[*trust_anchor], crl)?
+    };
+    telemetry.counter("netsec.handshake.completed").incr(1);
     Ok(OnboardingResult {
         device_keys,
         infra_keys,

@@ -2,6 +2,8 @@
 //! Kubernetes Hardening Guidance and CIS-style pod rules (mitigation
 //! **M11**) before workloads reach the scheduler.
 
+use genio_telemetry::Telemetry;
+
 use crate::workload::PodSpec;
 
 /// Enforcement level, mirroring the Kubernetes Pod Security Standards.
@@ -28,6 +30,26 @@ pub struct Violation {
 
 /// Evaluates `pod` at `level`, returning all violations (empty = admitted).
 pub fn evaluate(pod: &PodSpec, level: AdmissionLevel) -> Vec<Violation> {
+    evaluate_instrumented(pod, level, &Telemetry::disabled())
+}
+
+/// [`evaluate`] under an `orchestrator.admission` span, counting pods
+/// evaluated and violations found.
+pub fn evaluate_instrumented(
+    pod: &PodSpec,
+    level: AdmissionLevel,
+    telemetry: &Telemetry,
+) -> Vec<Violation> {
+    let _span = telemetry.span("orchestrator.admission");
+    telemetry.counter("orchestrator.pods_evaluated").incr(1);
+    let violations = evaluate_inner(pod, level);
+    telemetry
+        .counter("orchestrator.admission_violations")
+        .incr(violations.len() as u64);
+    violations
+}
+
+fn evaluate_inner(pod: &PodSpec, level: AdmissionLevel) -> Vec<Violation> {
     let mut violations = Vec::new();
     if level == AdmissionLevel::Privileged {
         return violations;

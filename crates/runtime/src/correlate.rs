@@ -6,6 +6,8 @@
 //! their highest priority and distinct-rule count, and gives the operator
 //! one line per intrusion instead of one per syscall.
 
+use genio_telemetry::Telemetry;
+
 use crate::falco::{Alert, Priority};
 
 /// One correlated incident.
@@ -57,6 +59,17 @@ impl Incident {
 /// within `window_ns` of the previous one fold together. Input order is
 /// preserved (alerts are expected in event-time order).
 pub fn correlate(alerts: &[Alert], window_ns: u64) -> Vec<Incident> {
+    correlate_instrumented(alerts, window_ns, &Telemetry::disabled())
+}
+
+/// [`correlate`] under a `runtime.correlate` span, reporting the incident
+/// count through the `runtime.incidents` counter.
+pub fn correlate_instrumented(
+    alerts: &[Alert],
+    window_ns: u64,
+    telemetry: &Telemetry,
+) -> Vec<Incident> {
+    let _span = telemetry.span("runtime.correlate");
     let mut incidents: Vec<Incident> = Vec::new();
     for alert in alerts {
         let ts = alert.event.ts;
@@ -78,6 +91,7 @@ pub fn correlate(alerts: &[Alert], window_ns: u64) -> Vec<Incident> {
             }),
         }
     }
+    telemetry.counter("runtime.incidents").incr(incidents.len() as u64);
     incidents
 }
 

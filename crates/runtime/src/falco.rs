@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use genio_telemetry::{Counter, Telemetry};
+
 use crate::events::{Event, EventKind};
 
 /// Alert priority, mirroring Falco's levels.
@@ -362,12 +364,34 @@ pub enum RuleSetTier {
 #[derive(Debug, Clone)]
 pub struct Engine {
     rules: Vec<Rule>,
+    telemetry: Telemetry,
+    events_seen: Counter,
+    alerts_raised: Counter,
+    rule_evals: Counter,
 }
 
 impl Engine {
     /// Builds an engine from explicit rules.
     pub fn new(rules: Vec<Rule>) -> Self {
-        Engine { rules }
+        Engine {
+            rules,
+            telemetry: Telemetry::disabled(),
+            events_seen: Counter::disabled(),
+            alerts_raised: Counter::disabled(),
+            rule_evals: Counter::disabled(),
+        }
+    }
+
+    /// Attaches telemetry: per-event counters (`runtime.events_processed`,
+    /// `runtime.alerts_raised`, `runtime.rule_evals`) and a
+    /// `runtime.pipeline` span around whole-trace evaluation. Handles are
+    /// resolved once, here; the per-event path only touches atomics.
+    pub fn instrument(mut self, telemetry: &Telemetry) -> Self {
+        self.events_seen = telemetry.counter("runtime.events_processed");
+        self.alerts_raised = telemetry.counter("runtime.alerts_raised");
+        self.rule_evals = telemetry.counter("runtime.rule_evals");
+        self.telemetry = telemetry.clone();
+        self
     }
 
     /// Builds an engine with the bundled rule set for `tier`.
@@ -434,7 +458,10 @@ impl Engine {
 
     /// Evaluates one event against every rule.
     pub fn process(&self, event: &Event) -> Vec<Alert> {
-        self.rules
+        self.events_seen.incr(1);
+        self.rule_evals.incr(self.rules.len() as u64);
+        let alerts: Vec<Alert> = self
+            .rules
             .iter()
             .filter(|r| eval(&r.condition, event))
             .map(|r| Alert {
@@ -442,11 +469,14 @@ impl Engine {
                 priority: r.priority,
                 event: event.clone(),
             })
-            .collect()
+            .collect();
+        self.alerts_raised.incr(alerts.len() as u64);
+        alerts
     }
 
     /// Evaluates a whole trace.
     pub fn process_all(&self, events: &[Event]) -> Vec<Alert> {
+        let _span = self.telemetry.span("runtime.pipeline");
         events.iter().flat_map(|e| self.process(e)).collect()
     }
 }

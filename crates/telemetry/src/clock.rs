@@ -1,0 +1,125 @@
+//! The pluggable time source behind every span and timer.
+//!
+//! This module is the **only** place in the workspace allowed to read the
+//! OS clock: analyzer rule R7 flags `Instant::now()` / `SystemTime::now()`
+//! anywhere else, so all timing funnels through [`Clock::now_ns`]. Tests
+//! install a [`ManualClock`] and advance it explicitly for deterministic
+//! durations; benches and examples use the monotonic source.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond source: either the OS clock anchored at an
+/// epoch, or a manually advanced counter shared by clones.
+#[derive(Clone, Debug)]
+pub enum Clock {
+    /// OS monotonic time, reported as nanoseconds since this clock's
+    /// construction.
+    Monotonic(MonotonicClock),
+    /// Deterministic time under test control.
+    Manual(ManualClock),
+}
+
+impl Clock {
+    /// A monotonic clock anchored now.
+    pub fn monotonic() -> Clock {
+        Clock::Monotonic(MonotonicClock::new())
+    }
+
+    /// A manual clock starting at 0 ns. Keep a [`ManualClock`] clone to
+    /// advance it; all `Clock` clones observe the same time.
+    pub fn manual(source: &ManualClock) -> Clock {
+        Clock::Manual(source.clone())
+    }
+
+    /// Current time in nanoseconds. Monotonic per source: two successive
+    /// reads never go backwards.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            Clock::Monotonic(m) => m.now_ns(),
+            Clock::Manual(m) => m.now_ns(),
+        }
+    }
+}
+
+/// OS monotonic time relative to a fixed epoch, so readings fit in `u64`
+/// nanoseconds. `Copy`: cloning a timer costs nothing.
+#[derive(Clone, Copy, Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// Anchors the epoch at the moment of construction.
+    pub fn new() -> MonotonicClock {
+        MonotonicClock { epoch: Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since the epoch (saturating past ~584 years).
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+/// A test clock: time only moves when the test says so. Clones share the
+/// underlying counter, so a clock handed to a `Telemetry` under test can
+/// still be advanced from the outside.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock at 0 ns.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Current reading.
+    pub fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    /// Advances time by `ns`.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Jumps to an absolute reading (never moves backwards).
+    pub fn set(&self, ns: u64) {
+        self.now.fetch_max(ns, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_deterministic_and_shared() {
+        let source = ManualClock::new();
+        let clock = Clock::manual(&source);
+        assert_eq!(clock.now_ns(), 0);
+        source.advance(250);
+        assert_eq!(clock.now_ns(), 250);
+        source.set(100); // never backwards
+        assert_eq!(clock.now_ns(), 250);
+        source.set(1_000);
+        assert_eq!(clock.now_ns(), 1_000);
+    }
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = Clock::monotonic();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+}

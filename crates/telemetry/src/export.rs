@@ -1,0 +1,157 @@
+//! Exporters: a point-in-time [`Snapshot`] rendered as `genio-telemetry/v1`
+//! JSON (via the testkit JSON value type, so the round-trip is testable
+//! with the in-tree parser) or as Prometheus-style exposition text.
+
+use genio_testkit::json::Value;
+
+use crate::metrics::HISTOGRAM_BUCKETS;
+use crate::ring::RingStats;
+
+/// Quantile summary captured for each histogram.
+pub const QUANTILES: [(f64, &str); 3] = [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")];
+
+/// Frozen view of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub mean: f64,
+    /// (quantile, estimate) pairs in [`QUANTILES`] order.
+    pub quantiles: [(f64, u64); QUANTILES.len()],
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+/// Frozen view of the whole telemetry state, produced by
+/// [`crate::Telemetry::snapshot`]. All exporters read from here so the
+/// two formats can never disagree about the underlying numbers.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+    pub ring: RingStats,
+}
+
+impl Snapshot {
+    /// Counter value by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram snapshot by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the snapshot as a `genio-telemetry/v1` JSON document.
+    pub fn to_json(&self) -> Value {
+        let counters = Value::Obj(
+            self.counters.iter().map(|(n, v)| (n.clone(), Value::Num(*v as f64))).collect(),
+        );
+        let gauges = Value::Obj(
+            self.gauges.iter().map(|(n, v)| (n.clone(), Value::Num(*v as f64))).collect(),
+        );
+        let histograms = Value::Arr(
+            self.histograms
+                .iter()
+                .map(|h| {
+                    let mut fields = vec![
+                        ("name".to_string(), Value::Str(h.name.clone())),
+                        ("count".to_string(), Value::Num(h.count as f64)),
+                        ("sum".to_string(), Value::Num(h.sum as f64)),
+                        ("max".to_string(), Value::Num(h.max as f64)),
+                        ("mean".to_string(), Value::Num(h.mean)),
+                    ];
+                    for ((_, label), (_, estimate)) in QUANTILES.iter().zip(h.quantiles.iter()) {
+                        fields.push((label.to_string(), Value::Num(*estimate as f64)));
+                    }
+                    Value::Obj(fields)
+                })
+                .collect(),
+        );
+        let ring = Value::Obj(vec![
+            ("recorded".to_string(), Value::Num(self.ring.recorded as f64)),
+            ("dropped".to_string(), Value::Num(self.ring.dropped as f64)),
+            ("drained".to_string(), Value::Num(self.ring.drained as f64)),
+            ("buffered".to_string(), Value::Num(self.ring.buffered as f64)),
+        ]);
+        Value::Obj(vec![
+            ("schema".to_string(), Value::Str("genio-telemetry/v1".to_string())),
+            ("counters".to_string(), counters),
+            ("gauges".to_string(), gauges),
+            ("histograms".to_string(), histograms),
+            ("ring".to_string(), ring),
+        ])
+    }
+
+    /// Renders the snapshot as Prometheus-style exposition text. Metric
+    /// names are mangled to the Prometheus charset (`.`/`-` → `_`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let mangled = mangle(name);
+            out.push_str(&format!("# TYPE {mangled} counter\n{mangled} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let mangled = mangle(name);
+            out.push_str(&format!("# TYPE {mangled} gauge\n{mangled} {value}\n"));
+        }
+        for h in &self.histograms {
+            let mangled = mangle(&h.name);
+            out.push_str(&format!("# TYPE {mangled} summary\n"));
+            for (q, estimate) in &h.quantiles {
+                out.push_str(&format!("{mangled}{{quantile=\"{q}\"}} {estimate}\n"));
+            }
+            out.push_str(&format!("{mangled}_sum {}\n{mangled}_count {}\n", h.sum, h.count));
+        }
+        out.push_str(&format!(
+            "# TYPE genio_trace_ring_events counter\n\
+             genio_trace_ring_events{{state=\"recorded\"}} {}\n\
+             genio_trace_ring_events{{state=\"dropped\"}} {}\n\
+             genio_trace_ring_events{{state=\"drained\"}} {}\n\
+             genio_trace_ring_events{{state=\"buffered\"}} {}\n",
+            self.ring.recorded, self.ring.dropped, self.ring.drained, self.ring.buffered
+        ));
+        out
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus charset.
+fn mangle(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mangle_maps_dots_and_dashes() {
+        assert_eq!(mangle("pon.tick-ns"), "pon_tick_ns");
+    }
+
+    #[test]
+    fn json_schema_field_is_versioned() {
+        let snap = Snapshot::default();
+        let doc = snap.to_json();
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("genio-telemetry/v1"));
+    }
+
+    #[test]
+    fn prometheus_text_mentions_every_metric() {
+        let snap = Snapshot {
+            counters: vec![("pon.frames_sent".to_string(), 7)],
+            gauges: vec![("runtime.queue_depth".to_string(), -2)],
+            histograms: vec![],
+            ring: RingStats::default(),
+        };
+        let text = snap.to_prometheus();
+        assert!(text.contains("pon_frames_sent 7"));
+        assert!(text.contains("runtime_queue_depth -2"));
+        assert!(text.contains("genio_trace_ring_events{state=\"recorded\"} 0"));
+    }
+}

@@ -1,0 +1,240 @@
+//! genio-telemetry: the zero-dependency observability spine.
+//!
+//! The paper's Lesson 8 accepts runtime security monitoring only while
+//! "per-event overhead stays bounded"; this crate is the executable form
+//! of that bound. It provides:
+//!
+//! - a **metrics registry** — atomic [`Counter`]s, [`Gauge`]s and
+//!   log-bucketed [`Histogram`]s with p50/p95/p99 extraction;
+//! - a **span API** — RAII guards ([`Span`], the [`span!`] macro) timed
+//!   by a pluggable [`Clock`] (deterministic [`ManualClock`] in tests,
+//!   monotonic in benches);
+//! - a **bounded trace ring** ([`TraceRing`]) that never blocks a hot
+//!   path: it drops-oldest under pressure and counts every drop;
+//! - two **exporters** — `genio-telemetry/v1` JSON (testkit JSON values)
+//!   and Prometheus-style text, both rendered from one [`Snapshot`].
+//!
+//! Everything hangs off a cloneable [`Telemetry`] handle. The default is
+//! [`Telemetry::disabled`]: handles it creates carry `None` and every
+//! operation is a single branch, so instrumented code paths cost nothing
+//! when observability is off — which is why every pre-existing test in
+//! the workspace passes unchanged. Experiment E-O1 (bench
+//! `telemetry_overhead`) pins the enabled/disabled throughput ratio of
+//! the PON sim and the runtime pipeline under 1.15×.
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod export;
+pub mod metrics;
+pub mod ring;
+pub mod span;
+
+use std::sync::Arc;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use export::{HistogramSnapshot, Snapshot, QUANTILES};
+pub use metrics::{Counter, Gauge, Histogram, HistogramCore, Timer, HISTOGRAM_BUCKETS};
+pub use ring::{RingStats, TraceEvent, TraceRing};
+pub use span::Span;
+
+use metrics::Registry;
+
+/// Default trace ring capacity for [`Telemetry::enabled`].
+pub const DEFAULT_RING_CAPACITY: usize = 4_096;
+
+/// The observability handle threaded through instrumented constructors.
+/// Cloning is cheap (an `Option<Arc>`); the [`Default`] is disabled, so
+/// code that never asks for telemetry pays one branch per instrumented
+/// operation and nothing else.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    clock: Clock,
+    registry: Registry,
+    ring: Arc<TraceRing>,
+}
+
+impl Telemetry {
+    /// The zero-cost no-op handle (same as `Telemetry::default()`).
+    pub fn disabled() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// An enabled handle on the OS monotonic clock with the default ring
+    /// capacity — what benches and examples use.
+    pub fn enabled() -> Telemetry {
+        Telemetry::with_clock(Clock::monotonic(), DEFAULT_RING_CAPACITY)
+    }
+
+    /// An enabled handle on a deterministic manual clock — what tests
+    /// use. Keep the `ManualClock` to advance time.
+    pub fn with_manual_clock(source: &ManualClock) -> Telemetry {
+        Telemetry::with_clock(Clock::manual(source), DEFAULT_RING_CAPACITY)
+    }
+
+    /// An enabled handle with explicit clock and ring capacity.
+    pub fn with_clock(clock: Clock, ring_capacity: usize) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                clock,
+                registry: Registry::default(),
+                ring: Arc::new(TraceRing::new(ring_capacity)),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolves (creating on first use) the counter `name`. Resolve once
+    /// at construction time and keep the handle: the lookup takes the
+    /// registry lock, the returned handle's `incr` does not.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => Counter::enabled(inner.registry.counter_cell(name)),
+            None => Counter::disabled(),
+        }
+    }
+
+    /// Resolves (creating on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(inner) => Gauge::enabled(inner.registry.gauge_cell(name)),
+            None => Gauge::disabled(),
+        }
+    }
+
+    /// Resolves (creating on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            Some(inner) => {
+                Histogram::enabled(inner.registry.histogram_cell(name), inner.clock.clone())
+            }
+            None => Histogram::disabled(),
+        }
+    }
+
+    /// Opens a timing span. On drop it records into the histogram
+    /// `<name>_ns` and offers a [`TraceEvent`] to the ring. Spans belong
+    /// at tick/phase granularity; for per-item costs inside a tight loop
+    /// prefer a pre-resolved [`Histogram::start`] timer.
+    pub fn span(&self, name: &'static str) -> Span {
+        match &self.inner {
+            Some(inner) => {
+                let histogram = inner.registry.histogram_cell(&format!("{name}_ns"));
+                Span::enabled(name, inner.clock.clone(), histogram, Arc::clone(&inner.ring))
+            }
+            None => Span::disabled(),
+        }
+    }
+
+    /// The trace ring, if enabled.
+    pub fn ring(&self) -> Option<&TraceRing> {
+        self.inner.as_ref().map(|i| i.ring.as_ref())
+    }
+
+    /// Freezes the current state for export. Disabled handles yield an
+    /// empty snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let histograms = inner
+            .registry
+            .histogram_cores()
+            .into_iter()
+            .map(|(name, core)| {
+                let mut quantiles = [(0.0, 0u64); QUANTILES.len()];
+                for (slot, (q, _)) in quantiles.iter_mut().zip(QUANTILES.iter()) {
+                    *slot = (*q, core.quantile(*q));
+                }
+                HistogramSnapshot {
+                    name,
+                    count: core.count(),
+                    sum: core.sum(),
+                    max: core.max(),
+                    mean: core.mean(),
+                    quantiles,
+                    buckets: core.bucket_counts(),
+                }
+            })
+            .collect();
+        Snapshot {
+            counters: inner.registry.counter_values(),
+            gauges: inner.registry.gauge_values(),
+            histograms,
+            ring: inner.ring.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_default_and_inert() {
+        let t = Telemetry::default();
+        assert!(!t.is_enabled());
+        t.counter("x").incr(1);
+        drop(t.span("nothing"));
+        let snap = t.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(t.ring().is_none());
+    }
+
+    #[test]
+    fn span_records_histogram_and_ring_event() {
+        let source = ManualClock::new();
+        let t = Telemetry::with_manual_clock(&source);
+        {
+            let _span = span!(t, "pon.tick");
+            source.advance(500);
+        }
+        let snap = t.snapshot();
+        let hist = snap.histogram("pon.tick_ns").map(|h| (h.count, h.max));
+        assert_eq!(hist, Some((1, 500)));
+        let events = t.ring().map(|r| r.drain()).unwrap_or_default();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "pon.tick");
+        assert_eq!(events[0].dur_ns, 500);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::enabled();
+        let t2 = t.clone();
+        t.counter("shared").incr(2);
+        t2.counter("shared").incr(3);
+        assert_eq!(t.snapshot().counter("shared"), Some(5));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_testkit_json() {
+        let source = ManualClock::new();
+        let t = Telemetry::with_manual_clock(&source);
+        t.counter("a.b").incr(9);
+        t.gauge("g").set(-4);
+        {
+            let _timer = t.histogram("h_ns").start();
+            source.advance(2_000);
+        }
+        let rendered = t.snapshot().to_json().to_string();
+        let parsed = genio_testkit::json::parse(&rendered).unwrap_or(
+            genio_testkit::json::Value::Null,
+        );
+        assert_eq!(parsed, t.snapshot().to_json());
+        assert_eq!(
+            parsed.get("counters").and_then(|c| c.get("a.b")).and_then(|v| v.as_f64()),
+            Some(9.0)
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Span guards: RAII timing scopes that feed both a per-name duration
+//! histogram and the trace ring.
+//!
+//! A span is opened with [`crate::Telemetry::span`] (or the [`crate::span!`]
+//! macro) and records on drop: the elapsed nanoseconds go into the
+//! histogram `<name>_ns` and a [`TraceEvent`] is offered to the ring.
+//! The histogram cell is resolved when the span opens, so dropping costs
+//! two atomic clock reads, a histogram record, and one ring `try_lock`.
+
+use std::sync::Arc;
+
+use crate::clock::Clock;
+use crate::metrics::HistogramCore;
+use crate::ring::{TraceEvent, TraceRing};
+
+/// Active timing scope; records on drop. Inert when obtained from a
+/// disabled `Telemetry`.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    name: &'static str,
+    start_ns: u64,
+    clock: Clock,
+    histogram: Arc<HistogramCore>,
+    ring: Arc<TraceRing>,
+}
+
+impl Span {
+    pub(crate) fn enabled(
+        name: &'static str,
+        clock: Clock,
+        histogram: Arc<HistogramCore>,
+        ring: Arc<TraceRing>,
+    ) -> Span {
+        let start_ns = clock.now_ns();
+        Span { inner: Some(SpanInner { name, start_ns, clock, histogram, ring }) }
+    }
+
+    /// An inert span (what a disabled `Telemetry` hands out).
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// Span label, if enabled.
+    pub fn name(&self) -> Option<&'static str> {
+        self.inner.as_ref().map(|s| s.name)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let dur_ns = inner.clock.now_ns().saturating_sub(inner.start_ns);
+            inner.histogram.record(dur_ns);
+            inner.ring.push(TraceEvent { name: inner.name, start_ns: inner.start_ns, dur_ns });
+        }
+    }
+}
+
+/// Opens a span on a telemetry handle: `span!(telemetry, "pon.tick")`.
+/// Bind the result (`let _span = ...`) so the guard lives to the end of
+/// the scope being measured.
+#[macro_export]
+macro_rules! span {
+    ($telemetry:expr, $name:literal) => {
+        $telemetry.span($name)
+    };
+}

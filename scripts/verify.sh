@@ -7,7 +7,8 @@
 #                               analysis findings vs analyzer-baseline.json
 #                               fail the build)
 #   scripts/verify.sh --quick   the above, then a quick bench pass that
-#                               merges all 13 experiment reports into
+#                               merges one experiment report per bench
+#                               target under crates/bench/benches/ into
 #                               BENCH_genio.json at the repo root
 #
 # A reproducing seed for any property failure is printed by the harness;
@@ -39,10 +40,14 @@ if [ "$QUICK" -eq 1 ]; then
     cargo bench -p genio-bench --benches -- --quick
 
     echo "==> merging reports into BENCH_genio.json"
+    # One report per bench target: derive the expected count from the
+    # sources so adding a bench never needs a hand-edit here.
+    bench_sources=(crates/bench/benches/*.rs)
+    expected="${#bench_sources[@]}"
     reports=(target/genio-bench/*.json)
     count="${#reports[@]}"
-    if [ "$count" -ne 13 ]; then
-        echo "expected 13 experiment reports, found $count: ${reports[*]}" >&2
+    if [ "$count" -ne "$expected" ]; then
+        echo "expected $expected experiment reports (one per crates/bench/benches/*.rs), found $count: ${reports[*]}" >&2
         exit 1
     fi
     {

@@ -29,4 +29,5 @@ pub use genio_pon as pon;
 pub use genio_runtime as runtime;
 pub use genio_secureboot as secureboot;
 pub use genio_supplychain as supplychain;
+pub use genio_telemetry as telemetry;
 pub use genio_vulnmgmt as vulnmgmt;

@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "deployment_report",
     "fleet_operations",
     "fleet_patch_cycle",
+    "observability_report",
     "posture_dossier",
     "quickstart",
     "tenant_onboarding",
@@ -56,6 +57,38 @@ fn every_example_exits_zero() {
         "example binaries not built (run via `cargo test`, which builds them): {missing:?}"
     );
     assert!(failed.is_empty(), "examples exited non-zero:\n{}", failed.join("\n"));
+}
+
+/// The observability dossier must name every instrumented subsystem —
+/// an instrumentation regression in any crate shows up here as a
+/// missing `[subsystem]` section.
+#[test]
+fn observability_report_covers_every_instrumented_subsystem() {
+    let mut path = examples_dir().join("observability_report");
+    if !path.exists() {
+        path.set_extension("exe");
+    }
+    assert!(
+        path.exists(),
+        "observability_report not built (run via `cargo test`, which builds it)"
+    );
+    let out = Command::new(&path).output().expect("spawn observability_report");
+    assert!(
+        out.status.success(),
+        "observability_report exited {} — {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for subsystem in ["pon", "crypto", "netsec", "runtime", "orchestrator", "core"] {
+        assert!(
+            stdout.contains(&format!("[{subsystem}]")),
+            "dossier is missing the {subsystem} section"
+        );
+    }
+    for exporter in ["genio-telemetry/v1", "Prometheus text"] {
+        assert!(stdout.contains(exporter), "dossier is missing the {exporter} exporter view");
+    }
 }
 
 /// The list above goes stale silently if an example is added or removed;
