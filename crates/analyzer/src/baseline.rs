@@ -32,6 +32,9 @@ pub struct Report {
     pub files: u64,
     /// Source lines scanned.
     pub lines: u64,
+    /// R4/R5 findings discharged by the interprocedural pass (count
+    /// only — the sites are intentionally not baselined).
+    pub suppressed: u64,
     /// All findings, sorted by [`sort_findings`] order.
     pub findings: Vec<Finding>,
 }
@@ -168,6 +171,7 @@ impl Report {
             ("schema".to_string(), Value::Str(SCHEMA.to_string())),
             ("files".to_string(), Value::Num(self.files as f64)),
             ("lines".to_string(), Value::Num(self.lines as f64)),
+            ("suppressed".to_string(), Value::Num(self.suppressed as f64)),
             ("rules".to_string(), Value::Arr(rules)),
             ("findings".to_string(), Value::Arr(findings)),
         ])
@@ -207,7 +211,12 @@ impl Report {
                 },
             });
         }
-        Ok(Report { files: num("files"), lines: num("lines"), findings })
+        Ok(Report {
+            files: num("files"),
+            lines: num("lines"),
+            suppressed: num("suppressed"),
+            findings,
+        })
     }
 }
 
@@ -231,6 +240,7 @@ mod tests {
         let mut report = Report {
             files: 3,
             lines: 99,
+            suppressed: 2,
             findings: vec![
                 finding(Rule::R1PanicPath, "a.rs", 7, "call to .unwrap()"),
                 finding(Rule::R6DebtMarker, "b.rs", 1, "TODO comment"),
@@ -240,6 +250,7 @@ mod tests {
         let parsed = Report::from_json_text(&report.to_json().to_string()).unwrap();
         assert_eq!(parsed.files, 3);
         assert_eq!(parsed.lines, 99);
+        assert_eq!(parsed.suppressed, 2);
         assert_eq!(parsed.findings, report.findings);
     }
 

@@ -109,6 +109,10 @@ mod tests {
             var: var.to_string(),
             guarded,
             rule: Rule::R5UnguardedIndex,
+            line: 1,
+            masked: None,
+            index_ident: None,
+            loop_bounds: None,
         }
     }
 

@@ -94,9 +94,17 @@ impl Lexer<'_> {
                 b'r' if self.peek(1) == Some(b'#')
                     && self.peek(2).is_some_and(is_ident_start) =>
                 {
-                    // Raw identifier r#type: skip the prefix, lex the ident.
+                    // Raw identifier r#type. The `r#` prefix is kept in
+                    // the token text so `r#fn` / `r#type` can never be
+                    // mistaken for the `fn` / `type` keywords by the
+                    // annotation pass (a keyword desync the v2 summary
+                    // parser would amplify into wrong call attribution).
+                    let (start, line) = (self.pos, self.line);
                     self.pos += 2;
-                    self.ident();
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.pos += 1;
+                    }
+                    self.push(TokenKind::Ident, start, line);
                 }
                 b'\'' => self.char_or_lifetime(),
                 b if is_ident_start(b) => self.ident(),
@@ -217,6 +225,13 @@ impl Lexer<'_> {
         if self.peek(1) == Some(b'\\') {
             return self.char_literal();
         }
+        // A non-ASCII scalar ('é', '𝕏') can only be a char literal —
+        // lifetimes are ASCII identifiers. Without this case the UTF-8
+        // continuation bytes fell through to single-byte punctuation and
+        // the closing quote of the literal desynced later scanning.
+        if self.peek(1).is_some_and(|b| b >= 0x80) {
+            return self.char_literal();
+        }
         // 'X' for any single byte X (covers '.', '(', 'a') — char literal.
         if self.peek(2) == Some(b'\'') && self.peek(1) != Some(b'\'') {
             return self.char_literal();
@@ -266,8 +281,15 @@ impl Lexer<'_> {
     fn number(&mut self) {
         let (start, line) = (self.pos, self.line);
         while let Some(b) = self.peek(0) {
-            // Stop before `..` so ranges like `0..8` stay three tokens.
-            if b == b'.' && self.peek(1) == Some(b'.') {
+            // Stop before `..` so ranges like `0..8` stay three tokens,
+            // and before `.ident` so `1.max(2)` does not swallow the
+            // method name into the numeric literal (`1.` and `1.5` both
+            // still lex as one number).
+            if b == b'.'
+                && self
+                    .peek(1)
+                    .is_some_and(|n| n == b'.' || is_ident_start(n))
+            {
                 break;
             }
             if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
@@ -408,6 +430,71 @@ mod tests {
     #[test]
     fn raw_identifier_is_an_ident() {
         let toks = kinds("let r#type = 1;");
-        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "type"));
+        // The r# prefix is retained so `r#fn` / `r#type` never collide
+        // with the `fn` / `type` keywords in the annotation pass.
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn raw_fn_identifier_is_not_the_fn_keyword() {
+        let toks = kinds("let r#fn = 2; fn real() {}");
+        let fns: Vec<_> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Ident && t == "fn")
+            .collect();
+        assert_eq!(fns.len(), 1, "only the real `fn` keyword may lex as `fn`");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#fn"));
+    }
+
+    #[test]
+    fn raw_string_with_partial_terminators() {
+        // `"#` inside an `r##"…"##` body is NOT a terminator; the scan
+        // must continue to the matching `"##`.
+        let toks = kinds(r####"let s = r##"quote "# inside"##; after"####);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("inside"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "after"));
+    }
+
+    #[test]
+    fn raw_string_tracks_lines() {
+        let toks = tokenize("let a = r#\"x\ny\nz\"#;\nlet b = 1;");
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn lifetimes_in_generic_lists_and_labels() {
+        let toks = kinds("fn f<'a, 'b>(x: &'a str, y: &'b [u8]) { 'outer: loop { break 'outer; } let w = &'_ ();}");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'b", "'a", "'b", "'outer", "'outer", "'_"]);
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Char));
+    }
+
+    #[test]
+    fn non_ascii_char_literal_does_not_desync() {
+        // 'é' is two UTF-8 bytes; '𝕏' is four. Both must lex as one
+        // Char token so the closing quote cannot open a phantom
+        // lifetime/char and desync everything after it.
+        let toks = kinds("let a = 'é'; let b = '𝕏'; done.unwrap()");
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(chars, 2);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn method_call_on_int_literal_is_not_one_number() {
+        let toks = kinds("let m = 1.max(2); let f = 1.5; let t = 1.;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "1"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "1.5"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "1."));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Num && t.contains("max")));
     }
 }

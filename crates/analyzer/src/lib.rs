@@ -10,19 +10,32 @@
 //!
 //! 1. [`lexer`] — a lightweight Rust token scanner (comments, strings,
 //!    lifetimes and raw literals handled; no full parser);
-//! 2. [`rules`] — six security/correctness rules (R1 abort paths, R2
+//! 2. [`rules`] — nine security/correctness rules (R1 abort paths, R2
 //!    non-constant-time secret comparisons, R3 missing
 //!    `#![forbid(unsafe_code)]`, R4 narrowing parser casts, R5
-//!    unguarded hot-path indexing, R6 debt markers);
-//! 3. [`bridge`] — lowers R4/R5 candidates into the
+//!    unguarded hot-path indexing, R6 debt markers, R7 raw timing, and
+//!    the interprocedural R8 secret-leak / R9 discarded-`Result`);
+//! 3. [`summary`] — a recursive-descent pass over the token stream that
+//!    builds per-file function/item summaries (params, calls, sinks,
+//!    discards, constants, allocation sizes);
+//! 4. [`callgraph`] — links summaries into a workspace-wide call graph;
+//! 5. [`dataflow`] — the interprocedural walk: evaluates R8/R9 over the
+//!    call graph and discharges R4/R5 findings whose bounds are provable
+//!    across function boundaries (mask vs. known length, loop bound vs.
+//!    allocation size, guards at every call site);
+//! 6. [`bridge`] — lowers R4/R5 candidates into the
 //!    `genio_appsec::sast` taint IR so an independent engine confirms
 //!    reachability before a finding is kept;
-//! 4. [`baseline`] — `genio-analyzer/v1` JSON reports and the ratchet:
+//! 7. [`cache`] — content-hash incremental cache
+//!    (`genio-analyzer-cache/v1` JSON under `target/`) so warm re-scans
+//!    skip lexing/summarising unchanged files;
+//! 8. [`baseline`] — `genio-analyzer/v1` JSON reports and the ratchet:
 //!    committed findings are grandfathered, new ones fail
 //!    `scripts/verify.sh`, and the baseline only ever shrinks;
-//! 5. [`workspace`] — walks every crate's `src/` tree and assembles the
-//!    report the CLI, the verify gate, and bench `lesson7_selfscan`
-//!    (experiment E-A1) consume.
+//! 9. [`workspace`] — walks every crate's `src/` tree (sharded across
+//!    `std::thread` workers, instrumented with `genio-telemetry` spans)
+//!    and assembles the report the CLI, the verify gate, and benches
+//!    `lesson7_selfscan` (E-A1) / `analyzer_scan` (E-A2) consume.
 //!
 //! ```
 //! use genio_analyzer::{rules, lexer};
@@ -39,6 +52,10 @@
 
 pub mod baseline;
 pub mod bridge;
+pub mod cache;
+pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
 pub mod rules;
+pub mod summary;
 pub mod workspace;

@@ -4,12 +4,19 @@
 //! ```text
 //! genio-analyzer [--root DIR] [--baseline FILE] [--json FILE]
 //!                [--write-baseline] [--findings]
+//!                [--threads N] [--cache FILE] [--no-cache]
 //! ```
 //!
 //! Exit codes: `0` clean (or baseline written), `1` new findings vs the
 //! baseline, `2` usage or I/O error. `scripts/verify.sh` runs this
 //! before the benches; `--write-baseline` is how the committed
 //! `analyzer-baseline.json` shrinks after fixing sites.
+//!
+//! The incremental cache defaults to
+//! `<root>/target/genio-analyzer/cache.json`; `--no-cache` forces a
+//! full rescan. Cache traffic and per-stage timings are printed to
+//! stdout but never written into the report, so cached and uncached
+//! runs emit byte-identical JSON.
 
 #![forbid(unsafe_code)]
 
@@ -17,7 +24,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use genio_analyzer::baseline::{diff, Report};
-use genio_analyzer::workspace;
+use genio_analyzer::workspace::{self, ScanOptions};
+use genio_telemetry::Telemetry;
 
 struct Options {
     root: Option<PathBuf>,
@@ -25,12 +33,15 @@ struct Options {
     json: Option<PathBuf>,
     write_baseline: bool,
     list_findings: bool,
+    threads: usize,
+    cache: Option<PathBuf>,
+    no_cache: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: genio-analyzer [--root DIR] [--baseline FILE] [--json FILE] \
-         [--write-baseline] [--findings]"
+         [--write-baseline] [--findings] [--threads N] [--cache FILE] [--no-cache]"
     );
     ExitCode::from(2)
 }
@@ -42,6 +53,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         json: None,
         write_baseline: false,
         list_findings: false,
+        threads: 0,
+        cache: None,
+        no_cache: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,6 +65,14 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--json" => opts.json = args.next().map(PathBuf::from),
             "--write-baseline" => opts.write_baseline = true,
             "--findings" => opts.list_findings = true,
+            "--threads" => {
+                opts.threads = match args.next().and_then(|n| n.parse().ok()) {
+                    Some(n) => n,
+                    None => return Err(usage()),
+                }
+            }
+            "--cache" => opts.cache = args.next().map(PathBuf::from),
+            "--no-cache" => opts.no_cache = true,
             _ => return Err(usage()),
         }
     }
@@ -75,7 +97,21 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match workspace::scan(&root) {
+    let cache_path = if opts.no_cache {
+        None
+    } else {
+        Some(opts.cache.unwrap_or_else(|| {
+            root.join("target").join("genio-analyzer").join("cache.json")
+        }))
+    };
+    let telemetry = Telemetry::enabled();
+    let scan_opts = ScanOptions {
+        threads: opts.threads,
+        cache_path,
+        telemetry: telemetry.clone(),
+    };
+
+    let (report, stats) = match workspace::scan_with(&root, &scan_opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("genio-analyzer: scan failed: {e}");
@@ -89,6 +125,16 @@ fn main() -> ExitCode {
         report.lines,
         root.display()
     );
+    println!(
+        "  workers: {} | cache: {} hit(s), {} miss(es) | suppressed by dataflow: {}",
+        stats.threads, stats.cache_hits, stats.cache_misses, report.suppressed
+    );
+    let snapshot = telemetry.snapshot();
+    for stage in ["analyzer.files", "analyzer.dataflow", "analyzer.scan"] {
+        if let Some(h) = snapshot.histogram(&format!("{stage}_ns")) {
+            println!("  {:<18} {:>9.3} ms", stage, h.sum as f64 / 1e6);
+        }
+    }
     for (rule, count) in report.rule_counts() {
         println!("  {}  {:<55} {:>4}", rule.id(), rule.title(), count);
     }

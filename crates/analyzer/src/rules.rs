@@ -1,10 +1,13 @@
 //! Security/correctness rules over the token stream.
 //!
-//! Seven rules, mirroring the failure classes Lesson 7 calls out for
-//! immature SAST on custom stacks — each is a *lexical* check (fast, no
+//! Nine rules, mirroring the failure classes Lesson 7 calls out for
+//! immature SAST on custom stacks. R1–R7 are *lexical* checks (fast, no
 //! type information) whose parser-facing classes (R4, R5) are then
 //! confirmed through the `genio_appsec::sast` taint engine by
-//! [`crate::bridge`]:
+//! [`crate::bridge`] and re-examined across function boundaries by
+//! [`crate::dataflow`]; R8 and R9 are *interprocedural* rules evaluated
+//! entirely in [`crate::dataflow`] over the workspace call graph built
+//! from [`crate::summary`] records:
 //!
 //! * **R1** `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in
 //!   non-test library code — abort paths a production service must not
@@ -22,6 +25,11 @@
 //! * **R7** raw `Instant::now()` / `SystemTime::now()` outside the
 //!   telemetry clock abstraction — timing must route through
 //!   `genio_telemetry::Clock` so tests stay deterministic.
+//! * **R8** secret material (key/tag/nonce-typed values from `crypto` /
+//!   `netsec`) reaching a `format!`/`Debug`/telemetry-export sink,
+//!   directly or through one bare-argument call hop.
+//! * **R9** a `Result` returned by a security-critical crate discarded
+//!   via `let _ =` or a bare `call();` statement.
 //!
 //! Rules only ever *add* findings; what is acceptable today is recorded
 //! in the committed baseline and ratcheted down by
@@ -46,6 +54,10 @@ pub enum Rule {
     R6DebtMarker,
     /// Raw OS timing call outside the telemetry clock abstraction.
     R7RawTiming,
+    /// Secret material reaching a format/Debug/telemetry-export sink.
+    R8SecretLeak,
+    /// Discarded `Result` from a security-critical crate.
+    R9DiscardedResult,
 }
 
 impl Rule {
@@ -59,6 +71,8 @@ impl Rule {
             Rule::R5UnguardedIndex => "R5",
             Rule::R6DebtMarker => "R6",
             Rule::R7RawTiming => "R7",
+            Rule::R8SecretLeak => "R8",
+            Rule::R9DiscardedResult => "R9",
         }
     }
 
@@ -72,12 +86,14 @@ impl Rule {
             "R5" => Rule::R5UnguardedIndex,
             "R6" => Rule::R6DebtMarker,
             "R7" => Rule::R7RawTiming,
+            "R8" => Rule::R8SecretLeak,
+            "R9" => Rule::R9DiscardedResult,
             _ => return None,
         })
     }
 
     /// All rules, report order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 9] = [
         Rule::R1PanicPath,
         Rule::R2NonCtCompare,
         Rule::R3MissingForbid,
@@ -85,6 +101,8 @@ impl Rule {
         Rule::R5UnguardedIndex,
         Rule::R6DebtMarker,
         Rule::R7RawTiming,
+        Rule::R8SecretLeak,
+        Rule::R9DiscardedResult,
     ];
 
     /// One-line description for the report table.
@@ -97,6 +115,8 @@ impl Rule {
             Rule::R5UnguardedIndex => "slice index without preceding bounds guard in hot path",
             Rule::R6DebtMarker => "TODO/FIXME debt marker",
             Rule::R7RawTiming => "raw Instant/SystemTime timing outside the telemetry clock",
+            Rule::R8SecretLeak => "secret material reaches a format/Debug/telemetry sink",
+            Rule::R9DiscardedResult => "Result from a security-critical crate is discarded",
         }
     }
 }
@@ -119,8 +139,9 @@ pub struct Finding {
 }
 
 /// A (possibly guarded) parser-input access that [`crate::bridge`]
-/// lowers into the `genio_appsec::sast` IR.
-#[derive(Debug, Clone)]
+/// lowers into the `genio_appsec::sast` IR and [`crate::dataflow`]
+/// re-examines across function boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Access {
     /// Enclosing function.
     pub function: String,
@@ -130,6 +151,17 @@ pub struct Access {
     pub guarded: bool,
     /// Which rule produced the access.
     pub rule: Rule,
+    /// 1-based line of the access; pairs it with its finding.
+    pub line: u32,
+    /// `& <literal>` mask applied at the top level of the index
+    /// expression, if any (`s[(x >> 16) & 0xff]` records `0xff`).
+    pub masked: Option<u64>,
+    /// The sole identifier driving the index when its shape is `v` or
+    /// `v - x` (after stripping casts, parens and the mask).
+    pub index_ident: Option<String>,
+    /// `(lower, upper)` bound token text of the innermost enclosing
+    /// `for` loop binding [`Access::index_ident`].
+    pub loop_bounds: Option<(String, String)>,
 }
 
 /// What the scanner knows about the file being checked.
@@ -184,6 +216,12 @@ const KEYWORDS: &[&str] = &[
     "trait", "type", "unsafe", "use", "where", "while",
 ];
 
+/// Is `text` a Rust keyword the call/index scanners must not treat as a
+/// name?
+pub(crate) fn is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}
+
 /// Token stream annotated with test-exclusion ranges, enclosing-function
 /// attribution and bounds-guard sites.
 pub struct Annotated {
@@ -205,6 +243,26 @@ pub struct Annotated {
     /// indexing through them is statically in-bounds for fixed-size
     /// state arrays, so R5 treats them like literal indices.
     pub bounded: Vec<(String, usize, usize)>,
+    /// Every `for VAR in LOWER..UPPER { … }` loop, literal-bounded or
+    /// not, with the bound expressions as joined token text — the
+    /// interprocedural pass compares `UPPER` against workspace constants
+    /// and allocation sizes to discharge R5 findings.
+    pub loops: Vec<LoopInfo>,
+}
+
+/// One `for` loop over a range, recorded by [`annotate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// Loop variable.
+    pub var: String,
+    /// Lower bound, token text joined without spaces (`nk`, `0`).
+    pub lower: String,
+    /// Upper bound, token text joined without spaces (`4*(nr+1)`).
+    pub upper: String,
+    /// First code index of the loop body.
+    pub body_start: usize,
+    /// Last code index of the loop body.
+    pub body_end: usize,
 }
 
 /// Builds the annotation in a single forward walk.
@@ -220,6 +278,9 @@ pub fn annotate(tokens: Vec<Token>) -> Annotated {
     let mut guards = Vec::new();
 
     let mut depth = 0usize;
+    // `(`/`[` nesting, so the `;` inside `fn f(a: [u8; N])` or
+    // `-> [u8; N]` is not mistaken for an item-ending semicolon.
+    let mut paren = 0i64;
     let mut exclude_depth: Option<usize> = None;
     let mut pending_test = false;
     let mut pending_fn: Option<String> = None;
@@ -288,7 +349,9 @@ pub fn annotate(tokens: Vec<Token>) -> Annotated {
                 i += 1;
                 continue;
             }
-            ";" => {
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            ";" if paren == 0 => {
                 // Attribute applied to a non-braced item (`use`, decl).
                 if exclude_depth.is_none() {
                     pending_test = false;
@@ -310,15 +373,40 @@ pub fn annotate(tokens: Vec<Token>) -> Annotated {
             guards.push((i, text.to_string()));
         }
 
+        // Comparison guard on the *index* side: `i < buf.len()` (or
+        // `buf.len() > i`) also bounds `i`, which the caller-guard
+        // propagation in `crate::dataflow` needs when `i` is later
+        // passed to an indexing callee.
+        if t.kind == TokenKind::Ident {
+            let lt_len = i + 4 < n
+                && code[i + 1].text == "<"
+                && code[i + 2].kind == TokenKind::Ident
+                && code[i + 3].text == "."
+                && matches!(code[i + 4].text.as_str(), "len");
+            let len_gt = i >= 6
+                && code[i - 1].text == ">"
+                && code[i - 2].text == ")"
+                && code[i - 3].text == "("
+                && code[i - 4].text == "len"
+                && code[i - 5].text == "."
+                && code[i - 6].kind == TokenKind::Ident;
+            if lt_len || len_gt {
+                guards.push((i, text.to_string()));
+            }
+        }
+
         excluded[i] = exclude_depth.is_some();
         fn_of[i] = fn_stack.last().map(|&(idx, _)| idx).unwrap_or(0);
         i += 1;
     }
 
-    // Second, cheap pass: literal-range `for` loops. `for r in 1..4 {`
-    // binds `r` to a compile-time range, so indexing fixed-size state
-    // through it cannot go out of bounds.
+    // Second, cheap pass: `for VAR in LOWER..UPPER` loops. Every range
+    // loop is recorded (for the interprocedural bound comparisons);
+    // loops whose range is *literal-only* additionally land in
+    // `bounded` — `for r in 1..4 {` pins `r` at compile time, so
+    // indexing fixed-size state through it cannot go out of bounds.
     let mut bounded = Vec::new();
+    let mut loops = Vec::new();
     i = 0;
     while i < n {
         if code[i].text == "for"
@@ -329,19 +417,31 @@ pub fn annotate(tokens: Vec<Token>) -> Annotated {
             let mut j = i + 3;
             let mut saw_range = false;
             let mut literal_only = true;
-            while j < n && code[j].text != "{" {
+            let mut lower = String::new();
+            let mut upper = String::new();
+            let mut parens = 0usize;
+            while j < n && !(parens == 0 && code[j].text == "{") {
                 match code[j].text.as_str() {
-                    ".." | "..=" => saw_range = true,
-                    "(" | ")" => {}
-                    _ if code[j].kind == TokenKind::Num => {}
-                    _ => {
-                        literal_only = false;
-                        break;
+                    ".." | "..=" if parens == 0 => saw_range = true,
+                    s => {
+                        match s {
+                            "(" | "[" => parens += 1,
+                            ")" | "]" => parens = parens.saturating_sub(1),
+                            _ => {}
+                        }
+                        if code[j].kind != TokenKind::Num && !matches!(s, "(" | ")") {
+                            literal_only = false;
+                        }
+                        if saw_range {
+                            upper.push_str(s);
+                        } else {
+                            lower.push_str(s);
+                        }
                     }
                 }
                 j += 1;
             }
-            if saw_range && literal_only && j < n {
+            if saw_range && j < n {
                 let start = j + 1;
                 let mut body_depth = 1usize;
                 let mut k = start;
@@ -353,23 +453,27 @@ pub fn annotate(tokens: Vec<Token>) -> Annotated {
                     }
                     k += 1;
                 }
-                bounded.push((var, start, k.saturating_sub(1)));
+                let body_end = k.saturating_sub(1);
+                if literal_only {
+                    bounded.push((var.clone(), start, body_end));
+                }
+                loops.push(LoopInfo { var, lower, upper, body_start: start, body_end });
             }
         }
         i += 1;
     }
 
-    Annotated { code, comments, excluded, fn_of, fn_names, guards, bounded }
+    Annotated { code, comments, excluded, fn_of, fn_names, guards, bounded, loops }
 }
 
 impl Annotated {
-    fn fn_name(&self, i: usize) -> &str {
+    pub(crate) fn fn_name(&self, i: usize) -> &str {
         &self.fn_names[self.fn_of[i]]
     }
 
     /// Is a guard on `var` recorded before code index `i`, inside the
     /// same function?
-    fn guarded_before(&self, i: usize, var: &str) -> bool {
+    pub(crate) fn guarded_before(&self, i: usize, var: &str) -> bool {
         let f = self.fn_of[i];
         self.guards
             .iter()
@@ -471,7 +575,7 @@ fn rule_r1(ctx: &FileContext<'_>, ann: &Annotated, findings: &mut Vec<Finding>) 
 
 /// Does `ident` contain a secret-material segment as a whole `_`-separated
 /// word (`public_key` yes, `macsec` no)?
-fn has_secret_segment(ident: &str) -> bool {
+pub(crate) fn has_secret_segment(ident: &str) -> bool {
     ident
         .split('_')
         .any(|seg| SECRET_SEGMENTS.contains(&seg.to_ascii_lowercase().as_str()))
@@ -565,7 +669,16 @@ fn rule_r4(
             &function,
             format!("narrowing cast `as {}` of `{var}`", target.text),
         );
-        accesses.push(Access { function, var, guarded: false, rule: Rule::R4NarrowingCast });
+        accesses.push(Access {
+            function,
+            var: var.clone(),
+            guarded: false,
+            rule: Rule::R4NarrowingCast,
+            line: code[i].line,
+            masked: None,
+            index_ident: Some(var),
+            loop_bounds: None,
+        });
     }
 }
 
@@ -588,6 +701,7 @@ fn rule_r5(
         let mut j = i + 2;
         let mut brackets = 1usize;
         let mut dynamic = false;
+        let idx_start = i + 2;
         while j < code.len() && brackets > 0 {
             match code[j].text.as_str() {
                 "[" => brackets += 1,
@@ -609,6 +723,15 @@ fn rule_r5(
         if !dynamic {
             continue;
         }
+        let idx_end = j.saturating_sub(1); // exclusive: the closing `]`
+        let (masked, index_ident) = index_shape(&code[idx_start..idx_end]);
+        let loop_bounds = index_ident.as_deref().and_then(|v| {
+            ann.loops
+                .iter()
+                .filter(|l| l.var == v && l.body_start <= i && i <= l.body_end)
+                .max_by_key(|l| l.body_start) // innermost binding wins
+                .map(|l| (l.lower.clone(), l.upper.clone()))
+        });
         let var = code[i].text.clone();
         let function = ann.fn_name(i).to_string();
         let guarded = ann.guarded_before(i, &var);
@@ -617,6 +740,10 @@ fn rule_r5(
             var: var.clone(),
             guarded,
             rule: Rule::R5UnguardedIndex,
+            line: code[i].line,
+            masked,
+            index_ident,
+            loop_bounds,
         });
         if !guarded {
             push(
@@ -629,6 +756,98 @@ fn rule_r5(
             );
         }
     }
+}
+
+/// Shape analysis of an index expression (the tokens between `[` and
+/// `]`): extracts a top-level `& <literal>` mask and, when the stripped
+/// remainder is `v` or `v - x`, the driving identifier `v`.
+fn index_shape(tokens: &[Token]) -> (Option<u64>, Option<String>) {
+    let mut t: Vec<&Token> = tokens.iter().collect();
+    // Drop cast suffixes (`as usize`, `as u32`, …).
+    while t.len() >= 2 && t[t.len() - 2].text == "as" {
+        t.truncate(t.len() - 2);
+    }
+    strip_outer_parens(&mut t);
+    let mut masked = None;
+    if t.len() >= 2
+        && t[t.len() - 1].kind == TokenKind::Num
+        && t[t.len() - 2].text == "&"
+        && at_top_level(&t, t.len() - 2)
+    {
+        masked = parse_int(&t[t.len() - 1].text);
+        t.truncate(t.len() - 2);
+        strip_outer_parens(&mut t);
+    }
+    let index_ident = match t.as_slice() {
+        [v] if v.kind == TokenKind::Ident => Some(v.text.clone()),
+        [v, m, _] if v.kind == TokenKind::Ident && m.text == "-" => Some(v.text.clone()),
+        _ => None,
+    };
+    (masked, index_ident)
+}
+
+/// Removes `( … )` pairs that wrap the whole expression.
+fn strip_outer_parens(t: &mut Vec<&Token>) {
+    while t.len() >= 2 && t[0].text == "(" && t[t.len() - 1].text == ")" {
+        // The opening paren must match the *last* token, not an inner one.
+        let mut depth = 0i64;
+        let mut wraps = true;
+        for (i, tok) in t.iter().enumerate() {
+            match tok.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 && i + 1 != t.len() {
+                        wraps = false;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !wraps {
+            break;
+        }
+        t.pop();
+        t.remove(0);
+    }
+}
+
+/// Is token `idx` outside every paren/bracket group of `t`?
+fn at_top_level(t: &[&Token], idx: usize) -> bool {
+    let mut depth = 0i64;
+    for tok in &t[..idx] {
+        match tok.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+/// Parses a Rust integer literal (`16`, `0xff`, `0b1010`, `1_000`,
+/// suffixes tolerated). Returns `None` for anything non-numeric.
+pub(crate) fn parse_int(text: &str) -> Option<u64> {
+    let s: String = text.chars().filter(|c| *c != '_').collect();
+    let (digits, radix) = if let Some(h) = s.strip_prefix("0x") {
+        (h, 16)
+    } else if let Some(b) = s.strip_prefix("0b") {
+        (b, 2)
+    } else if let Some(o) = s.strip_prefix("0o") {
+        (o, 8)
+    } else {
+        (s.as_str(), 10)
+    };
+    let end = digits
+        .char_indices()
+        .find(|&(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    u64::from_str_radix(&digits[..end], radix).ok()
 }
 
 fn rule_r7(ctx: &FileContext<'_>, ann: &Annotated, findings: &mut Vec<Finding>) {

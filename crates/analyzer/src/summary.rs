@@ -1,0 +1,1119 @@
+//! Per-file function/item summaries for the interprocedural pass.
+//!
+//! A lightweight recursive-descent walk over the annotated token stream
+//! (no full parser, no type inference) extracts exactly the facts
+//! [`crate::dataflow`] needs:
+//!
+//! * function headers — name, parameter names + type text, return type
+//!   text;
+//! * call sites inside each body, with per-argument shape (bare
+//!   identifier / integer literal / other) and whether a bounds guard
+//!   dominates an identifier argument in the caller;
+//! * format/Debug/telemetry *sink* uses of bare identifiers (R8);
+//! * discarded statement results — `let _ = …;` and bare `call(…);`
+//!   statements (R9);
+//! * item-level facts — `const NAME: … = <int>;` values, `type` alias
+//!   right-hand sides, declared struct names, and per-function local
+//!   allocation sizes (`vec![x; N]`, `[x; N]`) and `let v = call();`
+//!   bindings.
+//!
+//! Type "text" is token text joined without spaces (`&'static[u8;256]`),
+//! compared verbatim by the dataflow pass — good enough for a workspace
+//! with a single naming convention, and honest about being lexical.
+//!
+//! Summaries round-trip through JSON so [`crate::cache`] can persist
+//! them per file and the warm path can skip this pass entirely.
+
+use genio_testkit::json::Value;
+
+use crate::lexer::TokenKind;
+use crate::rules::Annotated;
+
+/// Everything the interprocedural pass knows about one file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FileSummary {
+    /// Integer constants: `const NAME: usize = 16;` → `("NAME", 16)`.
+    pub consts: Vec<(String, u64)>,
+    /// Type aliases: `type Block = [u8; BLOCK_LEN];` → rhs token text.
+    pub types: Vec<(String, String)>,
+    /// Struct/enum names declared at item level.
+    pub structs: Vec<String>,
+    /// One summary per `fn` with a body (test code excluded).
+    pub functions: Vec<FnSummary>,
+}
+
+/// Summary of one function definition.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FnSummary {
+    /// Function name (last `fn` ident; nested fns summarised separately).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameters as `(name, type text)`; `self` receivers are skipped.
+    pub params: Vec<(String, String)>,
+    /// Return type token text (empty when the function returns `()`).
+    pub ret: String,
+    /// Call sites in the body, source order.
+    pub calls: Vec<CallSite>,
+    /// Bare identifiers reaching a format/Debug/telemetry sink.
+    pub sinks: Vec<SinkUse>,
+    /// Discarded statement results (R9 candidates).
+    pub discards: Vec<Discard>,
+    /// `let v = f(…);` bindings: `(v, f)` — used to type locals by the
+    /// callee's return type.
+    pub local_calls: Vec<(String, String)>,
+    /// `let v: T = …;` bindings: `(v, type text)`.
+    pub local_types: Vec<(String, String)>,
+    /// `let v = vec![x; N]` / `let v = [x; N]`: `(v, size token text)`.
+    pub allocs: Vec<(String, String)>,
+}
+
+/// One call site.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CallSite {
+    /// Callee name — the last path segment (`f` in `m::f(…)`, `g` in
+    /// `x.g(…)`).
+    pub callee: String,
+    /// 1-based line of the callee identifier.
+    pub line: u32,
+    /// Argument shapes, in order.
+    pub args: Vec<Arg>,
+}
+
+/// Shape of one call argument.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Arg {
+    /// The bare identifier (after stripping `&`/`mut`/`*`), if the
+    /// argument is exactly one.
+    pub ident: Option<String>,
+    /// Is the argument a single integer literal?
+    pub literal: bool,
+    /// For identifier arguments: does a bounds guard on the identifier
+    /// dominate the call site in the caller?
+    pub guarded: bool,
+}
+
+/// One bare identifier reaching a sink.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SinkUse {
+    /// The identifier.
+    pub var: String,
+    /// 1-based line of the sink.
+    pub line: u32,
+    /// Sink name (`format`, `println`, `export_json`, …).
+    pub sink: String,
+}
+
+/// One discarded statement result.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Discard {
+    /// The last top-level callee of the discarded expression.
+    pub callee: String,
+    /// 1-based line of the statement start.
+    pub line: u32,
+    /// `"let _"` or `"stmt"`.
+    pub kind: String,
+}
+
+/// Format-family macros whose arguments are R8 sinks.
+const SINK_MACROS: &[&str] = &[
+    "format", "print", "println", "eprint", "eprintln", "write", "writeln",
+];
+
+/// Telemetry/export function names whose arguments are R8 sinks.
+const SINK_FNS: &[&str] = &["export_json", "emit_trace", "debug_dump", "log_value"];
+
+/// Builds the summary for one annotated file.
+pub fn summarize(ann: &Annotated) -> FileSummary {
+    let mut s = FileSummary::default();
+    let code = &ann.code;
+    let n = code.len();
+
+    let mut i = 0;
+    while i < n {
+        if ann.excluded[i] {
+            i += 1;
+            continue;
+        }
+        match code[i].text.as_str() {
+            "const" if !in_fn(ann, i) => {
+                if let Some((name, val, next)) = parse_const(ann, i) {
+                    s.consts.push((name, val));
+                    i = next;
+                    continue;
+                }
+            }
+            "type" if !in_fn(ann, i) => {
+                if let Some((name, rhs, next)) = parse_type_alias(ann, i) {
+                    s.types.push((name, rhs));
+                    i = next;
+                    continue;
+                }
+            }
+            "struct" | "enum" => {
+                if let Some(t) = code.get(i + 1) {
+                    if t.kind == TokenKind::Ident {
+                        s.structs.push(t.text.clone());
+                    }
+                }
+            }
+            "fn" => {
+                if let Some((fun, next)) = parse_fn(ann, i) {
+                    s.functions.push(fun);
+                    i = next;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    s
+}
+
+/// Is code index `i` attributed to a function body (vs. item level)?
+fn in_fn(ann: &Annotated, i: usize) -> bool {
+    ann.fn_of[i] != 0
+}
+
+/// `const NAME: <ty> = <int literal>;` — returns (name, value, index
+/// past the `;`). Non-integer initialisers are skipped (returns None).
+fn parse_const(ann: &Annotated, i: usize) -> Option<(String, u64, usize)> {
+    let code = &ann.code;
+    let name = code.get(i + 1).filter(|t| t.kind == TokenKind::Ident)?;
+    if code.get(i + 2).map(|t| t.text.as_str()) != Some(":") {
+        return None;
+    }
+    let mut j = i + 3;
+    while j < code.len() && code[j].text != "=" && code[j].text != ";" {
+        j += 1;
+    }
+    if code.get(j).map(|t| t.text.as_str()) != Some("=") {
+        return None;
+    }
+    // Only the single-literal form is recorded.
+    let lit = code.get(j + 1).filter(|t| t.kind == TokenKind::Num)?;
+    if code.get(j + 2).map(|t| t.text.as_str()) != Some(";") {
+        return None;
+    }
+    let val = crate::rules::parse_int(&lit.text)?;
+    Some((name.text.clone(), val, j + 3))
+}
+
+/// `type Name = <rhs>;` — returns (name, rhs text, index past `;`).
+fn parse_type_alias(ann: &Annotated, i: usize) -> Option<(String, String, usize)> {
+    let code = &ann.code;
+    let name = code.get(i + 1).filter(|t| t.kind == TokenKind::Ident)?;
+    if code.get(i + 2).map(|t| t.text.as_str()) != Some("=") {
+        return None;
+    }
+    // The rhs may itself contain `;` inside an array type, so the
+    // terminating `;` is the first one at bracket depth zero.
+    let mut rhs = String::new();
+    let mut j = i + 3;
+    let mut depth = 0i64;
+    while j < code.len() {
+        match code[j].text.as_str() {
+            "[" | "(" => depth += 1,
+            "]" | ")" => depth -= 1,
+            ";" if depth == 0 => break,
+            _ => {}
+        }
+        rhs.push_str(&code[j].text);
+        j += 1;
+    }
+    Some((name.text.clone(), rhs, j + 1))
+}
+
+/// Parses a whole `fn` item starting at the `fn` keyword. Returns the
+/// summary and the index just past the body's closing `}` (or the `;`
+/// of a bodyless signature).
+fn parse_fn(ann: &Annotated, fn_idx: usize) -> Option<(FnSummary, usize)> {
+    let code = &ann.code;
+    let n = code.len();
+    let name_tok = code.get(fn_idx + 1).filter(|t| t.kind == TokenKind::Ident)?;
+    let mut fun = FnSummary {
+        name: name_tok.text.clone(),
+        line: code[fn_idx].line,
+        ..FnSummary::default()
+    };
+
+    // Skip generics `<…>` ahead of the parameter list.
+    let mut j = fn_idx + 2;
+    if code.get(j).map(|t| t.text.as_str()) == Some("<") {
+        let mut angle = 1i64;
+        j += 1;
+        while j < n && angle > 0 {
+            match code[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    if code.get(j).map(|t| t.text.as_str()) != Some("(") {
+        return None;
+    }
+
+    // Parameter list: split top-level commas, `name: type` per chunk.
+    let params_start = j + 1;
+    let mut depth = 1i64;
+    j = params_start;
+    let mut chunk_start = params_start;
+    let mut chunks: Vec<(usize, usize)> = Vec::new();
+    while j < n && depth > 0 {
+        match code[j].text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => {
+                depth -= 1;
+                if depth == 0 && j > chunk_start {
+                    chunks.push((chunk_start, j));
+                }
+            }
+            "," if depth == 1 => {
+                if j > chunk_start {
+                    chunks.push((chunk_start, j));
+                }
+                chunk_start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    for &(lo, hi) in &chunks {
+        if let Some(p) = parse_param(code, lo, hi) {
+            fun.params.push(p);
+        }
+    }
+
+    // Return type up to the body / `where` / statement-level `;` — a
+    // `;` inside an array type (`-> [u8; 256]`) is part of the type.
+    if code.get(j).map(|t| t.text.as_str()) == Some("->") {
+        j += 1;
+        let mut depth = 0i64;
+        while j < n {
+            match code[j].text.as_str() {
+                "[" | "(" => depth += 1,
+                "]" | ")" => depth -= 1,
+                "{" | "where" => break,
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            if code[j].text != "mut" {
+                fun.ret.push_str(&code[j].text);
+            }
+            j += 1;
+        }
+    }
+    while j < n && !matches!(code[j].text.as_str(), "{" | ";") {
+        j += 1;
+    }
+    if code.get(j).map(|t| t.text.as_str()) != Some("{") {
+        return Some((fun, j.saturating_add(1))); // bodyless signature
+    }
+
+    // Body extent.
+    let body_start = j + 1;
+    let mut body_depth = 1i64;
+    let mut k = body_start;
+    while k < n && body_depth > 0 {
+        match code[k].text.as_str() {
+            "{" => body_depth += 1,
+            "}" => body_depth -= 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    let body_end = k.saturating_sub(1); // index of the closing `}`
+
+    scan_body(ann, &mut fun, body_start, body_end);
+    Some((fun, k))
+}
+
+/// One parameter chunk `mut name: Type` / `&self`. Returns None for
+/// receivers and pure patterns.
+fn parse_param(
+    code: &[crate::lexer::Token],
+    lo: usize,
+    hi: usize,
+) -> Option<(String, String)> {
+    let mut colon = None;
+    let mut depth = 0i64;
+    for j in lo..hi {
+        match code[j].text.as_str() {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            ":" if depth == 0 => {
+                colon = Some(j);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let colon = colon?; // `self` / `&mut self` have no top-level `:`
+    let name = code[lo..colon]
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokenKind::Ident && t.text != "mut")?;
+    // `mut` is dropped from type text so `&mut Block` joins to `&Block`
+    // and the boundary survives space-free joining.
+    let mut ty = String::new();
+    for t in &code[colon + 1..hi] {
+        if t.text != "mut" {
+            ty.push_str(&t.text);
+        }
+    }
+    Some((name.text.clone(), ty))
+}
+
+/// Walks a function body recording calls, sinks, discards, and local
+/// bindings. A nested `fn` item is skipped wholesale — its facts are
+/// not summarised (rare enough that losing resolution there is an
+/// acceptable, conservative gap).
+fn scan_body(ann: &Annotated, fun: &mut FnSummary, body_start: usize, body_end: usize) {
+    let code = &ann.code;
+    let mut stmt_start = body_start;
+    // `(`/`[` nesting — a `;` inside `vec![x; n]` or `[x; n]` is not a
+    // statement boundary.
+    let mut paren = 0i64;
+
+    let mut i = body_start;
+    while i < body_end {
+        let text = code[i].text.as_str();
+
+        if text == "fn"
+            && code.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+            && i > body_start
+        {
+            if let Some((_, next)) = parse_fn(ann, i) {
+                i = next;
+                stmt_start = i;
+                continue;
+            }
+        }
+
+        match text {
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            ";" | "{" | "}" if paren == 0 => {
+                if text == ";" {
+                    scan_statement(ann, fun, stmt_start, i);
+                }
+                stmt_start = i + 1;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+
+        // Call site: IDENT followed by `(`, not a macro (`!`), not a
+        // definition.
+        if code[i].kind == TokenKind::Ident
+            && !crate::rules::is_keyword(text)
+            && code.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+            && code.get(i.wrapping_sub(1)).map(|t| t.text.as_str()) != Some("fn")
+        {
+            let (args, _) = parse_args(ann, i + 1);
+            fun.calls.push(CallSite {
+                callee: text.to_string(),
+                line: code[i].line,
+                args,
+            });
+        }
+
+        // Macro sink: `format!(…)` etc.
+        if code[i].kind == TokenKind::Ident
+            && SINK_MACROS.contains(&text)
+            && code.get(i + 1).map(|t| t.text.as_str()) == Some("!")
+            && code.get(i + 2).map(|t| t.text.as_str()) == Some("(")
+        {
+            record_macro_sink(ann, fun, i);
+        }
+
+        // Function sink: `t.export_json(x)` / `debug_dump(x)`.
+        if code[i].kind == TokenKind::Ident
+            && SINK_FNS.contains(&text)
+            && code.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+        {
+            let (args, _) = parse_args(ann, i + 1);
+            for a in &args {
+                if let Some(id) = &a.ident {
+                    fun.sinks.push(SinkUse {
+                        var: id.clone(),
+                        line: code[i].line,
+                        sink: text.to_string(),
+                    });
+                }
+            }
+        }
+
+        i += 1;
+    }
+}
+
+/// Statement-level facts: `let` bindings and R9 discards. `lo..hi` is
+/// the token range of one `;`-terminated statement (exclusive of `;`).
+fn scan_statement(ann: &Annotated, fun: &mut FnSummary, lo: usize, hi: usize) {
+    let code = &ann.code;
+    if lo >= hi {
+        return;
+    }
+    let first = code[lo].text.as_str();
+
+    if first == "let" {
+        scan_let(ann, fun, lo, hi);
+        return;
+    }
+
+    // Bare `call(…);` / `x.verify(…);` statement: no top-level `=`,
+    // no `?` (propagation keeps the error alive).
+    if code[lo].kind != TokenKind::Ident || crate::rules::is_keyword(first) {
+        return;
+    }
+    let mut depth = 0i64;
+    let mut last_call: Option<(String, u32)> = None;
+    for j in lo..hi {
+        match code[j].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "=" | "?" | "==" | "!=" | "<=" | ">=" | "=>" | "+=" | "-=" if depth == 0 => {
+                return;
+            }
+            t if depth == 0
+                && code[j].kind == TokenKind::Ident
+                && !crate::rules::is_keyword(t)
+                && code.get(j + 1).map(|t| t.text.as_str()) == Some("(") =>
+            {
+                last_call = Some((t.to_string(), code[j].line));
+            }
+            _ => {}
+        }
+    }
+    if let Some((callee, line)) = last_call {
+        fun.discards.push(Discard { callee, line, kind: "stmt".to_string() });
+    }
+}
+
+/// `let` statement: `_` discards, typed locals, call-initialised locals
+/// and sized allocations.
+fn scan_let(ann: &Annotated, fun: &mut FnSummary, lo: usize, hi: usize) {
+    let code = &ann.code;
+    let mut j = lo + 1;
+    if code.get(j).map(|t| t.text.as_str()) == Some("mut") {
+        j += 1;
+    }
+    let Some(pat) = code.get(j) else { return };
+    let name = pat.text.clone();
+    let is_underscore = name == "_";
+    if pat.kind != TokenKind::Ident && !is_underscore {
+        return; // tuple/struct patterns are out of scope
+    }
+    j += 1;
+
+    // Optional `: Type` up to the top-level `=`.
+    let mut ty = String::new();
+    if code.get(j).map(|t| t.text.as_str()) == Some(":") {
+        j += 1;
+        let mut depth = 0i64;
+        while j < hi {
+            match code[j].text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                "=" if depth == 0 => break,
+                _ => {}
+            }
+            if code[j].text != "mut" {
+                ty.push_str(&code[j].text);
+            }
+            j += 1;
+        }
+        if !is_underscore && !ty.is_empty() {
+            fun.local_types.push((name.clone(), ty));
+        }
+    }
+    if code.get(j).map(|t| t.text.as_str()) != Some("=") {
+        return;
+    }
+    let init_lo = j + 1;
+
+    // Initialiser analysis: last top-level call, `?` propagation,
+    // `vec![x; N]` / `[x; N]` allocations.
+    let mut depth = 0i64;
+    let mut last_call: Option<(String, u32)> = None;
+    let mut propagates = false;
+    for k in init_lo..hi {
+        match code[k].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "?" if depth == 0 => propagates = true,
+            t if depth == 0
+                && code[k].kind == TokenKind::Ident
+                && !crate::rules::is_keyword(t)
+                && code.get(k + 1).map(|t| t.text.as_str()) == Some("(") =>
+            {
+                last_call = Some((t.to_string(), code[k].line));
+            }
+            _ => {}
+        }
+    }
+
+    if is_underscore {
+        if !propagates {
+            if let Some((callee, line)) = last_call {
+                fun.discards.push(Discard { callee, line, kind: "let _".to_string() });
+            }
+        }
+        return;
+    }
+
+    if let Some((callee, _)) = last_call {
+        fun.local_calls.push((name.clone(), callee));
+    }
+
+    // Allocation size: `vec![ELEM; SIZE]` or `[ELEM; SIZE]`.
+    let bracket = if code.get(init_lo).map(|t| t.text.as_str()) == Some("vec")
+        && code.get(init_lo + 1).map(|t| t.text.as_str()) == Some("!")
+        && code.get(init_lo + 2).map(|t| t.text.as_str()) == Some("[")
+    {
+        Some(init_lo + 2)
+    } else if code.get(init_lo).map(|t| t.text.as_str()) == Some("[") {
+        Some(init_lo)
+    } else {
+        None
+    };
+    if let Some(open) = bracket {
+        if let Some(size) = alloc_size(ann, open, hi) {
+            fun.allocs.push((name, size));
+        }
+    }
+}
+
+/// Token text of SIZE in `[ELEM; SIZE]` starting at the `[`.
+fn alloc_size(ann: &Annotated, open: usize, hi: usize) -> Option<String> {
+    let code = &ann.code;
+    let mut depth = 1i64;
+    let mut j = open + 1;
+    let mut semi = None;
+    while j < hi && depth > 0 {
+        match code[j].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            ";" if depth == 1 => semi = Some(j),
+            _ => {}
+        }
+        j += 1;
+    }
+    let semi = semi?;
+    let mut size = String::new();
+    for t in &code[semi + 1..j] {
+        size.push_str(&t.text);
+    }
+    if size.is_empty() {
+        None
+    } else {
+        Some(size)
+    }
+}
+
+/// Arguments of the call whose `(` sits at `open`. Returns the shapes
+/// and the index past the closing `)`.
+fn parse_args(ann: &Annotated, open: usize) -> (Vec<Arg>, usize) {
+    let code = &ann.code;
+    let n = code.len();
+    let mut args = Vec::new();
+    let mut depth = 1i64;
+    let mut j = open + 1;
+    let mut chunk: Vec<usize> = Vec::new();
+    while j < n && depth > 0 {
+        match code[j].text.as_str() {
+            "(" | "[" | "{" => {
+                depth += 1;
+                chunk.push(j);
+            }
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    if !chunk.is_empty() {
+                        args.push(arg_shape(ann, &chunk));
+                    }
+                    j += 1;
+                    break;
+                }
+                chunk.push(j);
+            }
+            "," if depth == 1 => {
+                if !chunk.is_empty() {
+                    args.push(arg_shape(ann, &chunk));
+                }
+                chunk.clear();
+            }
+            _ => chunk.push(j),
+        }
+        j += 1;
+    }
+    (args, j)
+}
+
+/// Classifies one argument chunk (indices into the code stream).
+fn arg_shape(ann: &Annotated, chunk: &[usize]) -> Arg {
+    let code = &ann.code;
+    // Strip leading `&`, `mut`, `*`.
+    let mut rest: &[usize] = chunk;
+    while let Some(&first) = rest.first() {
+        if matches!(code[first].text.as_str(), "&" | "mut" | "*") {
+            rest = &rest[1..];
+        } else {
+            break;
+        }
+    }
+    match rest {
+        [only] if code[*only].kind == TokenKind::Ident
+            && !crate::rules::is_keyword(&code[*only].text) =>
+        {
+            let ident = code[*only].text.clone();
+            let guarded = ann.guarded_before(*only, &ident);
+            Arg { ident: Some(ident), literal: false, guarded }
+        }
+        [only] if code[*only].kind == TokenKind::Num => {
+            Arg { ident: None, literal: true, guarded: false }
+        }
+        _ => Arg::default(),
+    }
+}
+
+/// Records sink uses of a format-family macro at `i` (the macro name):
+/// top-level bare-identifier arguments plus `{ident}` / `{ident:?}`
+/// inline captures parsed out of the leading format-string literal.
+fn record_macro_sink(ann: &Annotated, fun: &mut FnSummary, i: usize) {
+    let code = &ann.code;
+    let line = code[i].line;
+    let sink = code[i].text.clone();
+    let (args, _) = parse_args(ann, i + 2);
+    for a in &args {
+        if let Some(id) = &a.ident {
+            fun.sinks.push(SinkUse { var: id.clone(), line, sink: sink.clone() });
+        }
+    }
+    // Inline captures in the first string-literal argument.
+    let mut j = i + 3;
+    let mut depth = 1i64;
+    while j < code.len() && depth > 0 {
+        match code[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => depth -= 1,
+            _ => {
+                if code[j].kind == TokenKind::Str && depth == 1 {
+                    for cap in inline_captures(&code[j].text) {
+                        fun.sinks.push(SinkUse { var: cap, line, sink: sink.clone() });
+                    }
+                    break;
+                }
+            }
+        }
+        j += 1;
+    }
+}
+
+/// `{ident}` / `{ident:?}` capture names inside a format string literal.
+fn inline_captures(lit: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = lit.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            if bytes.get(i + 1) == Some(&b'{') {
+                i += 2; // escaped `{{`
+                continue;
+            }
+            let mut j = i + 1;
+            let mut name = String::new();
+            while j < bytes.len() {
+                let c = bytes[j];
+                if c == b'}' || c == b':' {
+                    break;
+                }
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    name.push(c as char);
+                    j += 1;
+                } else {
+                    name.clear();
+                    break;
+                }
+            }
+            // Positional `{}`/`{0}` captures nothing by name.
+            if !name.is_empty() && !name.chars().all(|c| c.is_ascii_digit()) {
+                out.push(name);
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+impl FileSummary {
+    /// JSON for the per-file cache record.
+    pub fn to_json(&self) -> Value {
+        let pair = |(a, b): &(String, String)| {
+            Value::Arr(vec![Value::Str(a.clone()), Value::Str(b.clone())])
+        };
+        Value::Obj(vec![
+            (
+                "consts".to_string(),
+                Value::Arr(
+                    self.consts
+                        .iter()
+                        .map(|(n, v)| {
+                            Value::Arr(vec![
+                                Value::Str(n.clone()),
+                                Value::Num(*v as f64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("types".to_string(), Value::Arr(self.types.iter().map(pair).collect())),
+            (
+                "structs".to_string(),
+                Value::Arr(self.structs.iter().map(|s| Value::Str(s.clone())).collect()),
+            ),
+            (
+                "functions".to_string(),
+                Value::Arr(self.functions.iter().map(FnSummary::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a cache record back.
+    pub fn from_json(v: &Value) -> Result<FileSummary, String> {
+        let mut s = FileSummary::default();
+        for item in v.get("consts").and_then(Value::as_arr).unwrap_or(&[]) {
+            if let Some(a) = item.as_arr() {
+                if let (Some(n), Some(val)) =
+                    (a.first().and_then(Value::as_str), a.get(1).and_then(Value::as_f64))
+                {
+                    s.consts.push((n.to_string(), val as u64));
+                }
+            }
+        }
+        s.types = str_pairs(v.get("types"));
+        for item in v.get("structs").and_then(Value::as_arr).unwrap_or(&[]) {
+            if let Some(name) = item.as_str() {
+                s.structs.push(name.to_string());
+            }
+        }
+        for item in v.get("functions").and_then(Value::as_arr).unwrap_or(&[]) {
+            s.functions.push(FnSummary::from_json(item)?);
+        }
+        Ok(s)
+    }
+}
+
+fn str_pairs(v: Option<&Value>) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for item in v.and_then(Value::as_arr).unwrap_or(&[]) {
+        if let Some(a) = item.as_arr() {
+            if let (Some(x), Some(y)) =
+                (a.first().and_then(Value::as_str), a.get(1).and_then(Value::as_str))
+            {
+                out.push((x.to_string(), y.to_string()));
+            }
+        }
+    }
+    out
+}
+
+impl FnSummary {
+    fn to_json(&self) -> Value {
+        let pairs = |v: &[(String, String)]| {
+            Value::Arr(
+                v.iter()
+                    .map(|(a, b)| {
+                        Value::Arr(vec![Value::Str(a.clone()), Value::Str(b.clone())])
+                    })
+                    .collect(),
+            )
+        };
+        Value::Obj(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("line".to_string(), Value::Num(self.line as f64)),
+            ("params".to_string(), pairs(&self.params)),
+            ("ret".to_string(), Value::Str(self.ret.clone())),
+            (
+                "calls".to_string(),
+                Value::Arr(self.calls.iter().map(CallSite::to_json).collect()),
+            ),
+            (
+                "sinks".to_string(),
+                Value::Arr(
+                    self.sinks
+                        .iter()
+                        .map(|u| {
+                            Value::Obj(vec![
+                                ("var".to_string(), Value::Str(u.var.clone())),
+                                ("line".to_string(), Value::Num(u.line as f64)),
+                                ("sink".to_string(), Value::Str(u.sink.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "discards".to_string(),
+                Value::Arr(
+                    self.discards
+                        .iter()
+                        .map(|d| {
+                            Value::Obj(vec![
+                                ("callee".to_string(), Value::Str(d.callee.clone())),
+                                ("line".to_string(), Value::Num(d.line as f64)),
+                                ("kind".to_string(), Value::Str(d.kind.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("local_calls".to_string(), pairs(&self.local_calls)),
+            ("local_types".to_string(), pairs(&self.local_types)),
+            ("allocs".to_string(), pairs(&self.allocs)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<FnSummary, String> {
+        let mut f = FnSummary {
+            name: v
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("function summary missing name")?
+                .to_string(),
+            line: v.get("line").and_then(Value::as_f64).unwrap_or(0.0) as u32,
+            ret: v.get("ret").and_then(Value::as_str).unwrap_or("").to_string(),
+            ..FnSummary::default()
+        };
+        f.params = str_pairs(v.get("params"));
+        f.local_calls = str_pairs(v.get("local_calls"));
+        f.local_types = str_pairs(v.get("local_types"));
+        f.allocs = str_pairs(v.get("allocs"));
+        for item in v.get("calls").and_then(Value::as_arr).unwrap_or(&[]) {
+            f.calls.push(CallSite::from_json(item)?);
+        }
+        for item in v.get("sinks").and_then(Value::as_arr).unwrap_or(&[]) {
+            f.sinks.push(SinkUse {
+                var: item
+                    .get("var")
+                    .and_then(Value::as_str)
+                    .ok_or("sink missing var")?
+                    .to_string(),
+                line: item.get("line").and_then(Value::as_f64).unwrap_or(0.0) as u32,
+                sink: item
+                    .get("sink")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            });
+        }
+        for item in v.get("discards").and_then(Value::as_arr).unwrap_or(&[]) {
+            f.discards.push(Discard {
+                callee: item
+                    .get("callee")
+                    .and_then(Value::as_str)
+                    .ok_or("discard missing callee")?
+                    .to_string(),
+                line: item.get("line").and_then(Value::as_f64).unwrap_or(0.0) as u32,
+                kind: item
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .unwrap_or("stmt")
+                    .to_string(),
+            });
+        }
+        Ok(f)
+    }
+}
+
+impl CallSite {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("callee".to_string(), Value::Str(self.callee.clone())),
+            ("line".to_string(), Value::Num(self.line as f64)),
+            (
+                "args".to_string(),
+                Value::Arr(
+                    self.args
+                        .iter()
+                        .map(|a| {
+                            let mut fields = Vec::new();
+                            if let Some(id) = &a.ident {
+                                fields.push((
+                                    "ident".to_string(),
+                                    Value::Str(id.clone()),
+                                ));
+                            }
+                            fields.push(("literal".to_string(), Value::Bool(a.literal)));
+                            fields.push(("guarded".to_string(), Value::Bool(a.guarded)));
+                            Value::Obj(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<CallSite, String> {
+        let mut c = CallSite {
+            callee: v
+                .get("callee")
+                .and_then(Value::as_str)
+                .ok_or("call missing callee")?
+                .to_string(),
+            line: v.get("line").and_then(Value::as_f64).unwrap_or(0.0) as u32,
+            args: Vec::new(),
+        };
+        for item in v.get("args").and_then(Value::as_arr).unwrap_or(&[]) {
+            c.args.push(Arg {
+                ident: item.get("ident").and_then(Value::as_str).map(str::to_string),
+                literal: matches!(item.get("literal"), Some(Value::Bool(true))),
+                guarded: matches!(item.get("guarded"), Some(Value::Bool(true))),
+            });
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::rules::annotate;
+
+    fn summarize_src(src: &str) -> FileSummary {
+        summarize(&annotate(tokenize(src)))
+    }
+
+    #[test]
+    fn fn_header_params_and_ret() {
+        let s = summarize_src(
+            "pub fn seal(key: &SessionKey, buf: &mut [u8]) -> Result<Tag, Error> { mix(key) }",
+        );
+        assert_eq!(s.functions.len(), 1);
+        let f = &s.functions[0];
+        assert_eq!(f.name, "seal");
+        assert_eq!(f.params, vec![
+            ("key".to_string(), "&SessionKey".to_string()),
+            ("buf".to_string(), "&[u8]".to_string()),
+        ]);
+        assert_eq!(f.ret, "Result<Tag,Error>");
+        assert_eq!(f.calls.len(), 1);
+        assert_eq!(f.calls[0].callee, "mix");
+        assert_eq!(f.calls[0].args[0].ident.as_deref(), Some("key"));
+    }
+
+    #[test]
+    fn self_receiver_and_generics_are_skipped() {
+        let s = summarize_src(
+            "impl X { fn get<T: Clone>(&self, idx: usize) -> u8 { self.buf[idx] } }",
+        );
+        let f = &s.functions[0];
+        assert_eq!(f.name, "get");
+        assert_eq!(f.params, vec![("idx".to_string(), "usize".to_string())]);
+    }
+
+    #[test]
+    fn consts_types_and_structs() {
+        let s = summarize_src(
+            "pub const BLOCK_LEN: usize = 16;\npub type Block = [u8; BLOCK_LEN];\npub struct SessionKey([u8; 32]);",
+        );
+        assert_eq!(s.consts, vec![("BLOCK_LEN".to_string(), 16)]);
+        assert_eq!(s.types, vec![("Block".to_string(), "[u8;BLOCK_LEN]".to_string())]);
+        assert_eq!(s.structs, vec!["SessionKey".to_string()]);
+    }
+
+    #[test]
+    fn sinks_capture_bare_args_and_inline_captures() {
+        let s = summarize_src(
+            r#"fn log_it(key: &[u8], n: usize) { let m = format!("k={key:?} n={n}"); println!("{}", key); }"#,
+        );
+        let f = &s.functions[0];
+        let vars: Vec<&str> = f.sinks.iter().map(|u| u.var.as_str()).collect();
+        assert!(vars.contains(&"key"));
+        assert!(vars.contains(&"n"));
+        // `{}` positional capture names nothing; the bare `key` arg does.
+        assert_eq!(vars.iter().filter(|v| **v == "key").count(), 2);
+    }
+
+    #[test]
+    fn projections_are_not_sink_uses() {
+        let s = summarize_src(r#"fn f(key: &[u8]) { println!("{}", key.len()); }"#);
+        assert!(s.functions[0].sinks.is_empty());
+    }
+
+    #[test]
+    fn discards_let_underscore_and_bare_statements() {
+        let s = summarize_src(
+            "fn f(tag: &[u8]) { let _ = verify_peer(tag); install_key(tag); let ok = check(tag); ok_consume(ok) }",
+        );
+        let f = &s.functions[0];
+        let d: Vec<(&str, &str)> = f
+            .discards
+            .iter()
+            .map(|d| (d.callee.as_str(), d.kind.as_str()))
+            .collect();
+        assert_eq!(d, vec![("verify_peer", "let _"), ("install_key", "stmt")]);
+        // `let ok = …` binds; the tail expression is not a statement.
+        assert_eq!(f.local_calls.iter().find(|(v, _)| v == "ok").map(|(_, c)| c.as_str()), Some("check"));
+    }
+
+    #[test]
+    fn question_mark_is_not_a_discard() {
+        let s = summarize_src("fn f(t: &[u8]) -> Result<(), E> { let _ = verify(t)?; Ok(()) }");
+        assert!(s.functions[0].discards.is_empty());
+    }
+
+    #[test]
+    fn allocs_record_size_text() {
+        let s = summarize_src(
+            "fn f(nr: usize) { let mut w = vec![[0u8; 4]; 4 * (nr + 1)]; let cols = [0u32; 4]; w[0][0] = cols[0] as u8; }",
+        );
+        let f = &s.functions[0];
+        assert_eq!(f.allocs, vec![
+            ("w".to_string(), "4*(nr+1)".to_string()),
+            ("cols".to_string(), "4".to_string()),
+        ]);
+    }
+
+    #[test]
+    fn test_code_is_excluded() {
+        let s = summarize_src(
+            "fn lib() {}\n#[cfg(test)]\nmod tests { fn helper(x: u8) -> u8 { x } }",
+        );
+        assert_eq!(s.functions.len(), 1);
+        assert_eq!(s.functions[0].name, "lib");
+    }
+
+    #[test]
+    fn summary_json_roundtrip() {
+        let s = summarize_src(
+            r#"
+            pub const N: usize = 8;
+            pub type Tag = [u8; N];
+            pub struct SessionKey;
+            fn seal(key: &SessionKey, i: usize, buf: &[u8]) -> Result<Tag, E> {
+                if i < buf.len() { let _ = audit(key); }
+                let t = derive(key);
+                println!("{t:?}");
+                hop(key, 3);
+                Err(E)
+            }
+            "#,
+        );
+        let back = FileSummary::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+}

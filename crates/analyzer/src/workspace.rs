@@ -1,19 +1,72 @@
-//! Workspace discovery and the full self-scan.
+//! Workspace discovery and the full multi-stage scan.
 //!
 //! The unit of scanning is a *workspace tree*: a directory with a
 //! `crates/<name>/src/` layout (plus an optional root `src/` for the
 //! facade package). The real repository and the fixture corpora under
 //! `tests/` share this shape, so every test drives the exact code path
 //! the verify gate runs.
+//!
+//! [`scan_with`] runs the v2 pipeline:
+//!
+//! 1. **discover** — enumerate crate src trees and their `.rs` files
+//!    into a sorted, deterministic job list;
+//! 2. **per-file pass** (parallel) — hash each file, reuse the
+//!    [`crate::cache`] entry when the hash matches, otherwise tokenize,
+//!    annotate, rule-scan and summarize. Jobs are split into contiguous
+//!    chunks over `std::thread` scoped workers and the results merged
+//!    back *in job order*, so the thread count can never change the
+//!    report;
+//! 3. **cross-file passes** (serial, always fresh) — R3 per crate, the
+//!    sast bridge per file, then the interprocedural
+//!    [`crate::dataflow`] walk over the whole workspace;
+//! 4. **cache write-back** — only when at least one file missed.
+//!
+//! Stage timings are recorded as `genio-telemetry` spans
+//! (`analyzer.scan`, `analyzer.files`, `analyzer.dataflow`) on the
+//! calling thread; cache traffic lands in [`ScanStats`], *not* in the
+//! report, so cold and warm scans stay byte-identical.
 
 use std::fs;
 use std::io;
+use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
+
+use genio_telemetry::Telemetry;
 
 use crate::baseline::{sort_findings, Report};
 use crate::bridge;
+use crate::cache::{content_hash, Cache, FileEntry};
+use crate::callgraph::FileFacts;
+use crate::dataflow;
 use crate::lexer::tokenize;
 use crate::rules::{annotate, has_forbid_unsafe, scan_tokens, FileContext, Finding, Rule};
+use crate::summary::summarize;
+
+/// Knobs for [`scan_with`]. `Default` is a serial, uncached, untimed
+/// scan — exactly what the fixture tests want.
+#[derive(Default)]
+pub struct ScanOptions {
+    /// Worker threads for the per-file pass; `0` means one per
+    /// available CPU.
+    pub threads: usize,
+    /// Cache file to read and write back; `None` disables caching.
+    pub cache_path: Option<PathBuf>,
+    /// Telemetry handle for stage spans (disabled handles are no-ops).
+    pub telemetry: Telemetry,
+}
+
+/// Side-channel facts about a scan that must stay out of the report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Files visited.
+    pub files: u64,
+    /// Files served from the cache.
+    pub cache_hits: u64,
+    /// Files re-scanned.
+    pub cache_misses: u64,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
 
 /// Locates the enclosing workspace root by walking up from `start`
 /// until a directory containing both `Cargo.toml` and `crates/` is
@@ -80,43 +133,156 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Scans every crate `src/` tree under `root` and returns the full
-/// report: lexical rules per file, R3 per crate root, and the sast
-/// bridge confirmation over R4/R5 findings.
+/// One file to scan, with everything precomputed on the main thread.
+struct Job {
+    crate_name: String,
+    path: PathBuf,
+    rel: String,
+    file_name: String,
+}
+
+/// Per-file result: the cache entry (fresh or reused) plus provenance.
+struct Processed {
+    crate_name: String,
+    rel: String,
+    file_name: String,
+    entry: FileEntry,
+    hit: bool,
+}
+
+/// Runs the per-file pipeline for one job, consulting the cache.
+fn process_one(job: &Job, cache: &Cache) -> io::Result<Processed> {
+    let bytes = fs::read(&job.path)?;
+    let src = String::from_utf8_lossy(&bytes);
+    let hash = content_hash(&bytes);
+    if let Some(entry) = cache.lookup(&job.rel, &hash) {
+        return Ok(Processed {
+            crate_name: job.crate_name.clone(),
+            rel: job.rel.clone(),
+            file_name: job.file_name.clone(),
+            entry: entry.clone(),
+            hit: true,
+        });
+    }
+    let tokens = tokenize(&src);
+    let is_crate_root = job.file_name == "lib.rs" || job.file_name == "main.rs";
+    let has_forbid = is_crate_root && has_forbid_unsafe(&tokens);
+    let ann = annotate(tokens);
+    let ctx = FileContext {
+        crate_name: &job.crate_name,
+        rel_path: &job.rel,
+        file_name: &job.file_name,
+    };
+    let (findings, accesses) = scan_tokens(&ctx, &ann);
+    Ok(Processed {
+        crate_name: job.crate_name.clone(),
+        rel: job.rel.clone(),
+        file_name: job.file_name.clone(),
+        entry: FileEntry {
+            hash,
+            lines: src.lines().count() as u64,
+            is_crate_root,
+            has_forbid,
+            findings,
+            accesses,
+            summary: summarize(&ann),
+        },
+        hit: false,
+    })
+}
+
+fn process_chunk(jobs: &[Job], cache: &Cache) -> io::Result<Vec<Processed>> {
+    jobs.iter().map(|j| process_one(j, cache)).collect()
+}
+
+/// Serial, uncached scan — the v1 signature, kept for tests and simple
+/// callers.
 pub fn scan(root: &Path) -> io::Result<Report> {
-    let mut report = Report::default();
-    for (crate_name, src_dir) in crate_src_dirs(root)? {
+    scan_with(root, &ScanOptions::default()).map(|(report, _)| report)
+}
+
+/// Full pipeline scan with threading, caching and telemetry.
+pub fn scan_with(root: &Path, opts: &ScanOptions) -> io::Result<(Report, ScanStats)> {
+    let _scan_span = opts.telemetry.span("analyzer.scan");
+
+    // Stage 1: discovery (deterministic job order).
+    let crates = crate_src_dirs(root)?;
+    let mut jobs: Vec<Job> = Vec::new();
+    for (crate_name, src_dir) in &crates {
         let mut files = Vec::new();
-        rust_files(&src_dir, &mut files)?;
-        let mut saw_forbid = false;
-        let mut lib_rel = rel_path(root, &src_dir.join("lib.rs"));
-        for path in &files {
-            let src = fs::read_to_string(path)?;
-            let rel = rel_path(root, path);
+        rust_files(src_dir, &mut files)?;
+        for path in files {
+            let rel = rel_path(root, &path);
             let file_name = path
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default();
-            let tokens = tokenize(&src);
-            let is_crate_root = file_name == "lib.rs" || file_name == "main.rs";
-            if is_crate_root && has_forbid_unsafe(&tokens) {
-                saw_forbid = true;
-            }
-            if file_name == "lib.rs" {
-                lib_rel = rel.clone();
-            }
-            let ann = annotate(tokens);
-            let ctx = FileContext {
-                crate_name: &crate_name,
-                rel_path: &rel,
-                file_name: &file_name,
-            };
-            let (findings, accesses) = scan_tokens(&ctx, &ann);
-            report.findings.extend(bridge::confirm(findings, &accesses));
-            report.files += 1;
-            report.lines += src.lines().count() as u64;
+            jobs.push(Job { crate_name: crate_name.clone(), path, rel, file_name });
         }
-        if !files.is_empty() && !saw_forbid {
+    }
+
+    let cache = match &opts.cache_path {
+        Some(p) => Cache::load(p),
+        None => Cache::default(),
+    };
+
+    // Stage 2: parallel per-file pass over contiguous chunks, merged in
+    // job order so the report is independent of the thread count.
+    let auto = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    let threads = match opts.threads {
+        0 => auto,
+        n => n,
+    }
+    .clamp(1, jobs.len().max(1));
+    let chunk_size = jobs.len().div_ceil(threads).max(1);
+
+    let mut processed: Vec<Processed> = Vec::with_capacity(jobs.len());
+    {
+        let _files_span = opts.telemetry.span("analyzer.files");
+        let mut chunk_results: Vec<io::Result<Vec<Processed>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in jobs.chunks(chunk_size) {
+                let cache_ref = &cache;
+                handles.push(scope.spawn(move || process_chunk(chunk, cache_ref)));
+            }
+            for handle in handles {
+                chunk_results.push(handle.join().unwrap_or_else(|_| {
+                    Err(io::Error::other("analyzer scan worker panicked"))
+                }));
+            }
+        });
+        for result in chunk_results {
+            processed.extend(result?);
+        }
+    }
+
+    let mut stats = ScanStats {
+        files: processed.len() as u64,
+        cache_hits: processed.iter().filter(|p| p.hit).count() as u64,
+        cache_misses: processed.iter().filter(|p| !p.hit).count() as u64,
+        threads,
+    };
+
+    // Stage 3a: R3 per crate (needs every root of the crate).
+    let mut report = Report::default();
+    for (crate_name, src_dir) in &crates {
+        let of_crate: Vec<&Processed> =
+            processed.iter().filter(|p| &p.crate_name == crate_name).collect();
+        if of_crate.is_empty() {
+            continue;
+        }
+        let saw_forbid = of_crate
+            .iter()
+            .any(|p| p.entry.is_crate_root && p.entry.has_forbid);
+        if !saw_forbid {
+            let lib_rel = of_crate
+                .iter()
+                .find(|p| p.file_name == "lib.rs")
+                .map(|p| p.rel.clone())
+                .unwrap_or_else(|| rel_path(root, &src_dir.join("lib.rs")));
             report.findings.push(Finding {
                 rule: Rule::R3MissingForbid,
                 file: lib_rel,
@@ -127,8 +293,40 @@ pub fn scan(root: &Path) -> io::Result<Report> {
             });
         }
     }
+
+    // Stage 3b: sast bridge per file, then the interprocedural walk.
+    let mut facts: Vec<FileFacts> = Vec::with_capacity(processed.len());
+    for p in &processed {
+        report.files += 1;
+        report.lines += p.entry.lines;
+        facts.push(FileFacts {
+            crate_name: p.crate_name.clone(),
+            rel_path: p.rel.clone(),
+            summary: p.entry.summary.clone(),
+            findings: bridge::confirm(p.entry.findings.clone(), &p.entry.accesses),
+            accesses: p.entry.accesses.clone(),
+        });
+    }
+    let outcome = {
+        let _flow_span = opts.telemetry.span("analyzer.dataflow");
+        dataflow::run(facts)
+    };
+    report.findings.extend(outcome.findings);
+    report.suppressed = outcome.suppressed.len() as u64;
     sort_findings(&mut report.findings);
-    Ok(report)
+
+    // Stage 4: cache write-back, only when something was re-scanned.
+    if let Some(path) = &opts.cache_path {
+        if stats.cache_misses > 0 {
+            let mut fresh = Cache::default();
+            for p in processed {
+                fresh.entries.insert(p.rel, p.entry);
+            }
+            fresh.save(path)?;
+        }
+    }
+    stats.files = report.files;
+    Ok((report, stats))
 }
 
 #[cfg(test)]
@@ -152,5 +350,18 @@ mod tests {
         assert!(dirs.len() >= 15, "expected >=15 src trees, got {}", dirs.len());
         assert!(report.files > 100, "scanned only {} files", report.files);
         assert!(report.lines > 10_000);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_with_serial() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root");
+        let serial = ScanOptions { threads: 1, ..ScanOptions::default() };
+        let wide = ScanOptions { threads: 4, ..ScanOptions::default() };
+        let (a, sa) = scan_with(&root, &serial).expect("serial scan");
+        let (b, sb) = scan_with(&root, &wide).expect("parallel scan");
+        assert_eq!(sa.threads, 1);
+        assert!(sb.threads >= 1);
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
     }
 }

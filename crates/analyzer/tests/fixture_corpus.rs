@@ -33,7 +33,12 @@ fn per_rule_counts_match_the_corpus() {
     assert_eq!(count(Rule::R5UnguardedIndex), 2, "gcm.rs + frame.rs");
     assert_eq!(count(Rule::R6DebtMarker), 1, "one to-do comment");
     assert_eq!(count(Rule::R7RawTiming), 1, "raw Instant::now in demo");
-    assert_eq!(report.findings.len(), 10);
+    assert_eq!(count(Rule::R8SecretLeak), 3, "two direct leaks + one hop");
+    assert_eq!(count(Rule::R9DiscardedResult), 2, "let _ + bare statement");
+    assert_eq!(report.findings.len(), 15);
+    // The dataflow pass discharges the provably bounded R4/R5 sites:
+    // xor_fixed (2 accesses), masked_lookup, read_unchecked, narrow_fixed.
+    assert_eq!(report.suppressed, 5, "interprocedurally discharged sites");
 }
 
 #[test]
@@ -53,6 +58,11 @@ fn positives_name_their_functions() {
     assert!(has(Rule::R5UnguardedIndex, "unguarded_block"));
     assert!(has(Rule::R5UnguardedIndex, "read_field"));
     assert!(has(Rule::R7RawTiming, "raw_timing"));
+    assert!(has(Rule::R8SecretLeak, "leak_direct"));
+    assert!(has(Rule::R8SecretLeak, "describe_key"));
+    assert!(has(Rule::R8SecretLeak, "leak_via_hop"));
+    assert!(has(Rule::R9DiscardedResult, "check_and_ignore"));
+    assert!(has(Rule::R9DiscardedResult, "install_and_drop"));
 }
 
 #[test]
@@ -71,6 +81,17 @@ fn negatives_stay_silent() {
         "instant_passthrough", // Instant in type position, no ::now call
         "manual_clock",   // Instant::now inside the allowlisted clock.rs
         "through_the_clock", // timing routed through the abstraction
+        "key_len_log",    // only the length is formatted
+        "seal_with",      // callee never sinks its parameter
+        "mix",            // sink-free helper
+        "check_properly", // Result propagated, not discarded
+        "tidy",           // non-security Result discarded
+        "xor_fixed",      // loop bound == array length (dataflow)
+        "masked_lookup",  // mask below table length (dataflow)
+        "read_unchecked", // every caller guards the index (dataflow)
+        "read_guarded_call", // the guarding caller itself
+        "narrow_fixed",   // every caller passes a literal (dataflow)
+        "default_port",   // the literal-passing caller itself
     ] {
         assert!(
             !report.findings.iter().any(|f| f.function == quiet),
@@ -94,6 +115,15 @@ fn r4_r5_findings_carry_bridge_confirmation() {
                     f.confirmed,
                     Some(true),
                     "taint bridge should confirm {}:{}",
+                    f.file,
+                    f.line
+                );
+            }
+            Rule::R8SecretLeak | Rule::R9DiscardedResult => {
+                assert_eq!(
+                    f.confirmed,
+                    Some(true),
+                    "dataflow findings are confirmed by construction {}:{}",
                     f.file,
                     f.line
                 );

@@ -21,3 +21,13 @@ pub fn key_length_ok(key: &[u8]) -> bool {
 pub fn counters_match(a: u64, b: u64) -> bool {
     a == b
 }
+
+/// Block width used by the dataflow-discharge fixtures in `gcm.rs`.
+pub const BLK: usize = 16;
+
+/// Static substitution table for the mask-discharge fixture.
+pub fn table256() -> &'static [u8; 256] {
+    &TABLE
+}
+
+static TABLE: [u8; 256] = [0; 256];

@@ -6,6 +6,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ops;
+
 // TODO: fixture debt marker — exactly one R6 finding.
 
 /// R1 positive: plain `.unwrap()` in library code.

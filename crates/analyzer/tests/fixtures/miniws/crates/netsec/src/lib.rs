@@ -2,6 +2,8 @@
 //!
 //! Expected findings: one R3 against this file.
 
+pub mod handshake;
+
 /// Harmless content; the finding is about the missing crate attribute.
 pub fn channel_id(node: u64) -> u64 {
     node.rotate_left(8)

@@ -21,3 +21,14 @@ pub fn widen(x: u32) -> u64 {
 pub fn literal_cast() -> u64 {
     u32::MAX as u64
 }
+
+/// R4 negative (dataflow discharge): the only caller passes a literal,
+/// so the narrowing cannot truncate attacker-controlled input.
+pub fn narrow_fixed(port: u64) -> u16 {
+    port as u16
+}
+
+/// Sole call site of `narrow_fixed`, with a literal argument.
+pub fn default_port() -> u16 {
+    narrow_fixed(7)
+}

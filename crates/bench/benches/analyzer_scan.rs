@@ -1,0 +1,223 @@
+//! E-A2 — **analyzer throughput**: parallel and incrementally-cached
+//! scanning of a synthetic workspace.
+//!
+//! The paper's Lesson 7 argues self-hosted SAST is only sustainable if
+//! it is fast enough to run on every commit. This target measures the
+//! v2 scan pipeline over a deterministic generated corpus and asserts
+//! the two E-A2 acceptance properties:
+//!
+//! * a **warm** scan (content-hash cache fully populated) must be at
+//!   least [`MIN_WARM_SPEEDUP`]x faster than a cold serial scan — the
+//!   cache has to pay for itself;
+//! * a **parallel** cold scan must not lose to the serial one, and must
+//!   beat it whenever the host has more than one CPU. On a single-CPU
+//!   host the parallel row is reported but the speedup is not asserted.
+//!
+//! Warm and cold reports are byte-identical by construction (asserted
+//! here and property-tested in `crates/analyzer/tests`), so the rows
+//! compare equal work.
+
+use std::fs;
+use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+
+use genio_analyzer::workspace::{self, scan_with, ScanOptions};
+use genio_bench::print_experiment_once;
+use genio_testkit::bench::{BenchmarkId, Criterion, Throughput};
+
+static PRINTED: Once = Once::new();
+
+/// Acceptance bound: warm-over-cold-serial speedup.
+const MIN_WARM_SPEEDUP: f64 = 3.0;
+
+const CRATES: usize = 6;
+const FILES_PER_CRATE: usize = 14;
+const FNS_PER_FILE: usize = 4;
+const LINES_PER_FN: usize = 60;
+
+fn repo_root() -> PathBuf {
+    workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("bench runs inside the workspace tree")
+}
+
+/// One synthetic source file: a few long, clean arithmetic functions
+/// with unique bodies. Long bodies keep the lexer and rule pass doing
+/// real per-byte work while the cacheable summary (a handful of
+/// signatures) stays small — the same source-to-facts ratio real code
+/// has. The report stays empty of findings, and content depends only on
+/// the indices.
+fn corpus_file(crate_idx: usize, file_idx: usize) -> String {
+    let mut src = String::from(
+        "//! Generated bench corpus file — deterministic, do not edit.\n\n",
+    );
+    for f in 0..FNS_PER_FILE {
+        let id = (crate_idx * FILES_PER_CRATE + file_idx) * FNS_PER_FILE + f;
+        src.push_str(&format!(
+            "/// Mixes the inputs with round constant {id}.\n\
+             pub fn work_{id}(x: u32, y: u32) -> u32 {{\n\
+             \x20   let mut acc = x ^ {id};\n"
+        ));
+        for line in 0..LINES_PER_FN {
+            let k = (id * LINES_PER_FN + line) as u32;
+            src.push_str(&format!(
+                "    acc ^= (acc << {}) ^ (y >> {}) ^ 0x{:08x};\n",
+                1 + line % 7,
+                line % 5,
+                k.wrapping_mul(2_654_435_761)
+            ));
+        }
+        src.push_str("    acc\n}\n\n");
+    }
+    src
+}
+
+/// Materializes the corpus under `target/` with the `crates/<n>/src/`
+/// layout the scanner discovers. Regenerated from scratch on every run
+/// so stale files can never skew a row.
+fn build_corpus(scratch: &Path) -> PathBuf {
+    let root = scratch.join("corpus");
+    let _ = fs::remove_dir_all(&root);
+    for c in 0..CRATES {
+        let src = root.join(format!("crates/gen{c:02}/src"));
+        fs::create_dir_all(&src).expect("corpus dir");
+        let mut lib = String::from("#![forbid(unsafe_code)]\n\n");
+        for f in 0..FILES_PER_CRATE {
+            lib.push_str(&format!("pub mod m{f:02};\n"));
+            fs::write(src.join(format!("m{f:02}.rs")), corpus_file(c, f))
+                .expect("corpus file");
+        }
+        fs::write(src.join("lib.rs"), lib).expect("corpus lib.rs");
+    }
+    fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("corpus manifest");
+    root
+}
+
+fn bench(c: &mut Criterion) {
+    c.experiment_id("E-A2");
+    let scratch = repo_root().join("target/genio-analyzer-bench");
+    let corpus = build_corpus(&scratch);
+    let cache_path = scratch.join("cache.json");
+    let _ = fs::remove_file(&cache_path);
+
+    let cpus = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Seed the cache and sanity-check the three configurations agree
+    // before timing anything.
+    let warm_opts = ScanOptions {
+        threads: 1,
+        cache_path: Some(cache_path.clone()),
+        ..ScanOptions::default()
+    };
+    let cold_serial = ScanOptions { threads: 1, ..ScanOptions::default() };
+    let cold_parallel = ScanOptions { threads: 0, ..ScanOptions::default() };
+
+    let (seed_report, seed_stats) = scan_with(&corpus, &warm_opts).expect("seed scan");
+    let (warm_report, warm_stats) = scan_with(&corpus, &warm_opts).expect("warm scan");
+    assert_eq!(seed_stats.cache_hits, 0, "seed scan must start cold");
+    assert_eq!(warm_stats.cache_misses, 0, "cache must fully absorb a warm scan");
+    assert_eq!(
+        seed_report.to_json().to_string(),
+        warm_report.to_json().to_string(),
+        "warm report must be byte-identical to cold"
+    );
+    let files = seed_report.files;
+
+    let mut group = c.benchmark_group("analyzer_scan");
+    group.throughput(Throughput::Elements(files));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cold_serial"),
+        &corpus,
+        |b, root| b.iter(|| std::hint::black_box(scan_with(root, &cold_serial).expect("scan"))),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cold_parallel"),
+        &corpus,
+        |b, root| {
+            b.iter(|| std::hint::black_box(scan_with(root, &cold_parallel).expect("scan")))
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("warm"),
+        &corpus,
+        |b, root| b.iter(|| std::hint::black_box(scan_with(root, &warm_opts).expect("scan"))),
+    );
+    group.finish();
+
+    // --- E-A2 verdict: speedup table with asserted bounds. ---
+    let median = |name: &str| {
+        c.records()
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+    };
+    let (Some(serial_ns), Some(parallel_ns), Some(warm_ns)) = (
+        median("analyzer_scan/cold_serial"),
+        median("analyzer_scan/cold_parallel"),
+        median("analyzer_scan/warm"),
+    ) else {
+        // A `--filter` run can skip rows; no verdict then.
+        return;
+    };
+
+    let files_per_s = |ns: f64| files as f64 / (ns / 1e9);
+    let warm_speedup = serial_ns / warm_ns;
+    let parallel_speedup = serial_ns / parallel_ns;
+
+    let mut body = String::new();
+    body.push_str(&format!(
+        "synthetic corpus: {} crates x {} files, {} files / {} lines total\n\n",
+        CRATES,
+        FILES_PER_CRATE + 1,
+        files,
+        seed_report.lines
+    ));
+    body.push_str(&format!(
+        "  {:<14} {:>12} {:>12} {:>9}\n",
+        "configuration", "median", "files/s", "speedup"
+    ));
+    for (label, ns) in [
+        ("cold serial", serial_ns),
+        ("cold parallel", parallel_ns),
+        ("warm cache", warm_ns),
+    ] {
+        body.push_str(&format!(
+            "  {:<14} {:>9.2} ms {:>12.0} {:>8.2}x\n",
+            label,
+            ns / 1e6,
+            files_per_s(ns),
+            serial_ns / ns
+        ));
+    }
+    body.push_str(&format!(
+        "\nhost CPUs: {cpus}; warm speedup bound: >= {MIN_WARM_SPEEDUP:.1}x (asserted); \
+         parallel bound asserted only when CPUs > 1\n"
+    ));
+    if cpus == 1 {
+        body.push_str(
+            "single-CPU host: the parallel row measures chunking overhead only\n",
+        );
+    }
+    print_experiment_once(
+        &PRINTED,
+        "E-A2 / analyzer throughput — parallel + incrementally-cached scanning",
+        &body,
+    );
+
+    assert!(
+        warm_speedup >= MIN_WARM_SPEEDUP,
+        "E-A2 bound violated: warm scan only {warm_speedup:.2}x faster than cold serial \
+         (required >= {MIN_WARM_SPEEDUP:.1}x)"
+    );
+    if cpus > 1 {
+        assert!(
+            parallel_speedup > 1.0,
+            "E-A2 bound violated: parallel cold scan ({parallel_ns:.0} ns) did not beat \
+             serial ({serial_ns:.0} ns) on a {cpus}-CPU host"
+        );
+    }
+}
+
+genio_testkit::bench_main!(bench);

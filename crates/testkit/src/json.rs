@@ -220,13 +220,43 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if (0x20..0x80).contains(&b) => {
+                    // Bulk-copy the printable-ASCII run starting here;
+                    // the common case for report strings.
+                    let start = self.pos;
+                    while let Some(&nb) = self.bytes.get(self.pos) {
+                        if nb == b'"' || nb == b'\\' || !(0x20..0x80).contains(&nb) {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .unwrap_or_default(),
+                    );
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Copy the full UTF-8 scalar starting here.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid UTF-8".to_string())?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Decode exactly one UTF-8 scalar (at most 4 bytes);
+                    // validating the whole remaining input per character
+                    // would make long-string parsing quadratic.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(chunk) {
+                        Ok(s) => s,
+                        Err(e) => std::str::from_utf8(&chunk[..e.valid_up_to()])
+                            .unwrap_or_default(),
+                    };
+                    match valid.chars().next() {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        None => return Err("invalid UTF-8".to_string()),
+                    }
                 }
             }
         }

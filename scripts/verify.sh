@@ -31,6 +31,13 @@ cargo build --release
 echo "==> cargo test --workspace -q  (builds examples; includes the examples smoke test)"
 cargo test --workspace -q
 
+echo "==> genio-analyzer determinism gate (cold vs warm scan must be byte-identical)"
+rm -rf target/genio-analyzer
+cargo run --release -q -p genio-analyzer -- --json target/genio-analyzer/report-cold.json >/dev/null
+cargo run --release -q -p genio-analyzer -- --json target/genio-analyzer/report-warm.json >/dev/null
+cmp target/genio-analyzer/report-cold.json target/genio-analyzer/report-warm.json
+echo "cold and cache-warm reports agree"
+
 echo "==> genio-analyzer ratchet gate (self-scan vs analyzer-baseline.json)"
 cargo run --release -q -p genio-analyzer
 
