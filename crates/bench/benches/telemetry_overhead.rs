@@ -10,6 +10,7 @@
 use std::sync::Once;
 
 use genio_bench::print_experiment_once;
+use genio_pon::engine::{run_with, EngineOptions, FleetSimConfig};
 use genio_pon::sim::{run_instrumented, SimConfig};
 use genio_runtime::events::mixed_trace;
 use genio_runtime::falco::{Engine, RuleSetTier};
@@ -76,7 +77,42 @@ fn bench(c: &mut Criterion) {
     });
     group.finish();
 
-    // --- Workload 2: runtime detection pipeline over a mixed trace. ---
+    // --- Workload 2: sharded fleet engine (E-S2 hot loop): wheel
+    // advance, shard step and merge spans plus per-batch counters. ---
+    let fleet_cfg = FleetSimConfig {
+        trees: 48,
+        onus_per_tree: 24,
+        cycles: 4,
+        ..FleetSimConfig::default()
+    };
+    let fleet_frames = run_with(
+        &fleet_cfg,
+        &EngineOptions::default(),
+        &Telemetry::disabled(),
+    )
+    .stats
+    .frames_sent;
+    let mut group = c.benchmark_group("telemetry_overhead/fleet_engine");
+    group.throughput(Throughput::Elements(fleet_frames));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("disabled"),
+        &fleet_cfg,
+        |b, cfg| {
+            let t = Telemetry::disabled();
+            b.iter(|| std::hint::black_box(run_with(cfg, &EngineOptions::default(), &t)))
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("enabled"),
+        &fleet_cfg,
+        |b, cfg| {
+            let t = Telemetry::enabled();
+            b.iter(|| std::hint::black_box(run_with(cfg, &EngineOptions::default(), &t)))
+        },
+    );
+    group.finish();
+
+    // --- Workload 3: runtime detection pipeline over a mixed trace. ---
     let trace = mixed_trace("tenant-a", 1_000, 5);
     let mut group = c.benchmark_group("telemetry_overhead/runtime_pipeline");
     group.throughput(Throughput::Elements(trace.len() as u64));
@@ -118,6 +154,7 @@ fn bench(c: &mut Criterion) {
     let mut checked = 0usize;
     for (workload, events) in [
         ("pon_sim", frames),
+        ("fleet_engine", fleet_frames),
         ("runtime_pipeline", trace.len() as u64),
     ] {
         let (off_ns, on_ns) = match (
@@ -146,7 +183,7 @@ fn bench(c: &mut Criterion) {
         checked += 1;
     }
     body.push_str(&format!(
-        "\n{checked}/2 workloads checked against the {MAX_RATIO:.2}x bound \
+        "\n{checked}/3 workloads checked against the {MAX_RATIO:.2}x bound \
          (per-event = (enabled - disabled) / events)\n"
     ));
     print_experiment_once(

@@ -66,6 +66,7 @@ pub struct Fleet {
     env_stages: Vec<SignedImage>,
     env_keys: KeyDb,
     vendor: ImageVendor,
+    seed: u64,
 }
 
 /// Result of an attestation sweep.
@@ -183,6 +184,7 @@ impl Fleet {
             env_stages,
             env_keys,
             vendor,
+            seed: config.seed,
         }
     }
 
@@ -256,6 +258,28 @@ impl Fleet {
         Ok(RolloutReport { updated, refused })
     }
 
+    /// Runs the fleet-scale PON simulation that models this operator's
+    /// access network: every OLT's PON trees, their ONUs, activation,
+    /// TDMA and the T1 attack set, through the sharded discrete-event
+    /// engine. Thin façade over [`simulate_pon_fleet`] so platform code
+    /// reaches the subscriber plane from the same type it manages OLT
+    /// nodes with.
+    pub fn simulate_access_network(
+        &self,
+        trees_per_olt: u32,
+        onus_per_tree: u32,
+        cycles: u32,
+    ) -> PonFleetReport {
+        let config = genio_pon::engine::FleetSimConfig {
+            trees: u32::try_from(self.nodes.len()).unwrap_or(u32::MAX) * trees_per_olt,
+            onus_per_tree,
+            cycles,
+            seed: self.seed,
+            ..genio_pon::engine::FleetSimConfig::default()
+        };
+        simulate_pon_fleet(&config, 0, &Telemetry::disabled())
+    }
+
     /// Verifies every node's data volume still opens (post-rollout check).
     pub fn volumes_unlockable(&mut self) -> usize {
         let mut ok = 0;
@@ -270,6 +294,40 @@ impl Fleet {
             }
         }
         ok
+    }
+}
+
+/// Outcome of a fleet-scale PON simulation at the platform layer.
+#[derive(Debug, Clone)]
+pub struct PonFleetReport {
+    /// The merged engine run (canonical log + stats).
+    pub result: genio_pon::engine::FleetRunResult,
+    /// Worker threads actually used (shard count).
+    pub workers: usize,
+    /// Event-log digest — the determinism witness gates compare.
+    pub digest: u64,
+}
+
+/// Runs the sharded PON engine over `workers` threads (0 = one per
+/// core) and merges the shards under a `core.fleet.merge` span. The
+/// report is identical for any worker count; only wall time varies.
+pub fn simulate_pon_fleet(
+    config: &genio_pon::engine::FleetSimConfig,
+    workers: usize,
+    telemetry: &Telemetry,
+) -> PonFleetReport {
+    let options = genio_pon::engine::EngineOptions { workers };
+    let shards = genio_pon::engine::run_shards(config, &options, telemetry);
+    let used = shards.len();
+    let result = {
+        let _merge_span = telemetry.span("core.fleet.merge");
+        genio_pon::engine::merge_shards(shards)
+    };
+    let digest = result.log.digest();
+    PonFleetReport {
+        result,
+        workers: used,
+        digest,
     }
 }
 
@@ -342,6 +400,40 @@ mod tests {
         let mut fleet = small_fleet();
         fleet.rollout("1.1.0", b"img").unwrap();
         assert_eq!(fleet.volumes_unlockable(), 5);
+    }
+
+    #[test]
+    fn pon_fleet_simulation_is_worker_invariant_and_spanned() {
+        let config = genio_pon::engine::FleetSimConfig {
+            trees: 6,
+            onus_per_tree: 8,
+            cycles: 4,
+            seed: 11,
+            ..genio_pon::engine::FleetSimConfig::default()
+        };
+        let telemetry = Telemetry::enabled();
+        let a = simulate_pon_fleet(&config, 1, &telemetry);
+        let b = simulate_pon_fleet(&config, 3, &telemetry);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.result.stats, b.result.stats);
+        assert_eq!(a.workers, 1);
+        assert_eq!(b.workers, 3);
+        let snapshot = telemetry.snapshot();
+        assert!(
+            snapshot.counter("pon.fleet.events").unwrap_or(0) > 0,
+            "engine counters flow through the platform telemetry handle"
+        );
+    }
+
+    #[test]
+    fn access_network_simulation_scales_with_the_fleet() {
+        let fleet = small_fleet();
+        let report = fleet.simulate_access_network(4, 8, 2);
+        assert_eq!(report.result.stats.trees, 5 * 4);
+        assert_eq!(report.result.stats.onus, 5 * 4 * 8);
+        assert_eq!(report.result.stats.activated, report.result.stats.onus);
+        let verdicts = report.result.stats.verdicts();
+        assert!(!verdicts.eavesdropping_succeeded, "default posture holds");
     }
 
     #[test]

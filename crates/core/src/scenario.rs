@@ -561,12 +561,191 @@ fn t8_malicious_application() -> CampaignRow {
     }
 }
 
+/// Scale knobs for the fleet-level T1 matrix (the functional face of
+/// experiment E-S2). Separate from [`CampaignConfig`] on purpose: the
+/// single-tree campaign's shape is pinned by tier-1 tests.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetScenarioConfig {
+    /// PON trees across the fleet.
+    pub trees: u32,
+    /// Subscriber ONUs per tree.
+    pub onus_per_tree: u32,
+    /// TDMA cycles simulated.
+    pub cycles: u32,
+    /// Seed for the fleet timeline.
+    pub seed: u64,
+}
+
+impl Default for FleetScenarioConfig {
+    fn default() -> Self {
+        FleetScenarioConfig {
+            trees: 16,
+            onus_per_tree: 16,
+            cycles: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// One T1 attack vector measured at fleet scale.
+#[derive(Debug, Clone)]
+pub struct FleetT1Row {
+    /// Attack vector name.
+    pub vector: &'static str,
+    /// Outcome with M3/M4 off.
+    pub unmitigated: AttackOutcome,
+    /// Outcome with M3/M4 on.
+    pub mitigated: AttackOutcome,
+}
+
+/// Runs the T1 attack set (eavesdropping, replay, impersonation) over
+/// the whole simulated fleet instead of one tree, with mitigations off
+/// and then on — `run_campaign`'s T1 row, at the scale the paper's
+/// operator actually runs.
+pub fn run_fleet_t1(config: &FleetScenarioConfig) -> Vec<FleetT1Row> {
+    run_fleet_t1_instrumented(config, &Telemetry::disabled())
+}
+
+/// [`run_fleet_t1`] under a `core.scenario.fleet_t1` span; the engine's
+/// own `pon.shard.step` / `pon.wheel.advance` spans nest inside it.
+pub fn run_fleet_t1_instrumented(
+    config: &FleetScenarioConfig,
+    telemetry: &Telemetry,
+) -> Vec<FleetT1Row> {
+    let _span = telemetry.span("core.scenario.fleet_t1");
+    let base = genio_pon::engine::FleetSimConfig {
+        trees: config.trees,
+        onus_per_tree: config.onus_per_tree,
+        cycles: config.cycles,
+        seed: config.seed,
+        replay_every: 4,
+        rogue_per_tree: true,
+        greedy_every: 0,
+        encrypt: false,
+        certificate_admission: false,
+    };
+    let open = genio_pon::engine::run_with(
+        &base,
+        &genio_pon::engine::EngineOptions::default(),
+        telemetry,
+    );
+    let hardened = genio_pon::engine::run_with(
+        &genio_pon::engine::FleetSimConfig {
+            encrypt: true,
+            certificate_admission: true,
+            ..base
+        },
+        &genio_pon::engine::EngineOptions::default(),
+        telemetry,
+    );
+    let (ov, hv) = (open.stats.verdicts(), hardened.stats.verdicts());
+    vec![
+        FleetT1Row {
+            vector: "fiber tap reads tenant payloads (fleet)",
+            unmitigated: AttackOutcome {
+                succeeded: ov.eavesdropping_succeeded,
+                detected: false,
+                notes: format!(
+                    "{} of {} frames readable in clear",
+                    open.stats.attacker_readable, open.stats.frames_sent
+                ),
+            },
+            mitigated: AttackOutcome {
+                succeeded: hv.eavesdropping_succeeded,
+                detected: true,
+                notes: format!(
+                    "0 of {} frames readable under GEM encryption",
+                    hardened.stats.frames_sent
+                ),
+            },
+        },
+        FleetT1Row {
+            vector: "captured-frame replay (fleet)",
+            unmitigated: AttackOutcome {
+                succeeded: ov.replay_succeeded,
+                detected: false,
+                notes: format!(
+                    "{} of {} replays accepted",
+                    open.stats.replays_accepted, open.stats.replays_attempted
+                ),
+            },
+            mitigated: AttackOutcome {
+                succeeded: hv.replay_succeeded,
+                detected: true,
+                notes: format!(
+                    "{} replays rejected by the anti-replay window",
+                    hardened.stats.replays_attempted
+                ),
+            },
+        },
+        FleetT1Row {
+            vector: "rogue ONU impersonation (fleet)",
+            unmitigated: AttackOutcome {
+                succeeded: ov.impersonation_succeeded,
+                detected: false,
+                notes: format!(
+                    "{} of {} rogues admitted via serial allowlist",
+                    open.stats.rogues_admitted, open.stats.rogues_attempted
+                ),
+            },
+            mitigated: AttackOutcome {
+                succeeded: hv.impersonation_succeeded,
+                detected: true,
+                notes: format!(
+                    "{} rogues denied by certificate admission",
+                    hardened.stats.rogues_attempted
+                ),
+            },
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn report() -> CampaignReport {
         run_campaign(&CampaignConfig::default())
+    }
+
+    #[test]
+    fn fleet_t1_matrix_matches_the_single_tree_campaign_verdicts() {
+        let rows = run_fleet_t1(&FleetScenarioConfig::default());
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                row.unmitigated.succeeded,
+                "{} should succeed unmitigated",
+                row.vector
+            );
+            assert!(
+                !row.mitigated.succeeded,
+                "{} should be blocked when mitigated",
+                row.vector
+            );
+            assert!(row.mitigated.detected);
+            assert!(!row.unmitigated.notes.is_empty());
+        }
+    }
+
+    #[test]
+    fn fleet_t1_is_deterministic_and_spanned() {
+        let cfg = FleetScenarioConfig {
+            trees: 4,
+            onus_per_tree: 6,
+            cycles: 4,
+            seed: 7,
+        };
+        let telemetry = Telemetry::enabled();
+        let a = run_fleet_t1_instrumented(&cfg, &telemetry);
+        let b = run_fleet_t1(&cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.vector, y.vector);
+            assert_eq!(x.unmitigated.notes, y.unmitigated.notes);
+            assert_eq!(x.mitigated.notes, y.mitigated.notes);
+        }
+        let snapshot = telemetry.snapshot();
+        assert!(snapshot.counter("pon.fleet.events").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -197,13 +197,11 @@ impl ActivationController {
             }
         };
         // Ranging: equalization delay flattens differential reach so all
-        // upstream bursts land aligned at the OLT.
+        // upstream bursts land aligned at the OLT. The tree-wide max RTT
+        // comes from one integer scan over fiber lengths rather than
+        // per-ONU float propagation math on every activation.
         let rtt = tree.rtt_ns(id)?;
-        let max_rtt = tree
-            .iter()
-            .map(|o| o.propagation_ns(tree.trunk_m()) * 2)
-            .max()
-            .unwrap_or(rtt);
+        let max_rtt = tree.max_rtt_ns().unwrap_or(rtt);
         {
             let onu = tree.onu_mut(id).ok_or(PonError::UnknownOnu(id))?;
             onu.status = OnuStatus::Activating;

@@ -1,0 +1,306 @@
+//! Legacy object-per-ONU fleet stepper: the behavioral oracle for
+//! [`crate::engine`].
+//!
+//! This module drives the *original* mechanism implementations — real
+//! [`PonTree`] objects, the [`ActivationController`] state machine,
+//! per-ONU [`GemCrypto`] engines, the [`ReplayAttacker`] and
+//! [`RogueOnu`] injectors, and per-call [`compute_map`] TDMA — over the
+//! same deterministic fleet timeline the sharded engine derives from
+//! the seed. It is deliberately slow (it allocates an object per ONU
+//! and steps trees one by one) and deliberately kept: the differential
+//! harness in `tests/engine_differential.rs` requires the engine's
+//! merged event log to match this stepper's output event for event,
+//! which is what makes the fast path trustworthy under every security
+//! experiment stacked on top of it.
+
+use crate::activation::{ActivationController, CertificateAdmission, SerialAllowlist};
+use crate::attack::{FiberTap, ImpersonationOutcome, ReplayAttacker, ReplayOutcome, RogueOnu};
+use crate::engine::{
+    announce_ns, cycle_start_ns, demand_bytes, drop_fiber_m, grants_digest, onu_serial,
+    rogue_announce_ns, service_class, EventKind, EventLog, EventRecord, FleetRunResult,
+    FleetSimConfig, FleetStats, REPLAY_OFFSET_NS, TRUNK_M,
+};
+use crate::frame::GemPort;
+use crate::security::GemCrypto;
+use crate::tdma::{compute_map, BandwidthRequest, DbaConfig};
+use crate::topology::{OnuId, PonTree};
+
+fn port_for(id: OnuId) -> GemPort {
+    u16::try_from(1_000 + id).unwrap_or(u16::MAX)
+}
+
+/// Who announces at a point of the activation timeline.
+enum Actor {
+    Legit(u32),
+    Rogue,
+}
+
+/// Runs the whole fleet through the legacy stepper, producing a log and
+/// stats directly comparable (`==`) to [`crate::engine::run`].
+pub fn run(config: &FleetSimConfig) -> FleetRunResult {
+    let mut records: Vec<EventRecord> = Vec::new();
+    let mut stats = FleetStats::default();
+    stats.trees = u64::from(config.trees);
+    stats.onus = u64::from(config.trees) * u64::from(config.onus_per_tree);
+    for tree in 0..config.trees {
+        run_tree(config, tree, &mut records, &mut stats);
+    }
+    records.sort_unstable_by_key(|r| (r.time_ns, r.tree, r.seq));
+    stats.events = records.len() as u64;
+    FleetRunResult {
+        log: EventLog { records },
+        stats,
+    }
+}
+
+fn run_tree(
+    config: &FleetSimConfig,
+    tree_idx: u32,
+    records: &mut Vec<EventRecord>,
+    stats: &mut FleetStats,
+) {
+    let n = config.onus_per_tree;
+    let mut seq = 0u32;
+    let mut emit = |records: &mut Vec<EventRecord>,
+                    time_ns: u64,
+                    kind: EventKind,
+                    a: u64,
+                    b: u64,
+                    c: u64| {
+        records.push(EventRecord {
+            time_ns,
+            tree: tree_idx,
+            seq,
+            kind,
+            a,
+            b,
+            c,
+        });
+        seq += 1;
+    };
+
+    // Physical build-out: real ONU objects on a real tree.
+    let mut tree = PonTree::builder(&format!("olt-fleet/pon-{tree_idx}"))
+        .split_ratio(n as usize + 1)
+        .trunk_m(TRUNK_M)
+        .build();
+    for onu in 0..n {
+        // Split ratio reserves n + 1 slots and fibers stay in reach, so
+        // attach cannot fail.
+        let _ = tree.attach_onu(&onu_serial(tree_idx, onu), drop_fiber_m(tree_idx, onu));
+    }
+
+    // Admission policy per mitigation M4.
+    let mut controller = if config.certificate_admission {
+        ActivationController::new(Box::new(CertificateAdmission::new(
+            |serial: &str, evidence: &[u8]| evidence == format!("chain:{serial}").as_bytes(),
+        )))
+    } else {
+        let mut allow = SerialAllowlist::new();
+        for onu in 0..n {
+            allow.allow(&onu_serial(tree_idx, onu));
+        }
+        ActivationController::new(Box::new(allow))
+    };
+
+    // Activation timeline: every subscriber plus (optionally) the rogue
+    // announce within the activation window; ties break by announce
+    // order (subscribers in index order, then the rogue).
+    let mut timeline: Vec<(u64, u32, Actor)> = (0..n)
+        .map(|onu| (announce_ns(config.seed, tree_idx, onu), onu, Actor::Legit(onu)))
+        .collect();
+    if config.rogue_per_tree {
+        timeline.push((rogue_announce_ns(config.seed, tree_idx), n, Actor::Rogue));
+    }
+    timeline.sort_by_key(|&(t, order, _)| (t, order));
+
+    for (time_ns, _, actor) in timeline {
+        match actor {
+            Actor::Legit(onu) => {
+                let serial = onu_serial(tree_idx, onu);
+                let evidence = format!("chain:{serial}").into_bytes();
+                let ev = if config.certificate_admission {
+                    Some(evidence.as_slice())
+                } else {
+                    None
+                };
+                match controller.activate(&mut tree, &serial, ev) {
+                    Ok(id) => {
+                        stats.activated += 1;
+                        let eq = tree.onu(id).map(|o| o.eq_delay_ns).unwrap_or(0);
+                        emit(records, time_ns, EventKind::Activation, u64::from(onu), 0, eq);
+                    }
+                    Err(_) => {
+                        emit(records, time_ns, EventKind::Activation, u64::from(onu), 1, 0);
+                    }
+                }
+            }
+            Actor::Rogue => {
+                stats.rogues_attempted += 1;
+                let rogue = RogueOnu::cloning(&onu_serial(tree_idx, 0))
+                    .with_forged_evidence(b"forged".to_vec());
+                match rogue.attempt(&mut controller, &mut tree) {
+                    ImpersonationOutcome::Admitted(victim) => {
+                        stats.rogues_admitted += 1;
+                        emit(
+                            records,
+                            time_ns,
+                            EventKind::RogueAttempt,
+                            u64::from(n),
+                            0,
+                            u64::from(victim),
+                        );
+                    }
+                    ImpersonationOutcome::Denied(_) => {
+                        emit(records, time_ns, EventKind::RogueAttempt, u64::from(n), 1, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    // Keying: one OLT-side engine and one per ONU, per tree.
+    let master = format!("fleet-{}-{tree_idx}", config.seed).into_bytes();
+    let mut olt_crypto = GemCrypto::new(&master);
+    let mut onu_crypto: Vec<GemCrypto> = (0..n).map(|_| GemCrypto::new(&master)).collect();
+    let operational = tree.operational();
+    for &id in &operational {
+        olt_crypto.establish_key(port_for(id), id);
+        if let Some(c) = onu_crypto.get_mut((id - 1) as usize) {
+            c.establish_key(port_for(id), id);
+        }
+    }
+
+    let mut tap = FiberTap::new();
+    let mut replayer = ReplayAttacker::new();
+    let dba = DbaConfig::default();
+    // Per-tree fairness accumulator, folded into the global sum once at
+    // the end — the exact f64 fold order the engine's shard merge uses,
+    // so the sums compare bitwise-equal at any worker count.
+    let mut tree_fairness_sum = 0.0f64;
+    let mut tree_fairness_cycles = 0u64;
+
+    for k in 0..config.cycles {
+        let t_cycle = cycle_start_ns(k);
+
+        // Downstream: one frame per operational ONU per cycle, all of
+        // them tapped, frames for the victim (ONU id 1) also captured.
+        for &id in &operational {
+            let payload = format!("cycle {k} data for onu {id}");
+            let frame = if config.encrypt {
+                match olt_crypto.encrypt_downstream(port_for(id), id, payload.as_bytes()) {
+                    Ok(frame) => frame,
+                    Err(_) => continue,
+                }
+            } else {
+                GemCrypto::cleartext_downstream(
+                    port_for(id),
+                    id,
+                    u64::from(k),
+                    payload.as_bytes(),
+                )
+            };
+            stats.frames_sent += 1;
+            tap.observe(&frame);
+            if id == 1 {
+                replayer.capture(&frame);
+            }
+            let delivered = match onu_crypto.get_mut((id - 1) as usize) {
+                Some(receiver) if config.encrypt => receiver.decrypt(&frame).is_ok(),
+                Some(_) => true,
+                None => false,
+            };
+            if delivered {
+                stats.frames_delivered += 1;
+            }
+        }
+
+        // Upstream: the per-call TDMA path over the same demand model.
+        let requests: Vec<BandwidthRequest> = operational
+            .iter()
+            .map(|&id| BandwidthRequest {
+                onu: id,
+                queued_bytes: demand_bytes(config.seed, tree_idx, k, id - 1, config.greedy_every),
+                class: service_class(config.seed, tree_idx, id - 1),
+            })
+            .collect();
+        let map = compute_map(&dba, &requests);
+        stats.granted_bytes += map.total_bytes();
+        if let Some(f) = map.fairness_index() {
+            tree_fairness_sum += f;
+            tree_fairness_cycles += 1;
+        }
+        let digest = grants_digest(
+            map.grants()
+                .map(|g| (g.onu, g.bytes, g.start_ns, g.duration_ns)),
+        );
+        emit(
+            records,
+            t_cycle,
+            EventKind::CycleGrants,
+            u64::from(k),
+            digest,
+            map.total_bytes(),
+        );
+
+        // Replay at the configured cadence against ONU id 1's engine.
+        if config.replay_every > 0 && k % config.replay_every == 0 && replayer.captured_count() > 0
+        {
+            stats.replays_attempted += 1;
+            let idx = replayer.captured_count() - 1;
+            let accepted = match onu_crypto.get_mut(0) {
+                Some(victim) => replayer.replay_against(idx, victim) == ReplayOutcome::Accepted,
+                None => false,
+            };
+            if accepted {
+                stats.replays_accepted += 1;
+            }
+            emit(
+                records,
+                t_cycle + REPLAY_OFFSET_NS,
+                EventKind::Replay,
+                u64::from(k),
+                if accepted { 0 } else { 1 },
+                idx as u64,
+            );
+        }
+    }
+
+    stats.attacker_observed += tap.observed().len() as u64;
+    stats.attacker_readable += tap.readable_payloads().len() as u64;
+    stats.fairness_sum += tree_fairness_sum;
+    stats.fairness_cycles += tree_fairness_cycles;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine;
+
+    #[test]
+    fn reference_matches_engine_on_the_default_fleet() {
+        let cfg = FleetSimConfig::default();
+        let legacy = run(&cfg);
+        let fast = engine::run(&cfg);
+        assert_eq!(legacy.log, fast.log);
+        assert_eq!(legacy.stats, fast.stats);
+    }
+
+    #[test]
+    fn reference_matches_engine_with_mitigations_off() {
+        let cfg = FleetSimConfig {
+            trees: 3,
+            onus_per_tree: 5,
+            cycles: 6,
+            encrypt: false,
+            certificate_admission: false,
+            greedy_every: 2,
+            ..FleetSimConfig::default()
+        };
+        let legacy = run(&cfg);
+        let fast = engine::run(&cfg);
+        assert_eq!(legacy.log, fast.log);
+        assert_eq!(legacy.stats, fast.stats);
+        assert!(legacy.stats.verdicts().impersonation_succeeded);
+    }
+}

@@ -150,10 +150,15 @@ pub fn run_instrumented(config: &SimConfig, telemetry: &Telemetry) -> SimStats {
     let mut greedy_granted = 0u64;
     let mut total_granted = 0u64;
 
+    // The operational set is fixed once activation finishes; snapshot it
+    // and reuse the request buffer so the tick loop does not allocate.
+    let operational = tree.operational();
+    let mut requests: Vec<BandwidthRequest> = Vec::with_capacity(operational.len());
+
     for tick in 0..config.ticks {
         let _tick_span = telemetry.span("pon.tick");
         // Downstream: one frame per operational ONU per tick.
-        for onu in tree.operational() {
+        for &onu in &operational {
             let payload = format!("tick {tick} data for onu {onu}");
             let frame = if config.encrypt {
                 // Every operational ONU was keyed above; an unkeyed port
@@ -196,19 +201,16 @@ pub fn run_instrumented(config: &SimConfig, telemetry: &Telemetry) -> SimStats {
         }
 
         // Upstream cycle.
-        let requests: Vec<BandwidthRequest> = tree
-            .operational()
-            .into_iter()
-            .map(|onu| BandwidthRequest {
-                onu,
-                queued_bytes: if config.greedy_onu && onu == 1 {
-                    1_000_000
-                } else {
-                    4_000
-                },
-                class: ServiceClass::BestEffort,
-            })
-            .collect();
+        requests.clear();
+        requests.extend(operational.iter().map(|&onu| BandwidthRequest {
+            onu,
+            queued_bytes: if config.greedy_onu && onu == 1 {
+                1_000_000
+            } else {
+                4_000
+            },
+            class: ServiceClass::BestEffort,
+        }));
         let map = {
             let _tdma_span = telemetry.span("pon.tdma.compute");
             compute_map(&dba, &requests)

@@ -172,6 +172,190 @@ pub fn compute_map(config: &DbaConfig, requests: &[BandwidthRequest]) -> Bandwid
     }
 }
 
+/// Jain's fairness index over a sequence of granted byte counts: 1.0 =
+/// perfectly fair. `None` when the sequence is empty or all-zero.
+///
+/// Shared by [`BandwidthMap::fairness_index`] and the batched engine
+/// path so both compute bit-identical values (the differential harness
+/// compares the folded sums exactly).
+pub fn jain_fairness(bytes: impl Iterator<Item = u64>) -> Option<f64> {
+    let xs: Vec<f64> = bytes.map(|b| b as f64).collect();
+    if xs.is_empty() {
+        return None;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return None;
+    }
+    Some(sum * sum / (xs.len() as f64 * sum_sq))
+}
+
+/// Reusable struct-of-arrays output of the batched DBA path
+/// ([`compute_grants_into`]): one entry per granted ONU, in ONU-id
+/// order, windows laid back-to-back. Private scratch vectors ride along
+/// so a per-shard instance makes the whole TDMA cycle allocation-free
+/// after warmup.
+#[derive(Debug, Default, Clone)]
+pub struct BatchGrants {
+    /// Grantees, ascending.
+    pub onus: Vec<OnuId>,
+    /// Bytes granted, aligned with `onus`.
+    pub bytes: Vec<u64>,
+    /// Window starts within the cycle (ns), aligned with `onus`.
+    pub start_ns: Vec<u64>,
+    /// Window durations (ns), aligned with `onus`.
+    pub duration_ns: Vec<u64>,
+    // Scratch (per-request, cleared each call).
+    fixed_award: Vec<u64>,
+    be_award: Vec<u64>,
+    wants: Vec<u64>,
+}
+
+impl BatchGrants {
+    /// An empty buffer set.
+    pub fn new() -> BatchGrants {
+        BatchGrants::default()
+    }
+
+    /// Number of granted ONUs.
+    pub fn len(&self) -> usize {
+        self.onus.len()
+    }
+
+    /// Whether nothing was granted.
+    pub fn is_empty(&self) -> bool {
+        self.onus.is_empty()
+    }
+
+    /// Total bytes granted this cycle.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Grants as `(onu, bytes, start_ns, duration_ns)` tuples in window
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (OnuId, u64, u64, u64)> + '_ {
+        self.onus
+            .iter()
+            .zip(&self.bytes)
+            .zip(&self.start_ns)
+            .zip(&self.duration_ns)
+            .map(|(((&onu, &bytes), &start), &dur)| (onu, bytes, start, dur))
+    }
+
+    fn clear(&mut self, requests: usize) {
+        self.onus.clear();
+        self.bytes.clear();
+        self.start_ns.clear();
+        self.duration_ns.clear();
+        self.fixed_award.clear();
+        self.fixed_award.resize(requests, 0);
+        self.be_award.clear();
+        self.be_award.resize(requests, 0);
+        self.wants.clear();
+        self.wants.resize(requests, 0);
+    }
+}
+
+/// Batched DBA for the fleet engine: one request per ONU, sorted by
+/// ascending ONU id, grants written into reusable [`BatchGrants`]
+/// buffers. Produces **exactly** the allocation [`compute_map`] would
+/// for the same input — the same class passes, the same 8-round
+/// best-effort water-fill with identical integer arithmetic, the same
+/// back-to-back window layout — which the differential suite pins
+/// grant-for-grant. The only difference is mechanical: no `BTreeMap`,
+/// no per-call allocation.
+pub fn compute_grants_into(
+    config: &DbaConfig,
+    requests: &[BandwidthRequest],
+    out: &mut BatchGrants,
+) {
+    debug_assert!(
+        requests.windows(2).all(|w| w[0].onu < w[1].onu),
+        "batched DBA input must be one request per ONU, ascending"
+    );
+    out.clear(requests.len());
+    let cycle_capacity = (config.cycle_ns as f64 * config.bytes_per_ns) as u64;
+    let per_onu_cap = (cycle_capacity as f64 * config.max_share) as u64;
+    let mut remaining = cycle_capacity;
+
+    for class in [ServiceClass::Fixed, ServiceClass::Assured] {
+        for (i, req) in requests.iter().enumerate() {
+            if req.class != class {
+                continue;
+            }
+            let already = out.fixed_award.get(i).copied().unwrap_or(0);
+            let headroom = per_onu_cap.saturating_sub(already);
+            let give = req.queued_bytes.min(headroom).min(remaining);
+            if give > 0 {
+                if let Some(a) = out.fixed_award.get_mut(i) {
+                    *a += give;
+                }
+                remaining -= give;
+            }
+        }
+    }
+
+    // Best effort: the same iterative water-filling as `compute_map`,
+    // over the implicit per-ONU demand (one request per ONU here).
+    for _round in 0..8 {
+        let mut total_unmet = 0u64;
+        for (i, req) in requests.iter().enumerate() {
+            let want = if req.class == ServiceClass::BestEffort {
+                let got = out.be_award.get(i).copied().unwrap_or(0);
+                let already = out.fixed_award.get(i).copied().unwrap_or(0) + got;
+                let headroom = per_onu_cap.saturating_sub(already);
+                req.queued_bytes.saturating_sub(got).min(headroom)
+            } else {
+                0
+            };
+            if let Some(w) = out.wants.get_mut(i) {
+                *w = want;
+            }
+            total_unmet += want;
+        }
+        if total_unmet == 0 || remaining == 0 {
+            break;
+        }
+        let pool = remaining;
+        let mut progressed = false;
+        for (i, want) in out.wants.iter().copied().enumerate() {
+            if want == 0 {
+                continue;
+            }
+            let fair = (pool as u128 * want as u128 / total_unmet as u128) as u64;
+            let give = fair.max(1).min(want).min(remaining);
+            if give > 0 {
+                if let Some(a) = out.be_award.get_mut(i) {
+                    *a += give;
+                }
+                remaining -= give;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Window layout back-to-back in ONU-id (= input) order.
+    let mut cursor_ns = 0u64;
+    for (i, req) in requests.iter().enumerate() {
+        let total = out.fixed_award.get(i).copied().unwrap_or(0)
+            + out.be_award.get(i).copied().unwrap_or(0);
+        if total == 0 {
+            continue;
+        }
+        let duration_ns = (total as f64 / config.bytes_per_ns).ceil() as u64;
+        out.onus.push(req.onu);
+        out.bytes.push(total);
+        out.start_ns.push(cursor_ns);
+        out.duration_ns.push(duration_ns);
+        cursor_ns += duration_ns;
+    }
+}
+
 impl BandwidthMap {
     /// The cycle length this map covers, nanoseconds.
     pub fn cycle_ns(&self) -> u64 {

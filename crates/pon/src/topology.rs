@@ -49,11 +49,18 @@ pub struct Onu {
     pub eq_delay_ns: u64,
 }
 
+/// One-way propagation delay over `total_m` meters of fiber, in
+/// nanoseconds. Free-function form of [`Onu::propagation_ns`] so the
+/// struct-of-arrays fleet engine (which has no `Onu` objects) computes
+/// bit-identical delays to the object-per-ONU reference path.
+pub fn propagation_delay_ns(total_m: u64) -> u64 {
+    (total_m as f64 / FIBER_M_PER_US * 1_000.0) as u64
+}
+
 impl Onu {
     /// One-way propagation delay from OLT to this ONU, in nanoseconds.
     pub fn propagation_ns(&self, trunk_m: u32) -> u64 {
-        let total_m = (self.fiber_m + trunk_m) as f64;
-        (total_m / FIBER_M_PER_US * 1_000.0) as u64
+        propagation_delay_ns(u64::from(self.fiber_m) + u64::from(trunk_m))
     }
 }
 
@@ -86,6 +93,7 @@ impl PonTreeBuilder {
             split_ratio: self.split_ratio,
             trunk_m: self.trunk_m,
             onus: BTreeMap::new(),
+            by_serial: BTreeMap::new(),
             next_id: 1,
         }
     }
@@ -113,6 +121,9 @@ pub struct PonTree {
     split_ratio: usize,
     trunk_m: u32,
     onus: BTreeMap<OnuId, Onu>,
+    /// Serial → id index so admission checks and activation lookups are
+    /// O(log n) instead of a linear scan over the tree.
+    by_serial: BTreeMap<String, OnuId>,
     next_id: OnuId,
 }
 
@@ -156,7 +167,7 @@ impl PonTree {
                 capacity: self.split_ratio,
             });
         }
-        if self.onus.values().any(|o| o.serial == serial) {
+        if self.by_serial.contains_key(serial) {
             return Err(PonError::DuplicateSerial(serial.to_string()));
         }
         if self.trunk_m + fiber_m > MAX_REACH_M {
@@ -177,6 +188,7 @@ impl PonTree {
                 eq_delay_ns: 0,
             },
         );
+        self.by_serial.insert(serial.to_string(), id);
         Ok(id)
     }
 
@@ -186,7 +198,9 @@ impl PonTree {
     ///
     /// Returns [`PonError::UnknownOnu`] if the id is not attached.
     pub fn detach_onu(&mut self, id: OnuId) -> crate::Result<Onu> {
-        self.onus.remove(&id).ok_or(PonError::UnknownOnu(id))
+        let onu = self.onus.remove(&id).ok_or(PonError::UnknownOnu(id))?;
+        self.by_serial.remove(&onu.serial);
+        Ok(onu)
     }
 
     /// Looks up an ONU by id.
@@ -199,9 +213,9 @@ impl PonTree {
         self.onus.get_mut(&id)
     }
 
-    /// Looks up an ONU by vendor serial.
+    /// Looks up an ONU by vendor serial (indexed, O(log n)).
     pub fn onu_by_serial(&self, serial: &str) -> Option<&Onu> {
-        self.onus.values().find(|o| o.serial == serial)
+        self.by_serial.get(serial).and_then(|id| self.onus.get(id))
     }
 
     /// Number of attached ONUs.
@@ -216,11 +230,35 @@ impl PonTree {
 
     /// Ids of all ONUs currently operational.
     pub fn operational(&self) -> Vec<OnuId> {
+        let mut out = Vec::new();
+        self.operational_into(&mut out);
+        out
+    }
+
+    /// Appends the ids of all operational ONUs to `out` in id order,
+    /// reusing the caller's buffer (cleared first). Allocation-free on
+    /// the steady state, which matters when called once per TDMA cycle.
+    pub fn operational_into(&self, out: &mut Vec<OnuId>) {
+        out.clear();
+        out.extend(
+            self.onus
+                .values()
+                .filter(|o| o.status == OnuStatus::Operational)
+                .map(|o| o.id),
+        );
+    }
+
+    /// Round-trip time to the farthest attached ONU, in nanoseconds —
+    /// the ranging reference point used to compute equalization delays.
+    /// `None` when the tree is empty. Propagation delay is monotone in
+    /// fiber length, so one integer max over the fibers plus a single
+    /// delay computation suffices (no per-ONU float math).
+    pub fn max_rtt_ns(&self) -> Option<u64> {
         self.onus
             .values()
-            .filter(|o| o.status == OnuStatus::Operational)
-            .map(|o| o.id)
-            .collect()
+            .map(|o| o.fiber_m)
+            .max()
+            .map(|m| propagation_delay_ns(u64::from(m) + u64::from(self.trunk_m)) * 2)
     }
 
     /// Round-trip time from the OLT to the given ONU, in nanoseconds.
@@ -330,6 +368,35 @@ mod tests {
         let id = t.attach_onu("SER-42", 10).unwrap();
         assert_eq!(t.onu_by_serial("SER-42").unwrap().id, id);
         assert!(t.onu_by_serial("missing").is_none());
+    }
+
+    #[test]
+    fn max_rtt_tracks_attach_and_detach() {
+        let mut t = tree();
+        assert_eq!(t.max_rtt_ns(), None);
+        let near = t.attach_onu("near", 100).unwrap();
+        let far = t.attach_onu("far", 20_000).unwrap();
+        let brute = t
+            .iter()
+            .map(|o| o.propagation_ns(t.trunk_m()) * 2)
+            .max()
+            .unwrap();
+        assert_eq!(t.max_rtt_ns(), Some(brute));
+        assert_eq!(t.max_rtt_ns(), t.rtt_ns(far).ok());
+        t.detach_onu(far).unwrap();
+        assert_eq!(t.max_rtt_ns(), t.rtt_ns(near).ok());
+    }
+
+    #[test]
+    fn operational_into_reuses_buffer() {
+        let mut t = tree();
+        let a = t.attach_onu("a", 10).unwrap();
+        let b = t.attach_onu("b", 10).unwrap();
+        t.onu_mut(a).unwrap().status = OnuStatus::Operational;
+        t.onu_mut(b).unwrap().status = OnuStatus::Operational;
+        let mut buf = vec![99, 98, 97];
+        t.operational_into(&mut buf);
+        assert_eq!(buf, vec![a, b]);
     }
 
     #[test]

@@ -1,0 +1,537 @@
+//! Hierarchical timer wheel: the scheduler core of the fleet-scale
+//! discrete-event engine ([`crate::engine`]).
+//!
+//! A fleet of a million ONUs generates far too many pending events for a
+//! comparison-based priority queue to stay cheap, and a PON's event
+//! times are strongly clustered (activation jitter within a window,
+//! TDMA cycles every 125 µs). The classic answer is a hashed
+//! hierarchical timing wheel: four levels of 64 slots each, where level
+//! *k* buckets events by bits `[6k, 6k+6)` of their absolute tick. An
+//! event is filed at the lowest level whose current 64-slot window
+//! contains it, and is cascaded down one level at a time as the cursor
+//! reaches its window — so schedule, cancel and expiry are all O(1)
+//! amortized, independent of the number of pending events.
+//!
+//! Determinism contract (relied on by the differential harness):
+//!
+//! * events fire in non-decreasing `time_ns` order;
+//! * ties on `time_ns` fire in **insertion order** (a monotone sequence
+//!   number assigned by [`TimerWheel::schedule`]);
+//! * [`TimerWheel::cancel`] and [`TimerWheel::reschedule`] never drop or
+//!   duplicate other events, and a reschedule re-enters the insertion
+//!   order at its new position (it is a cancel + fresh schedule).
+//!
+//! The tick granularity is configurable as a power of two; the default
+//! of 2¹⁰ ns ≈ 1 µs matches PON timing (fiber propagation is tens of
+//! µs, the TDMA cycle 125 µs). Events beyond the wheel horizon
+//! (2²⁴ ticks ≈ 17 s at the default granularity) go to an overflow list
+//! that is re-filed when the cursor jumps forward.
+
+/// Slots per level (2⁶); each level consumes 6 bits of the tick.
+const SLOTS: usize = 64;
+/// Number of wheel levels; ticks differing above `6 * LEVELS`
+/// bits from the cursor overflow.
+const LEVELS: usize = 4;
+/// Tick right-shift selecting the slot bits of each level (one extra
+/// entry so `LEVEL_SHIFT[level + 1]` marks the level's window size).
+const LEVEL_SHIFT: [u32; LEVELS + 1] = [0, 6, 12, 18, 24];
+
+/// Handle to a scheduled event, returned by [`TimerWheel::schedule`].
+///
+/// Generation-tagged: once the event fires, is cancelled or is
+/// rescheduled, the handle goes stale and later [`TimerWheel::cancel`] /
+/// [`TimerWheel::reschedule`] calls through it are no-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerId {
+    index: usize,
+    generation: u64,
+}
+
+/// Slab entry backing one scheduled event.
+#[derive(Debug)]
+struct Entry<T> {
+    time_ns: u64,
+    seq: u64,
+    generation: u64,
+    live: bool,
+    payload: Option<T>,
+}
+
+/// One wheel level: 64 buckets of slab indices plus an occupancy bitmap
+/// so the cursor can skip empty slots in O(1).
+#[derive(Debug)]
+struct Level {
+    occupied: u64,
+    slots: Vec<Vec<usize>>,
+}
+
+impl Level {
+    fn new() -> Level {
+        Level { occupied: 0, slots: (0..SLOTS).map(|_| Vec::new()).collect() }
+    }
+}
+
+/// Where the next pending tick was found during a cursor advance.
+enum Found {
+    Level(usize, usize),
+    Overflow,
+    Nothing,
+}
+
+/// A hierarchical timer wheel over payloads of type `T`.
+///
+/// # Example
+///
+/// ```
+/// use genio_pon::wheel::TimerWheel;
+///
+/// let mut wheel = TimerWheel::new();
+/// wheel.schedule(2_000, "second");
+/// wheel.schedule(1_000, "first");
+/// let id = wheel.schedule(1_500, "cancelled");
+/// wheel.cancel(id);
+/// assert_eq!(wheel.pop_next(), Some((1_000, "first")));
+/// assert_eq!(wheel.pop_next(), Some((2_000, "second")));
+/// assert_eq!(wheel.pop_next(), None);
+/// ```
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    tick_shift: u32,
+    /// Next unexamined tick: every event at a strictly earlier tick has
+    /// already been delivered or moved to `ready`.
+    now_tick: u64,
+    seq: u64,
+    live: usize,
+    entries: Vec<Entry<T>>,
+    free: Vec<usize>,
+    levels: Vec<Level>,
+    overflow: Vec<usize>,
+    /// Events due at the current position, as slab indices sorted
+    /// **descending** by `(time_ns, seq)` so `pop` yields the earliest.
+    ready: Vec<usize>,
+}
+
+/// Default tick granularity: 2¹⁰ ns.
+pub const DEFAULT_TICK_SHIFT: u32 = 10;
+
+/// Bitmask selecting slots at positions `>= off` (all-zero when `off`
+/// walks past the level).
+fn mask_ge(off: u64) -> u64 {
+    if off >= SLOTS as u64 {
+        0
+    } else {
+        u64::MAX << off
+    }
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// A wheel at the default granularity ([`DEFAULT_TICK_SHIFT`]).
+    pub fn new() -> TimerWheel<T> {
+        TimerWheel::with_tick_shift(DEFAULT_TICK_SHIFT)
+    }
+
+    /// A wheel whose tick spans `1 << tick_shift` nanoseconds. Shifts
+    /// above 24 are clamped (a coarser tick than 16 ms per slot serves
+    /// no PON purpose and would overflow the horizon arithmetic).
+    pub fn with_tick_shift(tick_shift: u32) -> TimerWheel<T> {
+        TimerWheel {
+            tick_shift: tick_shift.min(24),
+            now_tick: 0,
+            seq: 0,
+            live: 0,
+            entries: Vec::new(),
+            free: Vec::new(),
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            overflow: Vec::new(),
+            ready: Vec::new(),
+        }
+    }
+
+    /// Number of pending (scheduled, not yet fired or cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The wheel's current position in nanoseconds: no event earlier
+    /// than this is still pending.
+    pub fn now_ns(&self) -> u64 {
+        self.now_tick << self.tick_shift
+    }
+
+    /// Schedules `payload` at absolute `time_ns`. Times already behind
+    /// the cursor fire on the next pop, ordered among the due events by
+    /// their original `(time_ns, insertion)` key.
+    pub fn schedule(&mut self, time_ns: u64, payload: T) -> TimerId {
+        let seq = self.seq;
+        self.seq += 1;
+        let index = match self.free.pop() {
+            Some(i) => {
+                if let Some(e) = self.entries.get_mut(i) {
+                    e.time_ns = time_ns;
+                    e.seq = seq;
+                    e.live = true;
+                    e.payload = Some(payload);
+                }
+                i
+            }
+            None => {
+                self.entries.push(Entry {
+                    time_ns,
+                    seq,
+                    generation: 0,
+                    live: true,
+                    payload: Some(payload),
+                });
+                self.entries.len() - 1
+            }
+        };
+        self.live += 1;
+        let generation = self.entries.get(index).map(|e| e.generation).unwrap_or(0);
+        self.place(index);
+        TimerId { index, generation }
+    }
+
+    /// Cancels a pending event, returning its payload. Stale or already
+    /// fired handles return `None` and change nothing.
+    pub fn cancel(&mut self, id: TimerId) -> Option<T> {
+        match self.entries.get_mut(id.index) {
+            Some(e) if e.live && e.generation == id.generation => {
+                e.live = false;
+                e.generation += 1;
+                self.live -= 1;
+                // The slab slot is reclaimed lazily when its bucket is
+                // next drained; taking the payload now keeps drops
+                // prompt and marks the entry unambiguously dead.
+                e.payload.take()
+            }
+            _ => None,
+        }
+    }
+
+    /// Moves a pending event to `new_time_ns`, returning the new handle.
+    /// Semantically a [`TimerWheel::cancel`] plus a fresh
+    /// [`TimerWheel::schedule`]: the event re-enters the insertion order
+    /// at its new position. Stale handles return `None`.
+    pub fn reschedule(&mut self, id: TimerId, new_time_ns: u64) -> Option<TimerId> {
+        let payload = self.cancel(id)?;
+        Some(self.schedule(new_time_ns, payload))
+    }
+
+    /// Delivers the earliest pending event as `(time_ns, payload)`, or
+    /// `None` when the wheel is empty.
+    pub fn pop_next(&mut self) -> Option<(u64, T)> {
+        loop {
+            while let Some(index) = self.ready.pop() {
+                let Some(e) = self.entries.get_mut(index) else { continue };
+                if e.live {
+                    e.live = false;
+                    e.generation += 1;
+                    let time_ns = e.time_ns;
+                    let payload = e.payload.take();
+                    self.live -= 1;
+                    self.free.push(index);
+                    if let Some(p) = payload {
+                        return Some((time_ns, p));
+                    }
+                } else {
+                    self.free.push(index);
+                }
+            }
+            if self.live == 0 {
+                return None;
+            }
+            self.advance();
+        }
+    }
+
+    /// Files `index` into the level whose current window covers its
+    /// tick, the overflow list beyond the horizon, or `ready` when the
+    /// tick is already behind the cursor.
+    fn place(&mut self, index: usize) {
+        let Some(e) = self.entries.get(index) else { return };
+        let (time_ns, seq) = (e.time_ns, e.seq);
+        let tick = time_ns >> self.tick_shift;
+        if tick < self.now_tick {
+            self.push_ready(index, time_ns, seq);
+            return;
+        }
+        let diff = tick ^ self.now_tick;
+        let mut level = 0usize;
+        while level < LEVELS && (diff >> LEVEL_SHIFT[level + 1]) != 0 {
+            level += 1;
+        }
+        if level >= LEVELS {
+            self.overflow.push(index);
+            return;
+        }
+        let slot = ((tick >> LEVEL_SHIFT[level]) % SLOTS as u64) as usize;
+        if let Some(lv) = self.levels.get_mut(level) {
+            if let Some(bucket) = lv.slots.get_mut(slot) {
+                bucket.push(index);
+                lv.occupied |= 1u64 << slot;
+            }
+        }
+    }
+
+    /// Binary-inserts into the descending-ordered `ready` list.
+    fn push_ready(&mut self, index: usize, time_ns: u64, seq: u64) {
+        let pos = self.ready.partition_point(|&j| {
+            self.entries
+                .get(j)
+                .map(|e| (e.time_ns, e.seq) > (time_ns, seq))
+                .unwrap_or(false)
+        });
+        self.ready.insert(pos, index);
+    }
+
+    /// Moves the cursor to the next pending tick, cascading higher-level
+    /// buckets down until the events due at that tick sit in `ready`.
+    /// One call performs one drain or cascade step; `pop_next` loops.
+    fn advance(&mut self) {
+        let mut best_tick = u64::MAX;
+        let mut found = Found::Nothing;
+
+        for (k, lv) in self.levels.iter().enumerate() {
+            let shift = LEVEL_SHIFT[k];
+            let tick_k = self.now_tick >> shift;
+            let base_k = tick_k & !(SLOTS as u64 - 1);
+            let m = lv.occupied & mask_ge(tick_k - base_k);
+            if m != 0 {
+                let s = u64::from(m.trailing_zeros());
+                let cand = ((base_k + s) << shift).max(self.now_tick);
+                if cand < best_tick {
+                    best_tick = cand;
+                    found = Found::Level(k, s as usize);
+                }
+            }
+        }
+        if !self.overflow.is_empty() {
+            let mut min_tick = u64::MAX;
+            for &idx in &self.overflow {
+                if let Some(e) = self.entries.get(idx) {
+                    min_tick = min_tick.min(e.time_ns >> self.tick_shift);
+                }
+            }
+            if min_tick < best_tick {
+                best_tick = min_tick;
+                found = Found::Overflow;
+            }
+        }
+
+        match found {
+            Found::Nothing => {}
+            Found::Level(0, slot) => {
+                // Every event in an L0 bucket shares its exact tick, so
+                // this drain delivers precisely the events due now.
+                self.now_tick = best_tick + 1;
+                let bucket = match self.levels.get_mut(0).and_then(|lv| {
+                    lv.occupied &= !(1u64 << slot);
+                    lv.slots.get_mut(slot)
+                }) {
+                    Some(b) => std::mem::take(b),
+                    None => Vec::new(),
+                };
+                for index in bucket {
+                    match self.entries.get(index) {
+                        Some(e) if e.live => self.ready.push(index),
+                        _ => self.free.push(index),
+                    }
+                }
+                // `advance` only runs once `ready` has drained, so one
+                // descending sort orders the whole bucket — O(b log b)
+                // instead of per-item binary inserts with memmoves.
+                let entries = &self.entries;
+                self.ready.sort_unstable_by(|&a, &b| {
+                    let ka = entries.get(a).map(|e| (e.time_ns, e.seq));
+                    let kb = entries.get(b).map(|e| (e.time_ns, e.seq));
+                    kb.cmp(&ka)
+                });
+            }
+            Found::Level(level, slot) => {
+                // Entering a higher-level window: re-file its bucket one
+                // or more levels down relative to the new cursor.
+                self.now_tick = best_tick;
+                let bucket = match self.levels.get_mut(level).and_then(|lv| {
+                    lv.occupied &= !(1u64 << slot);
+                    lv.slots.get_mut(slot)
+                }) {
+                    Some(b) => std::mem::take(b),
+                    None => Vec::new(),
+                };
+                for index in bucket {
+                    match self.entries.get(index) {
+                        Some(e) if e.live => self.place(index),
+                        _ => self.free.push(index),
+                    }
+                }
+            }
+            Found::Overflow => {
+                // The cursor jumped past the old horizon: re-file every
+                // overflow entry; far-future ones re-enter the list.
+                self.now_tick = best_tick;
+                let pending = std::mem::take(&mut self.overflow);
+                for index in pending {
+                    match self.entries.get(index) {
+                        Some(e) if e.live => self.place(index),
+                        _ => self.free.push(index),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order_across_levels() {
+        let mut w = TimerWheel::with_tick_shift(0);
+        // Spread across L0 (…63), L1 (…4095), L2 (…262143), L3, overflow.
+        let times = [
+            5u64,
+            63,
+            64,
+            4_095,
+            4_096,
+            262_143,
+            262_144,
+            16_777_215,
+            16_777_216,
+            1 << 40,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.schedule(t, i);
+        }
+        let mut fired = Vec::new();
+        while let Some((t, _)) = w.pop_next() {
+            fired.push(t);
+        }
+        let mut sorted = times.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(fired, sorted);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut w = TimerWheel::with_tick_shift(4);
+        for i in 0..32u32 {
+            w.schedule(1_000, i);
+        }
+        // Same tick, different time: time still dominates.
+        w.schedule(1_001, 99);
+        let mut order = Vec::new();
+        while let Some((_, v)) = w.pop_next() {
+            order.push(v);
+        }
+        let expected: Vec<u32> = (0..32).chain([99]).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn cancel_removes_exactly_one() {
+        let mut w = TimerWheel::new();
+        let _a = w.schedule(10, "a");
+        let b = w.schedule(20, "b");
+        let _c = w.schedule(30, "c");
+        assert_eq!(w.cancel(b), Some("b"));
+        assert_eq!(w.cancel(b), None, "stale handle is inert");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop_next(), Some((10, "a")));
+        assert_eq!(w.pop_next(), Some((30, "c")));
+        assert_eq!(w.pop_next(), None);
+    }
+
+    #[test]
+    fn reschedule_moves_without_dropping_or_duplicating() {
+        let mut w = TimerWheel::new();
+        let id = w.schedule(5_000, "moved");
+        w.schedule(2_000, "fixed");
+        let id2 = w.reschedule(id, 1_000).unwrap();
+        assert!(w.reschedule(id, 9).is_none(), "old handle stale");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop_next(), Some((1_000, "moved")));
+        assert_eq!(w.pop_next(), Some((2_000, "fixed")));
+        assert_eq!(w.pop_next(), None);
+        assert!(w.cancel(id2).is_none(), "fired handle stale");
+    }
+
+    #[test]
+    fn schedule_behind_cursor_still_fires() {
+        let mut w = TimerWheel::with_tick_shift(0);
+        w.schedule(100, "x");
+        assert_eq!(w.pop_next(), Some((100, "x")));
+        // Cursor is now past tick 100; a late event must not be lost.
+        w.schedule(50, "late");
+        w.schedule(200, "future");
+        assert_eq!(w.pop_next(), Some((50, "late")));
+        assert_eq!(w.pop_next(), Some((200, "future")));
+    }
+
+    #[test]
+    fn schedule_during_drain_interleaves_correctly() {
+        let mut w = TimerWheel::with_tick_shift(10);
+        w.schedule(0, 0u64);
+        let mut fired = Vec::new();
+        let mut next = 1u64;
+        while let Some((t, v)) = w.pop_next() {
+            fired.push((t, v));
+            if next <= 5 {
+                // Chain: each event schedules the next one cycle later,
+                // the discrete-event idiom the engine uses.
+                w.schedule(t + 125_000, next);
+                next += 1;
+            }
+        }
+        assert_eq!(fired.len(), 6);
+        for pair in fired.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+        }
+    }
+
+    #[test]
+    fn slab_slots_are_reused_after_fire_and_cancel() {
+        let mut w = TimerWheel::new();
+        for round in 0..10u64 {
+            let ids: Vec<TimerId> =
+                (0..100).map(|i| w.schedule(round * 1_000 + i, i)).collect();
+            for id in ids.iter().skip(50) {
+                w.cancel(*id);
+            }
+            let mut n = 0;
+            while w.pop_next().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 50);
+        }
+        assert!(
+            w.entries.len() <= 200,
+            "slab grew without reuse: {}",
+            w.entries.len()
+        );
+    }
+
+    #[test]
+    fn empty_wheel_pops_none_and_reports_empty() {
+        let mut w: TimerWheel<()> = TimerWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.pop_next(), None);
+        let id = w.schedule(1, ());
+        assert_eq!(w.len(), 1);
+        w.cancel(id);
+        assert!(w.is_empty());
+        assert_eq!(w.pop_next(), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property suite for the hierarchical timer wheel: ordering, tie
+//! breaking, and cancel/reschedule conservation, checked against a
+//! `BTreeMap` oracle over randomized operation sequences (with testkit
+//! shrinking and `GENIO_TEST_SEED` replay).
+
+use std::collections::BTreeMap;
+
+use genio_pon::wheel::{TimerId, TimerWheel};
+use genio_testkit::prelude::*;
+
+property! {
+    /// Events fire in non-decreasing timestamp order, and timestamp
+    /// ties fire in insertion order — across all wheel levels and the
+    /// overflow list, at several tick granularities.
+    fn fires_in_timestamp_then_insertion_order(
+        times in vec(0u64..40_000_000, 1..120),
+        tick_shift in 0u32..14
+    ) {
+        let mut wheel = TimerWheel::with_tick_shift(tick_shift);
+        for (i, &t) in times.iter().enumerate() {
+            wheel.schedule(t, i);
+        }
+        let mut fired = Vec::new();
+        while let Some((t, i)) = wheel.pop_next() {
+            fired.push((t, i));
+        }
+        prop_assert_eq!(fired.len(), times.len(), "no event lost or duplicated");
+        for w in fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "timestamp order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie not broken by insertion order");
+            }
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(fired, expected);
+    }
+}
+
+property! {
+    /// Random schedule/cancel/reschedule/pop sequences agree with a
+    /// `BTreeMap<(time, insertion_seq), payload>` oracle at every step:
+    /// cancel and reschedule never drop or duplicate any *other* event,
+    /// and stale handles are inert.
+    fn wheel_agrees_with_map_oracle(
+        ops in vec((0u8..4, 0u64..30_000_000, 0usize..16), 0..150),
+        tick_shift in 0u32..14
+    ) {
+        let mut wheel = TimerWheel::with_tick_shift(tick_shift);
+        let mut oracle: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+        // Every handle ever issued, with the oracle key it was issued
+        // for; stale entries stay so we exercise stale-handle calls.
+        let mut handles: Vec<(TimerId, (u64, u64))> = Vec::new();
+        let mut seq = 0u64;
+        let mut payload = 0u32;
+
+        for (op, time, pick) in ops {
+            match op {
+                0 => {
+                    let id = wheel.schedule(time, payload);
+                    oracle.insert((time, seq), payload);
+                    handles.push((id, (time, seq)));
+                    seq += 1;
+                    payload += 1;
+                }
+                1 if !handles.is_empty() => {
+                    let (id, key) = handles[pick % handles.len()];
+                    let got = wheel.cancel(id);
+                    let expected = oracle.remove(&key);
+                    prop_assert_eq!(got, expected, "cancel disagrees with oracle");
+                }
+                2 if !handles.is_empty() => {
+                    let (id, key) = handles[pick % handles.len()];
+                    match wheel.reschedule(id, time) {
+                        Some(new_id) => {
+                            let moved = oracle.remove(&key);
+                            prop_assert!(moved.is_some(), "rescheduled a dead event");
+                            if let Some(v) = moved {
+                                // A reschedule re-enters the insertion
+                                // order: it consumes a fresh sequence
+                                // number like any new schedule.
+                                oracle.insert((time, seq), v);
+                                handles.push((new_id, (time, seq)));
+                                seq += 1;
+                            }
+                        }
+                        None => {
+                            prop_assert!(
+                                oracle.get(&key).is_none(),
+                                "live event refused a reschedule"
+                            );
+                        }
+                    }
+                }
+                3 => {
+                    let got = wheel.pop_next();
+                    match oracle.iter().next().map(|(&(t, _), &v)| (t, v)) {
+                        Some((t, v)) => {
+                            prop_assert_eq!(got, Some((t, v)), "pop disagrees with oracle");
+                            oracle.pop_first();
+                        }
+                        None => prop_assert_eq!(got, None, "pop from empty wheel"),
+                    }
+                }
+                _ => {}
+            }
+            prop_assert_eq!(wheel.len(), oracle.len(), "pending count diverged");
+        }
+
+        // Drain: the survivors come out exactly once, in oracle order.
+        let mut drained = Vec::new();
+        while let Some((t, v)) = wheel.pop_next() {
+            drained.push((t, v));
+        }
+        let expected: Vec<(u64, u32)> =
+            oracle.iter().map(|(&(t, _), &v)| (t, v)).collect();
+        prop_assert_eq!(drained, expected);
+        prop_assert!(wheel.is_empty());
+    }
+}
+
+property! {
+    /// Chained scheduling (each fired event schedules a successor, the
+    /// engine's cycle idiom) neither loses nor reorders events even
+    /// when the chain interleaves with a pre-scheduled background load.
+    fn chained_cycles_interleave_with_background(
+        background in vec(0u64..2_000_000, 0..60),
+        period in 1_000u64..200_000
+    ) {
+        let mut wheel = TimerWheel::new();
+        for (i, &t) in background.iter().enumerate() {
+            wheel.schedule(t, i as u64 + 1_000);
+        }
+        wheel.schedule(0, 0u64);
+        let mut chain = 0u64;
+        let mut popped = 0usize;
+        let mut last_time = 0u64;
+        while let Some((t, v)) = wheel.pop_next() {
+            prop_assert!(t >= last_time, "time went backwards");
+            last_time = t;
+            popped += 1;
+            if v < 1_000 && chain < 10 {
+                chain += 1;
+                wheel.schedule(t + period, chain);
+            }
+        }
+        prop_assert_eq!(popped, background.len() + 11);
+    }
+}

@@ -41,6 +41,14 @@ echo "cold and cache-warm reports agree"
 echo "==> genio-analyzer ratchet gate (self-scan vs analyzer-baseline.json)"
 cargo run --release -q -p genio-analyzer
 
+echo "==> fleet-determinism gate (two same-seed engine runs must be byte-identical)"
+rm -rf target/genio-fleet
+mkdir -p target/genio-fleet
+cargo run --release -q --example fleet_determinism > target/genio-fleet/run-a.txt
+cargo run --release -q --example fleet_determinism > target/genio-fleet/run-b.txt
+cmp target/genio-fleet/run-a.txt target/genio-fleet/run-b.txt
+echo "same-seed fleet runs agree (digests, counters, stats)"
+
 if [ "$QUICK" -eq 1 ]; then
     echo "==> cargo bench (quick profile)"
     rm -rf target/genio-bench

@@ -12,6 +12,7 @@ const EXAMPLES: &[&str] = &[
     "compliance_report",
     "coverage_matrix",
     "deployment_report",
+    "fleet_determinism",
     "fleet_operations",
     "fleet_patch_cycle",
     "observability_report",
