@@ -35,6 +35,9 @@ pub struct Report {
     /// R4/R5 findings discharged by the interprocedural pass (count
     /// only — the sites are intentionally not baselined).
     pub suppressed: u64,
+    /// Findings silenced by a line-scoped `allow(..., reason = "...")`
+    /// comment (count only — suppressions are visible in the source).
+    pub allowed: u64,
     /// All findings, sorted by [`sort_findings`] order.
     pub findings: Vec<Finding>,
 }
@@ -172,6 +175,7 @@ impl Report {
             ("files".to_string(), Value::Num(self.files as f64)),
             ("lines".to_string(), Value::Num(self.lines as f64)),
             ("suppressed".to_string(), Value::Num(self.suppressed as f64)),
+            ("allowed".to_string(), Value::Num(self.allowed as f64)),
             ("rules".to_string(), Value::Arr(rules)),
             ("findings".to_string(), Value::Arr(findings)),
         ])
@@ -215,6 +219,7 @@ impl Report {
             files: num("files"),
             lines: num("lines"),
             suppressed: num("suppressed"),
+            allowed: num("allowed"),
             findings,
         })
     }
@@ -241,6 +246,7 @@ mod tests {
             files: 3,
             lines: 99,
             suppressed: 2,
+            allowed: 1,
             findings: vec![
                 finding(Rule::R1PanicPath, "a.rs", 7, "call to .unwrap()"),
                 finding(Rule::R6DebtMarker, "b.rs", 1, "TODO comment"),
@@ -251,6 +257,7 @@ mod tests {
         assert_eq!(parsed.files, 3);
         assert_eq!(parsed.lines, 99);
         assert_eq!(parsed.suppressed, 2);
+        assert_eq!(parsed.allowed, 1);
         assert_eq!(parsed.findings, report.findings);
     }
 

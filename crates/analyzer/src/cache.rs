@@ -1,11 +1,20 @@
-//! Content-hash incremental scan cache (`genio-analyzer-cache/v1`).
+//! Content-hash incremental scan cache (`genio-analyzer-cache/v2`).
 //!
 //! The per-file pipeline stages — tokenize, annotate, rule scan,
-//! summarize — are pure functions of the file's bytes, so their outputs
-//! can be memoised under a content hash. The cache stores, per file:
-//! the FNV-1a 64 hash of the source, the line count, the crate-root /
-//! `#![forbid(unsafe_code)]` facts R3 needs, and the *pre-bridge,
-//! pre-dataflow* findings, accesses and summary.
+//! summarize — are pure functions of the file's bytes **and of the rule
+//! set**, so their outputs can be memoised under a content hash *plus*
+//! a rule-set version. The cache stores, per file: the FNV-1a 64 hash
+//! of the source, the line count, the crate-root /
+//! `#![forbid(unsafe_code)]` facts R3 needs, the parsed `allow(...)`
+//! suppressions, and the *pre-bridge, pre-dataflow* findings, accesses
+//! and summary.
+//!
+//! The v2 document carries [`crate::rules::rules_version`] — an FNV
+//! hash over every rule's id, title and catalog entry. A cache written
+//! by an analyzer binary with a different rule set (the latent v1 bug:
+//! such caches were reused verbatim, so a new rule saw stale per-file
+//! findings) fails the version check and degrades to a full rescan,
+//! while a matching version still serves every unchanged file.
 //!
 //! Cross-file stages (the sast bridge, R3, and the whole
 //! [`crate::dataflow`] pass) always re-run over the cached payloads:
@@ -25,11 +34,11 @@ use std::path::Path;
 
 use genio_testkit::json::{parse, Value};
 
-use crate::rules::{Access, Finding, Rule};
+use crate::rules::{rules_version, Access, Allow, Finding, Rule};
 use crate::summary::FileSummary;
 
 /// Cache document schema tag.
-pub const CACHE_SCHEMA: &str = "genio-analyzer-cache/v1";
+pub const CACHE_SCHEMA: &str = "genio-analyzer-cache/v2";
 
 /// Everything the per-file pipeline produced for one source file.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +55,8 @@ pub struct FileEntry {
     pub findings: Vec<Finding>,
     /// R4/R5 access records.
     pub accesses: Vec<Access>,
+    /// Parsed `allow(...)` suppression comments.
+    pub allows: Vec<Allow>,
     /// Item/function summary for the call graph.
     pub summary: FileSummary,
 }
@@ -68,12 +79,13 @@ pub fn content_hash(bytes: &[u8]) -> String {
 }
 
 impl Cache {
-    /// Loads a cache file, degrading to an empty cache on any problem.
+    /// Loads a cache file, degrading to an empty cache on any problem —
+    /// including a cache written by a binary with a different rule set.
     pub fn load(path: &Path) -> Cache {
         let Ok(text) = fs::read_to_string(path) else {
             return Cache::default();
         };
-        Cache::from_json_text(&text).unwrap_or_default()
+        Cache::from_json_text(&text, rules_version()).unwrap_or_default()
     }
 
     /// Serializes and writes the cache, creating parent directories.
@@ -111,20 +123,32 @@ impl Cache {
                         "accesses".to_string(),
                         Value::Arr(e.accesses.iter().map(access_to_json).collect()),
                     ),
+                    (
+                        "allows".to_string(),
+                        Value::Arr(e.allows.iter().map(allow_to_json).collect()),
+                    ),
                     ("summary".to_string(), e.summary.to_json()),
                 ])
             })
             .collect();
         Value::Obj(vec![
             ("schema".to_string(), Value::Str(CACHE_SCHEMA.to_string())),
+            (
+                "rules_version".to_string(),
+                Value::Str(format!("{:016x}", rules_version())),
+            ),
             ("files".to_string(), Value::Arr(files)),
         ])
     }
 
-    fn from_json_text(text: &str) -> Result<Cache, String> {
+    fn from_json_text(text: &str, expected_version: u64) -> Result<Cache, String> {
         let v = parse(text)?;
         if v.get("schema").and_then(Value::as_str) != Some(CACHE_SCHEMA) {
             return Err(format!("not a {CACHE_SCHEMA} document"));
+        }
+        let want = format!("{expected_version:016x}");
+        if v.get("rules_version").and_then(Value::as_str) != Some(&want) {
+            return Err("cache written under a different rule-set version".to_string());
         }
         let mut entries = BTreeMap::new();
         for item in v.get("files").and_then(Value::as_arr).ok_or("missing files")? {
@@ -143,6 +167,10 @@ impl Cache {
             for a in item.get("accesses").and_then(Value::as_arr).unwrap_or(&[]) {
                 accesses.push(access_from_json(a)?);
             }
+            let mut allows = Vec::new();
+            for a in item.get("allows").and_then(Value::as_arr).unwrap_or(&[]) {
+                allows.push(allow_from_json(a)?);
+            }
             entries.insert(
                 s("path")?,
                 FileEntry {
@@ -153,6 +181,7 @@ impl Cache {
                     has_forbid: flag("forbid"),
                     findings,
                     accesses,
+                    allows,
                     summary: FileSummary::from_json(
                         item.get("summary").ok_or("entry missing summary")?,
                     )?,
@@ -195,6 +224,39 @@ fn finding_from_json(v: &Value) -> Result<Finding, String> {
             Some(Value::Bool(b)) => Some(*b),
             _ => None,
         },
+    })
+}
+
+fn allow_to_json(a: &Allow) -> Value {
+    Value::Obj(vec![
+        ("line".to_string(), Value::Num(a.line as f64)),
+        (
+            "rules".to_string(),
+            Value::Arr(
+                a.rules
+                    .iter()
+                    .map(|r| Value::Str(r.id().to_string()))
+                    .collect(),
+            ),
+        ),
+        ("reason".to_string(), Value::Str(a.reason.clone())),
+    ])
+}
+
+fn allow_from_json(v: &Value) -> Result<Allow, String> {
+    let mut rules = Vec::new();
+    for r in v.get("rules").and_then(Value::as_arr).unwrap_or(&[]) {
+        let id = r.as_str().ok_or("malformed allow rule id")?;
+        rules.push(Rule::from_id(id).ok_or_else(|| format!("unknown rule {id:?}"))?);
+    }
+    Ok(Allow {
+        line: v.get("line").and_then(Value::as_f64).unwrap_or(0.0) as u32,
+        rules,
+        reason: v
+            .get("reason")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or("allow missing reason")?,
     })
 }
 
@@ -282,6 +344,11 @@ mod tests {
                 index_ident: Some("i".to_string()),
                 loop_bounds: Some(("0".to_string(), "N".to_string())),
             }],
+            allows: vec![Allow {
+                line: 2,
+                rules: vec![Rule::R11SecretIndex, Rule::R5UnguardedIndex],
+                reason: "table-driven AES, keyed by public data".to_string(),
+            }],
             summary: summarize(&ann),
         }
     }
@@ -293,8 +360,34 @@ mod tests {
             .entries
             .insert("crates/pon/src/frame.rs".to_string(), entry());
         let text = cache.to_json().to_string();
-        let back = Cache::from_json_text(&text).unwrap();
+        let back = Cache::from_json_text(&text, rules_version()).unwrap();
         assert_eq!(back.entries, cache.entries);
+    }
+
+    #[test]
+    fn rules_version_mismatch_invalidates_everything() {
+        let mut cache = Cache::default();
+        cache.entries.insert("a.rs".to_string(), entry());
+        let text = cache.to_json().to_string();
+        // Same document, read by a binary whose rule set hashed
+        // differently: every entry must be dropped...
+        let stale = Cache::from_json_text(&text, rules_version() ^ 1);
+        assert!(stale.is_err(), "stale-rules cache must not parse");
+        // ...while the matching version still serves the entry.
+        let fresh = Cache::from_json_text(&text, rules_version()).unwrap();
+        let hash = fresh.entries["a.rs"].hash.clone();
+        assert!(fresh.lookup("a.rs", &hash).is_some());
+    }
+
+    #[test]
+    fn v1_era_document_without_version_degrades_to_empty() {
+        // The latent v1 bug: a cache from an older binary (no
+        // rules_version field) was reused verbatim. It must now fail
+        // the version check and trigger a full rescan.
+        let old = "{\"schema\": \"genio-analyzer-cache/v2\", \"files\": []}";
+        assert!(Cache::from_json_text(old, rules_version()).is_err());
+        let v1 = "{\"schema\": \"genio-analyzer-cache/v1\", \"files\": []}";
+        assert!(Cache::from_json_text(v1, rules_version()).is_err());
     }
 
     #[test]
@@ -309,9 +402,9 @@ mod tests {
 
     #[test]
     fn garbage_and_wrong_schema_degrade_to_empty() {
-        assert!(Cache::from_json_text("not json").is_err());
+        assert!(Cache::from_json_text("not json", rules_version()).is_err());
         let wrong = "{\"schema\": \"other/v9\", \"files\": []}";
-        assert!(Cache::from_json_text(wrong).is_err());
+        assert!(Cache::from_json_text(wrong, rules_version()).is_err());
         // load() maps both failure modes to the empty cache.
         let dir = std::env::temp_dir().join("genio-analyzer-cache-test");
         let _ = fs::create_dir_all(&dir);

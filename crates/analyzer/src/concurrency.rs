@@ -1,0 +1,334 @@
+//! Concurrency discipline pass: rules R13–R14.
+//!
+//! PR 5 made the fleet engine genuinely multi-threaded (`std::thread`
+//! shards over `Mutex`-held state), which buys the analyzer two new
+//! failure classes to watch:
+//!
+//! * **R13 — lock-order cycles.** Each function contributes edges to a
+//!   workspace *lock-acquisition graph*: acquiring `b` while a guard on
+//!   `a` is live adds `a → b`, and calling `f()` while holding `a` adds
+//!   `a → L` for every lock `L` that `f` (transitively) acquires — the
+//!   held-call edges come from the same unique-resolution call graph
+//!   the dataflow pass uses. Any cycle in that graph is a potential
+//!   deadlock: two threads entering the cycle from different corners
+//!   block each other forever. Every *acquisition site* that lies on a
+//!   cycle is reported, so the fix (a canonical lock order, or a
+//!   narrower guard scope) is pointed at directly.
+//! * **R14 — `Ordering::Relaxed` on a sync flag.** `Relaxed` is correct
+//!   for pure counters (telemetry increments, stats), but the moment
+//!   *any* function reads an atomic in a control-flow condition, that
+//!   atomic is a synchronisation flag and `Relaxed` accesses to it stop
+//!   being publish/observe fences. The pass collects every atomic read
+//!   whose call sits inside a branch condition (`in_cond`), then flags
+//!   every `Relaxed` access — load *or* store — to those variables.
+//!   Atomics identified per `(crate, variable)`, so a `dropped` counter
+//!   in telemetry cannot contaminate an unrelated `dropped` flag
+//!   elsewhere.
+//!
+//! Guard scopes are tracked lexically in [`crate::summary`]: a guard
+//! dies at the end of its enclosing block or at an explicit
+//! `drop(guard)`, so the drop-then-lock idiom produces no edge. Only
+//! `let`-bound no-argument `.lock()`/`.read()`/`.write()` calls count
+//! as acquisitions — LUKS-volume `vol.lock();` statements and ordinary
+//! I/O `read(buf)` calls do not.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{CallGraph, FileFacts, FnId};
+use crate::rules::{Finding, Rule};
+
+/// One provenance-carrying lock-order edge: `from → to`, recorded where
+/// it was induced.
+struct Edge {
+    from: String,
+    to: String,
+    file: usize,
+    function: String,
+    line: u32,
+    /// `Some(callee)` when the edge comes from a call made under lock.
+    via: Option<String>,
+}
+
+/// Runs R13–R14 over the workspace facts. Deterministic: files, functions
+/// and recorded facts are iterated in input order.
+pub fn run(files: &[FileFacts]) -> Vec<Finding> {
+    let graph = CallGraph::build(files);
+    let mut findings = lock_order_cycles(files, &graph);
+    findings.extend(relaxed_sync_flags(files));
+    findings
+}
+
+fn lock_order_cycles(files: &[FileFacts], graph: &CallGraph<'_>) -> Vec<Finding> {
+    // Transitive lock set per function: own acquisitions plus everything
+    // uniquely-resolved callees acquire, to a fixpoint.
+    let mut acquired: BTreeMap<FnId, BTreeSet<String>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (ni, f) in file.summary.functions.iter().enumerate() {
+            acquired.insert(
+                (fi, ni),
+                f.locks.iter().map(|l| l.name.clone()).collect(),
+            );
+        }
+    }
+    for _ in 0..64 {
+        let mut changed = false;
+        for (fi, file) in files.iter().enumerate() {
+            for (ni, f) in file.summary.functions.iter().enumerate() {
+                let mut grown: BTreeSet<String> = BTreeSet::new();
+                for call in &f.calls {
+                    if let Some(callee) = graph.resolve_unique(&call.callee) {
+                        if callee != (fi, ni) {
+                            if let Some(set) = acquired.get(&callee) {
+                                grown.extend(set.iter().cloned());
+                            }
+                        }
+                    }
+                }
+                if let Some(own) = acquired.get_mut(&(fi, ni)) {
+                    for lock in grown {
+                        if own.insert(lock) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges with provenance: direct nested acquisitions, then calls made
+    // under a live guard into functions that acquire.
+    let mut edges: Vec<Edge> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (ni, f) in file.summary.functions.iter().enumerate() {
+            for pair in &f.lock_pairs {
+                edges.push(Edge {
+                    from: pair.first.clone(),
+                    to: pair.second.clone(),
+                    file: fi,
+                    function: f.name.clone(),
+                    line: pair.line,
+                    via: None,
+                });
+            }
+            for hc in &f.held_calls {
+                let Some(callee) = graph.resolve_unique(&hc.callee) else {
+                    continue;
+                };
+                if callee == (fi, ni) {
+                    continue;
+                }
+                for lock in acquired.get(&callee).into_iter().flatten() {
+                    if *lock != hc.lock {
+                        edges.push(Edge {
+                            from: hc.lock.clone(),
+                            to: lock.clone(),
+                            file: fi,
+                            function: f.name.clone(),
+                            line: hc.line,
+                            via: Some(hc.callee.clone()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut adjacency: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        adjacency.entry(&e.from).or_default().insert(&e.to);
+    }
+
+    // An edge a → b sits on a cycle iff a is reachable back from b.
+    let mut findings = Vec::new();
+    for e in &edges {
+        if !reaches(&adjacency, &e.to, &e.from) {
+            continue;
+        }
+        let detail = match &e.via {
+            Some(callee) => format!(
+                "call to `{callee}` acquires `{}` while `{}` is held, closing a lock-order cycle",
+                e.to, e.from
+            ),
+            None => format!(
+                "acquires `{}` while `{}` is held, closing a lock-order cycle",
+                e.to, e.from
+            ),
+        };
+        findings.push(Finding {
+            rule: Rule::R13LockOrderCycle,
+            file: files[e.file].rel_path.clone(),
+            line: e.line,
+            function: e.function.clone(),
+            detail,
+            confirmed: Some(true),
+        });
+    }
+    findings
+}
+
+/// Is `to` reachable from `from` over the lock-order edges?
+fn reaches(adjacency: &BTreeMap<&str, BTreeSet<&str>>, from: &str, to: &str) -> bool {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut stack: Vec<&str> = vec![from];
+    while let Some(node) = stack.pop() {
+        if node == to {
+            return true;
+        }
+        if !seen.insert(node) {
+            continue;
+        }
+        if let Some(next) = adjacency.get(node) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+fn relaxed_sync_flags(files: &[FileFacts]) -> Vec<Finding> {
+    // Pass 1: which `(crate, atomic)` pairs are ever loaded inside a
+    // branch condition anywhere in the workspace?
+    let mut sync_flags: BTreeSet<(String, String)> = BTreeSet::new();
+    for file in files {
+        for f in &file.summary.functions {
+            for a in &f.atomics {
+                if a.op == "load" && a.in_cond {
+                    sync_flags.insert((file.crate_name.clone(), a.var.clone()));
+                }
+            }
+        }
+    }
+
+    // Pass 2: every Relaxed access (read or write) to a sync flag.
+    let mut findings = Vec::new();
+    for file in files {
+        for f in &file.summary.functions {
+            for a in &f.atomics {
+                if a.ordering != "Relaxed" {
+                    continue;
+                }
+                let key = (file.crate_name.clone(), a.var.clone());
+                if !sync_flags.contains(&key) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: Rule::R14RelaxedSyncFlag,
+                    file: file.rel_path.clone(),
+                    line: a.line,
+                    function: f.name.clone(),
+                    detail: format!(
+                        "`Ordering::Relaxed` {} on `{}`, an atomic read in a branch condition",
+                        a.op, a.var
+                    ),
+                    confirmed: Some(true),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::rules::annotate;
+    use crate::summary::summarize;
+
+    fn facts(crate_name: &str, rel_path: &str, src: &str) -> FileFacts {
+        FileFacts {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            summary: summarize(&annotate(tokenize(src))),
+            findings: Vec::new(),
+            accesses: Vec::new(),
+        }
+    }
+
+    fn ids(findings: &[Finding]) -> Vec<(&'static str, &str)> {
+        findings.iter().map(|f| (f.rule.id(), f.function.as_str())).collect()
+    }
+
+    #[test]
+    fn two_lock_cycle_is_flagged_at_both_sites() {
+        let out = run(&[facts(
+            "core",
+            "crates/core/src/sched.rs",
+            "fn ab(a_mu: &M, b_mu: &M) { let g1 = a_mu.lock(); let g2 = b_mu.lock(); }\n\
+             fn ba(a_mu: &M, b_mu: &M) { let g1 = b_mu.lock(); let g2 = a_mu.lock(); }",
+        )]);
+        assert_eq!(ids(&out), vec![("R13", "ab"), ("R13", "ba")]);
+    }
+
+    #[test]
+    fn cycle_through_a_held_call_is_flagged() {
+        let out = run(&[facts(
+            "core",
+            "crates/core/src/sched.rs",
+            "fn grab_b(b_mu: &M) { let g = b_mu.lock(); }\n\
+             fn ab(a_mu: &M, b_mu: &M) { let g1 = a_mu.lock(); let g2 = b_mu.lock(); }\n\
+             fn via(a_mu: &M, b_mu: &M) { let g = b_mu.lock(); helper(a_mu); }\n\
+             fn helper(a_mu: &M) { let g = a_mu.lock(); grab_nothing(); }\n\
+             fn grab_nothing() {}",
+        )]);
+        // ab induces a→b; via induces b→a through helper. Both on the cycle.
+        assert_eq!(ids(&out), vec![("R13", "ab"), ("R13", "via")]);
+        assert!(out[1].detail.contains("`helper`"));
+    }
+
+    #[test]
+    fn consistent_order_and_dropped_guard_are_clean() {
+        let out = run(&[facts(
+            "core",
+            "crates/core/src/sched.rs",
+            "fn one(a_mu: &M, b_mu: &M) { let g1 = a_mu.lock(); let g2 = b_mu.lock(); }\n\
+             fn two(a_mu: &M, b_mu: &M) { let g1 = a_mu.lock(); let g2 = b_mu.lock(); }\n\
+             fn dropped(c_mu: &M, d_mu: &M) { let g1 = d_mu.lock(); drop(g1); let g2 = c_mu.lock(); let g3 = d_mu.lock(); }\n\
+             fn scoped(c_mu: &M, d_mu: &M) { { let g1 = d_mu.lock(); } let g2 = c_mu.lock(); let g3 = d_mu.lock(); }",
+        )]);
+        assert!(out.is_empty(), "unexpected: {out:?}");
+    }
+
+    #[test]
+    fn relaxed_on_cond_read_atomic_is_flagged() {
+        let out = run(&[facts(
+            "core",
+            "crates/core/src/flags.rs",
+            "fn publish(ready: &AtomicBool) { ready.store(true, Ordering::Relaxed); }\n\
+             fn wait(ready: &AtomicBool) { while !ready.load(Ordering::Relaxed) {} }",
+        )]);
+        assert_eq!(ids(&out), vec![("R14", "publish"), ("R14", "wait")]);
+    }
+
+    #[test]
+    fn pure_counters_stay_clean() {
+        let out = run(&[facts(
+            "telemetry",
+            "crates/telemetry/src/metrics.rs",
+            "fn bump(hits: &AtomicU64) { hits.fetch_add(1, Ordering::Relaxed); }\n\
+             fn snapshot(hits: &AtomicU64) -> u64 { hits.load(Ordering::Relaxed) }",
+        )]);
+        assert!(out.is_empty(), "counters must stay clean: {out:?}");
+    }
+
+    #[test]
+    fn seqcst_cond_read_does_not_taint_other_crates_counter() {
+        // `dropped` is a sync flag in crate a (cond read) but a pure
+        // counter in crate b — crate b stays clean.
+        let out = run(&[
+            facts(
+                "a",
+                "crates/a/src/lib.rs",
+                "fn gate(dropped: &AtomicBool) { if dropped.load(Ordering::SeqCst) { return; } dropped.store(true, Ordering::Relaxed); }",
+            ),
+            facts(
+                "b",
+                "crates/b/src/lib.rs",
+                "fn count(dropped: &AtomicU64) { dropped.fetch_add(1, Ordering::Relaxed); }",
+            ),
+        ]);
+        assert_eq!(ids(&out), vec![("R14", "gate")]);
+    }
+}

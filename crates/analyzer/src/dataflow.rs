@@ -60,7 +60,7 @@ pub struct FlowOutcome {
 }
 
 /// Crates whose declared types can be secret material (R8 sources).
-const SECRET_TYPE_CRATES: &[&str] = &["crypto", "netsec"];
+pub(crate) const SECRET_TYPE_CRATES: &[&str] = &["crypto", "netsec"];
 
 /// Camel-case type-name segments that mark secret material.
 const SECRET_TYPE_SEGMENTS: &[&str] = &[
@@ -72,14 +72,15 @@ const SEC_RESULT_CRATES: &[&str] = &["crypto", "netsec", "secureboot", "fim"];
 
 /// Method names shared with std collections/io — a bare `x.push(y);`
 /// statement must not resolve against a same-named workspace fn.
-const STD_METHOD_NAMES: &[&str] = &[
+pub(crate) const STD_METHOD_NAMES: &[&str] = &[
     "push", "pop", "insert", "remove", "clear", "extend", "write", "read",
     "flush", "send", "recv", "next", "get", "set", "take", "join", "len",
+    "contains",
 ];
 
 /// Runs the pass and returns the merged outcome.
-pub fn run(files: Vec<FileFacts>) -> FlowOutcome {
-    let graph = CallGraph::build(&files);
+pub fn run(files: &[FileFacts]) -> FlowOutcome {
+    let graph = CallGraph::build(files);
     let secret_types = secret_type_names(&graph);
     let leaks = param_leak_fixpoint(&graph);
 
@@ -177,8 +178,9 @@ pub fn run(files: Vec<FileFacts>) -> FlowOutcome {
     drop(graph);
 
     let mut out = FlowOutcome::default();
-    for (fi, file) in files.into_iter().enumerate() {
-        for (ki, mut finding) in file.findings.into_iter().enumerate() {
+    for (fi, file) in files.iter().enumerate() {
+        for (ki, finding) in file.findings.iter().enumerate() {
+            let mut finding = finding.clone();
             if kills.contains(&(fi, ki)) {
                 finding.confirmed = Some(false);
                 out.suppressed.push(finding);
@@ -310,7 +312,7 @@ fn var_len(
 
 /// Secret type names: declared in `crypto`/`netsec`, camel-case
 /// segments include a secret marker, and no `Public` segment.
-fn secret_type_names(graph: &CallGraph<'_>) -> BTreeSet<String> {
+pub(crate) fn secret_type_names(graph: &CallGraph<'_>) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for file in graph.files() {
         if !SECRET_TYPE_CRATES.contains(&file.crate_name.as_str()) {
@@ -336,7 +338,7 @@ fn secret_type_names(graph: &CallGraph<'_>) -> BTreeSet<String> {
 }
 
 /// Splits `LamportKeyPair` into `["Lamport", "Key", "Pair"]`.
-fn camel_segments(name: &str) -> Vec<String> {
+pub(crate) fn camel_segments(name: &str) -> Vec<String> {
     let mut segs = Vec::new();
     let mut cur = String::new();
     for c in name.chars() {
@@ -353,13 +355,13 @@ fn camel_segments(name: &str) -> Vec<String> {
 
 /// Does joined type text name one of the secret types as a whole
 /// identifier segment (`&SessionKey`, `Result<Tag,E>`)?
-fn type_mentions_secret(ty: &str, secret_types: &BTreeSet<String>) -> bool {
+pub(crate) fn type_mentions_secret(ty: &str, secret_types: &BTreeSet<String>) -> bool {
     ty.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
         .any(|seg| secret_types.contains(seg))
 }
 
 /// Variables holding secret material inside `fun`.
-fn source_vars(
+pub(crate) fn source_vars(
     graph: &CallGraph<'_>,
     file: &FileFacts,
     fun: &FnSummary,
@@ -478,7 +480,7 @@ mod tests {
 
     #[test]
     fn const_bounded_loop_discharges_r5() {
-        let out = run(vec![facts(
+        let out = run(&[facts(
             "crypto",
             "aes.rs",
             "pub const BLOCK_LEN: usize = 16;\npub type Block = [u8; BLOCK_LEN];\n\
@@ -491,7 +493,7 @@ mod tests {
 
     #[test]
     fn variable_bound_without_proof_stays() {
-        let out = run(vec![facts(
+        let out = run(&[facts(
             "crypto",
             "aes.rs",
             "fn f(w: &mut [u32], nk: usize, m: usize) { for i in nk..m { w[i] = 0; } }",
@@ -502,7 +504,7 @@ mod tests {
 
     #[test]
     fn alloc_size_text_match_discharges_r5() {
-        let out = run(vec![facts(
+        let out = run(&[facts(
             "crypto",
             "aes.rs",
             "fn expand(nr: usize, nk: usize) { let mut w = vec![[0u8; 4]; 4 * (nr + 1)];\n\
@@ -514,7 +516,7 @@ mod tests {
 
     #[test]
     fn mask_below_known_length_discharges_r5() {
-        let out = run(vec![facts(
+        let out = run(&[facts(
             "crypto",
             "aes.rs",
             "fn sbox() -> &'static [u8; 256] { &SBOX }\n\
@@ -526,7 +528,7 @@ mod tests {
 
     #[test]
     fn mask_wider_than_array_stays() {
-        let out = run(vec![facts(
+        let out = run(&[facts(
             "crypto",
             "aes.rs",
             "fn sbox() -> &'static [u8; 16] { &SBOX }\n\
@@ -537,7 +539,7 @@ mod tests {
 
     #[test]
     fn guarded_at_every_call_site_discharges_r5() {
-        let out = run(vec![facts(
+        let out = run(&[facts(
             "pon",
             "frame.rs",
             "fn read_unchecked(buf: &[u8], i: usize) -> u8 { buf[i] }\n\
@@ -550,7 +552,7 @@ mod tests {
 
     #[test]
     fn unguarded_call_site_keeps_r5() {
-        let out = run(vec![facts(
+        let out = run(&[facts(
             "pon",
             "frame.rs",
             "fn read_unchecked(buf: &[u8], i: usize) -> u8 { buf[i] }\n\
@@ -561,7 +563,7 @@ mod tests {
 
     #[test]
     fn no_call_sites_keeps_r5() {
-        let out = run(vec![facts(
+        let out = run(&[facts(
             "pon",
             "frame.rs",
             "fn read_field(buf: &[u8], i: usize) -> u8 { buf[i] }",
@@ -571,7 +573,7 @@ mod tests {
 
     #[test]
     fn literal_call_sites_discharge_r4() {
-        let out = run(vec![facts(
+        let out = run(&[facts(
             "pon",
             "lib.rs",
             "fn narrow(sci: u64) -> u32 { sci as u32 }\n\
@@ -583,7 +585,7 @@ mod tests {
 
     #[test]
     fn r8_direct_and_hop_leaks() {
-        let out = run(vec![
+        let out = run(&[
             facts("netsec", "handshake.rs",
                 "pub struct SessionKey;\n\
                  fn describe(k: &SessionKey) -> String { format!(\"{k:?}\") }\n\
@@ -604,7 +606,7 @@ mod tests {
 
     #[test]
     fn r8_projections_and_untyped_args_are_silent() {
-        let out = run(vec![facts(
+        let out = run(&[facts(
             "netsec",
             "handshake.rs",
             "pub struct SessionKey;\n\
@@ -616,7 +618,7 @@ mod tests {
 
     #[test]
     fn r9_discarded_security_results() {
-        let out = run(vec![
+        let out = run(&[
             facts("crypto", "gcm.rs",
                 "pub fn verify_peer(tag: u8) -> Result<(), u8> { Err(tag) }"),
             facts("demo", "ops.rs",
@@ -636,7 +638,7 @@ mod tests {
 
     #[test]
     fn r9_ignores_non_security_crates_and_propagation() {
-        let out = run(vec![
+        let out = run(&[
             facts("demo", "util.rs", "pub fn cleanup(x: u8) -> Result<(), u8> { Err(x) }"),
             facts("demo", "ops.rs",
                 "fn f(t: u8) { let _ = cleanup(t); }\n\

@@ -336,6 +336,45 @@ fn is_ident_continue(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
+/// Parses the scoped-suppression syntax out of one comment token's text:
+///
+/// ```text
+/// // genio-analyzer: allow(R11, reason = "table-driven AES, item 2")
+/// // genio-analyzer: allow(R10, R12, reason = "key-format dispatch")
+/// ```
+///
+/// Returns the rule ids and the (mandatory, non-empty) reason, or `None`
+/// when the comment is not a well-formed allow — malformed suppressions
+/// are deliberately inert rather than best-effort-honoured, so a typo
+/// can never silently widen what is suppressed.
+pub fn parse_allow(comment: &str) -> Option<(Vec<String>, String)> {
+    let rest = comment.split("genio-analyzer:").nth(1)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+
+    // Rule list runs up to the `reason` keyword; the reason itself is a
+    // quoted string that may contain commas and parens (not quotes).
+    let ridx = rest.find("reason")?;
+    let rules: Vec<String> = rest[..ridx]
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect();
+
+    let after = rest[ridx + "reason".len()..].trim_start();
+    let after = after.strip_prefix('=')?.trim_start();
+    let after = after.strip_prefix('"')?;
+    let q = after.find('"')?;
+    let reason = after[..q].trim();
+    let tail = after[q + 1..].trim_start();
+    if rules.is_empty() || reason.is_empty() || !tail.starts_with(')') {
+        return None;
+    }
+    Some((rules, reason.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

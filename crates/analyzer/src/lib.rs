@@ -10,11 +10,15 @@
 //!
 //! 1. [`lexer`] — a lightweight Rust token scanner (comments, strings,
 //!    lifetimes and raw literals handled; no full parser);
-//! 2. [`rules`] — nine security/correctness rules (R1 abort paths, R2
-//!    non-constant-time secret comparisons, R3 missing
+//! 2. [`rules`] — fourteen security/correctness rules (R1 abort paths,
+//!    R2 non-constant-time secret comparisons, R3 missing
 //!    `#![forbid(unsafe_code)]`, R4 narrowing parser casts, R5
-//!    unguarded hot-path indexing, R6 debt markers, R7 raw timing, and
-//!    the interprocedural R8 secret-leak / R9 discarded-`Result`);
+//!    unguarded hot-path indexing, R6 debt markers, R7 raw timing, the
+//!    interprocedural R8 secret-leak / R9 discarded-`Result`, the
+//!    side-channel R10 secret branches / R11 secret indexing / R12
+//!    variable-time ops, and the concurrency R13 lock-order cycles /
+//!    R14 relaxed sync flags), plus the line-scoped
+//!    `// genio-analyzer: allow(R11, reason = "...")` suppression;
 //! 3. [`summary`] — a recursive-descent pass over the token stream that
 //!    builds per-file function/item summaries (params, calls, sinks,
 //!    discards, constants, allocation sizes);
@@ -23,19 +27,29 @@
 //!    call graph and discharges R4/R5 findings whose bounds are provable
 //!    across function boundaries (mask vs. known length, loop bound vs.
 //!    allocation size, guards at every call site);
-//! 6. [`bridge`] — lowers R4/R5 candidates into the
+//! 6. [`sidechannel`] — the constant-time pass: taints secret-typed
+//!    values through the R8 registry and flags R10/R11/R12 timing
+//!    leaks, one interprocedural hop included;
+//! 7. [`concurrency`] — the discipline pass: builds the workspace
+//!    lock-acquisition graph for R13 cycles and classifies atomics as
+//!    counters vs. sync flags for R14;
+//! 8. [`bridge`] — lowers R4/R5 candidates into the
 //!    `genio_appsec::sast` taint IR so an independent engine confirms
 //!    reachability before a finding is kept;
-//! 7. [`cache`] — content-hash incremental cache
-//!    (`genio-analyzer-cache/v1` JSON under `target/`) so warm re-scans
-//!    skip lexing/summarising unchanged files;
-//! 8. [`baseline`] — `genio-analyzer/v1` JSON reports and the ratchet:
-//!    committed findings are grandfathered, new ones fail
-//!    `scripts/verify.sh`, and the baseline only ever shrinks;
-//! 9. [`workspace`] — walks every crate's `src/` tree (sharded across
-//!    `std::thread` workers, instrumented with `genio-telemetry` spans)
-//!    and assembles the report the CLI, the verify gate, and benches
-//!    `lesson7_selfscan` (E-A1) / `analyzer_scan` (E-A2) consume.
+//! 9. [`cache`] — content-hash incremental cache
+//!    (`genio-analyzer-cache/v2` JSON under `target/`, carrying the
+//!    rule-set version hash so caches from older binaries
+//!    self-invalidate) so warm re-scans skip lexing/summarising
+//!    unchanged files;
+//! 10. [`baseline`] — `genio-analyzer/v1` JSON reports and the ratchet:
+//!     committed findings are grandfathered, new ones fail
+//!     `scripts/verify.sh`, and the baseline only ever shrinks;
+//! 11. [`workspace`] — walks every crate's `src/` tree (sharded across
+//!     `std::thread` workers, instrumented with `genio-telemetry`
+//!     spans), applies `allow(...)` suppressions, and assembles the
+//!     report the CLI, the verify gate, and benches `lesson7_selfscan`
+//!     (E-A1) / `analyzer_scan` (E-A2) / `analyzer_passes` (E-A3)
+//!     consume.
 //!
 //! ```
 //! use genio_analyzer::{rules, lexer};
@@ -54,8 +68,10 @@ pub mod baseline;
 pub mod bridge;
 pub mod cache;
 pub mod callgraph;
+pub mod concurrency;
 pub mod dataflow;
 pub mod lexer;
 pub mod rules;
+pub mod sidechannel;
 pub mod summary;
 pub mod workspace;

@@ -5,12 +5,21 @@
 //! genio-analyzer [--root DIR] [--baseline FILE] [--json FILE]
 //!                [--write-baseline] [--findings]
 //!                [--threads N] [--cache FILE] [--no-cache]
+//!                [--rules R10,R13] [--expect FILE]
+//! genio-analyzer --explain R10
 //! ```
 //!
 //! Exit codes: `0` clean (or baseline written), `1` new findings vs the
-//! baseline, `2` usage or I/O error. `scripts/verify.sh` runs this
-//! before the benches; `--write-baseline` is how the committed
-//! `analyzer-baseline.json` shrinks after fixing sites.
+//! baseline (or an `--expect` mismatch), `2` usage or I/O error.
+//! `scripts/verify.sh` runs this before the benches; `--write-baseline`
+//! is how the committed `analyzer-baseline.json` shrinks after fixing
+//! sites.
+//!
+//! `--rules` trims the scan to a comma-separated rule list, `--explain`
+//! prints one rule's catalog entry and exits, and `--expect FILE`
+//! compares the scan against a committed list of exact finding ids
+//! (`RULE|file|function|detail`, line-free, order-insensitive) — the
+//! verify-gate fixture self-check.
 //!
 //! The incremental cache defaults to
 //! `<root>/target/genio-analyzer/cache.json`; `--no-cache` forces a
@@ -23,7 +32,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use genio_analyzer::baseline::{diff, Report};
+use genio_analyzer::baseline::{diff, Key, Report};
+use genio_analyzer::rules::Rule;
 use genio_analyzer::workspace::{self, ScanOptions};
 use genio_telemetry::Telemetry;
 
@@ -36,14 +46,45 @@ struct Options {
     threads: usize,
     cache: Option<PathBuf>,
     no_cache: bool,
+    rules: Option<Vec<Rule>>,
+    expect: Option<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: genio-analyzer [--root DIR] [--baseline FILE] [--json FILE] \
-         [--write-baseline] [--findings] [--threads N] [--cache FILE] [--no-cache]"
+         [--write-baseline] [--findings] [--threads N] [--cache FILE] [--no-cache] \
+         [--rules R10,R13] [--expect FILE] | --explain RULE"
     );
     ExitCode::from(2)
+}
+
+fn parse_rules(list: &str) -> Option<Vec<Rule>> {
+    let rules: Vec<Rule> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(Rule::from_id)
+        .collect::<Option<Vec<_>>>()?;
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+fn explain(id: &str) -> ExitCode {
+    let Some(rule) = Rule::from_id(id) else {
+        eprintln!(
+            "genio-analyzer: unknown rule {id:?} (known: {})",
+            Rule::ALL.map(|r| r.id()).join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    println!("{} — {}", rule.id(), rule.title());
+    println!();
+    println!("{}", rule.explain());
+    ExitCode::SUCCESS
 }
 
 fn parse_args() -> Result<Options, ExitCode> {
@@ -56,6 +97,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         threads: 0,
         cache: None,
         no_cache: false,
+        rules: None,
+        expect: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,10 +116,71 @@ fn parse_args() -> Result<Options, ExitCode> {
             }
             "--cache" => opts.cache = args.next().map(PathBuf::from),
             "--no-cache" => opts.no_cache = true,
+            "--rules" => {
+                opts.rules = match args.next().as_deref().and_then(parse_rules) {
+                    Some(rs) => Some(rs),
+                    None => return Err(usage()),
+                }
+            }
+            "--explain" => {
+                return Err(match args.next() {
+                    Some(id) => explain(&id),
+                    None => usage(),
+                })
+            }
+            "--expect" => opts.expect = args.next().map(PathBuf::from),
             _ => return Err(usage()),
         }
     }
     Ok(opts)
+}
+
+/// Compares the scan against a committed `RULE|file|function|detail`
+/// list as order-insensitive multisets of line-free keys. Exact: every
+/// missing and every unexpected finding is reported.
+fn check_expected(report: &Report, path: &std::path::Path) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut want: Vec<Key> = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(4, '|').collect();
+        let [rule_id, file, function, detail] = parts[..] else {
+            return Err(format!("{}:{}: malformed line", path.display(), no + 1));
+        };
+        let rule = Rule::from_id(rule_id)
+            .ok_or_else(|| format!("{}:{}: unknown rule", path.display(), no + 1))?;
+        want.push(Key {
+            rule,
+            file: file.to_string(),
+            function: function.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+    let mut got: Vec<Key> = report.findings.iter().map(Key::of).collect();
+    want.sort();
+    got.sort();
+    if want == got {
+        println!("expectations OK: {} finding(s) match {}", got.len(), path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let fmt = |k: &Key| format!("{}|{}|{}|{}", k.rule.id(), k.file, k.function, k.detail);
+    for k in want.iter().filter(|k| !got.contains(k)) {
+        eprintln!("  missing:    {}", fmt(k));
+    }
+    for k in got.iter().filter(|k| !want.contains(k)) {
+        eprintln!("  unexpected: {}", fmt(k));
+    }
+    eprintln!(
+        "expectations FAILED: scan produced {} finding(s), {} lists {}",
+        got.len(),
+        path.display(),
+        want.len()
+    );
+    Ok(ExitCode::FAILURE)
 }
 
 fn main() -> ExitCode {
@@ -109,6 +213,7 @@ fn main() -> ExitCode {
         threads: opts.threads,
         cache_path,
         telemetry: telemetry.clone(),
+        rules: opts.rules.clone(),
     };
 
     let (report, stats) = match workspace::scan_with(&root, &scan_opts) {
@@ -126,11 +231,21 @@ fn main() -> ExitCode {
         root.display()
     );
     println!(
-        "  workers: {} | cache: {} hit(s), {} miss(es) | suppressed by dataflow: {}",
-        stats.threads, stats.cache_hits, stats.cache_misses, report.suppressed
+        "  workers: {} | cache: {} hit(s), {} miss(es) | suppressed by dataflow: {} | allowed by annotation: {}",
+        stats.threads,
+        stats.cache_hits,
+        stats.cache_misses,
+        report.suppressed,
+        report.allowed
     );
     let snapshot = telemetry.snapshot();
-    for stage in ["analyzer.files", "analyzer.dataflow", "analyzer.scan"] {
+    for stage in [
+        "analyzer.files",
+        "analyzer.dataflow",
+        "analyzer.sidechannel",
+        "analyzer.concurrency",
+        "analyzer.scan",
+    ] {
         if let Some(h) = snapshot.histogram(&format!("{stage}_ns")) {
             println!("  {:<18} {:>9.3} ms", stage, h.sum as f64 / 1e6);
         }
@@ -159,6 +274,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("wrote report to {}", path.display());
+    }
+
+    if let Some(path) = &opts.expect {
+        return match check_expected(&report, path) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("genio-analyzer: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
 
     let baseline_path = opts

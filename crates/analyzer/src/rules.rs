@@ -30,10 +30,24 @@
 //!   directly or through one bare-argument call hop.
 //! * **R9** a `Result` returned by a security-critical crate discarded
 //!   via `let _ =` or a bare `call();` statement.
+//! * **R10** a branch condition (`if`/`match`/`while`) that depends on
+//!   secret material — directly, or one call hop away through a callee
+//!   that branches on the passed parameter ([`crate::sidechannel`]).
+//! * **R11** secret material driving a slice/array index — the classic
+//!   table-lookup timing leak ([`crate::sidechannel`]).
+//! * **R12** a variable-time operation (`/`, `%`, early-exit `==`/`!=`)
+//!   on secret material outside `ct::eq` ([`crate::sidechannel`]).
+//! * **R13** a lock-order cycle in the workspace lock-acquisition graph,
+//!   built from guard scopes and propagated across calls
+//!   ([`crate::concurrency`]).
+//! * **R14** `Ordering::Relaxed` on an atomic that some function reads
+//!   in a control-flow condition — a sync flag, not a pure counter
+//!   ([`crate::concurrency`]).
 //!
 //! Rules only ever *add* findings; what is acceptable today is recorded
 //! in the committed baseline and ratcheted down by
-//! [`crate::baseline::diff`].
+//! [`crate::baseline::diff`]. Deliberate sites are suppressed in place
+//! with `// genio-analyzer: allow(R11, reason = "...")` (see [`Allow`]).
 
 use crate::lexer::{Token, TokenKind};
 
@@ -58,6 +72,16 @@ pub enum Rule {
     R8SecretLeak,
     /// Discarded `Result` from a security-critical crate.
     R9DiscardedResult,
+    /// Branch condition depends on secret material.
+    R10SecretBranch,
+    /// Secret material drives a slice/array index.
+    R11SecretIndex,
+    /// Variable-time operation on secret material.
+    R12VariableTimeOp,
+    /// Lock-order cycle across the workspace lock graph.
+    R13LockOrderCycle,
+    /// `Ordering::Relaxed` on a condition-read atomic.
+    R14RelaxedSyncFlag,
 }
 
 impl Rule {
@@ -73,6 +97,11 @@ impl Rule {
             Rule::R7RawTiming => "R7",
             Rule::R8SecretLeak => "R8",
             Rule::R9DiscardedResult => "R9",
+            Rule::R10SecretBranch => "R10",
+            Rule::R11SecretIndex => "R11",
+            Rule::R12VariableTimeOp => "R12",
+            Rule::R13LockOrderCycle => "R13",
+            Rule::R14RelaxedSyncFlag => "R14",
         }
     }
 
@@ -88,12 +117,17 @@ impl Rule {
             "R7" => Rule::R7RawTiming,
             "R8" => Rule::R8SecretLeak,
             "R9" => Rule::R9DiscardedResult,
+            "R10" => Rule::R10SecretBranch,
+            "R11" => Rule::R11SecretIndex,
+            "R12" => Rule::R12VariableTimeOp,
+            "R13" => Rule::R13LockOrderCycle,
+            "R14" => Rule::R14RelaxedSyncFlag,
             _ => return None,
         })
     }
 
     /// All rules, report order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 14] = [
         Rule::R1PanicPath,
         Rule::R2NonCtCompare,
         Rule::R3MissingForbid,
@@ -103,6 +137,11 @@ impl Rule {
         Rule::R7RawTiming,
         Rule::R8SecretLeak,
         Rule::R9DiscardedResult,
+        Rule::R10SecretBranch,
+        Rule::R11SecretIndex,
+        Rule::R12VariableTimeOp,
+        Rule::R13LockOrderCycle,
+        Rule::R14RelaxedSyncFlag,
     ];
 
     /// One-line description for the report table.
@@ -117,8 +156,162 @@ impl Rule {
             Rule::R7RawTiming => "raw Instant/SystemTime timing outside the telemetry clock",
             Rule::R8SecretLeak => "secret material reaches a format/Debug/telemetry sink",
             Rule::R9DiscardedResult => "Result from a security-critical crate is discarded",
+            Rule::R10SecretBranch => "branch condition depends on secret material",
+            Rule::R11SecretIndex => "secret material drives a slice/array index",
+            Rule::R12VariableTimeOp => "variable-time operation (/ % == !=) on secret material",
+            Rule::R13LockOrderCycle => "lock-order cycle across the workspace lock graph",
+            Rule::R14RelaxedSyncFlag => "Ordering::Relaxed on an atomic read in a branch condition",
         }
     }
+
+    /// Full catalog entry for `--explain`: what the rule detects, why it
+    /// matters at the telco edge, and how to fix or suppress a finding.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::R1PanicPath => "R1 flags abort paths (`unwrap`, `expect`, `panic!`, \
+`unreachable!`, `todo!`, `unimplemented!`) in non-test library code. An edge service \
+must degrade, not die: every abort path is a remotely reachable crash. Fix: return a \
+typed error (`Result`), use `unwrap_or`/`ok_or`, or restructure so the state is \
+impossible. Test code (`#[cfg(test)]`, `#[test]`) is never flagged.",
+            Rule::R2NonCtCompare => "R2 flags `==`/`!=` on secret-named values (tag, \
+icv, mac, digest, key, secret, password, finished) inside `crates/crypto` and \
+`crates/netsec`. Short-circuit comparison leaks the first differing byte's position \
+through timing — an oracle for forging MACs. Fix: compare through \
+`genio_crypto::ct::eq`, which accumulates the difference over the full length. \
+`.len()` comparisons are public and stay silent.",
+            Rule::R3MissingForbid => "R3 flags crate roots missing \
+`#![forbid(unsafe_code)]`. The workspace is safe-Rust by policy; `forbid` (unlike \
+`deny`) cannot be overridden downstream, so one line per crate turns the policy into \
+a compiler guarantee. Fix: add the attribute to `src/lib.rs`/`src/main.rs`.",
+            Rule::R4NarrowingCast => "R4 flags narrowing `as` casts (to <= 32-bit \
+integers) in the frame/feed parser crates (`pon`, `netsec`, `vulnmgmt`). `as` \
+silently truncates attacker-controlled lengths and identifiers — the classic \
+packet-parser bug. Fix: use `try_from` with an error path, or mask explicitly when \
+truncation is the intent. The sast bridge confirms which casts are reachable from \
+parser entry points.",
+            Rule::R5UnguardedIndex => "R5 flags dynamic slice indexing with no \
+dominating bounds guard (`x.len()`, `x.get(..)`, a `< len` comparison, or a \
+literal-bounded loop) in the AEAD/frame hot-path files. Each unguarded index is a \
+reachable panic on a malformed frame. Fix: guard first, use `get`, or iterate. The \
+interprocedural pass discharges accesses whose callers all guard or pass literals.",
+            Rule::R6DebtMarker => "R6 counts TODO/FIXME/XXX/HACK comments. Debt \
+markers are fine while working but must burn down, not accumulate: the ratchet \
+baseline only shrinks. Fix: do the thing, file it properly, or delete the marker.",
+            Rule::R7RawTiming => "R7 flags raw `Instant::now()` / \
+`SystemTime::now()` outside the telemetry clock abstraction. Direct OS-clock reads \
+make simulations and tests nondeterministic and escape span accounting. Fix: take a \
+`genio_telemetry::Clock` (Monotonic in production, Manual in tests).",
+            Rule::R8SecretLeak => "R8 flags secret-typed values (Key, Tag, Nonce, \
+Secret, Mac, ... types from `crypto`/`netsec`) reaching a `format!`/`Debug`/\
+telemetry-export sink, directly or through one bare-argument call hop. Secrets in \
+logs outlive every other control. Fix: log lengths, hashes, or redacted forms; never \
+the material itself.",
+            Rule::R9DiscardedResult => "R9 flags a `Result` returned by a \
+security-critical crate (`crypto`, `netsec`, `secureboot`, `fim`) discarded via \
+`let _ =` or a bare `call();`. A dropped verification error is a silent \
+authentication bypass. Fix: propagate with `?`, match on it, or handle the error \
+branch explicitly.",
+            Rule::R10SecretBranch => "R10 flags `if`/`match`/`while` conditions that \
+depend on secret material (secret-typed or secret-named values from the taint \
+registry), directly or one call hop away through a callee that branches on the \
+passed parameter. Branching on a secret makes the instruction stream — and thus \
+time, cache and branch-predictor state — a function of the secret. Fix: compute \
+both arms and select with `ct::select`, or restructure so only public data steers \
+control flow. Deliberate sites: `// genio-analyzer: allow(R10, reason = \"...\")` on \
+or directly above the line. Public projections (`.len()`, `.is_empty()`) stay \
+silent.",
+            Rule::R11SecretIndex => "R11 flags slice/array indexing driven by secret \
+material (`table[key_byte]`): memory addresses become secret-dependent and leak \
+through cache timing — the classic AES T-table attack. Fix: mask to a fixed small \
+range, scan the whole table with `ct::select`, or use a bitsliced formulation. \
+Deliberate table-driven code paths: `// genio-analyzer: allow(R11, reason = \
+\"...\")` at the exact line — never a file-wide allowlist.",
+            Rule::R12VariableTimeOp => "R12 flags variable-time operations on secret \
+material: `/` and `%` (data-dependent latency on most cores) and early-exit \
+`==`/`!=` comparisons outside `genio_crypto::ct::eq`. Fix: replace division by \
+constants with multiplication/shifts, compare through `ct::eq`, or annotate a \
+deliberate site with `// genio-analyzer: allow(R12, reason = \"...\")`. Inside \
+`crates/crypto`/`crates/netsec`, secret-*named* comparisons stay R2's finding; R12 \
+adds the secret-*typed* and cross-crate cases.",
+            Rule::R13LockOrderCycle => "R13 builds a lock-acquisition-order graph: \
+an edge A -> B is recorded when lock B is acquired while guard A is still live \
+(directly, or via a callee that acquires B transitively). A cycle means two \
+executions can interleave into a deadlock. Guard scopes end at block close or \
+`drop(guard)`. Fix: impose a total acquisition order, narrow guard scopes so they \
+don't overlap, or merge the locks.",
+            Rule::R14RelaxedSyncFlag => "R14 flags `Ordering::Relaxed` on an atomic \
+that some function reads in a control-flow condition. A condition-read atomic is a \
+sync flag: Relaxed provides no happens-before edge, so the guarded data may not be \
+visible to the reader. Pure counters (only ever aggregated, never branched on) stay \
+clean. Fix: use Release on the store and Acquire on the load, or SeqCst when in \
+doubt.",
+        }
+    }
+}
+
+/// FNV-1a 64 hash over every rule's id, title and catalog text — the
+/// rule-set version stamped into the scan cache. Any change to what a
+/// rule means changes this value and invalidates warm caches written by
+/// the previous analyzer ([`crate::cache`]).
+pub fn rules_version() -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for rule in Rule::ALL {
+        eat(rule.id());
+        eat(rule.title());
+        eat(rule.explain());
+    }
+    h
+}
+
+/// One parsed `// genio-analyzer: allow(R11, reason = "...")` comment.
+///
+/// Line-scoped by design: a trailing comment suppresses its own line, a
+/// standalone comment suppresses the next line, nothing else — so a
+/// suppression can never quietly swallow findings elsewhere in the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rules the comment suppresses.
+    pub rules: Vec<Rule>,
+    /// Mandatory human rationale (empty reasons are rejected by the
+    /// parser, leaving the comment inert).
+    pub reason: String,
+}
+
+impl Allow {
+    /// Does this allow suppress a `rule` finding at `line` of the same
+    /// file? Trailing comments share the line; standalone comments cover
+    /// exactly the next line.
+    pub fn covers(&self, rule: Rule, line: u32) -> bool {
+        self.rules.contains(&rule) && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// Collects every well-formed suppression comment in the file. An
+/// unknown rule id anywhere in the list makes the whole comment inert
+/// (never best-effort-honoured), matching the lexer's strictness on the
+/// rest of the syntax.
+pub fn collect_allows(ann: &Annotated) -> Vec<Allow> {
+    ann.comments
+        .iter()
+        .filter_map(|c| {
+            let (ids, reason) = crate::lexer::parse_allow(&c.text)?;
+            let rules: Vec<Rule> = ids.iter().filter_map(|i| Rule::from_id(i)).collect();
+            if rules.len() != ids.len() {
+                return None;
+            }
+            Some(Allow { line: c.line, rules, reason })
+        })
+        .collect()
 }
 
 /// One analyzer finding.

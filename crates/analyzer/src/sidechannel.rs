@@ -1,0 +1,400 @@
+//! Constant-time side-channel taint pass: rules R10–R12.
+//!
+//! Secrets leak through more channels than memory: the *time* a routine
+//! takes is observable to a network peer, and at the telco edge (where
+//! the GCM/MACsec data plane runs per frame) a timing oracle is a key
+//! recovery primitive. This pass reuses the R8 taint registry — values
+//! of secret-named types declared in `crypto`/`netsec`, plus
+//! secret-named byte-slice parameters inside those crates — and extends
+//! it one step through `let` initialisers (`let b = key[i];` taints
+//! `b`), then checks the three classic variable-time shapes:
+//!
+//! * **R10** — a branch condition (`if`/`match`/`while`) reads tainted
+//!   data, making the instruction stream secret-dependent. Detected
+//!   directly, and interprocedurally: a per-function *branched-param*
+//!   bitset is propagated to a fixpoint over the call graph (the same
+//!   machinery as the R8 param-leak fixpoint), so passing a secret into
+//!   a function that branches on that parameter is caught at the call.
+//! * **R11** — tainted data drives a slice/array index: the memory
+//!   address (and therefore the cache set) becomes a function of the
+//!   secret. The AES T-table lookup is the canonical instance.
+//! * **R12** — a variable-time ALU operation on tainted data: `/` and
+//!   `%` have data-dependent latency on most cores, and a short-circuit
+//!   `==`/`!=` reveals the first differing byte. `genio_crypto::ct::eq`
+//!   is the sanctioned comparator and the one file allowed to compare
+//!   directly ([`ALLOWED_FILES`]). Inside the R2 crates a secret-*named*
+//!   comparison is already R2's finding and is not double-reported; R12
+//!   adds the secret-*typed* cases R2's name heuristic cannot see.
+//!
+//! Deliberate exceptions (table-driven AES, key-format dispatch on
+//! public structure) are suppressed in place with
+//! `// genio-analyzer: allow(R11, reason = "...")` — line-scoped, never
+//! file-wide; the suppression is applied by [`crate::workspace`].
+//!
+//! The taint never crosses field projections or method calls
+//! (`state.key`, `key.contains(..)`) — conservative by design: a missed
+//! projected read costs a finding, a false positive costs the ratchet
+//! its credibility.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{CallGraph, FileFacts, FnId};
+use crate::dataflow::{
+    secret_type_names, source_vars, SECRET_TYPE_CRATES, STD_METHOD_NAMES,
+};
+use crate::rules::{has_secret_segment, Finding, Rule};
+use crate::summary::FnSummary;
+
+/// Files exempt from the pass: the constant-time primitives themselves.
+/// `ct::eq` must compare byte-by-byte — that is its whole job.
+const ALLOWED_FILES: &[(&str, &str)] = &[("crypto", "ct.rs")];
+
+/// Runs R10–R12 over the workspace facts. Findings are returned in
+/// file/function/site order and are deterministic by construction.
+pub fn run(files: &[FileFacts]) -> Vec<Finding> {
+    let graph = CallGraph::build(files);
+    let secret_types = secret_type_names(&graph);
+    let branched = param_branch_fixpoint(&graph);
+
+    let mut findings = Vec::new();
+    for file in files {
+        if ALLOWED_FILES.iter().any(|&(c, f)| {
+            c == file.crate_name && file.rel_path.ends_with(&format!("/{f}"))
+        }) {
+            continue;
+        }
+        let r2_scope = SECRET_TYPE_CRATES.contains(&file.crate_name.as_str());
+        for fun in &file.summary.functions {
+            let tainted = taint_closure(
+                source_vars(&graph, file, fun, &secret_types),
+                fun,
+            );
+            if tainted.is_empty() {
+                continue;
+            }
+
+            // R10 direct: a condition reads a tainted identifier.
+            for cond in &fun.conds {
+                if let Some(names) = tainted_list(&cond.idents, &tainted) {
+                    findings.push(finding(
+                        Rule::R10SecretBranch,
+                        file,
+                        cond.line,
+                        fun,
+                        format!("branch condition depends on secret {names}"),
+                    ));
+                }
+            }
+
+            // R10 one-hop: a tainted identifier is passed bare into a
+            // callee that (transitively) branches on that parameter.
+            // Ubiquitous std method names never resolve — `.contains()`
+            // on a field must not hop into an unrelated inherent fn.
+            for call in &fun.calls {
+                if STD_METHOD_NAMES.contains(&call.callee.as_str()) {
+                    continue;
+                }
+                let Some(callee) = graph.resolve_unique(&call.callee) else {
+                    continue;
+                };
+                let Some(bits) = branched.get(&callee) else { continue };
+                for (pos, arg) in call.args.iter().enumerate() {
+                    let Some(ident) = &arg.ident else { continue };
+                    if bits.get(pos).copied().unwrap_or(false) && tainted.contains(ident)
+                    {
+                        findings.push(finding(
+                            Rule::R10SecretBranch,
+                            file,
+                            call.line,
+                            fun,
+                            format!(
+                                "secret `{ident}` branched on inside `{}`",
+                                call.callee
+                            ),
+                        ));
+                    }
+                }
+            }
+
+            // R11: a tainted identifier drives an index expression.
+            for ix in &fun.indexes {
+                if let Some(names) = tainted_list(&ix.idents, &tainted) {
+                    findings.push(finding(
+                        Rule::R11SecretIndex,
+                        file,
+                        ix.line,
+                        fun,
+                        format!("secret {names} indexes `{}`", ix.base),
+                    ));
+                }
+            }
+
+            // R12: `/`, `%`, `==`, `!=` with a tainted operand.
+            for op in &fun.vt_ops {
+                let is_eq = matches!(op.op.as_str(), "==" | "!=");
+                let relevant: Vec<String> = op
+                    .idents
+                    .iter()
+                    .filter(|id| tainted.contains(*id))
+                    // Secret-*named* comparisons in crypto/netsec are
+                    // already R2 findings; R12 adds the typed cases.
+                    .filter(|id| !(is_eq && r2_scope && has_secret_segment(id)))
+                    .cloned()
+                    .collect();
+                if let Some(names) = tainted_list(&relevant, &tainted) {
+                    let hint = if is_eq { " (use ct::eq)" } else { "" };
+                    findings.push(finding(
+                        Rule::R12VariableTimeOp,
+                        file,
+                        op.line,
+                        fun,
+                        format!("variable-time `{}` on secret {names}{hint}", op.op),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn finding(
+    rule: Rule,
+    file: &FileFacts,
+    line: u32,
+    fun: &FnSummary,
+    detail: String,
+) -> Finding {
+    Finding {
+        rule,
+        file: file.rel_path.clone(),
+        line,
+        function: fun.name.clone(),
+        detail,
+        confirmed: Some(true),
+    }
+}
+
+/// Sorted, backtick-quoted list of the tainted identifiers among
+/// `idents`, or `None` when there are none — one finding per site,
+/// stable detail text for the ratchet key.
+fn tainted_list(idents: &[String], tainted: &BTreeSet<String>) -> Option<String> {
+    let hits: BTreeSet<&String> =
+        idents.iter().filter(|id| tainted.contains(*id)).collect();
+    if hits.is_empty() {
+        return None;
+    }
+    Some(
+        hits.iter()
+            .map(|id| format!("`{id}`"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    )
+}
+
+/// Extends the source set through `let` initialisers to a fixpoint:
+/// a local whose initialiser reads a tainted identifier is tainted
+/// (`let b = key[i]; let c = b ^ m;` taints `b` and `c`). Call results
+/// are *not* tainted this way — `collect_reads` already excludes call
+/// arguments, and callee returns are typed through `local_calls` in
+/// [`source_vars`].
+fn taint_closure(sources: BTreeSet<String>, fun: &FnSummary) -> BTreeSet<String> {
+    let mut tainted = sources;
+    loop {
+        let mut changed = false;
+        for (name, reads) in &fun.local_inits {
+            if !tainted.contains(name) && reads.iter().any(|r| tainted.contains(r)) {
+                tainted.insert(name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    tainted
+}
+
+/// For every function: which parameter positions reach a branch
+/// condition, in the function itself or transitively through
+/// bare-argument calls — the R10 analogue of the R8 param-leak fixpoint.
+fn param_branch_fixpoint(graph: &CallGraph<'_>) -> BTreeMap<FnId, Vec<bool>> {
+    let mut branched: BTreeMap<FnId, Vec<bool>> = BTreeMap::new();
+    for (fi, file) in graph.files().iter().enumerate() {
+        for (ni, f) in file.summary.functions.iter().enumerate() {
+            let direct: Vec<bool> = f
+                .params
+                .iter()
+                .map(|(name, _)| {
+                    f.conds.iter().any(|c| c.idents.iter().any(|id| id == name))
+                })
+                .collect();
+            branched.insert((fi, ni), direct);
+        }
+    }
+    for _ in 0..64 {
+        let mut changed = false;
+        for (fi, file) in graph.files().iter().enumerate() {
+            for (ni, f) in file.summary.functions.iter().enumerate() {
+                for call in &f.calls {
+                    let Some(callee) = graph.resolve_unique(&call.callee) else {
+                        continue;
+                    };
+                    if callee == (fi, ni) {
+                        continue;
+                    }
+                    let callee_bits = branched.get(&callee).cloned().unwrap_or_default();
+                    for (pos, arg) in call.args.iter().enumerate() {
+                        let Some(ident) = &arg.ident else { continue };
+                        if !callee_bits.get(pos).copied().unwrap_or(false) {
+                            continue;
+                        }
+                        let Some(ppos) =
+                            f.params.iter().position(|(name, _)| name == ident)
+                        else {
+                            continue;
+                        };
+                        if let Some(own) = branched.get_mut(&(fi, ni)) {
+                            if !own[ppos] {
+                                own[ppos] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    branched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::rules::{annotate, scan_tokens, FileContext};
+    use crate::summary::summarize;
+
+    fn facts(crate_name: &str, rel_path: &str, src: &str) -> FileFacts {
+        let ann = annotate(tokenize(src));
+        let file_name = rel_path.rsplit('/').next().unwrap_or(rel_path);
+        let ctx = FileContext { crate_name, rel_path, file_name };
+        let (findings, accesses) = scan_tokens(&ctx, &ann);
+        FileFacts {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            summary: summarize(&ann),
+            findings,
+            accesses,
+        }
+    }
+
+    fn ids(findings: &[Finding]) -> Vec<(&'static str, &str)> {
+        findings.iter().map(|f| (f.rule.id(), f.function.as_str())).collect()
+    }
+
+    #[test]
+    fn r10_direct_if_match_while() {
+        let out = run(&[facts(
+            "crypto",
+            "crates/crypto/src/kx.rs",
+            "fn b1(key: &[u8]) -> u8 { if key[0] > 7 { 1 } else { 0 } }\n\
+             fn b2(nonce_tag: &[u8]) -> u8 { match nonce_tag[0] { 0 => 1, _ => 0 } }\n\
+             fn b3(mac: &[u8]) -> u8 { let m = mac[0]; let mut x = 0; while m > x { x += 1; } x }",
+        )]);
+        assert_eq!(
+            ids(&out),
+            vec![("R10", "b1"), ("R10", "b2"), ("R10", "b3")]
+        );
+    }
+
+    #[test]
+    fn r10_one_hop_through_branching_callee() {
+        // `k` is neutral-named, so `choose` itself is silent; the caller
+        // passing tainted `key` into the branched parameter is flagged.
+        let out = run(&[facts(
+            "crypto",
+            "crates/crypto/src/kx.rs",
+            "fn choose(k: u8, x: u8) -> u8 { if k > x { 1 } else { 0 } }\n\
+             fn hop(key: &[u8]) -> u8 { let k0 = key[0]; choose(k0, 3) }",
+        )]);
+        assert_eq!(ids(&out), vec![("R10", "hop")]);
+        assert!(out[0].detail.contains("choose"));
+    }
+
+    #[test]
+    fn r10_negatives_projections_calls_and_public_data() {
+        let out = run(&[facts(
+            "crypto",
+            "crates/crypto/src/kx.rs",
+            "fn eq(a: &[u8], b: &[u8]) -> bool { a.len() == b.len() }\n\
+             fn n1(key: &[u8]) -> u8 { if key.len() < 32 { 1 } else { 0 } }\n\
+             fn n2(tag: &[u8], expect: &[u8]) -> u8 { if eq(tag, expect) { 1 } else { 0 } }\n\
+             fn n3(i: usize, n: usize) -> u8 { if i < n { 1 } else { 0 } }",
+        )]);
+        assert!(out.is_empty(), "unexpected: {out:?}");
+    }
+
+    #[test]
+    fn r11_tainted_index_flagged_public_index_not() {
+        let out = run(&[facts(
+            "crypto",
+            "crates/crypto/src/kx.rs",
+            "const T: [u8; 256] = [0; 256];\n\
+             fn lookup(key: &[u8]) -> u8 { T[key[0] as usize] }\n\
+             fn public(i: usize) -> u8 { T[i & 0xff] }\n\
+             fn base_only(key: &[u8]) -> u8 { key[0] }",
+        )]);
+        assert_eq!(ids(&out), vec![("R11", "lookup")]);
+    }
+
+    #[test]
+    fn r12_div_mod_and_typed_eq() {
+        let out = run(&[facts(
+            "netsec",
+            "crates/netsec/src/hs.rs",
+            "pub struct SessionSecret(u64);\n\
+             fn d(key: &[u8]) -> u8 { key[0] / 3 }\n\
+             fn m(mac: &[u8]) -> u8 { mac[1] % 5 }\n\
+             fn e(s: &SessionSecret, o: &SessionSecret) -> bool { s == o }",
+        )]);
+        assert_eq!(ids(&out), vec![("R12", "d"), ("R12", "m"), ("R12", "e")]);
+    }
+
+    #[test]
+    fn r12_leaves_secret_named_compares_to_r2() {
+        // `tag == other` in crypto is R2's finding; R12 must not
+        // double-report it.
+        let out = run(&[facts(
+            "crypto",
+            "crates/crypto/src/kx.rs",
+            "fn v(tag: &[u8], other: &[u8]) -> bool { tag == other }",
+        )]);
+        assert!(out.iter().all(|f| f.rule != Rule::R12VariableTimeOp));
+    }
+
+    #[test]
+    fn ct_eq_file_is_exempt() {
+        let out = run(&[facts(
+            "crypto",
+            "crates/crypto/src/ct.rs",
+            "pub fn eq(tag: &[u8], other_tag: &[u8]) -> bool {\n\
+                 if tag.len() != other_tag.len() { return false; }\n\
+                 let mut d = 0u8; for i in 0..tag.len() { d |= tag[i] ^ other_tag[i]; } d == 0 }",
+        )]);
+        assert!(out.is_empty(), "ct.rs must be exempt: {out:?}");
+    }
+
+    #[test]
+    fn len_projections_never_taint_ops() {
+        let out = run(&[facts(
+            "crypto",
+            "crates/crypto/src/kx.rs",
+            "fn halves(key: &[u8]) -> usize { key.len() / 2 }\n\
+             fn wrap(key: &[u8], i: usize) -> usize { i % 4 }",
+        )]);
+        assert!(out.is_empty(), "unexpected: {out:?}");
+    }
+}

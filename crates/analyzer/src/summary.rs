@@ -66,6 +66,112 @@ pub struct FnSummary {
     pub local_types: Vec<(String, String)>,
     /// `let v = vec![x; N]` / `let v = [x; N]`: `(v, size token text)`.
     pub allocs: Vec<(String, String)>,
+    /// `let v = <expr>;` bindings with the bare identifiers the
+    /// initialiser reads — the intra-function taint propagation step for
+    /// [`crate::sidechannel`] (`let b = key[i];` taints `b`).
+    pub local_inits: Vec<(String, Vec<String>)>,
+    /// Branch conditions (`if`/`while`/`match` scrutinees) and the bare
+    /// identifiers they read (R10).
+    pub conds: Vec<CondUse>,
+    /// Slice/array indexing sites and the identifiers driving the index
+    /// expression (R11).
+    pub indexes: Vec<IndexUse>,
+    /// Variable-time operator sites — `/`, `%`, `==`, `!=` — with their
+    /// operand identifiers (R12).
+    pub vt_ops: Vec<OpUse>,
+    /// `let g = x.lock()/.read()/.write();` guard acquisitions (R13).
+    pub locks: Vec<LockAcq>,
+    /// Lock B acquired while guard on lock A is still live (R13 edges).
+    pub lock_pairs: Vec<LockPair>,
+    /// Calls made while holding a lock — how acquisition order
+    /// propagates across the call graph (R13).
+    pub held_calls: Vec<HeldCall>,
+    /// Atomic operations carrying an explicit `Ordering` (R14).
+    pub atomics: Vec<AtomicUse>,
+}
+
+/// One branch condition and the identifiers it reads (R10). Projections
+/// (`x.len()`), call/macro names and call arguments are already filtered
+/// out by the extractor — only bare value reads remain.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CondUse {
+    /// 1-based line of the `if`/`while`/`match` keyword.
+    pub line: u32,
+    /// Deduplicated bare identifiers read by the condition.
+    pub idents: Vec<String>,
+}
+
+/// One indexing site `base[…]` (R11).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IndexUse {
+    /// 1-based line of the indexed identifier.
+    pub line: u32,
+    /// The indexed variable (`table` in `table[b]`).
+    pub base: String,
+    /// Bare identifiers inside the brackets.
+    pub idents: Vec<String>,
+}
+
+/// One variable-time operator site (R12).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OpUse {
+    /// 1-based line of the operator.
+    pub line: u32,
+    /// The operator text (`/`, `%`, `==`, `!=`).
+    pub op: String,
+    /// Bare operand identifiers near the operator.
+    pub idents: Vec<String>,
+}
+
+/// One `let`-bound lock-guard acquisition (R13). Bare `x.lock();`
+/// statements are *not* recorded: a guard that is dropped on the same
+/// statement holds nothing, and domain methods that happen to be named
+/// `lock` (LUKS volumes) would otherwise pollute the graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LockAcq {
+    /// Lock identity — the receiver identifier (`events` in
+    /// `self.events.lock()`).
+    pub name: String,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+}
+
+/// Lock `second` acquired while a guard on `first` is live (R13).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LockPair {
+    /// Lock already held.
+    pub first: String,
+    /// Lock acquired under it.
+    pub second: String,
+    /// 1-based line of the second acquisition.
+    pub line: u32,
+}
+
+/// A call made while a lock guard is live (R13 propagation).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HeldCall {
+    /// Lock held across the call.
+    pub lock: String,
+    /// Callee name (last path segment).
+    pub callee: String,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// One atomic operation with an explicit `Ordering` argument (R14).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AtomicUse {
+    /// Atomic identity — the receiver identifier (`ready` in
+    /// `self.ready.load(…)`).
+    pub var: String,
+    /// Operation name (`load`, `store`, `fetch_add`, …).
+    pub op: String,
+    /// Last path segment of the first `Ordering::…` argument.
+    pub ordering: String,
+    /// 1-based line of the operation.
+    pub line: u32,
+    /// Does the operation sit inside a branch condition?
+    pub in_cond: bool,
 }
 
 /// One call site.
@@ -328,7 +434,363 @@ fn parse_fn(ann: &Annotated, fn_idx: usize) -> Option<(FnSummary, usize)> {
     let body_end = k.saturating_sub(1); // index of the closing `}`
 
     scan_body(ann, &mut fun, body_start, body_end);
+    let cond_ranges = scan_cond_facts(ann, &mut fun, body_start, body_end);
+    scan_index_and_op_facts(ann, &mut fun, body_start, body_end);
+    scan_lock_facts(ann, &mut fun, body_start, body_end, &cond_ranges);
     Some((fun, k))
+}
+
+/// Is the code token at `j` a bare value-read identifier — not a
+/// keyword or bool literal, not a call/macro/path head, and not a field,
+/// method or projection participant (`state.key`, `key.len()`)? The
+/// field/method exclusions are deliberately conservative: the taint
+/// rules would rather miss a projected read than flag a public one.
+fn is_value_read(code: &[crate::lexer::Token], j: usize) -> bool {
+    if code[j].kind != TokenKind::Ident
+        || crate::rules::is_keyword(&code[j].text)
+        || matches!(code[j].text.as_str(), "true" | "false")
+    {
+        return false;
+    }
+    if let Some(p) = j.checked_sub(1) {
+        if matches!(code[p].text.as_str(), "." | "::") {
+            return false;
+        }
+    }
+    !matches!(
+        code.get(j + 1).map(|t| t.text.as_str()),
+        Some("(") | Some("!") | Some("::") | Some(".")
+    )
+}
+
+/// Collects deduplicated bare value-read identifiers in
+/// `code[lo..hi]`, skipping call/macro argument groups wholesale — the
+/// interprocedural rules see those through the call-site records, and a
+/// `ct::eq(tag, other)` wrapper must not read as a bare use of `tag`.
+fn collect_reads(code: &[crate::lexer::Token], lo: usize, hi: usize, out: &mut Vec<String>) {
+    let mut j = lo;
+    while j < hi {
+        if code[j].kind == TokenKind::Ident {
+            let mut k = j + 1;
+            if code.get(k).map(|t| t.text.as_str()) == Some("!") {
+                k += 1;
+            }
+            if code.get(k).map(|t| t.text.as_str()) == Some("(") {
+                j = skip_group(code, k, hi);
+                continue;
+            }
+        }
+        if is_value_read(code, j) && !out.iter().any(|s| *s == code[j].text) {
+            out.push(code[j].text.clone());
+        }
+        j += 1;
+    }
+}
+
+/// Index just past the group opened at `open` (a `(` or `[`), capped at
+/// `hi`.
+fn skip_group(code: &[crate::lexer::Token], open: usize, hi: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < hi {
+        match code[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    hi
+}
+
+/// Records one [`CondUse`] per `if`/`while`/`match` condition and
+/// returns the condition token ranges (for the atomics' `in_cond` bit).
+fn scan_cond_facts(
+    ann: &Annotated,
+    fun: &mut FnSummary,
+    body_start: usize,
+    body_end: usize,
+) -> Vec<(usize, usize)> {
+    let code = &ann.code;
+    let mut ranges = Vec::new();
+    let mut i = body_start;
+    while i < body_end {
+        if !matches!(code[i].text.as_str(), "if" | "while" | "match") {
+            i += 1;
+            continue;
+        }
+        let line = code[i].line;
+        let mut lo = i + 1;
+        // `if let PAT = expr`: the pattern binds, only the scrutinee
+        // after the top-level `=` is read.
+        if code.get(lo).map(|t| t.text.as_str()) == Some("let") {
+            let mut depth = 0i64;
+            let mut j = lo + 1;
+            while j < body_end {
+                match code[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "=" if depth == 0 => {
+                        lo = j + 1;
+                        break;
+                    }
+                    "{" if depth == 0 => {
+                        lo = j;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // The condition ends at the body `{`, a match-guard `=>`, or a
+        // statement boundary — whichever comes first at depth 0.
+        let mut depth = 0i64;
+        let mut j = lo;
+        while j < body_end {
+            match code[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" | "=>" | ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j > lo {
+            let mut idents = Vec::new();
+            collect_reads(code, lo, j, &mut idents);
+            if !idents.is_empty() {
+                fun.conds.push(CondUse { line, idents });
+            }
+            ranges.push((lo, j));
+        }
+        i = j.max(i + 1);
+    }
+    ranges
+}
+
+/// Records [`IndexUse`] and [`OpUse`] sites over the body.
+fn scan_index_and_op_facts(
+    ann: &Annotated,
+    fun: &mut FnSummary,
+    body_start: usize,
+    body_end: usize,
+) {
+    let code = &ann.code;
+    for i in body_start..body_end {
+        // Indexing: `base[…]` — the base may be a field (`self.table`),
+        // so only keyword/macro heads are rejected here.
+        if code[i].kind == TokenKind::Ident
+            && !crate::rules::is_keyword(&code[i].text)
+            && code.get(i + 1).map(|t| t.text.as_str()) == Some("[")
+        {
+            let close = skip_group(code, i + 1, body_end);
+            let mut idents = Vec::new();
+            collect_reads(code, i + 2, close.saturating_sub(1), &mut idents);
+            if !idents.is_empty() {
+                fun.indexes.push(IndexUse {
+                    line: code[i].line,
+                    base: code[i].text.clone(),
+                    idents,
+                });
+            }
+        }
+        // Variable-time operators, operands from a small window bounded
+        // by statement/argument punctuation (crossing a paren boundary
+        // would smuggle call arguments in).
+        if code[i].kind == TokenKind::Punct
+            && matches!(code[i].text.as_str(), "/" | "%" | "==" | "!=")
+        {
+            let mut idents = Vec::new();
+            for dir in [-1i64, 1] {
+                for step in 1..=8i64 {
+                    let j = i as i64 + dir * step;
+                    if j < (body_start as i64) || j as usize >= body_end {
+                        break;
+                    }
+                    let j = j as usize;
+                    if matches!(code[j].text.as_str(), ";" | "{" | "}" | "," | "(" | ")") {
+                        break;
+                    }
+                    if is_value_read(code, j) && !idents.iter().any(|s| *s == code[j].text) {
+                        idents.push(code[j].text.clone());
+                    }
+                }
+            }
+            if !idents.is_empty() {
+                fun.vt_ops.push(OpUse {
+                    line: code[i].line,
+                    op: code[i].text.clone(),
+                    idents,
+                });
+            }
+        }
+    }
+}
+
+/// Atomic method names whose calls carry an `Ordering` argument.
+const ATOMIC_OPS: &[&str] = &[
+    "load", "store", "swap", "fetch_add", "fetch_sub", "fetch_and", "fetch_or",
+    "fetch_xor", "fetch_max", "fetch_min", "fetch_update", "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Memory-ordering names (`use Ordering::*` style included).
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Records lock-guard scopes ([`LockAcq`]/[`LockPair`]/[`HeldCall`]) and
+/// atomic operations ([`AtomicUse`]). A guard lives from its `let` to
+/// the end of the enclosing block or an explicit `drop(guard)`,
+/// whichever comes first.
+fn scan_lock_facts(
+    ann: &Annotated,
+    fun: &mut FnSummary,
+    body_start: usize,
+    body_end: usize,
+    cond_ranges: &[(usize, usize)],
+) {
+    let code = &ann.code;
+    // Active guards: (binding, lock, brace depth relative to the body).
+    let mut guards: Vec<(String, String, i64)> = Vec::new();
+    let mut depth = 0i64;
+
+    let mut i = body_start;
+    while i < body_end {
+        match code[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                guards.retain(|g| g.2 < depth);
+                depth -= 1;
+            }
+            "let" => {
+                if let Some((binding, lock, line, next)) =
+                    parse_guard_let(code, i, body_end)
+                {
+                    for (_, held, _) in &guards {
+                        if *held != lock {
+                            fun.lock_pairs.push(LockPair {
+                                first: held.clone(),
+                                second: lock.clone(),
+                                line,
+                            });
+                        }
+                    }
+                    fun.locks.push(LockAcq { name: lock.clone(), line });
+                    guards.push((binding, lock, depth));
+                    i = next;
+                    continue;
+                }
+            }
+            "drop"
+                if code.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+                    && code.get(i + 3).map(|t| t.text.as_str()) == Some(")") =>
+            {
+                if let Some(g) = code.get(i + 2) {
+                    guards.retain(|(b, _, _)| *b != g.text);
+                }
+            }
+            _ => {}
+        }
+
+        // Calls made under a live guard (order propagates via callees).
+        if !guards.is_empty()
+            && code[i].kind == TokenKind::Ident
+            && !crate::rules::is_keyword(&code[i].text)
+            && code.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+            && !matches!(code[i].text.as_str(), "lock" | "read" | "write" | "drop")
+        {
+            let mut seen: Vec<&str> = Vec::new();
+            for (_, held, _) in &guards {
+                if !seen.contains(&held.as_str()) {
+                    seen.push(held);
+                    fun.held_calls.push(HeldCall {
+                        lock: held.clone(),
+                        callee: code[i].text.clone(),
+                        line: code[i].line,
+                    });
+                }
+            }
+        }
+
+        // Atomic op: `x.load(Ordering::Acquire)` — requires an explicit
+        // ordering in the argument list, which keeps `file.read()` and
+        // friends out.
+        if code[i].kind == TokenKind::Ident
+            && ATOMIC_OPS.contains(&code[i].text.as_str())
+            && i >= 2
+            && code[i - 1].text == "."
+            && code[i - 2].kind == TokenKind::Ident
+            && code.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+        {
+            let close = skip_group(code, i + 1, body_end);
+            let ordering = code[i + 2..close]
+                .iter()
+                .find(|t| ORDERINGS.contains(&t.text.as_str()))
+                .map(|t| t.text.clone());
+            if let Some(ordering) = ordering {
+                let in_cond = cond_ranges.iter().any(|&(lo, hi)| lo <= i && i < hi);
+                fun.atomics.push(AtomicUse {
+                    var: code[i - 2].text.clone(),
+                    op: code[i].text.clone(),
+                    ordering,
+                    line: code[i].line,
+                    in_cond,
+                });
+            }
+        }
+
+        i += 1;
+    }
+}
+
+/// Parses `let [mut] BINDING = … X.lock()/.read()/.write() …;` starting
+/// at the `let`. Returns `(binding, lock name, line, index past ;)`.
+/// Only no-argument acquisitions count — `file.read(&mut buf)` takes an
+/// argument, a `MutexGuard` never does.
+fn parse_guard_let(
+    code: &[crate::lexer::Token],
+    let_idx: usize,
+    hi: usize,
+) -> Option<(String, String, u32, usize)> {
+    let mut j = let_idx + 1;
+    if code.get(j).map(|t| t.text.as_str()) == Some("mut") {
+        j += 1;
+    }
+    let binding = code.get(j).filter(|t| t.kind == TokenKind::Ident)?;
+    if binding.text == "_" {
+        return None;
+    }
+    // Find the statement end and scan for the acquisition pattern.
+    let mut depth = 0i64;
+    let mut k = j + 1;
+    let mut acq: Option<(String, u32)> = None;
+    while k < hi {
+        match code[k].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth == 0 => break,
+            "lock" | "read" | "write"
+                if k >= 2
+                    && code[k - 1].text == "."
+                    && code[k - 2].kind == TokenKind::Ident
+                    && code.get(k + 1).map(|t| t.text.as_str()) == Some("(")
+                    && code.get(k + 2).map(|t| t.text.as_str()) == Some(")") =>
+            {
+                if acq.is_none() {
+                    acq = Some((code[k - 2].text.clone(), code[k].line));
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let (lock, line) = acq?;
+    Some((binding.text.clone(), lock, line, k.min(hi)))
 }
 
 /// One parameter chunk `mut name: Type` / `&self`. Returns None for
@@ -569,6 +1031,16 @@ fn scan_let(ann: &Annotated, fun: &mut FnSummary, lo: usize, hi: usize) {
 
     if let Some((callee, _)) = last_call {
         fun.local_calls.push((name.clone(), callee));
+    }
+
+    // Taint step: identifiers the initialiser reads directly
+    // (`let b = key[i];` makes `b` key-derived). Call arguments are
+    // excluded by `collect_reads` — callee returns are typed through
+    // `local_calls` instead.
+    let mut reads = Vec::new();
+    collect_reads(code, init_lo, hi, &mut reads);
+    if !reads.is_empty() {
+        fun.local_inits.push((name.clone(), reads));
     }
 
     // Allocation size: `vec![ELEM; SIZE]` or `[ELEM; SIZE]`.
@@ -816,6 +1288,19 @@ impl FileSummary {
     }
 }
 
+fn str_arr(strings: &[String]) -> Value {
+    Value::Arr(strings.iter().map(|s| Value::Str(s.clone())).collect())
+}
+
+fn strs(v: &Value) -> Vec<String> {
+    v.as_arr()
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(Value::as_str)
+        .map(str::to_string)
+        .collect()
+}
+
 fn str_pairs(v: Option<&Value>) -> Vec<(String, String)> {
     let mut out = Vec::new();
     for item in v.and_then(Value::as_arr).unwrap_or(&[]) {
@@ -883,6 +1368,122 @@ impl FnSummary {
             ("local_calls".to_string(), pairs(&self.local_calls)),
             ("local_types".to_string(), pairs(&self.local_types)),
             ("allocs".to_string(), pairs(&self.allocs)),
+            (
+                "local_inits".to_string(),
+                Value::Arr(
+                    self.local_inits
+                        .iter()
+                        .map(|(n, reads)| {
+                            Value::Arr(vec![Value::Str(n.clone()), str_arr(reads)])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "conds".to_string(),
+                Value::Arr(
+                    self.conds
+                        .iter()
+                        .map(|c| {
+                            Value::Obj(vec![
+                                ("line".to_string(), Value::Num(c.line as f64)),
+                                ("idents".to_string(), str_arr(&c.idents)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "indexes".to_string(),
+                Value::Arr(
+                    self.indexes
+                        .iter()
+                        .map(|x| {
+                            Value::Obj(vec![
+                                ("line".to_string(), Value::Num(x.line as f64)),
+                                ("base".to_string(), Value::Str(x.base.clone())),
+                                ("idents".to_string(), str_arr(&x.idents)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "vt_ops".to_string(),
+                Value::Arr(
+                    self.vt_ops
+                        .iter()
+                        .map(|o| {
+                            Value::Obj(vec![
+                                ("line".to_string(), Value::Num(o.line as f64)),
+                                ("op".to_string(), Value::Str(o.op.clone())),
+                                ("idents".to_string(), str_arr(&o.idents)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "locks".to_string(),
+                Value::Arr(
+                    self.locks
+                        .iter()
+                        .map(|l| {
+                            Value::Obj(vec![
+                                ("name".to_string(), Value::Str(l.name.clone())),
+                                ("line".to_string(), Value::Num(l.line as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "lock_pairs".to_string(),
+                Value::Arr(
+                    self.lock_pairs
+                        .iter()
+                        .map(|p| {
+                            Value::Obj(vec![
+                                ("first".to_string(), Value::Str(p.first.clone())),
+                                ("second".to_string(), Value::Str(p.second.clone())),
+                                ("line".to_string(), Value::Num(p.line as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "held_calls".to_string(),
+                Value::Arr(
+                    self.held_calls
+                        .iter()
+                        .map(|h| {
+                            Value::Obj(vec![
+                                ("lock".to_string(), Value::Str(h.lock.clone())),
+                                ("callee".to_string(), Value::Str(h.callee.clone())),
+                                ("line".to_string(), Value::Num(h.line as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "atomics".to_string(),
+                Value::Arr(
+                    self.atomics
+                        .iter()
+                        .map(|a| {
+                            Value::Obj(vec![
+                                ("var".to_string(), Value::Str(a.var.clone())),
+                                ("op".to_string(), Value::Str(a.op.clone())),
+                                ("ordering".to_string(), Value::Str(a.ordering.clone())),
+                                ("line".to_string(), Value::Num(a.line as f64)),
+                                ("in_cond".to_string(), Value::Bool(a.in_cond)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -932,6 +1533,65 @@ impl FnSummary {
                     .and_then(Value::as_str)
                     .unwrap_or("stmt")
                     .to_string(),
+            });
+        }
+        let line_of = |item: &Value| {
+            item.get("line").and_then(Value::as_f64).unwrap_or(0.0) as u32
+        };
+        let s_of = |item: &Value, key: &str| {
+            item.get(key).and_then(Value::as_str).unwrap_or("").to_string()
+        };
+        for item in v.get("local_inits").and_then(Value::as_arr).unwrap_or(&[]) {
+            if let Some(a) = item.as_arr() {
+                if let (Some(n), Some(reads)) = (a.first().and_then(Value::as_str), a.get(1)) {
+                    f.local_inits.push((n.to_string(), strs(reads)));
+                }
+            }
+        }
+        for item in v.get("conds").and_then(Value::as_arr).unwrap_or(&[]) {
+            f.conds.push(CondUse {
+                line: line_of(item),
+                idents: strs(item.get("idents").unwrap_or(&Value::Null)),
+            });
+        }
+        for item in v.get("indexes").and_then(Value::as_arr).unwrap_or(&[]) {
+            f.indexes.push(IndexUse {
+                line: line_of(item),
+                base: s_of(item, "base"),
+                idents: strs(item.get("idents").unwrap_or(&Value::Null)),
+            });
+        }
+        for item in v.get("vt_ops").and_then(Value::as_arr).unwrap_or(&[]) {
+            f.vt_ops.push(OpUse {
+                line: line_of(item),
+                op: s_of(item, "op"),
+                idents: strs(item.get("idents").unwrap_or(&Value::Null)),
+            });
+        }
+        for item in v.get("locks").and_then(Value::as_arr).unwrap_or(&[]) {
+            f.locks.push(LockAcq { name: s_of(item, "name"), line: line_of(item) });
+        }
+        for item in v.get("lock_pairs").and_then(Value::as_arr).unwrap_or(&[]) {
+            f.lock_pairs.push(LockPair {
+                first: s_of(item, "first"),
+                second: s_of(item, "second"),
+                line: line_of(item),
+            });
+        }
+        for item in v.get("held_calls").and_then(Value::as_arr).unwrap_or(&[]) {
+            f.held_calls.push(HeldCall {
+                lock: s_of(item, "lock"),
+                callee: s_of(item, "callee"),
+                line: line_of(item),
+            });
+        }
+        for item in v.get("atomics").and_then(Value::as_arr).unwrap_or(&[]) {
+            f.atomics.push(AtomicUse {
+                var: s_of(item, "var"),
+                op: s_of(item, "op"),
+                ordering: s_of(item, "ordering"),
+                line: line_of(item),
+                in_cond: matches!(item.get("in_cond"), Some(Value::Bool(true))),
             });
         }
         Ok(f)

@@ -18,13 +18,21 @@
 //!    report;
 //! 3. **cross-file passes** (serial, always fresh) — R3 per crate, the
 //!    sast bridge per file, then the interprocedural
-//!    [`crate::dataflow`] walk over the whole workspace;
-//! 4. **cache write-back** — only when at least one file missed.
+//!    [`crate::dataflow`] walk, the [`crate::sidechannel`] pass
+//!    (R10–R12) and the [`crate::concurrency`] pass (R13–R14) over the
+//!    whole workspace;
+//! 4. **suppression + filter** — findings covered by a line-scoped
+//!    `// genio-analyzer: allow(...)` comment are dropped (counted in
+//!    the report's `allowed` field), then an optional
+//!    [`ScanOptions::rules`] filter trims the report to the selected
+//!    rules;
+//! 5. **cache write-back** — only when at least one file missed.
 //!
 //! Stage timings are recorded as `genio-telemetry` spans
-//! (`analyzer.scan`, `analyzer.files`, `analyzer.dataflow`) on the
-//! calling thread; cache traffic lands in [`ScanStats`], *not* in the
-//! report, so cold and warm scans stay byte-identical.
+//! (`analyzer.scan`, `analyzer.files`, `analyzer.dataflow`,
+//! `analyzer.sidechannel`, `analyzer.concurrency`) on the calling
+//! thread; cache traffic lands in [`ScanStats`], *not* in the report,
+//! so cold and warm scans stay byte-identical.
 
 use std::fs;
 use std::io;
@@ -37,9 +45,14 @@ use crate::baseline::{sort_findings, Report};
 use crate::bridge;
 use crate::cache::{content_hash, Cache, FileEntry};
 use crate::callgraph::FileFacts;
+use crate::concurrency;
 use crate::dataflow;
 use crate::lexer::tokenize;
-use crate::rules::{annotate, has_forbid_unsafe, scan_tokens, FileContext, Finding, Rule};
+use crate::rules::{
+    annotate, collect_allows, has_forbid_unsafe, scan_tokens, Allow, FileContext,
+    Finding, Rule,
+};
+use crate::sidechannel;
 use crate::summary::summarize;
 
 /// Knobs for [`scan_with`]. `Default` is a serial, uncached, untimed
@@ -53,6 +66,16 @@ pub struct ScanOptions {
     pub cache_path: Option<PathBuf>,
     /// Telemetry handle for stage spans (disabled handles are no-ops).
     pub telemetry: Telemetry,
+    /// Restrict the report to these rules (`None` keeps all). Passes
+    /// whose every rule is filtered out are skipped entirely, which is
+    /// what the E-A3 bench uses to price the new passes.
+    pub rules: Option<Vec<Rule>>,
+}
+
+impl ScanOptions {
+    fn wants(&self, rule: Rule) -> bool {
+        self.rules.as_ref().map_or(true, |rs| rs.contains(&rule))
+    }
 }
 
 /// Side-channel facts about a scan that must stay out of the report.
@@ -174,6 +197,7 @@ fn process_one(job: &Job, cache: &Cache) -> io::Result<Processed> {
         file_name: &job.file_name,
     };
     let (findings, accesses) = scan_tokens(&ctx, &ann);
+    let allows = collect_allows(&ann);
     Ok(Processed {
         crate_name: job.crate_name.clone(),
         rel: job.rel.clone(),
@@ -185,6 +209,7 @@ fn process_one(job: &Job, cache: &Cache) -> io::Result<Processed> {
             has_forbid,
             findings,
             accesses,
+            allows,
             summary: summarize(&ann),
         },
         hit: false,
@@ -294,11 +319,16 @@ pub fn scan_with(root: &Path, opts: &ScanOptions) -> io::Result<(Report, ScanSta
         }
     }
 
-    // Stage 3b: sast bridge per file, then the interprocedural walk.
+    // Stage 3b: sast bridge per file, then the interprocedural walks.
     let mut facts: Vec<FileFacts> = Vec::with_capacity(processed.len());
+    let mut allow_map: std::collections::BTreeMap<String, Vec<Allow>> =
+        std::collections::BTreeMap::new();
     for p in &processed {
         report.files += 1;
         report.lines += p.entry.lines;
+        if !p.entry.allows.is_empty() {
+            allow_map.insert(p.rel.clone(), p.entry.allows.clone());
+        }
         facts.push(FileFacts {
             crate_name: p.crate_name.clone(),
             rel_path: p.rel.clone(),
@@ -309,13 +339,45 @@ pub fn scan_with(root: &Path, opts: &ScanOptions) -> io::Result<(Report, ScanSta
     }
     let outcome = {
         let _flow_span = opts.telemetry.span("analyzer.dataflow");
-        dataflow::run(facts)
+        dataflow::run(&facts)
     };
     report.findings.extend(outcome.findings);
     report.suppressed = outcome.suppressed.len() as u64;
+    if [Rule::R10SecretBranch, Rule::R11SecretIndex, Rule::R12VariableTimeOp]
+        .iter()
+        .any(|&r| opts.wants(r))
+    {
+        let _side_span = opts.telemetry.span("analyzer.sidechannel");
+        report.findings.extend(sidechannel::run(&facts));
+    }
+    if [Rule::R13LockOrderCycle, Rule::R14RelaxedSyncFlag]
+        .iter()
+        .any(|&r| opts.wants(r))
+    {
+        let _conc_span = opts.telemetry.span("analyzer.concurrency");
+        report.findings.extend(concurrency::run(&facts));
+    }
+
+    // Stage 4: line-scoped `allow(...)` suppression, then the optional
+    // rule filter. Suppressions are counted (`allowed`) so a report
+    // never silently shrinks; the filter is a view, not a suppression.
+    let mut allowed = 0u64;
+    report.findings.retain(|f| {
+        let covered = allow_map
+            .get(&f.file)
+            .is_some_and(|allows| allows.iter().any(|a| a.covers(f.rule, f.line)));
+        if covered {
+            allowed += 1;
+        }
+        !covered
+    });
+    report.allowed = allowed;
+    if opts.rules.is_some() {
+        report.findings.retain(|f| opts.wants(f.rule));
+    }
     sort_findings(&mut report.findings);
 
-    // Stage 4: cache write-back, only when something was re-scanned.
+    // Stage 5: cache write-back, only when something was re-scanned.
     if let Some(path) = &opts.cache_path {
         if stats.cache_misses > 0 {
             let mut fresh = Cache::default();

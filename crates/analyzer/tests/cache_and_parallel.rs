@@ -129,6 +129,44 @@ fn editing_a_file_invalidates_exactly_that_entry() {
 }
 
 #[test]
+fn stale_rules_version_invalidates_the_whole_cache() {
+    let dir = scratch("stale-rules");
+    let cache = dir.join("cache.json");
+    let opts = ScanOptions {
+        cache_path: Some(cache.clone()),
+        ..ScanOptions::default()
+    };
+    let (clean, seed_stats) = scan_with(&fixture_root(), &opts).expect("seed scan");
+
+    // Simulate a cache written by an analyzer binary with a different
+    // rule set: flip the recorded rules_version hash in place.
+    let text = fs::read_to_string(&cache).expect("read cache");
+    let version = format!("{:016x}", genio_analyzer::rules::rules_version());
+    assert!(
+        text.contains(&version),
+        "cache must record the rule-set version"
+    );
+    let flipped: String = version
+        .chars()
+        .map(|c| if c == '0' { '1' } else { '0' })
+        .collect();
+    fs::write(&cache, text.replace(&version, &flipped)).expect("rewrite cache");
+
+    let (rescanned, stats) = scan_with(&fixture_root(), &opts).expect("rescan");
+    assert_eq!(stats.cache_hits, 0, "old-rules cache must not serve hits");
+    assert_eq!(stats.cache_misses, seed_stats.cache_misses);
+    assert_eq!(
+        rescanned.to_json().to_string(),
+        clean.to_json().to_string()
+    );
+
+    // The rescan rewrote the cache under the current version: unchanged
+    // files hit again.
+    let (_, warm_stats) = scan_with(&fixture_root(), &opts).expect("warm");
+    assert_eq!(warm_stats.cache_misses, 0, "repaired cache serves all hits");
+}
+
+#[test]
 fn corrupt_cache_degrades_to_full_rescan() {
     let dir = scratch("corrupt");
     let cache = dir.join("cache.json");

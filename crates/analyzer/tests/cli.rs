@@ -1,0 +1,106 @@
+//! Smoke tests for the CLI surface added in v3: `--rules`, `--explain`
+//! and `--expect`, driven against the committed miniws fixture corpus.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/miniws")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_genio-analyzer"))
+        .args(args)
+        .output()
+        .expect("spawn genio-analyzer")
+}
+
+fn scan_args(extra: &[&str]) -> Vec<String> {
+    let root = fixture_root();
+    let mut args = vec![
+        "--root".to_string(),
+        root.display().to_string(),
+        "--no-cache".to_string(),
+        "--baseline".to_string(),
+        "/dev/null".to_string(),
+        "--findings".to_string(),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    args
+}
+
+#[test]
+fn rules_filter_restricts_the_report() {
+    let args = scan_args(&["--rules", "R10,R13"]);
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let out = run(&argv);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[R10]"), "R10 selected:\n{stdout}");
+    assert!(stdout.contains("[R13]"), "R13 selected:\n{stdout}");
+    for unselected in ["[R1]", "[R8]", "[R11]", "[R12]", "[R14]"] {
+        assert!(
+            !stdout.contains(unselected),
+            "{unselected} must be filtered out:\n{stdout}"
+        );
+    }
+    // 4 R10 + 4 R13.
+    assert!(stdout.contains("total findings: 8"), "{stdout}");
+}
+
+#[test]
+fn rules_filter_rejects_unknown_ids() {
+    let args = scan_args(&["--rules", "R10,R99"]);
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let out = run(&argv);
+    assert_eq!(out.status.code(), Some(2), "unknown rule id is a usage error");
+}
+
+#[test]
+fn explain_prints_the_catalog_entry() {
+    let out = run(&["--explain", "R10"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("R10"), "{stdout}");
+    assert!(
+        stdout.contains("branch condition depends on secret material"),
+        "title line missing:\n{stdout}"
+    );
+    assert!(stdout.len() > 200, "catalog entry should explain, not name");
+
+    let bad = run(&["--explain", "R99"]);
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn expect_gate_passes_on_the_committed_list_and_fails_on_a_tampered_one() {
+    let expected = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/miniws-expected.txt");
+    let args = scan_args(&["--expect", &expected.display().to_string()]);
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let out = run(&argv);
+    assert!(
+        out.status.success(),
+        "committed expectations must hold:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Removing one line must flip the gate to exit 1 and name the line.
+    let text = std::fs::read_to_string(&expected).expect("read expectations");
+    let victim = text
+        .lines()
+        .find(|l| l.starts_with("R13"))
+        .expect("an R13 expectation");
+    let tampered_path = std::env::temp_dir()
+        .join("genio-analyzer-tests")
+        .join("tampered-expected.txt");
+    std::fs::create_dir_all(tampered_path.parent().unwrap()).expect("mkdir");
+    std::fs::write(&tampered_path, text.replace(victim, "")).expect("write");
+
+    let args = scan_args(&["--expect", &tampered_path.display().to_string()]);
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let out = run(&argv);
+    assert_eq!(out.status.code(), Some(1), "tampered list must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unexpected: R13"), "{stderr}");
+}

@@ -6,6 +6,7 @@
 #![forbid(unsafe_code)]
 
 pub mod gcm;
+pub mod sidechan;
 
 /// R2 positive: comparing an authentication tag with `==`.
 pub fn bad_tag_check(tag: &[u8], expected_tag: &[u8]) -> bool {

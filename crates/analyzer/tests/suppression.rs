@@ -1,0 +1,162 @@
+//! Property tests for the `// genio-analyzer: allow(...)` suppression:
+//! a comment silences findings on its own line and the next line of the
+//! *same file* — never any other line, never another file, and never a
+//! rule it does not name.
+
+use std::fs;
+use std::path::PathBuf;
+
+use genio_analyzer::rules::Rule;
+use genio_analyzer::workspace;
+
+/// Builds a throwaway workspace with one `conc` crate whose lib.rs is
+/// `body`, scans it, and returns the (rule, function, line) triples.
+fn scan_snippet(name: &str, body: &str) -> Vec<(Rule, String, u32)> {
+    let dir = std::env::temp_dir()
+        .join("genio-analyzer-suppression")
+        .join(name);
+    let _ = fs::remove_dir_all(&dir);
+    let src = dir.join("crates/conc/src");
+    fs::create_dir_all(&src).expect("mkdir");
+    fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("toml");
+    fs::write(
+        src.join("lib.rs"),
+        format!("#![forbid(unsafe_code)]\n{body}"),
+    )
+    .expect("lib.rs");
+    let report = workspace::scan(&dir).expect("scan");
+    report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.function.clone(), f.line))
+        .collect()
+}
+
+/// The R14 pair used throughout: a Relaxed publish plus a Relaxed spin
+/// read — two findings, one per function, on known lines.
+const FLAG_PAIR: &str = "pub fn publish(ready: &AtomicBool) {\n\
+                         \x20   ready.store(true, Ordering::Relaxed);\n\
+                         }\n\
+                         pub fn wait(ready: &AtomicBool) {\n\
+                         \x20   while !ready.load(Ordering::Relaxed) {}\n\
+                         }\n";
+
+#[test]
+fn unsuppressed_snippet_reports_both_sites() {
+    let found = scan_snippet("baseline", FLAG_PAIR);
+    assert_eq!(found.len(), 2, "expected both R14 sites: {found:?}");
+}
+
+#[test]
+fn standalone_comment_covers_only_the_next_line() {
+    // Annotating the publish site must leave the spin read flagged.
+    let body = FLAG_PAIR.replacen(
+        "    ready.store",
+        "    // genio-analyzer: allow(R14, reason = \"probe\")\n    ready.store",
+        1,
+    );
+    let found = scan_snippet("next-line", &body);
+    assert_eq!(found.len(), 1, "only the annotated line is silenced: {found:?}");
+    assert_eq!(found[0].1, "wait");
+}
+
+#[test]
+fn trailing_comment_covers_its_own_line() {
+    let body = FLAG_PAIR.replacen(
+        "Ordering::Relaxed);",
+        "Ordering::Relaxed); // genio-analyzer: allow(R14, reason = \"probe\")",
+        1,
+    );
+    let found = scan_snippet("same-line", &body);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].1, "wait");
+}
+
+#[test]
+fn suppression_never_leaks_to_other_lines() {
+    // Sweep the annotation across every line of the snippet: for each
+    // placement, the only findings that may disappear are those on the
+    // comment's line or the line after it.
+    let unsuppressed = scan_snippet("sweep-base", FLAG_PAIR);
+    let total_lines = FLAG_PAIR.lines().count() as u32 + 1;
+    for at in 1..=total_lines {
+        // Insert the comment as its own line before line `at` of the
+        // final file (line 1 is the forbid attribute added by the
+        // helper).
+        let mut lines: Vec<String> = format!("#![forbid(unsafe_code)]\n{FLAG_PAIR}")
+            .lines()
+            .map(str::to_string)
+            .collect();
+        let idx = (at as usize - 1).min(lines.len());
+        lines.insert(idx, "// genio-analyzer: allow(R14, reason = \"sweep\")".to_string());
+        let body = lines[1..].join("\n");
+        let found = scan_snippet(&format!("sweep-{at}"), &body);
+
+        for (rule, function, line) in &unsuppressed {
+            // Where did this finding move to after the insertion?
+            let new_line = if *line >= at { line + 1 } else { *line };
+            let survives = found
+                .iter()
+                .any(|(r, f, l)| r == rule && f == function && *l == new_line);
+            let covered = new_line == at || new_line == at + 1;
+            assert_eq!(
+                survives, !covered,
+                "comment at line {at}: finding {function}:{new_line} \
+                 {}expected to survive",
+                if covered { "not " } else { "" }
+            );
+        }
+    }
+}
+
+#[test]
+fn suppression_never_crosses_files() {
+    // Identical flag code in two files; the allow sits only in a.rs.
+    let dir = std::env::temp_dir()
+        .join("genio-analyzer-suppression")
+        .join("cross-file");
+    let _ = fs::remove_dir_all(&dir);
+    let src: PathBuf = dir.join("crates/conc/src");
+    fs::create_dir_all(&src).expect("mkdir");
+    fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("toml");
+    fs::write(src.join("lib.rs"), "#![forbid(unsafe_code)]\nmod a;\nmod b;\n")
+        .expect("lib.rs");
+    fs::write(
+        src.join("a.rs"),
+        "// genio-analyzer: allow(R14, reason = \"local to a.rs\")\n\
+         pub fn publish_a(ready_a: &AtomicBool) { ready_a.store(true, Ordering::Relaxed); }\n\
+         pub fn wait_a(ready_a: &AtomicBool) { while !ready_a.load(Ordering::Relaxed) {} }\n",
+    )
+    .expect("a.rs");
+    fs::write(
+        src.join("b.rs"),
+        "pub fn publish_b(ready_b: &AtomicBool) { ready_b.store(true, Ordering::Relaxed); }\n\
+         pub fn wait_b(ready_b: &AtomicBool) { while !ready_b.load(Ordering::Relaxed) {} }\n",
+    )
+    .expect("b.rs");
+
+    let report = workspace::scan(&dir).expect("scan");
+    let fns: Vec<&str> = report.findings.iter().map(|f| f.function.as_str()).collect();
+    assert!(!fns.contains(&"publish_a"), "covered by the allow: {fns:?}");
+    assert!(fns.contains(&"wait_a"), "a.rs line 3 is not covered: {fns:?}");
+    assert!(fns.contains(&"publish_b"), "b.rs must be untouched: {fns:?}");
+    assert!(fns.contains(&"wait_b"), "b.rs must be untouched: {fns:?}");
+    assert_eq!(report.allowed, 1);
+}
+
+#[test]
+fn unknown_rule_or_missing_reason_leaves_the_comment_inert() {
+    for (name, comment) in [
+        ("unknown-rule", "// genio-analyzer: allow(R99, reason = \"nope\")"),
+        ("missing-reason", "// genio-analyzer: allow(R14)"),
+        ("empty-reason", "// genio-analyzer: allow(R14, reason = \"\")"),
+    ] {
+        let body = FLAG_PAIR.replacen(
+            "    ready.store",
+            &format!("    {comment}\n    ready.store"),
+            1,
+        );
+        let found = scan_snippet(name, &body);
+        assert_eq!(found.len(), 2, "{name}: malformed allow must not suppress");
+    }
+}

@@ -1,0 +1,279 @@
+//! E-A3 — **analyzer v3 pass overhead**: the side-channel (R10–R12) and
+//! concurrency (R13–R14) passes must be cheap enough to stay in the
+//! per-commit gate.
+//!
+//! The corpus mixes the E-A2-style bulk arithmetic files with a
+//! `crypto` crate full of secret-typed material (real taint work for
+//! the side-channel pass) and a `core` crate full of guard scopes and
+//! atomics (real graph work for the concurrency pass). Three
+//! configurations are timed over identical sources:
+//!
+//! * **cold v2** — `--rules R1..R9`, the pre-v3 pipeline (both new
+//!   passes skipped);
+//! * **cold v3** — all fourteen rules;
+//! * **warm v3** — all rules, content-hash cache fully populated.
+//!
+//! Asserted E-A3 bounds: cold v3 stays under [`MAX_PASS_OVERHEAD`]x
+//! cold v2 (the two passes must not dominate the scan), and the warm
+//! speedup stays ≥ [`MIN_WARM_SPEEDUP`]x with both passes enabled (the
+//! new passes run outside the per-file cache, so this checks they do
+//! not erode the cache's value).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+
+use genio_analyzer::rules::Rule;
+use genio_analyzer::workspace::{self, scan_with, ScanOptions};
+use genio_bench::print_experiment_once;
+use genio_testkit::bench::{BenchmarkId, Criterion, Throughput};
+
+static PRINTED: Once = Once::new();
+
+/// Acceptance bound: full cold scan over R1–R9-only cold scan.
+const MAX_PASS_OVERHEAD: f64 = 1.5;
+/// Acceptance bound: warm-over-cold speedup with every pass enabled.
+const MIN_WARM_SPEEDUP: f64 = 3.0;
+
+const BULK_CRATES: usize = 4;
+const FILES_PER_CRATE: usize = 12;
+const FNS_PER_FILE: usize = 4;
+const LINES_PER_FN: usize = 50;
+
+fn repo_root() -> PathBuf {
+    workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("bench runs inside the workspace tree")
+}
+
+/// Bulk arithmetic file — keeps the lexer and per-file rules busy,
+/// produces no findings.
+fn bulk_file(crate_idx: usize, file_idx: usize) -> String {
+    let mut src = String::from(
+        "//! Generated bench corpus file — deterministic, do not edit.\n\n",
+    );
+    for f in 0..FNS_PER_FILE {
+        let id = (crate_idx * FILES_PER_CRATE + file_idx) * FNS_PER_FILE + f;
+        src.push_str(&format!(
+            "/// Mixes the inputs with round constant {id}.\n\
+             pub fn work_{id}(x: u32, y: u32) -> u32 {{\n\
+             \x20   let mut acc = x ^ {id};\n"
+        ));
+        for line in 0..LINES_PER_FN {
+            let k = (id * LINES_PER_FN + line) as u32;
+            src.push_str(&format!(
+                "    acc ^= (acc << {}) ^ (y >> {}) ^ 0x{:08x};\n",
+                1 + line % 7,
+                line % 5,
+                k.wrapping_mul(2_654_435_761)
+            ));
+        }
+        src.push_str("    acc\n}\n\n");
+    }
+    src
+}
+
+/// Secret-handling file for the `crypto` crate: every function takes
+/// key material, derives locals, and branches/indexes on *public*
+/// values — maximal taint-closure work, deterministic finding count
+/// (zero) so the rows compare equal reports.
+fn crypto_file(file_idx: usize) -> String {
+    let mut src = String::from(
+        "//! Generated secret-handling corpus — deterministic, do not edit.\n\n",
+    );
+    for f in 0..FNS_PER_FILE {
+        let id = file_idx * FNS_PER_FILE + f;
+        src.push_str(&format!(
+            "/// Round {id} keystream mix.\n\
+             pub fn absorb_{id}(key: &[u8], tag: &[u8], i: usize) -> u8 {{\n\
+             \x20   let mut acc = 0u8;\n\
+             \x20   let k0 = key[i];\n\
+             \x20   let t0 = tag[i];\n"
+        ));
+        for line in 0..LINES_PER_FN / 2 {
+            src.push_str(&format!(
+                "    acc |= (k0 ^ t0).rotate_left({});\n    acc ^= {};\n",
+                line % 8,
+                (id + line) % 251
+            ));
+        }
+        src.push_str(
+            "    if i < key.len() {\n        acc |= 1;\n    }\n    acc\n}\n\n",
+        );
+    }
+    src
+}
+
+/// Lock/atomic file for the `core` crate: consistent-order guard pairs
+/// and counter atomics — the concurrency pass builds a real graph and
+/// proves it acyclic every scan.
+fn core_file(file_idx: usize) -> String {
+    let mut src = String::from(
+        "//! Generated lock-discipline corpus — deterministic, do not edit.\n\n",
+    );
+    for f in 0..FNS_PER_FILE {
+        let id = file_idx * FNS_PER_FILE + f;
+        src.push_str(&format!(
+            "/// Shard step {id}: canonical lock order, counter telemetry.\n\
+             pub fn step_{id}(ingress_mu: &M, egress_mu: &M, served: &A) -> u64 {{\n\
+             \x20   let g1 = ingress_mu.lock();\n\
+             \x20   let g2 = egress_mu.lock();\n\
+             \x20   served.fetch_add(1, Ordering::Relaxed);\n\
+             \x20   let total = served.load(Ordering::Relaxed);\n\
+             \x20   drop(g2);\n\
+             \x20   drop(g1);\n\
+             \x20   total\n\
+             }}\n\n"
+        ));
+    }
+    src
+}
+
+/// Materializes the corpus under `target/` with the `crates/<n>/src/`
+/// layout. Regenerated per run so stale files never skew a row.
+fn build_corpus(scratch: &Path) -> PathBuf {
+    let root = scratch.join("corpus");
+    let _ = fs::remove_dir_all(&root);
+    let mut crates: Vec<(String, fn(usize, usize) -> String)> = Vec::new();
+    for c in 0..BULK_CRATES {
+        crates.push((format!("gen{c:02}"), bulk_file));
+    }
+    crates.push(("crypto".to_string(), |_, f| crypto_file(f)));
+    crates.push(("core".to_string(), |_, f| core_file(f)));
+    for (c, (name, gen)) in crates.iter().enumerate() {
+        let src = root.join(format!("crates/{name}/src"));
+        fs::create_dir_all(&src).expect("corpus dir");
+        let mut lib = String::from("#![forbid(unsafe_code)]\n\n");
+        for f in 0..FILES_PER_CRATE {
+            lib.push_str(&format!("pub mod m{f:02};\n"));
+            fs::write(src.join(format!("m{f:02}.rs")), gen(c, f)).expect("corpus file");
+        }
+        fs::write(src.join("lib.rs"), lib).expect("corpus lib.rs");
+    }
+    fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("corpus manifest");
+    root
+}
+
+fn bench(c: &mut Criterion) {
+    c.experiment_id("E-A3");
+    let scratch = repo_root().join("target/genio-analyzer-passes-bench");
+    let corpus = build_corpus(&scratch);
+    let cache_path = scratch.join("cache.json");
+    let _ = fs::remove_file(&cache_path);
+
+    let legacy_rules: Vec<Rule> = Rule::ALL
+        .into_iter()
+        .filter(|r| !matches!(r.id(), "R10" | "R11" | "R12" | "R13" | "R14"))
+        .collect();
+    let cold_v2 = ScanOptions {
+        threads: 1,
+        rules: Some(legacy_rules),
+        ..ScanOptions::default()
+    };
+    let cold_v3 = ScanOptions { threads: 1, ..ScanOptions::default() };
+    let warm_v3 = ScanOptions {
+        threads: 1,
+        cache_path: Some(cache_path.clone()),
+        ..ScanOptions::default()
+    };
+
+    // Seed the cache and pin the invariants the rows rely on: the new
+    // passes are clean on this corpus (equal-finding comparisons) and
+    // warm output is byte-identical to cold.
+    let (seed_report, seed_stats) = scan_with(&corpus, &warm_v3).expect("seed scan");
+    let (warm_report, warm_stats) = scan_with(&corpus, &warm_v3).expect("warm scan");
+    assert_eq!(seed_stats.cache_hits, 0, "seed scan must start cold");
+    assert_eq!(warm_stats.cache_misses, 0, "cache must fully absorb a warm scan");
+    assert_eq!(
+        seed_report.to_json().to_string(),
+        warm_report.to_json().to_string(),
+        "warm report must be byte-identical to cold"
+    );
+    assert_eq!(
+        seed_report.findings.len(),
+        0,
+        "bench corpus must scan clean under all fourteen rules"
+    );
+    let files = seed_report.files;
+
+    let mut group = c.benchmark_group("analyzer_passes");
+    group.throughput(Throughput::Elements(files));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cold_r1_r9"),
+        &corpus,
+        |b, root| b.iter(|| std::hint::black_box(scan_with(root, &cold_v2).expect("scan"))),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cold_all_rules"),
+        &corpus,
+        |b, root| b.iter(|| std::hint::black_box(scan_with(root, &cold_v3).expect("scan"))),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("warm_all_rules"),
+        &corpus,
+        |b, root| b.iter(|| std::hint::black_box(scan_with(root, &warm_v3).expect("scan"))),
+    );
+    group.finish();
+
+    // --- E-A3 verdict: overhead table with asserted bounds. ---
+    let median = |name: &str| {
+        c.records()
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+    };
+    let (Some(v2_ns), Some(v3_ns), Some(warm_ns)) = (
+        median("analyzer_passes/cold_r1_r9"),
+        median("analyzer_passes/cold_all_rules"),
+        median("analyzer_passes/warm_all_rules"),
+    ) else {
+        // A `--filter` run can skip rows; no verdict then.
+        return;
+    };
+
+    let overhead = v3_ns / v2_ns;
+    let warm_speedup = v3_ns / warm_ns;
+
+    let mut body = String::new();
+    body.push_str(&format!(
+        "corpus: {} bulk + crypto + core crates, {} files / {} lines total\n\n",
+        BULK_CRATES, files, seed_report.lines
+    ));
+    body.push_str(&format!(
+        "  {:<16} {:>12} {:>14}\n",
+        "configuration", "median", "vs cold R1-R9"
+    ));
+    for (label, ns) in [
+        ("cold R1-R9", v2_ns),
+        ("cold all rules", v3_ns),
+        ("warm all rules", warm_ns),
+    ] {
+        body.push_str(&format!(
+            "  {:<16} {:>9.2} ms {:>13.2}x\n",
+            label,
+            ns / 1e6,
+            ns / v2_ns
+        ));
+    }
+    body.push_str(&format!(
+        "\nside-channel + concurrency overhead: {overhead:.2}x (bound < {MAX_PASS_OVERHEAD:.1}x); \
+         warm speedup: {warm_speedup:.2}x (bound >= {MIN_WARM_SPEEDUP:.1}x)\n"
+    ));
+    print_experiment_once(
+        &PRINTED,
+        "E-A3 / analyzer v3 — side-channel + concurrency pass overhead",
+        &body,
+    );
+
+    assert!(
+        overhead < MAX_PASS_OVERHEAD,
+        "E-A3 bound violated: R10-R14 passes cost {overhead:.2}x over the R1-R9 scan \
+         (required < {MAX_PASS_OVERHEAD:.1}x)"
+    );
+    assert!(
+        warm_speedup >= MIN_WARM_SPEEDUP,
+        "E-A3 bound violated: warm scan only {warm_speedup:.2}x faster than cold with \
+         all passes on (required >= {MIN_WARM_SPEEDUP:.1}x)"
+    );
+}
+
+genio_testkit::bench_main!(bench);

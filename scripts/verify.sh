@@ -41,6 +41,13 @@ echo "cold and cache-warm reports agree"
 echo "==> genio-analyzer ratchet gate (self-scan vs analyzer-baseline.json)"
 cargo run --release -q -p genio-analyzer
 
+echo "==> genio-analyzer fixture self-check (exact finding IDs on the miniws corpus)"
+cargo run --release -q -p genio-analyzer -- \
+    --root crates/analyzer/tests/fixtures/miniws \
+    --no-cache --baseline /dev/null \
+    --expect crates/analyzer/tests/fixtures/miniws-expected.txt
+echo "fixture corpus matches miniws-expected.txt finding for finding"
+
 echo "==> fleet-determinism gate (two same-seed engine runs must be byte-identical)"
 rm -rf target/genio-fleet
 mkdir -p target/genio-fleet
