@@ -129,6 +129,8 @@ fn negatives_stay_silent() {
         "n_wrap",         // public modulo
         "n_xor_fold",     // constant-time accumulate idiom
         "n_len_mod",      // modulo on a copied public length
+        "n_ghash_row",    // key-built table, data-derived index (GHASH idiom)
+        "n_ttable_round", // masked public counter byte into a table (CTR idiom)
         "grab_d",         // single acquisition, no cycle on its own
         "consistent_one", // canonical e-before-f order
         "consistent_two", // canonical order again

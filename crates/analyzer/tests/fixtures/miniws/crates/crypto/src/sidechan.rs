@@ -177,3 +177,17 @@ pub fn n_len_mod(key: &[u8], stride: usize) -> usize {
     let n = key.len();
     n % stride
 }
+
+/// R11 negative: the windowed-GHASH idiom of `genio_crypto::ghash` — the
+/// table *contents* were derived from the key at construction, but every
+/// lookup is indexed by a byte of the running (AAD/ciphertext-derived)
+/// state, so no key byte ever reaches an index expression.
+pub fn n_ghash_row(state: &[u8; 16], data: u8) -> u8 {
+    TABLE[(state[0] ^ data) as usize & 0xff]
+}
+
+/// R11 negative: the interleaved T-table CTR idiom — the round input is a
+/// masked byte of the public counter block, never key material.
+pub fn n_ttable_round(counter: u32) -> u8 {
+    TABLE[(counter >> 24) as usize & 0xff]
+}

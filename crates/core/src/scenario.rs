@@ -179,13 +179,22 @@ fn t1_network_attacks(config: &CampaignConfig) -> CampaignRow {
             let mut onu = GemCrypto::new(&seed);
             olt.establish_key(100, 1);
             onu.establish_key(100, 1);
-            for i in 0..10u32 {
-                let frame = olt
-                    .encrypt_downstream(100, 1, format!("meter {i}").as_bytes())
-                    .expect("keyed port");
-                tap.observe(&frame);
-                replayer.capture(&frame);
-                onu.decrypt(&frame).expect("legitimate delivery");
+            // The whole meter-reading burst is sealed with one batched AEAD
+            // call and replay-checked as a burst on the ONU side; frames are
+            // byte-identical to sequential `encrypt_downstream` calls.
+            let payloads: Vec<Vec<u8>> = (0..10u32)
+                .map(|i| format!("meter {i}").into_bytes())
+                .collect();
+            let payload_refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+            let frames = olt
+                .encrypt_downstream_many(100, 1, &payload_refs)
+                .expect("keyed port");
+            for frame in &frames {
+                tap.observe(frame);
+                replayer.capture(frame);
+            }
+            for delivered in onu.decrypt_many(&frames) {
+                delivered.expect("legitimate delivery");
             }
             (
                 tap.exposure_ratio().unwrap_or(0.0),

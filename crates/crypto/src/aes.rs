@@ -15,6 +15,36 @@ pub const BLOCK_LEN: usize = 16;
 /// A single 16-byte AES block.
 pub type Block = [u8; BLOCK_LEN];
 
+/// Which implementation the dispatching entry points (`encrypt_block`,
+/// `ctr_xor`, and the GCM seal/open family) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Table-driven fast path: fused T-table rounds, 8-way interleaved CTR
+    /// keystream, windowed GHASH tables. The default.
+    Table,
+    /// The straight FIPS 197 S-box + bitwise-GF(2^128) path. Slow, but
+    /// transparently equal to the specification; kept as the differential
+    /// oracle and selectable at run time for A/B verification.
+    Reference,
+}
+
+/// Resolves the process-wide backend, once: the `force-reference` cargo
+/// feature wins, then the `GENIO_CRYPTO_BACKEND` environment variable
+/// (`reference` or `table`, case-insensitive); anything else — including the
+/// common case of no configuration at all — selects the fast table path.
+pub fn backend() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        if cfg!(feature = "force-reference") {
+            return Backend::Reference;
+        }
+        match std::env::var("GENIO_CRYPTO_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("reference") => Backend::Reference,
+            _ => Backend::Table,
+        }
+    })
+}
+
 fn gf_mul(mut a: u8, mut b: u8) -> u8 {
     let mut p = 0u8;
     for _ in 0..8 {
@@ -226,8 +256,23 @@ impl Aes {
         self.size
     }
 
-    /// Encrypts one 16-byte block (T-table fast path).
+    /// Encrypts one 16-byte block via the configured [`backend`]: the
+    /// T-table fast path by default, the straight FIPS 197 reference path
+    /// under `GENIO_CRYPTO_BACKEND=reference` or the `force-reference`
+    /// feature.
     pub fn encrypt_block(&self, block: Block) -> Block {
+        match backend() {
+            Backend::Table => self.encrypt_block_table(block),
+            Backend::Reference => self.encrypt_block_reference(block),
+        }
+    }
+
+    /// T-table fast path. Side-channel note (analyzer rule R11): the table
+    /// indices are bytes of the evolving cipher state — key material only
+    /// enters through the XORed round keys, never as an index — so the
+    /// secret-index taint R11 tracks does not arise; see `ghash.rs` for the
+    /// full argument and the residual cache-timing caveat.
+    fn encrypt_block_table(&self, block: Block) -> Block {
         let te = te_tables();
         let s = sbox();
         let nr = self.size.rounds();
@@ -242,27 +287,24 @@ impl Aes {
             ]) ^ rk[0][c];
         }
         #[allow(clippy::needless_range_loop)]
-        for round in 1..nr {
+        for rkr in rk.iter().take(nr).skip(1) {
             let mut next = [0u32; 4];
             for c in 0..4 {
-                next[c] = te[0][(cols[c] >> 24) as usize]
+                next[c] = te[0][((cols[c] >> 24) & 0xff) as usize]
                     ^ te[1][((cols[(c + 1) & 3] >> 16) & 0xff) as usize]
                     ^ te[2][((cols[(c + 2) & 3] >> 8) & 0xff) as usize]
                     ^ te[3][(cols[(c + 3) & 3] & 0xff) as usize]
-                    ^ rk[round][c];
+                    ^ rkr[c];
             }
             cols = next;
         }
-        // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+        // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns),
+        // unrolled so every index is a literal or a masked byte.
+        let rkl = rk[nr];
+        let words = final_round_words(&cols, s, &rkl);
         let mut out = [0u8; BLOCK_LEN];
-        for c in 0..4 {
-            let word = u32::from_be_bytes([
-                s[(cols[c] >> 24) as usize],
-                s[((cols[(c + 1) & 3] >> 16) & 0xff) as usize],
-                s[((cols[(c + 2) & 3] >> 8) & 0xff) as usize],
-                s[(cols[(c + 3) & 3] & 0xff) as usize],
-            ]) ^ rk[nr][c];
-            out[4 * c..4 * c + 4].copy_from_slice(&word.to_be_bytes());
+        for (word, chunk) in words.iter().zip(out.chunks_exact_mut(4)) {
+            chunk.copy_from_slice(&word.to_be_bytes());
         }
         out
     }
@@ -303,20 +345,154 @@ impl Aes {
         block
     }
 
+    /// Generates the keystream for [`KS_LANES`] consecutive counter blocks
+    /// in one interleaved pass: all lanes advance round by round together,
+    /// so the eight independent dependency chains fill the pipeline instead
+    /// of serializing block by block. The counter blocks share bytes 0..12
+    /// (`prefix`) and differ only in the trailing 32-bit big-endian counter,
+    /// exactly as GCM's CTR mode increments them.
+    fn keystream8(&self, prefix: [u32; 3], ctr: u32, out: &mut [u8; KS_LANES * BLOCK_LEN]) {
+        let te = te_tables();
+        let s = sbox();
+        let nr = self.size.rounds();
+        let rk = &self.enc_round_keys;
+        let rk0 = rk[0];
+        let mut lanes = [[0u32; 4]; KS_LANES];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            lane[0] = prefix[0] ^ rk0[0];
+            lane[1] = prefix[1] ^ rk0[1];
+            lane[2] = prefix[2] ^ rk0[2];
+            lane[3] = ctr.wrapping_add(i as u32) ^ rk0[3];
+        }
+        for rkr in rk.iter().take(nr).skip(1) {
+            for lane in lanes.iter_mut() {
+                let c = *lane;
+                lane[0] = te[0][(c[0] >> 24) as usize]
+                    ^ te[1][((c[1] >> 16) & 0xff) as usize]
+                    ^ te[2][((c[2] >> 8) & 0xff) as usize]
+                    ^ te[3][(c[3] & 0xff) as usize]
+                    ^ rkr[0];
+                lane[1] = te[0][(c[1] >> 24) as usize]
+                    ^ te[1][((c[2] >> 16) & 0xff) as usize]
+                    ^ te[2][((c[3] >> 8) & 0xff) as usize]
+                    ^ te[3][(c[0] & 0xff) as usize]
+                    ^ rkr[1];
+                lane[2] = te[0][(c[2] >> 24) as usize]
+                    ^ te[1][((c[3] >> 16) & 0xff) as usize]
+                    ^ te[2][((c[0] >> 8) & 0xff) as usize]
+                    ^ te[3][(c[1] & 0xff) as usize]
+                    ^ rkr[2];
+                lane[3] = te[0][(c[3] >> 24) as usize]
+                    ^ te[1][((c[0] >> 16) & 0xff) as usize]
+                    ^ te[2][((c[1] >> 8) & 0xff) as usize]
+                    ^ te[3][(c[2] & 0xff) as usize]
+                    ^ rkr[3];
+            }
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+        let rkl = rk[nr];
+        for (lane, block_out) in lanes.iter().zip(out.chunks_exact_mut(BLOCK_LEN)) {
+            let words = final_round_words(lane, s, &rkl);
+            for (word, word_out) in words.iter().zip(block_out.chunks_exact_mut(4)) {
+                word_out.copy_from_slice(&word.to_be_bytes());
+            }
+        }
+    }
+
     /// Encrypts `data` in CTR mode with the given 16-byte initial counter
     /// block, XORing the keystream in place.
     ///
-    /// CTR encryption and decryption are the same operation.
+    /// CTR encryption and decryption are the same operation. The default
+    /// backend generates the keystream in interleaved batches of
+    /// [`KS_LANES`] blocks (see [`Aes::keystream8`]); the reference backend
+    /// falls through to [`Aes::ctr_xor_reference`].
     pub fn ctr_xor(&self, initial_counter: Block, data: &mut [u8]) {
-        let mut counter = initial_counter;
-        for chunk in data.chunks_mut(BLOCK_LEN) {
-            let keystream = self.encrypt_block(counter);
+        if backend() == Backend::Reference {
+            self.ctr_xor_reference(initial_counter, data);
+            return;
+        }
+        let ic = initial_counter;
+        let prefix = [
+            u32::from_be_bytes([ic[0], ic[1], ic[2], ic[3]]),
+            u32::from_be_bytes([ic[4], ic[5], ic[6], ic[7]]),
+            u32::from_be_bytes([ic[8], ic[9], ic[10], ic[11]]),
+        ];
+        // The counter arithmetic stays in u32 so wrap-around matches
+        // `increment_counter`'s 32-bit big-endian semantics exactly.
+        let mut ctr = u32::from_be_bytes([ic[12], ic[13], ic[14], ic[15]]);
+        let mut ks = [0u8; KS_LANES * BLOCK_LEN];
+        let mut batches = data.chunks_exact_mut(KS_LANES * BLOCK_LEN);
+        for chunk in &mut batches {
+            self.keystream8(prefix, ctr, &mut ks);
+            ctr = ctr.wrapping_add(KS_LANES as u32);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+        let rest = batches.into_remainder();
+        if rest.is_empty() {
+            return;
+        }
+        let mut counter = ic;
+        counter[12..16].copy_from_slice(&ctr.to_be_bytes());
+        for chunk in rest.chunks_mut(BLOCK_LEN) {
+            let keystream = self.encrypt_block_table(counter);
             for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
                 *b ^= k;
             }
             increment_counter(&mut counter);
         }
     }
+
+    /// Reference CTR mode: one straight FIPS 197 block encryption per
+    /// 16 bytes, no interleaving. Differential oracle twin of
+    /// [`Aes::ctr_xor`].
+    pub fn ctr_xor_reference(&self, initial_counter: Block, data: &mut [u8]) {
+        let mut counter = initial_counter;
+        for chunk in data.chunks_mut(BLOCK_LEN) {
+            let keystream = self.encrypt_block_reference(counter);
+            for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+                *b ^= k;
+            }
+            increment_counter(&mut counter);
+        }
+    }
+}
+
+/// Number of CTR blocks generated per interleaved keystream batch.
+const KS_LANES: usize = 8;
+
+/// The AES final round (SubBytes + ShiftRows + AddRoundKey) for one block
+/// held as four column words, fully unrolled: every table index is either a
+/// literal or a byte masked to the S-box length.
+#[inline]
+fn final_round_words(c: &[u32; 4], s: &[u8; 256], rkl: &[u32; 4]) -> [u32; 4] {
+    [
+        u32::from_be_bytes([
+            s[((c[0] >> 24) & 0xff) as usize],
+            s[((c[1] >> 16) & 0xff) as usize],
+            s[((c[2] >> 8) & 0xff) as usize],
+            s[(c[3] & 0xff) as usize],
+        ]) ^ rkl[0],
+        u32::from_be_bytes([
+            s[((c[1] >> 24) & 0xff) as usize],
+            s[((c[2] >> 16) & 0xff) as usize],
+            s[((c[3] >> 8) & 0xff) as usize],
+            s[(c[0] & 0xff) as usize],
+        ]) ^ rkl[1],
+        u32::from_be_bytes([
+            s[((c[2] >> 24) & 0xff) as usize],
+            s[((c[3] >> 16) & 0xff) as usize],
+            s[((c[0] >> 8) & 0xff) as usize],
+            s[(c[1] & 0xff) as usize],
+        ]) ^ rkl[2],
+        u32::from_be_bytes([
+            s[((c[3] >> 24) & 0xff) as usize],
+            s[((c[0] >> 16) & 0xff) as usize],
+            s[((c[1] >> 8) & 0xff) as usize],
+            s[(c[2] & 0xff) as usize],
+        ]) ^ rkl[3],
+    ]
 }
 
 /// Increments the last 32 bits of a counter block (big-endian), as specified
@@ -494,6 +670,40 @@ mod tests {
                 block = fast;
             }
         }
+    }
+
+    #[test]
+    fn ctr_interleaved_matches_reference_across_lengths() {
+        for key_len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..key_len as u8)
+                .map(|i| i.wrapping_mul(13) ^ 0xa7)
+                .collect();
+            let aes = Aes::new(&key).unwrap();
+            let counter = [0x42u8; 16];
+            // Lengths straddle the 8-lane batch boundary (128 bytes) and
+            // include partial final blocks.
+            for len in [0usize, 1, 15, 16, 17, 127, 128, 129, 255, 256, 1500] {
+                let mut fast: Vec<u8> = (0..len).map(|i| i as u8).collect();
+                let mut slow = fast.clone();
+                aes.ctr_xor(counter, &mut fast);
+                aes.ctr_xor_reference(counter, &mut slow);
+                assert_eq!(fast, slow, "key_len {key_len} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn ctr_counter_wrap_crossing_matches_reference() {
+        let aes = Aes::new(&[7u8; 16]).unwrap();
+        // Start 3 increments below the 32-bit wrap so both an interleaved
+        // batch and the per-block tail cross the wrap boundary.
+        let mut counter = [0x11u8; 16];
+        counter[12..16].copy_from_slice(&0xffff_fffd_u32.to_be_bytes());
+        let mut fast = vec![0xa5u8; KS_LANES * BLOCK_LEN * 2 + 37];
+        let mut slow = fast.clone();
+        aes.ctr_xor(counter, &mut fast);
+        aes.ctr_xor_reference(counter, &mut slow);
+        assert_eq!(fast, slow);
     }
 
     #[test]

@@ -5,11 +5,26 @@
 //! recommends AES-based payload protection), TLS-1.3-like record protection,
 //! and LUKS-like volume encryption in the secure-boot substrate.
 //!
-//! GHASH is implemented over GF(2^128) with the GCM-reflected reduction
-//! polynomial; the implementation is validated against the McGrew–Viega test
-//! cases from the original GCM submission.
+//! Two implementations share one key object:
+//!
+//! * the **fast path** (default): T-table AES rounds with an 8-way
+//!   interleaved CTR keystream ([`crate::aes`]) and 8-bit windowed GHASH
+//!   tables built once per key ([`crate::ghash`]), plus batched
+//!   [`AesGcm::seal_many`]/[`AesGcm::open_many`] so callers amortize
+//!   per-frame overhead across a whole TDMA burst;
+//! * the **reference path**: straight FIPS 197 S-box rounds and the bitwise
+//!   GF(2^128) multiply. Every fast entry point has a `_reference` twin
+//!   (`seal_reference`, `open_many_reference`, …) used as the differential
+//!   oracle, and `GENIO_CRYPTO_BACKEND=reference` (or the `force-reference`
+//!   feature) reroutes the plain entry points onto it process-wide.
+//!
+//! Both paths are validated against the McGrew–Viega test cases here and the
+//! committed NIST/RFC vector corpus in `tests/gcm_vectors.rs`; the
+//! differential property suite in `tests/gcm_differential.rs` proves them
+//! byte-identical on randomized inputs.
 
-use crate::aes::{increment_counter, Aes, Block};
+use crate::aes::{backend, increment_counter, Aes, Backend, Block};
+use crate::ghash::{ghash_reference, GhashKey};
 use crate::{ct, CryptoError};
 use genio_telemetry::{Counter, Histogram, Telemetry};
 
@@ -19,101 +34,11 @@ pub const NONCE_LEN: usize = 12;
 /// Authentication tag length in bytes.
 pub const TAG_LEN: usize = 16;
 
-const R: u128 = 0xe1 << 120;
-
-/// Bitwise multiplication in GF(2^128) with the GCM bit ordering.
-/// Reference implementation; the hot path uses [`GhashKey`]'s tables.
-fn gf128_mul(x: u128, y: u128) -> u128 {
-    let mut z = 0u128;
-    let mut v = x;
-    for i in 0..128 {
-        if (y >> (127 - i)) & 1 == 1 {
-            z ^= v;
-        }
-        let lsb = v & 1;
-        v >>= 1;
-        if lsb == 1 {
-            v ^= R;
-        }
-    }
-    z
-}
-
-fn block_to_u128(b: &[u8]) -> u128 {
-    let mut buf = [0u8; 16];
-    for (slot, byte) in buf.iter_mut().zip(b.iter()) {
-        *slot = *byte;
-    }
-    u128::from_be_bytes(buf)
-}
-
-/// Precomputed multiplication tables for a fixed GHASH key `H`.
-///
-/// `gf128_mul(x, h)` is GF(2)-linear in `x`, so `x·H` decomposes into the
-/// XOR of per-byte contributions: one 256-entry table per byte position
-/// (64 KiB per key) turns the 128-iteration bitwise multiply into 16 table
-/// lookups — the standard software-GHASH optimization.
-#[derive(Clone)]
-struct GhashKey {
-    table: Box<[[u128; 256]; 16]>,
-}
-
-impl std::fmt::Debug for GhashKey {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GhashKey").finish_non_exhaustive()
-    }
-}
-
-impl GhashKey {
-    fn new(h: u128) -> Self {
-        let mut table = Box::new([[0u128; 256]; 16]);
-        for pos in 0..16 {
-            // One bitwise multiply per bit of the byte, then combine by
-            // linearity for all 256 values.
-            let mut powers = [0u128; 8];
-            for (bit, slot) in powers.iter_mut().enumerate() {
-                let x = (1u128 << bit) << ((15 - pos) * 8);
-                *slot = gf128_mul(x, h);
-            }
-            for v in 1usize..256 {
-                let mut acc = 0u128;
-                for (bit, p) in powers.iter().enumerate() {
-                    if v & (1 << bit) != 0 {
-                        acc ^= p;
-                    }
-                }
-                table[pos][v] = acc;
-            }
-        }
-        GhashKey { table }
-    }
-
-    /// Computes `x · H` via table lookups.
-    fn mul(&self, x: u128) -> u128 {
-        let bytes = x.to_be_bytes();
-        let mut z = 0u128;
-        for (row, b) in self.table.iter().zip(bytes.iter()) {
-            z ^= row.get(usize::from(*b)).copied().unwrap_or(0);
-        }
-        z
-    }
-}
-
-/// GHASH universal hash keyed by `h`, processing `aad` then `ct` then the
-/// 64-bit bit lengths, per SP 800-38D §6.4.
-fn ghash(h: &GhashKey, aad: &[u8], ct: &[u8]) -> u128 {
-    let mut y = 0u128;
-    for chunk in aad.chunks(16) {
-        y = h.mul(y ^ block_to_u128(chunk));
-    }
-    for chunk in ct.chunks(16) {
-        y = h.mul(y ^ block_to_u128(chunk));
-    }
-    let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
-    h.mul(y ^ lens)
-}
-
 /// An AES-GCM AEAD cipher bound to one key.
+///
+/// Construction derives the AES key schedule and the 64 KiB GHASH tables
+/// once; both are reused for every subsequent seal/open, single or batched —
+/// sessions should build one `AesGcm` per key, not one per call.
 ///
 /// # Example
 ///
@@ -131,10 +56,15 @@ fn ghash(h: &GhashKey, aad: &[u8], ct: &[u8]) -> u128 {
 pub struct AesGcm {
     aes: Aes,
     h: GhashKey,
+    /// The raw GHASH key `E_K(0^128)`, kept for the reference path.
+    h_raw: u128,
+    telemetry: Telemetry,
     seal_time: Histogram,
     open_time: Histogram,
     sealed_bytes: Counter,
     opened_bytes: Counter,
+    sealed_frames: Counter,
+    opened_frames: Counter,
 }
 
 impl AesGcm {
@@ -145,26 +75,36 @@ impl AesGcm {
     /// Returns [`CryptoError::InvalidKeyLength`] for other key sizes.
     pub fn new(key: &[u8]) -> crate::Result<Self> {
         let aes = Aes::new(key)?;
-        let h = GhashKey::new(u128::from_be_bytes(aes.encrypt_block([0u8; 16])));
+        let h_raw = u128::from_be_bytes(aes.encrypt_block([0u8; 16]));
+        let h = GhashKey::new(h_raw);
         Ok(AesGcm {
             aes,
             h,
+            h_raw,
+            telemetry: Telemetry::disabled(),
             seal_time: Histogram::disabled(),
             open_time: Histogram::disabled(),
             sealed_bytes: Counter::disabled(),
             opened_bytes: Counter::disabled(),
+            sealed_frames: Counter::disabled(),
+            opened_frames: Counter::disabled(),
         })
     }
 
     /// Attaches telemetry: per-call seal/open latency histograms
-    /// (`crypto.gcm.seal_ns` / `crypto.gcm.open_ns`) and byte counters.
+    /// (`crypto.gcm.seal_ns` / `crypto.gcm.open_ns`), byte/frame counters,
+    /// and per-batch spans `crypto.gcm.seal_many` / `crypto.gcm.open_many`.
     /// Handles are resolved here, once; per-call cost is two clock reads
-    /// and a few relaxed atomics.
+    /// and a few relaxed atomics, and batched calls pay it once per burst
+    /// rather than once per frame.
     pub fn instrument(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
         self.seal_time = telemetry.histogram("crypto.gcm.seal_ns");
         self.open_time = telemetry.histogram("crypto.gcm.open_ns");
         self.sealed_bytes = telemetry.counter("crypto.gcm.sealed_bytes");
         self.opened_bytes = telemetry.counter("crypto.gcm.opened_bytes");
+        self.sealed_frames = telemetry.counter("crypto.gcm.sealed_frames");
+        self.opened_frames = telemetry.counter("crypto.gcm.opened_frames");
         self
     }
 
@@ -184,12 +124,41 @@ impl AesGcm {
     pub fn seal(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
         let _timer = self.seal_time.start();
         self.sealed_bytes.incr(plaintext.len() as u64);
+        if backend() == Backend::Reference {
+            return self.seal_reference(nonce, plaintext, aad);
+        }
+        self.seal_one(nonce, plaintext, aad)
+    }
+
+    /// Fast-path seal without per-call telemetry; shared by [`AesGcm::seal`]
+    /// and [`AesGcm::seal_many`].
+    fn seal_one(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
         let j0 = Self::j0(nonce);
         let mut counter = j0;
         increment_counter(&mut counter);
-        let mut out = plaintext.to_vec();
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
         self.aes.ctr_xor(counter, &mut out);
         let tag = self.tag(j0, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Reference-path twin of [`AesGcm::seal`]: S-box AES rounds and bitwise
+    /// GHASH, no tables, no interleaving. Differential oracle.
+    pub fn seal_reference(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        plaintext: &[u8],
+        aad: &[u8],
+    ) -> Vec<u8> {
+        let j0 = Self::j0(nonce);
+        let mut counter = j0;
+        increment_counter(&mut counter);
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        self.aes.ctr_xor_reference(counter, &mut out);
+        let tag = self.tag_reference(j0, aad, &out);
         out.extend_from_slice(&tag);
         out
     }
@@ -209,6 +178,24 @@ impl AesGcm {
         aad: &[u8],
     ) -> crate::Result<Vec<u8>> {
         let _timer = self.open_time.start();
+        if backend() == Backend::Reference {
+            let pt = self.open_reference(nonce, sealed, aad)?;
+            self.opened_bytes.incr(pt.len() as u64);
+            return Ok(pt);
+        }
+        let pt = self.open_one(nonce, sealed, aad)?;
+        self.opened_bytes.incr(pt.len() as u64);
+        Ok(pt)
+    }
+
+    /// Fast-path open without per-call telemetry; shared by [`AesGcm::open`]
+    /// and [`AesGcm::open_many`].
+    fn open_one(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        sealed: &[u8],
+        aad: &[u8],
+    ) -> crate::Result<Vec<u8>> {
         if sealed.len() < TAG_LEN {
             return Err(CryptoError::CiphertextTooShort);
         }
@@ -222,13 +209,163 @@ impl AesGcm {
         increment_counter(&mut counter);
         let mut pt = ct.to_vec();
         self.aes.ctr_xor(counter, &mut pt);
-        self.opened_bytes.incr(pt.len() as u64);
         Ok(pt)
     }
 
+    /// Reference-path twin of [`AesGcm::open`]. Differential oracle.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AesGcm::open`].
+    pub fn open_reference(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        sealed: &[u8],
+        aad: &[u8],
+    ) -> crate::Result<Vec<u8>> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::CiphertextTooShort);
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let j0 = Self::j0(nonce);
+        let expected = self.tag_reference(j0, aad, ct);
+        if !ct::eq(&expected, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut counter = j0;
+        increment_counter(&mut counter);
+        let mut pt = ct.to_vec();
+        self.aes.ctr_xor_reference(counter, &mut pt);
+        Ok(pt)
+    }
+
+    /// Seals a whole burst of frames in one call: frame `i` is sealed with
+    /// `nonces[i]`, `plaintexts[i]`, `aads[i]`, exactly as `seal` would, and
+    /// the outputs are byte-identical to looping `seal` — the batch form
+    /// exists so MACsec/PON callers pay telemetry and dispatch once per
+    /// TDMA burst instead of once per frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BatchLengthMismatch`] when the three slices
+    /// disagree in length; nothing is sealed in that case.
+    pub fn seal_many(
+        &self,
+        nonces: &[[u8; NONCE_LEN]],
+        plaintexts: &[&[u8]],
+        aads: &[&[u8]],
+    ) -> crate::Result<Vec<Vec<u8>>> {
+        Self::check_batch(nonces.len(), plaintexts.len(), aads.len())?;
+        let _span = self.telemetry.span("crypto.gcm.seal_many");
+        self.sealed_frames.incr(nonces.len() as u64);
+        self.sealed_bytes
+            .incr(plaintexts.iter().map(|p| p.len() as u64).sum());
+        let reference = backend() == Backend::Reference;
+        let mut out = Vec::with_capacity(nonces.len());
+        for ((nonce, pt), aad) in nonces.iter().zip(plaintexts).zip(aads) {
+            out.push(if reference {
+                self.seal_reference(nonce, pt, aad)
+            } else {
+                self.seal_one(nonce, pt, aad)
+            });
+        }
+        Ok(out)
+    }
+
+    /// Reference twin of [`AesGcm::seal_many`]: loops [`AesGcm::seal_reference`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AesGcm::seal_many`].
+    pub fn seal_many_reference(
+        &self,
+        nonces: &[[u8; NONCE_LEN]],
+        plaintexts: &[&[u8]],
+        aads: &[&[u8]],
+    ) -> crate::Result<Vec<Vec<u8>>> {
+        Self::check_batch(nonces.len(), plaintexts.len(), aads.len())?;
+        let mut out = Vec::with_capacity(nonces.len());
+        for ((nonce, pt), aad) in nonces.iter().zip(plaintexts).zip(aads) {
+            out.push(self.seal_reference(nonce, pt, aad));
+        }
+        Ok(out)
+    }
+
+    /// Opens a whole burst of frames in one call. The outer `Result` only
+    /// reports batch-shape errors; each frame gets its own inner `Result`
+    /// with exactly the per-frame errors `open` would return, so one forged
+    /// frame never masks its neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BatchLengthMismatch`] when the three slices
+    /// disagree in length.
+    pub fn open_many(
+        &self,
+        nonces: &[[u8; NONCE_LEN]],
+        sealed: &[&[u8]],
+        aads: &[&[u8]],
+    ) -> crate::Result<Vec<crate::Result<Vec<u8>>>> {
+        Self::check_batch(nonces.len(), sealed.len(), aads.len())?;
+        let _span = self.telemetry.span("crypto.gcm.open_many");
+        self.opened_frames.incr(nonces.len() as u64);
+        let reference = backend() == Backend::Reference;
+        let mut out = Vec::with_capacity(nonces.len());
+        let mut opened = 0u64;
+        for ((nonce, ct), aad) in nonces.iter().zip(sealed).zip(aads) {
+            let frame = if reference {
+                self.open_reference(nonce, ct, aad)
+            } else {
+                self.open_one(nonce, ct, aad)
+            };
+            if let Ok(pt) = &frame {
+                opened += pt.len() as u64;
+            }
+            out.push(frame);
+        }
+        self.opened_bytes.incr(opened);
+        Ok(out)
+    }
+
+    /// Reference twin of [`AesGcm::open_many`]: loops [`AesGcm::open_reference`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AesGcm::open_many`].
+    pub fn open_many_reference(
+        &self,
+        nonces: &[[u8; NONCE_LEN]],
+        sealed: &[&[u8]],
+        aads: &[&[u8]],
+    ) -> crate::Result<Vec<crate::Result<Vec<u8>>>> {
+        Self::check_batch(nonces.len(), sealed.len(), aads.len())?;
+        let mut out = Vec::with_capacity(nonces.len());
+        for ((nonce, ct), aad) in nonces.iter().zip(sealed).zip(aads) {
+            out.push(self.open_reference(nonce, ct, aad));
+        }
+        Ok(out)
+    }
+
+    fn check_batch(nonces: usize, texts: usize, aads: usize) -> crate::Result<()> {
+        if nonces != texts || nonces != aads {
+            return Err(CryptoError::BatchLengthMismatch {
+                nonces,
+                texts,
+                aads,
+            });
+        }
+        Ok(())
+    }
+
     fn tag(&self, j0: Block, aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
-        let s = ghash(&self.h, aad, ct);
+        let s = self.h.ghash(aad, ct);
         let e = u128::from_be_bytes(self.aes.encrypt_block(j0));
+        (s ^ e).to_be_bytes()
+    }
+
+    fn tag_reference(&self, j0: Block, aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
+        let s = ghash_reference(self.h_raw, aad, ct);
+        let e = u128::from_be_bytes(self.aes.encrypt_block_reference(j0));
         (s ^ e).to_be_bytes()
     }
 }
@@ -244,11 +381,15 @@ mod tests {
         let pt = hex::decode(pt).unwrap();
         let aad = hex::decode(aad).unwrap();
         let gcm = AesGcm::new(&key).unwrap();
+        // Fast path.
         let sealed = gcm.seal(&iv, &pt, &aad);
         let (got_ct, got_tag) = sealed.split_at(sealed.len() - TAG_LEN);
         assert_eq!(hex::encode(got_ct), ct, "ciphertext");
         assert_eq!(hex::encode(got_tag), tag, "tag");
         assert_eq!(gcm.open(&iv, &sealed, &aad).unwrap(), pt);
+        // Reference path must produce the identical bytes.
+        assert_eq!(gcm.seal_reference(&iv, &pt, &aad), sealed, "reference seal");
+        assert_eq!(gcm.open_reference(&iv, &sealed, &aad).unwrap(), pt);
     }
 
     // McGrew-Viega GCM spec, test case 1: everything empty.
@@ -326,6 +467,10 @@ mod tests {
             gcm.open(&nonce, &sealed, b"aad"),
             Err(CryptoError::AuthenticationFailed)
         );
+        assert_eq!(
+            gcm.open_reference(&nonce, &sealed, b"aad"),
+            Err(CryptoError::AuthenticationFailed)
+        );
     }
 
     #[test]
@@ -356,36 +501,80 @@ mod tests {
             gcm.open(&[0u8; 12], &[0u8; 15], b""),
             Err(CryptoError::CiphertextTooShort)
         );
+        assert_eq!(
+            gcm.open_reference(&[0u8; 12], &[0u8; 15], b""),
+            Err(CryptoError::CiphertextTooShort)
+        );
+    }
+
+    fn burst(n: usize) -> (Vec<[u8; NONCE_LEN]>, Vec<Vec<u8>>, Vec<Vec<u8>>) {
+        let nonces: Vec<[u8; NONCE_LEN]> = (0..n)
+            .map(|i| {
+                let mut nonce = [0u8; NONCE_LEN];
+                nonce[..8].copy_from_slice(&(i as u64).to_be_bytes());
+                nonce
+            })
+            .collect();
+        let pts: Vec<Vec<u8>> = (0..n)
+            .map(|i| (0..(i * 7) % 64).map(|b| (b ^ i) as u8).collect())
+            .collect();
+        let aads: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; i % 5]).collect();
+        (nonces, pts, aads)
     }
 
     #[test]
-    fn gf128_mul_identity_and_commutativity() {
-        // The multiplicative identity in GCM's representation is the block
-        // 0x80000...0 (bit 0 set, reflected order).
-        let one = 1u128 << 127;
-        for x in [0u128, 1, one, 0xdeadbeef_u128 << 64, u128::MAX] {
-            assert_eq!(gf128_mul(x, one), x);
-            assert_eq!(gf128_mul(one, x), x);
+    fn seal_many_matches_looped_seal_and_roundtrips() {
+        let gcm = AesGcm::new(&[9u8; 24]).unwrap();
+        let (nonces, pts, aads) = burst(17);
+        let pt_refs: Vec<&[u8]> = pts.iter().map(Vec::as_slice).collect();
+        let aad_refs: Vec<&[u8]> = aads.iter().map(Vec::as_slice).collect();
+        let sealed = gcm.seal_many(&nonces, &pt_refs, &aad_refs).unwrap();
+        for (i, frame) in sealed.iter().enumerate() {
+            assert_eq!(*frame, gcm.seal(&nonces[i], &pts[i], &aads[i]), "frame {i}");
         }
-        let a = 0x0123_4567_89ab_cdef_u128;
-        let b = 0xfedc_ba98_7654_3210_u128 << 13;
-        assert_eq!(gf128_mul(a, b), gf128_mul(b, a));
+        let sealed_refs: Vec<&[u8]> = sealed.iter().map(Vec::as_slice).collect();
+        let opened = gcm.open_many(&nonces, &sealed_refs, &aad_refs).unwrap();
+        for (i, frame) in opened.into_iter().enumerate() {
+            assert_eq!(frame.unwrap(), pts[i], "frame {i}");
+        }
     }
 
     #[test]
-    fn table_mul_matches_bitwise_mul() {
-        // The 64 KiB per-key tables must agree with the reference bitwise
-        // multiply for arbitrary operands.
-        let h = 0x66e9_4bd4_ef8a_2c3b_884c_fa59_ca34_2b2e_u128;
-        let key = GhashKey::new(h);
-        let mut x = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210_u128;
-        for _ in 0..100 {
-            assert_eq!(key.mul(x), gf128_mul(x, h));
-            // xorshift to wander the space deterministically.
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
+    fn open_many_reports_per_frame_tampering() {
+        let gcm = AesGcm::new(&[9u8; 16]).unwrap();
+        let (nonces, pts, aads) = burst(5);
+        let pt_refs: Vec<&[u8]> = pts.iter().map(Vec::as_slice).collect();
+        let aad_refs: Vec<&[u8]> = aads.iter().map(Vec::as_slice).collect();
+        let mut sealed = gcm.seal_many(&nonces, &pt_refs, &aad_refs).unwrap();
+        sealed[2][0] ^= 1;
+        let sealed_refs: Vec<&[u8]> = sealed.iter().map(Vec::as_slice).collect();
+        let opened = gcm.open_many(&nonces, &sealed_refs, &aad_refs).unwrap();
+        for (i, frame) in opened.into_iter().enumerate() {
+            if i == 2 {
+                assert_eq!(frame, Err(CryptoError::AuthenticationFailed));
+            } else {
+                assert_eq!(frame.unwrap(), pts[i], "frame {i}");
+            }
         }
-        assert_eq!(key.mul(0), 0);
+    }
+
+    #[test]
+    fn batch_shape_mismatch_rejected_up_front() {
+        let gcm = AesGcm::new(&[9u8; 16]).unwrap();
+        let nonces = [[0u8; NONCE_LEN]; 2];
+        let texts: [&[u8]; 1] = [b"x"];
+        let aads: [&[u8]; 2] = [b"", b""];
+        assert!(matches!(
+            gcm.seal_many(&nonces, &texts, &aads),
+            Err(CryptoError::BatchLengthMismatch {
+                nonces: 2,
+                texts: 1,
+                aads: 2
+            })
+        ));
+        assert!(matches!(
+            gcm.open_many(&nonces, &texts, &aads),
+            Err(CryptoError::BatchLengthMismatch { .. })
+        ));
     }
 }

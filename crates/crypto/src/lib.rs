@@ -15,8 +15,13 @@
 //!   test vectors.
 //! * [`aes`] — AES-128/192/256 block cipher (FIPS 197), validated against the
 //!   FIPS 197 appendix vectors.
-//! * [`gcm`] — AES-GCM authenticated encryption with GHASH over GF(2^128)
-//!   (NIST SP 800-38D), validated against the McGrew–Viega test cases.
+//! * [`gcm`] — AES-GCM authenticated encryption (NIST SP 800-38D), validated
+//!   against the McGrew–Viega test cases and a committed NIST/RFC vector
+//!   corpus. Table-driven fast path with batched `seal_many`/`open_many`,
+//!   plus `_reference` oracle twins selectable via
+//!   `GENIO_CRYPTO_BACKEND=reference`.
+//! * [`ghash`] — GHASH over GF(2^128): bitwise reference multiply and the
+//!   per-key 8-bit windowed tables the fast path uses.
 //! * [`dh`] — Diffie–Hellman over the Mersenne prime 2^127 − 1.
 //!   **Simulation-grade**: the group is far too small for real-world use
 //!   (~2^60 security) but exercises the exact same protocol logic (TLS-like
@@ -54,6 +59,7 @@ pub mod ct;
 pub mod dh;
 pub mod drbg;
 pub mod gcm;
+pub mod ghash;
 pub mod hex;
 pub mod hkdf;
 pub mod hmac;

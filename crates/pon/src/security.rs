@@ -142,6 +142,148 @@ impl GemCrypto {
         Ok(plaintext)
     }
 
+    /// Encrypts a whole downstream burst for one `port` with a single
+    /// batched AEAD call ([`genio_crypto::gcm::AesGcm::seal_many`]).
+    ///
+    /// Frame `i` carries counter `send_counter + i` and is byte-identical to
+    /// the frame the `i`-th sequential [`GemCrypto::encrypt_downstream`]
+    /// call would have produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PonError::NoKey`] if the port has no established key; the
+    /// counter does not advance on error.
+    pub fn encrypt_downstream_many(
+        &mut self,
+        port: GemPort,
+        target: OnuId,
+        plaintexts: &[&[u8]],
+    ) -> crate::Result<Vec<DownstreamFrame>> {
+        let state = self.ports.get_mut(&port).ok_or(PonError::NoKey { port })?;
+        let counter0 = state.send_counter;
+        let nonces: Vec<[u8; 12]> = (0..plaintexts.len() as u64)
+            .map(|i| nonce_for(port, counter0 + i))
+            .collect();
+        let aad = aad_for(port, target);
+        let aads: Vec<&[u8]> = plaintexts.iter().map(|_| &aad[..]).collect();
+        let payloads = state
+            .aead
+            .seal_many(&nonces, plaintexts, &aads)
+            .map_err(|_| PonError::DecryptFailed)?;
+        state.send_counter += plaintexts.len() as u64;
+        Ok(payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| DownstreamFrame {
+                port,
+                target,
+                counter: counter0 + i as u64,
+                payload,
+                kind: PayloadKind::Encrypted,
+            })
+            .collect())
+    }
+
+    /// Encrypts a mixed-port downstream burst: one OLT-side call covering a
+    /// whole TDMA cycle. Consecutive items addressed to the same
+    /// `(port, target)` pair are sealed together via
+    /// [`GemCrypto::encrypt_downstream_many`]; every frame is byte-identical
+    /// to its sequential [`GemCrypto::encrypt_downstream`] counterpart, and
+    /// per-item errors (e.g. an unkeyed port) do not abort the rest of the
+    /// burst.
+    pub fn encrypt_downstream_burst(
+        &mut self,
+        items: &[(GemPort, OnuId, &[u8])],
+    ) -> Vec<crate::Result<DownstreamFrame>> {
+        let mut results = Vec::with_capacity(items.len());
+        let mut start = 0;
+        while start < items.len() {
+            let (port, target, _) = items[start];
+            let mut end = start + 1;
+            while end < items.len() && items[end].0 == port && items[end].1 == target {
+                end += 1;
+            }
+            let plaintexts: Vec<&[u8]> = items[start..end].iter().map(|&(_, _, p)| p).collect();
+            match self.encrypt_downstream_many(port, target, &plaintexts) {
+                Ok(frames) => results.extend(frames.into_iter().map(Ok)),
+                Err(err) => {
+                    results.extend(std::iter::repeat_n(err, end - start).map(Err));
+                }
+            }
+            start = end;
+        }
+        results
+    }
+
+    /// Decrypts and replay-checks a received burst, one result per frame.
+    ///
+    /// Consecutive frames for the same port are opened with one batched
+    /// AEAD call; the replay check then runs strictly in arrival order, so
+    /// the per-frame results (including which duplicate of a replayed
+    /// counter is rejected) are exactly those of looping
+    /// [`GemCrypto::decrypt`].
+    pub fn decrypt_many(&mut self, frames: &[DownstreamFrame]) -> Vec<crate::Result<Vec<u8>>> {
+        let mut results = Vec::with_capacity(frames.len());
+        let mut start = 0;
+        while start < frames.len() {
+            let port = frames[start].port;
+            let mut end = start + 1;
+            while end < frames.len() && frames[end].port == port {
+                end += 1;
+            }
+            self.decrypt_run(&frames[start..end], &mut results);
+            start = end;
+        }
+        results
+    }
+
+    /// Opens one same-port run of a burst, preserving sequential semantics:
+    /// batch-open first (opening mutates nothing), then walk frames in order
+    /// applying the replay check and advancing `recv_high` only on success.
+    fn decrypt_run(&mut self, run: &[DownstreamFrame], results: &mut Vec<crate::Result<Vec<u8>>>) {
+        let Some(first) = run.first() else { return };
+        let port = first.port;
+        let Some(state) = self.ports.get_mut(&port) else {
+            results.extend(run.iter().map(|_| Err(PonError::NoKey { port })));
+            return;
+        };
+        let nonces: Vec<[u8; 12]> = run
+            .iter()
+            .map(|f| nonce_for(f.port, f.counter))
+            .collect();
+        let aads: Vec<[u8; 6]> = run.iter().map(|f| aad_for(f.port, f.target)).collect();
+        let aad_refs: Vec<&[u8]> = aads.iter().map(|a| &a[..]).collect();
+        let payloads: Vec<&[u8]> = run.iter().map(|f| f.payload.as_slice()).collect();
+        let opened = match state.aead.open_many(&nonces, &payloads, &aad_refs) {
+            Ok(opened) => opened,
+            // Unreachable (equal-length slices by construction); fall back
+            // to per-frame opens rather than assume.
+            Err(_) => run
+                .iter()
+                .map(|f| {
+                    let nonce = nonce_for(f.port, f.counter);
+                    let aad = aad_for(f.port, f.target);
+                    state.aead.open(&nonce, &f.payload, &aad)
+                })
+                .collect(),
+        };
+        for (frame, open_result) in run.iter().zip(opened) {
+            if let Some(high) = state.recv_high {
+                if frame.counter <= high {
+                    results.push(Err(PonError::Replay));
+                    continue;
+                }
+            }
+            match open_result {
+                Ok(plaintext) => {
+                    state.recv_high = Some(frame.counter);
+                    results.push(Ok(plaintext));
+                }
+                Err(_) => results.push(Err(PonError::DecryptFailed)),
+            }
+        }
+    }
+
     /// Builds a cleartext frame (what the tree carries when M3 is disabled).
     pub fn cleartext_downstream(
         port: GemPort,
@@ -273,5 +415,78 @@ mod tests {
         let f = GemCrypto::cleartext_downstream(5, 2, 0, b"visible");
         assert_eq!(f.kind, PayloadKind::Clear);
         assert_eq!(f.payload, b"visible");
+    }
+
+    #[test]
+    fn burst_encrypt_matches_looped_encrypt() {
+        let (mut batch_olt, _) = pair();
+        let (mut loop_olt, _) = pair();
+        let payloads: Vec<Vec<u8>> = (0..7u8).map(|i| vec![i; 1 + usize::from(i) * 31]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let burst = batch_olt.encrypt_downstream_many(10, 1, &refs).unwrap();
+        for (frame, pt) in burst.iter().zip(payloads.iter()) {
+            let single = loop_olt.encrypt_downstream(10, 1, pt).unwrap();
+            assert_eq!(frame, &single);
+        }
+        // Counters continue seamlessly after the burst.
+        assert_eq!(
+            batch_olt.encrypt_downstream(10, 1, b"next").unwrap().counter,
+            7
+        );
+    }
+
+    #[test]
+    fn burst_decrypt_matches_sequential_semantics() {
+        let (mut olt, mut batch_onu) = pair();
+        let (_, mut loop_onu) = pair();
+        olt.establish_key(11, 1);
+        batch_onu.establish_key(11, 1);
+        loop_onu.establish_key(11, 1);
+        // Interleave two ports, tamper one frame, replay another in-burst.
+        let mut frames = Vec::new();
+        for i in 0..3u8 {
+            frames.push(olt.encrypt_downstream(10, 1, &[i; 20]).unwrap());
+            frames.push(olt.encrypt_downstream(11, 1, &[i ^ 0x55; 20]).unwrap());
+        }
+        frames[2].payload[0] ^= 0xff; // tampered
+        let replayed = frames[0].clone();
+        frames.push(replayed); // in-burst replay
+        let batch = batch_onu.decrypt_many(&frames);
+        let sequential: Vec<_> = frames.iter().map(|f| loop_onu.decrypt(f)).collect();
+        assert_eq!(batch, sequential);
+        assert!(matches!(batch[2], Err(PonError::DecryptFailed)));
+        assert!(matches!(batch[6], Err(PonError::Replay)));
+    }
+
+    #[test]
+    fn mixed_port_burst_matches_looped_encrypt() {
+        let (mut batch_olt, _) = pair();
+        let (mut loop_olt, _) = pair();
+        batch_olt.establish_key(11, 2);
+        loop_olt.establish_key(11, 2);
+        // Port 99 is unkeyed: its items fail without aborting the burst.
+        let items: Vec<(GemPort, OnuId, &[u8])> = vec![
+            (10, 1, b"a"),
+            (10, 1, b"bb"),
+            (11, 2, b"ccc"),
+            (99, 3, b"dddd"),
+            (10, 1, b"eeeee"),
+        ];
+        let burst = batch_olt.encrypt_downstream_burst(&items);
+        for ((port, target, pt), got) in items.iter().zip(burst.iter()) {
+            let want = loop_olt.encrypt_downstream(*port, *target, pt);
+            assert_eq!(got, &want);
+        }
+        assert_eq!(burst[3], Err(PonError::NoKey { port: 99 }));
+    }
+
+    #[test]
+    fn burst_encrypt_unkeyed_port_errors_without_side_effects() {
+        let (mut olt, _) = pair();
+        let err = olt.encrypt_downstream_many(99, 1, &[b"x" as &[u8]]);
+        assert_eq!(err.unwrap_err(), PonError::NoKey { port: 99 });
+        let unkeyed = GemCrypto::cleartext_downstream(99, 1, 0, b"x");
+        let results = olt.decrypt_many(std::slice::from_ref(&unkeyed));
+        assert_eq!(results, vec![Err(PonError::NoKey { port: 99 })]);
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::activation::{ActivationController, CertificateAdmission, SerialAllowlist};
 use crate::attack::{FiberTap, ImpersonationOutcome, ReplayAttacker, ReplayOutcome, RogueOnu};
-use crate::frame::GemPort;
+use crate::frame::{DownstreamFrame, GemPort};
 use crate::security::GemCrypto;
 use crate::tdma::{compute_map, BandwidthRequest, DbaConfig, ServiceClass};
 use crate::topology::{OnuId, PonTree};
@@ -157,19 +157,41 @@ pub fn run_instrumented(config: &SimConfig, telemetry: &Telemetry) -> SimStats {
 
     for tick in 0..config.ticks {
         let _tick_span = telemetry.span("pon.tick");
-        // Downstream: one frame per operational ONU per tick.
-        for &onu in &operational {
-            let payload = format!("tick {tick} data for onu {onu}");
-            let frame = if config.encrypt {
-                // Every operational ONU was keyed above; an unkeyed port
-                // would be a topology bug, not a simulation outcome.
-                match olt_crypto.encrypt_downstream(port_for(onu), onu, payload.as_bytes()) {
-                    Ok(frame) => frame,
-                    Err(_) => continue,
-                }
-            } else {
-                GemCrypto::cleartext_downstream(port_for(onu), onu, tick as u64, payload.as_bytes())
-            };
+        // Downstream: one frame per operational ONU per tick, sealed as a
+        // single OLT-side burst when encryption is on (one
+        // `encrypt_downstream_burst` call per TDMA cycle instead of one
+        // AEAD call per frame).
+        let payloads: Vec<Vec<u8>> = operational
+            .iter()
+            .map(|&onu| format!("tick {tick} data for onu {onu}").into_bytes())
+            .collect();
+        let frames: Vec<(OnuId, DownstreamFrame)> = if config.encrypt {
+            let items: Vec<(GemPort, OnuId, &[u8])> = operational
+                .iter()
+                .zip(&payloads)
+                .map(|(&onu, p)| (port_for(onu), onu, p.as_slice()))
+                .collect();
+            // Every operational ONU was keyed above; an unkeyed port would
+            // be a topology bug, not a simulation outcome.
+            olt_crypto
+                .encrypt_downstream_burst(&items)
+                .into_iter()
+                .zip(operational.iter())
+                .filter_map(|(result, &onu)| result.ok().map(|frame| (onu, frame)))
+                .collect()
+        } else {
+            operational
+                .iter()
+                .zip(&payloads)
+                .map(|(&onu, p)| {
+                    (
+                        onu,
+                        GemCrypto::cleartext_downstream(port_for(onu), onu, tick as u64, p),
+                    )
+                })
+                .collect()
+        };
+        for (onu, frame) in frames {
             stats.frames_sent += 1;
             frames_sent.incr(1);
             tap.observe(&frame);

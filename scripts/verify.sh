@@ -31,6 +31,11 @@ cargo build --release
 echo "==> cargo test --workspace -q  (builds examples; includes the examples smoke test)"
 cargo test --workspace -q
 
+echo "==> GCM vector gate (committed KAT corpus, table AND reference backends)"
+cargo test --release -q -p genio-crypto --test gcm_vectors
+GENIO_CRYPTO_BACKEND=reference cargo test --release -q -p genio-crypto --test gcm_vectors
+echo "both AES-GCM backends reproduce vectors/gcm_kat.txt"
+
 echo "==> genio-analyzer determinism gate (cold vs warm scan must be byte-identical)"
 rm -rf target/genio-analyzer
 cargo run --release -q -p genio-analyzer -- --json target/genio-analyzer/report-cold.json >/dev/null
