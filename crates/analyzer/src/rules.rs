@@ -43,6 +43,10 @@
 //! * **R14** `Ordering::Relaxed` on an atomic that some function reads
 //!   in a control-flow condition — a sync flag, not a pure counter
 //!   ([`crate::concurrency`]).
+//! * **R15** a telemetry span guard dropped at its creation site —
+//!   `let _ = t.span(..)` or a bare `t.span(..);` / `span!(..);`
+//!   statement — which records a zero-length span instead of timing the
+//!   scope.
 //!
 //! Rules only ever *add* findings; what is acceptable today is recorded
 //! in the committed baseline and ratcheted down by
@@ -82,6 +86,8 @@ pub enum Rule {
     R13LockOrderCycle,
     /// `Ordering::Relaxed` on a condition-read atomic.
     R14RelaxedSyncFlag,
+    /// Telemetry span guard dropped at its creation site.
+    R15DroppedSpan,
 }
 
 impl Rule {
@@ -102,6 +108,7 @@ impl Rule {
             Rule::R12VariableTimeOp => "R12",
             Rule::R13LockOrderCycle => "R13",
             Rule::R14RelaxedSyncFlag => "R14",
+            Rule::R15DroppedSpan => "R15",
         }
     }
 
@@ -122,12 +129,13 @@ impl Rule {
             "R12" => Rule::R12VariableTimeOp,
             "R13" => Rule::R13LockOrderCycle,
             "R14" => Rule::R14RelaxedSyncFlag,
+            "R15" => Rule::R15DroppedSpan,
             _ => return None,
         })
     }
 
     /// All rules, report order.
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 15] = [
         Rule::R1PanicPath,
         Rule::R2NonCtCompare,
         Rule::R3MissingForbid,
@@ -142,6 +150,7 @@ impl Rule {
         Rule::R12VariableTimeOp,
         Rule::R13LockOrderCycle,
         Rule::R14RelaxedSyncFlag,
+        Rule::R15DroppedSpan,
     ];
 
     /// One-line description for the report table.
@@ -161,6 +170,7 @@ impl Rule {
             Rule::R12VariableTimeOp => "variable-time operation (/ % == !=) on secret material",
             Rule::R13LockOrderCycle => "lock-order cycle across the workspace lock graph",
             Rule::R14RelaxedSyncFlag => "Ordering::Relaxed on an atomic read in a branch condition",
+            Rule::R15DroppedSpan => "telemetry span guard dropped at its creation site",
         }
     }
 
@@ -245,6 +255,15 @@ sync flag: Relaxed provides no happens-before edge, so the guarded data may not 
 visible to the reader. Pure counters (only ever aggregated, never branched on) stay \
 clean. Fix: use Release on the store and Acquire on the load, or SeqCst when in \
 doubt.",
+            Rule::R15DroppedSpan => "R15 flags a telemetry span guard that is dropped \
+the moment it is created: `let _ = t.span(..)`, a bare `t.span(..);` / \
+`t.span_at(..);` statement, or an unbound `span!(..);` invocation. `Span` measures \
+via RAII — its `Drop` records the elapsed time — so a guard dropped at the creation \
+site records a zero-length span and silently stops timing the scope it was meant to \
+cover. Fix: bind the guard for the scope's lifetime (`let _guard_span = t.span(..);`) \
+or delete the call. A guard consumed by an enclosing expression (`drop(..)`, \
+`black_box(..)`, a return position) is a deliberate use and stays silent, as does a \
+named `_`-prefixed binding.",
         }
     }
 }
@@ -712,6 +731,7 @@ pub fn scan_tokens(ctx: &FileContext<'_>, ann: &Annotated) -> (Vec<Finding>, Vec
         rule_r5(ctx, ann, &mut findings, &mut accesses);
     }
     rule_r6(ctx, ann, &mut findings);
+    rule_r15(ctx, ann, &mut findings);
     if !R7_ALLOWED
         .iter()
         .any(|&(c, f)| c == ctx.crate_name && f == ctx.file_name)
@@ -763,6 +783,83 @@ fn rule_r1(ctx: &FileContext<'_>, ann: &Annotated, findings: &mut Vec<Finding>) 
             continue;
         };
         push(findings, ctx, Rule::R1PanicPath, code[i].line, ann.fn_name(i), detail);
+    }
+}
+
+/// Span-guard constructors whose return value must outlive the scope it
+/// times (R15).
+const R15_SPAN_CALLS: &[&str] = &["span", "span_at"];
+
+fn rule_r15(ctx: &FileContext<'_>, ann: &Annotated, findings: &mut Vec<Finding>) {
+    let code = &ann.code;
+    for i in 0..code.len() {
+        if ann.excluded[i]
+            || code[i].kind != TokenKind::Ident
+            || !R15_SPAN_CALLS.contains(&code[i].text.as_str())
+        {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| code[p].text.as_str());
+        if prev == Some("fn") {
+            continue; // a definition of `span`/`span_at`, not a call
+        }
+        // `span(..)` / `span_at(..)` call, or `span!(..)` invocation.
+        let open = match code.get(i + 1).map(|t| t.text.as_str()) {
+            Some("(") => i + 1,
+            Some("!") if code.get(i + 2).is_some_and(|t| t.text == "(") => i + 2,
+            _ => continue,
+        };
+        // Matching close paren of the argument list.
+        let mut depth = 0i64;
+        let mut close = None;
+        for (j, t) in code.iter().enumerate().skip(open) {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { continue };
+        // Only a guard that ends its own statement can drop on the spot;
+        // one consumed by an enclosing expression (`drop(..)`,
+        // `black_box(..)`, a tail/return position) is deliberate.
+        if code.get(close + 1).map(|t| t.text.as_str()) != Some(";") {
+            continue;
+        }
+        // Back-walk to the statement start to see how (if) it is bound.
+        let mut start = 0usize;
+        for j in (0..i).rev() {
+            if matches!(code[j].text.as_str(), ";" | "{" | "}") {
+                start = j + 1;
+                break;
+            }
+        }
+        let stmt: Vec<&str> = code[start..i].iter().map(|t| t.text.as_str()).collect();
+        let display = if open == i + 2 {
+            format!("{}!(..)", code[i].text)
+        } else {
+            format!("{}(..)", code[i].text)
+        };
+        let detail = if stmt.first() == Some(&"let") {
+            // A named binding (even `_guard`) lives to end of scope;
+            // exactly `_` drops immediately.
+            if stmt.get(1) == Some(&"_") && stmt.get(2) == Some(&"=") {
+                format!("span guard from {display} bound to _")
+            } else {
+                continue;
+            }
+        } else if stmt.contains(&"=") {
+            continue; // assigned to a place that outlives the statement
+        } else {
+            format!("span guard from {display} dropped immediately")
+        };
+        push(findings, ctx, Rule::R15DroppedSpan, code[i].line, ann.fn_name(i), detail);
     }
 }
 

@@ -40,7 +40,8 @@ fn per_rule_counts_match_the_corpus() {
     assert_eq!(count(Rule::R12VariableTimeOp), 3, "div + mod + typed eq");
     assert_eq!(count(Rule::R13LockOrderCycle), 4, "ab/ba pair + via-call pair");
     assert_eq!(count(Rule::R14RelaxedSyncFlag), 2, "relaxed store + spin load");
-    assert_eq!(report.findings.len(), 31);
+    assert_eq!(count(Rule::R15DroppedSpan), 3, "let _ + bare call + bare macro");
+    assert_eq!(report.findings.len(), 34);
     // The dataflow pass discharges the provably bounded R4/R5 sites:
     // xor_fixed (2 accesses), masked_lookup, read_unchecked, narrow_fixed.
     assert_eq!(report.suppressed, 5, "interprocedurally discharged sites");
@@ -87,6 +88,9 @@ fn positives_name_their_functions() {
     assert!(has(Rule::R13LockOrderCycle, "dc_order"));
     assert!(has(Rule::R14RelaxedSyncFlag, "publish_ready"));
     assert!(has(Rule::R14RelaxedSyncFlag, "spin_wait"));
+    assert!(has(Rule::R15DroppedSpan, "tp_let_underscore"));
+    assert!(has(Rule::R15DroppedSpan, "tp_bare_call"));
+    assert!(has(Rule::R15DroppedSpan, "tp_bare_macro"));
 }
 
 #[test]
@@ -140,6 +144,10 @@ fn negatives_stay_silent() {
         "snapshot_hits",  // counter read outside any condition
         "done_yet",       // Acquire read in the condition
         "finish",         // Release publish
+        "ok_bound_guard", // named binding lives to end of scope
+        "ok_tail_expression", // guard returned to the caller
+        "ok_consumed",    // guard consumed by drop(..)
+        "ok_assigned",    // guard stored in an outliving place
     ] {
         assert!(
             !report.findings.iter().any(|f| f.function == quiet),

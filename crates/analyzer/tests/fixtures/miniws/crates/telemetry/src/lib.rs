@@ -5,6 +5,7 @@
 #![forbid(unsafe_code)]
 
 pub mod clock;
+pub mod spans;
 
 /// R7 negative: time obtained through the clock abstraction.
 pub fn through_the_clock(c: &clock::MiniClock) -> u64 {

@@ -1,0 +1,178 @@
+//! E-O2 — **causal tracing at fleet scale**: telemetry v2 must keep the
+//! traced fleet engine inside the E-O1 overhead envelope while the
+//! sharded registries *beat* a single-cell (global contention point)
+//! registry under multi-shard write pressure.
+//!
+//! Three row families:
+//! - `trace_fleet/span_primitives`: `span` vs `span_at` vs cached
+//!   reopen, isolating the cost of carrying a [`TraceContext`].
+//! - `trace_fleet/fleet_engine`: the sharded PON engine with causal
+//!   tracing enabled vs fully disabled; ratio asserted `< MAX_RATIO`.
+//! - `trace_fleet/registry_contention`: N writer threads hammering one
+//!   counter and one histogram through striped cells (default) vs a
+//!   single stripe (everyone on the same cache line); striped must win
+//!   on any multi-CPU host.
+
+use std::sync::Once;
+
+use genio_bench::print_experiment_once;
+use genio_pon::engine::{run_with, trace_root, EngineOptions, FleetSimConfig};
+use genio_telemetry::{Clock, Telemetry, TelemetryOptions};
+use genio_testkit::bench::{BenchmarkId, Criterion, Throughput};
+
+static PRINTED: Once = Once::new();
+
+/// Acceptance bound: traced/untraced fleet-engine ratio (same envelope
+/// as E-O1).
+const MAX_RATIO: f64 = 1.15;
+
+/// Writer threads for the contention rows.
+const WRITERS: usize = 4;
+
+/// Metric updates per writer per iteration (one counter incr + one
+/// histogram observe each).
+const OPS_PER_WRITER: u64 = 8_192;
+
+fn fleet_config() -> FleetSimConfig {
+    FleetSimConfig {
+        trees: 48,
+        onus_per_tree: 24,
+        cycles: 4,
+        ..FleetSimConfig::default()
+    }
+}
+
+/// One contention iteration: `WRITERS` threads each doing
+/// `OPS_PER_WRITER` counter increments and histogram observations
+/// against shared registry cells.
+fn hammer_registry(t: &Telemetry) {
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let tele = t.clone();
+            scope.spawn(move || {
+                let counter = tele.counter("bench.contention.frames");
+                let histogram = tele.histogram("bench.contention.latency");
+                for i in 0..OPS_PER_WRITER {
+                    counter.incr(1);
+                    histogram.observe(i ^ (w as u64) << 8);
+                }
+            });
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    c.experiment_id("E-O2");
+
+    // --- Span primitives: context-free, traced, and cached reopen. ---
+    let on = Telemetry::enabled();
+    let root = trace_root(7);
+    let mut group = c.benchmark_group("trace_fleet/span_primitives");
+    group.throughput(Throughput::Elements(1));
+    group.bench_with_input(BenchmarkId::from_parameter("span"), &on, |b, t| {
+        b.iter(|| std::hint::black_box(t.span("bench.trace.span")))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("span_at"), &on, |b, t| {
+        b.iter(|| std::hint::black_box(t.span_at("bench.trace.span_at", root.child(1))))
+    });
+    // Same name reopened every iteration: after the first open this is
+    // a pure thread-cache hit, the `format!("{name}_ns")` registry path
+    // must not run again.
+    group.bench_with_input(BenchmarkId::from_parameter("span_reopen"), &on, |b, t| {
+        b.iter(|| std::hint::black_box(t.span_at("bench.trace.reopen", root)))
+    });
+    group.finish();
+
+    // --- Traced fleet engine vs fully disabled telemetry. ---
+    let cfg = fleet_config();
+    let frames = run_with(&cfg, &EngineOptions::default(), &Telemetry::disabled())
+        .stats
+        .frames_sent;
+    let mut group = c.benchmark_group("trace_fleet/fleet_engine");
+    group.throughput(Throughput::Elements(frames));
+    group.bench_with_input(BenchmarkId::from_parameter("untraced"), &cfg, |b, cfg| {
+        let t = Telemetry::disabled();
+        b.iter(|| std::hint::black_box(run_with(cfg, &EngineOptions::default(), &t)))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("traced"), &cfg, |b, cfg| {
+        // Enabled telemetry now threads a TraceContext through every
+        // shard worker and wheel batch.
+        let t = Telemetry::enabled();
+        b.iter(|| std::hint::black_box(run_with(cfg, &EngineOptions::default(), &t)))
+    });
+    group.finish();
+
+    // --- Registry contention: striped cells vs a single stripe. ---
+    let events = (WRITERS as u64) * OPS_PER_WRITER * 2;
+    let striped = Telemetry::enabled();
+    let global = Telemetry::with_options(
+        Clock::monotonic(),
+        TelemetryOptions { ring_capacity: 64, stripes: 1 },
+    );
+    let mut group = c.benchmark_group("trace_fleet/registry_contention");
+    group.throughput(Throughput::Elements(events));
+    group.bench_with_input(BenchmarkId::from_parameter("striped"), &striped, |b, t| {
+        b.iter(|| hammer_registry(t))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("global"), &global, |b, t| {
+        b.iter(|| hammer_registry(t))
+    });
+    group.finish();
+
+    // --- E-O2 verdict. ---
+    let median = |name: &str| {
+        c.records()
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+    };
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut body = String::new();
+    if let (Some(off_ns), Some(on_ns)) = (
+        median("trace_fleet/fleet_engine/untraced"),
+        median("trace_fleet/fleet_engine/traced"),
+    ) {
+        let ratio = on_ns / off_ns;
+        body.push_str(&format!(
+            "fleet engine ({frames} frames): untraced {:.1} us, traced {:.1} us, \
+             ratio {ratio:.3}x (bound {MAX_RATIO:.2}x)\n",
+            off_ns / 1_000.0,
+            on_ns / 1_000.0,
+        ));
+        assert!(
+            ratio < MAX_RATIO,
+            "E-O2 bound violated: traced/untraced fleet ratio {ratio:.3} >= {MAX_RATIO}"
+        );
+    }
+    if let (Some(striped_ns), Some(global_ns)) = (
+        median("trace_fleet/registry_contention/striped"),
+        median("trace_fleet/registry_contention/global"),
+    ) {
+        let speedup = global_ns / striped_ns;
+        body.push_str(&format!(
+            "registry contention ({WRITERS} writers x {OPS_PER_WRITER} ops): \
+             striped {:.1} us, single-stripe {:.1} us, speedup {speedup:.2}x \
+             ({cpus} CPUs)\n",
+            striped_ns / 1_000.0,
+            global_ns / 1_000.0,
+        ));
+        // Striping only helps when writers actually run in parallel; a
+        // single-CPU host serialises them and the row is informational.
+        if cpus > 1 {
+            assert!(
+                striped_ns < global_ns,
+                "E-O2: striped registry ({striped_ns:.0} ns) must beat the \
+                 single-stripe registry ({global_ns:.0} ns) on a {cpus}-CPU host"
+            );
+        }
+    }
+    print_experiment_once(
+        &PRINTED,
+        "E-O2 / Observability — causal tracing and sharded registries at fleet scale",
+        &body,
+    );
+}
+
+genio_testkit::bench_main!(bench);

@@ -17,6 +17,10 @@ use genio_secureboot::tpm::Tpm;
 use genio_supplychain::image::{DetachedSignature, FirmwareImage, ImageVendor, NodeUpdater};
 use genio_telemetry::Telemetry;
 
+/// Trace slot for the platform-layer merge span — disjoint from the
+/// engine's shard/batch slot namespaces (see `genio_pon::engine`).
+const TRACE_SLOT_MERGE: u64 = 0x4d45_5247_4500_0000; // "MERGE"
+
 /// Fleet construction parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct FleetConfig {
@@ -320,7 +324,10 @@ pub fn simulate_pon_fleet(
     let shards = genio_pon::engine::run_shards(config, &options, telemetry);
     let used = shards.len();
     let result = {
-        let _merge_span = telemetry.span("core.fleet.merge");
+        // Same seed-derived root the engine used, so the merge span
+        // attaches to the run's span tree as a child of `pon.fleet.run`.
+        let merge_ctx = genio_pon::engine::trace_root(config.seed).child(TRACE_SLOT_MERGE);
+        let _merge_span = telemetry.span_at("core.fleet.merge", merge_ctx);
         genio_pon::engine::merge_shards(shards)
     };
     let digest = result.log.digest();

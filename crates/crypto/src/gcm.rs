@@ -26,10 +26,15 @@
 use crate::aes::{backend, increment_counter, Aes, Backend, Block};
 use crate::ghash::{ghash_reference, GhashKey};
 use crate::{ct, CryptoError};
-use genio_telemetry::{Counter, Histogram, Telemetry};
+use genio_telemetry::{Counter, Histogram, Telemetry, TraceContext};
 
 /// Required nonce length in bytes (the 96-bit fast path of SP 800-38D).
 pub const NONCE_LEN: usize = 12;
+
+/// Trace-slot namespace for batch spans — disjoint from the PON
+/// engine's shard/batch slots so a traced campaign's crypto bursts can
+/// never collide with its shard spans.
+const TRACE_SLOT_GCM: u64 = 0x0047_434d_0000_0000; // "GCM"
 
 /// Authentication tag length in bytes.
 pub const TAG_LEN: usize = 16;
@@ -65,6 +70,11 @@ pub struct AesGcm {
     opened_bytes: Counter,
     sealed_frames: Counter,
     opened_frames: Counter,
+    /// Parent context for batch spans (untraced unless [`AesGcm::with_trace`]).
+    trace: TraceContext,
+    /// Per-cipher batch sequence: each seal_many/open_many burst gets its
+    /// own child span slot, shared across clones of this cipher.
+    batch_seq: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl AesGcm {
@@ -88,6 +98,8 @@ impl AesGcm {
             opened_bytes: Counter::disabled(),
             sealed_frames: Counter::disabled(),
             opened_frames: Counter::disabled(),
+            trace: TraceContext::default(),
+            batch_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
         })
     }
 
@@ -106,6 +118,24 @@ impl AesGcm {
         self.sealed_frames = telemetry.counter("crypto.gcm.sealed_frames");
         self.opened_frames = telemetry.counter("crypto.gcm.opened_frames");
         self
+    }
+
+    /// Attaches a causal parent context: every subsequent
+    /// `seal_many`/`open_many` span becomes a child of `ctx` (one child
+    /// slot per burst), linking crypto batches into the campaign's span
+    /// tree. Without this the batch spans record untraced, as before.
+    pub fn with_trace(mut self, ctx: TraceContext) -> Self {
+        self.trace = ctx;
+        self
+    }
+
+    /// Child context for the next batch span (untraced stays untraced).
+    fn batch_ctx(&self) -> TraceContext {
+        if !self.trace.is_traced() {
+            return TraceContext::default();
+        }
+        let seq = self.batch_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.trace.child(TRACE_SLOT_GCM | seq)
     }
 
     fn j0(nonce: &[u8; NONCE_LEN]) -> Block {
@@ -256,7 +286,7 @@ impl AesGcm {
         aads: &[&[u8]],
     ) -> crate::Result<Vec<Vec<u8>>> {
         Self::check_batch(nonces.len(), plaintexts.len(), aads.len())?;
-        let _span = self.telemetry.span("crypto.gcm.seal_many");
+        let _span = self.telemetry.span_at("crypto.gcm.seal_many", self.batch_ctx());
         self.sealed_frames.incr(nonces.len() as u64);
         self.sealed_bytes
             .incr(plaintexts.iter().map(|p| p.len() as u64).sum());
@@ -307,7 +337,7 @@ impl AesGcm {
         aads: &[&[u8]],
     ) -> crate::Result<Vec<crate::Result<Vec<u8>>>> {
         Self::check_batch(nonces.len(), sealed.len(), aads.len())?;
-        let _span = self.telemetry.span("crypto.gcm.open_many");
+        let _span = self.telemetry.span_at("crypto.gcm.open_many", self.batch_ctx());
         self.opened_frames.incr(nonces.len() as u64);
         let reference = backend() == Backend::Reference;
         let mut out = Vec::with_capacity(nonces.len());

@@ -34,7 +34,7 @@ use crate::tdma::{
 };
 use crate::topology::propagation_delay_ns;
 use crate::wheel::TimerWheel;
-use genio_telemetry::Telemetry;
+use genio_telemetry::{Telemetry, TraceContext};
 
 /// Window (ns) within which every ONU announces itself for activation.
 pub const ACTIVATION_WINDOW_NS: u64 = 1_000_000;
@@ -71,6 +71,21 @@ pub fn mix64(x: u64) -> u64 {
 
 fn h3(seed: u64, tag: u64, tree: u32, x: u64) -> u64 {
     mix64(seed ^ mix64(tag ^ mix64((u64::from(tree) << 32) ^ x)))
+}
+
+/// Trace-slot namespaces: shard spans, wheel-advance batches and the
+/// platform merge each derive child span IDs from disjoint slot ranges,
+/// so spans from different phases can never collide.
+const TRACE_SLOT_SHARD: u64 = 0x5348_4152_4400_0000; // "SHARD"
+const TRACE_SLOT_BATCH: u64 = 0x4241_5443_4800_0000; // "BATCH"
+
+/// Root causal context for a fleet run keyed by `seed`. Deterministic:
+/// same seed, same trace — which is what lets two runs of the same
+/// campaign export byte-identical span trees, and lets
+/// `genio_core::fleet` attach its merge span to the engine's tree
+/// without any cross-thread handshake.
+pub fn trace_root(seed: u64) -> TraceContext {
+    TraceContext::root(seed)
 }
 
 /// Announcement time (ns, within [`ACTIVATION_WINDOW_NS`]) of a
@@ -403,6 +418,8 @@ pub fn run_shards(
     options: &EngineOptions,
     telemetry: &Telemetry,
 ) -> Vec<ShardOutput> {
+    let root = trace_root(config.seed);
+    let _run_span = telemetry.span_at("pon.fleet.run", root);
     let auto = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let requested = if options.workers == 0 { auto } else { options.workers };
     let workers = u32::try_from(requested)
@@ -410,7 +427,8 @@ pub fn run_shards(
         .clamp(1, config.trees.max(1));
 
     if workers <= 1 {
-        return vec![run_shard(config, 0, config.trees, telemetry)];
+        let ctx = root.child(TRACE_SLOT_SHARD).with_shard(0);
+        return vec![run_shard(config, 0, config.trees, telemetry, ctx)];
     }
 
     let base = config.trees / workers;
@@ -425,7 +443,8 @@ pub fn run_shards(
             start = hi;
             let tele = telemetry.clone();
             let cfg = *config;
-            handles.push(scope.spawn(move || run_shard(&cfg, lo, hi, &tele)));
+            let ctx = root.child(TRACE_SLOT_SHARD | u64::from(w)).with_shard(w);
+            handles.push(scope.spawn(move || run_shard(&cfg, lo, hi, &tele, ctx)));
         }
         for handle in handles {
             if let Ok(out) = handle.join() {
@@ -504,8 +523,9 @@ fn run_shard(
     tree_start: u32,
     tree_end: u32,
     telemetry: &Telemetry,
+    ctx: TraceContext,
 ) -> ShardOutput {
-    let _shard_span = telemetry.span("pon.shard.step");
+    let _shard_span = telemetry.span_at("pon.shard.step", ctx);
     let events_ctr = telemetry.counter("pon.fleet.events");
     let frames_ctr = telemetry.counter("pon.fleet.frames");
 
@@ -553,9 +573,12 @@ fn run_shard(
     let mut requests: Vec<BandwidthRequest> = Vec::with_capacity(n_us);
     let mut batch = BatchGrants::new();
     let mut log: Vec<EventRecord> = Vec::new();
+    let mut batch_seq = 0u64;
 
     loop {
-        let _advance_span = telemetry.span("pon.wheel.advance");
+        let _advance_span =
+            telemetry.span_at("pon.wheel.advance", ctx.child(TRACE_SLOT_BATCH | batch_seq));
+        batch_seq += 1;
         let mut drained = 0usize;
         while drained < ADVANCE_BATCH {
             let Some((time_ns, ev)) = wheel.pop_next() else {

@@ -1,0 +1,88 @@
+//! Causal-trace properties of the sharded fleet engine: over randomized
+//! fleets and worker counts, the span events the engine emits must form
+//! one well-formed tree per run — a single trace id, every parent
+//! present, no cycles — and the canonical flight-recorder export must
+//! not depend on how shard threads interleaved.
+
+use genio_pon::engine::{self, trace_root, EngineOptions, FleetSimConfig};
+use genio_telemetry::{
+    chrome_trace, validate_tree, Clock, ManualClock, Telemetry, TelemetryOptions,
+};
+use genio_testkit::prelude::*;
+
+fn traced_telemetry() -> Telemetry {
+    Telemetry::with_options(
+        Clock::manual(&ManualClock::new()),
+        // Large ring so no event is ever dropped mid-property.
+        TelemetryOptions { ring_capacity: 16_384, stripes: 4 },
+    )
+}
+
+property! {
+    /// Every traced fleet run exports a single-root span forest with no
+    /// orphan parents and no cycles, under any worker count, and every
+    /// traced event carries the run's trace id.
+    fn fleet_spans_form_one_tree(
+        trees in 1u32..5,
+        onus in 0u32..10,
+        cycles in 0u32..6,
+        seed in 0u64..1_000_000,
+        workers in 1usize..5
+    ) {
+        let cfg = FleetSimConfig {
+            trees,
+            onus_per_tree: onus,
+            cycles,
+            seed,
+            ..FleetSimConfig::default()
+        };
+        let telemetry = traced_telemetry();
+        engine::run_with(&cfg, &EngineOptions { workers }, &telemetry);
+        let events = telemetry.drain_trace();
+        let stats = match validate_tree(&events) {
+            Ok(stats) => stats,
+            Err(e) => return Err(PropError::fail(format!("malformed span forest: {e}"))),
+        };
+        prop_assert!(stats.events > 0, "engine emitted no span events");
+        prop_assert_eq!(stats.traced, stats.events, "engine spans must all carry a context");
+        prop_assert_eq!(stats.roots, 1, "one run must form one tree");
+        let trace_id = trace_root(cfg.seed).trace_id;
+        for e in &events {
+            prop_assert_eq!(e.trace_id, trace_id, "event {} off-trace", e.name);
+        }
+    }
+}
+
+property! {
+    /// The canonical export is identical across same-seed reruns and
+    /// across ring striping choices: stripe scheduling must be invisible
+    /// in `genio-trace/v1` bytes.
+    fn export_is_stripe_and_rerun_invariant(
+        trees in 1u32..4,
+        onus in 0u32..8,
+        cycles in 0u32..5,
+        seed in 0u64..1_000_000
+    ) {
+        let cfg = FleetSimConfig {
+            trees,
+            onus_per_tree: onus,
+            cycles,
+            seed,
+            ..FleetSimConfig::default()
+        };
+        let mut exports = Vec::new();
+        for stripes in [1usize, 4] {
+            let telemetry = Telemetry::with_options(
+                Clock::manual(&ManualClock::new()),
+                TelemetryOptions { ring_capacity: 16_384, stripes },
+            );
+            engine::run_with(&cfg, &EngineOptions { workers: 2 }, &telemetry);
+            exports.push(chrome_trace(&telemetry.drain_trace()));
+        }
+        prop_assert_eq!(&exports[0], &exports[1], "ring striping leaked into the export");
+        let telemetry = traced_telemetry();
+        engine::run_with(&cfg, &EngineOptions { workers: 2 }, &telemetry);
+        let rerun = chrome_trace(&telemetry.drain_trace());
+        prop_assert_eq!(&exports[1], &rerun, "same-seed rerun diverged");
+    }
+}

@@ -6,7 +6,7 @@
 //! their highest priority and distinct-rule count, and gives the operator
 //! one line per intrusion instead of one per syscall.
 
-use genio_telemetry::Telemetry;
+use genio_telemetry::{Telemetry, TraceContext};
 
 use crate::falco::{Alert, Priority};
 
@@ -69,7 +69,19 @@ pub fn correlate_instrumented(
     window_ns: u64,
     telemetry: &Telemetry,
 ) -> Vec<Incident> {
-    let _span = telemetry.span("runtime.correlate");
+    correlate_traced(alerts, window_ns, telemetry, TraceContext::default())
+}
+
+/// [`correlate_instrumented`] with an explicit causal context, so a
+/// caller running correlation as part of a traced campaign links the
+/// `runtime.correlate` span into its span tree.
+pub fn correlate_traced(
+    alerts: &[Alert],
+    window_ns: u64,
+    telemetry: &Telemetry,
+    ctx: TraceContext,
+) -> Vec<Incident> {
+    let _span = telemetry.span_at("runtime.correlate", ctx);
     let mut incidents: Vec<Incident> = Vec::new();
     for alert in alerts {
         let ts = alert.event.ts;

@@ -1,0 +1,131 @@
+//! `genio-sentinel` CLI: gate a candidate bench document against a
+//! committed baseline.
+//!
+//! ```text
+//! genio-sentinel --baseline BENCH_genio.json --candidate fresh.json \
+//!     --anchor fleet_sim --anchor telemetry_overhead \
+//!     [--threshold 1.25] [--warn-only] [--json report.json]
+//! ```
+//!
+//! Exit codes: `0` pass, `1` anchored regression, `2` usage or I/O
+//! error.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::process::ExitCode;
+
+use genio_sentinel::{compare, BenchDoc, SentinelConfig};
+
+struct Args {
+    baseline: String,
+    candidate: String,
+    json_out: Option<String>,
+    cfg: SentinelConfig,
+}
+
+const USAGE: &str = "usage: genio-sentinel --baseline <path> --candidate <path> \
+[--anchor <substr>]... [--threshold <ratio>] [--warn-only] [--json <path>]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut baseline = None;
+    let mut candidate = None;
+    let mut json_out = None;
+    let mut cfg = SentinelConfig::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--candidate" => candidate = Some(value("--candidate")?),
+            "--anchor" => cfg.anchors.push(value("--anchor")?),
+            "--json" => json_out = Some(value("--json")?),
+            "--threshold" => {
+                let raw = value("--threshold")?;
+                let t: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("bad --threshold {raw:?}"))?;
+                if !(t.is_finite() && t > 1.0) {
+                    return Err(format!("--threshold must be > 1.0, got {raw}"));
+                }
+                cfg.threshold = t;
+            }
+            "--warn-only" => cfg.warn_only = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or(format!("--baseline is required\n{USAGE}"))?,
+        candidate: candidate.ok_or(format!("--candidate is required\n{USAGE}"))?,
+        json_out,
+        cfg,
+    })
+}
+
+fn load_doc(path: &str) -> Result<BenchDoc, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    BenchDoc::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn run(argv: &[String]) -> Result<bool, String> {
+    let args = parse_args(argv)?;
+    let base = load_doc(&args.baseline)?;
+    let cand = load_doc(&args.candidate)?;
+    let report = compare(&base, &cand, &args.cfg);
+    print!("{}", report.render_text());
+    if let Some(path) = &args.json_out {
+        fs::write(path, format!("{}\n", report.to_json()))
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    Ok(report.passes())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("genio-sentinel: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let args = parse_args(&sv(&[
+            "--baseline", "a.json", "--candidate", "b.json", "--anchor", "fleet",
+            "--anchor", "gcm", "--threshold", "1.5", "--warn-only", "--json", "out.json",
+        ]))
+        .expect("args parse");
+        assert_eq!(args.baseline, "a.json");
+        assert_eq!(args.candidate, "b.json");
+        assert_eq!(args.cfg.anchors, vec!["fleet".to_string(), "gcm".to_string()]);
+        assert!((args.cfg.threshold - 1.5).abs() < 1e-12);
+        assert!(args.cfg.warn_only);
+        assert_eq!(args.json_out.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&sv(&["--candidate", "b.json"])).is_err());
+        assert!(parse_args(&sv(&["--baseline", "a", "--candidate", "b", "--threshold", "0.9"]))
+            .is_err());
+        assert!(parse_args(&sv(&["--frobnicate"])).is_err());
+        assert!(run(&sv(&["--baseline", "/nonexistent", "--candidate", "/nonexistent"])).is_err());
+    }
+}

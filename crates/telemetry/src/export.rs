@@ -100,10 +100,21 @@ impl Snapshot {
         }
         for h in &self.histograms {
             let mangled = mangle(&h.name);
-            out.push_str(&format!("# TYPE {mangled} summary\n"));
-            for (q, estimate) in &h.quantiles {
-                out.push_str(&format!("{mangled}{{quantile=\"{q}\"}} {estimate}\n"));
+            out.push_str(&format!("# TYPE {mangled} histogram\n"));
+            // Cumulative `_bucket` series: one line per occupied prefix,
+            // `le` = the bucket's inclusive upper bound (2^(i+1) - 1),
+            // then the mandatory `+Inf` bucket equal to the total count.
+            let highest = h.buckets.iter().rposition(|&c| c > 0);
+            let mut cumulative = 0u64;
+            if let Some(highest) = highest {
+                for (i, count) in h.buckets.iter().enumerate().take(highest + 1) {
+                    cumulative += count;
+                    let le =
+                        if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                    out.push_str(&format!("{mangled}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                }
             }
+            out.push_str(&format!("{mangled}_bucket{{le=\"+Inf\"}} {}\n", h.count));
             out.push_str(&format!("{mangled}_sum {}\n{mangled}_count {}\n", h.sum, h.count));
         }
         out.push_str(&format!(
@@ -118,11 +129,20 @@ impl Snapshot {
     }
 }
 
-/// Maps a dotted metric name onto the Prometheus charset.
+/// Maps a dotted metric name onto the Prometheus charset
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`): every illegal character becomes `_`, and
+/// a leading digit is escaped with a `_` prefix so the result is always
+/// a legal metric name.
 fn mangle(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+    let mut out = String::with_capacity(name.len() + 1);
+    if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.push('_');
+    }
+    out.extend(
+        name.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }),
+    );
+    out
 }
 
 #[cfg(test)]
@@ -132,6 +152,91 @@ mod tests {
     #[test]
     fn mangle_maps_dots_and_dashes() {
         assert_eq!(mangle("pon.tick-ns"), "pon_tick_ns");
+    }
+
+    #[test]
+    fn mangle_escapes_leading_digits_and_odd_chars() {
+        assert_eq!(mangle("5g.ran/slice"), "_5g_ran_slice");
+        assert_eq!(mangle("ok_name"), "ok_name");
+        assert_eq!(mangle("λ.rate"), "__rate");
+    }
+
+    fn sample_histogram() -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        buckets[0] = 3; // three observations of 1
+        buckets[9] = 2; // two in [512, 1024)
+        HistogramSnapshot {
+            name: "pon.tick_ns".to_string(),
+            count: 5,
+            sum: 3 + 2 * 600,
+            max: 700,
+            mean: (3 + 2 * 600) as f64 / 5.0,
+            quantiles: [(0.5, 1), (0.95, 1023), (0.99, 1023)],
+            buckets,
+        }
+    }
+
+    /// Parses `name{le="bound"} value` / `name value` exposition lines
+    /// back into (key, value) pairs — the round-trip half of the
+    /// conformance pin.
+    fn parse_prometheus(text: &str) -> Vec<(String, f64)> {
+        text.lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .filter_map(|l| {
+                let (key, value) = l.rsplit_once(' ')?;
+                Some((key.to_string(), value.parse().ok()?))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prometheus_histograms_are_cumulative_and_round_trip() {
+        let snap = Snapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![sample_histogram()],
+            ring: RingStats::default(),
+        };
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE pon_tick_ns histogram"));
+        let series = parse_prometheus(&text);
+        let get = |k: &str| series.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        // Bucket series is cumulative: bucket 0 holds 3, bucket 9 brings
+        // the running total to 5, +Inf equals the count.
+        assert_eq!(get("pon_tick_ns_bucket{le=\"1\"}"), Some(3.0));
+        assert_eq!(get("pon_tick_ns_bucket{le=\"1023\"}"), Some(5.0));
+        assert_eq!(get("pon_tick_ns_bucket{le=\"+Inf\"}"), Some(5.0));
+        assert_eq!(get("pon_tick_ns_sum"), Some(1203.0));
+        assert_eq!(get("pon_tick_ns_count"), Some(5.0));
+        // Cumulative counts never decrease along the bucket series.
+        let mut last = 0.0f64;
+        for (k, v) in &series {
+            if k.starts_with("pon_tick_ns_bucket") {
+                assert!(*v >= last, "non-monotone bucket series at {k}");
+                last = *v;
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_empty_histogram_still_emits_inf_bucket() {
+        let snap = Snapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![HistogramSnapshot {
+                name: "quiet".to_string(),
+                count: 0,
+                sum: 0,
+                max: 0,
+                mean: 0.0,
+                quantiles: [(0.5, 0), (0.95, 0), (0.99, 0)],
+                buckets: [0; HISTOGRAM_BUCKETS],
+            }],
+            ring: RingStats::default(),
+        };
+        let text = snap.to_prometheus();
+        assert!(text.contains("quiet_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("quiet_count 0"));
     }
 
     #[test]

@@ -5,43 +5,95 @@
 //! of that bound. It provides:
 //!
 //! - a **metrics registry** — atomic [`Counter`]s, [`Gauge`]s and
-//!   log-bucketed [`Histogram`]s with p50/p95/p99 extraction;
-//! - a **span API** — RAII guards ([`Span`], the [`span!`] macro) timed
-//!   by a pluggable [`Clock`] (deterministic [`ManualClock`] in tests,
-//!   monotonic in benches);
+//!   log-bucketed [`Histogram`]s with p50/p95/p99 extraction, striped
+//!   per thread so fleet shard workers never serialise on one lock or
+//!   cache line (stripe-merged reads are exact — see [`metrics`]);
+//! - a **causal span API** — RAII guards ([`Span`], the [`span!`]
+//!   macro) timed by a pluggable [`Clock`] (deterministic
+//!   [`ManualClock`] in tests, monotonic in benches), carrying a
+//!   [`TraceContext`] (trace/span/parent IDs derived deterministically
+//!   from run seeds) so a fleet campaign yields a reconstructable
+//!   cross-thread span tree;
 //! - a **bounded trace ring** ([`TraceRing`]) that never blocks a hot
-//!   path: it drops-oldest under pressure and counts every drop;
-//! - two **exporters** — `genio-telemetry/v1` JSON (testkit JSON values)
-//!   and Prometheus-style text, both rendered from one [`Snapshot`].
+//!   path: per-thread stripes, drops-oldest under pressure, counts
+//!   every drop;
+//! - a **flight recorder** ([`flight`]) — drained trace events exported
+//!   as Chrome-trace/Perfetto JSON (`genio-trace/v1`), canonically
+//!   sorted so same-seed runs export byte-identical trees, with a
+//!   panic-hook dump and a span-tree validator;
+//! - two **metric exporters** — `genio-telemetry/v1` JSON (testkit JSON
+//!   values) and Prometheus exposition text, both rendered from one
+//!   [`Snapshot`].
 //!
 //! Everything hangs off a cloneable [`Telemetry`] handle. The default is
 //! [`Telemetry::disabled`]: handles it creates carry `None` and every
 //! operation is a single branch, so instrumented code paths cost nothing
 //! when observability is off — which is why every pre-existing test in
-//! the workspace passes unchanged. Experiment E-O1 (bench
-//! `telemetry_overhead`) pins the enabled/disabled throughput ratio of
-//! the PON sim and the runtime pipeline under 1.15×.
+//! the workspace passes unchanged. Experiments E-O1/E-O2 (benches
+//! `telemetry_overhead`, `trace_fleet`) pin the enabled/disabled
+//! throughput ratio of the instrumented hot paths under 1.15×.
 
 #![forbid(unsafe_code)]
 
 pub mod clock;
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod ring;
 pub mod span;
+mod stripe;
+pub mod trace;
 
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use export::{HistogramSnapshot, Snapshot, QUANTILES};
+pub use flight::{
+    chrome_trace, install_panic_dump, validate_tree, TraceTreeError, TraceTreeStats, TRACE_SCHEMA,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramCore, Timer, HISTOGRAM_BUCKETS};
 pub use ring::{RingStats, TraceEvent, TraceRing};
 pub use span::Span;
+pub use trace::TraceContext;
 
-use metrics::Registry;
+use metrics::{HistogramCells, Registry};
 
-/// Default trace ring capacity for [`Telemetry::enabled`].
+/// Default trace ring capacity (per stripe) for [`Telemetry::enabled`].
 pub const DEFAULT_RING_CAPACITY: usize = 4_096;
+
+/// Upper bound on registry/ring stripes an enabled handle will use.
+const MAX_STRIPES: usize = 16;
+
+/// Construction knobs for an enabled handle — see
+/// [`Telemetry::with_options`].
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryOptions {
+    /// Trace ring capacity **per stripe**.
+    pub ring_capacity: usize,
+    /// Counter/histogram/ring stripe count (rounded up to a power of
+    /// two, clamped to 1..=16). 1 reproduces the pre-v2 single-cell
+    /// registry — the oracle configuration the property tests compare
+    /// against.
+    pub stripes: usize,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> TelemetryOptions {
+        TelemetryOptions { ring_capacity: DEFAULT_RING_CAPACITY, stripes: default_stripes() }
+    }
+}
+
+/// Stripe count matched to the machine: enough to spread the fleet
+/// engine's shard workers, capped so snapshot merges stay cheap.
+fn default_stripes() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .next_power_of_two()
+        .min(MAX_STRIPES)
+}
 
 /// The observability handle threaded through instrumented constructors.
 /// Cloning is cheap (an `Option<Arc>`); the [`Default`] is disabled, so
@@ -54,9 +106,28 @@ pub struct Telemetry {
 
 #[derive(Debug)]
 struct Inner {
+    /// Process-unique handle identity — the span-cell cache key. A
+    /// dedicated counter (not the `Arc` address) so a freed and
+    /// reallocated `Inner` can never alias a stale cache entry.
+    id: u64,
     clock: Clock,
     registry: Registry,
     ring: Arc<TraceRing>,
+}
+
+static NEXT_INNER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Per-thread span-cell cache: (handle id, span-name address) → striped
+/// histogram cell. Span names are `&'static str` literals, so the
+/// address is a stable identity and re-opening a known span takes no
+/// lock and allocates nothing. Bounded: the cache resets if it ever
+/// grows past `SPAN_CACHE_MAX` entries (only reachable by creating many
+/// enabled handles on one thread, e.g. in tests).
+const SPAN_CACHE_MAX: usize = 256;
+
+thread_local! {
+    static SPAN_CELLS: RefCell<Vec<((u64, usize), Arc<HistogramCells>)>> =
+        const { RefCell::new(Vec::new()) };
 }
 
 impl Telemetry {
@@ -65,25 +136,37 @@ impl Telemetry {
         Telemetry::default()
     }
 
-    /// An enabled handle on the OS monotonic clock with the default ring
-    /// capacity — what benches and examples use.
+    /// An enabled handle on the OS monotonic clock with default options
+    /// — what benches and examples use.
     pub fn enabled() -> Telemetry {
-        Telemetry::with_clock(Clock::monotonic(), DEFAULT_RING_CAPACITY)
+        Telemetry::with_options(Clock::monotonic(), TelemetryOptions::default())
     }
 
     /// An enabled handle on a deterministic manual clock — what tests
     /// use. Keep the `ManualClock` to advance time.
     pub fn with_manual_clock(source: &ManualClock) -> Telemetry {
-        Telemetry::with_clock(Clock::manual(source), DEFAULT_RING_CAPACITY)
+        Telemetry::with_options(Clock::manual(source), TelemetryOptions::default())
     }
 
-    /// An enabled handle with explicit clock and ring capacity.
+    /// An enabled handle with explicit clock and per-stripe ring
+    /// capacity, using the machine-default stripe count.
     pub fn with_clock(clock: Clock, ring_capacity: usize) -> Telemetry {
+        Telemetry::with_options(clock, TelemetryOptions {
+            ring_capacity,
+            ..TelemetryOptions::default()
+        })
+    }
+
+    /// An enabled handle with explicit clock, ring capacity and stripe
+    /// count. `stripes: 1` reproduces the pre-v2 global-cell registry.
+    pub fn with_options(clock: Clock, options: TelemetryOptions) -> Telemetry {
+        let stripes = options.stripes.clamp(1, MAX_STRIPES).next_power_of_two();
         Telemetry {
             inner: Some(Arc::new(Inner {
+                id: NEXT_INNER_ID.fetch_add(1, Ordering::Relaxed),
                 clock,
-                registry: Registry::default(),
-                ring: Arc::new(TraceRing::new(ring_capacity)),
+                registry: Registry::with_stripes(stripes),
+                ring: Arc::new(TraceRing::striped(options.ring_capacity, stripes)),
             })),
         }
     }
@@ -121,15 +204,25 @@ impl Telemetry {
         }
     }
 
-    /// Opens a timing span. On drop it records into the histogram
-    /// `<name>_ns` and offers a [`TraceEvent`] to the ring. Spans belong
-    /// at tick/phase granularity; for per-item costs inside a tight loop
-    /// prefer a pre-resolved [`Histogram::start`] timer.
+    /// Opens an untraced timing span (no causal identity). On drop it
+    /// records into the histogram `<name>_ns` and offers a
+    /// [`TraceEvent`] to the ring. Spans belong at tick/phase
+    /// granularity; for per-item costs inside a tight loop prefer a
+    /// pre-resolved [`Histogram::start`] timer.
     pub fn span(&self, name: &'static str) -> Span {
+        self.span_at(name, TraceContext::default())
+    }
+
+    /// Opens a timing span carrying the causal context `ctx` — its
+    /// trace/span/parent IDs ride on the recorded [`TraceEvent`], which
+    /// is what the flight recorder reassembles into a span tree.
+    /// Re-opening a known span name is lock-free and allocation-free
+    /// (per-thread span-cell cache).
+    pub fn span_at(&self, name: &'static str, ctx: TraceContext) -> Span {
         match &self.inner {
             Some(inner) => {
-                let histogram = inner.registry.histogram_cell(&format!("{name}_ns"));
-                Span::enabled(name, inner.clock.clone(), histogram, Arc::clone(&inner.ring))
+                let histogram = span_cell_for(inner, name);
+                Span::enabled(name, ctx, inner.clock.clone(), histogram, Arc::clone(&inner.ring))
             }
             None => Span::disabled(),
         }
@@ -140,30 +233,51 @@ impl Telemetry {
         self.inner.as_ref().map(|i| i.ring.as_ref())
     }
 
+    /// Drains the trace ring, if enabled (flight-recorder input).
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.ring().map(TraceRing::drain).unwrap_or_default()
+    }
+
     /// Freezes the current state for export. Disabled handles yield an
-    /// empty snapshot.
+    /// empty snapshot. Span-duration cells appear as `<name>_ns`
+    /// histograms; striped cells are merged bucket-wise (exactly — sums
+    /// commute), so the snapshot is indistinguishable from a single-cell
+    /// registry's.
     pub fn snapshot(&self) -> Snapshot {
         let Some(inner) = &self.inner else {
             return Snapshot::default();
         };
-        let histograms = inner
-            .registry
-            .histogram_cores()
+        // Merge plain histograms and span cells into one name-sorted
+        // sequence. A span named `x` renders as `x_ns`, which may
+        // coincide with an explicitly created histogram `x_ns`; merging
+        // their buckets preserves the pre-v2 shared-cell behaviour.
+        let mut merged: std::collections::BTreeMap<String, Vec<Arc<HistogramCells>>> =
+            std::collections::BTreeMap::new();
+        for (name, cells) in inner.registry.histogram_cells() {
+            merged.entry(name).or_default().push(cells);
+        }
+        for (name, cells) in inner.registry.span_cells() {
+            merged.entry(format!("{name}_ns")).or_default().push(cells);
+        }
+        let histograms = merged
             .into_iter()
-            .map(|(name, core)| {
+            .map(|(name, cells)| {
+                let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+                let (mut count, mut sum, mut max) = (0u64, 0u64, 0u64);
+                for c in &cells {
+                    count += c.count();
+                    sum += c.sum();
+                    max = max.max(c.max());
+                    for (slot, v) in buckets.iter_mut().zip(c.bucket_counts().iter()) {
+                        *slot += v;
+                    }
+                }
+                let mean = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
                 let mut quantiles = [(0.0, 0u64); QUANTILES.len()];
                 for (slot, (q, _)) in quantiles.iter_mut().zip(QUANTILES.iter()) {
-                    *slot = (*q, core.quantile(*q));
+                    *slot = (*q, metrics::quantile_from_buckets(&buckets, count, max, *q));
                 }
-                HistogramSnapshot {
-                    name,
-                    count: core.count(),
-                    sum: core.sum(),
-                    max: core.max(),
-                    mean: core.mean(),
-                    quantiles,
-                    buckets: core.bucket_counts(),
-                }
+                HistogramSnapshot { name, count, sum, max, mean, quantiles, buckets }
             })
             .collect();
         Snapshot {
@@ -171,6 +285,34 @@ impl Telemetry {
             gauges: inner.registry.gauge_values(),
             histograms,
             ring: inner.ring.stats(),
+        }
+    }
+}
+
+/// Cached span-cell lookup: hit is a thread-local vector scan keyed by
+/// (handle id, name address); miss takes the registry lock once per
+/// (thread, handle, name).
+fn span_cell_for(inner: &Inner, name: &'static str) -> Arc<HistogramCells> {
+    let key = (inner.id, name.as_ptr() as usize);
+    let hit = SPAN_CELLS.with(|cache| {
+        cache
+            .borrow()
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, cell)| Arc::clone(cell))
+    });
+    match hit {
+        Some(cell) => cell,
+        None => {
+            let cell = inner.registry.span_cell(name);
+            SPAN_CELLS.with(|cache| {
+                let mut cache = cache.borrow_mut();
+                if cache.len() >= SPAN_CACHE_MAX {
+                    cache.clear();
+                }
+                cache.push((key, Arc::clone(&cell)));
+            });
+            cell
         }
     }
 }
@@ -206,6 +348,63 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].name, "pon.tick");
         assert_eq!(events[0].dur_ns, 500);
+        // Untraced span: zero causal identity.
+        assert_eq!(events[0].span_id, 0);
+    }
+
+    #[test]
+    fn span_at_carries_trace_context_onto_the_event() {
+        let source = ManualClock::new();
+        let t = Telemetry::with_manual_clock(&source);
+        let root = TraceContext::root(42).with_shard(3);
+        {
+            let span = span!(t, "fleet.run", root);
+            assert_eq!(span.context(), Some(root));
+            source.advance(100);
+            let _child = t.span_at("fleet.shard", root.child(0));
+        }
+        let mut events = t.drain_trace();
+        events.sort_by_key(|e| e.name);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "fleet.run");
+        assert_eq!(events[0].span_id, root.span_id);
+        assert_eq!(events[0].parent_id, 0);
+        assert_eq!(events[0].shard, 3);
+        assert_eq!(events[1].name, "fleet.shard");
+        assert_eq!(events[1].parent_id, root.span_id);
+        assert_eq!(events[1].trace_id, root.trace_id);
+    }
+
+    #[test]
+    fn span_reopen_hits_the_thread_cache_and_shares_the_cell() {
+        let source = ManualClock::new();
+        let t = Telemetry::with_manual_clock(&source);
+        for _ in 0..10 {
+            let _span = t.span("cache.probe");
+            source.advance(10);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.histogram("cache.probe_ns").map(|h| h.count), Some(10));
+        // A second handle must not alias the first handle's cells.
+        let t2 = Telemetry::with_manual_clock(&source);
+        drop(t2.span("cache.probe"));
+        assert_eq!(t2.snapshot().histogram("cache.probe_ns").map(|h| h.count), Some(1));
+        assert_eq!(t.snapshot().histogram("cache.probe_ns").map(|h| h.count), Some(10));
+    }
+
+    #[test]
+    fn span_and_explicit_histogram_with_same_name_merge_in_snapshot() {
+        let source = ManualClock::new();
+        let t = Telemetry::with_manual_clock(&source);
+        t.histogram("merge.me_ns").observe(7);
+        {
+            let _span = t.span("merge.me");
+            source.advance(9);
+        }
+        let snap = t.snapshot();
+        let h = snap.histogram("merge.me_ns");
+        assert_eq!(h.map(|h| h.count), Some(2));
+        assert_eq!(h.map(|h| h.max), Some(9));
     }
 
     #[test]
@@ -215,6 +414,22 @@ mod tests {
         t.counter("shared").incr(2);
         t2.counter("shared").incr(3);
         assert_eq!(t.snapshot().counter("shared"), Some(5));
+    }
+
+    #[test]
+    fn options_clamp_stripes_and_single_stripe_matches_legacy() {
+        let source = ManualClock::new();
+        let t = Telemetry::with_options(
+            Clock::manual(&source),
+            TelemetryOptions { ring_capacity: 8, stripes: 1 },
+        );
+        assert_eq!(t.ring().map(|r| r.stripes()), Some(1));
+        assert_eq!(t.ring().map(|r| r.capacity()), Some(8));
+        let big = Telemetry::with_options(
+            Clock::manual(&source),
+            TelemetryOptions { ring_capacity: 8, stripes: 1_000 },
+        );
+        assert_eq!(big.ring().map(|r| r.stripes()), Some(MAX_STRIPES));
     }
 
     #[test]

@@ -1,34 +1,81 @@
 //! Metrics primitives: atomic counters, gauges, and log-bucketed
-//! histograms with quantile extraction.
+//! histograms with quantile extraction — striped per thread so fleet
+//! shard workers never serialise on a shared cache line.
 //!
 //! Handles are cheap clones around `Option<Arc<...>>`. A handle obtained
 //! from a disabled [`crate::Telemetry`] carries `None` and every
 //! operation on it is a branch on a `None` — no allocation, no lock, no
 //! atomic traffic. Enabled handles are resolved once by name against the
 //! registry (one `BTreeMap` lookup under a mutex) and from then on each
-//! update is a handful of relaxed atomic operations, which is what keeps
-//! the E-O1 overhead bound honest.
+//! update is a handful of relaxed atomic operations on a per-thread
+//! stripe, which is what keeps the E-O1/E-O2 overhead bounds honest.
+//!
+//! Striping (telemetry v2): a registry built with `stripes > 1` backs
+//! every counter and histogram with one cell per stripe; threads pick a
+//! stripe round-robin (see [`crate::stripe`]) and updates touch only
+//! that stripe. Reads merge: counter totals are stripe sums, histogram
+//! snapshots add bucket arrays element-wise. Sums and per-bucket counts
+//! are exact under merging (addition commutes), so a striped registry is
+//! observationally equal to a single-cell oracle — pinned by property
+//! tests.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::clock::Clock;
+use crate::stripe::thread_stripe;
 
 /// Number of power-of-two histogram buckets. Bucket `i` holds values
 /// whose highest set bit is `i`, i.e. the range `[2^i, 2^(i+1))`, with
 /// 0 landing in bucket 0. 64 buckets cover the full `u64` range.
 pub const HISTOGRAM_BUCKETS: usize = 64;
 
+/// One counter stripe, padded to a cache line so neighbouring stripes
+/// never false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// Striped counter storage: one padded atomic per stripe, summed on read.
+#[derive(Debug)]
+pub struct CounterCells {
+    stripes: Box<[PaddedU64]>,
+    mask: usize,
+}
+
+impl CounterCells {
+    fn new(stripes: usize) -> CounterCells {
+        let stripes = stripes.max(1).next_power_of_two();
+        CounterCells {
+            stripes: (0..stripes).map(|_| PaddedU64::default()).collect(),
+            mask: stripes - 1,
+        }
+    }
+
+    #[inline]
+    fn add(&self, n: u64) {
+        let idx = if self.mask == 0 { 0 } else { thread_stripe() & self.mask };
+        if let Some(cell) = self.stripes.get(idx) {
+            cell.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Exact total across stripes (sums commute).
+    fn total(&self) -> u64 {
+        self.stripes.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
 /// Monotonically increasing event count.
 #[derive(Clone, Debug, Default)]
 pub struct Counter {
-    cell: Option<Arc<AtomicU64>>,
+    cells: Option<Arc<CounterCells>>,
 }
 
 impl Counter {
-    pub(crate) fn enabled(cell: Arc<AtomicU64>) -> Counter {
-        Counter { cell: Some(cell) }
+    pub(crate) fn enabled(cells: Arc<CounterCells>) -> Counter {
+        Counter { cells: Some(cells) }
     }
 
     /// A no-op counter (what a disabled `Telemetry` hands out).
@@ -39,18 +86,20 @@ impl Counter {
     /// Adds `n` to the counter.
     #[inline]
     pub fn incr(&self, n: u64) {
-        if let Some(cell) = &self.cell {
-            cell.fetch_add(n, Ordering::Relaxed);
+        if let Some(cells) = &self.cells {
+            cells.add(n);
         }
     }
 
     /// Current value (0 when disabled).
     pub fn get(&self) -> u64 {
-        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+        self.cells.as_ref().map_or(0, |c| c.total())
     }
 }
 
 /// A value that can move both ways (queue depths, open sessions).
+/// Gauges keep a single cell: `set` is last-writer-wins, which has no
+/// meaningful stripe-merge, and no gauge sits on a fleet hot path.
 #[derive(Clone, Debug, Default)]
 pub struct Gauge {
     cell: Option<Arc<AtomicI64>>,
@@ -89,7 +138,8 @@ impl Gauge {
 }
 
 /// Shared histogram state: total count/sum/max plus one atomic slot per
-/// power-of-two bucket. Lock-free on the record path.
+/// power-of-two bucket. Lock-free on the record path. This is both the
+/// single-stripe oracle and the per-stripe unit of [`HistogramCells`].
 #[derive(Debug)]
 pub struct HistogramCore {
     count: AtomicU64,
@@ -114,6 +164,36 @@ impl Default for HistogramCore {
 fn bucket_index(v: u64) -> usize {
     // `v | 1` maps 0 into bucket 0 without a branch.
     (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// Quantile estimate over a bucket array for `q` in `[0, 1]`: walks the
+/// cumulative counts and returns the **upper bound** of the bucket
+/// containing the q-th observation (`2^(i+1) - 1`, saturating at
+/// `u64::MAX`). Upper bounds grow with the bucket index, so the estimate
+/// is monotone in `q` by construction — the property the testkit harness
+/// pins. `max` is the fallback when the walk exhausts (can only happen
+/// if `total` overstates the bucket sum). Shared by single cores and
+/// stripe-merged snapshots so both paths agree bit-for-bit.
+pub fn quantile_from_buckets(
+    buckets: &[u64; HISTOGRAM_BUCKETS],
+    total: u64,
+    max: u64,
+    q: f64,
+) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Rank of the target observation, 1-based.
+    let rank = ((q * total as f64).ceil() as u64).max(1);
+    let mut cumulative = 0u64;
+    for (i, bucket) in buckets.iter().enumerate() {
+        cumulative += bucket;
+        if cumulative >= rank {
+            return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+        }
+    }
+    max
 }
 
 impl HistogramCore {
@@ -151,28 +231,9 @@ impl HistogramCore {
         }
     }
 
-    /// Quantile estimate for `q` in `[0, 1]`: walks the cumulative bucket
-    /// counts and returns the **upper bound** of the bucket containing the
-    /// q-th observation. Upper bounds grow with the bucket index, so the
-    /// estimate is monotone in `q` by construction — the property the
-    /// testkit harness pins.
+    /// Bucketed quantile estimate (see [`quantile_from_buckets`]).
     pub fn quantile(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        // Rank of the target observation, 1-based.
-        let rank = ((q * total as f64).ceil() as u64).max(1);
-        let mut cumulative = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            cumulative += bucket.load(Ordering::Relaxed);
-            if cumulative >= rank {
-                // Upper bound of bucket i is 2^(i+1) - 1, saturating at the top.
-                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
-            }
-        }
-        self.max()
+        quantile_from_buckets(&self.bucket_counts(), self.count(), self.max(), q)
     }
 
     /// Per-bucket counts (index = power-of-two exponent).
@@ -185,15 +246,85 @@ impl HistogramCore {
     }
 }
 
+/// Striped histogram storage: one [`HistogramCore`] per stripe (each
+/// core is already several cache lines, so no extra padding), merged
+/// element-wise on read.
+#[derive(Debug)]
+pub struct HistogramCells {
+    stripes: Box<[HistogramCore]>,
+    mask: usize,
+}
+
+impl HistogramCells {
+    fn new(stripes: usize) -> HistogramCells {
+        let stripes = stripes.max(1).next_power_of_two();
+        HistogramCells {
+            stripes: (0..stripes).map(|_| HistogramCore::default()).collect(),
+            mask: stripes - 1,
+        }
+    }
+
+    /// Records one observation into this thread's stripe.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = if self.mask == 0 { 0 } else { thread_stripe() & self.mask };
+        if let Some(core) = self.stripes.get(idx) {
+            core.record(v);
+        }
+    }
+
+    /// Merged observation count (exact: sums commute).
+    pub fn count(&self) -> u64 {
+        self.stripes.iter().map(HistogramCore::count).sum()
+    }
+
+    /// Merged observation sum (exact).
+    pub fn sum(&self) -> u64 {
+        self.stripes.iter().map(HistogramCore::sum).sum()
+    }
+
+    /// Merged maximum (max of stripe maxima — exact).
+    pub fn max(&self) -> u64 {
+        self.stripes.iter().map(HistogramCore::max).max().unwrap_or(0)
+    }
+
+    /// Merged mean.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Element-wise sum of the stripe bucket arrays (exact).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for core in self.stripes.iter() {
+            for (slot, v) in out.iter_mut().zip(core.bucket_counts().iter()) {
+                *slot += v;
+            }
+        }
+        out
+    }
+
+    /// Quantile over the merged buckets — identical to what a single
+    /// core holding the union of observations would report.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_buckets(&self.bucket_counts(), self.count(), self.max(), q)
+    }
+}
+
 /// A named distribution, usually of durations in nanoseconds. Cloning is
 /// cheap; disabled histograms are no-ops.
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
-    core: Option<(Arc<HistogramCore>, Clock)>,
+    core: Option<(Arc<HistogramCells>, Clock)>,
 }
 
 impl Histogram {
-    pub(crate) fn enabled(core: Arc<HistogramCore>, clock: Clock) -> Histogram {
+    pub(crate) fn enabled(core: Arc<HistogramCells>, clock: Clock) -> Histogram {
         Histogram { core: Some((core, clock)) }
     }
 
@@ -237,7 +368,7 @@ impl Histogram {
         self.core.as_ref().map_or(0, |(c, _)| c.max())
     }
 
-    /// Bucketed quantile estimate (see [`HistogramCore::quantile`]).
+    /// Bucketed quantile estimate (see [`quantile_from_buckets`]).
     pub fn quantile(&self, q: f64) -> u64 {
         self.core.as_ref().map_or(0, |(c, _)| c.quantile(q))
     }
@@ -246,7 +377,7 @@ impl Histogram {
 /// RAII duration recorder returned by [`Histogram::start`].
 #[derive(Debug)]
 pub struct Timer {
-    inner: Option<(Arc<HistogramCore>, Clock, u64)>,
+    inner: Option<(Arc<HistogramCells>, Clock, u64)>,
 }
 
 impl Drop for Timer {
@@ -259,12 +390,22 @@ impl Drop for Timer {
 
 /// Name → metric store behind an enabled `Telemetry`. The mutex is taken
 /// only when a handle is created or a snapshot is read, never on the
-/// per-event update path.
-#[derive(Debug, Default)]
+/// per-event update path. Span-duration histograms live in their own
+/// map keyed by the `&'static str` span name, so `Telemetry::span` never
+/// allocates a `String` to find its cell.
+#[derive(Debug)]
 pub struct Registry {
-    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    stripes: usize,
+    counters: Mutex<BTreeMap<String, Arc<CounterCells>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
-    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCells>>>,
+    spans: Mutex<BTreeMap<&'static str, Arc<HistogramCells>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::with_stripes(1)
+    }
 }
 
 /// Recover the guard from a poisoned mutex: metrics are monotone atomics,
@@ -276,9 +417,33 @@ fn relock<'a, T>(
 }
 
 impl Registry {
-    pub(crate) fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+    /// A registry whose counter/histogram cells carry `stripes` stripes
+    /// each (rounded up to a power of two, minimum 1).
+    pub fn with_stripes(stripes: usize) -> Registry {
+        Registry {
+            stripes: stripes.max(1).next_power_of_two(),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Stripe count cells are created with.
+    pub fn stripes(&self) -> usize {
+        self.stripes
+    }
+
+    pub(crate) fn counter_cell(&self, name: &str) -> Arc<CounterCells> {
         let mut map = relock(self.counters.lock());
-        Arc::clone(map.entry(name.to_string()).or_default())
+        match map.get(name) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                let cell = Arc::new(CounterCells::new(self.stripes));
+                map.insert(name.to_string(), Arc::clone(&cell));
+                cell
+            }
+        }
     }
 
     pub(crate) fn gauge_cell(&self, name: &str) -> Arc<AtomicI64> {
@@ -286,16 +451,38 @@ impl Registry {
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
-    pub(crate) fn histogram_cell(&self, name: &str) -> Arc<HistogramCore> {
+    pub(crate) fn histogram_cell(&self, name: &str) -> Arc<HistogramCells> {
         let mut map = relock(self.histograms.lock());
-        Arc::clone(map.entry(name.to_string()).or_default())
+        match map.get(name) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                let cell = Arc::new(HistogramCells::new(self.stripes));
+                map.insert(name.to_string(), Arc::clone(&cell));
+                cell
+            }
+        }
     }
 
-    /// Sorted (name, value) view of all counters.
+    /// Span-duration cell for the span `name`, keyed by the static name
+    /// itself — no allocation on the open path. The snapshot renders it
+    /// under `<name>_ns` alongside plain histograms.
+    pub(crate) fn span_cell(&self, name: &'static str) -> Arc<HistogramCells> {
+        let mut map = relock(self.spans.lock());
+        match map.get(name) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                let cell = Arc::new(HistogramCells::new(self.stripes));
+                map.insert(name, Arc::clone(&cell));
+                cell
+            }
+        }
+    }
+
+    /// Sorted (name, value) view of all counters (stripe-merged).
     pub fn counter_values(&self) -> Vec<(String, u64)> {
         relock(self.counters.lock())
             .iter()
-            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .map(|(k, v)| (k.clone(), v.total()))
             .collect()
     }
 
@@ -307,11 +494,19 @@ impl Registry {
             .collect()
     }
 
-    /// Sorted (name, core) view of all histograms.
-    pub fn histogram_cores(&self) -> Vec<(String, Arc<HistogramCore>)> {
+    /// Sorted (name, cells) view of all plain histograms.
+    pub fn histogram_cells(&self) -> Vec<(String, Arc<HistogramCells>)> {
         relock(self.histograms.lock())
             .iter()
             .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Sorted (span name, cells) view of all span-duration histograms.
+    pub fn span_cells(&self) -> Vec<(&'static str, Arc<HistogramCells>)> {
+        relock(self.spans.lock())
+            .iter()
+            .map(|(k, v)| (*k, Arc::clone(v)))
             .collect()
     }
 }
@@ -389,5 +584,44 @@ mod tests {
         // Degenerate quantiles stay in range.
         assert_eq!(core.quantile(0.0), 1);
         assert!(core.quantile(1.0) >= core.quantile(0.0));
+    }
+
+    #[test]
+    fn striped_cells_merge_to_exact_totals() {
+        let reg = Registry::with_stripes(8);
+        assert_eq!(reg.stripes(), 8);
+        let cells = reg.counter_cell("striped");
+        let hist = reg.histogram_cell("lat");
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cells = Arc::clone(&cells);
+                let hist = Arc::clone(&hist);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        cells.add(1);
+                        hist.record(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(cells.total(), 400);
+        assert_eq!(hist.count(), 400);
+        assert_eq!(hist.bucket_counts().iter().sum::<u64>(), 400);
+        assert_eq!(hist.max(), 3 * 1_000 + 99);
+    }
+
+    #[test]
+    fn striped_quantile_equals_single_core_oracle() {
+        let striped = HistogramCells::new(4);
+        let oracle = HistogramCore::default();
+        for v in [3u64, 17, 900, 900, 65_000, 1, 0, 2_000_000] {
+            striped.record(v);
+            oracle.record(v);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(striped.quantile(q), oracle.quantile(q));
+        }
+        assert_eq!(striped.bucket_counts(), oracle.bucket_counts());
+        assert_eq!(striped.sum(), oracle.sum());
     }
 }

@@ -1,17 +1,29 @@
-//! Bounded ring buffer of trace events with explicit drop accounting.
+//! Bounded, striped ring buffer of trace events with explicit drop
+//! accounting.
 //!
-//! The hot-path contract: `push` **never blocks**. The buffer sits behind
-//! a mutex, but writers only `try_lock` — if another thread holds the
-//! lock the event is counted as dropped rather than waited for. When the
-//! ring is full the oldest event is evicted (drops-oldest) and the drop
-//! counter says so. The accounting invariant, pinned by property tests,
-//! is `recorded == dropped + drained + buffered` at quiescence.
+//! The hot-path contract: `push` **never blocks**. Each stripe's buffer
+//! sits behind a mutex, but writers only `try_lock` — if another thread
+//! holds the lock the event is counted as dropped rather than waited
+//! for. When a stripe is full the oldest event is evicted (drops-oldest)
+//! and the drop counter says so. The accounting invariant, pinned by
+//! property tests, is `recorded == dropped + drained + buffered` at
+//! quiescence.
+//!
+//! Striping (new in telemetry v2) is what makes the ring shard-native:
+//! each OS thread is assigned a stripe round-robin, so the fleet
+//! engine's shard workers push into disjoint buffers and the
+//! `try_lock`-contention drop path effectively never fires. `drain`
+//! walks the stripes in order; the flight recorder re-sorts events into
+//! canonical order anyway, so stripe assignment never leaks into
+//! exported bytes.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, TryLockError};
 
-/// One completed span occurrence.
+use crate::stripe::thread_stripe;
+
+/// One completed span occurrence, carrying its causal identity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Span name (static: span names are compile-time labels).
@@ -20,15 +32,31 @@ pub struct TraceEvent {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Trace identity shared by the whole span tree (0 = untraced).
+    pub trace_id: u64,
+    /// This span's identity (0 = untraced).
+    pub span_id: u64,
+    /// Opening span's identity (0 = root or untraced).
+    pub parent_id: u64,
+    /// Shard / worker index that carried the span.
+    pub shard: u32,
 }
 
-/// Point-in-time accounting view of the ring.
+impl TraceEvent {
+    /// An event with no causal identity — what pre-v2 spans recorded,
+    /// and what `Telemetry::span` (as opposed to `span_at`) still emits.
+    pub fn untraced(name: &'static str, start_ns: u64, dur_ns: u64) -> TraceEvent {
+        TraceEvent { name, start_ns, dur_ns, trace_id: 0, span_id: 0, parent_id: 0, shard: 0 }
+    }
+}
+
+/// Point-in-time accounting view of the ring (summed over stripes).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RingStats {
     /// Events offered to the ring (accepted or not).
     pub recorded: u64,
     /// Events lost: evicted-oldest on overflow, or rejected because the
-    /// ring was contended at push time.
+    /// stripe was contended at push time.
     pub dropped: u64,
     /// Events handed out via [`TraceRing::drain`].
     pub drained: u64,
@@ -36,22 +64,18 @@ pub struct RingStats {
     pub buffered: u64,
 }
 
-/// Bounded, never-blocking trace event buffer.
+/// One independently locked segment of the ring.
 #[derive(Debug)]
-pub struct TraceRing {
-    capacity: usize,
+struct RingStripe {
     events: Mutex<VecDeque<TraceEvent>>,
     recorded: AtomicU64,
     dropped: AtomicU64,
     drained: AtomicU64,
 }
 
-impl TraceRing {
-    /// A ring holding at most `capacity` events (minimum 1).
-    pub fn new(capacity: usize) -> TraceRing {
-        let capacity = capacity.max(1);
-        TraceRing {
-            capacity,
+impl RingStripe {
+    fn new(capacity: usize) -> RingStripe {
+        RingStripe {
             events: Mutex::new(VecDeque::with_capacity(capacity)),
             recorded: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -59,18 +83,11 @@ impl TraceRing {
         }
     }
 
-    /// Maximum number of buffered events.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Offers an event. Never blocks: a contended lock or a full ring
-    /// costs a drop (of this event or the oldest one), never a wait.
-    pub fn push(&self, event: TraceEvent) {
+    fn push(&self, capacity: usize, event: TraceEvent) {
         self.recorded.fetch_add(1, Ordering::Relaxed);
         match self.events.try_lock() {
             Ok(mut queue) => {
-                if queue.len() >= self.capacity {
+                if queue.len() >= capacity {
                     queue.pop_front();
                     self.dropped.fetch_add(1, Ordering::Relaxed);
                 }
@@ -81,7 +98,7 @@ impl TraceRing {
             }
             Err(TryLockError::Poisoned(poison)) => {
                 let mut queue = poison.into_inner();
-                if queue.len() >= self.capacity {
+                if queue.len() >= capacity {
                     queue.pop_front();
                     self.dropped.fetch_add(1, Ordering::Relaxed);
                 }
@@ -89,27 +106,88 @@ impl TraceRing {
             }
         }
     }
+}
 
-    /// Removes and returns all buffered events, oldest first. This is the
-    /// reader side and may block briefly; it never runs on a hot path.
+/// Bounded, never-blocking trace event buffer, striped per thread.
+#[derive(Debug)]
+pub struct TraceRing {
+    stripe_capacity: usize,
+    stripes: Box<[RingStripe]>,
+    /// `stripes.len() - 1`; stripe counts are powers of two so stripe
+    /// selection is a mask, not a modulo.
+    mask: usize,
+}
+
+impl TraceRing {
+    /// A single-stripe ring holding at most `capacity` events (minimum
+    /// 1) — the pre-v2 shape, still what low-traffic handles use.
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing::striped(capacity, 1)
+    }
+
+    /// A ring of `stripes` independently locked segments, each holding
+    /// at most `stripe_capacity` events. The stripe count is rounded up
+    /// to a power of two (minimum 1); threads are assigned stripes
+    /// round-robin at first push.
+    pub fn striped(stripe_capacity: usize, stripes: usize) -> TraceRing {
+        let stripe_capacity = stripe_capacity.max(1);
+        let stripes = stripes.max(1).next_power_of_two();
+        TraceRing {
+            stripe_capacity,
+            stripes: (0..stripes).map(|_| RingStripe::new(stripe_capacity)).collect(),
+            mask: stripes - 1,
+        }
+    }
+
+    /// Maximum number of buffered events across all stripes.
+    pub fn capacity(&self) -> usize {
+        self.stripe_capacity * self.stripes.len()
+    }
+
+    /// Number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Offers an event. Never blocks: a contended stripe or a full
+    /// stripe costs a drop (of this event or the oldest one), never a
+    /// wait.
+    pub fn push(&self, event: TraceEvent) {
+        let idx = thread_stripe() & self.mask;
+        if let Some(stripe) = self.stripes.get(idx) {
+            stripe.push(self.stripe_capacity, event);
+        }
+    }
+
+    /// Removes and returns all buffered events, stripe by stripe (oldest
+    /// first within a stripe). This is the reader side and may block
+    /// briefly; it never runs on a hot path. Cross-stripe order is
+    /// arbitrary — the flight recorder sorts canonically before export.
     pub fn drain(&self) -> Vec<TraceEvent> {
-        let mut queue = self.events.lock().unwrap_or_else(|e| e.into_inner());
-        let out: Vec<TraceEvent> = queue.drain(..).collect();
-        self.drained.fetch_add(out.len() as u64, Ordering::Relaxed);
+        let mut out = Vec::new();
+        for stripe in self.stripes.iter() {
+            let mut queue = stripe.events.lock().unwrap_or_else(|e| e.into_inner());
+            let before = out.len();
+            out.extend(queue.drain(..));
+            stripe.drained.fetch_add((out.len() - before) as u64, Ordering::Relaxed);
+        }
         out
     }
 
-    /// Consistent accounting snapshot. Takes the lock so `buffered` lines
-    /// up with the counters; at quiescence
-    /// `recorded == dropped + drained + buffered`.
+    /// Consistent accounting snapshot. Takes each stripe lock so
+    /// `buffered` lines up with the counters; at quiescence
+    /// `recorded == dropped + drained + buffered` (per stripe, hence in
+    /// aggregate).
     pub fn stats(&self) -> RingStats {
-        let queue = self.events.lock().unwrap_or_else(|e| e.into_inner());
-        RingStats {
-            recorded: self.recorded.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
-            drained: self.drained.load(Ordering::Relaxed),
-            buffered: queue.len() as u64,
+        let mut total = RingStats::default();
+        for stripe in self.stripes.iter() {
+            let queue = stripe.events.lock().unwrap_or_else(|e| e.into_inner());
+            total.recorded += stripe.recorded.load(Ordering::Relaxed);
+            total.dropped += stripe.dropped.load(Ordering::Relaxed);
+            total.drained += stripe.drained.load(Ordering::Relaxed);
+            total.buffered += queue.len() as u64;
         }
+        total
     }
 }
 
@@ -118,7 +196,7 @@ mod tests {
     use super::*;
 
     fn ev(name: &'static str, start_ns: u64) -> TraceEvent {
-        TraceEvent { name, start_ns, dur_ns: 1 }
+        TraceEvent::untraced(name, start_ns, 1)
     }
 
     #[test]
@@ -150,5 +228,42 @@ mod tests {
         let stats = ring.stats();
         assert_eq!(stats.recorded, 10);
         assert_eq!(stats.recorded, stats.dropped + stats.drained + stats.buffered);
+    }
+
+    #[test]
+    fn striped_ring_rounds_to_power_of_two_and_sums_capacity() {
+        let ring = TraceRing::striped(8, 3);
+        assert_eq!(ring.stripes(), 4);
+        assert_eq!(ring.capacity(), 32);
+        // Accounting holds across stripes even when one thread only ever
+        // touches its own stripe.
+        for i in 0..100 {
+            ring.push(ev("s", i));
+        }
+        let stats = ring.stats();
+        assert_eq!(stats.recorded, 100);
+        assert_eq!(stats.recorded, stats.dropped + stats.drained + stats.buffered);
+    }
+
+    #[test]
+    fn striped_drain_collects_from_every_stripe() {
+        let ring = std::sync::Arc::new(TraceRing::striped(64, 4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let ring = std::sync::Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..16 {
+                    ring.push(ev("w", t * 100 + i));
+                }
+            }));
+        }
+        for h in handles {
+            drop(h.join());
+        }
+        let drained = ring.drain();
+        let stats = ring.stats();
+        assert_eq!(stats.recorded, 64);
+        assert_eq!(stats.drained + stats.dropped, 64);
+        assert_eq!(drained.len() as u64, stats.drained);
     }
 }

@@ -1,0 +1,37 @@
+//! Thread→stripe assignment shared by the striped registry cells and the
+//! striped trace ring.
+//!
+//! Each OS thread draws one stripe number from a global round-robin
+//! counter the first time it touches any striped structure; every
+//! striped structure then masks that number down to its own stripe
+//! count (always a power of two). Round-robin beats hashing the thread
+//! id here: the fleet engine spawns its shard workers together, so
+//! consecutive numbers spread them across stripes perfectly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NEXT_THREAD_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_STRIPE: usize = NEXT_THREAD_STRIPE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// This thread's stripe number (stable for the thread's lifetime).
+/// Callers mask it with their own `stripes - 1`.
+#[inline]
+pub(crate) fn thread_stripe() -> usize {
+    THREAD_STRIPE.with(|s| *s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_within_a_thread_distinct_across_threads() {
+        let here = thread_stripe();
+        assert_eq!(here, thread_stripe());
+        let there = std::thread::spawn(thread_stripe).join().expect("join");
+        assert_ne!(here, there);
+    }
+}

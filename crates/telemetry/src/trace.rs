@@ -1,0 +1,131 @@
+//! Causal trace identity: deterministic trace/span IDs derived from the
+//! same seed-split discipline as the fleet engine's per-tree streams.
+//!
+//! A [`TraceContext`] names one node of a span tree: which trace it
+//! belongs to (`trace_id`), which span it is (`span_id`), which span
+//! opened it (`parent_id`, 0 for roots), and which shard/worker carried
+//! it (`shard`). IDs are **derived, not drawn**: `root(seed)` and
+//! `child(slot)` are pure functions of the seed and the caller-chosen
+//! slot, so two same-seed fleet runs produce byte-identical span trees
+//! regardless of thread scheduling — the property the verify.sh
+//! trace-determinism gate pins. The zero context (`TraceContext::default`)
+//! means "untraced": spans opened with it still feed histograms and the
+//! ring but carry no tree identity.
+
+/// SplitMix64 finalizer — the same mixer the PON engine uses for its
+/// per-tree seed streams, duplicated here so the telemetry crate stays
+/// dependency-free at the bottom of the workspace graph.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Domain-separation tags so a trace id can never collide with the span
+/// id derived from it, and child slots live in their own stream.
+const TRACE_TAG: u64 = 0x6765_6E69_6F2D_7472; // "genio-tr"
+const SPAN_TAG: u64 = 0x6765_6E69_6F2D_7370; // "genio-sp"
+const CHILD_TAG: u64 = 0x6765_6E69_6F2D_6368; // "genio-ch"
+
+/// Identity of one span in a causal trace. `Copy` and 28 bytes: carrying
+/// it through shard workers costs a register copy, not an allocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Trace (campaign/run) identity; equal across the whole tree.
+    pub trace_id: u64,
+    /// This span's identity (0 = untraced).
+    pub span_id: u64,
+    /// The opening span's identity (0 = tree root).
+    pub parent_id: u64,
+    /// Shard / worker index that carried the span (exported as the
+    /// Perfetto `tid` so per-shard tracks line up in the UI).
+    pub shard: u32,
+}
+
+impl TraceContext {
+    /// Root context for a run keyed by `seed`. Deterministic: the same
+    /// seed always yields the same trace and root span IDs. IDs are
+    /// forced nonzero so a traced context is never mistaken for the
+    /// untraced default.
+    pub fn root(seed: u64) -> TraceContext {
+        let trace_id = mix64(seed ^ TRACE_TAG) | 1;
+        let span_id = mix64(trace_id ^ SPAN_TAG) | 1;
+        TraceContext { trace_id, span_id, parent_id: 0, shard: 0 }
+    }
+
+    /// Child context in slot `slot`. Slots are caller-chosen constants
+    /// (shard index, batch sequence, …); distinct slots under one parent
+    /// yield distinct span IDs, and the derivation is pure so replays
+    /// rebuild the identical tree. Untraced contexts stay untraced.
+    pub fn child(&self, slot: u64) -> TraceContext {
+        if !self.is_traced() {
+            return TraceContext::default();
+        }
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: mix64(self.span_id ^ mix64(slot ^ CHILD_TAG)) | 1,
+            parent_id: self.span_id,
+            shard: self.shard,
+        }
+    }
+
+    /// Same context tagged with the shard/worker index that carries it.
+    pub fn with_shard(mut self, shard: u32) -> TraceContext {
+        self.shard = shard;
+        self
+    }
+
+    /// Whether this context names a real span (false for the untraced
+    /// zero context).
+    pub fn is_traced(&self) -> bool {
+        self.span_id != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_deterministic_and_nonzero() {
+        let a = TraceContext::root(42);
+        let b = TraceContext::root(42);
+        assert_eq!(a, b);
+        assert!(a.is_traced());
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.span_id, 0);
+        assert_eq!(a.parent_id, 0);
+        assert_ne!(TraceContext::root(43), a);
+    }
+
+    #[test]
+    fn children_link_to_parent_and_separate_by_slot() {
+        let root = TraceContext::root(7);
+        let c0 = root.child(0);
+        let c1 = root.child(1);
+        assert_eq!(c0.trace_id, root.trace_id);
+        assert_eq!(c0.parent_id, root.span_id);
+        assert_ne!(c0.span_id, c1.span_id);
+        assert_ne!(c0.span_id, root.span_id);
+        // Grandchildren in the same slot as a child stay distinct.
+        assert_ne!(c0.child(0).span_id, c0.span_id);
+        assert_ne!(c0.child(1).span_id, c1.child(1).span_id);
+    }
+
+    #[test]
+    fn untraced_stays_untraced_through_derivation() {
+        let z = TraceContext::default();
+        assert!(!z.is_traced());
+        assert!(!z.child(5).is_traced());
+        assert_eq!(z.child(5), TraceContext::default());
+    }
+
+    #[test]
+    fn shard_tag_rides_along() {
+        let ctx = TraceContext::root(1).with_shard(9);
+        assert_eq!(ctx.shard, 9);
+        assert_eq!(ctx.child(3).shard, 9);
+    }
+}

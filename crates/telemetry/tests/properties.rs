@@ -24,11 +24,11 @@ property! {
                 let ring = Arc::clone(&ring);
                 scope.spawn(move || {
                     for i in 0..per_writer {
-                        ring.push(TraceEvent {
-                            name: "prop.event",
-                            start_ns: (w * per_writer + i) as u64,
-                            dur_ns: 1,
-                        });
+                        ring.push(TraceEvent::untraced(
+                            "prop.event",
+                            (w * per_writer + i) as u64,
+                            1,
+                        ));
                     }
                 });
             }
@@ -49,7 +49,7 @@ property! {
     fn ring_drops_oldest(capacity in 1usize..32, burst in 0usize..128) {
         let ring = TraceRing::new(capacity);
         for i in 0..burst {
-            ring.push(TraceEvent { name: "prop.burst", start_ns: i as u64, dur_ns: 0 });
+            ring.push(TraceEvent::untraced("prop.burst", i as u64, 0));
         }
         let events = ring.drain();
         prop_assert!(events.len() <= capacity);

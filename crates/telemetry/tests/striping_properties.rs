@@ -1,0 +1,150 @@
+//! Property-based tests for telemetry v2: stripe-merged snapshots must
+//! be observationally equal to a single-cell oracle registry, and the
+//! flight recorder's export/validation must be canonical.
+
+use std::thread;
+
+use genio_testkit::prelude::*;
+
+use genio_telemetry::flight::{chrome_trace, validate_tree};
+use genio_telemetry::{Clock, ManualClock, Telemetry, TelemetryOptions, TraceContext};
+
+fn with_stripes(clock: &ManualClock, stripes: usize) -> Telemetry {
+    Telemetry::with_options(
+        Clock::manual(clock),
+        TelemetryOptions { ring_capacity: 4_096, stripes },
+    )
+}
+
+property! {
+    /// Single-thread oracle equality: the same operation sequence played
+    /// into a striped registry and a single-cell (stripes = 1) registry
+    /// yields identical snapshots — counters, histogram counts, sums,
+    /// bucket arrays and quantiles. Sums commute, so the merge is exact,
+    /// not approximate.
+    fn striped_snapshot_matches_single_cell_oracle(
+        ops in vec((0u8..3, 0u64..1_000_000), 1..200),
+        stripes_pow in 0u8..5
+    ) {
+        let clock = ManualClock::new();
+        let striped = with_stripes(&clock, 1usize << stripes_pow);
+        let oracle = with_stripes(&clock, 1);
+        for (kind, v) in &ops {
+            match kind % 3 {
+                0 => {
+                    striped.counter("prop.ctr").incr(*v);
+                    oracle.counter("prop.ctr").incr(*v);
+                }
+                1 => {
+                    striped.histogram("prop.hist").observe(*v);
+                    oracle.histogram("prop.hist").observe(*v);
+                }
+                _ => {
+                    striped.gauge("prop.gauge").set(*v as i64);
+                    oracle.gauge("prop.gauge").set(*v as i64);
+                }
+            }
+        }
+        let (a, b) = (striped.snapshot(), oracle.snapshot());
+        prop_assert_eq!(&a.counters, &b.counters);
+        prop_assert_eq!(&a.gauges, &b.gauges);
+        prop_assert_eq!(a.histograms.len(), b.histograms.len());
+        for (ha, hb) in a.histograms.iter().zip(b.histograms.iter()) {
+            prop_assert_eq!(&ha.name, &hb.name);
+            prop_assert_eq!(ha.count, hb.count);
+            prop_assert_eq!(ha.sum, hb.sum);
+            prop_assert_eq!(ha.max, hb.max);
+            prop_assert_eq!(ha.buckets, hb.buckets);
+            prop_assert_eq!(ha.quantiles, hb.quantiles, "quantiles must merge exactly");
+        }
+    }
+}
+
+property! {
+    /// Multi-thread oracle equality: writers race on the striped
+    /// registry but each thread's deterministic slice of the work is
+    /// fixed, so the merged totals must equal the single-thread oracle's
+    /// exactly — counter sums, histogram counts and bucket occupancy.
+    fn concurrent_striped_totals_are_exact(
+        per_writer in vec(1u64..2_000, 1..5),
+        values in vec(0u64..100_000, 1..8)
+    ) {
+        let clock = ManualClock::new();
+        let striped = with_stripes(&clock, 8);
+        let oracle = with_stripes(&clock, 1);
+        thread::scope(|scope| {
+            for &n in &per_writer {
+                let t = striped.clone();
+                let values = values.clone();
+                scope.spawn(move || {
+                    let ctr = t.counter("prop.races");
+                    let hist = t.histogram("prop.race_hist");
+                    for i in 0..n {
+                        ctr.incr(1);
+                        hist.observe(values[(i as usize) % values.len()]);
+                    }
+                });
+            }
+        });
+        for &n in &per_writer {
+            let ctr = oracle.counter("prop.races");
+            let hist = oracle.histogram("prop.race_hist");
+            for i in 0..n {
+                ctr.incr(1);
+                hist.observe(values[(i as usize) % values.len()]);
+            }
+        }
+        let (a, b) = (striped.snapshot(), oracle.snapshot());
+        prop_assert_eq!(a.counter("prop.races"), b.counter("prop.races"));
+        let ha = a.histogram("prop.race_hist").expect("striped histogram");
+        let hb = b.histogram("prop.race_hist").expect("oracle histogram");
+        prop_assert_eq!(ha.count, hb.count);
+        prop_assert_eq!(ha.sum, hb.sum);
+        prop_assert_eq!(ha.max, hb.max);
+        prop_assert_eq!(ha.buckets, hb.buckets);
+    }
+}
+
+property! {
+    /// Flight-recorder canonical form: however the recorded events are
+    /// permuted (different stripe/drain interleavings), the exported
+    /// document is byte-identical, parses as JSON, and the derived span
+    /// forest validates with every parent present.
+    fn trace_export_is_canonical_and_forest_valid(
+        spans_per_shard in vec(1usize..8, 1..5),
+        seed in 0u64..1_000
+    ) {
+        let clock = ManualClock::new();
+        let telemetry = with_stripes(&clock, 4);
+        let root = TraceContext::root(seed);
+        {
+            let _run = telemetry.span_at("prop.run", root);
+            for (shard, &n) in spans_per_shard.iter().enumerate() {
+                let shard_ctx = root.child(shard as u64).with_shard(shard as u32);
+                let _shard = telemetry.span_at("prop.shard", shard_ctx);
+                for batch in 0..n {
+                    clock.advance(5);
+                    let _batch = telemetry.span_at("prop.batch", shard_ctx.child(batch as u64));
+                }
+            }
+        }
+        let events = telemetry.drain_trace();
+        let expected = 1 + spans_per_shard.len() + spans_per_shard.iter().sum::<usize>();
+        prop_assert_eq!(events.len(), expected, "nothing may drop at this volume");
+
+        let stats = validate_tree(&events).expect("span forest must validate");
+        prop_assert_eq!(stats.traced, expected);
+        prop_assert_eq!(stats.roots, 1);
+        prop_assert_eq!(stats.max_depth, 3);
+
+        // Any permutation exports the same bytes.
+        let doc = chrome_trace(&events);
+        let mut reversed = events.clone();
+        reversed.reverse();
+        prop_assert_eq!(&chrome_trace(&reversed), &doc);
+        let mut rotated = events.clone();
+        rotated.rotate_left(events.len() / 2);
+        prop_assert_eq!(&chrome_trace(&rotated), &doc);
+        prop_assert!(genio_testkit::json::parse(&doc).is_ok(), "export must be valid JSON");
+    }
+}

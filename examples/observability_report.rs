@@ -21,13 +21,19 @@ use genio::pon::sim::{run_instrumented, SimConfig};
 use genio::runtime::correlate::correlate_instrumented;
 use genio::runtime::events::mixed_trace;
 use genio::runtime::falco::{Engine, RuleSetTier};
-use genio::telemetry::{Snapshot, Telemetry};
+use genio::telemetry::{chrome_trace, install_panic_dump, validate_tree, Snapshot, Telemetry};
 
 /// Every instrumented crate and the metric prefix its names carry.
 const SUBSYSTEMS: [&str; 6] = ["pon", "crypto", "netsec", "runtime", "orchestrator", "core"];
 
 fn main() {
     let telemetry = Telemetry::enabled();
+
+    // Flight recorder: if anything below panics, the buffered span
+    // events are dumped as Perfetto-loadable JSON before the process
+    // dies — the post-mortem view of what the run was doing.
+    let dump_path = trace_dump_path();
+    install_panic_dump(&telemetry, &dump_path);
 
     // core: the full attack campaign plus fleet provisioning.
     let report = run_campaign_instrumented(&CampaignConfig::default(), &telemetry);
@@ -140,6 +146,40 @@ fn main() {
         ring.recorded, ring.drained, ring.buffered, ring.dropped
     );
     assert_eq!(ring.recorded, ring.dropped + ring.drained + ring.buffered);
+
+    // --- Flight recorder dump: the same events, Perfetto-loadable. ---
+    let events = telemetry.drain_trace();
+    let export = chrome_trace(&events);
+    match validate_tree(&events) {
+        Ok(stats) => println!(
+            "\nflight recorder: {} events ({} traced, {} roots, max depth {})",
+            stats.events, stats.traced, stats.roots, stats.max_depth
+        ),
+        Err(e) => {
+            eprintln!("flight recorder export is malformed: {e}");
+            std::process::exit(1);
+        }
+    }
+    match std::fs::write(&dump_path, &export) {
+        Ok(()) => println!(
+            "flight recorder: wrote {} bytes to {dump_path} \
+             (load in Perfetto / chrome://tracing)",
+            export.len()
+        ),
+        Err(e) => println!("flight recorder: could not write {dump_path}: {e}"),
+    }
+}
+
+/// Where the flight-recorder JSON lands: `GENIO_TRACE_JSON` if set,
+/// otherwise next to the other bench artifacts under `target/`.
+fn trace_dump_path() -> String {
+    match std::env::var("GENIO_TRACE_JSON") {
+        Ok(path) if !path.is_empty() => path,
+        _ => {
+            let _ = std::fs::create_dir_all("target/genio-trace");
+            "target/genio-trace/observability_report.json".to_string()
+        }
+    }
 }
 
 /// Prints per-subsystem counters and latency quantiles, asserting every

@@ -8,8 +8,13 @@
 #                               fail the build)
 #   scripts/verify.sh --quick   the above, then a quick bench pass that
 #                               merges one experiment report per bench
-#                               target under crates/bench/benches/ into
-#                               BENCH_genio.json at the repo root
+#                               target under crates/bench/benches/ into a
+#                               candidate document, gates it through
+#                               genio-sentinel against the committed
+#                               BENCH_genio.json (anchored hot paths
+#                               hard-fail on >25% median regressions
+#                               beyond the noise band), and promotes it
+#                               to BENCH_genio.json at the repo root
 #
 # A reproducing seed for any property failure is printed by the harness;
 # re-run with GENIO_TEST_SEED=0x... to replay it.
@@ -61,12 +66,25 @@ cargo run --release -q --example fleet_determinism > target/genio-fleet/run-b.tx
 cmp target/genio-fleet/run-a.txt target/genio-fleet/run-b.txt
 echo "same-seed fleet runs agree (digests, counters, stats)"
 
+echo "==> trace-determinism gate (two same-seed traced runs must export identical span trees)"
+cargo run --release -q --example trace_determinism > target/genio-fleet/trace-a.txt
+cargo run --release -q --example trace_determinism > target/genio-fleet/trace-b.txt
+cmp target/genio-fleet/trace-a.txt target/genio-fleet/trace-b.txt
+echo "same-seed traced runs export byte-identical genio-trace/v1 documents"
+
+echo "==> bench sentinel self-check (committed BENCH_genio.json diffs clean against itself)"
+cargo run --release -q -p genio-sentinel --bin genio-sentinel -- \
+    --baseline BENCH_genio.json --candidate BENCH_genio.json \
+    --anchor fleet_sim --anchor telemetry_overhead --anchor trace_fleet/fleet_engine \
+    --anchor lesson2/dataplane
+echo "sentinel parses and passes the committed document"
+
 if [ "$QUICK" -eq 1 ]; then
     echo "==> cargo bench (quick profile)"
     rm -rf target/genio-bench
     cargo bench -p genio-bench --benches -- --quick
 
-    echo "==> merging reports into BENCH_genio.json"
+    echo "==> merging reports into a candidate document"
     # One report per bench target: derive the expected count from the
     # sources so adding a bench never needs a hand-edit here.
     bench_sources=(crates/bench/benches/*.rs)
@@ -86,8 +104,21 @@ if [ "$QUICK" -eq 1 ]; then
             sep=","
         done
         printf ']}\n'
-    } > BENCH_genio.json
-    echo "wrote BENCH_genio.json ($count experiments)"
+    } > target/genio-bench/BENCH_candidate.json
+
+    echo "==> bench sentinel regression gate (candidate vs committed BENCH_genio.json)"
+    # Anchored hot paths hard-fail above max(1.25x, the per-bench noise
+    # band); everything else is a warn-only envelope — quick-mode medians
+    # on unanchored micro-benches are too jittery to gate on.
+    cargo run --release -q -p genio-sentinel --bin genio-sentinel -- \
+        --baseline BENCH_genio.json \
+        --candidate target/genio-bench/BENCH_candidate.json \
+        --anchor fleet_sim --anchor telemetry_overhead --anchor trace_fleet/fleet_engine \
+        --anchor lesson2/dataplane \
+        --json target/genio-bench/sentinel-report.json
+
+    mv target/genio-bench/BENCH_candidate.json BENCH_genio.json
+    echo "wrote BENCH_genio.json ($count experiments; sentinel report in target/genio-bench/)"
 fi
 
 echo "==> verify OK"

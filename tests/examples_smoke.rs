@@ -19,6 +19,7 @@ const EXAMPLES: &[&str] = &[
     "posture_dossier",
     "quickstart",
     "tenant_onboarding",
+    "trace_determinism",
 ];
 
 fn examples_dir() -> PathBuf {
