@@ -1,4 +1,4 @@
-//! Content-hash incremental scan cache (`genio-analyzer-cache/v2`).
+//! Content-hash incremental scan cache (`genio-analyzer-cache/v3`).
 //!
 //! The per-file pipeline stages — tokenize, annotate, rule scan,
 //! summarize — are pure functions of the file's bytes **and of the rule
@@ -9,7 +9,9 @@
 //! suppressions, and the *pre-bridge, pre-dataflow* findings, accesses
 //! and summary.
 //!
-//! The v2 document carries [`crate::rules::rules_version`] — an FNV
+//! The v3 document (v2 plus panic-site facts and call receivers in the
+//! summaries, consumed by dependency-aware invalidation and the R16/R17
+//! passes) carries [`crate::rules::rules_version`] — an FNV
 //! hash over every rule's id, title and catalog entry. A cache written
 //! by an analyzer binary with a different rule set (the latent v1 bug:
 //! such caches were reused verbatim, so a new rule saw stale per-file
@@ -38,7 +40,7 @@ use crate::rules::{rules_version, Access, Allow, Finding, Rule};
 use crate::summary::FileSummary;
 
 /// Cache document schema tag.
-pub const CACHE_SCHEMA: &str = "genio-analyzer-cache/v2";
+pub const CACHE_SCHEMA: &str = "genio-analyzer-cache/v3";
 
 /// Everything the per-file pipeline produced for one source file.
 #[derive(Debug, Clone, PartialEq)]
@@ -384,10 +386,13 @@ mod tests {
         // The latent v1 bug: a cache from an older binary (no
         // rules_version field) was reused verbatim. It must now fail
         // the version check and trigger a full rescan.
-        let old = "{\"schema\": \"genio-analyzer-cache/v2\", \"files\": []}";
+        let old = "{\"schema\": \"genio-analyzer-cache/v3\", \"files\": []}";
         assert!(Cache::from_json_text(old, rules_version()).is_err());
-        let v1 = "{\"schema\": \"genio-analyzer-cache/v1\", \"files\": []}";
-        assert!(Cache::from_json_text(v1, rules_version()).is_err());
+        // Earlier schema generations never parse, version field or not.
+        for stale in ["v1", "v2"] {
+            let doc = format!("{{\"schema\": \"genio-analyzer-cache/{stale}\", \"files\": []}}");
+            assert!(Cache::from_json_text(&doc, rules_version()).is_err());
+        }
     }
 
     #[test]

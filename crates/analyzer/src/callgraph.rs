@@ -144,6 +144,31 @@ impl<'a> CallGraph<'a> {
         self.callers.get(name).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Resolves `name` as seen from a caller in `crate_name`: unique
+    /// across the workspace, or unique among the definitions inside the
+    /// caller's own crate (method names like `step` repeat across
+    /// crates, but a crate-local call overwhelmingly targets the
+    /// crate-local definition). Used by the R16 closure, which must not
+    /// lose edges to cross-crate name collisions.
+    pub fn resolve_from(&self, name: &str, crate_name: &str) -> Option<FnId> {
+        let defs = self.defs.get(name).map(Vec::as_slice).unwrap_or(&[]);
+        match defs {
+            [only] => Some(*only),
+            many => {
+                let mut in_crate = many.iter().filter(|id| self.crate_of(**id) == crate_name);
+                match (in_crate.next(), in_crate.next()) {
+                    (Some(&only), None) => Some(only),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// All definitions of `name`, workspace-wide.
+    pub fn defs_of(&self, name: &str) -> &[FnId] {
+        self.defs.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// Constant value as seen from `file`: a same-file definition
     /// shadows the workspace; otherwise the name must be unambiguous
     /// across the workspace.

@@ -1,0 +1,274 @@
+//! Intraprocedural control-flow scoping for guard sites (v4).
+//!
+//! The v1–v3 engine treated a guard as *flat*: any `buf.len()` mention
+//! earlier in the same function blessed every later `buf[i]`. That shape
+//! has a classic false negative — `if i < buf.len() { buf[i] } else {
+//! buf[i] }` discharges both arms — and an equally classic false
+//! positive — rejecting the check-and-bail idiom `if buf.len() < 16 {
+//! return Err(..); } ... buf[i]` would flood real parsers.
+//!
+//! This module computes a lexical **dominance scope** for every guard
+//! site over the token stream, branch/loop/early-return aware:
+//!
+//! * a guard inside an `if`/`while` **condition** scopes to the branch
+//!   body it dominates — accesses in the `else` arm or after the
+//!   statement are *not* covered;
+//! * unless the body **diverges** (a top-level `return`, `break`,
+//!   `continue` or panic-family macro), in which case surviving past the
+//!   statement implies the guard held, and the scope extends to the end
+//!   of the enclosing block (the check-and-bail idiom);
+//! * a **statement-level** guard (`let n = buf.len();`) scopes from its
+//!   site to the end of the innermost enclosing block — it dominates
+//!   exactly the suffix of that block, not sibling branches.
+//!
+//! [`crate::rules::Annotated::guarded_before`] consults these scopes, so
+//! every flat-guard consumer (R4/R5 discharge, the summary guard bits
+//! feeding interprocedural R5/R9 discharge, and the R16 panic-freedom
+//! closure) upgrades to per-path reasoning through one choke point.
+//!
+//! The scopes are lexical over tokens, not a full CFG: `match` guards
+//! and `&&`-chained conditions degrade to statement-level scoping
+//! (sound direction: narrower, never wider than v3 semantics except for
+//! the documented divergence extension).
+
+use crate::lexer::Token;
+
+/// The token-index range a single guard site dominates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardScope {
+    /// Guarded variable.
+    pub var: String,
+    /// Code index of the guard site itself.
+    pub pos: usize,
+    /// First dominated code index (inclusive).
+    pub start: usize,
+    /// One past the last dominated code index (exclusive).
+    pub end: usize,
+}
+
+impl GuardScope {
+    /// Does this scope dominate code index `i`?
+    pub fn covers(&self, i: usize) -> bool {
+        self.start <= i && i < self.end
+    }
+}
+
+/// One `if`/`while` statement: condition extent, body extent, and
+/// whether the body unconditionally leaves the enclosing block.
+struct Branch {
+    /// First code index of the condition (after the keyword).
+    cond_lo: usize,
+    /// Code index of the body-opening `{` (condition is `cond_lo..brace`).
+    brace: usize,
+    /// First code index of the body.
+    body_lo: usize,
+    /// Code index of the body-closing `}`.
+    body_hi: usize,
+    /// Body ends in a top-level `return`/`break`/`continue`/panic macro.
+    diverges: bool,
+}
+
+/// Computes the dominance scope of every guard site in `guards`
+/// (pairs of `(code index, variable)` as recorded by
+/// [`crate::rules::annotate`]).
+pub fn compute_scopes(code: &[Token], guards: &[(usize, String)]) -> Vec<GuardScope> {
+    let branches = collect_branches(code);
+    guards
+        .iter()
+        .map(|&(pos, ref var)| {
+            // Innermost branch whose *condition* contains the guard.
+            let owner = branches
+                .iter()
+                .filter(|b| b.cond_lo <= pos && pos < b.brace)
+                .max_by_key(|b| b.cond_lo);
+            let (start, end) = match owner {
+                Some(b) if b.diverges => {
+                    // Check-and-bail: inside the body the condition held,
+                    // and surviving past it means the (negated) test
+                    // passed — either way `var` was bounds-checked, so
+                    // the scope runs to the end of the enclosing block.
+                    // (resume the walk *after* the body's own `}`, or
+                    // it would close the scope at the body itself)
+                    (b.body_lo, enclosing_block_end(code, b.body_hi + 1))
+                }
+                Some(b) => (b.body_lo, b.body_hi),
+                None => (pos, enclosing_block_end(code, pos)),
+            };
+            GuardScope { var: var.clone(), pos, start, end }
+        })
+        .collect()
+}
+
+/// Every `if`/`while` statement in the stream, with divergence marks.
+fn collect_branches(code: &[Token]) -> Vec<Branch> {
+    let mut out = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.text != "if" && t.text != "while" {
+            continue;
+        }
+        // Condition runs to the first `{` at bracket depth 0. `(`/`[`
+        // nesting is tracked so `if f(a[i]) {` finds the right brace;
+        // unparenthesised struct literals are not legal in conditions.
+        let cond_lo = i + 1;
+        let mut j = cond_lo;
+        let mut nest = 0i64;
+        let brace = loop {
+            match code.get(j).map(|t| t.text.as_str()) {
+                Some("(") | Some("[") => nest += 1,
+                Some(")") | Some("]") => nest -= 1,
+                Some("{") if nest == 0 => break j,
+                Some(_) => {}
+                None => break j,
+            }
+            j += 1;
+        };
+        if brace >= code.len() {
+            continue;
+        }
+        let body_lo = brace + 1;
+        let mut depth = 1usize;
+        let mut k = body_lo;
+        let mut diverges = false;
+        while k < code.len() && depth > 0 {
+            match code[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                "return" | "break" | "continue" if depth == 1 => diverges = true,
+                s if depth == 1
+                    && crate::rules::PANIC_MACROS.contains(&s)
+                    && code.get(k + 1).map(|t| t.text.as_str()) == Some("!") =>
+                {
+                    diverges = true;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let body_hi = k.saturating_sub(1);
+        out.push(Branch { cond_lo, brace, body_lo, body_hi, diverges });
+    }
+    out
+}
+
+/// Code index of the `}` closing the innermost block containing `i`
+/// (`code.len()` when `i` sits at the top level of the function body
+/// whose brace closes the stream, or outside any block).
+pub(crate) fn enclosing_block_end(code: &[Token], i: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in code.iter().enumerate().skip(i) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    code.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::rules::annotate;
+
+    fn scopes_for(src: &str) -> (Vec<Token>, Vec<GuardScope>) {
+        let ann = annotate(tokenize(src));
+        let scopes = compute_scopes(&ann.code, &ann.guards);
+        (ann.code, scopes)
+    }
+
+    fn idx_of(code: &[Token], nth: usize, text: &str) -> usize {
+        code.iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == text)
+            .nth(nth)
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| panic!("token {text:?} #{nth} not found"))
+    }
+
+    #[test]
+    fn condition_guard_scopes_to_then_body_only() {
+        // The v3 false negative: only one branch checks. The guard in
+        // the condition must cover the then-arm and nothing else.
+        let src = "fn f(buf: &[u8], i: usize) -> u8 { if i < buf.len() { buf[i] } else { buf[i] } }";
+        let (code, scopes) = scopes_for(src);
+        let then_use = idx_of(&code, 1, "buf"); // condition buf.len()
+        let _ = then_use;
+        // `buf` appears: params, condition, then-arm, else-arm.
+        let then_arm = idx_of(&code, 2, "buf");
+        let else_arm = idx_of(&code, 3, "buf");
+        let buf_scope = scopes.iter().find(|s| s.var == "buf").expect("buf guard");
+        assert!(buf_scope.covers(then_arm), "then-arm must be dominated");
+        assert!(!buf_scope.covers(else_arm), "else-arm must NOT be dominated");
+        // The comparison also guards `i`, with the same scope shape.
+        let i_scope = scopes.iter().find(|s| s.var == "i").expect("i guard");
+        assert!(i_scope.covers(then_arm) && !i_scope.covers(else_arm));
+    }
+
+    #[test]
+    fn diverging_body_extends_scope_to_enclosing_block() {
+        // Check-and-bail: the guard must cover the access after the if.
+        let src = "fn f(buf: &[u8], i: usize) -> u8 { if buf.len() < 16 { return 0; } buf[i] }";
+        let (code, scopes) = scopes_for(src);
+        let after = idx_of(&code, 2, "buf");
+        let s = scopes.iter().find(|s| s.var == "buf").expect("buf guard");
+        assert!(s.covers(after), "access after a diverging check must be dominated");
+    }
+
+    #[test]
+    fn panic_macro_body_counts_as_diverging() {
+        let src = "fn f(buf: &[u8], i: usize) -> u8 { if i >= buf.len() { panic!(\"oob\"); } buf[i] }";
+        let (code, scopes) = scopes_for(src);
+        let after = idx_of(&code, 2, "buf");
+        let s = scopes.iter().find(|s| s.var == "buf").expect("buf guard");
+        assert!(s.covers(after));
+    }
+
+    #[test]
+    fn statement_guard_scopes_to_rest_of_block() {
+        let src = "fn f(buf: &[u8]) { let n = buf.len(); for i in 0..n { buf[i]; } }";
+        let (code, scopes) = scopes_for(src);
+        let in_loop = idx_of(&code, 2, "buf");
+        let s = scopes.iter().find(|s| s.var == "buf").expect("buf guard");
+        assert!(s.covers(in_loop), "statement guard covers the rest of its block");
+    }
+
+    #[test]
+    fn statement_guard_inside_branch_does_not_leak_out() {
+        // A guard recorded inside one arm must not bless accesses after
+        // the statement (the flat engine got this wrong too).
+        let src =
+            "fn f(buf: &[u8], i: usize, c: bool) -> u8 { if c { let n = buf.len(); } buf[i] }";
+        let (code, scopes) = scopes_for(src);
+        let after = idx_of(&code, 2, "buf");
+        let s = scopes.iter().find(|s| s.var == "buf").expect("buf guard");
+        assert!(!s.covers(after), "guard inside a branch body must stay in that body");
+    }
+
+    #[test]
+    fn while_condition_guard_covers_loop_body() {
+        let src = "fn f(buf: &[u8], i: usize) { while i < buf.len() { buf[i]; } }";
+        let (code, scopes) = scopes_for(src);
+        let in_body = idx_of(&code, 2, "buf");
+        let s = scopes.iter().find(|s| s.var == "buf").expect("buf guard");
+        assert!(s.covers(in_body));
+    }
+
+    #[test]
+    fn enclosing_block_end_walks_nested_blocks() {
+        let src = "fn f() { { a; } b; }";
+        let ann = annotate(tokenize(src));
+        let a = idx_of(&ann.code, 0, "a");
+        let b = idx_of(&ann.code, 0, "b");
+        let inner_close = enclosing_block_end(&ann.code, a);
+        assert!(ann.code[inner_close].text == "}");
+        assert!(inner_close < b, "inner block closes before b");
+        let outer_close = enclosing_block_end(&ann.code, b);
+        assert!(outer_close > b && ann.code[outer_close].text == "}");
+    }
+}

@@ -205,7 +205,10 @@ fn matching_access<'a>(file: &'a FileFacts, finding: &Finding) -> Option<&'a Acc
 }
 
 /// Can this R4/R5 finding be discharged with cross-function facts?
-fn discharges(
+/// Also consulted by [`crate::panicfree`], which synthesises an
+/// R5-shaped finding/access pair per reachable index site so the R16
+/// closure discharges exactly what the flat pass would.
+pub(crate) fn discharges(
     graph: &CallGraph<'_>,
     file_idx: usize,
     file: &FileFacts,
@@ -280,7 +283,7 @@ fn discharges(
 /// Array length of `var` inside `fun` (which lives in file `file_idx`),
 /// from its parameter type, local type annotation, local allocation, or
 /// the unique callee's return type when bound by `let var = f();`.
-fn var_len(
+pub(crate) fn var_len(
     graph: &CallGraph<'_>,
     file_idx: usize,
     fun: &FnSummary,

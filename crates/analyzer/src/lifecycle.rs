@@ -1,0 +1,282 @@
+//! R17 — secret-lifecycle tracking over the R8 type registry.
+//!
+//! Bi et al.'s edge-platform study finds key-material lifecycle misuse
+//! (keys outliving their session, key bytes never scrubbed) a dominant
+//! real-world risk. This pass checks two lifecycle invariants for every
+//! secret-typed value ([`crate::dataflow::source_vars`] — the same
+//! registry R8/R10–R12 taint from):
+//!
+//! * **collection escape** — a secret passed *bare* to
+//!   `.push(..)`/`.insert(..)`/`.extend(..)` leaves its owning scope
+//!   for a long-lived collection, defeating scoped zeroization and
+//!   stretching the secret's memory-residency window;
+//! * **missing zeroize in teardown** — a function whose name declares a
+//!   teardown responsibility (`*teardown*`, `*close*`, `*rekey*`,
+//!   `*destroy*`, `*retire*`, `*wipe*`, or exactly `drop`/`reset`)
+//!   takes secret material and returns without scrubbing it
+//!   (`.zeroize()`, or `.fill(0)` on the secret).
+//!
+//! Cloning a secret is *not* flagged on its own: `key.clone()` into a
+//! short-lived stack value is routine in the AEAD setup path. The
+//! escape check fires only when the secret itself crosses into a
+//! collection.
+
+use crate::callgraph::{CallGraph, FileFacts};
+use crate::rules::{Finding, Rule};
+
+/// Collection-mutation callees that absorb their argument.
+const ESCAPE_CALLEES: &[&str] = &["push", "insert", "extend"];
+
+/// Name fragments that declare a teardown responsibility.
+const TEARDOWN_FRAGMENTS: &[&str] = &["teardown", "close", "rekey", "destroy", "retire", "wipe"];
+
+/// Callees that count as scrubbing their receiver.
+const SCRUB_CALLEES: &[&str] = &["zeroize", "fill"];
+
+/// Does `name` declare a teardown responsibility?
+fn is_teardown(name: &str) -> bool {
+    name == "drop" || name == "reset" || TEARDOWN_FRAGMENTS.iter().any(|f| name.contains(f))
+}
+
+/// Runs the R17 lifecycle pass over the summarised workspace.
+pub fn run(files: &[FileFacts]) -> Vec<Finding> {
+    let graph = CallGraph::build(files);
+    let secret_types = crate::dataflow::secret_type_names(&graph);
+
+    let mut findings = Vec::new();
+    for file in files {
+        for fun in &file.summary.functions {
+            let sources = crate::dataflow::source_vars(&graph, file, fun, &secret_types);
+            if sources.is_empty() {
+                continue;
+            }
+
+            // Receivers that *are* the secret (a direct secret-typed
+            // value or a secret-named byte buffer) as opposed to a
+            // container-of-secrets: `key.extend(..)` mutates the
+            // secret in place, `cache.push(key)` copies it out into
+            // long-lived storage.
+            let direct_secret = |name: &str| {
+                let ty = fun
+                    .params
+                    .iter()
+                    .chain(fun.local_types.iter())
+                    .find(|(n, _)| n == name)
+                    .map(|(_, t)| t.as_str());
+                match ty {
+                    Some(t) if t.contains("u8") => {
+                        crate::rules::has_secret_segment(name)
+                    }
+                    Some(t) => {
+                        !t.contains('<')
+                            && !t.contains('[')
+                            && crate::dataflow::type_mentions_secret(t, &secret_types)
+                    }
+                    None => false,
+                }
+            };
+
+            // (a) collection escape: a bare secret identifier argument
+            // to push/insert/extend on some receiver.
+            for call in &fun.calls {
+                if !ESCAPE_CALLEES.contains(&call.callee.as_str()) {
+                    continue;
+                }
+                let Some(recv) = &call.recv else { continue };
+                if direct_secret(recv) {
+                    continue;
+                }
+                for arg in &call.args {
+                    let Some(ident) = &arg.ident else { continue };
+                    if sources.contains(ident) {
+                        findings.push(Finding {
+                            rule: Rule::R17SecretLifecycle,
+                            file: file.rel_path.clone(),
+                            line: call.line,
+                            function: fun.name.clone(),
+                            detail: format!(
+                                "secret `{ident}` escapes into collection via `{recv}.{}(..)`",
+                                call.callee
+                            ),
+                            confirmed: Some(true),
+                        });
+                    }
+                }
+            }
+
+            // (b) teardown without scrub: secret *parameters* must be
+            // zeroized before the teardown returns. Locals are skipped
+            // — a teardown may legitimately read a key to derive its
+            // close message; it is the caller-owned material passed in
+            // for disposal that must be scrubbed.
+            if !is_teardown(&fun.name) {
+                continue;
+            }
+            for (param, ty) in &fun.params {
+                if !sources.contains(param) {
+                    continue;
+                }
+                // Only owned/mutable secrets can be scrubbed; a shared
+                // borrow (`&SessionKey`) is the owner's responsibility.
+                if ty.starts_with('&') && !ty.starts_with("&mut") {
+                    continue;
+                }
+                let scrubbed = fun.calls.iter().any(|c| {
+                    SCRUB_CALLEES.contains(&c.callee.as_str())
+                        && c.recv.as_deref() == Some(param.as_str())
+                });
+                if !scrubbed {
+                    findings.push(Finding {
+                        rule: Rule::R17SecretLifecycle,
+                        file: file.rel_path.clone(),
+                        line: fun.line,
+                        function: fun.name.clone(),
+                        detail: format!(
+                            "teardown drops secret `{param}` without zeroize/fill(0)"
+                        ),
+                        confirmed: Some(true),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::rules::annotate;
+
+    fn facts(crate_name: &str, rel_path: &str, src: &str) -> FileFacts {
+        let ann = annotate(tokenize(src));
+        FileFacts {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            summary: crate::summary::summarize(&ann),
+            findings: Vec::new(),
+            accesses: Vec::new(),
+        }
+    }
+
+    const REGISTRY: &str = "pub struct SessionKey([u8; 32]);";
+
+    #[test]
+    fn secret_push_into_collection_is_flagged() {
+        let files = vec![facts(
+            "netsec",
+            "crates/netsec/src/s.rs",
+            &format!(
+                "{REGISTRY}\n\
+                 fn retain(cache: &mut Vec<SessionKey>, key: SessionKey) {{ cache.push(key); }}"
+            ),
+        )];
+        let f = run(&files);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R17SecretLifecycle);
+        assert!(f[0].detail.contains("`cache`.push") || f[0].detail.contains("cache.push"));
+        assert_eq!(f[0].confirmed, Some(true));
+    }
+
+    #[test]
+    fn pushing_public_material_is_silent() {
+        let files = vec![facts(
+            "netsec",
+            "crates/netsec/src/s.rs",
+            &format!(
+                "{REGISTRY}\n\
+                 fn retain(cache: &mut Vec<u64>, count: u64) {{ cache.push(count); }}"
+            ),
+        )];
+        assert!(run(&files).is_empty());
+    }
+
+    #[test]
+    fn extend_onto_the_secret_itself_is_not_an_escape() {
+        let files = vec![facts(
+            "crypto",
+            "crates/crypto/src/s.rs",
+            &format!(
+                "{REGISTRY}\n\
+                 fn pad(key: &mut Vec<u8>, extra: SessionKey) {{ key.extend(extra); }}"
+            ),
+        )];
+        // `key` is secret-named in a secret crate; extending the secret
+        // itself is mutation, not escape. `extra` into `key` IS an
+        // escape — but the receiver is itself secret, so it stays in
+        // secret-tracked storage.
+        assert!(run(&files).is_empty());
+    }
+
+    #[test]
+    fn teardown_without_scrub_is_flagged() {
+        let files = vec![facts(
+            "netsec",
+            "crates/netsec/src/s.rs",
+            &format!(
+                "{REGISTRY}\n\
+                 fn close_session(key: SessionKey) {{ log_close(); }}\n\
+                 fn log_close() {{}}"
+            ),
+        )];
+        let f = run(&files);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("without zeroize"));
+        assert_eq!(f[0].function, "close_session");
+    }
+
+    #[test]
+    fn teardown_with_fill_zero_is_clean() {
+        let files = vec![facts(
+            "netsec",
+            "crates/netsec/src/s.rs",
+            &format!(
+                "{REGISTRY}\n\
+                 fn close_session(mut key: SessionKey) {{ key.fill(0); }}"
+            ),
+        )];
+        assert!(run(&files).is_empty());
+    }
+
+    #[test]
+    fn teardown_with_zeroize_is_clean() {
+        let files = vec![facts(
+            "netsec",
+            "crates/netsec/src/s.rs",
+            &format!(
+                "{REGISTRY}\n\
+                 fn rekey_link(mut old: SessionKey) {{ old.zeroize(); }}"
+            ),
+        )];
+        assert!(run(&files).is_empty());
+    }
+
+    #[test]
+    fn shared_borrow_in_teardown_is_the_owners_problem() {
+        let files = vec![facts(
+            "netsec",
+            "crates/netsec/src/s.rs",
+            &format!(
+                "{REGISTRY}\n\
+                 fn close_session(key: &SessionKey) {{ announce(key); }}\n\
+                 fn announce(_k: &SessionKey) {{}}"
+            ),
+        )];
+        assert!(run(&files).is_empty());
+    }
+
+    #[test]
+    fn non_teardown_functions_are_not_required_to_scrub() {
+        let files = vec![facts(
+            "netsec",
+            "crates/netsec/src/s.rs",
+            &format!(
+                "{REGISTRY}\n\
+                 fn derive(key: SessionKey) -> u8 {{ mix(key) }}\n\
+                 fn mix(_k: SessionKey) -> u8 {{ 0 }}"
+            ),
+        )];
+        assert!(run(&files).is_empty());
+    }
+}

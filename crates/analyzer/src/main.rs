@@ -5,21 +5,28 @@
 //! genio-analyzer [--root DIR] [--baseline FILE] [--json FILE]
 //!                [--write-baseline] [--findings]
 //!                [--threads N] [--cache FILE] [--no-cache]
-//!                [--rules R10,R13] [--expect FILE]
+//!                [--rules R10,R13] [--expect FILE] [--sarif FILE]
+//! genio-analyzer --diff GIT_REF [--json FILE] [...]
 //! genio-analyzer --explain R10
 //! ```
 //!
 //! Exit codes: `0` clean (or baseline written), `1` new findings vs the
-//! baseline (or an `--expect` mismatch), `2` usage or I/O error.
-//! `scripts/verify.sh` runs this before the benches; `--write-baseline`
-//! is how the committed `analyzer-baseline.json` shrinks after fixing
-//! sites.
+//! baseline (or an `--expect` mismatch, or a non-empty `--diff`), `2`
+//! usage or I/O error. `scripts/verify.sh` runs this before the
+//! benches; `--write-baseline` is how the committed
+//! `analyzer-baseline.json` shrinks after fixing sites.
 //!
 //! `--rules` trims the scan to a comma-separated rule list, `--explain`
 //! prints one rule's catalog entry and exits, and `--expect FILE`
 //! compares the scan against a committed list of exact finding ids
 //! (`RULE|file|function|detail`, line-free, order-insensitive) — the
 //! verify-gate fixture self-check.
+//!
+//! `--diff GIT_REF` switches to review mode: report (and fail on) only
+//! the findings the working tree introduced relative to `GIT_REF`,
+//! skipping the ratchet baseline entirely; `--json` then writes the
+//! `genio-analyzer-diff/v1` document. `--sarif FILE` writes the full
+//! report as SARIF 2.1.0 for code-review tooling.
 //!
 //! The incremental cache defaults to
 //! `<root>/target/genio-analyzer/cache.json`; `--no-cache` forces a
@@ -32,7 +39,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use genio_analyzer::baseline::{diff, Key, Report};
+use genio_analyzer::baseline::{diff as ratchet_diff, Key, Report};
+use genio_analyzer::diff;
 use genio_analyzer::rules::Rule;
 use genio_analyzer::workspace::{self, ScanOptions};
 use genio_telemetry::Telemetry;
@@ -48,13 +56,16 @@ struct Options {
     no_cache: bool,
     rules: Option<Vec<Rule>>,
     expect: Option<PathBuf>,
+    diff: Option<String>,
+    sarif: Option<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: genio-analyzer [--root DIR] [--baseline FILE] [--json FILE] \
          [--write-baseline] [--findings] [--threads N] [--cache FILE] [--no-cache] \
-         [--rules R10,R13] [--expect FILE] | --explain RULE"
+         [--rules R10,R13] [--expect FILE] [--diff GIT_REF] [--sarif FILE] \
+         | --explain RULE"
     );
     ExitCode::from(2)
 }
@@ -99,6 +110,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         no_cache: false,
         rules: None,
         expect: None,
+        diff: None,
+        sarif: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -129,6 +142,13 @@ fn parse_args() -> Result<Options, ExitCode> {
                 })
             }
             "--expect" => opts.expect = args.next().map(PathBuf::from),
+            "--diff" => {
+                opts.diff = match args.next() {
+                    Some(git_ref) => Some(git_ref),
+                    None => return Err(usage()),
+                }
+            }
+            "--sarif" => opts.sarif = args.next().map(PathBuf::from),
             _ => return Err(usage()),
         }
     }
@@ -183,13 +203,85 @@ fn check_expected(report: &Report, path: &std::path::Path) -> Result<ExitCode, S
     Ok(ExitCode::FAILURE)
 }
 
+/// Review mode: report only the findings introduced vs `git_ref`.
+/// Exit 0 when the change introduces nothing, 1 otherwise.
+fn diff_mode(
+    root: &std::path::Path,
+    scan_opts: &ScanOptions,
+    git_ref: &str,
+    opts: &Options,
+) -> ExitCode {
+    let changed = match diff::git_changed_files(root, git_ref) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("genio-analyzer: --diff {git_ref}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let d = match diff::diff_scan(root, scan_opts, git_ref, &changed) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("genio-analyzer: diff scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "genio-analyzer: diff vs {}: {} changed file(s), {} introduced finding(s)",
+        d.base_ref,
+        d.changed_files.len(),
+        d.findings.len()
+    );
+    println!(
+        "  workers: {} | cache: {} hit(s), {} miss(es) ({} dep-invalidated)",
+        d.stats.threads, d.stats.cache_hits, d.stats.cache_misses, d.stats.dep_invalidated
+    );
+    for f in &d.findings {
+        println!(
+            "  [{}] {}:{} ({}) {}",
+            f.rule.id(),
+            f.file,
+            f.line,
+            f.function,
+            f.detail
+        );
+    }
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, d.to_json().to_string()) {
+            eprintln!("genio-analyzer: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote diff report to {}", path.display());
+    }
+    if let Some(path) = &opts.sarif {
+        // In diff mode the SARIF export carries the *introduced* set —
+        // exactly what a review UI should annotate on the change.
+        let export = Report {
+            files: d.changed_files.len() as u64,
+            findings: d.findings.clone(),
+            ..Report::default()
+        };
+        if let Err(e) = std::fs::write(path, diff::to_sarif(&export).to_string()) {
+            eprintln!("genio-analyzer: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote SARIF export to {}", path.display());
+    }
+    if d.findings.is_empty() {
+        println!("diff OK: change introduces no findings");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("diff FAILED: fix the introduced sites above");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
         Err(code) => return code,
     };
 
-    let root = match opts.root.or_else(|| {
+    let root = match opts.root.clone().or_else(|| {
         std::env::current_dir()
             .ok()
             .and_then(|d| workspace::find_root(&d))
@@ -204,7 +296,7 @@ fn main() -> ExitCode {
     let cache_path = if opts.no_cache {
         None
     } else {
-        Some(opts.cache.unwrap_or_else(|| {
+        Some(opts.cache.clone().unwrap_or_else(|| {
             root.join("target").join("genio-analyzer").join("cache.json")
         }))
     };
@@ -215,6 +307,10 @@ fn main() -> ExitCode {
         telemetry: telemetry.clone(),
         rules: opts.rules.clone(),
     };
+
+    if let Some(git_ref) = &opts.diff {
+        return diff_mode(&root, &scan_opts, git_ref, &opts);
+    }
 
     let (report, stats) = match workspace::scan_with(&root, &scan_opts) {
         Ok(r) => r,
@@ -244,6 +340,8 @@ fn main() -> ExitCode {
         "analyzer.dataflow",
         "analyzer.sidechannel",
         "analyzer.concurrency",
+        "analyzer.panicfree",
+        "analyzer.lifecycle",
         "analyzer.scan",
     ] {
         if let Some(h) = snapshot.histogram(&format!("{stage}_ns")) {
@@ -274,6 +372,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("wrote report to {}", path.display());
+    }
+
+    if let Some(path) = &opts.sarif {
+        if let Err(e) = std::fs::write(path, diff::to_sarif(&report).to_string()) {
+            eprintln!("genio-analyzer: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote SARIF export to {}", path.display());
     }
 
     if let Some(path) = &opts.expect {
@@ -331,7 +437,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let d = diff(&report.findings, &baseline.findings);
+    let d = ratchet_diff(&report.findings, &baseline.findings);
     if !d.fixed.is_empty() {
         let gone: usize = d.fixed.iter().map(|(_, n)| n).sum();
         println!(

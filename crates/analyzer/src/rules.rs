@@ -88,6 +88,15 @@ pub enum Rule {
     R14RelaxedSyncFlag,
     /// Telemetry span guard dropped at its creation site.
     R15DroppedSpan,
+    /// Panic/abort site reachable from a declared hot-path entry point.
+    R16PanicReachable,
+    /// Secret material escaping its lifecycle (collection escape or
+    /// missing zeroize in a teardown path).
+    R17SecretLifecycle,
+    /// Diff-aware incremental scanning family (`--diff`/SARIF export);
+    /// never fires on a full scan, but keys the diff report and the
+    /// rule-set version.
+    R18DiffAware,
 }
 
 impl Rule {
@@ -109,6 +118,9 @@ impl Rule {
             Rule::R13LockOrderCycle => "R13",
             Rule::R14RelaxedSyncFlag => "R14",
             Rule::R15DroppedSpan => "R15",
+            Rule::R16PanicReachable => "R16",
+            Rule::R17SecretLifecycle => "R17",
+            Rule::R18DiffAware => "R18",
         }
     }
 
@@ -130,12 +142,15 @@ impl Rule {
             "R13" => Rule::R13LockOrderCycle,
             "R14" => Rule::R14RelaxedSyncFlag,
             "R15" => Rule::R15DroppedSpan,
+            "R16" => Rule::R16PanicReachable,
+            "R17" => Rule::R17SecretLifecycle,
+            "R18" => Rule::R18DiffAware,
             _ => return None,
         })
     }
 
     /// All rules, report order.
-    pub const ALL: [Rule; 15] = [
+    pub const ALL: [Rule; 18] = [
         Rule::R1PanicPath,
         Rule::R2NonCtCompare,
         Rule::R3MissingForbid,
@@ -151,6 +166,9 @@ impl Rule {
         Rule::R13LockOrderCycle,
         Rule::R14RelaxedSyncFlag,
         Rule::R15DroppedSpan,
+        Rule::R16PanicReachable,
+        Rule::R17SecretLifecycle,
+        Rule::R18DiffAware,
     ];
 
     /// One-line description for the report table.
@@ -171,6 +189,9 @@ impl Rule {
             Rule::R13LockOrderCycle => "lock-order cycle across the workspace lock graph",
             Rule::R14RelaxedSyncFlag => "Ordering::Relaxed on an atomic read in a branch condition",
             Rule::R15DroppedSpan => "telemetry span guard dropped at its creation site",
+            Rule::R16PanicReachable => "panic/abort site reachable from a hot-path entry point",
+            Rule::R17SecretLifecycle => "secret escapes its lifecycle (collection escape / missing zeroize)",
+            Rule::R18DiffAware => "diff-aware incremental scan family (--diff / SARIF export)",
         }
     }
 
@@ -264,6 +285,36 @@ cover. Fix: bind the guard for the scope's lifetime (`let _guard_span = t.span(.
 or delete the call. A guard consumed by an enclosing expression (`drop(..)`, \
 `black_box(..)`, a return position) is a deliberate use and stays silent, as does a \
 named `_`-prefixed binding.",
+            Rule::R16PanicReachable => "R16 certifies panic-freedom of the declared \
+hot-path entry points (`seal_many`/`open_many`, `run_shards`/`merge_shards`, \
+`protect_many`/`validate_many`, `simulate_pon_fleet`). The pass takes the call-graph \
+closure from every entry and flags any reachable `.unwrap()`/`.expect(..)`, \
+`panic!`-family macro, or dynamically-indexed slice access whose dominating guard \
+cannot be discharged path-sensitively: an `is_some`/`is_ok` check only covers the \
+branch it dominates (the `if` body, or — when the body diverges — the rest of the \
+enclosing block), and an index is clean only when a bounds guard dominates it or the \
+interprocedural mask/loop-bound/all-callers evidence proves it in range on every \
+path. A panic anywhere in that closure is an availability defect: one malformed \
+frame aborts the data plane. Fix: return a typed error, restructure so the guard \
+dominates every path, or suppress with a reviewed `allow(R16, reason)`.",
+            Rule::R17SecretLifecycle => "R17 tracks the lifecycle of secret-typed \
+values (the R8 registry: key/nonce/tag/secret types from `crypto`/`netsec`, plus \
+secret-named byte buffers). Two shapes are flagged: (a) a secret escaping into a \
+long-lived collection — passed bare to `.push(..)`/`.insert(..)`/`.extend(..)` — \
+which defeats scoped zeroization and extends the secret's residency window; and \
+(b) a key/session teardown path (function named `*teardown*`, `*close*`, \
+`*rekey*`, `*destroy*`, `*retire*`, `*wipe*`, or exactly `drop`/`reset`) that \
+drops a secret parameter without scrubbing it via `.zeroize()` or `.fill(0)`. \
+Fix: store key handles instead of key bytes, and scrub secrets in teardown before \
+they go out of scope.",
+            Rule::R18DiffAware => "R18 is the diff-aware incremental scanning \
+family. It never fires on a full scan; it tags the machinery behind `--diff \
+<git-ref>` (emit only findings *introduced* since the base revision, computed by \
+re-scanning the base contents of changed files plus their call-graph dependents \
+and diffing the line-free finding multisets) and the `genio-analyzer-sarif/v1` \
+export (`--sarif <path>`) for CI interop. Registering it as a rule keys the \
+diff/SARIF document shapes into `rules_version()`, so warm caches written by an \
+analyzer with different diff semantics are invalidated rather than trusted.",
         }
     }
 }
@@ -418,7 +469,7 @@ const SECRET_SEGMENTS: &[&str] = &[
 const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 
 /// R1-flagged macro names (when followed by `!`).
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+pub(crate) const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Keywords that can precede `[` without being an indexed variable.
 const KEYWORDS: &[&str] = &[
@@ -432,6 +483,15 @@ const KEYWORDS: &[&str] = &[
 /// name?
 pub(crate) fn is_keyword(text: &str) -> bool {
     KEYWORDS.contains(&text)
+}
+
+/// Is this file on the R5 hot-path indexing list? The R16 closure skips
+/// index sites here — R5 already owns them finding-for-finding.
+pub(crate) fn is_r5_file(crate_name: &str, rel_path: &str) -> bool {
+    let file_name = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    R5_FILES
+        .iter()
+        .any(|&(c, f)| c == crate_name && f == file_name)
 }
 
 /// Token stream annotated with test-exclusion ranges, enclosing-function
@@ -450,6 +510,16 @@ pub struct Annotated {
     /// `(code index, variable)` sites where a bounds guard was seen
     /// (`var.len()`, `var.get(..)`, `var.iter()`).
     pub guards: Vec<(usize, String)>,
+    /// `(code index, variable)` sites where an option/result guard was
+    /// seen (`var.is_some()`, `var.is_ok()`) — kept separate from
+    /// `guards` so bounds discharge (R4/R5) is never blessed by an
+    /// unrelated Option check. Consumed by the R16 panic-freedom pass.
+    pub opt_guards: Vec<(usize, String)>,
+    /// Dominance scope of every entry in `guards`, branch/loop/
+    /// early-return aware ([`crate::cfg`]).
+    pub scopes: Vec<crate::cfg::GuardScope>,
+    /// Dominance scope of every entry in `opt_guards`.
+    pub opt_scopes: Vec<crate::cfg::GuardScope>,
     /// Loop variables bound by a *literal* range (`for r in 1..4`), as
     /// `(var, first code index, last code index)` of the loop body —
     /// indexing through them is statically in-bounds for fixed-size
@@ -488,6 +558,7 @@ pub fn annotate(tokens: Vec<Token>) -> Annotated {
     let mut fn_of = vec![0usize; n];
     let mut fn_names = vec!["-".to_string()];
     let mut guards = Vec::new();
+    let mut opt_guards = Vec::new();
 
     let mut depth = 0usize;
     // `(`/`[` nesting, so the `;` inside `fn f(a: [u8; N])` or
@@ -585,6 +656,16 @@ pub fn annotate(tokens: Vec<Token>) -> Annotated {
             guards.push((i, text.to_string()));
         }
 
+        // Option/Result guard site: `var.is_some()` / `var.is_ok()` —
+        // the R16 pass discharges a dominated `var.unwrap()` with these.
+        if t.kind == TokenKind::Ident
+            && i + 2 < n
+            && code[i + 1].text == "."
+            && matches!(code[i + 2].text.as_str(), "is_some" | "is_ok")
+        {
+            opt_guards.push((i, text.to_string()));
+        }
+
         // Comparison guard on the *index* side: `i < buf.len()` (or
         // `buf.len() > i`) also bounds `i`, which the caller-guard
         // propagation in `crate::dataflow` needs when `i` is later
@@ -675,7 +756,21 @@ pub fn annotate(tokens: Vec<Token>) -> Annotated {
         i += 1;
     }
 
-    Annotated { code, comments, excluded, fn_of, fn_names, guards, bounded, loops }
+    let scopes = crate::cfg::compute_scopes(&code, &guards);
+    let opt_scopes = crate::cfg::compute_scopes(&code, &opt_guards);
+    Annotated {
+        code,
+        comments,
+        excluded,
+        fn_of,
+        fn_names,
+        guards,
+        opt_guards,
+        scopes,
+        opt_scopes,
+        bounded,
+        loops,
+    }
 }
 
 impl Annotated {
@@ -683,17 +778,29 @@ impl Annotated {
         &self.fn_names[self.fn_of[i]]
     }
 
-    /// Is a guard on `var` recorded before code index `i`, inside the
-    /// same function?
+    /// Does a bounds guard on `var` *dominate* code index `i` (same
+    /// function, and `i` inside the guard's control-flow scope)? Until
+    /// v3 this was a flat "any earlier mention" test; it now consults
+    /// the per-guard dominance scopes from [`crate::cfg`], so `if i <
+    /// buf.len() { buf[i] } else { buf[i] }` discharges only the
+    /// checked arm.
     pub(crate) fn guarded_before(&self, i: usize, var: &str) -> bool {
         let f = self.fn_of[i];
-        self.guards
+        self.scopes
             .iter()
-            .any(|&(gi, ref v)| gi < i && v == var && self.fn_of[gi] == f)
+            .any(|s| s.var == var && s.covers(i) && self.fn_of[s.pos] == f)
+    }
+
+    /// Does an `is_some`/`is_ok` guard on `var` dominate code index `i`?
+    pub(crate) fn opt_guarded_before(&self, i: usize, var: &str) -> bool {
+        let f = self.fn_of[i];
+        self.opt_scopes
+            .iter()
+            .any(|s| s.var == var && s.covers(i) && self.fn_of[s.pos] == f)
     }
 
     /// Is `name` a literal-range loop variable at code index `i`?
-    fn is_literal_bounded(&self, i: usize, name: &str) -> bool {
+    pub(crate) fn is_literal_bounded(&self, i: usize, name: &str) -> bool {
         self.bounded
             .iter()
             .any(|&(ref v, s, e)| v == name && s <= i && i <= e)
@@ -1051,7 +1158,7 @@ fn rule_r5(
 /// Shape analysis of an index expression (the tokens between `[` and
 /// `]`): extracts a top-level `& <literal>` mask and, when the stripped
 /// remainder is `v` or `v - x`, the driving identifier `v`.
-fn index_shape(tokens: &[Token]) -> (Option<u64>, Option<String>) {
+pub(crate) fn index_shape(tokens: &[Token]) -> (Option<u64>, Option<String>) {
     let mut t: Vec<&Token> = tokens.iter().collect();
     // Drop cast suffixes (`as usize`, `as u32`, …).
     while t.len() >= 2 && t[t.len() - 2].text == "as" {

@@ -88,6 +88,11 @@ pub struct FnSummary {
     pub held_calls: Vec<HeldCall>,
     /// Atomic operations carrying an explicit `Ordering` (R14).
     pub atomics: Vec<AtomicUse>,
+    /// Potential panic/abort sites — `.unwrap()`, `.expect(..)`,
+    /// `panic!`-family macros, and dynamically-indexed accesses — with
+    /// dominance-aware guard bits (R16). Recorded for *every* file, not
+    /// just the R5 hot-path list: reachability decides relevance.
+    pub panics: Vec<PanicSite>,
 }
 
 /// One branch condition and the identifiers it reads (R10). Projections
@@ -174,6 +179,31 @@ pub struct AtomicUse {
     pub in_cond: bool,
 }
 
+/// One potential panic/abort site inside a function body (R16).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PanicSite {
+    /// `"unwrap"`, `"expect"`, `"panic_macro"` or `"index"`.
+    pub kind: String,
+    /// 1-based line of the site.
+    pub line: u32,
+    /// Receiver identifier for `unwrap`/`expect` (`x` in `x.unwrap()`),
+    /// indexed variable for `index`, macro name for `panic_macro`.
+    pub var: Option<String>,
+    /// Does a dominating guard cover the site — `is_some`/`is_ok` for
+    /// `unwrap`/`expect`, a bounds guard for `index`? Panic macros are
+    /// never guarded.
+    pub guarded: bool,
+    /// For `index`: top-level `& <literal>` mask on the index expression.
+    pub masked: Option<u64>,
+    /// For `index`: sole identifier driving the index, if any.
+    pub index_ident: Option<String>,
+    /// For `index`: `(lower, upper)` bounds of the innermost enclosing
+    /// `for` loop binding [`PanicSite::index_ident`].
+    pub loop_bounds: Option<(String, String)>,
+    /// Stable, line-free description fragment used in R16 findings.
+    pub detail: String,
+}
+
 /// One call site.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CallSite {
@@ -182,6 +212,9 @@ pub struct CallSite {
     pub callee: String,
     /// 1-based line of the callee identifier.
     pub line: u32,
+    /// Receiver identifier for method calls (`sessions` in
+    /// `sessions.push(k)`), when it is a bare identifier.
+    pub recv: Option<String>,
     /// Argument shapes, in order.
     pub args: Vec<Arg>,
 }
@@ -437,6 +470,7 @@ fn parse_fn(ann: &Annotated, fn_idx: usize) -> Option<(FnSummary, usize)> {
     let cond_ranges = scan_cond_facts(ann, &mut fun, body_start, body_end);
     scan_index_and_op_facts(ann, &mut fun, body_start, body_end);
     scan_lock_facts(ann, &mut fun, body_start, body_end, &cond_ranges);
+    scan_panic_facts(ann, &mut fun, body_start, body_end);
     Some((fun, k))
 }
 
@@ -877,9 +911,22 @@ fn scan_body(ann: &Annotated, fun: &mut FnSummary, body_start: usize, body_end: 
             && code.get(i.wrapping_sub(1)).map(|t| t.text.as_str()) != Some("fn")
         {
             let (args, _) = parse_args(ann, i + 1);
+            // Bare-identifier method receiver (`sessions` in
+            // `sessions.push(k)`) — the lifecycle pass attributes
+            // collection escapes and zeroize calls through it.
+            let recv = if i >= 2
+                && code[i - 1].text == "."
+                && code[i - 2].kind == TokenKind::Ident
+                && !crate::rules::is_keyword(&code[i - 2].text)
+            {
+                Some(code[i - 2].text.clone())
+            } else {
+                None
+            };
             fun.calls.push(CallSite {
                 callee: text.to_string(),
                 line: code[i].line,
+                recv,
                 args,
             });
         }
@@ -911,6 +958,124 @@ fn scan_body(ann: &Annotated, fun: &mut FnSummary, body_start: usize, body_end: 
         }
 
         i += 1;
+    }
+}
+
+/// Records potential panic/abort sites in `code[body_start..body_end]`
+/// for the R16 panic-freedom closure: `.unwrap()`/`.expect(..)` with an
+/// `is_some`/`is_ok` dominance bit, `panic!`-family macros, and dynamic
+/// index expressions with the same shape facts R5 extracts (mask,
+/// driving identifier, loop bounds) plus a *dominance-aware* bounds
+/// guard bit. Unlike R5 this runs on every file — whether a site
+/// matters is decided by reachability from the hot-path entries, not by
+/// a file list.
+fn scan_panic_facts(ann: &Annotated, fun: &mut FnSummary, body_start: usize, body_end: usize) {
+    let code = &ann.code;
+    for i in body_start..body_end {
+        if ann.excluded[i] || code[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let text = code[i].text.as_str();
+        let prev = i.checked_sub(1).map(|p| code[p].text.as_str());
+        let next = code.get(i + 1).map(|t| t.text.as_str());
+
+        // `.unwrap()` / `.expect("..")` — same shapes R1 flags.
+        if (text == "unwrap" && prev == Some(".") && next == Some("("))
+            || (text == "expect"
+                && prev == Some(".")
+                && next == Some("(")
+                && code.get(i + 2).is_some_and(|t| t.kind == TokenKind::Str))
+        {
+            let var = i
+                .checked_sub(2)
+                .map(|r| &code[r])
+                .filter(|t| t.kind == TokenKind::Ident && !crate::rules::is_keyword(&t.text))
+                .map(|t| t.text.clone());
+            let guarded = var
+                .as_deref()
+                .is_some_and(|v| ann.opt_guarded_before(i, v));
+            let detail = if text == "unwrap" {
+                "call to .unwrap()".to_string()
+            } else {
+                "call to .expect(..)".to_string()
+            };
+            fun.panics.push(PanicSite {
+                kind: text.to_string(),
+                line: code[i].line,
+                var,
+                guarded,
+                masked: None,
+                index_ident: None,
+                loop_bounds: None,
+                detail,
+            });
+            continue;
+        }
+
+        // `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+        if crate::rules::PANIC_MACROS.contains(&text)
+            && next == Some("!")
+            && prev != Some("::")
+        {
+            fun.panics.push(PanicSite {
+                kind: "panic_macro".to_string(),
+                line: code[i].line,
+                var: Some(text.to_string()),
+                guarded: false,
+                masked: None,
+                index_ident: None,
+                loop_bounds: None,
+                detail: format!("{text}! macro"),
+            });
+            continue;
+        }
+
+        // Dynamic index `var[..]` — R5's shape, dominance-aware guard.
+        if crate::rules::is_keyword(text) || next != Some("[") {
+            continue;
+        }
+        let mut j = i + 2;
+        let mut brackets = 1usize;
+        let mut dynamic = false;
+        let idx_start = i + 2;
+        while j < code.len() && brackets > 0 {
+            match code[j].text.as_str() {
+                "[" => brackets += 1,
+                "]" => brackets -= 1,
+                "as" | "usize" => {}
+                _ => {
+                    if code[j].kind == TokenKind::Ident
+                        && !ann.is_literal_bounded(j, &code[j].text)
+                    {
+                        dynamic = true;
+                    }
+                }
+            }
+            j += 1;
+        }
+        if !dynamic {
+            continue;
+        }
+        let idx_end = j.saturating_sub(1);
+        let (masked, index_ident) = crate::rules::index_shape(&code[idx_start..idx_end]);
+        let loop_bounds = index_ident.as_deref().and_then(|v| {
+            ann.loops
+                .iter()
+                .filter(|l| l.var == v && l.body_start <= i && i <= l.body_end)
+                .max_by_key(|l| l.body_start)
+                .map(|l| (l.lower.clone(), l.upper.clone()))
+        });
+        let var = code[i].text.clone();
+        fun.panics.push(PanicSite {
+            kind: "index".to_string(),
+            line: code[i].line,
+            guarded: ann.guarded_before(i, &var),
+            var: Some(var.clone()),
+            masked,
+            index_ident,
+            loop_bounds,
+            detail: format!("unguarded dynamic index into `{var}`"),
+        });
     }
 }
 
@@ -1484,6 +1649,44 @@ impl FnSummary {
                         .collect(),
                 ),
             ),
+            (
+                "panics".to_string(),
+                Value::Arr(
+                    self.panics
+                        .iter()
+                        .map(|p| {
+                            let mut fields = vec![
+                                ("kind".to_string(), Value::Str(p.kind.clone())),
+                                ("line".to_string(), Value::Num(p.line as f64)),
+                            ];
+                            if let Some(var) = &p.var {
+                                fields.push(("var".to_string(), Value::Str(var.clone())));
+                            }
+                            fields.push(("guarded".to_string(), Value::Bool(p.guarded)));
+                            if let Some(m) = p.masked {
+                                fields.push(("masked".to_string(), Value::Num(m as f64)));
+                            }
+                            if let Some(id) = &p.index_ident {
+                                fields.push((
+                                    "index_ident".to_string(),
+                                    Value::Str(id.clone()),
+                                ));
+                            }
+                            if let Some((lo, hi)) = &p.loop_bounds {
+                                fields.push((
+                                    "loop_bounds".to_string(),
+                                    Value::Arr(vec![
+                                        Value::Str(lo.clone()),
+                                        Value::Str(hi.clone()),
+                                    ]),
+                                ));
+                            }
+                            fields.push(("detail".to_string(), Value::Str(p.detail.clone())));
+                            Value::Obj(fields)
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -1594,17 +1797,42 @@ impl FnSummary {
                 in_cond: matches!(item.get("in_cond"), Some(Value::Bool(true))),
             });
         }
+        for item in v.get("panics").and_then(Value::as_arr).unwrap_or(&[]) {
+            let loop_bounds = item.get("loop_bounds").and_then(Value::as_arr).and_then(|a| {
+                match (a.first().and_then(Value::as_str), a.get(1).and_then(Value::as_str)) {
+                    (Some(lo), Some(hi)) => Some((lo.to_string(), hi.to_string())),
+                    _ => None,
+                }
+            });
+            f.panics.push(PanicSite {
+                kind: s_of(item, "kind"),
+                line: line_of(item),
+                var: item.get("var").and_then(Value::as_str).map(str::to_string),
+                guarded: matches!(item.get("guarded"), Some(Value::Bool(true))),
+                masked: item.get("masked").and_then(Value::as_f64).map(|m| m as u64),
+                index_ident: item
+                    .get("index_ident")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+                loop_bounds,
+                detail: s_of(item, "detail"),
+            });
+        }
         Ok(f)
     }
 }
 
 impl CallSite {
     fn to_json(&self) -> Value {
-        Value::Obj(vec![
+        let mut fields = vec![
             ("callee".to_string(), Value::Str(self.callee.clone())),
             ("line".to_string(), Value::Num(self.line as f64)),
-            (
-                "args".to_string(),
+        ];
+        if let Some(recv) = &self.recv {
+            fields.push(("recv".to_string(), Value::Str(recv.clone())));
+        }
+        fields.push((
+            "args".to_string(),
                 Value::Arr(
                     self.args
                         .iter()
@@ -1622,8 +1850,8 @@ impl CallSite {
                         })
                         .collect(),
                 ),
-            ),
-        ])
+        ));
+        Value::Obj(fields)
     }
 
     fn from_json(v: &Value) -> Result<CallSite, String> {
@@ -1634,6 +1862,7 @@ impl CallSite {
                 .ok_or("call missing callee")?
                 .to_string(),
             line: v.get("line").and_then(Value::as_f64).unwrap_or(0.0) as u32,
+            recv: v.get("recv").and_then(Value::as_str).map(str::to_string),
             args: Vec::new(),
         };
         for item in v.get("args").and_then(Value::as_arr).unwrap_or(&[]) {

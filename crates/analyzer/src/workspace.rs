@@ -6,33 +6,47 @@
 //! `tests/` share this shape, so every test drives the exact code path
 //! the verify gate runs.
 //!
-//! [`scan_with`] runs the v2 pipeline:
+//! [`scan_with`] runs the v4 pipeline:
 //!
 //! 1. **discover** — enumerate crate src trees and their `.rs` files
 //!    into a sorted, deterministic job list;
-//! 2. **per-file pass** (parallel) — hash each file, reuse the
-//!    [`crate::cache`] entry when the hash matches, otherwise tokenize,
-//!    annotate, rule-scan and summarize. Jobs are split into contiguous
-//!    chunks over `std::thread` scoped workers and the results merged
-//!    back *in job order*, so the thread count can never change the
-//!    report;
-//! 3. **cross-file passes** (serial, always fresh) — R3 per crate, the
+//! 2. **hash + invalidate** (main thread) — read and content-hash every
+//!    file, look up the [`crate::cache`] entry, then *dependency-aware
+//!    invalidation*: a changed file's cached function definitions are
+//!    collected, and any cached entry whose summary calls one of those
+//!    names is dropped back into the re-scan set (tracked in
+//!    [`ScanStats::dep_invalidated`]) — the call-graph edge, not just
+//!    the content hash, decides freshness;
+//! 3. **per-file pass** (parallel) — for every miss, tokenize,
+//!    annotate, rule-scan and summarize. Misses are split into
+//!    contiguous chunks over `std::thread` scoped workers and the
+//!    results merged back *in job order*, so the thread count can never
+//!    change the report;
+//! 4. **cross-file passes** (serial, always fresh) — R3 per crate, the
 //!    sast bridge per file, then the interprocedural
 //!    [`crate::dataflow`] walk, the [`crate::sidechannel`] pass
-//!    (R10–R12) and the [`crate::concurrency`] pass (R13–R14) over the
-//!    whole workspace;
-//! 4. **suppression + filter** — findings covered by a line-scoped
+//!    (R10–R12), the [`crate::concurrency`] pass (R13–R14), the
+//!    [`crate::panicfree`] closure (R16) and the [`crate::lifecycle`]
+//!    pass (R17) over the whole workspace;
+//! 5. **suppression + filter** — findings covered by a line-scoped
 //!    `// genio-analyzer: allow(...)` comment are dropped (counted in
 //!    the report's `allowed` field), then an optional
 //!    [`ScanOptions::rules`] filter trims the report to the selected
 //!    rules;
-//! 5. **cache write-back** — only when at least one file missed.
+//! 6. **cache write-back** — only when at least one file missed (and
+//!    never from a [`scan_with_base`] historical scan).
+//!
+//! [`scan_with_base`] runs the same pipeline against a *spliced* tree —
+//! per-file content overrides for changed files plus synthesized jobs
+//! for files that only exist at the base revision — which is how
+//! [`crate::diff`] reconstructs the base report without a checkout.
 //!
 //! Stage timings are recorded as `genio-telemetry` spans
 //! (`analyzer.scan`, `analyzer.files`, `analyzer.dataflow`,
-//! `analyzer.sidechannel`, `analyzer.concurrency`) on the calling
-//! thread; cache traffic lands in [`ScanStats`], *not* in the report,
-//! so cold and warm scans stay byte-identical.
+//! `analyzer.sidechannel`, `analyzer.concurrency`,
+//! `analyzer.panicfree`, `analyzer.lifecycle`) on the calling thread;
+//! cache traffic lands in [`ScanStats`], *not* in the report, so cold
+//! and warm scans stay byte-identical.
 
 use std::fs;
 use std::io;
@@ -87,6 +101,10 @@ pub struct ScanStats {
     pub cache_hits: u64,
     /// Files re-scanned.
     pub cache_misses: u64,
+    /// Cache entries dropped by dependency-aware invalidation: their
+    /// content was unchanged, but they call a function defined in a
+    /// changed file (counted inside `cache_misses` too).
+    pub dep_invalidated: u64,
     /// Worker threads actually used.
     pub threads: usize,
 }
@@ -157,11 +175,13 @@ fn rel_path(root: &Path, path: &Path) -> String {
 }
 
 /// One file to scan, with everything precomputed on the main thread.
+/// `content` overrides the on-disk bytes (base-revision scans).
 struct Job {
     crate_name: String,
     path: PathBuf,
     rel: String,
     file_name: String,
+    content: Option<String>,
 }
 
 /// Per-file result: the cache entry (fresh or reused) plus provenance.
@@ -173,21 +193,27 @@ struct Processed {
     hit: bool,
 }
 
-/// Runs the per-file pipeline for one job, consulting the cache.
-fn process_one(job: &Job, cache: &Cache) -> io::Result<Processed> {
-    let bytes = fs::read(&job.path)?;
-    let src = String::from_utf8_lossy(&bytes);
-    let hash = content_hash(&bytes);
-    if let Some(entry) = cache.lookup(&job.rel, &hash) {
-        return Ok(Processed {
-            crate_name: job.crate_name.clone(),
-            rel: job.rel.clone(),
-            file_name: job.file_name.clone(),
-            entry: entry.clone(),
-            hit: true,
-        });
-    }
-    let tokens = tokenize(&src);
+/// A completed scan plus the per-file facts it computed. [`rescan_with_base`]
+/// rebuilds the base-revision report from one of these by re-lexing only
+/// the overridden files — no file I/O, hashing or cache traffic for the
+/// untouched rest of the tree. This is what makes `--diff` two *small*
+/// scans instead of two full ones.
+pub struct Snapshot {
+    root: PathBuf,
+    crates: Vec<(String, PathBuf)>,
+    processed: Vec<Processed>,
+}
+
+/// One hashed job awaiting either a cache hit or a worker re-scan.
+struct Prepared {
+    src: String,
+    hash: String,
+    cached: Option<FileEntry>,
+}
+
+/// Lex/scan/summarize one miss (the source is already in memory).
+fn process_miss(job: &Job, prep: &Prepared) -> Processed {
+    let tokens = tokenize(&prep.src);
     let is_crate_root = job.file_name == "lib.rs" || job.file_name == "main.rs";
     let has_forbid = is_crate_root && has_forbid_unsafe(&tokens);
     let ann = annotate(tokens);
@@ -198,13 +224,13 @@ fn process_one(job: &Job, cache: &Cache) -> io::Result<Processed> {
     };
     let (findings, accesses) = scan_tokens(&ctx, &ann);
     let allows = collect_allows(&ann);
-    Ok(Processed {
+    Processed {
         crate_name: job.crate_name.clone(),
         rel: job.rel.clone(),
         file_name: job.file_name.clone(),
         entry: FileEntry {
-            hash,
-            lines: src.lines().count() as u64,
+            hash: prep.hash.clone(),
+            lines: prep.src.lines().count() as u64,
             is_crate_root,
             has_forbid,
             findings,
@@ -213,11 +239,7 @@ fn process_one(job: &Job, cache: &Cache) -> io::Result<Processed> {
             summary: summarize(&ann),
         },
         hit: false,
-    })
-}
-
-fn process_chunk(jobs: &[Job], cache: &Cache) -> io::Result<Vec<Processed>> {
-    jobs.iter().map(|j| process_one(j, cache)).collect()
+    }
 }
 
 /// Serial, uncached scan — the v1 signature, kept for tests and simple
@@ -226,11 +248,8 @@ pub fn scan(root: &Path) -> io::Result<Report> {
     scan_with(root, &ScanOptions::default()).map(|(report, _)| report)
 }
 
-/// Full pipeline scan with threading, caching and telemetry.
-pub fn scan_with(root: &Path, opts: &ScanOptions) -> io::Result<(Report, ScanStats)> {
-    let _scan_span = opts.telemetry.span("analyzer.scan");
-
-    // Stage 1: discovery (deterministic job order).
+/// Stage 1: deterministic job discovery (crates sorted, files sorted).
+fn discover_jobs(root: &Path) -> io::Result<(Vec<(String, PathBuf)>, Vec<Job>)> {
     let crates = crate_src_dirs(root)?;
     let mut jobs: Vec<Job> = Vec::new();
     for (crate_name, src_dir) in &crates {
@@ -242,17 +261,222 @@ pub fn scan_with(root: &Path, opts: &ScanOptions) -> io::Result<(Report, ScanSta
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default();
-            jobs.push(Job { crate_name: crate_name.clone(), path, rel, file_name });
+            jobs.push(Job {
+                crate_name: crate_name.clone(),
+                path,
+                rel,
+                file_name,
+                content: None,
+            });
         }
     }
+    Ok((crates, jobs))
+}
+
+/// Full pipeline scan with threading, caching and telemetry.
+pub fn scan_with(root: &Path, opts: &ScanOptions) -> io::Result<(Report, ScanStats)> {
+    scan_snapshot(root, opts).map(|(report, stats, _)| (report, stats))
+}
+
+/// [`scan_with`], but also returns the [`Snapshot`] of per-file facts
+/// so a follow-up [`rescan_with_base`] can skip everything untouched.
+pub fn scan_snapshot(
+    root: &Path,
+    opts: &ScanOptions,
+) -> io::Result<(Report, ScanStats, Snapshot)> {
+    let (crates, jobs) = discover_jobs(root)?;
+    let (report, stats, processed) = run_pipeline(root, opts, &crates, &jobs, true)?;
+    let snapshot = Snapshot { root: root.to_path_buf(), crates, processed };
+    Ok((report, stats, snapshot))
+}
+
+/// Scans the workspace *as of a base revision*: `base` maps
+/// repo-relative paths of changed files to their base contents
+/// (`Some(text)`), or to `None` for files that did not exist at the
+/// base. Paths in `base` missing from the current tree (deleted files)
+/// are synthesized back in from the provided contents. Cache entries
+/// are read (unchanged files still hit) but never written back, so a
+/// historical scan can never poison the warm path.
+pub fn scan_with_base(
+    root: &Path,
+    opts: &ScanOptions,
+    base: &[(String, Option<String>)],
+) -> io::Result<(Report, ScanStats)> {
+    let (crates, mut jobs) = discover_jobs(root)?;
+    let overrides: std::collections::BTreeMap<&str, &Option<String>> =
+        base.iter().map(|(rel, content)| (rel.as_str(), content)).collect();
+
+    // Splice: replace changed files' contents, drop files absent at the
+    // base, and re-create deleted files from their base contents.
+    jobs.retain(|job| !matches!(overrides.get(job.rel.as_str()), Some(None)));
+    let mut present: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for job in &mut jobs {
+        present.insert(job.rel.clone());
+        if let Some(Some(content)) = overrides.get(job.rel.as_str()) {
+            job.content = Some(content.clone());
+        }
+    }
+    for (rel, content) in base {
+        let (Some(content), false) = (content, present.contains(rel)) else {
+            continue;
+        };
+        let mut segments = rel.split('/');
+        let crate_name = match segments.next() {
+            Some("crates") => segments.next().unwrap_or("genio").to_string(),
+            Some("src") => "genio".to_string(),
+            _ => continue, // not a scanned location at the base either
+        };
+        jobs.push(Job {
+            crate_name,
+            path: root.join(rel),
+            rel: rel.clone(),
+            file_name: rel.rsplit('/').next().unwrap_or(rel).to_string(),
+            content: Some(content.clone()),
+        });
+    }
+    jobs.sort_by(|a, b| (&a.crate_name, &a.rel).cmp(&(&b.crate_name, &b.rel)));
+
+    run_pipeline(root, opts, &crates, &jobs, false)
+        .map(|(report, stats, _)| (report, stats))
+}
+
+/// Rebuilds the report of the spliced base tree from an existing
+/// [`Snapshot`]: untouched files reuse their in-memory facts verbatim
+/// (per-file facts are purely local, so this is output-identical to a
+/// fresh [`scan_with_base`] — a differential test pins it), overridden
+/// files are re-lexed from the provided contents, and the cross-file
+/// passes run fresh over the rebased fact set.
+pub fn rescan_with_base(
+    snapshot: &Snapshot,
+    opts: &ScanOptions,
+    base: &[(String, Option<String>)],
+) -> Report {
+    let _scan_span = opts.telemetry.span("analyzer.scan");
+    let overrides: std::collections::BTreeMap<&str, &Option<String>> =
+        base.iter().map(|(rel, content)| (rel.as_str(), content)).collect();
+
+    // Re-lex only the overridden files; everything else is reused.
+    let mut fresh: Vec<Processed> = Vec::new();
+    let mut reused: Vec<&Processed> = Vec::new();
+    let mut present: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for p in &snapshot.processed {
+        present.insert(p.rel.as_str());
+        match overrides.get(p.rel.as_str()) {
+            Some(None) => {} // absent at the base revision
+            Some(Some(content)) => {
+                let job = Job {
+                    crate_name: p.crate_name.clone(),
+                    path: snapshot.root.join(&p.rel),
+                    rel: p.rel.clone(),
+                    file_name: p.file_name.clone(),
+                    content: None,
+                };
+                let prep = Prepared {
+                    src: (*content).clone(),
+                    hash: content_hash(content.as_bytes()),
+                    cached: None,
+                };
+                fresh.push(process_miss(&job, &prep));
+            }
+            None => reused.push(p),
+        }
+    }
+    // Files that only exist at the base revision (deleted since).
+    for (rel, content) in base {
+        let (Some(content), false) = (content, present.contains(rel.as_str())) else {
+            continue;
+        };
+        let mut segments = rel.split('/');
+        let crate_name = match segments.next() {
+            Some("crates") => segments.next().unwrap_or("genio").to_string(),
+            Some("src") => "genio".to_string(),
+            _ => continue,
+        };
+        let job = Job {
+            crate_name,
+            path: snapshot.root.join(rel),
+            rel: rel.clone(),
+            file_name: rel.rsplit('/').next().unwrap_or(rel).to_string(),
+            content: None,
+        };
+        let prep = Prepared {
+            src: content.clone(),
+            hash: content_hash(content.as_bytes()),
+            cached: None,
+        };
+        fresh.push(process_miss(&job, &prep));
+    }
+
+    let mut rebased: Vec<&Processed> = reused;
+    rebased.extend(fresh.iter());
+    rebased.sort_by(|a, b| (&a.crate_name, &a.rel).cmp(&(&b.crate_name, &b.rel)));
+    assemble_report(&snapshot.root, opts, &snapshot.crates, &rebased)
+}
+
+/// Stages 2–6 over a prepared job list.
+fn run_pipeline(
+    root: &Path,
+    opts: &ScanOptions,
+    crates: &[(String, PathBuf)],
+    jobs: &[Job],
+    write_back: bool,
+) -> io::Result<(Report, ScanStats, Vec<Processed>)> {
+    let _scan_span = opts.telemetry.span("analyzer.scan");
 
     let cache = match &opts.cache_path {
         Some(p) => Cache::load(p),
         None => Cache::default(),
     };
 
-    // Stage 2: parallel per-file pass over contiguous chunks, merged in
-    // job order so the report is independent of the thread count.
+    // Stage 2: read + hash on the main thread, then dependency-aware
+    // invalidation — a changed file's (previously cached) function
+    // definitions drag every cached caller back into the re-scan set.
+    // Per-file facts are purely local, so this is output-neutral; it
+    // keeps the cache honest about what a change *touches* and feeds
+    // the `--diff` cost model.
+    let mut prepared: Vec<Prepared> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let src = match &job.content {
+            Some(text) => text.clone(),
+            None => String::from_utf8_lossy(&fs::read(&job.path)?).into_owned(),
+        };
+        let hash = content_hash(src.as_bytes());
+        let cached = cache.lookup(&job.rel, &hash).cloned();
+        prepared.push(Prepared { src, hash, cached });
+    }
+    let mut changed_defs: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for (job, prep) in jobs.iter().zip(&prepared) {
+        if prep.cached.is_none() {
+            // The *old* definitions: what callers compiled against.
+            if let Some(stale) = cache.entries.get(&job.rel) {
+                changed_defs.extend(stale.summary.functions.iter().map(|f| f.name.as_str()));
+            }
+        }
+    }
+    let mut dep_invalidated = 0u64;
+    if !changed_defs.is_empty() {
+        for prep in &mut prepared {
+            let calls_changed = prep.cached.as_ref().is_some_and(|entry| {
+                entry.summary.functions.iter().any(|f| {
+                    f.calls.iter().any(|c| changed_defs.contains(c.callee.as_str()))
+                })
+            });
+            if calls_changed {
+                prep.cached = None;
+                dep_invalidated += 1;
+            }
+        }
+    }
+
+    // Stage 3: parallel per-file pass over the misses, contiguous
+    // chunks merged back in job order so the thread count can never
+    // change the report.
+    let misses: Vec<usize> = prepared
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.cached.is_none())
+        .map(|(i, _)| i)
+        .collect();
     let auto = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1);
@@ -260,41 +484,100 @@ pub fn scan_with(root: &Path, opts: &ScanOptions) -> io::Result<(Report, ScanSta
         0 => auto,
         n => n,
     }
-    .clamp(1, jobs.len().max(1));
-    let chunk_size = jobs.len().div_ceil(threads).max(1);
+    .clamp(1, misses.len().max(1));
+    let chunk_size = misses.len().div_ceil(threads).max(1);
 
-    let mut processed: Vec<Processed> = Vec::with_capacity(jobs.len());
+    let mut processed: Vec<Option<Processed>> = Vec::with_capacity(jobs.len());
+    processed.resize_with(jobs.len(), || None);
     {
         let _files_span = opts.telemetry.span("analyzer.files");
-        let mut chunk_results: Vec<io::Result<Vec<Processed>>> = Vec::new();
+        let mut chunk_results: Vec<Vec<(usize, Processed)>> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for chunk in jobs.chunks(chunk_size) {
-                let cache_ref = &cache;
-                handles.push(scope.spawn(move || process_chunk(chunk, cache_ref)));
-            }
-            for handle in handles {
-                chunk_results.push(handle.join().unwrap_or_else(|_| {
-                    Err(io::Error::other("analyzer scan worker panicked"))
+            for chunk in misses.chunks(chunk_size.max(1)) {
+                let prepared = &prepared;
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|&i| (i, process_miss(&jobs[i], &prepared[i])))
+                        .collect::<Vec<_>>()
                 }));
             }
+            for handle in handles {
+                if let Ok(done) = handle.join() {
+                    chunk_results.push(done);
+                }
+            }
         });
-        for result in chunk_results {
-            processed.extend(result?);
+        for done in chunk_results {
+            for (i, p) in done {
+                processed[i] = Some(p);
+            }
         }
     }
+    let processed: Vec<Processed> = jobs
+        .iter()
+        .zip(prepared)
+        .zip(processed)
+        .map(|((job, mut prep), fresh)| {
+            if let Some(p) = fresh {
+                return p;
+            }
+            match prep.cached.take() {
+                Some(entry) => Processed {
+                    crate_name: job.crate_name.clone(),
+                    rel: job.rel.clone(),
+                    file_name: job.file_name.clone(),
+                    entry,
+                    hit: true,
+                },
+                // A worker died before delivering this miss; re-scan
+                // it serially rather than panicking the whole scan.
+                None => process_miss(job, &prep),
+            }
+        })
+        .collect();
 
     let mut stats = ScanStats {
         files: processed.len() as u64,
         cache_hits: processed.iter().filter(|p| p.hit).count() as u64,
         cache_misses: processed.iter().filter(|p| !p.hit).count() as u64,
+        dep_invalidated,
         threads,
     };
 
+    let refs: Vec<&Processed> = processed.iter().collect();
+    let report = assemble_report(root, opts, crates, &refs);
+
+    // Stage 5: cache write-back, only when something was re-scanned and
+    // never from a base-revision scan (its spliced contents would
+    // poison the warm path for real files).
+    if let Some(path) = &opts.cache_path {
+        if write_back && stats.cache_misses > 0 {
+            let mut fresh = Cache::default();
+            for p in &processed {
+                fresh.entries.insert(p.rel.clone(), p.entry.clone());
+            }
+            fresh.save(path)?;
+        }
+    }
+    stats.files = report.files;
+    Ok((report, stats, processed))
+}
+
+/// Stages 3a–4: cross-file passes and suppression over an ordered set
+/// of per-file facts. Pure — shared by live scans and base-revision
+/// rebases, which is what guarantees `--diff` compares equal work.
+fn assemble_report(
+    root: &Path,
+    opts: &ScanOptions,
+    crates: &[(String, PathBuf)],
+    processed: &[&Processed],
+) -> Report {
     // Stage 3a: R3 per crate (needs every root of the crate).
     let mut report = Report::default();
-    for (crate_name, src_dir) in &crates {
-        let of_crate: Vec<&Processed> =
+    for (crate_name, src_dir) in crates {
+        let of_crate: Vec<&&Processed> =
             processed.iter().filter(|p| &p.crate_name == crate_name).collect();
         if of_crate.is_empty() {
             continue;
@@ -323,7 +606,7 @@ pub fn scan_with(root: &Path, opts: &ScanOptions) -> io::Result<(Report, ScanSta
     let mut facts: Vec<FileFacts> = Vec::with_capacity(processed.len());
     let mut allow_map: std::collections::BTreeMap<String, Vec<Allow>> =
         std::collections::BTreeMap::new();
-    for p in &processed {
+    for p in processed {
         report.files += 1;
         report.lines += p.entry.lines;
         if !p.entry.allows.is_empty() {
@@ -357,6 +640,14 @@ pub fn scan_with(root: &Path, opts: &ScanOptions) -> io::Result<(Report, ScanSta
         let _conc_span = opts.telemetry.span("analyzer.concurrency");
         report.findings.extend(concurrency::run(&facts));
     }
+    if opts.wants(Rule::R16PanicReachable) {
+        let _pf_span = opts.telemetry.span("analyzer.panicfree");
+        report.findings.extend(crate::panicfree::run(&facts));
+    }
+    if opts.wants(Rule::R17SecretLifecycle) {
+        let _lc_span = opts.telemetry.span("analyzer.lifecycle");
+        report.findings.extend(crate::lifecycle::run(&facts));
+    }
 
     // Stage 4: line-scoped `allow(...)` suppression, then the optional
     // rule filter. Suppressions are counted (`allowed`) so a report
@@ -376,19 +667,7 @@ pub fn scan_with(root: &Path, opts: &ScanOptions) -> io::Result<(Report, ScanSta
         report.findings.retain(|f| opts.wants(f.rule));
     }
     sort_findings(&mut report.findings);
-
-    // Stage 5: cache write-back, only when something was re-scanned.
-    if let Some(path) = &opts.cache_path {
-        if stats.cache_misses > 0 {
-            let mut fresh = Cache::default();
-            for p in processed {
-                fresh.entries.insert(p.rel, p.entry);
-            }
-            fresh.save(path)?;
-        }
-    }
-    stats.files = report.files;
-    Ok((report, stats))
+    report
 }
 
 #[cfg(test)]

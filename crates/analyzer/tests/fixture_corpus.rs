@@ -26,7 +26,7 @@ fn per_rule_counts_match_the_corpus() {
     let counts: Vec<(Rule, usize)> = report.rule_counts();
     let count = |r: Rule| counts.iter().find(|&&(cr, _)| cr == r).map_or(0, |&(_, n)| n);
 
-    assert_eq!(count(Rule::R1PanicPath), 3, "unwrap + expect + panic!");
+    assert_eq!(count(Rule::R1PanicPath), 6, "demo trio + hotpath trio");
     assert_eq!(count(Rule::R2NonCtCompare), 1, "tag == expected_tag");
     assert_eq!(count(Rule::R3MissingForbid), 1, "netsec crate root");
     assert_eq!(count(Rule::R4NarrowingCast), 1, "sci as u16");
@@ -41,7 +41,9 @@ fn per_rule_counts_match_the_corpus() {
     assert_eq!(count(Rule::R13LockOrderCycle), 4, "ab/ba pair + via-call pair");
     assert_eq!(count(Rule::R14RelaxedSyncFlag), 2, "relaxed store + spin load");
     assert_eq!(count(Rule::R15DroppedSpan), 3, "let _ + bare call + bare macro");
-    assert_eq!(report.findings.len(), 34);
+    assert_eq!(count(Rule::R16PanicReachable), 2, "hotpath unwrap + index");
+    assert_eq!(count(Rule::R17SecretLifecycle), 2, "escape + unscrubbed teardown");
+    assert_eq!(report.findings.len(), 41);
     // The dataflow pass discharges the provably bounded R4/R5 sites:
     // xor_fixed (2 accesses), masked_lookup, read_unchecked, narrow_fixed.
     assert_eq!(report.suppressed, 5, "interprocedurally discharged sites");
@@ -91,6 +93,10 @@ fn positives_name_their_functions() {
     assert!(has(Rule::R15DroppedSpan, "tp_let_underscore"));
     assert!(has(Rule::R15DroppedSpan, "tp_bare_call"));
     assert!(has(Rule::R15DroppedSpan, "tp_bare_macro"));
+    assert!(has(Rule::R16PanicReachable, "stage_block"));
+    assert!(has(Rule::R16PanicReachable, "tail_byte"));
+    assert!(has(Rule::R17SecretLifecycle, "retain_key"));
+    assert!(has(Rule::R17SecretLifecycle, "close_link"));
 }
 
 #[test]
@@ -148,6 +154,9 @@ fn negatives_stay_silent() {
         "ok_tail_expression", // guard returned to the caller
         "ok_consumed",    // guard consumed by drop(..)
         "ok_assigned",    // guard stored in an outliving place
+        "retire_session", // teardown scrubs with fill(0)
+        "retain_stats",   // public counters may live in collections
+        "announce_close", // neutral helper in the teardown fixture
     ] {
         assert!(
             !report.findings.iter().any(|f| f.function == quiet),
@@ -159,6 +168,18 @@ fn negatives_stay_silent() {
         .findings
         .iter()
         .any(|f| f.function == "unwrap_is_fine_in_tests"));
+    // R16 negatives keep their flat R1 finding but must not appear in
+    // the reachability closure: `open_many`'s unwrap is dominated by
+    // its is_some guard, and nothing hot reaches `cold_start`.
+    for discharged in ["open_many", "cold_start"] {
+        assert!(
+            !report
+                .findings
+                .iter()
+                .any(|f| f.rule == Rule::R16PanicReachable && f.function == discharged),
+            "R16 must discharge {discharged:?}"
+        );
+    }
 }
 
 #[test]
@@ -181,7 +202,9 @@ fn r4_r5_findings_carry_bridge_confirmation() {
             | Rule::R11SecretIndex
             | Rule::R12VariableTimeOp
             | Rule::R13LockOrderCycle
-            | Rule::R14RelaxedSyncFlag => {
+            | Rule::R14RelaxedSyncFlag
+            | Rule::R16PanicReachable
+            | Rule::R17SecretLifecycle => {
                 assert_eq!(
                     f.confirmed,
                     Some(true),

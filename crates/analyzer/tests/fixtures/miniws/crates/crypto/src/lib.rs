@@ -6,6 +6,7 @@
 #![forbid(unsafe_code)]
 
 pub mod gcm;
+pub mod hotpath;
 pub mod sidechan;
 
 /// R2 positive: comparing an authentication tag with `==`.

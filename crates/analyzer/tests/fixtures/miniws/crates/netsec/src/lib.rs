@@ -3,6 +3,7 @@
 //! Expected findings: one R3 against this file.
 
 pub mod handshake;
+pub mod session;
 
 /// Harmless content; the finding is about the missing crate attribute.
 pub fn channel_id(node: u64) -> u64 {

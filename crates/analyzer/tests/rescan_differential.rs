@@ -1,0 +1,82 @@
+//! Differential gate for the in-memory base rebase: `rescan_with_base`
+//! must produce a byte-identical report to `scan_with_base`, the
+//! from-disk reference implementation, for every splice shape (modified,
+//! added-since-base, deleted-since-base). This is what licenses `--diff`
+//! to reuse the live scan's per-file facts instead of re-reading the
+//! tree — per-file facts are purely local, and this test pins that.
+
+use std::path::{Path, PathBuf};
+
+use genio_analyzer::workspace::{
+    rescan_with_base, scan_snapshot, scan_with_base, ScanOptions,
+};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/miniws")
+}
+
+#[test]
+fn rescan_with_base_matches_scan_with_base_byte_for_byte() {
+    let root = fixture_root();
+    let opts = ScanOptions::default();
+    let (current, _, snapshot) = scan_snapshot(&root, &opts).expect("live scan");
+
+    // A splice exercising all three shapes at once:
+    //  - hotpath.rs modified since base (the base had one more unwrap),
+    //  - session.rs added since base (absent from the base tree),
+    //  - legacy.rs deleted since base (present only in the splice).
+    let hotpath = std::fs::read_to_string(root.join("crates/crypto/src/hotpath.rs"))
+        .expect("read fixture");
+    let base_hotpath = format!(
+        "{hotpath}\npub fn legacy_stage(b: Option<u8>) -> u8 {{\n    b.unwrap()\n}}\n"
+    );
+    let base: Vec<(String, Option<String>)> = vec![
+        ("crates/crypto/src/hotpath.rs".to_string(), Some(base_hotpath)),
+        ("crates/netsec/src/session.rs".to_string(), None),
+        (
+            "crates/crypto/src/legacy.rs".to_string(),
+            Some("pub fn legacy(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n".to_string()),
+        ),
+    ];
+
+    let (reference, _) = scan_with_base(&root, &opts, &base).expect("reference base scan");
+    let rebased = rescan_with_base(&snapshot, &opts, &base);
+    assert_eq!(
+        reference.to_json().to_string(),
+        rebased.to_json().to_string(),
+        "in-memory rebase diverges from the from-disk base scan"
+    );
+
+    // Sanity: the splice actually changed the report, so the equality
+    // above compared real work rather than two empty documents.
+    assert_ne!(
+        current.to_json().to_string(),
+        rebased.to_json().to_string(),
+        "splice must move the report"
+    );
+    assert!(
+        rebased.findings.iter().any(|f| f.function == "legacy_stage"),
+        "modified-file splice content must be scanned"
+    );
+    assert!(
+        rebased.findings.iter().any(|f| f.file.ends_with("legacy.rs")),
+        "deleted-since-base file must be synthesized back in"
+    );
+    assert!(
+        !rebased.findings.iter().any(|f| f.file.ends_with("session.rs")),
+        "added-since-base file must be absent from the base report"
+    );
+}
+
+#[test]
+fn rescan_with_empty_splice_reproduces_the_live_report() {
+    let root = fixture_root();
+    let opts = ScanOptions::default();
+    let (current, _, snapshot) = scan_snapshot(&root, &opts).expect("live scan");
+    let rebased = rescan_with_base(&snapshot, &opts, &[]);
+    assert_eq!(
+        current.to_json().to_string(),
+        rebased.to_json().to_string(),
+        "all-reused rebase must reproduce the live report"
+    );
+}

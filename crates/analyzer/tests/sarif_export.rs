@@ -1,0 +1,92 @@
+//! End-to-end SARIF gate: run the real binary with `--sarif` over the
+//! miniws fixture corpus and validate the written document with the
+//! testkit JSON parser. `scripts/verify.sh` runs this test after the
+//! diff-determinism gate.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use genio_testkit::json::{parse, Value};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/miniws")
+}
+
+#[test]
+fn sarif_export_reparses_and_carries_every_fixture_finding() {
+    let out_path = std::env::temp_dir()
+        .join("genio-analyzer-tests")
+        .join("miniws.sarif");
+    std::fs::create_dir_all(out_path.parent().unwrap()).expect("mkdir");
+    let _ = std::fs::remove_file(&out_path);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_genio-analyzer"))
+        .args([
+            "--root",
+            &fixture_root().display().to_string(),
+            "--no-cache",
+            "--baseline",
+            "/dev/null",
+            "--sarif",
+            &out_path.display().to_string(),
+        ])
+        .output()
+        .expect("spawn genio-analyzer");
+    // The fixture scan exits 1 (findings vs an empty baseline); the
+    // export must be written regardless.
+    assert!(out.status.code().is_some(), "analyzer must not be killed");
+
+    let text = std::fs::read_to_string(&out_path).expect("SARIF file written");
+    let v = parse(&text).expect("SARIF re-parses with the testkit parser");
+    assert_eq!(v.get("version").and_then(Value::as_str), Some("2.1.0"));
+    let runs = v.get("runs").and_then(Value::as_arr).expect("runs array");
+    assert_eq!(runs.len(), 1);
+    assert_eq!(
+        runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("name"))
+            .and_then(Value::as_str),
+        Some("genio-analyzer")
+    );
+    assert_eq!(
+        runs[0]
+            .get("properties")
+            .and_then(|p| p.get("exportSchema"))
+            .and_then(Value::as_str),
+        Some(genio_analyzer::diff::SARIF_SCHEMA)
+    );
+
+    // Every result is well-formed: a known ruleId, a message, a
+    // physical location with a line.
+    let results = runs[0].get("results").and_then(Value::as_arr).expect("results");
+    assert!(!results.is_empty(), "the fixture corpus has findings");
+    for r in results {
+        let id = r.get("ruleId").and_then(Value::as_str).expect("ruleId");
+        assert!(
+            genio_analyzer::rules::Rule::from_id(id).is_some(),
+            "unknown ruleId {id:?}"
+        );
+        assert!(r
+            .get("message")
+            .and_then(|m| m.get("text"))
+            .and_then(Value::as_str)
+            .is_some_and(|t| !t.is_empty()));
+        let loc = r.get("locations").and_then(Value::as_arr).expect("locations")[0]
+            .get("physicalLocation")
+            .expect("physicalLocation");
+        assert!(loc
+            .get("artifactLocation")
+            .and_then(|a| a.get("uri"))
+            .and_then(Value::as_str)
+            .is_some_and(|u| u.ends_with(".rs")));
+        assert!(loc
+            .get("region")
+            .and_then(|g| g.get("startLine"))
+            .and_then(Value::as_f64)
+            .is_some_and(|l| l >= 1.0));
+    }
+
+    // The fixture corpus pins 41 findings; the export carries them all.
+    assert_eq!(results.len(), 41, "one result per fixture finding");
+}

@@ -144,6 +144,145 @@ fn suppression_never_crosses_files() {
     assert_eq!(report.allowed, 1);
 }
 
+/// Builds a throwaway workspace whose single crate is named `name_of`
+/// (R17 needs a secret-typed crate, so `netsec`), returning its root.
+fn build_ws(name: &str, crate_name: &str, lib_rs: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("genio-analyzer-suppression")
+        .join(name);
+    let _ = fs::remove_dir_all(&dir);
+    let src = dir.join("crates").join(crate_name).join("src");
+    fs::create_dir_all(&src).expect("mkdir");
+    fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("toml");
+    fs::write(src.join("lib.rs"), format!("#![forbid(unsafe_code)]\n{lib_rs}"))
+        .expect("lib.rs");
+    dir
+}
+
+const R16_PAIR: &str = "pub fn seal_many(x: Option<u8>, y: Option<u8>) -> u8 {\n\
+                        \x20   helper(x) + other(y)\n\
+                        }\n\
+                        fn helper(x: Option<u8>) -> u8 {\n\
+                        \x20   x.unwrap()\n\
+                        }\n\
+                        fn other(y: Option<u8>) -> u8 {\n\
+                        \x20   y.unwrap()\n\
+                        }\n";
+
+#[test]
+fn allow_r16_covers_one_reachable_site_not_the_other() {
+    let dir = build_ws("r16-base", "crypto", R16_PAIR);
+    let report = workspace::scan(&dir).expect("scan");
+    let r16: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::R16PanicReachable)
+        .map(|f| f.function.as_str())
+        .collect();
+    assert_eq!(r16, ["helper", "other"], "both closure sites flag");
+
+    let annotated = R16_PAIR.replacen(
+        "\x20   x.unwrap()",
+        "\x20   // genio-analyzer: allow(R16, reason = \"caller checks\")\n\
+         \x20   x.unwrap()",
+        1,
+    );
+    let dir = build_ws("r16-allow", "crypto", &annotated);
+    let report = workspace::scan(&dir).expect("scan");
+    let r16: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::R16PanicReachable)
+        .map(|f| f.function.as_str())
+        .collect();
+    assert_eq!(r16, ["other"], "only the annotated site is silenced");
+    // The co-located R1 finding names a different rule and must survive.
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == Rule::R1PanicPath && f.function == "helper"));
+}
+
+const R17_ESCAPE: &str = "pub struct SessionKey([u8; 32]);\n\
+                          pub fn retain(cache: &mut Vec<SessionKey>, key: SessionKey) {\n\
+                          \x20   cache.push(key);\n\
+                          }\n";
+
+#[test]
+fn allow_r17_silences_the_escape_on_its_line_only() {
+    let dir = build_ws("r17-base", "netsec", R17_ESCAPE);
+    let report = workspace::scan(&dir).expect("scan");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::R17SecretLifecycle && f.function == "retain"),
+        "escape must flag without an allow: {:?}",
+        report.findings
+    );
+
+    let annotated = R17_ESCAPE.replacen(
+        "\x20   cache.push(key);",
+        "\x20   // genio-analyzer: allow(R17, reason = \"bounded session cache\")\n\
+         \x20   cache.push(key);",
+        1,
+    );
+    let dir = build_ws("r17-allow", "netsec", &annotated);
+    let report = workspace::scan(&dir).expect("scan");
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::R17SecretLifecycle),
+        "annotated escape must be silenced: {:?}",
+        report.findings
+    );
+    assert_eq!(report.allowed, 1);
+}
+
+#[test]
+fn diff_mode_respects_suppressions_and_sees_through_their_absence() {
+    use genio_analyzer::diff::diff_scan;
+    use genio_analyzer::workspace::ScanOptions;
+
+    // The change introduces a reachable unwrap... under an allow. The
+    // base revision had a clean placeholder. The diff must be empty —
+    // a suppressed finding may never "reappear" as introduced.
+    let clean_base = Some("#![forbid(unsafe_code)]\npub fn seal_many() {}\n".to_string());
+    let rel = "crates/crypto/src/lib.rs".to_string();
+    let suppressed = R16_PAIR
+        .replacen(
+            "\x20   x.unwrap()",
+            "\x20   // genio-analyzer: allow(R1, R16, reason = \"caller checks\")\n\
+             \x20   x.unwrap()",
+            1,
+        )
+        .replacen(
+            "\x20   y.unwrap()",
+            "\x20   // genio-analyzer: allow(R1, R16, reason = \"caller checks\")\n\
+             \x20   y.unwrap()",
+            1,
+        );
+    let dir = build_ws("diff-suppressed", "crypto", &suppressed);
+    let opts = ScanOptions::default();
+    let d = diff_scan(&dir, &opts, "base", &[(rel.clone(), clean_base.clone())])
+        .expect("diff scan");
+    assert!(
+        d.findings.is_empty(),
+        "suppressed findings leaked into the diff: {:?}",
+        d.findings
+    );
+
+    // Same change without the allows: the diff must report the sites.
+    let dir = build_ws("diff-unsuppressed", "crypto", R16_PAIR);
+    let d = diff_scan(&dir, &opts, "base", &[(rel, clean_base)]).expect("diff scan");
+    assert!(
+        d.findings.iter().any(|f| f.rule == Rule::R16PanicReachable),
+        "unsuppressed introduction must surface: {:?}",
+        d.findings
+    );
+}
+
 #[test]
 fn unknown_rule_or_missing_reason_leaves_the_comment_inert() {
     for (name, comment) in [

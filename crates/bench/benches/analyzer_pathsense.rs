@@ -1,0 +1,286 @@
+//! E-A4 — **path-sensitive analysis cost**: CFG dominance, the R16/R17
+//! closure passes and diff-aware incremental scanning, priced against
+//! the v3 rule set.
+//!
+//! The v4 engine certifies panic-freedom over the hot-path call-graph
+//! closure and tracks secret lifecycles — work that only pays its way
+//! if it stays cheap relative to the flat rules. Three acceptance
+//! bounds, asserted on a deterministic synthetic corpus whose hot
+//! modules exercise the closure (guarded and masked index sites that
+//! the per-path discharge must walk):
+//!
+//! * a cold scan with R16–R18 enabled costs < [`MAX_PATHSENSE_OVERHEAD`]x
+//!   a cold scan restricted to the legacy R1–R15 set;
+//! * the warm-cache speedup of E-A2 survives the new passes (>=
+//!   [`MIN_WARM_SPEEDUP`]x over cold);
+//! * a `--diff`-style one-file review scan (current tree warm, one
+//!   spliced base file) is >= [`MIN_DIFF_SPEEDUP`]x faster than a cold
+//!   full scan — the incremental mode has to beat "just rescan".
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+
+use genio_analyzer::diff::diff_scan;
+use genio_analyzer::rules::Rule;
+use genio_analyzer::workspace::{self, scan_with, ScanOptions};
+use genio_bench::print_experiment_once;
+use genio_testkit::bench::{BenchmarkId, Criterion, Throughput};
+
+static PRINTED: Once = Once::new();
+
+/// Acceptance bound: cold all-rules over cold legacy R1–R15.
+const MAX_PATHSENSE_OVERHEAD: f64 = 1.5;
+/// Acceptance bound: cold all-rules over warm all-rules.
+const MIN_WARM_SPEEDUP: f64 = 3.0;
+/// Acceptance bound: cold all-rules over a one-file diff scan.
+const MIN_DIFF_SPEEDUP: f64 = 5.0;
+
+const CRATES: usize = 6;
+const FILES_PER_CRATE: usize = 20;
+const FNS_PER_FILE: usize = 4;
+const LINES_PER_FN: usize = 100;
+/// Call-chain depth under each hot entry.
+const HOT_STAGES: usize = 8;
+
+fn repo_root() -> PathBuf {
+    workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("bench runs inside the workspace tree")
+}
+
+/// Plain arithmetic filler, identical in spirit to the E-A2 corpus:
+/// long clean bodies, small summaries, zero findings.
+fn corpus_file(crate_idx: usize, file_idx: usize) -> String {
+    let mut src = String::from(
+        "//! Generated bench corpus file — deterministic, do not edit.\n\n",
+    );
+    for f in 0..FNS_PER_FILE {
+        let id = (crate_idx * FILES_PER_CRATE + file_idx) * FNS_PER_FILE + f;
+        src.push_str(&format!(
+            "/// Mixes the inputs with round constant {id}.\n\
+             pub fn mix_{id}(x: u32, y: u32) -> u32 {{\n\
+             \x20   let mut acc = x ^ {id};\n"
+        ));
+        for line in 0..LINES_PER_FN {
+            let k = (id * LINES_PER_FN + line) as u32;
+            src.push_str(&format!(
+                "    acc ^= (acc << {}) ^ (y >> {}) ^ 0x{:08x};\n",
+                1 + line % 7,
+                line % 5,
+                k.wrapping_mul(2_654_435_761)
+            ));
+        }
+        src.push_str("    acc\n}\n\n");
+    }
+    src
+}
+
+/// One hot module per crate: a `seal_many` entry over a call chain of
+/// guarded index stages, plus a scrubbed teardown over a secret type.
+/// Every site discharges (guard dominates, mask below length, scrub
+/// present), so the corpus report stays finding-free while R16/R17 do
+/// their full per-path work on every stage.
+fn hot_file(c: usize) -> String {
+    let mut src = format!(
+        "//! Generated hot-path module {c} — deterministic, do not edit.\n\n\
+         pub struct LinkKey{c}(pub [u8; 32]);\n\n\
+         pub fn seal_many(frames: &[u8], at: usize) -> u8 {{\n\
+         \x20   stage_{c}_0(frames, at)\n\
+         }}\n\n\
+         pub fn close_channel_{c}(mut link_key: LinkKey{c}) {{\n\
+         \x20   link_key.fill(0);\n\
+         }}\n\n"
+    );
+    for k in 0..HOT_STAGES {
+        let next = if k + 1 < HOT_STAGES {
+            format!("stage_{c}_{}(frames, at ^ {k})", k + 1)
+        } else {
+            "0".to_string()
+        };
+        src.push_str(&format!(
+            "fn stage_{c}_{k}(frames: &[u8], at: usize) -> u8 {{\n\
+             \x20   let head = if at < frames.len() {{ frames[at] }} else {{ 0 }};\n\
+             \x20   let tab: [u8; 64] = [{k}; 64];\n\
+             \x20   head ^ tab[at & 0x3f] ^ {next}\n\
+             }}\n\n"
+        ));
+    }
+    src
+}
+
+/// Materializes the corpus under `target/` with the `crates/<n>/src/`
+/// layout the scanner discovers.
+fn build_corpus(scratch: &Path) -> PathBuf {
+    let root = scratch.join("corpus");
+    let _ = fs::remove_dir_all(&root);
+    for c in 0..CRATES {
+        let src = root.join(format!("crates/gen{c:02}/src"));
+        fs::create_dir_all(&src).expect("corpus dir");
+        let mut lib = String::from("#![forbid(unsafe_code)]\n\npub mod hot;\n");
+        fs::write(src.join("hot.rs"), hot_file(c)).expect("hot file");
+        for f in 0..FILES_PER_CRATE {
+            lib.push_str(&format!("pub mod m{f:02};\n"));
+            fs::write(src.join(format!("m{f:02}.rs")), corpus_file(c, f))
+                .expect("corpus file");
+        }
+        fs::write(src.join("lib.rs"), lib).expect("corpus lib.rs");
+    }
+    fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("corpus manifest");
+    root
+}
+
+fn bench(c: &mut Criterion) {
+    c.experiment_id("E-A4");
+    let scratch = repo_root().join("target/genio-pathsense-bench");
+    let corpus = build_corpus(&scratch);
+    let cache_path = scratch.join("cache.json");
+    let _ = fs::remove_file(&cache_path);
+
+    let legacy: Vec<Rule> = Rule::ALL
+        .iter()
+        .copied()
+        .filter(|r| !matches!(r, Rule::R16PanicReachable | Rule::R17SecretLifecycle | Rule::R18DiffAware))
+        .collect();
+    let cold_legacy = ScanOptions { threads: 1, rules: Some(legacy), ..ScanOptions::default() };
+    let cold_full = ScanOptions { threads: 1, ..ScanOptions::default() };
+    let warm_full = ScanOptions {
+        threads: 1,
+        cache_path: Some(cache_path.clone()),
+        ..ScanOptions::default()
+    };
+
+    // The review-mode scenario: one corpus file is edited relative to
+    // the base revision. The edited content is what's on disk (and in
+    // the warm cache); the pristine generator output plays the base.
+    let changed_rel = "crates/gen00/src/m00.rs".to_string();
+    let base_content = corpus_file(0, 0);
+    let edited = format!(
+        "{base_content}/// Review-time addition.\npub fn mix_extra(x: u32) -> u32 {{\n    x ^ 0x5a5a\n}}\n"
+    );
+    fs::write(corpus.join(&changed_rel), edited).expect("edit corpus file");
+    let changed = vec![(changed_rel, Some(base_content))];
+
+    // Seed the cache on the edited tree and sanity-check warm == cold.
+    let (seed_report, seed_stats) = scan_with(&corpus, &warm_full).expect("seed scan");
+    let (warm_report, warm_stats) = scan_with(&corpus, &warm_full).expect("warm scan");
+    assert_eq!(seed_stats.cache_hits, 0, "seed scan must start cold");
+    assert_eq!(warm_stats.cache_misses, 0, "cache must fully absorb a warm scan");
+    assert_eq!(
+        seed_report.to_json().to_string(),
+        warm_report.to_json().to_string(),
+        "warm report must be byte-identical to cold"
+    );
+    assert!(
+        seed_report.findings.is_empty(),
+        "corpus must stay finding-free so every row prices discharge work: {:?}",
+        seed_report.findings
+    );
+    let d = diff_scan(&corpus, &warm_full, "bench-base", &changed).expect("diff scan");
+    assert!(d.findings.is_empty(), "the edit introduces nothing: {:?}", d.findings);
+    let files = seed_report.files;
+
+    let mut group = c.benchmark_group("analyzer_pathsense");
+    group.throughput(Throughput::Elements(files));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cold_legacy_r1_r15"),
+        &corpus,
+        |b, root| b.iter(|| std::hint::black_box(scan_with(root, &cold_legacy).expect("scan"))),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cold_full_r1_r18"),
+        &corpus,
+        |b, root| b.iter(|| std::hint::black_box(scan_with(root, &cold_full).expect("scan"))),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("warm_full"),
+        &corpus,
+        |b, root| b.iter(|| std::hint::black_box(scan_with(root, &warm_full).expect("scan"))),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("diff_one_file"),
+        &corpus,
+        |b, root| {
+            b.iter(|| {
+                std::hint::black_box(
+                    diff_scan(root, &warm_full, "bench-base", &changed).expect("diff scan"),
+                )
+            })
+        },
+    );
+    group.finish();
+
+    // --- E-A4 verdict: overhead/speedup table with asserted bounds. ---
+    let median = |name: &str| {
+        c.records()
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+    };
+    let (Some(legacy_ns), Some(full_ns), Some(warm_ns), Some(diff_ns)) = (
+        median("analyzer_pathsense/cold_legacy_r1_r15"),
+        median("analyzer_pathsense/cold_full_r1_r18"),
+        median("analyzer_pathsense/warm_full"),
+        median("analyzer_pathsense/diff_one_file"),
+    ) else {
+        // A `--filter` run can skip rows; no verdict then.
+        return;
+    };
+
+    let overhead = full_ns / legacy_ns;
+    let warm_speedup = full_ns / warm_ns;
+    let diff_speedup = full_ns / diff_ns;
+
+    let mut body = String::new();
+    body.push_str(&format!(
+        "synthetic corpus: {} crates x {} files ({} hot stages/crate), {} files / {} lines\n\n",
+        CRATES,
+        FILES_PER_CRATE + 2,
+        HOT_STAGES,
+        files,
+        seed_report.lines
+    ));
+    body.push_str(&format!(
+        "  {:<22} {:>12} {:>12}\n",
+        "configuration", "median", "vs cold full"
+    ));
+    for (label, ns) in [
+        ("cold legacy R1-R15", legacy_ns),
+        ("cold full R1-R18", full_ns),
+        ("warm full", warm_ns),
+        ("diff one-file", diff_ns),
+    ] {
+        body.push_str(&format!(
+            "  {:<22} {:>9.2} ms {:>11.2}x\n",
+            label,
+            ns / 1e6,
+            full_ns / ns
+        ));
+    }
+    body.push_str(&format!(
+        "\nbounds (asserted): CFG+R16-R18 overhead < {MAX_PATHSENSE_OVERHEAD:.1}x cold legacy; \
+         warm >= {MIN_WARM_SPEEDUP:.1}x; one-file diff >= {MIN_DIFF_SPEEDUP:.1}x vs cold full\n"
+    ));
+    print_experiment_once(
+        &PRINTED,
+        "E-A4 / path-sensitive analysis cost — CFG closure + diff-aware scanning",
+        &body,
+    );
+
+    assert!(
+        overhead < MAX_PATHSENSE_OVERHEAD,
+        "E-A4 bound violated: R16-R18 cost {overhead:.2}x the legacy rule set \
+         (required < {MAX_PATHSENSE_OVERHEAD:.1}x)"
+    );
+    assert!(
+        warm_speedup >= MIN_WARM_SPEEDUP,
+        "E-A4 bound violated: warm scan only {warm_speedup:.2}x faster than cold full \
+         (required >= {MIN_WARM_SPEEDUP:.1}x)"
+    );
+    assert!(
+        diff_speedup >= MIN_DIFF_SPEEDUP,
+        "E-A4 bound violated: one-file diff scan only {diff_speedup:.2}x faster than a \
+         cold full scan (required >= {MIN_DIFF_SPEEDUP:.1}x)"
+    );
+}
+
+genio_testkit::bench_main!(bench);

@@ -24,16 +24,15 @@ pub fn expand(prk: &[u8], info: &[u8], out: &mut [u8]) {
     assert!(out.len() <= 255 * MAC_LEN, "hkdf expand output too long");
     let mut t: Vec<u8> = Vec::new();
     let mut counter = 1u8;
-    let mut written = 0usize;
-    while written < out.len() {
+    for chunk in out.chunks_mut(MAC_LEN) {
         let mut mac = HmacSha256::new(prk);
         mac.update(&t);
         mac.update(info);
         mac.update(&[counter]);
         let block = mac.finalize();
-        let take = (out.len() - written).min(MAC_LEN);
-        out[written..written + take].copy_from_slice(&block[..take]);
-        written += take;
+        for (dst, src) in chunk.iter_mut().zip(block.iter()) {
+            *dst = *src;
+        }
         t = block.to_vec();
         counter = counter.wrapping_add(1);
     }

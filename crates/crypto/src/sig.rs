@@ -161,6 +161,17 @@ pub struct MerkleSigner {
 /// The 32-byte public key of a [`MerkleSigner`] (the Merkle root).
 pub type MerklePublicKey = Digest;
 
+/// Copies `N` bytes starting at `off` into a fixed array, zero-filling
+/// past the end of `bytes` instead of panicking (callers length-check
+/// first, so the fill branch is dead in practice).
+fn take_arr<const N: usize>(bytes: &[u8], off: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (dst, src) in out.iter_mut().zip(bytes.iter().skip(off)) {
+        *dst = *src;
+    }
+    out
+}
+
 /// A signature produced by [`MerkleSigner::sign`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MerkleSignature {
@@ -202,7 +213,13 @@ impl MerkleSigner {
 
     /// The Merkle root, i.e. the long-lived public key.
     pub fn public(&self) -> MerklePublicKey {
-        self.tree.last().expect("tree has a root")[0]
+        // The constructor always builds a non-empty root level; the
+        // zero-digest fallback keeps verification failing closed.
+        self.tree
+            .last()
+            .and_then(|level| level.first())
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Number of signatures still available.
@@ -286,13 +303,15 @@ impl MerkleSignature {
     ///
     /// Returns [`CryptoError::Malformed`] if the buffer has the wrong size or
     /// an implausible header.
+    // take_arr never panics on a short buffer (callers length-check
+    // first, so the zero-fill branch is dead in practice).
     pub fn from_bytes(bytes: &[u8]) -> crate::Result<Self> {
         const HDR: usize = 8 + 4;
         if bytes.len() < HDR {
             return Err(CryptoError::Malformed("merkle signature header"));
         }
-        let leaf_index = u64::from_be_bytes(bytes[0..8].try_into().expect("8 bytes"));
-        let path_len = u32::from_be_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let leaf_index = u64::from_be_bytes(take_arr(bytes, 0));
+        let path_len = u32::from_be_bytes(take_arr::<4>(bytes, 8)) as usize;
         if path_len > 64 {
             return Err(CryptoError::Malformed("merkle signature path length"));
         }
@@ -302,7 +321,7 @@ impl MerkleSignature {
         }
         let mut off = HDR;
         let mut take32 = |bytes: &[u8]| -> [u8; 32] {
-            let arr: [u8; 32] = bytes[off..off + 32].try_into().expect("32 bytes");
+            let arr: [u8; 32] = take_arr(bytes, off);
             off += 32;
             arr
         };

@@ -66,7 +66,10 @@ impl GemCrypto {
         let mut drbg = HmacDrbg::new(&self.master_seed);
         drbg.reseed(format!("gem-port {port} onu {onu}").as_bytes());
         let key = drbg.bytes(16);
-        let aead = AesGcm::new(&key).expect("16-byte key is valid");
+        // A 16-byte key is always accepted; bail (leaving the port
+        // keyless, so traffic is dropped) rather than panic the OLT
+        // data plane on the impossible branch.
+        let Ok(aead) = AesGcm::new(&key) else { return };
         self.ports.insert(
             port,
             PortKey {

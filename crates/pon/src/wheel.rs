@@ -267,15 +267,19 @@ impl<T> TimerWheel<T> {
             return;
         }
         let diff = tick ^ self.now_tick;
-        let mut level = 0usize;
-        while level < LEVELS && (diff >> LEVEL_SHIFT[level + 1]) != 0 {
-            level += 1;
-        }
-        if level >= LEVELS {
+        // `LEVEL_SHIFT` is strictly increasing, so `diff >> shift != 0`
+        // is monotone: the count of non-zero windows above level 0 IS
+        // the target level (`LEVELS` means past the horizon).
+        let level = LEVEL_SHIFT
+            .iter()
+            .skip(1)
+            .filter(|&&shift| (diff >> shift) != 0)
+            .count();
+        let Some(&level_shift) = LEVEL_SHIFT.get(level).filter(|_| level < LEVELS) else {
             self.overflow.push(index);
             return;
-        }
-        let slot = ((tick >> LEVEL_SHIFT[level]) % SLOTS as u64) as usize;
+        };
+        let slot = ((tick >> level_shift) % SLOTS as u64) as usize;
         if let Some(lv) = self.levels.get_mut(level) {
             if let Some(bucket) = lv.slots.get_mut(slot) {
                 bucket.push(index);
@@ -302,8 +306,7 @@ impl<T> TimerWheel<T> {
         let mut best_tick = u64::MAX;
         let mut found = Found::Nothing;
 
-        for (k, lv) in self.levels.iter().enumerate() {
-            let shift = LEVEL_SHIFT[k];
+        for (k, (lv, &shift)) in self.levels.iter().zip(LEVEL_SHIFT.iter()).enumerate() {
             let tick_k = self.now_tick >> shift;
             let base_k = tick_k & !(SLOTS as u64 - 1);
             let m = lv.occupied & mask_ge(tick_k - base_k);

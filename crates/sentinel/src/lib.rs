@@ -274,7 +274,10 @@ fn round3(x: f64) -> f64 {
 /// Relative half-width of a record's own sample spread: how far its
 /// quick-mode median plausibly wanders between identical runs.
 fn relative_spread(r: &Record) -> f64 {
-    if r.median_ns <= 0.0 {
+    // A single-sample record has min == median == p95 by construction,
+    // so its computed spread is 0 — pure false confidence. Treat it as
+    // maximally noisy instead of letting it hard-fail a gate.
+    if r.median_ns <= 0.0 || r.samples <= 1 {
         return NOISE_CEIL;
     }
     ((r.p95_ns - r.min_ns) / r.median_ns).clamp(0.0, NOISE_CEIL)
@@ -377,6 +380,29 @@ mod tests {
         let text =
             format!("{{\"schema\":\"genio-bench/v1\",\"experiments\":[{reports}]}}");
         BenchDoc::parse(&text).expect("fixture doc parses")
+    }
+
+    #[test]
+    fn single_sample_bench_is_maximally_noisy_not_confident() {
+        // One sample ⇒ min == median == p95 ⇒ computed spread 0. A
+        // 1.45x "regression" against such a record must widen to the
+        // noise ceiling (landing inside the band) instead of
+        // hard-failing the gate on false confidence.
+        let text = "{\"schema\":\"genio-bench/v1\",\"experiment\":\"E-X\",\
+                    \"target\":\"t\",\"quick\":true,\"benches\":[{\
+                    \"name\":\"oneshot\",\"iters_per_sample\":1,\"samples\":1,\
+                    \"min_ns\":1000,\"median_ns\":1000,\"p95_ns\":1000,\
+                    \"max_ns\":1000,\"mean_ns\":1000}]}";
+        let base = BenchDoc::parse(text).expect("base parses");
+        let cand = doc(&[("E-X", "oneshot", 1_450.0)]);
+        let cfg = SentinelConfig {
+            anchors: vec!["oneshot".to_string()],
+            ..SentinelConfig::default()
+        };
+        let report = compare(&base, &cand, &cfg);
+        assert!(report.passes(), "single-sample base must not hard-fail");
+        assert_eq!(report.count(Status::Ok), 1);
+        assert!((report.deltas[0].noise - NOISE_CEIL).abs() < 1e-9);
     }
 
     #[test]

@@ -58,6 +58,28 @@ cargo run --release -q -p genio-analyzer -- \
     --expect crates/analyzer/tests/fixtures/miniws-expected.txt
 echo "fixture corpus matches miniws-expected.txt finding for finding"
 
+echo "==> genio-analyzer diff-determinism gate (two --diff HEAD scans must agree byte-for-byte)"
+# A dirty working tree may legitimately introduce findings (exit 1), so
+# the determinism check compares the emitted documents, not exit codes.
+cargo run --release -q -p genio-analyzer -- --diff HEAD \
+    --json target/genio-analyzer/diff-a.json \
+    --sarif target/genio-analyzer/diff-a.sarif >/dev/null || true
+cargo run --release -q -p genio-analyzer -- --diff HEAD \
+    --json target/genio-analyzer/diff-b.json \
+    --sarif target/genio-analyzer/diff-b.sarif >/dev/null || true
+cmp target/genio-analyzer/diff-a.json target/genio-analyzer/diff-b.json
+cmp target/genio-analyzer/diff-a.sarif target/genio-analyzer/diff-b.sarif
+if git diff --quiet HEAD 2>/dev/null; then
+    # Clean tree: an empty change set must yield an empty diff (exit 0).
+    cargo run --release -q -p genio-analyzer -- --diff HEAD >/dev/null
+    echo "clean tree: empty change set produced an empty finding diff"
+fi
+echo "diff scans are deterministic (json and SARIF agree across runs)"
+
+echo "==> genio-analyzer SARIF export gate (document re-parses with the testkit JSON parser)"
+cargo test --release -q -p genio-analyzer --test sarif_export
+echo "SARIF 2.1.0 export validated"
+
 echo "==> fleet-determinism gate (two same-seed engine runs must be byte-identical)"
 rm -rf target/genio-fleet
 mkdir -p target/genio-fleet
